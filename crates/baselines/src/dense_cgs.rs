@@ -1,0 +1,100 @@
+//! The dense O(K) CGS as a *timed* baseline.
+//!
+//! The statistical machinery lives in `culda_sampler::dense` (it doubles
+//! as the correctness oracle there); this wrapper adds the host roofline
+//! time model so the solver-comparison figures can include the naive
+//! solver the paper's related work starts from.
+
+use culda_corpus::Corpus;
+use culda_sampler::{DenseCgs, Priors};
+
+/// Cache-line cost of one random DRAM access.
+const CACHE_LINE: u64 = 64;
+
+/// A dense CGS with modelled per-iteration time.
+#[derive(Debug)]
+pub struct TimedDenseCgs {
+    inner: DenseCgs,
+    /// Host bandwidth for the time model, GB/s.
+    pub host_bandwidth_gbps: f64,
+}
+
+impl TimedDenseCgs {
+    /// Initializes with random assignments.
+    pub fn new(corpus: &Corpus, num_topics: usize, priors: Priors, seed: u64) -> Self {
+        Self {
+            inner: DenseCgs::new(corpus, num_topics, priors, seed),
+            host_bandwidth_gbps: 51.2,
+        }
+    }
+
+    /// One sweep. Returns `(tokens, modelled_seconds)`.
+    ///
+    /// The dense conditional streams the full ϕ column and θ row per token
+    /// (`K` × 12 bytes) plus the usual random count updates — the O(K)
+    /// traffic that motivates sparsity-aware sampling in the first place.
+    pub fn iterate(&mut self, corpus: &Corpus) -> (u64, f64) {
+        let tokens = self.inner.iterate(corpus);
+        let k = self.inner.num_topics as u64;
+        let bytes_per_token = k * 12 + 4 * CACHE_LINE + 10;
+        let seconds =
+            (tokens * bytes_per_token) as f64 / (self.host_bandwidth_gbps * 1e9 * 0.85);
+        (tokens, seconds)
+    }
+
+    /// Joint log-likelihood (shared statistic).
+    pub fn loglik(&self) -> f64 {
+        self.inner.loglik()
+    }
+
+    /// The wrapped sampler (tests, invariants).
+    pub fn inner(&self) -> &DenseCgs {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culda_corpus::SynthSpec;
+
+    #[test]
+    fn timed_wrapper_trains() {
+        let mut spec = SynthSpec::tiny();
+        spec.num_docs = 80;
+        spec.vocab_size = 120;
+        spec.avg_doc_len = 20.0;
+        let c = spec.generate();
+        let mut s = TimedDenseCgs::new(&c, 8, Priors::paper(8), 1);
+        let before = s.loglik();
+        let mut total = 0.0;
+        for _ in 0..10 {
+            let (n, secs) = s.iterate(&c);
+            assert_eq!(n, c.num_tokens());
+            total += secs;
+        }
+        assert!(total > 0.0);
+        assert!(s.loglik() > before);
+        s.inner().check_invariants(&c);
+    }
+
+    #[test]
+    fn dense_is_much_slower_than_sparse_at_large_k() {
+        let mut spec = SynthSpec::tiny();
+        spec.num_docs = 60;
+        spec.vocab_size = 150;
+        spec.avg_doc_len = 20.0;
+        let c = spec.generate();
+        let k = 512;
+        let mut dense = TimedDenseCgs::new(&c, k, Priors::paper(k), 2);
+        let mut sparse = crate::sparse_cgs::SparseCgs::new(&c, k, Priors::paper(k), 2);
+        let (n1, t1) = dense.iterate(&c);
+        let (n2, t2) = sparse.iterate();
+        let dense_tps = n1 as f64 / t1;
+        let sparse_tps = n2 as f64 / t2;
+        assert!(
+            sparse_tps > 1.3 * dense_tps,
+            "sparse {sparse_tps:.3e} should clearly beat dense {dense_tps:.3e} at K = {k}"
+        );
+    }
+}

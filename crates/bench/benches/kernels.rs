@@ -1,0 +1,103 @@
+//! Micro-benchmarks of the three GPU kernels on one chunk, plus the
+//! ablation pair the paper's Section 6 optimizations imply: shared-memory
+//! caching on/off and u16 compression on/off (reported as *simulated*
+//! seconds via a custom measurement of the kernel's cost model would be a
+//! different experiment — here we measure host-side simulation throughput,
+//! which is what bounds our experiment turnaround).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use culda_corpus::{partition_by_tokens, SortedChunk, SynthSpec};
+use culda_gpusim::{Device, GpuSpec};
+use culda_sampler::{
+    accumulate_phi_host, build_block_map, run_phi_update_kernel, run_sampling_kernel,
+    run_theta_update_kernel, ChunkState, PhiModel, Priors, SampleConfig,
+};
+
+struct Fixture {
+    chunk: SortedChunk,
+    state: ChunkState,
+    phi: PhiModel,
+    inv: Vec<f32>,
+    map: Vec<culda_sampler::BlockWork>,
+}
+
+fn fixture(k: usize) -> Fixture {
+    let mut spec = SynthSpec::tiny();
+    spec.num_docs = 400;
+    spec.vocab_size = 800;
+    spec.avg_doc_len = 80.0;
+    let corpus = spec.generate();
+    let chunks = partition_by_tokens(&corpus, 1);
+    let chunk = SortedChunk::build(&corpus, &chunks[0]);
+    let state = ChunkState::init_random(&chunk, k, 7);
+    let phi = PhiModel::zeros(k, corpus.vocab_size(), Priors::paper(k));
+    accumulate_phi_host(&chunk, &state.z, &phi);
+    let inv = phi.inv_denominators();
+    let map = build_block_map(&chunk, 512);
+    Fixture {
+        chunk,
+        state,
+        phi,
+        inv,
+        map,
+    }
+}
+
+fn bench_sampling_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_sampling");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let f = fixture(256);
+    for (name, shared, compressed) in [
+        ("full_opt", true, true),
+        ("no_shared", false, true),
+        ("no_compress", true, false),
+    ] {
+        g.bench_function(name, |b| {
+            let mut dev = Device::new(0, GpuSpec::titan_x_maxwell());
+            let mut cfg = SampleConfig::new(5);
+            cfg.use_shared_memory = shared;
+            cfg.compressed = compressed;
+            b.iter(|| {
+                cfg.iteration = cfg.iteration.wrapping_add(1);
+                black_box(run_sampling_kernel(
+                    &mut dev, &f.chunk, &f.state, &f.phi, &f.inv, &f.map, &cfg,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_update_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_updates");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let f = fixture(256);
+    g.bench_function("phi_update", |b| {
+        let mut dev = Device::new(0, GpuSpec::titan_x_maxwell());
+        let phi = PhiModel::zeros(256, 800, Priors::paper(256));
+        b.iter(|| {
+            black_box(run_phi_update_kernel(
+                &mut dev, &f.chunk, &f.state, &phi, &f.map,
+            ))
+        })
+    });
+    g.bench_function("theta_update", |b| {
+        let mut dev = Device::new(0, GpuSpec::titan_x_maxwell());
+        b.iter_batched(
+            || ChunkState {
+                z: culda_gpusim::memory::AtomicU16Buf::from_vec(f.state.z.snapshot()),
+                theta: f.state.theta.clone(),
+            },
+            |mut st| black_box(run_theta_update_kernel(&mut dev, &f.chunk, &mut st, 256)),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sampling_kernel, bench_update_kernels);
+criterion_main!(benches);

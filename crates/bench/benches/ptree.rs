@@ -1,0 +1,79 @@
+//! Micro-benchmarks for the Figure 5 index tree: build vs rebuild vs
+//! sample, across fanouts and topic counts — the ablation behind the
+//! paper's choice of 32-way trees (one warp ballot per level).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use culda_sampler::IndexTree;
+
+fn weights(k: usize) -> Vec<f32> {
+    (0..k).map(|i| ((i * 2654435761usize) % 97) as f32 + 0.5).collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ptree_build");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for k in [1024usize, 16384] {
+        let w = weights(k);
+        for fanout in [2usize, 32] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("fanout{fanout}"), k),
+                &w,
+                |b, w| b.iter(|| IndexTree::build(black_box(w), fanout)),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_rebuild_reuses_allocations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ptree_rebuild");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let w = weights(1024);
+    let mut tree = IndexTree::build(&w, 32);
+    g.bench_function("rebuild_k1024", |b| {
+        b.iter(|| tree.rebuild(black_box(&w)))
+    });
+    g.finish();
+}
+
+fn bench_sample(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ptree_sample");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for k in [1024usize, 16384] {
+        let w = weights(k);
+        let tree32 = IndexTree::build(&w, 32);
+        let total = tree32.total();
+        g.bench_with_input(BenchmarkId::new("tree_fanout32", k), &tree32, |b, t| {
+            let mut x = 0.1f32;
+            b.iter(|| {
+                x = (x * 1.37) % total;
+                black_box(t.sample_scaled(x))
+            })
+        });
+        // Linear-scan reference: what the tree replaces.
+        let prefix: Vec<f32> = w
+            .iter()
+            .scan(0.0, |acc, &v| {
+                *acc += v;
+                Some(*acc)
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::new("linear_scan", k), &prefix, |b, p| {
+            let mut x = 0.1f32;
+            b.iter(|| {
+                x = (x * 1.37) % total;
+                black_box(culda_sampler::ptree::linear_search(p, x))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_build, bench_rebuild_reuses_allocations, bench_sample);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Micro-benchmarks for the Figure 4 ϕ synchronization and the per-pass
+//! cost of every baseline solver.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use culda_baselines::{SparseCgs, TimedDenseCgs, WarpLda};
+use culda_corpus::SynthSpec;
+use culda_gpusim::{Link, Platform};
+use culda_multigpu::{sync_phi_replicas, TrainerConfig};
+use culda_sampler::{PhiModel, Priors};
+
+fn bench_sync(c: &mut Criterion) {
+    let mut g = c.benchmark_group("phi_sync");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let (k, v) = (128usize, 2000usize);
+    for gpus in [2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("reduce_broadcast", gpus), &gpus, |b, &n| {
+            let cfg = TrainerConfig::new(k, Platform::pascal());
+            b.iter_batched(
+                || {
+                    (0..n)
+                        .map(|i| {
+                            let m = PhiModel::zeros(k, v, Priors::paper(k));
+                            m.phi.store(i, 1);
+                            m.phi_sum.store(0, 1);
+                            m
+                        })
+                        .collect::<Vec<_>>()
+                },
+                |reps| {
+                    black_box(sync_phi_replicas(
+                        &reps,
+                        &Platform::pascal().gpu,
+                        &Link::pcie3(),
+                        &cfg,
+                    ))
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_baseline_pass(c: &mut Criterion) {
+    let mut g = c.benchmark_group("baseline_pass");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let mut spec = SynthSpec::tiny();
+    spec.num_docs = 200;
+    spec.vocab_size = 300;
+    spec.avg_doc_len = 40.0;
+    let corpus = spec.generate();
+    let k = 64;
+    g.bench_function("warplda", |b| {
+        let mut s = WarpLda::new(&corpus, k, Priors::paper(k), 1);
+        b.iter(|| black_box(s.iterate()))
+    });
+    g.bench_function("sparse_cgs", |b| {
+        let mut s = SparseCgs::new(&corpus, k, Priors::paper(k), 1);
+        b.iter(|| black_box(s.iterate()))
+    });
+    g.bench_function("dense_cgs", |b| {
+        let mut s = TimedDenseCgs::new(&corpus, k, Priors::paper(k), 1);
+        b.iter(|| black_box(s.iterate(&corpus)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sync, bench_baseline_pass);
+criterion_main!(benches);

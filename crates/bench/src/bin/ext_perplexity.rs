@@ -1,0 +1,93 @@
+//! Extension experiment: held-out perplexity vs training iterations.
+//!
+//! The paper evaluates with the joint log-likelihood of the *training*
+//! data (Figure 8). The complementary — and for deployment, decisive —
+//! view is generalization: perplexity of documents the model never saw,
+//! via fold-in inference. This harness trains CuLDA on a 90% split and
+//! scores the held-out 10% at a fixed cadence, alongside the WarpLDA
+//! baseline trained on the same split.
+
+use culda_baselines::WarpLda;
+use culda_bench::{banner, user_iters, user_scale, write_result};
+use culda_corpus::{Corpus, SynthSpec, Vocab};
+use culda_gpusim::Platform;
+use culda_metrics::{Figure, Series};
+use culda_multigpu::{CuldaTrainer, TrainerConfig};
+use culda_sampler::{FoldIn, Priors};
+
+const K: usize = 256;
+
+fn split_corpus() -> (Corpus, Vec<Vec<u32>>) {
+    let full = SynthSpec::nytimes_like(0.003 * user_scale()).generate();
+    let cut = full.num_docs() * 9 / 10;
+    let train = Corpus::new(
+        full.docs[..cut].to_vec(),
+        Vocab::synthetic(full.vocab_size()),
+    );
+    let held: Vec<Vec<u32>> = full.docs[cut..]
+        .iter()
+        .map(|d| d.words.clone())
+        .filter(|d| !d.is_empty())
+        .collect();
+    (train, held)
+}
+
+fn main() {
+    let iters = user_iters(30);
+    let cadence = 5u32;
+    banner(
+        "Extension — held-out perplexity vs training iterations",
+        &format!("K = {K}, {iters} iterations, scored every {cadence}"),
+    );
+    let (train, held) = split_corpus();
+    println!(
+        "train: {} docs / {} tokens; held out: {} docs\n",
+        train.num_docs(),
+        train.num_tokens(),
+        held.len()
+    );
+
+    // CuLDA (Volta sim): snapshot perplexity during training.
+    let cfg = TrainerConfig::new(K, Platform::volta().with_gpus(1))
+        .with_iterations(iters)
+        .with_score_every(0);
+    let mut trainer = CuldaTrainer::new(&train, cfg);
+    let mut culda_points = Vec::new();
+    for i in 0..iters {
+        trainer.step();
+        if (i + 1) % cadence == 0 {
+            let fold = FoldIn::new(trainer.global_phi());
+            let ppl = fold.perplexity(&held, 15, 7);
+            culda_points.push(((i + 1) as f64, ppl));
+        }
+    }
+
+    // WarpLDA on the same split, exporting its ϕ for the same scorer.
+    let mut warp = WarpLda::new(&train, K, Priors::paper(K), 7);
+    let mut warp_points = Vec::new();
+    for i in 0..iters {
+        warp.iterate();
+        if (i + 1) % cadence == 0 {
+            let phi = warp.export_phi();
+            let fold = FoldIn::new(&phi);
+            warp_points.push(((i + 1) as f64, fold.perplexity(&held, 15, 7)));
+        }
+    }
+
+    let mut fig = Figure::new("Extension — perplexity", "iteration", "held_out_perplexity");
+    fig.push(Series::new("CuLDA (Volta)", culda_points.clone()));
+    fig.push(Series::new("WarpLDA", warp_points));
+    print!("{}", fig.to_ascii(40));
+
+    let first = culda_points.first().map(|p| p.1).unwrap_or(f64::NAN);
+    let last = culda_points.last().map(|p| p.1).unwrap_or(f64::NAN);
+    println!(
+        "\nperplexity {first:.1} -> {last:.1} over training (uniform would be {})",
+        train.vocab_size()
+    );
+    assert!(
+        last < first,
+        "held-out perplexity should improve with training"
+    );
+    write_result("ext_perplexity.csv", &fig.to_csv());
+}

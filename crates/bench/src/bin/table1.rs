@@ -1,0 +1,50 @@
+//! Regenerates **Table 1**: Flops/Byte of each step of one LDA sampling,
+//! and the Section 3.1 memory-bound conclusion.
+
+use culda_bench::{banner, write_result};
+use culda_metrics::roofline::{average_intensity, Roofline, SamplingStep};
+
+fn main() {
+    banner(
+        "Table 1 — Flops/Byte of each step of one LDA sampling",
+        "analytical model; paper values: 0.33 / 0.25 / 0.30 / 0.19, avg 0.27",
+    );
+    println!(
+        "{:<24} {:<34} {:>8} {:>8}",
+        "Step", "Formula", "Paper", "Ours"
+    );
+    let paper = [0.33, 0.25, 0.30, 0.19];
+    let mut csv = String::from("step,formula,paper,ours\n");
+    for (step, paper_v) in SamplingStep::ALL.into_iter().zip(paper) {
+        let ours = step.flops_per_byte();
+        println!(
+            "{:<24} {:<34} {:>8.2} {:>8.2}",
+            step.name(),
+            step.formula(),
+            paper_v,
+            ours
+        );
+        csv.push_str(&format!(
+            "{},{},{paper_v},{ours}\n",
+            step.name(),
+            step.formula().replace(',', ";")
+        ));
+    }
+    let avg = average_intensity();
+    println!("{:<59} {:>8.2} {:>8.2}", "Average", 0.27, avg);
+    csv.push_str(&format!("average,,0.27,{avg}\n"));
+
+    let cpu = Roofline::REFERENCE_CPU;
+    println!(
+        "\nReference CPU balance: {:.1} GFLOPS / {:.1} GB/s = {:.2} Flops/Byte",
+        cpu.peak_gflops,
+        cpu.peak_gbps,
+        cpu.balance()
+    );
+    println!(
+        "LDA average intensity {avg:.2} < {:.2} -> LDA is MEMORY BOUND (Section 3.1 conclusion)",
+        cpu.balance()
+    );
+    assert!(cpu.is_memory_bound(avg));
+    write_result("table1.csv", &csv);
+}

@@ -1,0 +1,133 @@
+//! A small, dependency-free command-line flag parser.
+//!
+//! `--key value` and `--flag` styles; positionals collected in order.
+//! Deliberately minimal — the CLI has a handful of stable options and the
+//! workspace avoids external argument-parsing dependencies.
+
+use std::collections::HashMap;
+
+/// Parsed command line: the subcommand, its flags, and positionals.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// First non-flag token (the subcommand).
+    pub command: Option<String>,
+    flags: HashMap<String, String>,
+    positionals: Vec<String>,
+}
+
+/// Errors produced while parsing or validating arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses raw tokens (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Self, ArgError> {
+        let mut out = Args::default();
+        let mut it = tokens.into_iter().peekable();
+        while let Some(tok) = it.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                if name.is_empty() {
+                    return Err(ArgError("stray `--`".into()));
+                }
+                // `--key=value` or `--key value` or boolean `--key`.
+                if let Some((k, v)) = name.split_once('=') {
+                    out.flags.insert(k.to_string(), v.to_string());
+                } else if it.peek().is_some_and(|n| !n.starts_with("--")) {
+                    out.flags.insert(name.to_string(), it.next().unwrap());
+                } else {
+                    out.flags.insert(name.to_string(), String::from("true"));
+                }
+            } else if out.command.is_none() {
+                out.command = Some(tok);
+            } else {
+                out.positionals.push(tok);
+            }
+        }
+        Ok(out)
+    }
+
+    /// String flag with a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.flags.get(key).map(String::as_str).unwrap_or(default)
+    }
+
+    /// Required string flag.
+    pub fn require(&self, key: &str) -> Result<&str, ArgError> {
+        self.flags
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| ArgError(format!("missing required flag --{key}")))
+    }
+
+    /// Parsed numeric flag with default.
+    pub fn num_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{key} {v:?} is not a valid number"))),
+        }
+    }
+
+    /// Boolean flag (present → true).
+    pub fn bool(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
+    }
+
+    /// Positional arguments.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn parses_command_flags_and_positionals() {
+        let a = parse("train --topics 64 --seed=9 extra.txt --verbose");
+        assert_eq!(a.command.as_deref(), Some("train"));
+        assert_eq!(a.get_or("topics", "1"), "64");
+        assert_eq!(a.get_or("seed", "0"), "9");
+        assert!(a.bool("verbose"));
+        assert_eq!(a.positionals(), &["extra.txt".to_string()]);
+    }
+
+    #[test]
+    fn numeric_parsing_and_defaults() {
+        let a = parse("x --k 128");
+        assert_eq!(a.num_or::<usize>("k", 1).unwrap(), 128);
+        assert_eq!(a.num_or::<usize>("missing", 7).unwrap(), 7);
+        assert!(a.num_or::<usize>("k", 1).is_ok());
+        let b = parse("x --k notanumber foo");
+        assert!(b.num_or::<usize>("k", 1).is_err());
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let a = parse("train");
+        assert!(a.require("model").is_err());
+        assert_eq!(parse("t --model m.phi").require("model").unwrap(), "m.phi");
+    }
+
+    #[test]
+    fn boolean_then_positional_disambiguation() {
+        // `--flag value` consumes value; `--flag --other` does not.
+        let a = parse("cmd --dry-run --out path");
+        assert!(a.bool("dry-run"));
+        assert_eq!(a.get_or("out", ""), "path");
+    }
+}

@@ -1,0 +1,352 @@
+//! CLI subcommand implementations.
+
+use crate::args::{ArgError, Args};
+use culda_corpus::{read_uci, write_uci, Corpus, SynthSpec};
+use culda_gpusim::Platform;
+use culda_metrics::format_tokens_per_sec;
+use culda_multigpu::{CuldaTrainer, TrainerConfig};
+use culda_sampler::{load_phi, save_phi, FoldIn};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+/// Any command error: bad arguments or I/O.
+pub type CmdResult = Result<(), Box<dyn std::error::Error>>;
+
+fn err(msg: impl Into<String>) -> Box<dyn std::error::Error> {
+    Box::new(ArgError(msg.into()))
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+culda — CuLDA_CGS topic modeling (Rust reproduction)
+
+USAGE:
+  culda generate --preset <tiny|nytimes|pubmed> [--scale F] [--seed N]
+                 --docword PATH --vocab PATH
+  culda train    --docword PATH --vocab PATH --model OUT.phi
+                 [--topics K] [--iters N] [--platform maxwell|pascal|volta]
+                 [--gpus G] [--seed N] [--score-every N]
+                 [--resume STATE] [--save-state STATE]
+  culda topics   --model M.phi --vocab PATH [--top N]
+  culda infer    --model M.phi --docword PATH --vocab PATH [--iters N]
+  culda info     --model M.phi
+  culda profile  --docword PATH --vocab PATH [--topics K] [--iters N]
+                 [--platform maxwell|pascal|volta] [--gpus G]
+";
+
+fn load_corpus(args: &Args) -> Result<Corpus, Box<dyn std::error::Error>> {
+    let docword = args.require("docword")?;
+    let vocab = args.require("vocab")?;
+    let corpus = read_uci(
+        BufReader::new(File::open(docword)?),
+        BufReader::new(File::open(vocab)?),
+    )?;
+    Ok(corpus)
+}
+
+fn platform(args: &Args) -> Result<Platform, Box<dyn std::error::Error>> {
+    let name = args.get_or("platform", "volta");
+    let mut p = match name {
+        "maxwell" | "titan" => Platform::maxwell(),
+        "pascal" => Platform::pascal(),
+        "volta" => Platform::volta(),
+        other => return Err(err(format!("unknown platform {other:?}"))),
+    };
+    let gpus: usize = args.num_or("gpus", p.num_gpus)?;
+    if gpus < 1 || gpus > p.num_gpus {
+        return Err(err(format!(
+            "--gpus {gpus} out of range for {} (1..={})",
+            p.name, p.num_gpus
+        )));
+    }
+    p.num_gpus = gpus;
+    Ok(p)
+}
+
+/// `culda generate` — write a synthetic corpus in UCI format.
+pub fn generate(args: &Args) -> CmdResult {
+    let scale: f64 = args.num_or("scale", 0.001)?;
+    let seed: u64 = args.num_or("seed", 0xC01DA)?;
+    let mut spec = match args.get_or("preset", "tiny") {
+        "tiny" => SynthSpec::tiny(),
+        "nytimes" => SynthSpec::nytimes_like(scale),
+        "pubmed" => SynthSpec::pubmed_like(scale),
+        other => return Err(err(format!("unknown preset {other:?}"))),
+    };
+    spec.seed = seed;
+    let corpus = spec.generate();
+    let docword = args.require("docword")?;
+    let vocab = args.require("vocab")?;
+    write_uci(
+        &corpus,
+        BufWriter::new(File::create(docword)?),
+        BufWriter::new(File::create(vocab)?),
+    )?;
+    println!(
+        "wrote {} docs / {} tokens / V = {} to {docword} + {vocab}",
+        corpus.num_docs(),
+        corpus.num_tokens(),
+        corpus.vocab_size()
+    );
+    Ok(())
+}
+
+/// `culda train` — train and checkpoint a model.
+pub fn train(args: &Args) -> CmdResult {
+    let corpus = load_corpus(args)?;
+    let topics: usize = args.num_or("topics", 64)?;
+    let iters: u32 = args.num_or("iters", 100)?;
+    let score_every: u32 = args.num_or("score-every", 10)?;
+    let seed: u64 = args.num_or("seed", 0xC01DA)?;
+    let model_path = args.require("model")?;
+    let platform = platform(args)?;
+    println!(
+        "training K = {topics} for {iters} iterations on {} ({} GPU(s))",
+        platform.name, platform.num_gpus
+    );
+    let cfg = TrainerConfig::new(topics, platform)
+        .with_iterations(iters)
+        .with_score_every(score_every)
+        .with_seed(seed);
+    let mut trainer = match args.require("resume") {
+        Ok(state_path) => {
+            let t = culda_multigpu::resume_training(
+                &corpus,
+                cfg,
+                BufReader::new(File::open(state_path)?),
+            )?;
+            println!("resumed from {state_path} at iteration {}", t.iterations_done());
+            t
+        }
+        Err(_) => CuldaTrainer::new(&corpus, cfg),
+    };
+    println!("plan: M = {}, C = {}", trainer.plan().m, trainer.plan().c);
+    for i in 0..iters {
+        let stat = trainer.step();
+        if let Some(ll) = stat.loglik_per_token {
+            println!(
+                "iter {:>4}  {:>10}/s  loglik/token {ll:.4}",
+                i,
+                format_tokens_per_sec(stat.tokens_per_sec())
+            );
+        }
+    }
+    save_phi(trainer.global_phi(), BufWriter::new(File::create(model_path)?))?;
+    if let Ok(state_path) = args.require("save-state") {
+        culda_multigpu::save_training(&trainer, BufWriter::new(File::create(state_path)?))?;
+        println!("training state saved to {state_path}");
+    }
+    println!(
+        "final loglik/token {:.4}; model saved to {model_path}",
+        trainer.loglik_per_token()
+    );
+    Ok(())
+}
+
+/// `culda topics` — print the top words per topic of a checkpoint.
+pub fn topics(args: &Args) -> CmdResult {
+    let model = load_phi(BufReader::new(File::open(args.require("model")?)?))?;
+    let vocab_path = args.require("vocab")?;
+    let top: usize = args.num_or("top", 10)?;
+    let vocab: Vec<String> = std::io::BufRead::lines(BufReader::new(File::open(vocab_path)?))
+        .collect::<Result<_, _>>()?;
+    if vocab.len() != model.vocab_size {
+        return Err(err(format!(
+            "vocab has {} words, model expects {}",
+            vocab.len(),
+            model.vocab_size
+        )));
+    }
+    for k in 0..model.num_topics {
+        let words: Vec<String> = model
+            .top_words(k, top)
+            .into_iter()
+            .map(|(w, c)| format!("{}({c})", vocab[w as usize]))
+            .collect();
+        println!("topic {k:>4}: {}", words.join(" "));
+    }
+    Ok(())
+}
+
+/// `culda infer` — fold held-out documents into a checkpointed model and
+/// report perplexity.
+pub fn infer(args: &Args) -> CmdResult {
+    let model = load_phi(BufReader::new(File::open(args.require("model")?)?))?;
+    let corpus = load_corpus(args)?;
+    if corpus.vocab_size() != model.vocab_size {
+        return Err(err(format!(
+            "held-out vocabulary {} != model vocabulary {}",
+            corpus.vocab_size(),
+            model.vocab_size
+        )));
+    }
+    let iters: u32 = args.num_or("iters", 20)?;
+    let fold = FoldIn::new(&model);
+    let docs: Vec<Vec<u32>> = corpus.docs.iter().map(|d| d.words.clone()).collect();
+    let perplexity = fold.perplexity(&docs, iters, 0xF01D);
+    println!(
+        "held-out perplexity over {} docs / {} tokens: {perplexity:.2}",
+        corpus.num_docs(),
+        corpus.num_tokens()
+    );
+    Ok(())
+}
+
+/// `culda info` — describe a checkpoint.
+pub fn info(args: &Args) -> CmdResult {
+    let model = load_phi(BufReader::new(File::open(args.require("model")?)?))?;
+    let tokens = model.check_sums();
+    println!("CuLDA phi checkpoint");
+    println!("  topics (K):     {}", model.num_topics);
+    println!("  vocabulary (V): {}", model.vocab_size);
+    println!("  alpha / beta:   {} / {}", model.priors.alpha, model.priors.beta);
+    println!("  total tokens:   {tokens}");
+    let nonzero = (0..model.phi.len()).filter(|&i| model.phi.load(i) != 0).count();
+    println!(
+        "  phi density:    {:.2}% ({nonzero} of {} entries)",
+        100.0 * nonzero as f64 / model.phi.len() as f64,
+        model.phi.len()
+    );
+    Ok(())
+}
+
+/// `culda profile` — run a few iterations and print the per-kernel launch
+/// profile plus the Table 5-style phase breakdown.
+pub fn profile_cmd(args: &Args) -> CmdResult {
+    let corpus = load_corpus(args)?;
+    let topics: usize = args.num_or("topics", 64)?;
+    let iters: u32 = args.num_or("iters", 5)?;
+    let platform = platform(args)?;
+    let cfg = TrainerConfig::new(topics, platform)
+        .with_iterations(iters)
+        .with_score_every(0);
+    let mut trainer = CuldaTrainer::new(&corpus, cfg);
+    for _ in 0..iters {
+        trainer.step();
+    }
+    println!("kernel profile over {iters} iterations:\n");
+    print!("{}", trainer.profile().render());
+    println!("\nphase breakdown (Table 5 form):");
+    for (phase, pct) in trainer.breakdown().percent_rows() {
+        println!("  {:<14} {pct:>6.1}%", phase.name());
+    }
+    println!(
+        "\nthroughput: {}/s",
+        culda_metrics::format_tokens_per_sec(
+            trainer.history().avg_tokens_per_sec(iters as usize)
+        )
+    );
+    Ok(())
+}
+
+/// Dispatches a parsed command line.
+pub fn dispatch(args: &Args) -> CmdResult {
+    if !args.positionals().is_empty() {
+        return Err(err(format!(
+            "unexpected positional arguments {:?} — all options are --flags\n\n{USAGE}",
+            args.positionals()
+        )));
+    }
+    match args.command.as_deref() {
+        Some("generate") => generate(args),
+        Some("train") => train(args),
+        Some("topics") => topics(args),
+        Some("infer") => infer(args),
+        Some("info") => info(args),
+        Some("profile") => profile_cmd(args),
+        Some(other) => Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
+        None => Err(err(USAGE.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("culda-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn full_cli_round_trip() {
+        let docword = tmp("c.docword");
+        let vocab = tmp("c.vocab");
+        let model = tmp("c.phi");
+        generate(&args(&format!(
+            "generate --preset tiny --seed 5 --docword {} --vocab {}",
+            docword.display(),
+            vocab.display()
+        )))
+        .unwrap();
+        train(&args(&format!(
+            "train --docword {} --vocab {} --model {} --topics 8 --iters 5 \
+             --score-every 0 --platform maxwell",
+            docword.display(),
+            vocab.display(),
+            model.display()
+        )))
+        .unwrap();
+        topics(&args(&format!(
+            "topics --model {} --vocab {} --top 3",
+            model.display(),
+            vocab.display()
+        )))
+        .unwrap();
+        infer(&args(&format!(
+            "infer --model {} --docword {} --vocab {} --iters 3",
+            model.display(),
+            docword.display(),
+            vocab.display()
+        )))
+        .unwrap();
+        info(&args(&format!("info --model {}", model.display()))).unwrap();
+        // Save-state / resume round trip through the CLI surface.
+        let state = tmp("c.state");
+        train(&args(&format!(
+            "train --docword {} --vocab {} --model {} --topics 8 --iters 2              --score-every 0 --platform maxwell --save-state {}",
+            docword.display(),
+            vocab.display(),
+            model.display(),
+            state.display()
+        )))
+        .unwrap();
+        train(&args(&format!(
+            "train --docword {} --vocab {} --model {} --topics 8 --iters 2              --score-every 0 --platform maxwell --resume {}",
+            docword.display(),
+            vocab.display(),
+            model.display(),
+            state.display()
+        )))
+        .unwrap();
+        profile_cmd(&args(&format!(
+            "profile --docword {} --vocab {} --topics 8 --iters 2 --platform maxwell",
+            docword.display(),
+            vocab.display()
+        )))
+        .unwrap();
+    }
+
+    #[test]
+    fn unknown_command_and_platform_are_rejected() {
+        assert!(dispatch(&args("frobnicate")).is_err());
+        assert!(dispatch(&args("")).is_err());
+        let e = platform(&args("train --platform tpu")).unwrap_err();
+        assert!(e.to_string().contains("unknown platform"));
+        assert!(platform(&args("train --platform pascal --gpus 9")).is_err());
+    }
+
+    #[test]
+    fn generate_rejects_unknown_preset() {
+        let e = generate(&args(
+            "generate --preset wikipedia --docword /dev/null --vocab /dev/null",
+        ))
+        .unwrap_err();
+        assert!(e.to_string().contains("unknown preset"));
+    }
+}

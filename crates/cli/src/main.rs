@@ -1,0 +1,24 @@
+//! `culda` — command-line front-end for the CuLDA_CGS reproduction:
+//! generate corpora, train models on simulated GPU platforms, inspect
+//! topics, fold in held-out documents.
+
+mod args;
+mod commands;
+
+fn main() {
+    let parsed = match args::Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if parsed.bool("help") || parsed.bool("h") {
+        println!("{}", commands::USAGE);
+        return;
+    }
+    if let Err(e) = commands::dispatch(&parsed) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,136 @@
+//! Documents and corpora: the token-level input of LDA.
+//!
+//! A token is one occurrence of a word in a document; a document is a bag of
+//! tokens; a corpus is `D` documents over a vocabulary of `V` words
+//! (Section 2.1). Documents are stored flat (one `Vec<u32>` of word ids per
+//! document) because every consumer — chunking, word-first sorting, the CPU
+//! baselines — streams tokens rather than querying random positions.
+
+use crate::vocab::Vocab;
+
+/// One document: the word id of each token, in document order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Document {
+    /// Word ids of the tokens.
+    pub words: Vec<u32>,
+}
+
+impl Document {
+    /// Creates a document from word ids.
+    pub fn new(words: Vec<u32>) -> Self {
+        Self { words }
+    }
+
+    /// Number of tokens (`DocLen_d` in Eq. 5).
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the document has no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+/// A corpus: documents plus their vocabulary.
+#[derive(Debug, Clone, Default)]
+pub struct Corpus {
+    /// The documents, `Doc_0 … Doc_{D-1}`.
+    pub docs: Vec<Document>,
+    /// The shared vocabulary.
+    pub vocab: Vocab,
+    num_tokens: u64,
+}
+
+impl Corpus {
+    /// Builds a corpus, computing token totals and word frequencies.
+    ///
+    /// # Panics
+    /// Panics if any document references a word id outside the vocabulary.
+    pub fn new(docs: Vec<Document>, mut vocab: Vocab) -> Self {
+        let v = vocab.len() as u32;
+        let mut num_tokens = 0u64;
+        for doc in &docs {
+            for &w in &doc.words {
+                assert!(w < v, "word id {w} out of vocabulary (V={v})");
+                vocab.add_count(w, 1);
+            }
+            num_tokens += doc.len() as u64;
+        }
+        Self {
+            docs,
+            vocab,
+            num_tokens,
+        }
+    }
+
+    /// Number of documents (`D`).
+    pub fn num_docs(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Number of tokens (`T`).
+    pub fn num_tokens(&self) -> u64 {
+        self.num_tokens
+    }
+
+    /// Vocabulary size (`V`).
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Mean document length, the statistic behind the paper's NYTimes (332)
+    /// vs PubMed (92) warm-up observation.
+    pub fn avg_doc_len(&self) -> f64 {
+        assert!(!self.docs.is_empty(), "empty corpus has no average length");
+        self.num_tokens as f64 / self.num_docs() as f64
+    }
+
+    /// Iterates `(doc_id, word_id)` over every token.
+    pub fn tokens(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.docs.iter().enumerate().flat_map(|(d, doc)| {
+            doc.words.iter().map(move |&w| (d as u32, w))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Corpus {
+        let vocab = Vocab::synthetic(3);
+        Corpus::new(
+            vec![
+                Document::new(vec![0, 1, 1]),
+                Document::new(vec![2]),
+                Document::new(vec![]),
+            ],
+            vocab,
+        )
+    }
+
+    #[test]
+    fn totals_and_counts() {
+        let c = tiny();
+        assert_eq!(c.num_docs(), 3);
+        assert_eq!(c.num_tokens(), 4);
+        assert_eq!(c.vocab_size(), 3);
+        assert_eq!(c.vocab.count(1), 2);
+        assert_eq!(c.vocab.count(2), 1);
+        assert!((c.avg_doc_len() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn token_iteration_order() {
+        let c = tiny();
+        let toks: Vec<_> = c.tokens().collect();
+        assert_eq!(toks, vec![(0, 0), (0, 1), (0, 1), (1, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn rejects_out_of_vocab_ids() {
+        Corpus::new(vec![Document::new(vec![5])], Vocab::synthetic(2));
+    }
+}

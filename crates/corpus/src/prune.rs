@@ -1,0 +1,218 @@
+//! Vocabulary pruning: the standard LDA preprocessing step.
+//!
+//! The UCI corpora the paper uses are already stop-worded, but any real
+//! pipeline prunes before training: drop words that appear in too few
+//! documents (noise, OCR junk) or in too many (stopwords), and optionally
+//! cap the vocabulary at the most frequent `N` survivors. Pruning remaps
+//! word ids densely (the samplers index ϕ by word id, so gaps would waste
+//! `K × gaps` counters).
+
+use crate::document::{Corpus, Document};
+use crate::vocab::Vocab;
+
+/// Pruning thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PruneSpec {
+    /// Keep words appearing in at least this many documents.
+    pub min_doc_freq: u32,
+    /// Keep words appearing in at most this fraction of documents.
+    pub max_doc_fraction: f64,
+    /// After the frequency filters, keep only the `N` most frequent words
+    /// (`None` = no cap).
+    pub max_vocab: Option<usize>,
+}
+
+impl Default for PruneSpec {
+    fn default() -> Self {
+        Self {
+            min_doc_freq: 2,
+            max_doc_fraction: 0.5,
+            max_vocab: None,
+        }
+    }
+}
+
+/// Result of pruning: the new corpus plus the old→new id map.
+#[derive(Debug)]
+pub struct Pruned {
+    /// The corpus over the surviving vocabulary (tokens of dropped words
+    /// are removed; documents may shrink or become empty).
+    pub corpus: Corpus,
+    /// `old_to_new[old_id] = Some(new_id)` for survivors.
+    pub old_to_new: Vec<Option<u32>>,
+}
+
+/// Applies `spec` to `corpus`.
+///
+/// # Panics
+/// Panics if every word would be pruned — a corpus with no vocabulary
+/// cannot be trained on, and silently returning one would only move the
+/// failure later.
+pub fn prune_vocab(corpus: &Corpus, spec: &PruneSpec) -> Pruned {
+    assert!(
+        (0.0..=1.0).contains(&spec.max_doc_fraction),
+        "max_doc_fraction must be a fraction"
+    );
+    let v = corpus.vocab_size();
+    let d = corpus.num_docs();
+    // Document frequencies.
+    let mut doc_freq = vec![0u32; v];
+    let mut seen_in_doc = vec![u32::MAX; v];
+    for (di, doc) in corpus.docs.iter().enumerate() {
+        for &w in &doc.words {
+            if seen_in_doc[w as usize] != di as u32 {
+                seen_in_doc[w as usize] = di as u32;
+                doc_freq[w as usize] += 1;
+            }
+        }
+    }
+    let max_df = (spec.max_doc_fraction * d as f64).floor() as u32;
+    let mut survivors: Vec<u32> = (0..v as u32)
+        .filter(|&w| {
+            let df = doc_freq[w as usize];
+            df >= spec.min_doc_freq && df <= max_df
+        })
+        .collect();
+    if let Some(cap) = spec.max_vocab {
+        survivors.sort_by_key(|&w| (std::cmp::Reverse(corpus.vocab.count(w)), w));
+        survivors.truncate(cap);
+        survivors.sort_unstable();
+    }
+    assert!(
+        !survivors.is_empty(),
+        "pruning removed the entire vocabulary (min_df = {}, max_frac = {})",
+        spec.min_doc_freq,
+        spec.max_doc_fraction
+    );
+
+    let mut old_to_new = vec![None; v];
+    let mut new_vocab = Vocab::new();
+    for &w in &survivors {
+        let new_id = new_vocab.intern(corpus.vocab.word(w));
+        old_to_new[w as usize] = Some(new_id);
+    }
+    let docs: Vec<Document> = corpus
+        .docs
+        .iter()
+        .map(|doc| {
+            Document::new(
+                doc.words
+                    .iter()
+                    .filter_map(|&w| old_to_new[w as usize])
+                    .collect(),
+            )
+        })
+        .collect();
+    Pruned {
+        corpus: Corpus::new(docs, new_vocab),
+        old_to_new,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// word 0: in every doc (stopword); word 1: in 1 doc (rare);
+    /// words 2,3: in 2 docs each (keepers).
+    fn corpus() -> Corpus {
+        Corpus::new(
+            vec![
+                Document::new(vec![0, 2, 3]),
+                Document::new(vec![0, 2, 1]),
+                Document::new(vec![0, 3]),
+            ],
+            Vocab::synthetic(4),
+        )
+    }
+
+    #[test]
+    fn drops_stopwords_and_rare_words() {
+        let pruned = prune_vocab(
+            &corpus(),
+            &PruneSpec {
+                min_doc_freq: 2,
+                max_doc_fraction: 0.9, // word 0 is in 100% of docs
+                max_vocab: None,
+            },
+        );
+        assert_eq!(pruned.corpus.vocab_size(), 2);
+        assert_eq!(pruned.old_to_new[0], None, "stopword dropped");
+        assert_eq!(pruned.old_to_new[1], None, "rare word dropped");
+        assert!(pruned.old_to_new[2].is_some());
+        assert!(pruned.old_to_new[3].is_some());
+        // Tokens of dropped words vanish; survivors keep document order.
+        assert_eq!(pruned.corpus.num_tokens(), 4);
+        assert_eq!(pruned.corpus.docs[2].words.len(), 1);
+    }
+
+    #[test]
+    fn word_strings_survive_remapping() {
+        let pruned = prune_vocab(
+            &corpus(),
+            &PruneSpec {
+                min_doc_freq: 2,
+                max_doc_fraction: 0.9,
+                max_vocab: None,
+            },
+        );
+        let new_id = pruned.old_to_new[2].unwrap();
+        assert_eq!(pruned.corpus.vocab.word(new_id), "w000002");
+    }
+
+    #[test]
+    fn vocab_cap_keeps_the_most_frequent() {
+        // Both 2 and 3 have df = 2, but word 2 has 2 tokens vs 3's 2…
+        // make counts distinct: add another token of word 3.
+        let c = Corpus::new(
+            vec![
+                Document::new(vec![2, 3, 3]),
+                Document::new(vec![2, 3]),
+                Document::new(vec![3]),
+            ],
+            Vocab::synthetic(4),
+        );
+        let pruned = prune_vocab(
+            &c,
+            &PruneSpec {
+                min_doc_freq: 1,
+                max_doc_fraction: 1.0,
+                max_vocab: Some(1),
+            },
+        );
+        assert_eq!(pruned.corpus.vocab_size(), 1);
+        assert!(pruned.old_to_new[3].is_some(), "word 3 is most frequent");
+        assert!(pruned.old_to_new[2].is_none());
+    }
+
+    #[test]
+    fn noop_spec_preserves_the_corpus() {
+        let c = corpus();
+        let pruned = prune_vocab(
+            &c,
+            &PruneSpec {
+                min_doc_freq: 0,
+                max_doc_fraction: 1.0,
+                max_vocab: None,
+            },
+        );
+        assert_eq!(pruned.corpus.num_tokens(), c.num_tokens());
+        assert_eq!(pruned.corpus.vocab_size(), c.vocab_size());
+        for (a, b) in c.docs.iter().zip(&pruned.corpus.docs) {
+            assert_eq!(a.words, b.words);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "entire vocabulary")]
+    fn pruning_everything_panics() {
+        prune_vocab(
+            &corpus(),
+            &PruneSpec {
+                min_doc_freq: 100,
+                max_doc_fraction: 1.0,
+                max_vocab: None,
+            },
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Dataset statistics — the paper's Table 3.
+
+use crate::document::Corpus;
+
+/// Summary statistics of a dataset, in Table 3's columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Dataset display name.
+    pub name: String,
+    /// `#Tokens (T)`.
+    pub tokens: u64,
+    /// `#Documents (D)`.
+    pub docs: u64,
+    /// `#Words (V)`.
+    pub words: u64,
+}
+
+impl DatasetStats {
+    /// The paper's NYTimes row of Table 3.
+    pub fn paper_nytimes() -> Self {
+        Self {
+            name: "NYTimes (paper)".into(),
+            tokens: 99_542_125,
+            docs: 299_752,
+            words: 101_636,
+        }
+    }
+
+    /// The paper's PubMed row of Table 3.
+    pub fn paper_pubmed() -> Self {
+        Self {
+            name: "PubMed (paper)".into(),
+            tokens: 737_869_083,
+            docs: 8_200_000,
+            words: 141_043,
+        }
+    }
+
+    /// Measures a corpus.
+    pub fn from_corpus(name: impl Into<String>, corpus: &Corpus) -> Self {
+        Self {
+            name: name.into(),
+            tokens: corpus.num_tokens(),
+            docs: corpus.num_docs() as u64,
+            words: corpus.vocab_size() as u64,
+        }
+    }
+
+    /// Mean document length (the paper quotes 332 for NYTimes, 92 for
+    /// PubMed when explaining Figure 7).
+    pub fn avg_doc_len(&self) -> f64 {
+        assert!(self.docs > 0, "no documents");
+        self.tokens as f64 / self.docs as f64
+    }
+
+    /// One formatted row for the Table 3 harness.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<24} {:>14} {:>12} {:>10} {:>10.1}",
+            self.name,
+            self.tokens,
+            self.docs,
+            self.words,
+            self.avg_doc_len()
+        )
+    }
+
+    /// Table header matching [`DatasetStats::row`].
+    pub fn header() -> String {
+        format!(
+            "{:<24} {:>14} {:>12} {:>10} {:>10}",
+            "Dataset", "#Tokens(T)", "#Docs(D)", "#Words(V)", "AvgLen"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SynthSpec;
+
+    #[test]
+    fn paper_rows_match_table3() {
+        let ny = DatasetStats::paper_nytimes();
+        assert_eq!(ny.tokens, 99_542_125);
+        assert_eq!(ny.docs, 299_752);
+        assert_eq!(ny.words, 101_636);
+        assert!((ny.avg_doc_len() - 332.0).abs() < 1.0);
+        let pm = DatasetStats::paper_pubmed();
+        assert!((pm.avg_doc_len() - 90.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn measures_generated_corpus() {
+        let c = SynthSpec::tiny().generate();
+        let s = DatasetStats::from_corpus("tiny", &c);
+        assert_eq!(s.tokens, c.num_tokens());
+        assert_eq!(s.docs as usize, c.num_docs());
+        assert_eq!(s.words as usize, c.vocab_size());
+    }
+
+    #[test]
+    fn rows_align_with_header() {
+        let h = DatasetStats::header();
+        let r = DatasetStats::paper_nytimes().row();
+        assert_eq!(h.len(), r.len());
+    }
+}

@@ -1,0 +1,147 @@
+//! Plain-text ingestion: tokenize raw documents into a [`Corpus`].
+//!
+//! The UCI corpora arrive pre-tokenized, but a downstream user's data is
+//! text. This pipeline applies the same normalization the UCI sets were
+//! built with: lowercase, split on non-alphanumeric characters, drop short
+//! tokens and stopwords. It is deliberately small — LDA needs a bag of
+//! word ids, not NLP.
+
+use crate::document::{Corpus, Document};
+use crate::vocab::Vocab;
+use std::collections::HashSet;
+
+/// Tokenization settings.
+#[derive(Debug, Clone)]
+pub struct TextPipeline {
+    /// Minimum token length in characters (UCI used 3).
+    pub min_token_len: usize,
+    /// Lowercased stopwords to drop.
+    pub stopwords: HashSet<String>,
+}
+
+impl Default for TextPipeline {
+    fn default() -> Self {
+        Self {
+            min_token_len: 3,
+            stopwords: default_stopwords(),
+        }
+    }
+}
+
+/// A small English stopword list (the most frequent function words; the
+/// UCI preprocessing used a similar list).
+pub fn default_stopwords() -> HashSet<String> {
+    [
+        "the", "and", "for", "are", "but", "not", "you", "all", "any", "can", "her", "was",
+        "one", "our", "out", "has", "have", "had", "his", "she", "they", "them", "this",
+        "that", "with", "from", "will", "would", "there", "their", "what", "which", "when",
+        "who", "how", "were", "been", "being", "into", "than", "then", "its", "also", "these",
+        "those", "said", "each", "such", "some", "more", "most", "other", "about", "after",
+        "before", "between", "because", "does", "did", "doing", "your", "over", "under",
+    ]
+    .into_iter()
+    .map(String::from)
+    .collect()
+}
+
+impl TextPipeline {
+    /// Tokenizes one document's text.
+    pub fn tokenize<'a>(&'a self, text: &'a str) -> impl Iterator<Item = String> + 'a {
+        text.split(|c: char| !c.is_alphanumeric())
+            .filter(move |tok| tok.chars().count() >= self.min_token_len)
+            .map(|tok| tok.to_lowercase())
+            .filter(move |tok| !self.stopwords.contains(tok))
+    }
+
+    /// Builds a corpus from one string per document.
+    ///
+    /// # Panics
+    /// Panics if every document tokenizes to nothing — that is a pipeline
+    /// misconfiguration, not a corpus.
+    pub fn build_corpus<'a, I: IntoIterator<Item = &'a str>>(&self, texts: I) -> Corpus {
+        let mut vocab = Vocab::new();
+        let docs: Vec<Document> = texts
+            .into_iter()
+            .map(|text| {
+                Document::new(
+                    self.tokenize(text)
+                        .map(|tok| vocab.intern(&tok))
+                        .collect(),
+                )
+            })
+            .collect();
+        let corpus = Corpus::new(docs, vocab);
+        assert!(
+            corpus.num_tokens() > 0,
+            "tokenization produced an empty corpus"
+        );
+        corpus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_lowercases_and_filters() {
+        let p = TextPipeline::default();
+        let toks: Vec<String> = p
+            .tokenize("The GPU samples 1024 Topics, but I/O is slow!")
+            .collect();
+        assert_eq!(toks, vec!["gpu", "samples", "1024", "topics", "slow"]);
+    }
+
+    #[test]
+    fn min_length_is_configurable() {
+        let p = TextPipeline {
+            min_token_len: 5,
+            stopwords: HashSet::new(),
+        };
+        let toks: Vec<String> = p.tokenize("tiny words survive longest").collect();
+        assert_eq!(toks, vec!["words", "survive", "longest"]);
+    }
+
+    #[test]
+    fn builds_a_trainable_corpus() {
+        let p = TextPipeline::default();
+        let corpus = p.build_corpus([
+            "graphics processors sample topics quickly",
+            "topic models describe document collections",
+            "processors and collections",
+        ]);
+        assert_eq!(corpus.num_docs(), 3);
+        assert!(corpus.vocab_size() >= 8);
+        // Repeated words share one id.
+        let id_a = corpus.vocab.id_of("processors").unwrap();
+        assert_eq!(corpus.vocab.count(id_a), 2);
+        // Stopword "and" never interned.
+        assert!(corpus.vocab.id_of("and").is_none());
+    }
+
+    #[test]
+    fn empty_documents_are_allowed_if_corpus_is_not() {
+        let p = TextPipeline::default();
+        let corpus = p.build_corpus(["a an it", "meaningful content here"]);
+        assert_eq!(corpus.docs[0].words.len(), 0);
+        assert!(corpus.docs[1].words.len() >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty corpus")]
+    fn all_stopwords_panics() {
+        TextPipeline::default().build_corpus(["the and for", "but not you"]);
+    }
+
+    #[test]
+    fn unicode_is_handled() {
+        let p = TextPipeline {
+            min_token_len: 2,
+            stopwords: HashSet::new(),
+        };
+        let toks: Vec<String> = p.tokenize("Überraschung naïve café 東京タワー").collect();
+        assert!(toks.contains(&"überraschung".to_string()));
+        assert!(toks.contains(&"café".to_string()));
+        assert!(toks.contains(&"東京タワー".to_string()));
+    }
+}

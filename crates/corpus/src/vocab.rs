@@ -1,0 +1,125 @@
+//! Vocabulary: the word-id space of a corpus.
+//!
+//! LDA only ever sees integer word ids; strings exist for human-readable
+//! topic dumps (the quickstart example prints top words per topic). The
+//! vocabulary also tracks global word frequencies, which the word-first
+//! block scheduler uses to split heavy words across thread blocks.
+
+use std::collections::HashMap;
+
+/// Word-id ↔ string table with global occurrence counts.
+#[derive(Debug, Clone, Default)]
+pub struct Vocab {
+    words: Vec<String>,
+    index: HashMap<String, u32>,
+    counts: Vec<u64>,
+}
+
+impl Vocab {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a synthetic vocabulary of `size` words named `w000000`….
+    /// Used by the generators, whose corpora have no real text.
+    pub fn synthetic(size: usize) -> Self {
+        let mut v = Self::new();
+        for i in 0..size {
+            v.intern(&format!("w{i:06}"));
+        }
+        v
+    }
+
+    /// Returns the id of `word`, interning it if new.
+    pub fn intern(&mut self, word: &str) -> u32 {
+        if let Some(&id) = self.index.get(word) {
+            return id;
+        }
+        let id = u32::try_from(self.words.len()).expect("vocabulary exceeds u32 ids");
+        self.words.push(word.to_string());
+        self.index.insert(word.to_string(), id);
+        self.counts.push(0);
+        id
+    }
+
+    /// Looks up an existing word's id.
+    pub fn id_of(&self, word: &str) -> Option<u32> {
+        self.index.get(word).copied()
+    }
+
+    /// The string for a word id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn word(&self, id: u32) -> &str {
+        &self.words[id as usize]
+    }
+
+    /// Number of distinct words (`V` in the paper).
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Records `n` additional occurrences of `id`.
+    pub fn add_count(&mut self, id: u32, n: u64) {
+        self.counts[id as usize] += n;
+    }
+
+    /// Global occurrence count of `id`.
+    pub fn count(&self, id: u32) -> u64 {
+        self.counts[id as usize]
+    }
+
+    /// Word ids sorted by descending global count (ties by id). This is the
+    /// order in which the block scheduler considers words.
+    pub fn ids_by_frequency(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = (0..self.len() as u32).collect();
+        ids.sort_by_key(|&id| (std::cmp::Reverse(self.counts[id as usize]), id));
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocab::new();
+        let a = v.intern("gpu");
+        let b = v.intern("lda");
+        let a2 = v.intern("gpu");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.word(a), "gpu");
+        assert_eq!(v.id_of("lda"), Some(b));
+        assert_eq!(v.id_of("absent"), None);
+    }
+
+    #[test]
+    fn synthetic_names_are_stable() {
+        let v = Vocab::synthetic(3);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.word(0), "w000000");
+        assert_eq!(v.word(2), "w000002");
+        assert_eq!(v.id_of("w000001"), Some(1));
+    }
+
+    #[test]
+    fn frequency_ordering() {
+        let mut v = Vocab::synthetic(4);
+        v.add_count(2, 100);
+        v.add_count(0, 50);
+        v.add_count(3, 100);
+        // 1 has zero count
+        assert_eq!(v.ids_by_frequency(), vec![2, 3, 0, 1]);
+        assert_eq!(v.count(2), 100);
+    }
+}

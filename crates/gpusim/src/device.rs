@@ -1,0 +1,144 @@
+//! A simulated GPU device: kernel launches, transfers, clock, memory.
+
+use crate::clock::SimClock;
+use crate::kernel::{default_workers, run_grid, BlockCtx, LaunchReport};
+use crate::link::Link;
+use crate::memory::{MemoryLedger, OomError, Reservation};
+use crate::platform::GpuSpec;
+use std::sync::Arc;
+
+/// One GPU in the system.
+#[derive(Debug)]
+pub struct Device {
+    /// Device ordinal (`GPU 0 … GPU G-1` in Figure 2).
+    pub id: usize,
+    /// Hardware parameters.
+    pub spec: GpuSpec,
+    clock: SimClock,
+    ledger: Arc<MemoryLedger>,
+    workers: usize,
+}
+
+impl Device {
+    /// Creates device `id` with the given spec.
+    pub fn new(id: usize, spec: GpuSpec) -> Self {
+        let ledger = MemoryLedger::new(spec.memory_bytes);
+        Self {
+            id,
+            spec,
+            clock: SimClock::new(),
+            ledger,
+            workers: default_workers(),
+        }
+    }
+
+    /// Overrides the host thread count used to execute blocks (tests).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Launches `body` once per block and advances this device's clock by
+    /// the modelled kernel time.
+    pub fn launch<F>(&mut self, name: &str, num_blocks: u32, body: F) -> LaunchReport
+    where
+        F: Fn(&mut BlockCtx) + Sync,
+    {
+        let report = run_grid(&self.spec, name, num_blocks, self.workers, body);
+        self.clock.advance(report.sim_seconds);
+        report
+    }
+
+    /// Models moving `bytes` between host and this device over `link`,
+    /// advancing the clock. Returns the transfer seconds.
+    pub fn transfer(&mut self, bytes: u64, link: &Link) -> f64 {
+        let t = link.transfer_seconds(bytes);
+        self.clock.advance(t);
+        t
+    }
+
+    /// Reserves device memory (fails with [`OomError`] when the model and
+    /// chunks do not fit — the condition that forces `M > 1`).
+    pub fn reserve(&self, bytes: u64) -> Result<Reservation, OomError> {
+        self.ledger.reserve(bytes)
+    }
+
+    /// The device memory ledger.
+    pub fn ledger(&self) -> &Arc<MemoryLedger> {
+        &self.ledger
+    }
+
+    /// Current simulated time on this device.
+    pub fn now(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// Advances this device's clock by `dt` seconds (e.g. waiting on a peer).
+    pub fn advance(&mut self, dt: f64) {
+        self.clock.advance(dt);
+    }
+
+    /// Moves this device's clock to `t` if later (barrier join).
+    pub fn advance_to(&mut self, t: f64) {
+        self.clock.advance_to(t);
+    }
+
+    /// Resets the clock to zero (between experiments).
+    pub fn reset_clock(&mut self) {
+        self.clock.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::AtomicU32Buf;
+
+    #[test]
+    fn launch_advances_clock() {
+        let mut dev = Device::new(0, GpuSpec::titan_x_maxwell()).with_workers(2);
+        assert_eq!(dev.now(), 0.0);
+        let r = dev.launch("k", 8, |ctx| ctx.dram_read(1_000_000));
+        assert!(r.sim_seconds > 0.0);
+        assert!((dev.now() - r.sim_seconds).abs() < 1e-15);
+        dev.launch("k2", 8, |ctx| ctx.dram_read(1_000_000));
+        assert!((dev.now() - 2.0 * r.sim_seconds).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_advances_clock() {
+        let mut dev = Device::new(0, GpuSpec::v100_volta());
+        let t = dev.transfer(16_000_000_000, &Link::pcie3());
+        assert!((t - 1.0).abs() < 1e-3);
+        assert_eq!(dev.now(), t);
+    }
+
+    #[test]
+    fn memory_capacity_is_enforced() {
+        let dev = Device::new(0, GpuSpec::titan_x_maxwell());
+        let cap = dev.spec.memory_bytes;
+        let _a = dev.reserve(cap - 10).unwrap();
+        assert!(dev.reserve(100).is_err());
+    }
+
+    #[test]
+    fn kernels_really_mutate_shared_state() {
+        let mut dev = Device::new(0, GpuSpec::titan_xp_pascal()).with_workers(4);
+        let buf = AtomicU32Buf::zeros(16);
+        dev.launch("fill", 16, |ctx| {
+            buf.fetch_add(ctx.block_id as usize, ctx.block_id + 1);
+        });
+        let snap = buf.snapshot();
+        for (i, &v) in snap.iter().enumerate() {
+            assert_eq!(v, i as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn reset_clock() {
+        let mut dev = Device::new(0, GpuSpec::titan_x_maxwell());
+        dev.advance(3.0);
+        dev.reset_clock();
+        assert_eq!(dev.now(), 0.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! # culda-gpusim
+//!
+//! A software SIMT GPU substrate for the CuLDA_CGS reproduction.
+//!
+//! There is no CUDA in this environment, so the paper's execution platform
+//! is substituted (see DESIGN.md §1) by a simulator that preserves what the
+//! algorithms depend on:
+//!
+//! * **the programming model** — grids of thread blocks ([`kernel`]),
+//!   warps of 32 lanes with shuffle/scan/ballot collectives ([`warp`]),
+//!   per-block shared memory with a hard 48 KiB budget ([`shared`]),
+//!   device-memory atomics ([`memory`]), streams that overlap transfers and
+//!   compute ([`stream`]);
+//!   an L1 data-cache model with selective routing ([`cache`]);
+//! * **the performance model** — a roofline over counted traffic
+//!   ([`cost`]), per-device simulated clocks ([`clock`], [`device`]),
+//!   interconnect costs ([`link`]), and multi-GPU composition ([`multi`]);
+//! * **the platforms** — Table 2's Maxwell/Pascal/Volta machines
+//!   ([`platform`]).
+//!
+//! Thread blocks really execute concurrently on host threads and really
+//! share memory through atomics, so the concurrency behaviour of the
+//! kernels is genuine; only *time* is modelled.
+//!
+//! ```
+//! use culda_gpusim::{AtomicU32Buf, Device, GpuSpec};
+//!
+//! // A simulated V100 running a histogram kernel over 64 blocks.
+//! let mut dev = Device::new(0, GpuSpec::v100_volta());
+//! let hist = AtomicU32Buf::zeros(16);
+//! let report = dev.launch("histogram", 64, |ctx| {
+//!     hist.fetch_add(ctx.block_id as usize % 16, 1);
+//!     ctx.dram_read(4096);
+//!     ctx.atomic(1);
+//! });
+//! assert_eq!(hist.sum(), 64);
+//! assert!(report.sim_seconds > 0.0);       // modelled time
+//! assert_eq!(dev.now(), report.sim_seconds); // the device clock advanced
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod clock;
+pub mod cost;
+pub mod device;
+pub mod kernel;
+pub mod link;
+pub mod memory;
+pub mod multi;
+pub mod platform;
+pub mod profile;
+pub mod shared;
+pub mod stream;
+pub mod warp;
+
+pub use cache::{CacheConfig, CacheSim};
+pub use clock::SimClock;
+pub use cost::KernelCost;
+pub use device::Device;
+pub use kernel::{BlockCtx, LaunchReport};
+pub use link::Link;
+pub use memory::{AtomicF32Buf, AtomicU16Buf, AtomicU32Buf, MemoryLedger, OomError};
+pub use multi::GpuCluster;
+pub use platform::{GpuSpec, Platform};
+pub use profile::{KernelSummary, ProfileLog};
+pub use shared::SharedMem;
+pub use stream::{pipelined_seconds, serial_seconds, EnginePipeline, Stage};

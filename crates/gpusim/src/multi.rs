@@ -1,0 +1,150 @@
+//! The multi-GPU system: devices sharing a host and an interconnect.
+//!
+//! Matches Figure 2's master–slave organization: the CPU orchestrates `G`
+//! GPUs over PCIe. The cluster tracks per-device clocks and models
+//! peer-to-peer copies (which occupy both endpoints) and host copies
+//! (which occupy only the device — the host is never the bottleneck for a
+//! single transfer at a time, per the paper's pipelining discussion).
+
+use crate::device::Device;
+use crate::link::Link;
+use crate::platform::Platform;
+
+/// A host plus `G` identical GPUs.
+#[derive(Debug)]
+pub struct GpuCluster {
+    /// The devices, `GPU 0 … GPU G-1`.
+    pub devices: Vec<Device>,
+    /// Device↔device link (PCIe peer-to-peer on the Table 2 machines).
+    pub peer_link: Link,
+    /// Host↔device link.
+    pub host_link: Link,
+}
+
+impl GpuCluster {
+    /// Builds the cluster described by a [`Platform`].
+    pub fn from_platform(platform: &Platform) -> Self {
+        let devices = (0..platform.num_gpus)
+            .map(|i| Device::new(i, platform.gpu.clone()))
+            .collect();
+        let link = Link {
+            bandwidth_gbps: platform.pcie_gbps,
+            latency_us: platform.pcie_latency_us,
+        };
+        Self {
+            devices,
+            peer_link: link,
+            host_link: link,
+        }
+    }
+
+    /// Number of GPUs.
+    pub fn num_gpus(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Barrier: every device's clock advances to the latest. Returns the
+    /// barrier time. This is the per-iteration join of Algorithm 1 ("after
+    /// all GPUs finish their execution").
+    pub fn barrier(&mut self) -> f64 {
+        let t = self
+            .devices
+            .iter()
+            .map(Device::now)
+            .fold(0.0f64, f64::max);
+        for d in &mut self.devices {
+            d.advance_to(t);
+        }
+        t
+    }
+
+    /// Peer-to-peer copy of `bytes` from device `src` to device `dst`:
+    /// starts when both are free, occupies both until done. Returns the
+    /// completion time.
+    pub fn peer_copy(&mut self, src: usize, dst: usize, bytes: u64) -> f64 {
+        assert!(src != dst, "self-copy is free and meaningless");
+        let start = self.devices[src].now().max(self.devices[dst].now());
+        let done = start + self.peer_link.transfer_seconds(bytes);
+        self.devices[src].advance_to(done);
+        self.devices[dst].advance_to(done);
+        done
+    }
+
+    /// Host→device copy of `bytes`: occupies only the device.
+    pub fn host_to_device(&mut self, dst: usize, bytes: u64) -> f64 {
+        self.devices[dst].transfer(bytes, &self.host_link.clone())
+    }
+
+    /// Device→host copy of `bytes`: occupies only the device.
+    pub fn device_to_host(&mut self, src: usize, bytes: u64) -> f64 {
+        self.devices[src].transfer(bytes, &self.host_link.clone())
+    }
+
+    /// Latest clock among devices (current system time).
+    pub fn system_time(&self) -> f64 {
+        self.devices
+            .iter()
+            .map(Device::now)
+            .fold(0.0f64, f64::max)
+    }
+
+    /// Resets all device clocks.
+    pub fn reset_clocks(&mut self) {
+        for d in &mut self.devices {
+            d.reset_clock();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_platform_gpu_count() {
+        let c = GpuCluster::from_platform(&Platform::pascal());
+        assert_eq!(c.num_gpus(), 4);
+        let c1 = GpuCluster::from_platform(&Platform::pascal().with_gpus(1));
+        assert_eq!(c1.num_gpus(), 1);
+    }
+
+    #[test]
+    fn barrier_aligns_clocks() {
+        let mut c = GpuCluster::from_platform(&Platform::pascal());
+        c.devices[2].advance(5.0);
+        let t = c.barrier();
+        assert_eq!(t, 5.0);
+        for d in &c.devices {
+            assert_eq!(d.now(), 5.0);
+        }
+    }
+
+    #[test]
+    fn peer_copy_occupies_both_endpoints() {
+        let mut c = GpuCluster::from_platform(&Platform::pascal());
+        c.devices[0].advance(1.0);
+        // dst at 0, src at 1 → copy starts at 1.
+        let done = c.peer_copy(0, 1, 16_000_000_000);
+        assert!((done - 2.0).abs() < 1e-3, "done = {done}");
+        assert_eq!(c.devices[0].now(), done);
+        assert_eq!(c.devices[1].now(), done);
+        // Uninvolved device unchanged.
+        assert_eq!(c.devices[2].now(), 0.0);
+    }
+
+    #[test]
+    fn host_copies_only_touch_their_device() {
+        let mut c = GpuCluster::from_platform(&Platform::volta());
+        let t = c.host_to_device(1, 1_600_000_000);
+        assert!((t - 0.1).abs() < 1e-3);
+        assert_eq!(c.devices[0].now(), 0.0);
+        assert!((c.system_time() - t).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-copy")]
+    fn self_copy_rejected() {
+        let mut c = GpuCluster::from_platform(&Platform::volta());
+        c.peer_copy(1, 1, 10);
+    }
+}

@@ -1,0 +1,230 @@
+//! Platform presets — the paper's Table 2.
+//!
+//! The simulator's GPUs are parameterized by exactly the resources the
+//! paper's analysis says matter for LDA: off-chip bandwidth (the roofline
+//! bottleneck), SM count (on-chip shared-memory bandwidth scales per SM),
+//! device memory capacity (forces the out-of-core `M > 1` schedule), and
+//! the host link (PCIe 3.0, 16 GB/s).
+
+/// Specification of one simulated GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSpec {
+    /// Marketing name, e.g. `"TITAN X (Maxwell)"`.
+    pub name: &'static str,
+    /// Peak off-chip memory bandwidth in GB/s.
+    pub mem_bandwidth_gbps: f64,
+    /// Streaming multiprocessor count.
+    pub sm_count: u32,
+    /// Peak single-precision GFLOP/s.
+    pub peak_gflops: f64,
+    /// Device memory capacity in bytes.
+    pub memory_bytes: u64,
+    /// Shared memory available to one thread block, bytes (48 KiB typical).
+    pub shared_mem_per_block: usize,
+    /// Effective shared-memory bandwidth of one SM, GB/s.
+    pub shared_bw_per_sm_gbps: f64,
+    /// Sustained device-wide atomic throughput, billions of ops/s.
+    pub atomic_gops: f64,
+    /// Fixed kernel launch overhead, microseconds.
+    pub kernel_launch_us: f64,
+    /// Fraction of peak DRAM bandwidth attainable by the irregular LDA
+    /// access pattern (the paper's kernels are tuned; ~0.6–0.75 is typical
+    /// for well-coalesced sparse workloads).
+    pub dram_efficiency: f64,
+}
+
+impl GpuSpec {
+    /// NVIDIA TITAN X, Maxwell: 336 GB/s, 24 SMs, 12 GB (Table 2).
+    pub fn titan_x_maxwell() -> Self {
+        Self {
+            name: "TITAN X (Maxwell)",
+            mem_bandwidth_gbps: 336.0,
+            sm_count: 24,
+            peak_gflops: 6_700.0,
+            memory_bytes: 12 * (1 << 30),
+            shared_mem_per_block: 48 * 1024,
+            shared_bw_per_sm_gbps: 64.0,
+            atomic_gops: 20.0,
+            kernel_launch_us: 8.0,
+            dram_efficiency: 0.70,
+        }
+    }
+
+    /// NVIDIA Titan Xp, Pascal: 550 GB/s, 28 SMs (paper's figure), 12 GB.
+    pub fn titan_xp_pascal() -> Self {
+        Self {
+            name: "Titan Xp (Pascal)",
+            mem_bandwidth_gbps: 550.0,
+            sm_count: 28,
+            peak_gflops: 12_100.0,
+            memory_bytes: 12 * (1 << 30),
+            shared_mem_per_block: 48 * 1024,
+            shared_bw_per_sm_gbps: 96.0,
+            atomic_gops: 32.0,
+            kernel_launch_us: 7.0,
+            dram_efficiency: 0.66,
+        }
+    }
+
+    /// NVIDIA V100, Volta: 900 GB/s, 80 SMs, 16 GB (Table 2; the paper
+    /// quotes "1,400 GFLOPS" in Section 3 — the marketing figure is
+    /// 14 TFLOPS; either way LDA's 0.27 Flops/Byte never hits the compute
+    /// roof, so the value is immaterial to the results).
+    pub fn v100_volta() -> Self {
+        Self {
+            name: "V100 (Volta)",
+            mem_bandwidth_gbps: 900.0,
+            sm_count: 80,
+            peak_gflops: 14_000.0,
+            memory_bytes: 16 * (1 << 30),
+            shared_mem_per_block: 48 * 1024,
+            shared_bw_per_sm_gbps: 128.0,
+            atomic_gops: 64.0,
+            kernel_launch_us: 5.0,
+            dram_efficiency: 0.78,
+        }
+    }
+
+    /// GTX 1080 (Pascal, 320 GB/s, 20 SMs) — the GPU SaberLDA reported on.
+    pub fn gtx_1080() -> Self {
+        Self {
+            name: "GTX 1080 (Pascal)",
+            mem_bandwidth_gbps: 320.0,
+            sm_count: 20,
+            peak_gflops: 8_900.0,
+            memory_bytes: 8 * (1 << 30),
+            shared_mem_per_block: 48 * 1024,
+            shared_bw_per_sm_gbps: 96.0,
+            atomic_gops: 24.0,
+            kernel_launch_us: 7.0,
+            dram_efficiency: 0.66,
+        }
+    }
+
+    /// Machine balance: intensities below this are memory bound here.
+    pub fn balance(&self) -> f64 {
+        self.peak_gflops / self.mem_bandwidth_gbps
+    }
+}
+
+/// A heterogeneous evaluation platform: host + identical GPUs + PCIe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    /// Display name, e.g. `"Maxwell Platform"`.
+    pub name: &'static str,
+    /// Per-GPU specification (all GPUs identical, as in Table 2).
+    pub gpu: GpuSpec,
+    /// Number of GPUs installed.
+    pub num_gpus: usize,
+    /// Host memory bandwidth, GB/s (the CPU side of Table 2's machines).
+    pub host_bandwidth_gbps: f64,
+    /// Host↔device and device↔device PCIe 3.0 bandwidth, GB/s.
+    pub pcie_gbps: f64,
+    /// Per-transfer PCIe latency, microseconds.
+    pub pcie_latency_us: f64,
+}
+
+impl Platform {
+    /// Table 2's Maxwell platform: 2× Xeon E5-2670, 1× TITAN X.
+    pub fn maxwell() -> Self {
+        Self {
+            name: "Maxwell Platform",
+            gpu: GpuSpec::titan_x_maxwell(),
+            num_gpus: 1,
+            host_bandwidth_gbps: 51.2,
+            pcie_gbps: 16.0,
+            pcie_latency_us: 10.0,
+        }
+    }
+
+    /// Table 2's Pascal platform: 2× E5-2650 v3, 4× Titan Xp.
+    pub fn pascal() -> Self {
+        Self {
+            name: "Pascal Platform",
+            gpu: GpuSpec::titan_xp_pascal(),
+            num_gpus: 4,
+            host_bandwidth_gbps: 51.2,
+            pcie_gbps: 16.0,
+            pcie_latency_us: 10.0,
+        }
+    }
+
+    /// Table 2's Volta platform: 2× E5-2690 v4, 2× V100.
+    pub fn volta() -> Self {
+        Self {
+            name: "Volta Platform",
+            gpu: GpuSpec::v100_volta(),
+            num_gpus: 2,
+            host_bandwidth_gbps: 51.2,
+            pcie_gbps: 16.0,
+            pcie_latency_us: 10.0,
+        }
+    }
+
+    /// All three evaluated platforms, in Table 2 order.
+    pub fn all() -> Vec<Platform> {
+        vec![Self::maxwell(), Self::pascal(), Self::volta()]
+    }
+
+    /// Restricts the platform to its first `n` GPUs (the Figure 9 sweep).
+    ///
+    /// # Panics
+    /// Panics if `n` is zero or exceeds the installed GPU count.
+    pub fn with_gpus(mut self, n: usize) -> Self {
+        assert!(
+            n >= 1 && n <= self.num_gpus,
+            "{} has {} GPUs, requested {n}",
+            self.name,
+            self.num_gpus
+        );
+        self.num_gpus = n;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_bandwidths() {
+        assert_eq!(Platform::maxwell().gpu.mem_bandwidth_gbps, 336.0);
+        assert_eq!(Platform::pascal().gpu.mem_bandwidth_gbps, 550.0);
+        assert_eq!(Platform::volta().gpu.mem_bandwidth_gbps, 900.0);
+        assert_eq!(Platform::maxwell().pcie_gbps, 16.0);
+    }
+
+    #[test]
+    fn table2_gpu_counts() {
+        assert_eq!(Platform::maxwell().num_gpus, 1);
+        assert_eq!(Platform::pascal().num_gpus, 4);
+        assert_eq!(Platform::volta().num_gpus, 2);
+    }
+
+    #[test]
+    fn sm_counts_match_section_7_1() {
+        assert_eq!(GpuSpec::titan_x_maxwell().sm_count, 24);
+        assert_eq!(GpuSpec::titan_xp_pascal().sm_count, 28);
+        assert_eq!(GpuSpec::v100_volta().sm_count, 80);
+    }
+
+    #[test]
+    fn lda_is_memory_bound_everywhere() {
+        // Table 1's average intensity is 0.27 — far under every balance.
+        for p in Platform::all() {
+            assert!(p.gpu.balance() > 0.27 * 10.0, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn with_gpus_narrows() {
+        let p = Platform::pascal().with_gpus(2);
+        assert_eq!(p.num_gpus, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "requested 5")]
+    fn with_gpus_rejects_overcommit() {
+        let _ = Platform::pascal().with_gpus(5);
+    }
+}

@@ -1,0 +1,198 @@
+//! Kernel launch profiling: an `nvprof`-style log of every launch.
+//!
+//! The paper's Table 5 comes from profiling kernel times; the simulator
+//! can do one better and keep the full launch history — name, traffic,
+//! modelled time — for any device. The log aggregates by kernel name into
+//! the summary rows a profiler would print.
+
+use crate::cost::KernelCost;
+use crate::kernel::LaunchReport;
+
+/// One profiled launch (a thin record of [`LaunchReport`]).
+#[derive(Debug, Clone)]
+pub struct LaunchRecord {
+    /// Kernel name.
+    pub name: String,
+    /// Resource usage.
+    pub cost: KernelCost,
+    /// Modelled seconds.
+    pub sim_seconds: f64,
+}
+
+/// Aggregated statistics for one kernel name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelSummary {
+    /// Kernel name.
+    pub name: String,
+    /// Number of launches.
+    pub launches: u32,
+    /// Total modelled seconds.
+    pub total_seconds: f64,
+    /// Total DRAM bytes.
+    pub dram_bytes: u64,
+    /// Total flops.
+    pub flops: u64,
+    /// Effective DRAM bandwidth achieved, GB/s.
+    pub effective_gbps: f64,
+}
+
+/// A launch log.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileLog {
+    records: Vec<LaunchRecord>,
+}
+
+impl ProfileLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a launch.
+    pub fn push(&mut self, report: &LaunchReport) {
+        self.records.push(LaunchRecord {
+            name: report.name.clone(),
+            cost: report.cost,
+            sim_seconds: report.sim_seconds,
+        });
+    }
+
+    /// All records, in launch order.
+    pub fn records(&self) -> &[LaunchRecord] {
+        &self.records
+    }
+
+    /// Number of launches recorded.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Aggregates by kernel name, ordered by descending total time.
+    pub fn summaries(&self) -> Vec<KernelSummary> {
+        let mut by_name: Vec<KernelSummary> = Vec::new();
+        for r in &self.records {
+            match by_name.iter_mut().find(|s| s.name == r.name) {
+                Some(s) => {
+                    s.launches += 1;
+                    s.total_seconds += r.sim_seconds;
+                    s.dram_bytes += r.cost.dram_bytes();
+                    s.flops += r.cost.flops;
+                }
+                None => by_name.push(KernelSummary {
+                    name: r.name.clone(),
+                    launches: 1,
+                    total_seconds: r.sim_seconds,
+                    dram_bytes: r.cost.dram_bytes(),
+                    flops: r.cost.flops,
+                    effective_gbps: 0.0,
+                }),
+            }
+        }
+        for s in &mut by_name {
+            s.effective_gbps = if s.total_seconds > 0.0 {
+                s.dram_bytes as f64 / s.total_seconds / 1e9
+            } else {
+                0.0
+            };
+        }
+        by_name.sort_by(|a, b| b.total_seconds.partial_cmp(&a.total_seconds).unwrap());
+        by_name
+    }
+
+    /// A profiler-style text table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let total: f64 = self.records.iter().map(|r| r.sim_seconds).sum();
+        let _ = writeln!(
+            out,
+            "{:<22} {:>9} {:>12} {:>12} {:>10} {:>7}",
+            "kernel", "launches", "time (ms)", "DRAM (MB)", "GB/s", "share"
+        );
+        for s in self.summaries() {
+            let _ = writeln!(
+                out,
+                "{:<22} {:>9} {:>12.3} {:>12.2} {:>10.1} {:>6.1}%",
+                s.name,
+                s.launches,
+                s.total_seconds * 1e3,
+                s.dram_bytes as f64 / 1e6,
+                s.effective_gbps,
+                100.0 * s.total_seconds / total.max(f64::MIN_POSITIVE),
+            );
+        }
+        out
+    }
+
+    /// Clears the log.
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(name: &str, secs: f64, bytes: u64) -> LaunchReport {
+        LaunchReport {
+            name: name.into(),
+            cost: KernelCost {
+                dram_read_bytes: bytes,
+                flops: 10,
+                blocks: 1,
+                ..Default::default()
+            },
+            sim_seconds: secs,
+            wall_seconds: 0.0,
+        }
+    }
+
+    #[test]
+    fn aggregates_by_name_sorted_by_time() {
+        let mut log = ProfileLog::new();
+        log.push(&report("sample", 0.5, 100));
+        log.push(&report("update", 0.1, 10));
+        log.push(&report("sample", 0.7, 200));
+        let sums = log.summaries();
+        assert_eq!(sums.len(), 2);
+        assert_eq!(sums[0].name, "sample");
+        assert_eq!(sums[0].launches, 2);
+        assert!((sums[0].total_seconds - 1.2).abs() < 1e-12);
+        assert_eq!(sums[0].dram_bytes, 300);
+        assert_eq!(sums[1].name, "update");
+    }
+
+    #[test]
+    fn effective_bandwidth_is_bytes_over_time() {
+        let mut log = ProfileLog::new();
+        log.push(&report("k", 1.0, 5_000_000_000));
+        let s = &log.summaries()[0];
+        assert!((s.effective_gbps - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_contains_all_kernels_and_shares() {
+        let mut log = ProfileLog::new();
+        log.push(&report("a", 0.75, 1));
+        log.push(&report("b", 0.25, 1));
+        let table = log.render();
+        assert!(table.contains("a"));
+        assert!(table.contains("75.0%"));
+        assert!(table.contains("25.0%"));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut log = ProfileLog::new();
+        log.push(&report("a", 0.1, 1));
+        assert_eq!(log.len(), 1);
+        log.clear();
+        assert!(log.is_empty());
+    }
+}

@@ -1,0 +1,230 @@
+//! Warp-level collectives.
+//!
+//! CuLDA's unit of work is the warp: "CuLDA_CGS uses one warp to process
+//! one LDA sampling at a time. We refer a warp as a sampler" (Section
+//! 6.1.1), and warp lanes cooperate through register shuffles ("faster than
+//! shared memory"). These functions are the lane-exact equivalents of the
+//! CUDA warp primitives the kernels would use: butterfly reductions,
+//! Hillis–Steele inclusive scans, ballots and broadcasts over a 32-lane
+//! vector.
+//!
+//! They operate on plain slices of lane values; semantics (including the
+//! f32 reduction *order*, which matters for bit-reproducibility) follow the
+//! `__shfl_xor`-based butterfly exactly, so a future port to real CUDA
+//! produces identical results.
+
+/// Lanes per warp on NVIDIA hardware (the paper notes AMD uses 64).
+pub const WARP_SIZE: usize = 32;
+
+fn assert_warp_width(n: usize) {
+    assert!(
+        n > 0 && n <= WARP_SIZE,
+        "warp collectives take 1..={WARP_SIZE} lanes, got {n}"
+    );
+}
+
+/// Butterfly (`__shfl_xor`) sum reduction; every lane of real hardware ends
+/// with the total. Returns that total.
+///
+/// The summation order replicates the xor-butterfly: offsets 16, 8, 4, 2, 1
+/// over a 32-slot vector (missing lanes contribute the additive identity).
+pub fn reduce_sum_f32(lanes: &[f32]) -> f32 {
+    assert_warp_width(lanes.len());
+    let mut v = [0.0f32; WARP_SIZE];
+    v[..lanes.len()].copy_from_slice(lanes);
+    let mut offset = WARP_SIZE / 2;
+    while offset > 0 {
+        // In the real butterfly every lane reads its xor-partner
+        // simultaneously; emulate with a snapshot per step.
+        let snapshot = v;
+        for (i, slot) in v.iter_mut().enumerate() {
+            *slot = snapshot[i] + snapshot[i ^ offset];
+        }
+        offset /= 2;
+    }
+    v[0]
+}
+
+/// Butterfly sum over `u32` lanes (token counting, histogram merges).
+pub fn reduce_sum_u32(lanes: &[u32]) -> u32 {
+    assert_warp_width(lanes.len());
+    let mut v = [0u32; WARP_SIZE];
+    v[..lanes.len()].copy_from_slice(lanes);
+    let mut offset = WARP_SIZE / 2;
+    while offset > 0 {
+        let snapshot = v;
+        for (i, slot) in v.iter_mut().enumerate() {
+            *slot = snapshot[i].wrapping_add(snapshot[i ^ offset]);
+        }
+        offset /= 2;
+    }
+    v[0]
+}
+
+/// Butterfly max reduction.
+pub fn reduce_max_f32(lanes: &[f32]) -> f32 {
+    assert_warp_width(lanes.len());
+    lanes.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+}
+
+/// Hillis–Steele inclusive prefix scan (`__shfl_up` based) in place;
+/// returns the total (the last lane's value).
+///
+/// This is the scan the tree-sampling kernel uses to turn a tile of 32
+/// probabilities into prefix sums (Figure 5) and the θ-update kernel uses
+/// for dense→CSR compaction.
+pub fn inclusive_scan_f32(lanes: &mut [f32]) -> f32 {
+    assert_warp_width(lanes.len());
+    let n = lanes.len();
+    let mut offset = 1;
+    while offset < n {
+        // Lane i adds the value `offset` lanes below, simultaneously.
+        let snapshot: Vec<f32> = lanes.to_vec();
+        for i in offset..n {
+            lanes[i] = snapshot[i] + snapshot[i - offset];
+        }
+        offset *= 2;
+    }
+    lanes[n - 1]
+}
+
+/// Inclusive prefix scan over `u32` lanes; returns the total.
+pub fn inclusive_scan_u32(lanes: &mut [u32]) -> u32 {
+    assert_warp_width(lanes.len());
+    let n = lanes.len();
+    let mut offset = 1;
+    while offset < n {
+        let snapshot: Vec<u32> = lanes.to_vec();
+        for i in offset..n {
+            lanes[i] = snapshot[i].wrapping_add(snapshot[i - offset]);
+        }
+        offset *= 2;
+    }
+    lanes[n - 1]
+}
+
+/// `__ballot_sync`: one bit per lane.
+pub fn ballot(lanes: &[bool]) -> u32 {
+    assert_warp_width(lanes.len());
+    lanes
+        .iter()
+        .enumerate()
+        .fold(0u32, |acc, (i, &b)| acc | ((b as u32) << i))
+}
+
+/// Index of the first set lane in a ballot mask (`__ffs − 1`), or `None`.
+pub fn first_set_lane(mask: u32) -> Option<usize> {
+    if mask == 0 {
+        None
+    } else {
+        Some(mask.trailing_zeros() as usize)
+    }
+}
+
+/// `__shfl_sync(…, src_lane)`: broadcast one lane's value to all.
+pub fn broadcast<T: Copy>(lanes: &[T], src_lane: usize) -> T {
+    assert_warp_width(lanes.len());
+    lanes[src_lane]
+}
+
+/// The "find minimal k with prefix[k] > u" search step of the tree-based
+/// sampler, done warp-cooperatively: each lane tests one child of a 32-ary
+/// node and a ballot picks the first hit. Returns the child index.
+///
+/// `prefix` holds inclusive prefix sums of the node's children; `u` must be
+/// strictly less than the last prefix (the node total).
+pub fn warp_select_child(prefix: &[f32], u: f32) -> usize {
+    assert_warp_width(prefix.len());
+    let hits: Vec<bool> = prefix.iter().map(|&p| u < p).collect();
+    let mask = ballot(&hits);
+    first_set_lane(mask).unwrap_or_else(|| {
+        panic!(
+            "u = {u} not under node total {}",
+            prefix.last().copied().unwrap_or(0.0)
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_sum_matches_serial() {
+        let lanes: Vec<f32> = (0..32).map(|i| i as f32).collect();
+        assert_eq!(reduce_sum_f32(&lanes), 496.0);
+        let partial: Vec<f32> = (0..7).map(|i| i as f32 + 1.0).collect();
+        assert_eq!(reduce_sum_f32(&partial), 28.0);
+        assert_eq!(reduce_sum_u32(&[5, 6, 7]), 18);
+    }
+
+    #[test]
+    fn reduce_is_butterfly_deterministic() {
+        // The butterfly order is fixed; repeated runs bit-match.
+        let lanes: Vec<f32> = (0..32).map(|i| 1.0 / (i as f32 + 1.0)).collect();
+        let a = reduce_sum_f32(&lanes);
+        let b = reduce_sum_f32(&lanes);
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn scan_matches_serial_prefix() {
+        let mut lanes: Vec<f32> = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let total = inclusive_scan_f32(&mut lanes);
+        assert_eq!(lanes, vec![1.0, 3.0, 6.0, 10.0, 15.0]);
+        assert_eq!(total, 15.0);
+
+        let mut u: Vec<u32> = (1..=32).collect();
+        let t = inclusive_scan_u32(&mut u);
+        assert_eq!(t, 528);
+        assert_eq!(u[0], 1);
+        assert_eq!(u[31], 528);
+        for w in u.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn scan_single_lane() {
+        let mut lanes = vec![7.0f32];
+        assert_eq!(inclusive_scan_f32(&mut lanes), 7.0);
+    }
+
+    #[test]
+    fn ballot_and_ffs() {
+        let mut lanes = [false; 32];
+        lanes[3] = true;
+        lanes[17] = true;
+        let mask = ballot(&lanes);
+        assert_eq!(mask, (1 << 3) | (1 << 17));
+        assert_eq!(first_set_lane(mask), Some(3));
+        assert_eq!(first_set_lane(0), None);
+    }
+
+    #[test]
+    fn broadcast_picks_lane() {
+        let lanes: Vec<u32> = (0..32).map(|i| i * 10).collect();
+        assert_eq!(broadcast(&lanes, 5), 50);
+    }
+
+    #[test]
+    fn select_child_finds_first_exceeding_prefix() {
+        let prefix: Vec<f32> = (1..=32).map(|i| i as f32 * 0.5).collect();
+        assert_eq!(warp_select_child(&prefix, 0.0), 0);
+        assert_eq!(warp_select_child(&prefix, 0.49), 0);
+        assert_eq!(warp_select_child(&prefix, 0.5), 1);
+        assert_eq!(warp_select_child(&prefix, 15.99), 31);
+    }
+
+    #[test]
+    fn reduce_max() {
+        assert_eq!(reduce_max_f32(&[1.0, -2.0, 7.5, 3.0]), 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "warp collectives")]
+    fn oversized_warp_rejected() {
+        let lanes = vec![0.0f32; 33];
+        reduce_sum_f32(&lanes);
+    }
+}

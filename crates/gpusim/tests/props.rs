@@ -1,0 +1,106 @@
+//! Property tests for the GPU substrate's timing and scheduling models.
+
+use culda_gpusim::{pipelined_seconds, serial_seconds, GpuSpec, KernelCost, Link, Stage};
+use proptest::prelude::*;
+
+fn stage_strategy() -> impl Strategy<Value = Stage> {
+    (0.0f64..10.0, 0.0f64..10.0, 0.0f64..10.0).prop_map(|(h, c, d)| Stage {
+        h2d_seconds: h,
+        compute_seconds: c,
+        d2h_seconds: d,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pipeline_is_never_slower_than_serial_nor_faster_than_any_engine(
+        stages in proptest::collection::vec(stage_strategy(), 1..20),
+    ) {
+        let pipe = pipelined_seconds(&stages);
+        let serial = serial_seconds(&stages);
+        prop_assert!(pipe <= serial + 1e-9, "pipeline {pipe} > serial {serial}");
+        // No engine can finish before the sum of its own work.
+        let h2d: f64 = stages.iter().map(|s| s.h2d_seconds).sum();
+        let comp: f64 = stages.iter().map(|s| s.compute_seconds).sum();
+        let d2h: f64 = stages.iter().map(|s| s.d2h_seconds).sum();
+        let floor = h2d.max(comp).max(d2h);
+        prop_assert!(pipe >= floor - 1e-9, "pipeline {pipe} < engine floor {floor}");
+    }
+
+    #[test]
+    fn kernel_time_is_monotone_in_traffic(
+        bytes in 1u64..1_000_000_000,
+        extra in 1u64..1_000_000_000,
+        blocks in 1u64..100_000,
+    ) {
+        let gpu = GpuSpec::titan_x_maxwell();
+        let a = KernelCost { dram_read_bytes: bytes, blocks, ..Default::default() };
+        let b = KernelCost { dram_read_bytes: bytes + extra, blocks, ..Default::default() };
+        prop_assert!(b.sim_seconds(&gpu) >= a.sim_seconds(&gpu));
+    }
+
+    #[test]
+    fn more_bandwidth_is_never_slower_once_saturated(
+        bytes in 1u64..1_000_000_000,
+        flops in 0u64..1_000_000_000,
+        blocks in 160u64..100_000, // ≥ 2 × V100's 80 SMs: both GPUs saturated
+    ) {
+        // Below saturation a bigger GPU can legitimately be *slower* (8
+        // blocks cannot fill 80 SMs) — the model reproduces that, so the
+        // monotonicity property only holds for saturating grids.
+        let cost = KernelCost {
+            dram_read_bytes: bytes,
+            flops,
+            blocks,
+            ..Default::default()
+        };
+        let titan = GpuSpec::titan_x_maxwell();
+        let volta = GpuSpec::v100_volta();
+        prop_assert!(cost.sim_seconds(&volta) <= cost.sim_seconds(&titan) + 1e-12);
+    }
+
+    #[test]
+    fn small_grids_can_invert_the_gpu_ranking(_x in 0..1) {
+        // Pin the low-occupancy behaviour the property above excludes.
+        let cost = KernelCost {
+            dram_read_bytes: 21_855_720,
+            blocks: 8,
+            ..Default::default()
+        };
+        let titan = GpuSpec::titan_x_maxwell();
+        let volta = GpuSpec::v100_volta();
+        prop_assert!(cost.sim_seconds(&volta) > cost.sim_seconds(&titan));
+    }
+
+    #[test]
+    fn transfer_time_is_superadditive_under_splitting(
+        bytes in 2u64..10_000_000_000,
+        cut in 1u64..100,
+    ) {
+        // Splitting one transfer into two pays latency twice.
+        let link = Link::pcie3();
+        let a = bytes * cut / 100;
+        let b = bytes - a;
+        let whole = link.transfer_seconds(bytes);
+        let split = link.transfer_seconds(a) + link.transfer_seconds(b);
+        prop_assert!(split >= whole - 1e-12);
+    }
+
+    #[test]
+    fn cost_merge_is_commutative_on_time(
+        a_bytes in 0u64..1_000_000,
+        b_bytes in 0u64..1_000_000,
+        a_blocks in 1u64..1000,
+        b_blocks in 1u64..1000,
+    ) {
+        let a = KernelCost { dram_read_bytes: a_bytes, blocks: a_blocks, ..Default::default() };
+        let b = KernelCost { dram_read_bytes: b_bytes, blocks: b_blocks, ..Default::default() };
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+}

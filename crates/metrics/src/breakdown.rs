@@ -1,0 +1,161 @@
+//! Per-phase execution time accounting — the paper's Table 5.
+//!
+//! Table 5 decomposes each CuLDA iteration into the three GPU kernels
+//! (sampling, update θ, update ϕ); our trainer additionally tracks the
+//! multi-GPU synchronization and PCIe transfer phases so the out-of-core
+//! (`M > 1`) and multi-GPU configurations can be audited too.
+
+/// A phase of one CuLDA training iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// The LDA sampling kernel (Algorithm 2 / Figure 6).
+    Sampling,
+    /// The θ update kernel (dense scratch + dense→CSR compaction).
+    UpdateTheta,
+    /// The ϕ update kernel (word-local atomic adds).
+    UpdatePhi,
+    /// Inter-GPU ϕ reduce/broadcast (Figure 4).
+    SyncPhi,
+    /// Host↔device chunk and model transfers (WorkSchedule2 path).
+    Transfer,
+}
+
+impl Phase {
+    /// All phases, in reporting order.
+    pub const ALL: [Phase; 5] = [
+        Phase::Sampling,
+        Phase::UpdateTheta,
+        Phase::UpdatePhi,
+        Phase::SyncPhi,
+        Phase::Transfer,
+    ];
+
+    /// Display name as used in Table 5.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Sampling => "Sampling",
+            Phase::UpdateTheta => "Update theta",
+            Phase::UpdatePhi => "Update phi",
+            Phase::SyncPhi => "Sync phi",
+            Phase::Transfer => "Transfer",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Phase::Sampling => 0,
+            Phase::UpdateTheta => 1,
+            Phase::UpdatePhi => 2,
+            Phase::SyncPhi => 3,
+            Phase::Transfer => 4,
+        }
+    }
+}
+
+/// Accumulated simulated seconds per phase.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Breakdown {
+    seconds: [f64; 5],
+}
+
+impl Breakdown {
+    /// Creates an empty breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `seconds` of simulated time to `phase`.
+    pub fn add(&mut self, phase: Phase, seconds: f64) {
+        assert!(seconds >= 0.0 && seconds.is_finite(), "bad duration {seconds}");
+        self.seconds[phase.index()] += seconds;
+    }
+
+    /// Merges another breakdown into this one (used to combine per-GPU
+    /// accounts into a system view).
+    pub fn merge(&mut self, other: &Breakdown) {
+        for i in 0..self.seconds.len() {
+            self.seconds[i] += other.seconds[i];
+        }
+    }
+
+    /// Accumulated seconds for one phase.
+    pub fn seconds(&self, phase: Phase) -> f64 {
+        self.seconds[phase.index()]
+    }
+
+    /// Total seconds across all phases.
+    pub fn total(&self) -> f64 {
+        self.seconds.iter().sum()
+    }
+
+    /// Fraction of total time spent in `phase`, in `[0, 1]`.
+    pub fn fraction(&self, phase: Phase) -> f64 {
+        let total = self.total();
+        assert!(total > 0.0, "empty breakdown has no fractions");
+        self.seconds(phase) / total
+    }
+
+    /// Percentage rows in Table 5 order, only for phases that occurred.
+    pub fn percent_rows(&self) -> Vec<(Phase, f64)> {
+        Phase::ALL
+            .iter()
+            .filter(|p| self.seconds(**p) > 0.0)
+            .map(|&p| (p, 100.0 * self.fraction(p)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut b = Breakdown::new();
+        b.add(Phase::Sampling, 8.77);
+        b.add(Phase::UpdateTheta, 0.80);
+        b.add(Phase::UpdatePhi, 0.43);
+        let sum: f64 = Phase::ALL.iter().map(|&p| b.fraction(p)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulates_across_iterations() {
+        let mut b = Breakdown::new();
+        for _ in 0..10 {
+            b.add(Phase::Sampling, 0.5);
+        }
+        assert!((b.seconds(Phase::Sampling) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_elementwise() {
+        let mut a = Breakdown::new();
+        a.add(Phase::Sampling, 1.0);
+        let mut b = Breakdown::new();
+        b.add(Phase::Sampling, 2.0);
+        b.add(Phase::SyncPhi, 0.5);
+        a.merge(&b);
+        assert!((a.seconds(Phase::Sampling) - 3.0).abs() < 1e-12);
+        assert!((a.seconds(Phase::SyncPhi) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percent_rows_skip_empty_phases() {
+        let mut b = Breakdown::new();
+        b.add(Phase::Sampling, 3.0);
+        b.add(Phase::UpdatePhi, 1.0);
+        let rows = b.percent_rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, Phase::Sampling);
+        assert!((rows[0].1 - 75.0).abs() < 1e-12);
+        assert_eq!(rows[1].0, Phase::UpdatePhi);
+        assert!((rows[1].1 - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad duration")]
+    fn rejects_negative_time() {
+        Breakdown::new().add(Phase::Sampling, -1.0);
+    }
+}

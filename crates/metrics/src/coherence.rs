@@ -1,0 +1,158 @@
+//! Topic coherence: the UMass metric of Mimno et al.
+//!
+//! Joint log-likelihood (Figure 8) measures fit; *coherence* measures
+//! whether a topic's top words actually co-occur in documents — the
+//! quality statistic human evaluations track best. For a topic's top
+//! words `w_1 … w_N` (most probable first), UMass coherence is
+//!
+//! ```text
+//! C = Σ_{i=2..N} Σ_{j<i} ln ( (D(w_i, w_j) + ε) / D(w_j) )
+//! ```
+//!
+//! where `D(w)` counts documents containing `w` and `D(w_i, w_j)` counts
+//! documents containing both. Less negative is better. The document
+//! statistics come from a [`CoOccurrence`] index built once per corpus.
+
+use std::collections::{HashMap, HashSet};
+
+/// Document-frequency and co-document-frequency index over a corpus.
+#[derive(Debug, Clone, Default)]
+pub struct CoOccurrence {
+    /// `D(w)`: number of documents containing word `w`.
+    doc_freq: HashMap<u32, u32>,
+    /// `D(w_a, w_b)` for `a < b`.
+    pair_freq: HashMap<(u32, u32), u32>,
+    num_docs: u32,
+}
+
+impl CoOccurrence {
+    /// Builds the index from documents given as word-id slices. Only the
+    /// words in `track` are indexed (pass the union of all topics' top
+    /// words — indexing the full pairwise vocabulary would be quadratic).
+    pub fn build<'a, I>(docs: I, track: &HashSet<u32>) -> Self
+    where
+        I: IntoIterator<Item = &'a [u32]>,
+    {
+        let mut out = Self::default();
+        for doc in docs {
+            out.num_docs += 1;
+            let present: Vec<u32> = {
+                let mut s: Vec<u32> = doc
+                    .iter()
+                    .copied()
+                    .filter(|w| track.contains(w))
+                    .collect::<HashSet<_>>()
+                    .into_iter()
+                    .collect();
+                s.sort_unstable();
+                s
+            };
+            for (i, &a) in present.iter().enumerate() {
+                *out.doc_freq.entry(a).or_insert(0) += 1;
+                for &b in &present[i + 1..] {
+                    *out.pair_freq.entry((a, b)).or_insert(0) += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// `D(w)`.
+    pub fn doc_freq(&self, w: u32) -> u32 {
+        self.doc_freq.get(&w).copied().unwrap_or(0)
+    }
+
+    /// `D(w_a, w_b)` (order-insensitive).
+    pub fn pair_freq(&self, a: u32, b: u32) -> u32 {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.pair_freq.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Number of indexed documents.
+    pub fn num_docs(&self) -> u32 {
+        self.num_docs
+    }
+
+    /// UMass coherence of a topic's top words (most probable first).
+    /// `epsilon` is the usual smoothing constant (1.0 in the original).
+    pub fn umass_coherence(&self, top_words: &[u32], epsilon: f64) -> f64 {
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        let mut score = 0.0;
+        for i in 1..top_words.len() {
+            for j in 0..i {
+                let d_j = self.doc_freq(top_words[j]);
+                if d_j == 0 {
+                    continue; // a never-seen word carries no evidence
+                }
+                let d_ij = self.pair_freq(top_words[i], top_words[j]);
+                score += ((d_ij as f64 + epsilon) / d_j as f64).ln();
+            }
+        }
+        score
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index(docs: &[&[u32]]) -> CoOccurrence {
+        let track: HashSet<u32> = docs.iter().flat_map(|d| d.iter().copied()).collect();
+        CoOccurrence::build(docs.iter().copied(), &track)
+    }
+
+    #[test]
+    fn frequencies_count_documents_not_tokens() {
+        let idx = index(&[&[0, 0, 1], &[1, 2], &[0]]);
+        assert_eq!(idx.num_docs(), 3);
+        assert_eq!(idx.doc_freq(0), 2, "word 0 appears in 2 docs (3 tokens)");
+        assert_eq!(idx.doc_freq(1), 2);
+        assert_eq!(idx.doc_freq(2), 1);
+        assert_eq!(idx.pair_freq(0, 1), 1);
+        assert_eq!(idx.pair_freq(1, 0), 1, "order-insensitive");
+        assert_eq!(idx.pair_freq(0, 2), 0);
+    }
+
+    #[test]
+    fn cooccurring_topics_score_higher() {
+        // Words 0,1,2 always together; words 3,4,5 never together.
+        let idx = index(&[
+            &[0, 1, 2],
+            &[0, 1, 2],
+            &[0, 1, 2],
+            &[3],
+            &[4],
+            &[5],
+        ]);
+        let coherent = idx.umass_coherence(&[0, 1, 2], 1.0);
+        let incoherent = idx.umass_coherence(&[3, 4, 5], 1.0);
+        assert!(
+            coherent > incoherent,
+            "coherent {coherent} vs incoherent {incoherent}"
+        );
+    }
+
+    #[test]
+    fn perfect_cooccurrence_scores_near_zero() {
+        let idx = index(&[&[7, 8], &[7, 8], &[7, 8], &[7, 8]]);
+        let c = idx.umass_coherence(&[7, 8], 1.0);
+        // ln((4+1)/4) > 0 from smoothing; essentially zero.
+        assert!(c > 0.0 && c < 0.5);
+    }
+
+    #[test]
+    fn untracked_words_are_ignored_gracefully() {
+        let idx = index(&[&[0, 1]]);
+        // Word 99 never seen: its pairs contribute nothing, and pairs with
+        // it as the conditioning word are skipped.
+        let c = idx.umass_coherence(&[0, 99, 1], 1.0);
+        assert!(c.is_finite());
+    }
+
+    #[test]
+    fn single_word_topic_scores_zero() {
+        let idx = index(&[&[0]]);
+        assert_eq!(idx.umass_coherence(&[0], 1.0), 0.0);
+        assert_eq!(idx.umass_coherence(&[], 1.0), 0.0);
+    }
+}

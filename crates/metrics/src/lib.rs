@@ -1,0 +1,32 @@
+//! # culda-metrics
+//!
+//! Measurement substrate for the CuLDA_CGS reproduction: the statistics the
+//! paper reports. Nothing here depends on the rest of the workspace, so
+//! every solver (CuLDA, the dense oracle, the CPU and distributed baselines)
+//! scores itself with identical code.
+//!
+//! * [`lgamma`] — `ln Γ` / digamma implemented from scratch.
+//! * [`loglik`] — joint log-likelihood per token (Figure 8's y-axis).
+//! * [`throughput`] — `#Tokens/sec` accounting (Eq. 2, Table 4, Figure 7).
+//! * [`breakdown`] — per-kernel time decomposition (Table 5).
+//! * [`roofline`] — Flops/Byte analysis (Table 1, Section 3.1).
+//! * [`coherence`] — UMass topic coherence (quality extension).
+//! * [`series`] — named curves + CSV/ASCII emitters for the figure harnesses.
+
+#![warn(missing_docs)]
+
+pub mod breakdown;
+pub mod coherence;
+pub mod lgamma;
+pub mod loglik;
+pub mod roofline;
+pub mod series;
+pub mod throughput;
+
+pub use breakdown::{Breakdown, Phase};
+pub use coherence::CoOccurrence;
+pub use lgamma::{digamma, ln_gamma, ln_gamma_ratio};
+pub use loglik::LdaLoglik;
+pub use roofline::{Roofline, SamplingStep};
+pub use series::{Figure, Series};
+pub use throughput::{format_tokens_per_sec, IterationStat, RunHistory};

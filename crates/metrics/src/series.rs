@@ -1,0 +1,177 @@
+//! Named `(x, y)` series and plain-text emitters for the figure harnesses.
+//!
+//! The figure binaries (`fig7`, `fig8`, `fig9`) regenerate the paper's plots
+//! as long-format CSV (`series,x,y`) so any plotting tool can render them,
+//! plus a quick ASCII sketch for eyeballing in a terminal.
+
+use std::fmt::Write as _;
+
+/// One curve of a figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label, e.g. `"Volta"` or `"WarpLDA"`.
+    pub name: String,
+    /// Data points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series from a label and points.
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self {
+            name: name.into(),
+            points,
+        }
+    }
+
+    /// Minimum and maximum y, or `None` for an empty series.
+    pub fn y_range(&self) -> Option<(f64, f64)> {
+        self.points.iter().fold(None, |acc, &(_, y)| match acc {
+            None => Some((y, y)),
+            Some((lo, hi)) => Some((lo.min(y), hi.max(y))),
+        })
+    }
+}
+
+/// A figure: several series sharing axes.
+#[derive(Debug, Clone, Default)]
+pub struct Figure {
+    /// Figure title (e.g. `"Fig 7 - NYTimes"`).
+    pub title: String,
+    /// Axis labels.
+    pub x_label: String,
+    /// Axis labels.
+    pub y_label: String,
+    /// Curves.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Creates an empty figure with labels.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Self {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a curve.
+    pub fn push(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// Long-format CSV: header then one row per point.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "series,{},{}", csv_field(&self.x_label), csv_field(&self.y_label));
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                let _ = writeln!(out, "{},{x},{y}", csv_field(&s.name));
+            }
+        }
+        out
+    }
+
+    /// A coarse ASCII rendering (one row per series, bar-chart of final y or
+    /// sparkline of the curve) for terminal inspection.
+    pub fn to_ascii(&self, width: usize) -> String {
+        const TICKS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+        let (lo, hi) = self
+            .series
+            .iter()
+            .filter_map(Series::y_range)
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), (a, b)| {
+                (lo.min(a), hi.max(b))
+            });
+        let mut out = String::new();
+        let _ = writeln!(out, "# {} ({} vs {})", self.title, self.y_label, self.x_label);
+        if !lo.is_finite() {
+            return out;
+        }
+        let span = (hi - lo).max(f64::MIN_POSITIVE);
+        let name_w = self.series.iter().map(|s| s.name.len()).max().unwrap_or(0);
+        for s in &self.series {
+            let mut line = format!("{:name_w$} ", s.name);
+            let n = s.points.len();
+            if n == 0 {
+                let _ = writeln!(out, "{line}(empty)");
+                continue;
+            }
+            // Resample the curve to `width` columns by nearest point.
+            for col in 0..width.min(n.max(1)) {
+                let idx = col * (n - 1) / width.max(1).min(n).max(1).saturating_sub(0).max(1);
+                let idx = idx.min(n - 1);
+                let y = s.points[idx].1;
+                let level = (((y - lo) / span) * (TICKS.len() - 1) as f64).round() as usize;
+                line.push(TICKS[level.min(TICKS.len() - 1)]);
+            }
+            let last = s.points[n - 1].1;
+            let _ = writeln!(out, "{line}  (last {last:.4})");
+        }
+        let _ = writeln!(out, "{:name_w$} y in [{lo:.4}, {hi:.4}]", "");
+        out
+    }
+}
+
+/// Quotes a CSV field if it contains a delimiter.
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut fig = Figure::new("t", "iter", "tps");
+        fig.push(Series::new("a", vec![(0.0, 1.0), (1.0, 2.0)]));
+        fig.push(Series::new("b", vec![(0.0, 3.0)]));
+        let csv = fig.to_csv();
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines[0], "series,iter,tps");
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[1], "a,0,1");
+        assert_eq!(lines[3], "b,0,3");
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let mut fig = Figure::new("t", "x,axis", "y");
+        fig.push(Series::new("se,ries", vec![(1.0, 2.0)]));
+        let csv = fig.to_csv();
+        assert!(csv.starts_with("series,\"x,axis\",y\n"));
+        assert!(csv.contains("\"se,ries\",1,2"));
+    }
+
+    #[test]
+    fn y_range_over_points() {
+        let s = Series::new("s", vec![(0.0, 5.0), (1.0, -2.0), (2.0, 3.0)]);
+        assert_eq!(s.y_range(), Some((-2.0, 5.0)));
+        assert_eq!(Series::new("e", vec![]).y_range(), None);
+    }
+
+    #[test]
+    fn ascii_renders_without_panicking() {
+        let mut fig = Figure::new("fig", "x", "y");
+        fig.push(Series::new("flat", vec![(0.0, 1.0); 5]));
+        fig.push(Series::new("ramp", (0..50).map(|i| (i as f64, i as f64)).collect()));
+        fig.push(Series::new("empty", vec![]));
+        let art = fig.to_ascii(40);
+        assert!(art.contains("fig"));
+        assert!(art.contains("ramp"));
+        // Empty figure also fine.
+        let empty = Figure::new("e", "x", "y").to_ascii(10);
+        assert!(empty.contains("# e"));
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests for the measurement substrate.
+
+use culda_metrics::{lgamma, Breakdown, LdaLoglik, Phase};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lngamma_satisfies_recurrence(x in 0.01f64..1e6) {
+        // ln Γ(x+1) = ln Γ(x) + ln x
+        let lhs = lgamma::ln_gamma(x + 1.0);
+        let rhs = lgamma::ln_gamma(x) + x.ln();
+        prop_assert!((lhs - rhs).abs() <= 1e-10 * rhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn lngamma_is_convex_on_sampled_triples(x in 0.1f64..1e4, h in 0.01f64..10.0) {
+        // Midpoint convexity: f((a+b)/2) ≤ (f(a)+f(b))/2.
+        let a = x;
+        let b = x + 2.0 * h;
+        let mid = lgamma::ln_gamma(x + h);
+        let avg = 0.5 * (lgamma::ln_gamma(a) + lgamma::ln_gamma(b));
+        prop_assert!(mid <= avg + 1e-9);
+    }
+
+    #[test]
+    fn ratio_matches_difference(x in 0.01f64..1e4, n in 0u32..5000) {
+        let direct = lgamma::ln_gamma(x + n as f64) - lgamma::ln_gamma(x);
+        let ratio = lgamma::ln_gamma_ratio(x, n);
+        prop_assert!((direct - ratio).abs() <= 1e-7 * direct.abs().max(1.0));
+    }
+
+    #[test]
+    fn digamma_recurrence(x in 0.05f64..1e5) {
+        let lhs = lgamma::digamma(x + 1.0);
+        let rhs = lgamma::digamma(x) + 1.0 / x;
+        prop_assert!((lhs - rhs).abs() <= 1e-9 * rhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn topic_term_is_permutation_invariant(
+        mut counts in proptest::collection::vec(0u32..500, 1..40),
+    ) {
+        let eval = LdaLoglik::new(0.5, 0.01, 4, 64);
+        let total: u64 = counts.iter().map(|&c| c as u64).sum();
+        let a = eval.topic_term(counts.iter().copied(), total);
+        counts.reverse();
+        let b = eval.topic_term(counts.iter().copied(), total);
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn splitting_mass_across_topics_never_helps_beyond_bound(
+        c in 1u32..1000,
+    ) {
+        // With β < 1, concentrating a topic's mass on one word scores at
+        // least as high as splitting it across two words.
+        let eval = LdaLoglik::new(0.5, 0.01, 2, 8);
+        let concentrated = eval.topic_term([c], c as u64);
+        let split = eval.topic_term([c / 2, c - c / 2], c as u64);
+        prop_assert!(concentrated >= split - 1e-9);
+    }
+
+    #[test]
+    fn breakdown_fractions_partition_unity(
+        secs in proptest::collection::vec(0.001f64..100.0, 5),
+    ) {
+        let mut b = Breakdown::new();
+        for (phase, s) in Phase::ALL.into_iter().zip(&secs) {
+            b.add(phase, *s);
+        }
+        let sum: f64 = Phase::ALL.iter().map(|&p| b.fraction(p)).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        let rows = b.percent_rows();
+        let pct: f64 = rows.iter().map(|(_, p)| p).sum();
+        prop_assert!((pct - 100.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,124 @@
+//! Trainer configuration.
+
+use culda_gpusim::{Link, Platform};
+
+/// Everything that parameterizes a CuLDA training run.
+#[derive(Debug, Clone)]
+pub struct TrainerConfig {
+    /// Number of topics `K` (must fit the u16 compression, `K ≤ 65536`).
+    pub num_topics: usize,
+    /// Full corpus passes to run.
+    pub iterations: u32,
+    /// RNG seed; runs are bit-reproducible per seed across any GPU count.
+    pub seed: u64,
+    /// The simulated machine (Table 2 preset or custom).
+    pub platform: Platform,
+    /// Chunks per GPU `M`. `None` = choose the smallest M whose working set
+    /// fits device memory (Section 5.1's rule).
+    pub chunks_per_gpu: Option<usize>,
+    /// Score the joint log-likelihood every this many iterations
+    /// (0 = never). Scoring is host-side and free in simulated time.
+    pub score_every: u32,
+    /// Section 6.1.3 precision compression (u16 indices) on/off (ablation).
+    pub compressed: bool,
+    /// Shared-memory caching of `p*(k)` and the trees on/off (ablation).
+    pub use_shared_memory: bool,
+    /// Route θ CSR index loads through the L1 model (Section 6.1.2's
+    /// selective caching) on/off (ablation).
+    pub use_l1_for_indices: bool,
+    /// Tokens per sampling block; `None` = auto-size for device saturation.
+    pub tokens_per_block: Option<usize>,
+    /// Override for the device↔device link (e.g. [`Link::nvlink`] for the
+    /// interconnect ablation); `None` = the platform's PCIe.
+    pub peer_link: Option<Link>,
+    /// Use the ring all-reduce for the ϕ sync instead of the paper's
+    /// Figure 4 tree (extension; same result, different critical path).
+    pub ring_sync: bool,
+}
+
+impl TrainerConfig {
+    /// A sensible default: `K` topics on `platform`, 100 iterations (the
+    /// paper's Table 4 horizon), full optimizations, scoring every 10.
+    pub fn new(num_topics: usize, platform: Platform) -> Self {
+        Self {
+            num_topics,
+            iterations: 100,
+            seed: 0xC0_1DA,
+            platform,
+            chunks_per_gpu: None,
+            score_every: 10,
+            compressed: true,
+            use_shared_memory: true,
+            use_l1_for_indices: true,
+            tokens_per_block: None,
+            peer_link: None,
+            ring_sync: false,
+        }
+    }
+
+    /// Builder-style override of the iteration count.
+    pub fn with_iterations(mut self, n: u32) -> Self {
+        self.iterations = n;
+        self
+    }
+
+    /// Builder-style override of the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style override of the scoring cadence.
+    pub fn with_score_every(mut self, n: u32) -> Self {
+        self.score_every = n;
+        self
+    }
+
+    /// Bytes of one ϕ element under the current compression setting.
+    pub fn phi_elem_bytes(&self) -> u64 {
+        if self.compressed {
+            2
+        } else {
+            4
+        }
+    }
+
+    /// Device bytes of one ϕ replica (ϕ + column sums).
+    pub fn phi_device_bytes(&self, vocab_size: usize) -> u64 {
+        (vocab_size as u64 * self.num_topics as u64 + self.num_topics as u64)
+            * self.phi_elem_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let cfg = TrainerConfig::new(1024, Platform::volta());
+        assert_eq!(cfg.iterations, 100);
+        assert!(cfg.compressed);
+        assert!(cfg.use_shared_memory);
+        assert!(cfg.chunks_per_gpu.is_none());
+    }
+
+    #[test]
+    fn phi_bytes_respect_compression() {
+        let mut cfg = TrainerConfig::new(1000, Platform::maxwell());
+        assert_eq!(cfg.phi_device_bytes(100), (100_000 + 1000) * 2);
+        cfg.compressed = false;
+        assert_eq!(cfg.phi_device_bytes(100), (100_000 + 1000) * 4);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let cfg = TrainerConfig::new(8, Platform::maxwell())
+            .with_iterations(5)
+            .with_seed(9)
+            .with_score_every(1);
+        assert_eq!(cfg.iterations, 5);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.score_every, 1);
+    }
+}

@@ -1,0 +1,42 @@
+//! # culda-multigpu
+//!
+//! Multi-GPU orchestration for CuLDA_CGS (Sections 4–5): token-balanced
+//! partition-by-document ([`partition`]), the `M` memory-planning rule and
+//! round-robin schedule of Algorithm 1 ([`schedule`]), the Figure 4
+//! reduce/broadcast ϕ synchronization ([`sync`]), and the end-to-end
+//! trainer with WorkSchedule1/WorkSchedule2 and sync/θ-update overlap
+//! ([`trainer`]).
+
+//! ```
+//! use culda_corpus::SynthSpec;
+//! use culda_gpusim::Platform;
+//! use culda_multigpu::{CuldaTrainer, TrainerConfig};
+//!
+//! let corpus = SynthSpec::tiny().generate();
+//! let cfg = TrainerConfig::new(8, Platform::volta())
+//!     .with_iterations(3)
+//!     .with_score_every(0);
+//! let outcome = CuldaTrainer::new(&corpus, cfg).train();
+//! assert_eq!(outcome.history.len(), 3);
+//! assert!(outcome.final_loglik_per_token.is_finite());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod partition;
+pub mod policy;
+pub mod resume;
+pub mod schedule;
+pub mod sync;
+pub mod trainer;
+pub mod word_trainer;
+
+pub use config::TrainerConfig;
+pub use partition::PartitionedCorpus;
+pub use policy::{compare_policies, compare_policies_analytic, PolicyComparison};
+pub use resume::{resume_training, save_training};
+pub use schedule::{chunk_owner, plan_partition, MemoryPlan};
+pub use sync::{sync_phi_replicas, sync_phi_ring, SyncReport};
+pub use trainer::{CuldaTrainer, TrainOutcome};
+pub use word_trainer::WordPartitionedTrainer;

@@ -1,0 +1,99 @@
+//! Corpus preparation for multi-GPU training (Figure 3a).
+//!
+//! Produces the `C = M × G` token-balanced chunks in their word-sorted
+//! device layout, plus the global token offset of each chunk (the sampler
+//! RNG streams are keyed by global token index, which is what makes a
+//! 4-GPU run bit-identical to a 1-GPU run).
+
+use culda_corpus::{partition_by_tokens, ChunkSpec, Corpus, SortedChunk};
+
+/// A corpus split into device-ready chunks.
+#[derive(Debug)]
+pub struct PartitionedCorpus {
+    /// Word-sorted chunk layouts, in chunk-id order.
+    pub chunks: Vec<SortedChunk>,
+    /// The document ranges and token counts behind each chunk.
+    pub specs: Vec<ChunkSpec>,
+    /// Global token offset of each chunk (prefix sums of token counts).
+    pub token_offsets: Vec<u64>,
+    /// Total tokens across chunks.
+    pub num_tokens: u64,
+    /// Vocabulary size of the source corpus.
+    pub vocab_size: usize,
+    /// Document count of the source corpus.
+    pub num_docs: usize,
+}
+
+impl PartitionedCorpus {
+    /// Partitions `corpus` into `c` chunks and builds their device layouts.
+    pub fn prepare(corpus: &Corpus, c: usize) -> Self {
+        let specs = partition_by_tokens(corpus, c);
+        let chunks: Vec<SortedChunk> = specs
+            .iter()
+            .map(|s| SortedChunk::build(corpus, s))
+            .collect();
+        let mut token_offsets = Vec::with_capacity(c);
+        let mut acc = 0u64;
+        for ch in &chunks {
+            token_offsets.push(acc);
+            acc += ch.num_tokens() as u64;
+        }
+        assert_eq!(acc, corpus.num_tokens(), "chunks must cover the corpus");
+        Self {
+            chunks,
+            specs,
+            token_offsets,
+            num_tokens: acc,
+            vocab_size: corpus.vocab_size(),
+            num_docs: corpus.num_docs(),
+        }
+    }
+
+    /// Number of chunks `C`.
+    pub fn num_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Approximate device bytes of chunk `i`'s corpus arrays (token→doc
+    /// map, document–word map, word table) plus its `z`; θ is separate.
+    pub fn chunk_device_bytes(&self, i: usize) -> u64 {
+        let ch = &self.chunks[i];
+        let t = ch.num_tokens() as u64;
+        // token_doc (4) + doc_token_idx (4) + z (2) per token, plus word and
+        // doc pointer tables.
+        t * (4 + 4 + 2)
+            + (ch.word_ids.len() as u64) * (4 + 8)
+            + (ch.num_docs as u64 + 1) * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culda_corpus::SynthSpec;
+
+    #[test]
+    fn offsets_are_prefix_sums() {
+        let corpus = SynthSpec::tiny().generate();
+        let p = PartitionedCorpus::prepare(&corpus, 4);
+        assert_eq!(p.num_chunks(), 4);
+        assert_eq!(p.token_offsets[0], 0);
+        for i in 1..4 {
+            assert_eq!(
+                p.token_offsets[i],
+                p.token_offsets[i - 1] + p.chunks[i - 1].num_tokens() as u64
+            );
+        }
+        assert_eq!(p.num_tokens, corpus.num_tokens());
+    }
+
+    #[test]
+    fn chunk_bytes_are_positive_and_token_dominated() {
+        let corpus = SynthSpec::tiny().generate();
+        let p = PartitionedCorpus::prepare(&corpus, 2);
+        for i in 0..2 {
+            let b = p.chunk_device_bytes(i);
+            assert!(b >= p.chunks[i].num_tokens() as u64 * 10);
+        }
+    }
+}

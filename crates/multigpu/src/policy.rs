@@ -1,0 +1,152 @@
+//! Partition-policy analysis — the Section 4 design decision.
+//!
+//! "Basically, there are two workload partition policies,
+//! partition-by-document and partition-by-word. … after the sampling, we
+//! only need to synchronize each replica of ϕ [for partition-by-document]
+//! … [for partition-by-word] we only need to synchronize the replicas of
+//! θ. Consider D is often several orders of magnitude greater than V,
+//! synchronizing θ is more expensive than ϕ. Therefore, we select the
+//! partition-by-document policy."
+//!
+//! This module quantifies that trade-off for a concrete corpus and `K`:
+//! the per-iteration bytes each policy must move through the interconnect,
+//! and the resulting sync times. The paper's rule of thumb (`D ≫ V`) is
+//! validated on the real dataset shapes by the unit tests, and the
+//! ablation harness prints the comparison for the synthetic corpora.
+
+use crate::config::TrainerConfig;
+use culda_gpusim::Link;
+use culda_corpus::Corpus;
+
+/// Per-iteration synchronization footprint of the two policies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyComparison {
+    /// Bytes of one ϕ replica (partition-by-document syncs this).
+    pub phi_bytes: u64,
+    /// Bytes of one θ replica (partition-by-word would sync this): the
+    /// CSR non-zeros, `Σ_d min(L_d, K)` entries at 6 B (u16 col + u32 val)
+    /// plus row pointers.
+    pub theta_bytes: u64,
+    /// `theta_bytes / phi_bytes` — above 1.0 favours the paper's choice.
+    pub theta_to_phi_ratio: f64,
+}
+
+impl PolicyComparison {
+    /// Whether partition-by-document (sync ϕ) is the cheaper policy.
+    pub fn document_partition_wins(&self) -> bool {
+        self.theta_to_phi_ratio > 1.0
+    }
+
+    /// Sync-time estimates over `link` for a reduce+broadcast of depth
+    /// `⌈log₂ G⌉` each way: `(phi_seconds, theta_seconds)`.
+    pub fn sync_seconds(&self, link: &Link, gpus: usize) -> (f64, f64) {
+        let rounds = 2 * (gpus.max(1) as f64).log2().ceil() as u32;
+        let t = |bytes: u64| rounds as f64 * link.transfer_seconds(bytes);
+        (t(self.phi_bytes), t(self.theta_bytes))
+    }
+}
+
+/// Computes the comparison for a corpus at `K` topics under `cfg`'s
+/// compression setting.
+pub fn compare_policies(corpus: &Corpus, cfg: &TrainerConfig) -> PolicyComparison {
+    let k = cfg.num_topics;
+    let phi_bytes = cfg.phi_device_bytes(corpus.vocab_size());
+    let theta_nnz: u64 = corpus
+        .docs
+        .iter()
+        .map(|d| d.len().min(k) as u64)
+        .sum();
+    let theta_bytes = theta_nnz * 6 + (corpus.num_docs() as u64 + 1) * 8;
+    PolicyComparison {
+        phi_bytes,
+        theta_bytes,
+        theta_to_phi_ratio: theta_bytes as f64 / phi_bytes as f64,
+    }
+}
+
+/// The same comparison from dataset *statistics* alone (no corpus in
+/// memory) — used to check the paper's full-size datasets.
+pub fn compare_policies_analytic(
+    num_docs: u64,
+    num_tokens: u64,
+    vocab: u64,
+    k: u64,
+    phi_elem_bytes: u64,
+) -> PolicyComparison {
+    let phi_bytes = (vocab * k + k) * phi_elem_bytes;
+    // Average doc length bounds the average θ row nnz.
+    let avg_len = num_tokens as f64 / num_docs as f64;
+    let avg_nnz = avg_len.min(k as f64);
+    let theta_bytes = (num_docs as f64 * avg_nnz * 6.0) as u64 + (num_docs + 1) * 8;
+    PolicyComparison {
+        phi_bytes,
+        theta_bytes,
+        theta_to_phi_ratio: theta_bytes as f64 / phi_bytes as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culda_corpus::SynthSpec;
+    use culda_gpusim::Platform;
+
+    #[test]
+    fn paper_datasets_favour_document_partition() {
+        // NYTimes: D = 299,752, T = 99.5M, V = 101,636; PubMed: D = 8.2M,
+        // T = 737.9M, V = 141,043 — at K = 1024 with u16 ϕ.
+        let ny = compare_policies_analytic(299_752, 99_542_125, 101_636, 1024, 2);
+        assert!(
+            ny.document_partition_wins(),
+            "NYTimes ratio {}",
+            ny.theta_to_phi_ratio
+        );
+        let pm = compare_policies_analytic(8_200_000, 737_869_083, 141_043, 1024, 2);
+        assert!(
+            pm.document_partition_wins(),
+            "PubMed ratio {}",
+            pm.theta_to_phi_ratio
+        );
+        // PubMed's D/V is far larger, so its ratio should be too.
+        assert!(pm.theta_to_phi_ratio > ny.theta_to_phi_ratio);
+    }
+
+    #[test]
+    fn corpus_and_analytic_agree_roughly() {
+        let corpus = SynthSpec::tiny().generate();
+        let cfg = TrainerConfig::new(16, Platform::maxwell());
+        let exact = compare_policies(&corpus, &cfg);
+        let approx = compare_policies_analytic(
+            corpus.num_docs() as u64,
+            corpus.num_tokens(),
+            corpus.vocab_size() as u64,
+            16,
+            2,
+        );
+        let rel = (exact.theta_bytes as f64 - approx.theta_bytes as f64).abs()
+            / exact.theta_bytes as f64;
+        assert!(rel < 0.25, "analytic estimate off by {rel}");
+        assert_eq!(exact.phi_bytes, approx.phi_bytes);
+    }
+
+    #[test]
+    fn sync_times_scale_with_bytes() {
+        let cmp = PolicyComparison {
+            phi_bytes: 1_000_000,
+            theta_bytes: 10_000_000,
+            theta_to_phi_ratio: 10.0,
+        };
+        let (phi_t, theta_t) = cmp.sync_seconds(&Link::pcie3(), 4);
+        assert!(theta_t > 5.0 * phi_t);
+        let (one_gpu_phi, _) = cmp.sync_seconds(&Link::pcie3(), 1);
+        assert_eq!(one_gpu_phi, 0.0);
+    }
+
+    #[test]
+    fn tiny_vocab_huge_docs_would_flip_the_decision() {
+        // A degenerate corpus (few giant docs, huge vocabulary) makes
+        // partition-by-word attractive — the module must report that too.
+        let cmp = compare_policies_analytic(10, 1_000, 1_000_000, 1024, 2);
+        assert!(!cmp.document_partition_wins());
+    }
+}

@@ -1,0 +1,210 @@
+//! Training checkpoints: suspend and resume a CuLDA run.
+//!
+//! The paper's runs are hundreds of iterations over hours; production
+//! training must survive restarts. The ϕ checkpoint of
+//! `culda_sampler::checkpoint` is enough for *inference*, but resuming
+//! *training* needs the exact sampler state: every token's assignment,
+//! the iteration counter, and the configuration identity. This module
+//! serializes that (hand-rolled little-endian, consistent with the
+//! workspace's no-serde policy) and rebuilds a trainer that continues
+//! **bit-identically** — the golden property the tests pin: train 2+3
+//! iterations with a save/load in between ≡ train 5 straight.
+
+use crate::config::TrainerConfig;
+use crate::trainer::CuldaTrainer;
+use culda_corpus::Corpus;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"CULDARUN";
+const VERSION: u32 = 1;
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn w32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn w64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn r32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn r64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Serializes the resumable state of a trainer: config identity (seed, K,
+/// chunk count), the iteration counter, and each chunk's assignments.
+pub fn save_training<W: Write>(trainer: &CuldaTrainer, mut out: W) -> io::Result<()> {
+    out.write_all(MAGIC)?;
+    w32(&mut out, VERSION)?;
+    w64(&mut out, trainer.cfg.seed)?;
+    w64(&mut out, trainer.cfg.num_topics as u64)?;
+    w32(&mut out, trainer.iterations_done())?;
+    let states = trainer.states();
+    w64(&mut out, states.len() as u64)?;
+    for st in states {
+        let z = st.z.snapshot();
+        w64(&mut out, z.len() as u64)?;
+        for v in z {
+            out.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Rebuilds a trainer from `corpus` + `cfg` and a checkpoint produced by
+/// [`save_training`]. The corpus and configuration must be the ones the
+/// checkpoint was taken with (validated where possible: seed, K, chunk
+/// count, per-chunk token counts).
+pub fn resume_training<R: Read>(
+    corpus: &Corpus,
+    cfg: TrainerConfig,
+    mut input: R,
+) -> io::Result<CuldaTrainer> {
+    let mut magic = [0u8; 8];
+    input.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(invalid("not a CuLDA training checkpoint"));
+    }
+    let version = r32(&mut input)?;
+    if version != VERSION {
+        return Err(invalid(format!("unsupported checkpoint version {version}")));
+    }
+    let seed = r64(&mut input)?;
+    if seed != cfg.seed {
+        return Err(invalid(format!(
+            "checkpoint seed {seed:#x} != config seed {:#x}",
+            cfg.seed
+        )));
+    }
+    let k = r64(&mut input)? as usize;
+    if k != cfg.num_topics {
+        return Err(invalid(format!("checkpoint K = {k} != config K = {}", cfg.num_topics)));
+    }
+    let iteration = r32(&mut input)?;
+    let num_chunks = r64(&mut input)? as usize;
+
+    let mut trainer = CuldaTrainer::new(corpus, cfg);
+    if trainer.states().len() != num_chunks {
+        return Err(invalid(format!(
+            "checkpoint has {num_chunks} chunks, corpus partitions into {}",
+            trainer.states().len()
+        )));
+    }
+    let mut all_z = Vec::with_capacity(num_chunks);
+    for ci in 0..num_chunks {
+        let n = r64(&mut input)? as usize;
+        if n != trainer.states()[ci].z.len() {
+            return Err(invalid(format!(
+                "chunk {ci} has {n} tokens in the checkpoint but {} in the corpus",
+                trainer.states()[ci].z.len()
+            )));
+        }
+        let mut z = Vec::with_capacity(n);
+        let mut b = [0u8; 2];
+        for _ in 0..n {
+            input.read_exact(&mut b)?;
+            let v = u16::from_le_bytes(b);
+            if v as usize >= k {
+                return Err(invalid(format!("assignment {v} out of range K = {k}")));
+            }
+            z.push(v);
+        }
+        all_z.push(z);
+    }
+    trainer
+        .restore_assignments(iteration, &all_z)
+        .map_err(invalid)?;
+    Ok(trainer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culda_corpus::SynthSpec;
+    use culda_gpusim::Platform;
+
+    fn corpus() -> Corpus {
+        let mut spec = SynthSpec::tiny();
+        spec.num_docs = 120;
+        spec.vocab_size = 200;
+        spec.avg_doc_len = 25.0;
+        spec.generate()
+    }
+
+    fn cfg() -> TrainerConfig {
+        TrainerConfig::new(8, Platform::maxwell())
+            .with_iterations(10)
+            .with_score_every(0)
+            .with_seed(31)
+    }
+
+    #[test]
+    fn resume_is_bit_identical_to_straight_training() {
+        let c = corpus();
+        // Straight: 5 iterations.
+        let mut straight = CuldaTrainer::new(&c, cfg());
+        for _ in 0..5 {
+            straight.step();
+        }
+        // Split: 2 iterations, checkpoint, resume, 3 more.
+        let mut first = CuldaTrainer::new(&c, cfg());
+        first.step();
+        first.step();
+        let mut buf = Vec::new();
+        save_training(&first, &mut buf).unwrap();
+        let mut resumed = resume_training(&c, cfg(), buf.as_slice()).unwrap();
+        for _ in 0..3 {
+            resumed.step();
+        }
+        let a: Vec<Vec<u16>> = straight.states().iter().map(|s| s.z.snapshot()).collect();
+        let b: Vec<Vec<u16>> = resumed.states().iter().map(|s| s.z.snapshot()).collect();
+        assert_eq!(a, b, "resume broke the chain");
+        assert!(
+            (straight.loglik_per_token() - resumed.loglik_per_token()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn mismatched_config_is_rejected() {
+        let c = corpus();
+        let mut t = CuldaTrainer::new(&c, cfg());
+        t.step();
+        let mut buf = Vec::new();
+        save_training(&t, &mut buf).unwrap();
+        // Wrong seed.
+        let bad = cfg().with_seed(32);
+        assert!(resume_training(&c, bad, buf.as_slice()).is_err());
+        // Wrong K.
+        let bad = TrainerConfig::new(16, Platform::maxwell()).with_seed(31);
+        assert!(resume_training(&c, bad, buf.as_slice()).is_err());
+        // Wrong corpus (different shape).
+        let mut spec = SynthSpec::tiny();
+        spec.num_docs = 60;
+        let other = spec.generate();
+        assert!(resume_training(&other, cfg(), buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn garbage_is_rejected_not_panicked() {
+        let c = corpus();
+        assert!(resume_training(&c, cfg(), &b"nonsense"[..]).is_err());
+        let mut t = CuldaTrainer::new(&c, cfg());
+        t.step();
+        let mut buf = Vec::new();
+        save_training(&t, &mut buf).unwrap();
+        for cut in [3usize, 12, buf.len() / 2] {
+            assert!(resume_training(&c, cfg(), &buf[..cut]).is_err());
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Workload scheduling — Algorithm 1 and the `M` planning rule of
+//! Section 5.1.
+//!
+//! `C = M × G` chunks are scheduled round-robin: chunk `i` to GPU `i % G`,
+//! smaller ids first. The ideal is `M = 1` (data resident all run long;
+//! transfers only at the ends). `M` grows only when the device memory
+//! cannot hold the working set; for `M > 1` a GPU must fit **two** chunks
+//! (double-buffering for the Section 5.1 transfer/compute overlap) plus
+//! the ϕ replica.
+
+use crate::config::TrainerConfig;
+use crate::partition::PartitionedCorpus;
+use culda_corpus::Corpus;
+
+/// The memory-feasibility plan behind a chosen `M`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryPlan {
+    /// Chunks per GPU.
+    pub m: usize,
+    /// Total chunks `C = M × G`.
+    pub c: usize,
+    /// ϕ replica bytes per GPU.
+    pub phi_bytes: u64,
+    /// Largest per-GPU resident working set under this plan.
+    pub resident_bytes: u64,
+    /// Device capacity the plan was validated against.
+    pub capacity_bytes: u64,
+}
+
+/// Rough device bytes of one chunk's full state (corpus arrays + z + θ).
+/// θ is bounded by `min(tokens, docs·K)` non-zeros at 6 B each plus row
+/// pointers.
+pub fn chunk_state_bytes(part: &PartitionedCorpus, i: usize, num_topics: usize) -> u64 {
+    let ch = &part.chunks[i];
+    let theta_nnz = (ch.num_tokens() as u64).min(ch.num_docs as u64 * num_topics as u64);
+    part.chunk_device_bytes(i) + theta_nnz * 6 + (ch.num_docs as u64 + 1) * 8
+}
+
+/// Chooses the smallest feasible `M` (or validates a forced one) and
+/// returns the partition alongside the plan.
+///
+/// # Panics
+/// Panics if even the largest sensible `M` cannot fit (a single chunk plus
+/// the model exceeds device memory), or if a forced `M` does not fit.
+pub fn plan_partition(
+    corpus: &Corpus,
+    cfg: &TrainerConfig,
+) -> (PartitionedCorpus, MemoryPlan) {
+    let g = cfg.platform.num_gpus;
+    let capacity = cfg.platform.gpu.memory_bytes;
+    // Two ϕ buffers per GPU: the read snapshot and the write accumulator
+    // (see `trainer`), so the model budget is doubled.
+    let phi_bytes = 2 * cfg.phi_device_bytes(corpus.vocab_size());
+
+    let candidates: Vec<usize> = match cfg.chunks_per_gpu {
+        Some(m) => vec![m],
+        // Doubling search keeps the partition rebuilds cheap.
+        None => (0..12).map(|e| 1usize << e).collect(),
+    };
+    for &m in &candidates {
+        let c = m * g;
+        if c > corpus.num_docs() {
+            break; // cannot split further
+        }
+        let part = PartitionedCorpus::prepare(corpus, c);
+        // Resident set: M = 1 keeps all assigned chunks on the GPU; M > 1
+        // keeps two chunk slots (double buffering).
+        let resident = if m == 1 {
+            let per_gpu_max = (0..g)
+                .map(|gpu| {
+                    (gpu..c)
+                        .step_by(g)
+                        .map(|i| chunk_state_bytes(&part, i, cfg.num_topics))
+                        .sum::<u64>()
+                })
+                .max()
+                .unwrap_or(0);
+            phi_bytes + per_gpu_max
+        } else {
+            let max_chunk = (0..c)
+                .map(|i| chunk_state_bytes(&part, i, cfg.num_topics))
+                .max()
+                .unwrap_or(0);
+            phi_bytes + 2 * max_chunk
+        };
+        if resident <= capacity {
+            return (
+                part,
+                MemoryPlan {
+                    m,
+                    c,
+                    phi_bytes,
+                    resident_bytes: resident,
+                    capacity_bytes: capacity,
+                },
+            );
+        }
+        assert!(
+            cfg.chunks_per_gpu.is_none(),
+            "forced M = {m} does not fit: needs {resident} of {capacity} bytes"
+        );
+    }
+    panic!(
+        "corpus cannot fit device memory at any M (phi alone is {phi_bytes} of {capacity} bytes)"
+    );
+}
+
+/// Round-robin owner of chunk `i` ("Chunk i is scheduled to GPU i%G").
+pub fn chunk_owner(chunk_id: usize, num_gpus: usize) -> usize {
+    chunk_id % num_gpus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culda_corpus::SynthSpec;
+    use culda_gpusim::{GpuSpec, Platform};
+
+    fn tiny_corpus() -> Corpus {
+        SynthSpec::tiny().generate()
+    }
+
+    #[test]
+    fn plentiful_memory_gives_m_equals_1() {
+        let corpus = tiny_corpus();
+        let cfg = TrainerConfig::new(16, Platform::pascal());
+        let (part, plan) = plan_partition(&corpus, &cfg);
+        assert_eq!(plan.m, 1);
+        assert_eq!(plan.c, 4);
+        assert_eq!(part.num_chunks(), 4);
+        assert!(plan.resident_bytes <= plan.capacity_bytes);
+    }
+
+    #[test]
+    fn scarce_memory_forces_out_of_core() {
+        let corpus = tiny_corpus();
+        let mut platform = Platform::maxwell();
+        // Device barely larger than ϕ: chunks must shrink until two fit.
+        let cfg_probe = TrainerConfig::new(16, platform.clone());
+        let phi = 2 * cfg_probe.phi_device_bytes(corpus.vocab_size());
+        let all_tokens = corpus.num_tokens();
+        platform.gpu = GpuSpec {
+            memory_bytes: phi + all_tokens * 10 / 2, // ~half of the corpus state
+            ..platform.gpu
+        };
+        let cfg = TrainerConfig::new(16, platform);
+        let (part, plan) = plan_partition(&corpus, &cfg);
+        assert!(plan.m > 1, "expected out-of-core plan, got M = {}", plan.m);
+        assert_eq!(part.num_chunks(), plan.c);
+        assert!(plan.resident_bytes <= plan.capacity_bytes);
+    }
+
+    #[test]
+    fn forced_m_is_respected() {
+        let corpus = tiny_corpus();
+        let mut cfg = TrainerConfig::new(16, Platform::volta());
+        cfg.chunks_per_gpu = Some(4);
+        let (part, plan) = plan_partition(&corpus, &cfg);
+        assert_eq!(plan.m, 4);
+        assert_eq!(part.num_chunks(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit device memory")]
+    fn impossible_corpus_panics() {
+        let corpus = tiny_corpus();
+        let mut platform = Platform::maxwell();
+        platform.gpu = GpuSpec {
+            memory_bytes: 1024, // smaller than ϕ itself
+            ..platform.gpu
+        };
+        let cfg = TrainerConfig::new(16, platform);
+        let _ = plan_partition(&corpus, &cfg);
+    }
+
+    #[test]
+    fn round_robin_ownership() {
+        assert_eq!(chunk_owner(0, 4), 0);
+        assert_eq!(chunk_owner(5, 4), 1);
+        assert_eq!(chunk_owner(7, 2), 1);
+    }
+}

@@ -1,0 +1,182 @@
+//! Word-first block assignment — Figure 6 and Section 6.1.2.
+//!
+//! All samplers of one thread block process tokens of the *same word* so
+//! they can share that word's `p*(k)` vector and `p2` index tree in shared
+//! memory. Two load-balance rules from the paper:
+//!
+//! * "Words that have a lot of tokens are assigned to multiple thread
+//!   blocks to avoid load imbalance" — a word's token range is split into
+//!   slices of at most `tokens_per_block`;
+//! * "those words are assigned to thread blocks that have the smallest IDs
+//!   to avoid long-tail effect" — work is ordered heaviest-word-first, and
+//!   since the simulator (like the hardware) issues low IDs first, the big
+//!   words start earliest.
+
+use culda_corpus::SortedChunk;
+use std::ops::Range;
+
+/// Samplers (warps) per thread block — "we set the number of samplers in
+/// each thread block as 32, which is the allowed maximal value".
+pub const SAMPLERS_PER_BLOCK: usize = 32;
+
+/// One thread block's work: a slice of one word's tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockWork {
+    /// Index into `SortedChunk::word_ids` (NOT the global word id).
+    pub word_idx: usize,
+    /// Token positions in the chunk's word-major arrays.
+    pub tokens: Range<usize>,
+}
+
+impl BlockWork {
+    /// Number of tokens this block samples.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the block has no tokens (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// The token sub-range handled by sampler `s` of this block: tokens are
+    /// dealt contiguously and as evenly as possible across the 32 samplers.
+    pub fn sampler_tokens(&self, s: usize) -> Range<usize> {
+        assert!(s < SAMPLERS_PER_BLOCK);
+        let n = self.len();
+        let per = n / SAMPLERS_PER_BLOCK;
+        let extra = n % SAMPLERS_PER_BLOCK;
+        let start = self.tokens.start + s * per + s.min(extra);
+        let len = per + usize::from(s < extra);
+        start..start + len
+    }
+}
+
+/// Builds the block map for a chunk: heavy words first, split at
+/// `tokens_per_block`.
+///
+/// # Panics
+/// Panics if `tokens_per_block == 0` or the chunk has no tokens.
+pub fn build_block_map(chunk: &SortedChunk, tokens_per_block: usize) -> Vec<BlockWork> {
+    assert!(tokens_per_block > 0, "tokens_per_block must be positive");
+    assert!(chunk.num_tokens() > 0, "cannot map an empty chunk");
+    // Order words by descending token count (ties by word index for
+    // determinism).
+    let mut order: Vec<usize> = (0..chunk.num_words()).collect();
+    order.sort_by_key(|&i| {
+        (
+            std::cmp::Reverse(chunk.word_tokens(i).len()),
+            chunk.word_ids[i],
+        )
+    });
+    let mut map = Vec::new();
+    for i in order {
+        let range = chunk.word_tokens(i);
+        let mut start = range.start;
+        while start < range.end {
+            let end = (start + tokens_per_block).min(range.end);
+            map.push(BlockWork {
+                word_idx: i,
+                tokens: start..end,
+            });
+            start = end;
+        }
+    }
+    map
+}
+
+/// Picks `tokens_per_block` so the grid has at least `min_blocks` blocks
+/// (enough to saturate the device) without degenerating to tiny blocks.
+pub fn auto_tokens_per_block(total_tokens: usize, min_blocks: usize) -> usize {
+    assert!(min_blocks > 0);
+    (total_tokens / min_blocks).clamp(SAMPLERS_PER_BLOCK, 8192).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culda_corpus::{partition_by_tokens, SynthSpec};
+
+    fn chunk() -> SortedChunk {
+        let corpus = SynthSpec::tiny().generate();
+        let chunks = partition_by_tokens(&corpus, 1);
+        SortedChunk::build(&corpus, &chunks[0])
+    }
+
+    #[test]
+    fn map_covers_every_token_exactly_once() {
+        let c = chunk();
+        let map = build_block_map(&c, 64);
+        let mut seen = vec![false; c.num_tokens()];
+        for b in &map {
+            for t in b.tokens.clone() {
+                assert!(!seen[t], "token {t} in two blocks");
+                seen[t] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "token not covered");
+    }
+
+    #[test]
+    fn blocks_respect_word_boundaries() {
+        let c = chunk();
+        let map = build_block_map(&c, 64);
+        for b in &map {
+            let wr = c.word_tokens(b.word_idx);
+            assert!(b.tokens.start >= wr.start && b.tokens.end <= wr.end);
+            assert!(b.len() <= 64);
+            assert!(!b.is_empty());
+        }
+    }
+
+    #[test]
+    fn heavy_words_get_small_block_ids() {
+        let c = chunk();
+        let map = build_block_map(&c, 1_000_000);
+        // With no splitting, block order is word order by descending count.
+        for w in map.windows(2) {
+            let a = c.word_tokens(w[0].word_idx).len();
+            let b = c.word_tokens(w[1].word_idx).len();
+            assert!(a >= b, "block order not heaviest-first");
+        }
+    }
+
+    #[test]
+    fn heavy_word_is_split() {
+        let c = chunk();
+        let heaviest = (0..c.num_words())
+            .max_by_key(|&i| c.word_tokens(i).len())
+            .unwrap();
+        let count = c.word_tokens(heaviest).len();
+        let tpb = (count / 3).max(1);
+        let map = build_block_map(&c, tpb);
+        let pieces = map.iter().filter(|b| b.word_idx == heaviest).count();
+        assert!(pieces >= 3, "expected ≥3 pieces, got {pieces}");
+    }
+
+    #[test]
+    fn sampler_partition_is_even_and_complete() {
+        let b = BlockWork {
+            word_idx: 0,
+            tokens: 100..233, // 133 tokens over 32 samplers
+        };
+        let mut covered = Vec::new();
+        let mut sizes = Vec::new();
+        for s in 0..SAMPLERS_PER_BLOCK {
+            let r = b.sampler_tokens(s);
+            sizes.push(r.len());
+            covered.extend(r);
+        }
+        assert_eq!(covered, (100..233).collect::<Vec<_>>());
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(max - min <= 1, "uneven split: {sizes:?}");
+    }
+
+    #[test]
+    fn auto_tokens_per_block_bounds() {
+        assert_eq!(auto_tokens_per_block(1_000_000, 100), 8192);
+        assert_eq!(auto_tokens_per_block(3200, 100), SAMPLERS_PER_BLOCK);
+        let mid = auto_tokens_per_block(100_000, 100);
+        assert_eq!(mid, 1000);
+    }
+}

@@ -1,0 +1,202 @@
+//! Inference on held-out documents ("fold-in") and held-out perplexity.
+//!
+//! A trained topic–word model ϕ is only useful if new documents can be
+//! scored against it: online services (the paper's motivating use case)
+//! fold a query document in by Gibbs-sampling its θ row with ϕ *fixed*.
+//! This module implements that, plus the held-out perplexity metric the
+//! LDA literature reports alongside the joint log-likelihood.
+
+use crate::model::PhiModel;
+use culda_corpus::Xoshiro256;
+
+/// Fold-in sampler: infers topic mixtures for unseen documents against a
+/// frozen ϕ.
+#[derive(Debug)]
+pub struct FoldIn<'m> {
+    phi: &'m PhiModel,
+    /// Per-topic `p(w|k)` denominators, precomputed once.
+    inv_denom: Vec<f64>,
+}
+
+impl<'m> FoldIn<'m> {
+    /// Prepares fold-in against a trained model.
+    pub fn new(phi: &'m PhiModel) -> Self {
+        let beta_v = phi.priors.beta_v(phi.vocab_size);
+        let inv_denom = (0..phi.num_topics)
+            .map(|k| 1.0 / (phi.phi_sum.load(k) as f64 + beta_v))
+            .collect();
+        Self { phi, inv_denom }
+    }
+
+    /// Gibbs-samples a new document's topic counts for `iterations`
+    /// sweeps. Returns the final θ row (dense, length `K`).
+    ///
+    /// # Panics
+    /// Panics if the document is empty or contains out-of-vocabulary ids.
+    pub fn infer_document(&self, words: &[u32], iterations: u32, seed: u64) -> Vec<u32> {
+        assert!(!words.is_empty(), "cannot fold in an empty document");
+        let k_n = self.phi.num_topics;
+        let alpha = self.phi.priors.alpha;
+        let beta = self.phi.priors.beta;
+        let mut rng = Xoshiro256::from_seed_stream(seed, 0xF01D);
+        let mut theta = vec![0u32; k_n];
+        let mut z: Vec<u16> = words
+            .iter()
+            .map(|&w| {
+                assert!(
+                    (w as usize) < self.phi.vocab_size,
+                    "word {w} outside the model vocabulary"
+                );
+                let k = rng.next_below(k_n as u32) as u16;
+                theta[k as usize] += 1;
+                k
+            })
+            .collect();
+        let mut scratch = vec![0.0f64; k_n];
+        for _ in 0..iterations {
+            for (i, &w) in words.iter().enumerate() {
+                let old = z[i] as usize;
+                theta[old] -= 1;
+                let mut acc = 0.0;
+                let base = w as usize * k_n;
+                for (t, slot) in scratch.iter_mut().enumerate() {
+                    let pw = (self.phi.phi.load(base + t) as f64 + beta) * self.inv_denom[t];
+                    acc += (theta[t] as f64 + alpha) * pw;
+                    *slot = acc;
+                }
+                let u = rng.next_f64() * acc;
+                let new = scratch.partition_point(|&c| c <= u).min(k_n - 1);
+                z[i] = new as u16;
+                theta[new] += 1;
+            }
+        }
+        theta
+    }
+
+    /// Predictive log-likelihood of a document under its inferred θ:
+    /// `Σ_i ln Σ_k p(k|θ) p(w_i|k)`.
+    pub fn doc_log_predictive(&self, words: &[u32], theta: &[u32]) -> f64 {
+        let k_n = self.phi.num_topics;
+        assert_eq!(theta.len(), k_n);
+        let alpha = self.phi.priors.alpha;
+        let beta = self.phi.priors.beta;
+        let len: f64 = theta.iter().map(|&c| c as f64).sum();
+        let denom = len + self.phi.priors.alpha_k(k_n);
+        let mut acc = 0.0;
+        for &w in words {
+            let base = w as usize * k_n;
+            let mut pw = 0.0;
+            for t in 0..k_n {
+                let topic_p = (theta[t] as f64 + alpha) / denom;
+                pw += topic_p * (self.phi.phi.load(base + t) as f64 + beta) * self.inv_denom[t];
+            }
+            acc += pw.ln();
+        }
+        acc
+    }
+
+    /// Held-out perplexity over a set of documents:
+    /// `exp(−Σ log p(w) / Σ |d|)`. Lower is better; a uniform model scores
+    /// `V`.
+    pub fn perplexity(&self, docs: &[Vec<u32>], iterations: u32, seed: u64) -> f64 {
+        let mut ll = 0.0;
+        let mut tokens = 0u64;
+        for (i, doc) in docs.iter().enumerate() {
+            if doc.is_empty() {
+                continue;
+            }
+            let theta = self.infer_document(doc, iterations, seed ^ (i as u64) << 20);
+            ll += self.doc_log_predictive(doc, &theta);
+            tokens += doc.len() as u64;
+        }
+        assert!(tokens > 0, "no held-out tokens");
+        (-ll / tokens as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::hyper::Priors;
+    use super::*;
+
+    /// A model with two sharply separated topics over 6 words.
+    fn two_topic_model() -> PhiModel {
+        let phi = PhiModel::zeros(2, 6, Priors::new(0.1, 0.01));
+        // Topic 0 owns words 0..3, topic 1 owns words 3..6.
+        for w in 0..3 {
+            phi.phi.store(phi.phi_index(w, 0), 100);
+        }
+        for w in 3..6 {
+            phi.phi.store(phi.phi_index(w, 1), 100);
+        }
+        phi.phi_sum.store(0, 300);
+        phi.phi_sum.store(1, 300);
+        phi
+    }
+
+    #[test]
+    fn fold_in_recovers_the_right_topic() {
+        let phi = two_topic_model();
+        let fold = FoldIn::new(&phi);
+        let doc0: Vec<u32> = vec![0, 1, 2, 0, 1, 2, 0, 1];
+        let theta0 = fold.infer_document(&doc0, 30, 1);
+        assert!(
+            theta0[0] > 6,
+            "doc of topic-0 words must land in topic 0: {theta0:?}"
+        );
+        let doc1: Vec<u32> = vec![3, 4, 5, 3, 4, 5];
+        let theta1 = fold.infer_document(&doc1, 30, 1);
+        assert!(theta1[1] > 4, "{theta1:?}");
+    }
+
+    #[test]
+    fn theta_conserves_document_length() {
+        let phi = two_topic_model();
+        let fold = FoldIn::new(&phi);
+        let doc: Vec<u32> = vec![0, 3, 1, 4, 2, 5, 0];
+        let theta = fold.infer_document(&doc, 10, 2);
+        let total: u32 = theta.iter().sum();
+        assert_eq!(total as usize, doc.len());
+    }
+
+    #[test]
+    fn on_topic_documents_have_lower_perplexity() {
+        let phi = two_topic_model();
+        let fold = FoldIn::new(&phi);
+        let on_topic = vec![vec![0u32, 1, 2, 0, 1], vec![3, 4, 5, 3]];
+        let mixed_garbage = vec![vec![0u32, 3, 1, 4, 2, 5]];
+        let p_on = fold.perplexity(&on_topic, 20, 3);
+        let p_mixed = fold.perplexity(&mixed_garbage, 20, 3);
+        assert!(
+            p_on < p_mixed,
+            "on-topic {p_on} should beat mixed {p_mixed}"
+        );
+        // Both far better than uniform (V = 6 would be the uniform bound,
+        // but with only 2 topics the structured docs go much lower).
+        assert!(p_on < 4.0);
+    }
+
+    #[test]
+    fn predictive_loglik_is_finite_and_negative() {
+        let phi = two_topic_model();
+        let fold = FoldIn::new(&phi);
+        let doc = vec![0u32, 1, 5];
+        let theta = fold.infer_document(&doc, 5, 4);
+        let ll = fold.doc_log_predictive(&doc, &theta);
+        assert!(ll.is_finite() && ll < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the model vocabulary")]
+    fn oov_words_are_rejected() {
+        let phi = two_topic_model();
+        FoldIn::new(&phi).infer_document(&[99], 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty document")]
+    fn empty_document_rejected() {
+        let phi = two_topic_model();
+        FoldIn::new(&phi).infer_document(&[], 1, 0);
+    }
+}

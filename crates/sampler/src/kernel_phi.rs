@@ -1,0 +1,138 @@
+//! The ϕ update kernel — Section 6.2.
+//!
+//! "Model ϕ is a dense matrix, the update algorithm is intuitive. We use
+//! the intrinsic atomic add instructions to update all elements of ϕ. The
+//! corpus chunk is sorted in a word-first order, therefore, the update is
+//! word by word… atomic functions that have good data locality shows good
+//! performance."
+//!
+//! The kernel reuses the sampling block map (one block per word slice):
+//! all atomics from one block land in one ϕ column, which is the locality
+//! the paper relies on. A separate clear kernel zeroes the replica first —
+//! each GPU's replica counts only its own chunks' tokens; replicas are
+//! summed by the Figure 4 reduce afterwards.
+
+use crate::blockmap::BlockWork;
+use crate::model::{ChunkState, PhiModel};
+use culda_corpus::SortedChunk;
+use culda_gpusim::{BlockCtx, Device, LaunchReport};
+
+/// Zeroes a ϕ replica (the memset kernel that precedes accumulation).
+pub fn run_phi_clear_kernel(device: &mut Device, phi: &PhiModel) -> LaunchReport {
+    let cells = phi.phi.len() + phi.phi_sum.len();
+    // 256 threads × 4 cells per thread per block is a typical memset grid;
+    // the traffic is what matters: one u32 store per cell.
+    let blocks = (cells as u32).div_ceil(1024).max(1);
+    device.launch("phi_clear", blocks, |ctx: &mut BlockCtx| {
+        let start = ctx.block_id as usize * 1024;
+        let end = (start + 1024).min(cells);
+        for i in start..end {
+            if i < phi.phi.len() {
+                phi.phi.store(i, 0);
+            } else {
+                phi.phi_sum.store(i - phi.phi.len(), 0);
+            }
+        }
+        ctx.dram_write((end - start) * 4);
+    })
+}
+
+/// Accumulates one chunk's assignments into the ϕ replica with atomic adds.
+pub fn run_phi_update_kernel(
+    device: &mut Device,
+    chunk: &SortedChunk,
+    state: &ChunkState,
+    phi: &PhiModel,
+    block_map: &[BlockWork],
+) -> LaunchReport {
+    assert_eq!(state.z.len(), chunk.num_tokens(), "z/chunk mismatch");
+    let k = phi.num_topics;
+    device.launch("phi_update", block_map.len() as u32, |ctx: &mut BlockCtx| {
+        let work = &block_map[ctx.block_id as usize];
+        let word = chunk.word_ids[work.word_idx] as usize;
+        let base = word * k;
+        for t in work.tokens.clone() {
+            let topic = state.z.load(t) as usize;
+            debug_assert!(topic < k, "assignment out of range");
+            phi.phi.fetch_add(base + topic, 1);
+            phi.phi_sum.fetch_add(topic, 1);
+        }
+        // Per token: read z (2 B), two atomic read-modify-writes.
+        let n = work.tokens.len();
+        ctx.dram_read(n * 2);
+        ctx.atomic(2 * n);
+        ctx.dram_write(n * 8); // atomics dirty one ϕ and one sum cell each
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blockmap::build_block_map;
+    use crate::hyper::Priors;
+    use crate::model::accumulate_phi_host;
+    use culda_corpus::{partition_by_tokens, SynthSpec};
+    use culda_gpusim::GpuSpec;
+
+    fn setup() -> (SortedChunk, ChunkState) {
+        let corpus = SynthSpec::tiny().generate();
+        let chunks = partition_by_tokens(&corpus, 1);
+        let chunk = SortedChunk::build(&corpus, &chunks[0]);
+        let state = ChunkState::init_random(&chunk, 8, 5);
+        (chunk, state)
+    }
+
+    #[test]
+    fn kernel_matches_host_oracle() {
+        let (chunk, state) = setup();
+        let kernel_phi = PhiModel::zeros(8, 500, Priors::paper(8));
+        let oracle_phi = PhiModel::zeros(8, 500, Priors::paper(8));
+        accumulate_phi_host(&chunk, &state.z, &oracle_phi);
+
+        let mut dev = Device::new(0, GpuSpec::titan_x_maxwell()).with_workers(4);
+        let map = build_block_map(&chunk, 64);
+        run_phi_clear_kernel(&mut dev, &kernel_phi);
+        run_phi_update_kernel(&mut dev, &chunk, &state, &kernel_phi, &map);
+
+        assert_eq!(kernel_phi.phi.snapshot(), oracle_phi.phi.snapshot());
+        assert_eq!(kernel_phi.phi_sum.snapshot(), oracle_phi.phi_sum.snapshot());
+        assert_eq!(kernel_phi.check_sums(), chunk.num_tokens() as u64);
+    }
+
+    #[test]
+    fn clear_kernel_really_clears() {
+        let phi = PhiModel::zeros(4, 10, Priors::paper(4));
+        phi.phi.store(13, 99);
+        phi.phi_sum.store(2, 7);
+        let mut dev = Device::new(0, GpuSpec::v100_volta());
+        run_phi_clear_kernel(&mut dev, &phi);
+        assert!(phi.phi.snapshot().iter().all(|&v| v == 0));
+        assert!(phi.phi_sum.snapshot().iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn update_is_atomic_under_concurrency() {
+        // Run the same accumulation with different worker counts and block
+        // sizes; totals must agree exactly.
+        let (chunk, state) = setup();
+        let mut totals = Vec::new();
+        for (tpb, workers) in [(16usize, 1usize), (200, 8)] {
+            let phi = PhiModel::zeros(8, 500, Priors::paper(8));
+            let mut dev = Device::new(0, GpuSpec::titan_xp_pascal()).with_workers(workers);
+            let map = build_block_map(&chunk, tpb);
+            run_phi_update_kernel(&mut dev, &chunk, &state, &phi, &map);
+            totals.push(phi.phi.snapshot());
+        }
+        assert_eq!(totals[0], totals[1]);
+    }
+
+    #[test]
+    fn cost_scales_with_tokens() {
+        let (chunk, state) = setup();
+        let phi = PhiModel::zeros(8, 500, Priors::paper(8));
+        let mut dev = Device::new(0, GpuSpec::titan_x_maxwell());
+        let map = build_block_map(&chunk, 64);
+        let r = run_phi_update_kernel(&mut dev, &chunk, &state, &phi, &map);
+        assert_eq!(r.cost.atomics, 2 * chunk.num_tokens() as u64);
+    }
+}

@@ -1,0 +1,449 @@
+//! The LDA sampling kernel — Algorithm 2 and Figure 6.
+//!
+//! One thread block = 32 warp-samplers, all working on tokens of the *same
+//! word* so they share that word's `p*(k)` vector and `p2` index tree in
+//! shared memory (one tree serves both, since `p2 = α·p*`). Each sampler
+//! keeps a private, allocation-reused index tree for its token's sparse
+//! `p1(k)`.
+//!
+//! The kernel is *read-only* with respect to the model: θ and ϕ are fixed
+//! snapshots from the previous iteration's update kernels, and the only
+//! writes are the new topic assignments `z` — this is what makes thousands
+//! of concurrent samplers race-free, and it matches the paper's three-
+//! kernel structure (sampling → update θ → update ϕ).
+//!
+//! Every token draws from its own deterministic RNG stream keyed by
+//! `(seed, iteration, global token index)`, so results are bit-identical
+//! regardless of block scheduling, worker-thread count, or how many GPUs
+//! the corpus is spread over.
+
+use crate::blockmap::{BlockWork, SAMPLERS_PER_BLOCK};
+use crate::model::{ChunkState, PhiModel};
+use crate::ptree::{IndexTree, DEFAULT_FANOUT};
+use crate::spq::p1_weights;
+use culda_corpus::{SortedChunk, Xoshiro256};
+use culda_gpusim::{BlockCtx, Device, LaunchReport};
+
+/// Tuning and bookkeeping for one sampling launch.
+#[derive(Debug, Clone, Copy)]
+pub struct SampleConfig {
+    /// Global RNG seed shared by the whole training run.
+    pub seed: u64,
+    /// Current iteration (independent streams per iteration).
+    pub iteration: u32,
+    /// Global token offset of this chunk (stream ids span the corpus).
+    pub chunk_token_offset: u64,
+    /// Model ϕ with the u16 "precision compression" of Section 6.1.3 when
+    /// true: ϕ loads and θ column indices are counted at 2 bytes instead
+    /// of 4 (the ablation bench toggles this).
+    pub compressed: bool,
+    /// Whether `p*(k)` and the trees are cached in shared memory
+    /// (Section 6.1.2/6.1.3). When false — or when K does not fit — their
+    /// traffic is charged to DRAM instead (ablation).
+    pub use_shared_memory: bool,
+    /// Whether the sparse-matrix *index* loads (the θ CSR rows) go through
+    /// the L1 data cache — the selective-caching choice of Section 6.1.2
+    /// ("we let the sparse matrix index access instructions to use the L1
+    /// cache"). When false they are plain coalesced DRAM loads (ablation).
+    pub use_l1_for_indices: bool,
+}
+
+impl SampleConfig {
+    /// Default configuration for a run with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            iteration: 0,
+            chunk_token_offset: 0,
+            compressed: true,
+            use_shared_memory: true,
+            use_l1_for_indices: true,
+        }
+    }
+
+    fn stream_seed(&self) -> u64 {
+        self.seed ^ (self.iteration as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+/// Draws one token's topic through the trees; returns the topic plus the
+/// (shared_touches, leaf_touches) of the walk for traffic accounting.
+#[inline]
+fn draw_token(
+    theta_cols: &[u16],
+    theta_vals: &[u32],
+    pstar: &[f32],
+    block_tree: &IndexTree,
+    alpha: f32,
+    rng: &mut Xoshiro256,
+    p1_tree: &mut IndexTree,
+    weights: &mut Vec<f32>,
+) -> (u16, usize, usize) {
+    let s = p1_weights(theta_cols, theta_vals, pstar, weights);
+    let q = alpha * block_tree.total();
+    let u_branch = rng.next_f32();
+    let u_inner = rng.next_f32();
+    if s > 0.0 && u_branch < s / (s + q) {
+        p1_tree.rebuild(weights);
+        let (idx, sh, lf) = p1_tree.sample_scaled(u_inner * s);
+        (theta_cols[idx], sh, lf)
+    } else {
+        let (k, sh, lf) = block_tree.sample_scaled(u_inner * block_tree.total());
+        (k as u16, sh, lf)
+    }
+}
+
+/// Launches the sampling kernel for one chunk on `device`. Writes new
+/// assignments into `state.z`; model matrices are read-only.
+pub fn run_sampling_kernel(
+    device: &mut Device,
+    chunk: &SortedChunk,
+    state: &ChunkState,
+    phi: &PhiModel,
+    inv_denom: &[f32],
+    block_map: &[BlockWork],
+    cfg: &SampleConfig,
+) -> LaunchReport {
+    assert_eq!(state.z.len(), chunk.num_tokens(), "z/chunk mismatch");
+    assert_eq!(inv_denom.len(), phi.num_topics, "inv_denom size");
+    assert!(!block_map.is_empty(), "empty block map");
+    let k = phi.num_topics;
+    let alpha = phi.priors.alpha as f32;
+    let beta = phi.priors.beta as f32;
+    let phi_elem_bytes = if cfg.compressed { 2 } else { 4 };
+    let theta_col_bytes = if cfg.compressed { 2 } else { 4 };
+    let stream_seed = cfg.stream_seed();
+
+    device.launch("lda_sample", block_map.len() as u32, |ctx: &mut BlockCtx| {
+        let work = &block_map[ctx.block_id as usize];
+        let word = chunk.word_ids[work.word_idx] as usize;
+
+        // --- Block-shared phase: p*(k) and its index tree -----------------
+        // Decide whether p* + prefix + upper levels fit the 48 KiB budget;
+        // 2·K f32 plus ~K/31 of upper nodes, plus per-sampler scratch.
+        let shared_ok = cfg.use_shared_memory && ctx.shared.fits::<f32>(2 * k + k / 16 + 64);
+        let mut pstar = if shared_ok {
+            ctx.shared.alloc::<f32>(k)
+        } else {
+            vec![0.0f32; k]
+        };
+        // ϕ column load + p* compute: read K ϕ entries + K inv_denoms.
+        ctx.dram_read(k * phi_elem_bytes + k * 4);
+        ctx.flop(2 * k);
+        let base = word * k;
+        for (t, slot) in pstar.iter_mut().enumerate() {
+            *slot = (phi.phi.load(base + t) as f32 + beta) * inv_denom[t];
+        }
+        // Build the shared p*(k) tree (prefix + upper levels).
+        let block_tree = IndexTree::build(&pstar, DEFAULT_FANOUT);
+        ctx.flop(k); // prefix-sum adds
+        if shared_ok {
+            // Prefix leaves + upper nodes written to shared memory.
+            let tree_bytes = block_tree.leaf_bytes() + block_tree.shared_bytes();
+            let _tree_shared = ctx
+                .shared
+                .alloc::<u8>(tree_bytes.min(ctx.shared.available()));
+            ctx.shared_access(k * 4 + tree_bytes);
+        } else {
+            ctx.dram_write(k * 4);
+        }
+
+        // --- Per-sampler phase --------------------------------------------
+        // One L1 model per block (an SM's L1 serves the block's warps):
+        // the θ CSR rows of a block's tokens often repeat (frequent words
+        // co-occur with the same documents), which is what the selective
+        // index caching of Section 6.1.2 exploits.
+        // A block gets a *slice* of its SM's L1 (several blocks share one
+        // SM): model 1/8 of the 24 KiB — 6 sets × 4 ways × 128 B = 3 KiB.
+        let mut l1 = cfg.use_l1_for_indices.then(|| {
+            culda_gpusim::CacheSim::new(culda_gpusim::CacheConfig {
+                line_bytes: 128,
+                sets: 6,
+                ways: 4,
+            })
+        });
+        for s in 0..SAMPLERS_PER_BLOCK {
+            let tokens = work.sampler_tokens(s);
+            if tokens.is_empty() {
+                continue;
+            }
+            // Private, allocation-reused p1 tree and weight scratch.
+            let mut p1_tree = IndexTree::build(&[1.0f32], DEFAULT_FANOUT);
+            let mut weights: Vec<f32> = Vec::new();
+            for t in tokens {
+                let d = chunk.token_doc[t] as usize;
+                ctx.dram_read(4); // token -> doc index
+                let (cols, vals) = state.theta.row(d);
+                let kd = cols.len();
+                // θ row load (CSR: col idx + value per non-zero), optionally
+                // through the L1 model: repeated rows hit, cold rows pay
+                // full line fills.
+                let row_bytes = kd * (theta_col_bytes + 4);
+                if row_bytes > 0 {
+                    match &mut l1 {
+                        Some(cache) => {
+                            let (start, _) = state.theta.row_range(d);
+                            let addr = (start * (theta_col_bytes + 4)) as u64;
+                            let missed = cache.access(addr, row_bytes);
+                            ctx.dram_read(missed * cache.config().line_bytes);
+                            ctx.shared_access(row_bytes); // L1-served
+                        }
+                        None => ctx.dram_read(row_bytes),
+                    }
+                }
+                // p1 weights: one mul + one add each, p* served on-chip
+                // when cached.
+                ctx.flop(2 * kd);
+                if shared_ok {
+                    ctx.shared_access(kd * 4);
+                } else {
+                    ctx.dram_read(kd * 4);
+                }
+                let mut rng = Xoshiro256::from_seed_stream(
+                    stream_seed,
+                    cfg.chunk_token_offset + t as u64,
+                );
+                let (topic, sh_touch, leaf_touch) = draw_token(
+                    cols,
+                    vals,
+                    &pstar,
+                    &block_tree,
+                    alpha,
+                    &mut rng,
+                    &mut p1_tree,
+                    &mut weights,
+                );
+                // Tree-walk traffic: node scans in shared (or DRAM when the
+                // shared path is disabled), plus the new-topic write.
+                let walk_bytes = (sh_touch + leaf_touch) * 4;
+                if shared_ok {
+                    ctx.shared_access(walk_bytes);
+                } else {
+                    ctx.dram_read(walk_bytes);
+                }
+                ctx.flop(kd); // p1 prefix-sum adds
+                state.z.store(t, topic);
+                ctx.dram_write(2);
+            }
+        }
+    })
+}
+
+/// Host-side oracle: computes the exact assignments the kernel must
+/// produce, using the same per-token RNG streams and tree code but no
+/// device, no blocks, no concurrency. Tests compare `z` buffers.
+pub fn sample_chunk_reference(
+    chunk: &SortedChunk,
+    state: &ChunkState,
+    phi: &PhiModel,
+    inv_denom: &[f32],
+    cfg: &SampleConfig,
+) -> Vec<u16> {
+    let k = phi.num_topics;
+    let alpha = phi.priors.alpha as f32;
+    let beta = phi.priors.beta as f32;
+    let stream_seed = cfg.stream_seed();
+    let mut out = vec![0u16; chunk.num_tokens()];
+    let mut pstar = vec![0.0f32; k];
+    for (wi, &w) in chunk.word_ids.iter().enumerate() {
+        let base = w as usize * k;
+        for (t, slot) in pstar.iter_mut().enumerate() {
+            *slot = (phi.phi.load(base + t) as f32 + beta) * inv_denom[t];
+        }
+        let block_tree = IndexTree::build(&pstar, DEFAULT_FANOUT);
+        let mut p1_tree = IndexTree::build(&[1.0f32], DEFAULT_FANOUT);
+        let mut weights = Vec::new();
+        for t in chunk.word_tokens(wi) {
+            let d = chunk.token_doc[t] as usize;
+            let (cols, vals) = state.theta.row(d);
+            let mut rng =
+                Xoshiro256::from_seed_stream(stream_seed, cfg.chunk_token_offset + t as u64);
+            let (topic, _, _) = draw_token(
+                cols,
+                vals,
+                &pstar,
+                &block_tree,
+                alpha,
+                &mut rng,
+                &mut p1_tree,
+                &mut weights,
+            );
+            out[t] = topic;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blockmap::build_block_map;
+    use crate::hyper::Priors;
+    use crate::model::accumulate_phi_host;
+    use culda_corpus::{partition_by_tokens, SynthSpec};
+    use culda_gpusim::GpuSpec;
+
+    fn setup() -> (SortedChunk, ChunkState, PhiModel) {
+        let corpus = SynthSpec::tiny().generate();
+        let chunks = partition_by_tokens(&corpus, 1);
+        let chunk = SortedChunk::build(&corpus, &chunks[0]);
+        let state = ChunkState::init_random(&chunk, 16, 11);
+        let phi = PhiModel::zeros(16, corpus.vocab_size(), Priors::paper(16));
+        accumulate_phi_host(&chunk, &state.z, &phi);
+        (chunk, state, phi)
+    }
+
+    #[test]
+    fn kernel_matches_reference_bit_for_bit() {
+        let (chunk, state, phi) = setup();
+        let inv = phi.inv_denominators();
+        let cfg = SampleConfig::new(77);
+        let expected = sample_chunk_reference(&chunk, &state, &phi, &inv, &cfg);
+
+        let mut dev = Device::new(0, GpuSpec::titan_x_maxwell()).with_workers(4);
+        let map = build_block_map(&chunk, 128);
+        run_sampling_kernel(&mut dev, &chunk, &state, &phi, &inv, &map, &cfg);
+        assert_eq!(state.z.snapshot(), expected);
+    }
+
+    #[test]
+    fn result_is_independent_of_block_size_and_workers() {
+        let (chunk, state, phi) = setup();
+        let inv = phi.inv_denominators();
+        let cfg = SampleConfig::new(3);
+        let mut runs = Vec::new();
+        for (tpb, workers) in [(32usize, 1usize), (512, 2), (4096, 7)] {
+            let fresh = ChunkState {
+                z: culda_gpusim::memory::AtomicU16Buf::from_vec(state.z.snapshot()),
+                theta: state.theta.clone(),
+            };
+            let mut dev = Device::new(0, GpuSpec::v100_volta()).with_workers(workers);
+            let map = build_block_map(&chunk, tpb);
+            run_sampling_kernel(&mut dev, &chunk, &fresh, &phi, &inv, &map, &cfg);
+            runs.push(fresh.z.snapshot());
+        }
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[1], runs[2]);
+    }
+
+    #[test]
+    fn different_iterations_resample_differently() {
+        let (chunk, state, phi) = setup();
+        let inv = phi.inv_denominators();
+        let mut dev = Device::new(0, GpuSpec::titan_x_maxwell());
+        let map = build_block_map(&chunk, 256);
+        let mut cfg = SampleConfig::new(5);
+        run_sampling_kernel(&mut dev, &chunk, &state, &phi, &inv, &map, &cfg);
+        let z1 = state.z.snapshot();
+        cfg.iteration = 1;
+        run_sampling_kernel(&mut dev, &chunk, &state, &phi, &inv, &map, &cfg);
+        let z2 = state.z.snapshot();
+        assert_ne!(z1, z2, "iterations must use fresh randomness");
+    }
+
+    #[test]
+    fn all_assignments_in_range() {
+        let (chunk, state, phi) = setup();
+        let inv = phi.inv_denominators();
+        let mut dev = Device::new(0, GpuSpec::titan_xp_pascal());
+        let map = build_block_map(&chunk, 100);
+        run_sampling_kernel(
+            &mut dev,
+            &chunk,
+            &state,
+            &phi,
+            &inv,
+            &map,
+            &SampleConfig::new(1),
+        );
+        for z in state.z.snapshot() {
+            assert!((z as usize) < 16);
+        }
+    }
+
+    #[test]
+    fn shared_memory_path_is_cheaper_than_dram_path() {
+        let (chunk, state, phi) = setup();
+        let inv = phi.inv_denominators();
+        let map = build_block_map(&chunk, 256);
+        let mut cfg = SampleConfig::new(9);
+
+        let mut dev_a = Device::new(0, GpuSpec::titan_x_maxwell());
+        let with_shared =
+            run_sampling_kernel(&mut dev_a, &chunk, &state, &phi, &inv, &map, &cfg);
+        cfg.use_shared_memory = false;
+        let mut dev_b = Device::new(0, GpuSpec::titan_x_maxwell());
+        let without =
+            run_sampling_kernel(&mut dev_b, &chunk, &state, &phi, &inv, &map, &cfg);
+        assert!(
+            with_shared.cost.dram_bytes() < without.cost.dram_bytes(),
+            "shared path must reduce DRAM traffic"
+        );
+        assert!(with_shared.sim_seconds <= without.sim_seconds);
+    }
+
+    #[test]
+    fn k_10000_overflows_shared_memory_and_still_samples_correctly() {
+        // The paper's K ranges 1k–10k. At K = 10,000 the p* array plus its
+        // tree is ~80 KiB — over the 48 KiB budget — so the kernel must
+        // fall back to the DRAM path, still matching the reference.
+        let corpus = {
+            let mut spec = SynthSpec::tiny();
+            spec.num_docs = 40;
+            spec.vocab_size = 80;
+            spec.avg_doc_len = 15.0;
+            spec.generate()
+        };
+        let chunks = partition_by_tokens(&corpus, 1);
+        let chunk = SortedChunk::build(&corpus, &chunks[0]);
+        let k = 10_000;
+        let state = ChunkState::init_random(&chunk, k, 2);
+        let phi = PhiModel::zeros(k, corpus.vocab_size(), Priors::paper(k));
+        accumulate_phi_host(&chunk, &state.z, &phi);
+        let inv = phi.inv_denominators();
+        let cfg = SampleConfig::new(8);
+        let expected = sample_chunk_reference(&chunk, &state, &phi, &inv, &cfg);
+        let mut dev = Device::new(0, GpuSpec::titan_x_maxwell()).with_workers(2);
+        let map = build_block_map(&chunk, 64);
+        let report = run_sampling_kernel(&mut dev, &chunk, &state, &phi, &inv, &map, &cfg);
+        assert_eq!(state.z.snapshot(), expected);
+        // The fallback path must have charged the p* arrays to DRAM.
+        assert!(report.cost.dram_bytes() > 0);
+    }
+
+    #[test]
+    fn l1_routing_changes_traffic_but_not_assignments() {
+        let (chunk, state, phi) = setup();
+        let inv = phi.inv_denominators();
+        let map = build_block_map(&chunk, 512);
+        let mut outputs = Vec::new();
+        let mut dram = Vec::new();
+        for l1 in [true, false] {
+            let fresh = ChunkState {
+                z: culda_gpusim::memory::AtomicU16Buf::from_vec(state.z.snapshot()),
+                theta: state.theta.clone(),
+            };
+            let mut dev = Device::new(0, GpuSpec::titan_x_maxwell()).with_workers(2);
+            let mut cfg = SampleConfig::new(13);
+            cfg.use_l1_for_indices = l1;
+            let r = run_sampling_kernel(&mut dev, &chunk, &fresh, &phi, &inv, &map, &cfg);
+            outputs.push(fresh.z.snapshot());
+            dram.push(r.cost.dram_read_bytes);
+        }
+        assert_eq!(outputs[0], outputs[1], "L1 must not change results");
+        assert_ne!(dram[0], dram[1], "L1 must change the traffic mix");
+    }
+
+    #[test]
+    fn compression_reduces_dram_traffic() {
+        let (chunk, state, phi) = setup();
+        let inv = phi.inv_denominators();
+        let map = build_block_map(&chunk, 256);
+        let mut cfg = SampleConfig::new(9);
+        let mut dev = Device::new(0, GpuSpec::titan_x_maxwell());
+        let small = run_sampling_kernel(&mut dev, &chunk, &state, &phi, &inv, &map, &cfg);
+        cfg.compressed = false;
+        let big = run_sampling_kernel(&mut dev, &chunk, &state, &phi, &inv, &map, &cfg);
+        assert!(small.cost.dram_read_bytes < big.cost.dram_read_bytes);
+    }
+}

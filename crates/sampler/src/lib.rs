@@ -1,0 +1,47 @@
+//! # culda-sampler
+//!
+//! The paper's core contribution: the CuLDA_CGS sampling and model-update
+//! kernels (Sections 5–6), running on the `culda-gpusim` substrate.
+//!
+//! * [`hyper`] — priors (`α = 50/K`, `β = 0.01`).
+//! * [`model`] — ϕ (dense, word-major, atomic) and per-chunk θ (CSR, u16) +
+//!   assignments `z` (u16), with host-side oracles for both update kernels.
+//! * [`ptree`] — the Figure 5 N-ary prefix-sum index tree (fanout 32).
+//! * [`spq`] — the Eq. 6–8 sparsity-aware S/Q decomposition with `p*(k)`
+//!   sub-expression reuse, plus scalar reference samplers.
+//! * [`blockmap`] — Figure 6 word-first block assignment with heavy-word
+//!   splitting and smallest-ID-first scheduling.
+//! * [`kernel_sample`] — the warp-per-sampler sampling kernel (Algorithm 2).
+//! * [`kernel_theta`] / [`kernel_phi`] — the Section 6.2 update kernels.
+//! * [`dense`] — the textbook O(K) CGS used as correctness oracle/baseline.
+//! * [`infer`] — fold-in inference and held-out perplexity (extension).
+//! * [`hyper_opt`] — Minka α re-estimation (extension).
+//! * [`validate`] — cross-kernel count-conservation checks.
+
+#![warn(missing_docs)]
+
+pub mod blockmap;
+pub mod checkpoint;
+pub mod dense;
+pub mod hyper;
+pub mod hyper_opt;
+pub mod infer;
+pub mod kernel_phi;
+pub mod kernel_sample;
+pub mod kernel_theta;
+pub mod model;
+pub mod ptree;
+pub mod spq;
+pub mod validate;
+
+pub use blockmap::{auto_tokens_per_block, build_block_map, BlockWork, SAMPLERS_PER_BLOCK};
+pub use checkpoint::{load_phi, save_phi};
+pub use dense::DenseCgs;
+pub use hyper::Priors;
+pub use hyper_opt::{minka_alpha_step, optimize_alpha};
+pub use infer::FoldIn;
+pub use kernel_phi::{run_phi_clear_kernel, run_phi_update_kernel};
+pub use kernel_sample::{run_sampling_kernel, sample_chunk_reference, SampleConfig};
+pub use kernel_theta::run_theta_update_kernel;
+pub use model::{accumulate_phi_host, build_theta_host, ChunkState, PhiModel, MAX_TOPICS};
+pub use ptree::{IndexTree, DEFAULT_FANOUT};

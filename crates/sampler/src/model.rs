@@ -1,0 +1,293 @@
+//! LDA model state: the topic–word matrix ϕ, its column sums, and the
+//! per-chunk document–topic matrix θ plus topic assignments `z`.
+//!
+//! Layout decisions follow the paper:
+//!
+//! * **ϕ is dense**, `u32` counters mutated with device atomics
+//!   (Section 6.2). We store it *word-major* (`phi[v·K + k]`) because every
+//!   sampler access pattern is "all topics of one word" — the `p*(k)`
+//!   computation streams a contiguous column.
+//! * **θ is CSR with u16 column indices** (Sections 3, 6.1.3): a chunk's θ
+//!   replica is rebuilt from scratch by the update kernel each iteration.
+//! * **`z` is u16 per token** (precision compression, `K < 2¹⁶`), stored in
+//!   the word-sorted chunk order.
+
+use crate::hyper::Priors;
+use culda_corpus::{CsrMatrix, SortedChunk, Xoshiro256};
+use culda_gpusim::memory::{AtomicU16Buf, AtomicU32Buf};
+
+/// Upper bound on topics imposed by the u16 compression.
+pub const MAX_TOPICS: usize = u16::MAX as usize + 1;
+
+/// Global (per-GPU replica) model state: ϕ and its sums.
+#[derive(Debug)]
+pub struct PhiModel {
+    /// Topic count `K`.
+    pub num_topics: usize,
+    /// Vocabulary size `V`.
+    pub vocab_size: usize,
+    /// Hyper-parameters.
+    pub priors: Priors,
+    /// Word-major dense counts: `phi[v*K + k] = ϕ_{k,v}`.
+    pub phi: AtomicU32Buf,
+    /// `phi_sum[k] = n_k = Σ_v ϕ_{k,v}`.
+    pub phi_sum: AtomicU32Buf,
+}
+
+impl PhiModel {
+    /// Allocates a zeroed model.
+    ///
+    /// # Panics
+    /// Panics if `K` exceeds the u16 compression limit or either dimension
+    /// is zero.
+    pub fn zeros(num_topics: usize, vocab_size: usize, priors: Priors) -> Self {
+        assert!(num_topics > 0 && vocab_size > 0, "empty model");
+        assert!(
+            num_topics <= MAX_TOPICS,
+            "K = {num_topics} exceeds the u16 topic compression limit {MAX_TOPICS}"
+        );
+        Self {
+            num_topics,
+            vocab_size,
+            priors,
+            phi: AtomicU32Buf::zeros(num_topics * vocab_size),
+            phi_sum: AtomicU32Buf::zeros(num_topics),
+        }
+    }
+
+    /// Flat index of `ϕ_{k,v}` in the word-major layout.
+    #[inline]
+    pub fn phi_index(&self, v: usize, k: usize) -> usize {
+        v * self.num_topics + k
+    }
+
+    /// Device memory footprint in bytes (ϕ as u32 + sums), used for the
+    /// capacity planning in the scheduler.
+    pub fn device_bytes(&self) -> u64 {
+        (self.phi.len() * 4 + self.phi_sum.len() * 4) as u64
+    }
+
+    /// Zeroes ϕ and its sums (start of a rebuild).
+    pub fn clear(&self) {
+        for i in 0..self.phi.len() {
+            self.phi.store(i, 0);
+        }
+        for k in 0..self.phi_sum.len() {
+            self.phi_sum.store(k, 0);
+        }
+    }
+
+    /// Precomputes `1 / (n_k + βV)` for every topic — the shared
+    /// sub-expression denominator of Eq. 8, refreshed once per iteration.
+    pub fn inv_denominators(&self) -> Vec<f32> {
+        let beta_v = self.priors.beta_v(self.vocab_size) as f32;
+        (0..self.num_topics)
+            .map(|k| 1.0 / (self.phi_sum.load(k) as f32 + beta_v))
+            .collect()
+    }
+
+    /// Copies another replica's contents into this one (broadcast step).
+    pub fn copy_from(&self, other: &PhiModel) {
+        assert_eq!(self.phi.len(), other.phi.len(), "replica shape mismatch");
+        for i in 0..self.phi.len() {
+            self.phi.store(i, other.phi.load(i));
+        }
+        for k in 0..self.phi_sum.len() {
+            self.phi_sum.store(k, other.phi_sum.load(k));
+        }
+    }
+
+    /// Adds another replica into this one (reduce step: `ϕ += ϕ_other`).
+    pub fn add_from(&self, other: &PhiModel) {
+        assert_eq!(self.phi.len(), other.phi.len(), "replica shape mismatch");
+        for i in 0..self.phi.len() {
+            let v = other.phi.load(i);
+            if v != 0 {
+                self.phi.fetch_add(i, v);
+            }
+        }
+        for k in 0..self.phi_sum.len() {
+            let v = other.phi_sum.load(k);
+            if v != 0 {
+                self.phi_sum.fetch_add(k, v);
+            }
+        }
+    }
+
+    /// Verifies `phi_sum[k] == Σ_v phi[v,k]` and returns total tokens.
+    pub fn check_sums(&self) -> u64 {
+        let k = self.num_topics;
+        let mut totals = vec![0u64; k];
+        for v in 0..self.vocab_size {
+            for t in 0..k {
+                totals[t] += self.phi.load(self.phi_index(v, t)) as u64;
+            }
+        }
+        for (t, &sum) in totals.iter().enumerate() {
+            assert_eq!(
+                sum,
+                self.phi_sum.load(t) as u64,
+                "phi_sum[{t}] inconsistent"
+            );
+        }
+        totals.iter().sum()
+    }
+
+    /// Top `n` words of topic `k` by count (for the example binaries).
+    pub fn top_words(&self, k: usize, n: usize) -> Vec<(u32, u32)> {
+        let mut counts: Vec<(u32, u32)> = (0..self.vocab_size)
+            .map(|v| (v as u32, self.phi.load(self.phi_index(v, k))))
+            .filter(|&(_, c)| c > 0)
+            .collect();
+        counts.sort_by_key(|&(v, c)| (std::cmp::Reverse(c), v));
+        counts.truncate(n);
+        counts
+    }
+}
+
+/// Per-chunk state: assignments and the θ replica.
+#[derive(Debug)]
+pub struct ChunkState {
+    /// Topic of each token, in the chunk's word-sorted order.
+    pub z: AtomicU16Buf,
+    /// Document–topic counts for the chunk's documents (CSR, u16 columns).
+    pub theta: CsrMatrix,
+}
+
+impl ChunkState {
+    /// Randomly initializes assignments ("Initially, each token is randomly
+    /// assigned with a topic", Section 2.1) and builds the matching θ.
+    pub fn init_random(chunk: &SortedChunk, num_topics: usize, seed: u64) -> Self {
+        assert!(num_topics > 0 && num_topics <= MAX_TOPICS);
+        let mut rng = Xoshiro256::from_seed_stream(seed, 0xD0C5);
+        let z_plain: Vec<u16> = (0..chunk.num_tokens())
+            .map(|_| rng.next_below(num_topics as u32) as u16)
+            .collect();
+        let z = AtomicU16Buf::from_vec(z_plain);
+        let theta = build_theta_host(chunk, &z, num_topics);
+        Self { z, theta }
+    }
+
+    /// Host bytes of this chunk's device-resident state (z + θ), for
+    /// capacity planning.
+    pub fn device_bytes(&self) -> u64 {
+        (self.z.len() * 2) as u64 + self.theta.storage_bytes() as u64
+    }
+}
+
+/// Host-side reference θ builder: counts `z` per (document, topic) using
+/// the chunk's document–word map. The GPU θ-update kernel must agree with
+/// this exactly (oracle for its tests).
+pub fn build_theta_host(chunk: &SortedChunk, z: &AtomicU16Buf, num_topics: usize) -> CsrMatrix {
+    assert_eq!(z.len(), chunk.num_tokens(), "z length mismatch");
+    let mut rows: Vec<Vec<u32>> = vec![vec![0u32; num_topics]; chunk.num_docs];
+    for d in 0..chunk.num_docs {
+        for &pos in chunk.doc_tokens(d) {
+            let k = z.load(pos as usize) as usize;
+            assert!(k < num_topics, "assignment {k} out of range");
+            rows[d][k] += 1;
+        }
+    }
+    CsrMatrix::from_dense_rows(&rows, num_topics)
+}
+
+/// Host-side reference ϕ accumulator: adds this chunk's counts into a
+/// replica. Oracle for the ϕ-update kernel.
+pub fn accumulate_phi_host(chunk: &SortedChunk, z: &AtomicU16Buf, phi: &PhiModel) {
+    for (i, &w) in chunk.word_ids.iter().enumerate() {
+        for t in chunk.word_tokens(i) {
+            let k = z.load(t) as usize;
+            phi.phi.fetch_add(phi.phi_index(w as usize, k), 1);
+            phi.phi_sum.fetch_add(k, 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culda_corpus::{partition_by_tokens, SynthSpec};
+
+    fn chunk_and_state() -> (SortedChunk, ChunkState) {
+        let corpus = SynthSpec::tiny().generate();
+        let chunks = partition_by_tokens(&corpus, 1);
+        let sc = SortedChunk::build(&corpus, &chunks[0]);
+        let st = ChunkState::init_random(&sc, 8, 42);
+        (sc, st)
+    }
+
+    #[test]
+    fn theta_conserves_tokens() {
+        let (sc, st) = chunk_and_state();
+        let total: u64 = (0..sc.num_docs).map(|d| st.theta.row_sum(d)).sum();
+        assert_eq!(total, sc.num_tokens() as u64);
+        for d in 0..sc.num_docs {
+            assert_eq!(st.theta.row_sum(d) as usize, sc.doc_len(d));
+        }
+    }
+
+    #[test]
+    fn phi_accumulation_conserves_tokens() {
+        let (sc, st) = chunk_and_state();
+        let phi = PhiModel::zeros(8, 500, Priors::paper(8));
+        accumulate_phi_host(&sc, &st.z, &phi);
+        assert_eq!(phi.check_sums(), sc.num_tokens() as u64);
+        assert_eq!(phi.phi_sum.sum(), sc.num_tokens() as u64);
+    }
+
+    #[test]
+    fn inv_denominators_match_definition() {
+        let phi = PhiModel::zeros(4, 10, Priors::new(0.5, 0.01));
+        phi.phi_sum.store(2, 100);
+        let inv = phi.inv_denominators();
+        let beta_v = 0.01f32 * 10.0;
+        assert!((inv[2] - 1.0 / (100.0 + beta_v)).abs() < 1e-9);
+        assert!((inv[0] - 1.0 / beta_v).abs() < 1e-3);
+    }
+
+    #[test]
+    fn replica_reduce_and_broadcast() {
+        let a = PhiModel::zeros(2, 3, Priors::paper(2));
+        let b = PhiModel::zeros(2, 3, Priors::paper(2));
+        a.phi.store(a.phi_index(1, 0), 5);
+        a.phi_sum.store(0, 5);
+        b.phi.store(b.phi_index(1, 0), 2);
+        b.phi.store(b.phi_index(2, 1), 7);
+        b.phi_sum.store(0, 2);
+        b.phi_sum.store(1, 7);
+        a.add_from(&b);
+        assert_eq!(a.phi.load(a.phi_index(1, 0)), 7);
+        assert_eq!(a.phi.load(a.phi_index(2, 1)), 7);
+        assert_eq!(a.check_sums(), 14);
+        let c = PhiModel::zeros(2, 3, Priors::paper(2));
+        c.copy_from(&a);
+        assert_eq!(c.phi.load(c.phi_index(1, 0)), 7);
+        assert_eq!(c.phi_sum.load(1), 7);
+    }
+
+    #[test]
+    fn top_words_sorted_desc() {
+        let phi = PhiModel::zeros(2, 4, Priors::paper(2));
+        phi.phi.store(phi.phi_index(0, 1), 3);
+        phi.phi.store(phi.phi_index(2, 1), 9);
+        phi.phi.store(phi.phi_index(3, 1), 1);
+        let top = phi.top_words(1, 2);
+        assert_eq!(top, vec![(2, 9), (0, 3)]);
+    }
+
+    #[test]
+    fn init_is_deterministic() {
+        let (sc, _) = chunk_and_state();
+        let a = ChunkState::init_random(&sc, 8, 7);
+        let b = ChunkState::init_random(&sc, 8, 7);
+        assert_eq!(a.z.snapshot(), b.z.snapshot());
+        let c = ChunkState::init_random(&sc, 8, 8);
+        assert_ne!(a.z.snapshot(), c.z.snapshot());
+    }
+
+    #[test]
+    #[should_panic(expected = "compression limit")]
+    fn rejects_k_over_u16() {
+        PhiModel::zeros(MAX_TOPICS + 1, 10, Priors::paper(2));
+    }
+}

@@ -1,0 +1,180 @@
+//! Property tests for the sampling mathematics: the S/Q decomposition and
+//! the tree/reference sampler equivalence over arbitrary model states.
+
+use culda_sampler::spq::{
+    compute_pstar, exact_conditional, p1_weights, pstar_tree, q_mass, sample_token_reference,
+    sample_token_tree,
+};
+use culda_sampler::{PhiModel, Priors};
+use proptest::prelude::*;
+
+/// An arbitrary small model state: K topics × V words of ϕ counts plus a
+/// θ row with the same column space.
+#[derive(Debug, Clone)]
+struct ModelCase {
+    k: usize,
+    v: usize,
+    phi_counts: Vec<u32>,
+    theta_dense: Vec<u32>,
+    word: usize,
+}
+
+fn model_strategy() -> impl Strategy<Value = ModelCase> {
+    (2usize..24, 2usize..12)
+        .prop_flat_map(|(k, v)| {
+            (
+                Just(k),
+                Just(v),
+                proptest::collection::vec(0u32..30, k * v),
+                proptest::collection::vec(0u32..15, k),
+                0..v,
+            )
+        })
+        .prop_map(|(k, v, phi_counts, theta_dense, word)| ModelCase {
+            k,
+            v,
+            phi_counts,
+            theta_dense,
+            word,
+        })
+}
+
+fn build_phi(case: &ModelCase) -> PhiModel {
+    let phi = PhiModel::zeros(case.k, case.v, Priors::new(0.3, 0.05));
+    for v in 0..case.v {
+        for k in 0..case.k {
+            let c = case.phi_counts[v * case.k + k];
+            if c > 0 {
+                phi.phi.store(phi.phi_index(v, k), c);
+                phi.phi_sum.fetch_add(k, c);
+            }
+        }
+    }
+    phi
+}
+
+fn sparse_theta(dense: &[u32]) -> (Vec<u16>, Vec<u32>) {
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    for (k, &c) in dense.iter().enumerate() {
+        if c > 0 {
+            cols.push(k as u16);
+            vals.push(c);
+        }
+    }
+    (cols, vals)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn s_plus_q_equals_exact_mass(case in model_strategy()) {
+        let phi = build_phi(&case);
+        let inv = phi.inv_denominators();
+        let mut pstar = vec![0.0f32; case.k];
+        compute_pstar(&phi, case.word, &inv, &mut pstar);
+        let (cols, vals) = sparse_theta(&case.theta_dense);
+        let mut w = Vec::new();
+        let s = p1_weights(&cols, &vals, &pstar, &mut w) as f64;
+        let q = q_mass(0.3, pstar.iter().sum::<f32>()) as f64;
+        let exact: f64 = exact_conditional(&case.theta_dense, &phi, case.word, &inv)
+            .iter()
+            .sum();
+        prop_assert!(
+            ((s + q) - exact).abs() <= 1e-4 * exact.max(1e-6),
+            "S+Q = {} vs exact {exact}", s + q
+        );
+    }
+
+    #[test]
+    fn tree_and_reference_samplers_agree(
+        case in model_strategy(),
+        ub in 0.0f32..1.0,
+        ui in 0.0f32..1.0,
+    ) {
+        let phi = build_phi(&case);
+        let inv = phi.inv_denominators();
+        let mut pstar = vec![0.0f32; case.k];
+        compute_pstar(&phi, case.word, &inv, &mut pstar);
+        let tree = pstar_tree(&pstar);
+        let (cols, vals) = sparse_theta(&case.theta_dense);
+        let a = sample_token_reference(&cols, &vals, &pstar, 0.3, ub, ui);
+        let b = sample_token_tree(&cols, &vals, &tree, &pstar, 0.3, ub, ui);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sampled_topic_has_positive_exact_probability(
+        case in model_strategy(),
+        ub in 0.0f32..1.0,
+        ui in 0.0f32..1.0,
+    ) {
+        let phi = build_phi(&case);
+        let inv = phi.inv_denominators();
+        let mut pstar = vec![0.0f32; case.k];
+        compute_pstar(&phi, case.word, &inv, &mut pstar);
+        let (cols, vals) = sparse_theta(&case.theta_dense);
+        let topic = sample_token_reference(&cols, &vals, &pstar, 0.3, ub, ui) as usize;
+        prop_assert!(topic < case.k);
+        let exact = exact_conditional(&case.theta_dense, &phi, case.word, &inv);
+        prop_assert!(exact[topic] > 0.0, "drew a zero-probability topic");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn checkpoint_loader_never_panics_on_corruption(
+        flips in proptest::collection::vec((0usize..4096, any::<u8>()), 1..8),
+        truncate_to in 0usize..4096,
+    ) {
+        // Build a valid checkpoint, then corrupt it arbitrarily: the
+        // loader must return Ok or Err, never panic or over-allocate.
+        let phi = PhiModel::zeros(8, 32, Priors::paper(8));
+        for i in 0..40usize {
+            phi.phi.store(i * 5 % 256, 1 + (i % 9) as u32);
+        }
+        // Recompute sums so the base artifact is valid.
+        for k in 0..8 {
+            let mut s = 0;
+            for v in 0..32 {
+                s += phi.phi.load(v * 8 + k);
+            }
+            phi.phi_sum.store(k, s);
+        }
+        let mut buf = Vec::new();
+        culda_sampler::save_phi(&phi, &mut buf).unwrap();
+        for (pos, val) in flips {
+            let n = buf.len();
+            buf[pos % n] = val;
+        }
+        let cut = truncate_to.min(buf.len());
+        let _ = culda_sampler::load_phi(&buf[..cut]); // must not panic
+        let _ = culda_sampler::load_phi(buf.as_slice());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn fold_in_theta_always_conserves_length(
+        words in proptest::collection::vec(0u32..12, 1..50),
+        iters in 1u32..8,
+    ) {
+        let case = ModelCase {
+            k: 6,
+            v: 12,
+            phi_counts: (0..72).map(|i| (i % 5) as u32 + 1).collect(),
+            theta_dense: vec![],
+            word: 0,
+        };
+        let phi = build_phi(&case);
+        let fold = culda_sampler::FoldIn::new(&phi);
+        let theta = fold.infer_document(&words, iters, 9);
+        let total: u32 = theta.iter().sum();
+        prop_assert_eq!(total as usize, words.len());
+    }
+}

@@ -1,0 +1,7 @@
+//! CuLDA_CGS umbrella crate.
+pub use culda_baselines as baselines;
+pub use culda_corpus as corpus;
+pub use culda_gpusim as gpusim;
+pub use culda_metrics as metrics;
+pub use culda_multigpu as multigpu;
+pub use culda_sampler as sampler;

@@ -1,0 +1,69 @@
+//! Golden regression pins: exact values a fixed-seed run must reproduce.
+//!
+//! These catch *unintentional* changes to the sampling chain — an RNG
+//! stream reshuffle, an off-by-one in the block map, a reordering of the
+//! S/Q branch. If you change the algorithm deliberately, update the pinned
+//! values in the same commit and say why in its message.
+
+use culda::corpus::SynthSpec;
+use culda::gpusim::Platform;
+use culda::multigpu::{CuldaTrainer, TrainerConfig};
+
+/// FNV-1a over the concatenated assignment vectors.
+fn z_fingerprint(trainer: &CuldaTrainer) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for state in trainer.states() {
+        for z in state.z.snapshot() {
+            for b in z.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        }
+    }
+    h
+}
+
+fn run() -> (u64, f64) {
+    let mut spec = SynthSpec::tiny();
+    spec.num_docs = 100;
+    spec.vocab_size = 200;
+    spec.avg_doc_len = 20.0;
+    spec.seed = 0xBEEF;
+    let corpus = spec.generate();
+    let cfg = TrainerConfig::new(8, Platform::maxwell())
+        .with_iterations(3)
+        .with_score_every(0)
+        .with_seed(0x601DE4);
+    let mut t = CuldaTrainer::new(&corpus, cfg);
+    for _ in 0..3 {
+        t.step();
+    }
+    (z_fingerprint(&t), t.loglik_per_token())
+}
+
+#[test]
+fn fixed_seed_run_is_pinned() {
+    let (fp_a, ll_a) = run();
+    let (fp_b, ll_b) = run();
+    // Self-consistency first: the run must at least reproduce itself.
+    assert_eq!(fp_a, fp_b);
+    assert_eq!(ll_a.to_bits(), ll_b.to_bits());
+    // Golden values (update deliberately, never accidentally):
+    let golden = std::env::var("CULDA_PRINT_GOLDEN").is_ok();
+    if golden {
+        println!("GOLDEN fingerprint = {fp_a:#018x}, loglik = {ll_a:.12}");
+    }
+    assert_eq!(
+        fp_a, GOLDEN_FINGERPRINT,
+        "assignment chain changed — if intentional, update GOLDEN_FINGERPRINT \
+         (run with CULDA_PRINT_GOLDEN=1 to print the new value)"
+    );
+    assert!(
+        (ll_a - GOLDEN_LOGLIK).abs() < 1e-9,
+        "final likelihood changed: {ll_a:.12} vs pinned {GOLDEN_LOGLIK:.12}"
+    );
+}
+
+// Pinned by running with CULDA_PRINT_GOLDEN=1.
+const GOLDEN_FINGERPRINT: u64 = 0x85d1e6d88d04542b;
+const GOLDEN_LOGLIK: f64 = -5.669591823564;

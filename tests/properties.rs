@@ -1,0 +1,233 @@
+//! Property-based tests over the core data structures and invariants,
+//! exercised through the public API of the workspace crates.
+
+use culda::baselines::AliasTable;
+use culda::corpus::{partition_by_tokens, Corpus, CsrMatrix, Document, SortedChunk, Vocab};
+use culda::gpusim::warp;
+use culda::sampler::{IndexTree, Priors};
+use proptest::prelude::*;
+
+/// Arbitrary non-degenerate weight vectors for the samplers.
+fn weights_strategy() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(0.0f32..100.0, 1..300).prop_filter(
+        "needs positive mass",
+        |w| w.iter().sum::<f32>() > 1e-3,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn index_tree_agrees_with_linear_search(
+        w in weights_strategy(),
+        fanout in 2usize..40,
+        frac in 0.0f64..1.0,
+    ) {
+        let tree = IndexTree::build(&w, fanout);
+        let prefix: Vec<f32> = w.iter().scan(0.0, |a, &x| { *a += x; Some(*a) }).collect();
+        let x = (frac as f32) * tree.total();
+        let x = x.min(tree.total() * 0.999_999);
+        let (got, _, _) = tree.sample_scaled(x);
+        let want = culda::sampler::ptree::linear_search(&prefix, x);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn index_tree_rebuild_equals_fresh_build(
+        w1 in weights_strategy(),
+        w2 in weights_strategy(),
+    ) {
+        let mut tree = IndexTree::build(&w1, 32);
+        tree.rebuild(&w2);
+        prop_assert_eq!(tree, IndexTree::build(&w2, 32));
+    }
+
+    #[test]
+    fn index_tree_never_draws_zero_weight(
+        mut w in weights_strategy(),
+        idx in 0usize..300,
+        frac in 0.0f64..1.0,
+    ) {
+        let idx = idx % w.len();
+        w[idx] = 0.0;
+        prop_assume!(w.iter().sum::<f32>() > 1e-3);
+        let tree = IndexTree::build(&w, 32);
+        let x = (frac as f32 * tree.total()).min(tree.total() * 0.999_999);
+        let (got, _, _) = tree.sample_scaled(x);
+        prop_assert_ne!(got, idx, "drew zero-weight index");
+    }
+
+    #[test]
+    fn alias_table_probabilities_match_weights(
+        w in proptest::collection::vec(0.0f64..50.0, 1..64)
+            .prop_filter("positive mass", |w| w.iter().sum::<f64>() > 1e-6),
+    ) {
+        let t = AliasTable::build(&w);
+        let total: f64 = w.iter().sum();
+        for (i, &wi) in w.iter().enumerate() {
+            let p = t.probability(i);
+            prop_assert!((p - wi / total).abs() < 1e-9, "outcome {}: {} vs {}", i, p, wi / total);
+        }
+    }
+
+    #[test]
+    fn partition_conserves_tokens_for_any_shape(
+        lens in proptest::collection::vec(0usize..60, 1..120),
+        c in 1usize..12,
+    ) {
+        prop_assume!(c <= lens.len());
+        let docs: Vec<Document> = lens.iter().map(|&l| Document::new(vec![0u32; l])).collect();
+        let corpus = Corpus::new(docs, Vocab::synthetic(1));
+        let chunks = partition_by_tokens(&corpus, c);
+        prop_assert_eq!(chunks.len(), c);
+        let total: u64 = chunks.iter().map(|ch| ch.tokens).sum();
+        prop_assert_eq!(total, corpus.num_tokens());
+        // Contiguous cover, no empty chunk.
+        prop_assert_eq!(chunks[0].docs.start, 0);
+        for w in chunks.windows(2) {
+            prop_assert_eq!(w[0].docs.end, w[1].docs.start);
+        }
+        prop_assert_eq!(chunks.last().unwrap().docs.end as usize, corpus.num_docs());
+        for ch in &chunks {
+            prop_assert!(ch.num_docs() > 0);
+        }
+    }
+
+    #[test]
+    fn sorted_chunk_layout_is_a_permutation(
+        doc_words in proptest::collection::vec(
+            proptest::collection::vec(0u32..20, 1..30),
+            1..40,
+        ),
+        c in 1usize..5,
+    ) {
+        prop_assume!(c <= doc_words.len());
+        let docs: Vec<Document> = doc_words.into_iter().map(Document::new).collect();
+        let corpus = Corpus::new(docs, Vocab::synthetic(20));
+        let chunks = partition_by_tokens(&corpus, c);
+        let mut tokens = 0usize;
+        for ch in &chunks {
+            let sorted = SortedChunk::build(&corpus, ch);
+            prop_assert!(sorted.check_invariants(&corpus, ch));
+            tokens += sorted.num_tokens();
+        }
+        prop_assert_eq!(tokens as u64, corpus.num_tokens());
+    }
+
+    #[test]
+    fn csr_dense_round_trip(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(0u32..9, 8),
+            0..20,
+        ),
+    ) {
+        let m = CsrMatrix::from_dense_rows(&rows, 8);
+        m.check_invariants();
+        for (r, want) in rows.iter().enumerate() {
+            prop_assert_eq!(&m.row_to_dense(r), want);
+        }
+    }
+
+    #[test]
+    fn warp_scan_matches_serial(
+        lanes in proptest::collection::vec(-100.0f32..100.0, 1..33),
+    ) {
+        let mut scanned = lanes.clone();
+        let total = warp::inclusive_scan_f32(&mut scanned);
+        let mut acc = 0.0f32;
+        for (i, &x) in lanes.iter().enumerate() {
+            acc += x;
+            // Hillis–Steele adds in a different order than serial; allow
+            // f32 reassociation slack.
+            prop_assert!((scanned[i] - acc).abs() <= 1e-3 * acc.abs().max(1.0));
+        }
+        prop_assert!((total - scanned[lanes.len() - 1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warp_ballot_round_trips(bits in proptest::collection::vec(any::<bool>(), 1..33)) {
+        let mask = warp::ballot(&bits);
+        for (i, &b) in bits.iter().enumerate() {
+            prop_assert_eq!(mask & (1 << i) != 0, b);
+        }
+        let first_true = bits.iter().position(|&b| b);
+        prop_assert_eq!(warp::first_set_lane(mask), first_true);
+    }
+
+    #[test]
+    fn priors_masses_are_linear(k in 1usize..5000, v in 1usize..200_000) {
+        let p = Priors::paper(k);
+        prop_assert!((p.alpha * k as f64 - 50.0).abs() < 1e-9);
+        prop_assert!((p.beta_v(v) - 0.01 * v as f64).abs() < 1e-6);
+    }
+}
+
+proptest! {
+    // Heavier cases: fewer iterations.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn phi_sync_equals_serial_sum(
+        replica_fills in proptest::collection::vec(
+            proptest::collection::vec(0u32..7, 12),
+            1..7,
+        ),
+    ) {
+        use culda::gpusim::{Link, Platform};
+        use culda::multigpu::{sync_phi_replicas, TrainerConfig};
+        use culda::sampler::PhiModel;
+        let g = replica_fills.len();
+        let replicas: Vec<PhiModel> = replica_fills
+            .iter()
+            .map(|cells| {
+                let m = PhiModel::zeros(3, 4, Priors::paper(3));
+                for (i, &c) in cells.iter().enumerate() {
+                    if c > 0 {
+                        m.phi.store(i, c);
+                        m.phi_sum.fetch_add(i % 3, c);
+                    }
+                }
+                m
+            })
+            .collect();
+        let mut want = vec![0u64; 12];
+        for cells in &replica_fills {
+            for (slot, w) in want.iter_mut().enumerate() {
+                *w += cells[slot] as u64;
+            }
+        }
+        let cfg = TrainerConfig::new(3, Platform::pascal());
+        sync_phi_replicas(&replicas, &Platform::pascal().gpu, &Link::pcie3(), &cfg);
+        for r in &replicas {
+            for (slot, &w) in want.iter().enumerate() {
+                prop_assert_eq!(r.phi.load(slot) as u64, w, "g = {}", g);
+            }
+        }
+    }
+
+    #[test]
+    fn block_map_partitions_any_chunk(
+        doc_words in proptest::collection::vec(
+            proptest::collection::vec(0u32..15, 1..40),
+            2..30,
+        ),
+        tpb in 1usize..200,
+    ) {
+        use culda::sampler::build_block_map;
+        let docs: Vec<Document> = doc_words.into_iter().map(Document::new).collect();
+        let corpus = Corpus::new(docs, Vocab::synthetic(15));
+        let chunks = partition_by_tokens(&corpus, 1);
+        let chunk = SortedChunk::build(&corpus, &chunks[0]);
+        let map = build_block_map(&chunk, tpb);
+        let mut seen = vec![false; chunk.num_tokens()];
+        for b in &map {
+            prop_assert!(b.len() <= tpb);
+            for t in b.tokens.clone() {
+                prop_assert!(!seen[t]);
+                seen[t] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+}
