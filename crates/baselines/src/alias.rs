@@ -5,7 +5,7 @@
 //! that are rebuilt once per pass — amortized O(1) per token. This module
 //! is the substrate for our WarpLDA-class CPU baseline.
 
-use rand::Rng;
+use culda_corpus::Xoshiro256;
 
 /// A Walker alias table over `n` outcomes.
 #[derive(Debug, Clone)]
@@ -76,10 +76,9 @@ impl AliasTable {
 
     /// Draws an outcome: one uniform for the cell, one for the coin.
     #[inline]
-    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
-        let n = self.prob.len();
-        let cell = rng.gen_range(0..n);
-        if rng.gen::<f64>() < self.prob[cell] {
+    pub fn sample(&self, rng: &mut Xoshiro256) -> usize {
+        let cell = rng.next_below(self.prob.len() as u32) as usize;
+        if rng.next_f64() < self.prob[cell] {
             cell
         } else {
             self.alias[cell] as usize
@@ -102,7 +101,6 @@ impl AliasTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn table_encodes_exact_probabilities() {
@@ -120,7 +118,7 @@ mod tests {
     fn sampling_matches_weights() {
         let weights = [2.0, 5.0, 1.0, 2.0];
         let t = AliasTable::build(&weights);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut rng = Xoshiro256::from_seed_stream(4, 0);
         let n = 200_000;
         let mut hist = [0u32; 4];
         for _ in 0..n {
@@ -136,7 +134,7 @@ mod tests {
     #[test]
     fn zero_weight_is_never_drawn() {
         let t = AliasTable::build(&[1.0, 0.0, 1.0]);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256::from_seed_stream(1, 0);
         for _ in 0..10_000 {
             assert_ne!(t.sample(&mut rng), 1);
         }
@@ -149,14 +147,14 @@ mod tests {
             assert!((t.probability(i) - 1.0 / 7.0).abs() < 1e-12);
         }
         let s = AliasTable::build(&[42.0]);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = Xoshiro256::from_seed_stream(0, 0);
         assert_eq!(s.sample(&mut rng), 0);
     }
 
     #[test]
     fn extreme_skew_is_handled() {
         let t = AliasTable::build(&[1e-12, 1.0]);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut rng = Xoshiro256::from_seed_stream(2, 0);
         let ones = (0..10_000).filter(|_| t.sample(&mut rng) == 1).count();
         assert!(ones > 9_990);
     }

@@ -61,6 +61,9 @@ pub fn run_naive_dense_kernel(
         let start = ctx.block_id as usize * TOKENS_PER_BLOCK;
         let end = (start + TOKENS_PER_BLOCK).min(num_tokens);
         let mut p = vec![0.0f32; k];
+        // `t` is the global token index: it keys the RNG stream and the
+        // `z` store, not just the `token_word` lookup.
+        #[allow(clippy::needless_range_loop)]
         for t in start..end {
             let w = token_word[t] as usize;
             let d = chunk.token_doc[t] as usize;
@@ -143,10 +146,10 @@ mod tests {
         let naive =
             run_naive_dense_kernel(&mut dev_naive, &chunk, &state, &phi, &inv, 7, 0);
 
-        let mut dev_culda = Device::new(0, GpuSpec::titan_x_maxwell()).with_workers(4);
+        let dev_culda = Device::new(0, GpuSpec::titan_x_maxwell()).with_workers(4);
         let map = build_block_map(&chunk, 512);
         let culda = run_sampling_kernel(
-            &mut dev_culda,
+            &dev_culda,
             &chunk,
             &state,
             &phi,

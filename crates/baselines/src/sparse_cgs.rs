@@ -119,11 +119,10 @@ impl SparseCgs {
                 let mut s = 0.0f64;
                 p1.clear();
                 let mut q = 0.0f64;
-                for t in 0..k_n {
+                for (t, &c) in dense_row.iter().enumerate().take(k_n) {
                     let pstar = (self.phi[w * k_n + t] as f64 + beta)
                         / (self.nk[t] as f64 + beta_v);
                     q += alpha * pstar;
-                    let c = dense_row[t];
                     if c > 0 {
                         let w1 = c as f64 * pstar;
                         s += w1;

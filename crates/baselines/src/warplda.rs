@@ -170,12 +170,7 @@ impl WarpLda {
                         }
                     }
                     // --- Word proposal: q(k) ∝ C_wk + β ------------------
-                    let proposal = {
-                        // Adapter: alias tables take a rand::Rng; drive them
-                        // from our deterministic stream.
-                        let mut adapter = XoshiroRng(&mut self.rng);
-                        word_alias[w].sample(&mut adapter)
-                    };
+                    let proposal = word_alias[w].sample(&mut self.rng);
                     self.charge_random(); // alias cell
                     if proposal != cur {
                         // Word-proposal acceptance: the (C_wk + β) terms
@@ -260,28 +255,6 @@ impl WarpLda {
         assert_eq!(phi_total, self.z.len() as u64, "phi total");
         let theta_total: u64 = self.theta.iter().map(|&x| x as u64).sum();
         assert_eq!(theta_total, self.z.len() as u64, "theta total");
-    }
-}
-
-/// `rand::Rng` adapter over our deterministic xoshiro stream.
-struct XoshiroRng<'a>(&'a mut Xoshiro256);
-
-impl rand::RngCore for XoshiroRng<'_> {
-    fn next_u32(&mut self) -> u32 {
-        self.0.next_u64() as u32
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.0.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        for chunk in dest.chunks_mut(8) {
-            let bytes = self.0.next_u64().to_le_bytes();
-            chunk.copy_from_slice(&bytes[..chunk.len()]);
-        }
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
     }
 }
 

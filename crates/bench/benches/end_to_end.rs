@@ -2,52 +2,32 @@
 //! and multi-GPU — the host-side simulation throughput of the whole
 //! pipeline.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use culda_bench::harness::{bench, group};
 use culda_corpus::SynthSpec;
 use culda_gpusim::Platform;
 use culda_multigpu::{CuldaTrainer, TrainerConfig};
+use std::hint::black_box;
 
-fn bench_step(c: &mut Criterion) {
-    let mut g = c.benchmark_group("trainer_step");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(400));
-    g.measurement_time(std::time::Duration::from_secs(2));
+fn main() {
     let mut spec = SynthSpec::tiny();
     spec.num_docs = 500;
     spec.vocab_size = 600;
     spec.avg_doc_len = 60.0;
     let corpus = spec.generate();
+
+    group("trainer_step");
     for gpus in [1usize, 4] {
-        g.bench_with_input(BenchmarkId::new("pascal", gpus), &gpus, |b, &n| {
-            let cfg = TrainerConfig::new(64, Platform::pascal().with_gpus(n))
-                .with_iterations(1)
-                .with_score_every(0);
-            let mut t = CuldaTrainer::new(&corpus, cfg);
-            b.iter(|| black_box(t.step()))
-        });
-    }
-    g.finish();
-}
-
-fn bench_word_partition_step(c: &mut Criterion) {
-    let mut g = c.benchmark_group("word_trainer_step");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(400));
-    g.measurement_time(std::time::Duration::from_secs(2));
-    let mut spec = SynthSpec::tiny();
-    spec.num_docs = 500;
-    spec.vocab_size = 600;
-    spec.avg_doc_len = 60.0;
-    let corpus = spec.generate();
-    g.bench_function("pascal_4gpu", |b| {
-        let cfg = TrainerConfig::new(64, Platform::pascal())
+        let cfg = TrainerConfig::new(64, Platform::pascal().with_gpus(gpus))
             .with_iterations(1)
             .with_score_every(0);
-        let mut t = culda_multigpu::WordPartitionedTrainer::new(&corpus, cfg);
-        b.iter(|| black_box(t.step()))
-    });
-    g.finish();
-}
+        let mut t = CuldaTrainer::new(&corpus, cfg);
+        bench(&format!("pascal/{gpus}"), || black_box(t.step()));
+    }
 
-criterion_group!(benches, bench_step, bench_word_partition_step);
-criterion_main!(benches);
+    group("word_trainer_step");
+    let cfg = TrainerConfig::new(64, Platform::pascal())
+        .with_iterations(1)
+        .with_score_every(0);
+    let mut t = culda_multigpu::WordPartitionedTrainer::new(&corpus, cfg);
+    bench("pascal_4gpu", || black_box(t.step()));
+}

@@ -2,11 +2,12 @@
 //! checkpoint serialization, UMass coherence, vocabulary pruning, UCI I/O,
 //! and UCI round-tripping.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use culda_bench::harness::{bench, group};
 use culda_corpus::{prune_vocab, read_uci, write_uci, PruneSpec, SynthSpec};
 use culda_metrics::CoOccurrence;
 use culda_sampler::{load_phi, save_phi, FoldIn, PhiModel, Priors};
 use std::collections::HashSet;
+use std::hint::black_box;
 
 fn trained_phi() -> PhiModel {
     let phi = PhiModel::zeros(64, 2000, Priors::paper(64));
@@ -18,25 +19,20 @@ fn trained_phi() -> PhiModel {
     phi
 }
 
-fn bench_extensions(c: &mut Criterion) {
-    let mut g = c.benchmark_group("extensions");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(400));
-    g.measurement_time(std::time::Duration::from_secs(2));
+fn main() {
+    group("extensions");
 
     let phi = trained_phi();
     let fold = FoldIn::new(&phi);
     let doc: Vec<u32> = (0..200).map(|i| (i * 13) % 2000).collect();
-    g.bench_function("fold_in_200_tokens_10_sweeps", |b| {
-        b.iter(|| black_box(fold.infer_document(&doc, 10, 7)))
+    bench("fold_in_200_tokens_10_sweeps", || {
+        black_box(fold.infer_document(&doc, 10, 7))
     });
 
-    g.bench_function("checkpoint_save_load", |b| {
-        b.iter(|| {
-            let mut buf = Vec::new();
-            save_phi(&phi, &mut buf).unwrap();
-            black_box(load_phi(buf.as_slice()).unwrap())
-        })
+    bench("checkpoint_save_load", || {
+        let mut buf = Vec::new();
+        save_phi(&phi, &mut buf).unwrap();
+        black_box(load_phi(buf.as_slice()).unwrap())
     });
 
     let corpus = {
@@ -46,35 +42,27 @@ fn bench_extensions(c: &mut Criterion) {
         spec.generate()
     };
     let track: HashSet<u32> = (0..100u32).collect();
-    g.bench_function("coherence_index_build", |b| {
-        b.iter(|| {
-            black_box(CoOccurrence::build(
-                corpus.docs.iter().map(|d| d.words.as_slice()),
-                &track,
-            ))
-        })
+    bench("coherence_index_build", || {
+        black_box(CoOccurrence::build(
+            corpus.docs.iter().map(|d| d.words.as_slice()),
+            &track,
+        ))
     });
 
-    g.bench_function("prune_vocab", |b| {
-        b.iter(|| black_box(prune_vocab(&corpus, &PruneSpec::default())))
+    bench("prune_vocab", || {
+        black_box(prune_vocab(&corpus, &PruneSpec::default()))
     });
 
-    g.bench_function("uci_round_trip", |b| {
-        b.iter(|| {
-            let mut dw = Vec::new();
-            let mut vo = Vec::new();
-            write_uci(&corpus, &mut dw, &mut vo).unwrap();
-            black_box(
-                read_uci(
-                    std::io::BufReader::new(dw.as_slice()),
-                    std::io::BufReader::new(vo.as_slice()),
-                )
-                .unwrap(),
+    bench("uci_round_trip", || {
+        let mut dw = Vec::new();
+        let mut vo = Vec::new();
+        write_uci(&corpus, &mut dw, &mut vo).unwrap();
+        black_box(
+            read_uci(
+                std::io::BufReader::new(dw.as_slice()),
+                std::io::BufReader::new(vo.as_slice()),
             )
-        })
+            .unwrap(),
+        )
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_extensions);
-criterion_main!(benches);

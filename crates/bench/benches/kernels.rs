@@ -5,13 +5,14 @@
 //! different experiment — here we measure host-side simulation throughput,
 //! which is what bounds our experiment turnaround).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use culda_bench::harness::{bench, bench_with_setup, group};
 use culda_corpus::{partition_by_tokens, SortedChunk, SynthSpec};
 use culda_gpusim::{Device, GpuSpec};
 use culda_sampler::{
     accumulate_phi_host, build_block_map, run_phi_update_kernel, run_sampling_kernel,
     run_theta_update_kernel, ChunkState, PhiModel, Priors, SampleConfig,
 };
+use std::hint::black_box;
 
 struct Fixture {
     chunk: SortedChunk,
@@ -43,61 +44,38 @@ fn fixture(k: usize) -> Fixture {
     }
 }
 
-fn bench_sampling_kernel(c: &mut Criterion) {
-    let mut g = c.benchmark_group("kernel_sampling");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(400));
-    g.measurement_time(std::time::Duration::from_secs(2));
+fn main() {
+    group("kernel_sampling");
     let f = fixture(256);
     for (name, shared, compressed) in [
         ("full_opt", true, true),
         ("no_shared", false, true),
         ("no_compress", true, false),
     ] {
-        g.bench_function(name, |b| {
-            let mut dev = Device::new(0, GpuSpec::titan_x_maxwell());
-            let mut cfg = SampleConfig::new(5);
-            cfg.use_shared_memory = shared;
-            cfg.compressed = compressed;
-            b.iter(|| {
-                cfg.iteration = cfg.iteration.wrapping_add(1);
-                black_box(run_sampling_kernel(
-                    &mut dev, &f.chunk, &f.state, &f.phi, &f.inv, &f.map, &cfg,
-                ))
-            })
+        let dev = Device::new(0, GpuSpec::titan_x_maxwell());
+        let mut cfg = SampleConfig::new(5);
+        cfg.use_shared_memory = shared;
+        cfg.compressed = compressed;
+        bench(name, || {
+            cfg.iteration = cfg.iteration.wrapping_add(1);
+            black_box(run_sampling_kernel(
+                &dev, &f.chunk, &f.state, &f.phi, &f.inv, &f.map, &cfg,
+            ))
         });
     }
-    g.finish();
-}
 
-fn bench_update_kernels(c: &mut Criterion) {
-    let mut g = c.benchmark_group("kernel_updates");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(400));
-    g.measurement_time(std::time::Duration::from_secs(2));
-    let f = fixture(256);
-    g.bench_function("phi_update", |b| {
-        let mut dev = Device::new(0, GpuSpec::titan_x_maxwell());
-        let phi = PhiModel::zeros(256, 800, Priors::paper(256));
-        b.iter(|| {
-            black_box(run_phi_update_kernel(
-                &mut dev, &f.chunk, &f.state, &phi, &f.map,
-            ))
-        })
+    group("kernel_updates");
+    let dev = Device::new(0, GpuSpec::titan_x_maxwell());
+    let phi = PhiModel::zeros(256, 800, Priors::paper(256));
+    bench("phi_update", || {
+        black_box(run_phi_update_kernel(&dev, &f.chunk, &f.state, &phi, &f.map))
     });
-    g.bench_function("theta_update", |b| {
-        let mut dev = Device::new(0, GpuSpec::titan_x_maxwell());
-        b.iter_batched(
-            || ChunkState {
-                z: culda_gpusim::memory::AtomicU16Buf::from_vec(f.state.z.snapshot()),
-                theta: f.state.theta.clone(),
-            },
-            |mut st| black_box(run_theta_update_kernel(&mut dev, &f.chunk, &mut st, 256)),
-            criterion::BatchSize::LargeInput,
-        )
-    });
-    g.finish();
+    bench_with_setup(
+        "theta_update",
+        || ChunkState {
+            z: culda_gpusim::memory::AtomicU16Buf::from_vec(f.state.z.snapshot()),
+            theta: f.state.theta.clone(),
+        },
+        |mut st| black_box(run_theta_update_kernel(&dev, &f.chunk, &mut st, 256)),
+    );
 }
-
-criterion_group!(benches, bench_sampling_kernel, bench_update_kernels);
-criterion_main!(benches);

@@ -2,59 +2,41 @@
 //! sample, across fanouts and topic counts — the ablation behind the
 //! paper's choice of 32-way trees (one warp ballot per level).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use culda_bench::harness::{bench, group};
 use culda_sampler::IndexTree;
+use std::hint::black_box;
 
 fn weights(k: usize) -> Vec<f32> {
-    (0..k).map(|i| ((i * 2654435761usize) % 97) as f32 + 0.5).collect()
+    (0..k)
+        .map(|i| ((i * 2654435761usize) % 97) as f32 + 0.5)
+        .collect()
 }
 
-fn bench_build(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ptree_build");
-    g.sample_size(20);
-    g.warm_up_time(std::time::Duration::from_millis(400));
-    g.measurement_time(std::time::Duration::from_secs(2));
+fn main() {
+    group("ptree_build");
     for k in [1024usize, 16384] {
         let w = weights(k);
         for fanout in [2usize, 32] {
-            g.bench_with_input(
-                BenchmarkId::new(format!("fanout{fanout}"), k),
-                &w,
-                |b, w| b.iter(|| IndexTree::build(black_box(w), fanout)),
-            );
+            bench(&format!("build_fanout{fanout}/{k}"), || {
+                IndexTree::build(black_box(&w), fanout)
+            });
         }
     }
-    g.finish();
-}
 
-fn bench_rebuild_reuses_allocations(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ptree_rebuild");
-    g.sample_size(20);
-    g.warm_up_time(std::time::Duration::from_millis(400));
-    g.measurement_time(std::time::Duration::from_secs(2));
+    group("ptree_rebuild");
     let w = weights(1024);
     let mut tree = IndexTree::build(&w, 32);
-    g.bench_function("rebuild_k1024", |b| {
-        b.iter(|| tree.rebuild(black_box(&w)))
-    });
-    g.finish();
-}
+    bench("rebuild_k1024", || tree.rebuild(black_box(&w)));
 
-fn bench_sample(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ptree_sample");
-    g.sample_size(20);
-    g.warm_up_time(std::time::Duration::from_millis(400));
-    g.measurement_time(std::time::Duration::from_secs(2));
+    group("ptree_sample");
     for k in [1024usize, 16384] {
         let w = weights(k);
         let tree32 = IndexTree::build(&w, 32);
         let total = tree32.total();
-        g.bench_with_input(BenchmarkId::new("tree_fanout32", k), &tree32, |b, t| {
-            let mut x = 0.1f32;
-            b.iter(|| {
-                x = (x * 1.37) % total;
-                black_box(t.sample_scaled(x))
-            })
+        let mut x = 0.1f32;
+        bench(&format!("tree_fanout32/{k}"), || {
+            x = (x * 1.37) % total;
+            black_box(tree32.sample_scaled(x))
         });
         // Linear-scan reference: what the tree replaces.
         let prefix: Vec<f32> = w
@@ -64,16 +46,10 @@ fn bench_sample(c: &mut Criterion) {
                 Some(*acc)
             })
             .collect();
-        g.bench_with_input(BenchmarkId::new("linear_scan", k), &prefix, |b, p| {
-            let mut x = 0.1f32;
-            b.iter(|| {
-                x = (x * 1.37) % total;
-                black_box(culda_sampler::ptree::linear_search(p, x))
-            })
+        let mut x = 0.1f32;
+        bench(&format!("linear_scan/{k}"), || {
+            x = (x * 1.37) % total;
+            black_box(culda_sampler::ptree::linear_search(&prefix, x))
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_build, bench_rebuild_reuses_allocations, bench_sample);
-criterion_main!(benches);

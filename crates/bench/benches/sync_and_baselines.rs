@@ -1,73 +1,54 @@
 //! Micro-benchmarks for the Figure 4 ϕ synchronization and the per-pass
 //! cost of every baseline solver.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use culda_bench::harness::{bench, bench_with_setup, group};
 use culda_baselines::{SparseCgs, TimedDenseCgs, WarpLda};
 use culda_corpus::SynthSpec;
 use culda_gpusim::{Link, Platform};
 use culda_multigpu::{sync_phi_replicas, TrainerConfig};
 use culda_sampler::{PhiModel, Priors};
+use std::hint::black_box;
 
-fn bench_sync(c: &mut Criterion) {
-    let mut g = c.benchmark_group("phi_sync");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(400));
-    g.measurement_time(std::time::Duration::from_secs(2));
+fn main() {
+    group("phi_sync");
     let (k, v) = (128usize, 2000usize);
     for gpus in [2usize, 4, 8] {
-        g.bench_with_input(BenchmarkId::new("reduce_broadcast", gpus), &gpus, |b, &n| {
-            let cfg = TrainerConfig::new(k, Platform::pascal());
-            b.iter_batched(
-                || {
-                    (0..n)
-                        .map(|i| {
-                            let m = PhiModel::zeros(k, v, Priors::paper(k));
-                            m.phi.store(i, 1);
-                            m.phi_sum.store(0, 1);
-                            m
-                        })
-                        .collect::<Vec<_>>()
-                },
-                |reps| {
-                    black_box(sync_phi_replicas(
-                        &reps,
-                        &Platform::pascal().gpu,
-                        &Link::pcie3(),
-                        &cfg,
-                    ))
-                },
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        let cfg = TrainerConfig::new(k, Platform::pascal());
+        bench_with_setup(
+            &format!("reduce_broadcast/{gpus}"),
+            || {
+                (0..gpus)
+                    .map(|i| {
+                        let m = PhiModel::zeros(k, v, Priors::paper(k));
+                        m.phi.store(i, 1);
+                        m.phi_sum.store(0, 1);
+                        m
+                    })
+                    .collect::<Vec<_>>()
+            },
+            |reps| {
+                let refs: Vec<&PhiModel> = reps.iter().collect();
+                black_box(sync_phi_replicas(
+                    &refs,
+                    &Platform::pascal().gpu,
+                    &Link::pcie3(),
+                    &cfg,
+                ))
+            },
+        );
     }
-    g.finish();
-}
 
-fn bench_baseline_pass(c: &mut Criterion) {
-    let mut g = c.benchmark_group("baseline_pass");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(400));
-    g.measurement_time(std::time::Duration::from_secs(2));
+    group("baseline_pass");
     let mut spec = SynthSpec::tiny();
     spec.num_docs = 200;
     spec.vocab_size = 300;
     spec.avg_doc_len = 40.0;
     let corpus = spec.generate();
     let k = 64;
-    g.bench_function("warplda", |b| {
-        let mut s = WarpLda::new(&corpus, k, Priors::paper(k), 1);
-        b.iter(|| black_box(s.iterate()))
-    });
-    g.bench_function("sparse_cgs", |b| {
-        let mut s = SparseCgs::new(&corpus, k, Priors::paper(k), 1);
-        b.iter(|| black_box(s.iterate()))
-    });
-    g.bench_function("dense_cgs", |b| {
-        let mut s = TimedDenseCgs::new(&corpus, k, Priors::paper(k), 1);
-        b.iter(|| black_box(s.iterate(&corpus)))
-    });
-    g.finish();
+    let mut warp = WarpLda::new(&corpus, k, Priors::paper(k), 1);
+    bench("warplda", || black_box(warp.iterate()));
+    let mut sparse = SparseCgs::new(&corpus, k, Priors::paper(k), 1);
+    bench("sparse_cgs", || black_box(sparse.iterate()));
+    let mut dense = TimedDenseCgs::new(&corpus, k, Priors::paper(k), 1);
+    bench("dense_cgs", || black_box(dense.iterate(&corpus)));
 }
-
-criterion_group!(benches, bench_sync, bench_baseline_pass);
-criterion_main!(benches);

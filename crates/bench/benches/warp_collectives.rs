@@ -1,32 +1,22 @@
 //! Micro-benchmarks for the lane-exact warp collectives.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use culda_bench::harness::{bench, bench_with_setup, group};
 use culda_gpusim::warp;
+use std::hint::black_box;
 
-fn bench_collectives(c: &mut Criterion) {
-    let mut g = c.benchmark_group("warp");
-    g.sample_size(20);
-    g.warm_up_time(std::time::Duration::from_millis(400));
-    g.measurement_time(std::time::Duration::from_secs(2));
+fn main() {
+    group("warp");
     let lanes: Vec<f32> = (0..32).map(|i| i as f32 * 0.5 + 1.0).collect();
-    g.bench_function("reduce_sum_f32", |b| {
-        b.iter(|| warp::reduce_sum_f32(black_box(&lanes)))
-    });
-    g.bench_function("inclusive_scan_f32", |b| {
-        b.iter_batched(
-            || lanes.clone(),
-            |mut l| warp::inclusive_scan_f32(black_box(&mut l)),
-            criterion::BatchSize::SmallInput,
-        )
-    });
+    bench("reduce_sum_f32", || warp::reduce_sum_f32(black_box(&lanes)));
+    bench_with_setup(
+        "inclusive_scan_f32",
+        || lanes.clone(),
+        |mut l| warp::inclusive_scan_f32(black_box(&mut l)),
+    );
     let flags: Vec<bool> = (0..32).map(|i| i % 3 == 0).collect();
-    g.bench_function("ballot", |b| b.iter(|| warp::ballot(black_box(&flags))));
+    bench("ballot", || warp::ballot(black_box(&flags)));
     let prefix: Vec<f32> = (1..=32).map(|i| i as f32).collect();
-    g.bench_function("select_child", |b| {
-        b.iter(|| warp::warp_select_child(black_box(&prefix), 17.3))
+    bench("select_child", || {
+        warp::warp_select_child(black_box(&prefix), 17.3)
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_collectives);
-criterion_main!(benches);

@@ -25,13 +25,17 @@ USAGE:
                  --docword PATH --vocab PATH
   culda train    --docword PATH --vocab PATH --model OUT.phi
                  [--topics K] [--iters N] [--platform maxwell|pascal|volta]
-                 [--gpus G] [--seed N] [--score-every N]
+                 [--gpus G] [--workers N] [--seed N] [--score-every N]
                  [--resume STATE] [--save-state STATE]
   culda topics   --model M.phi --vocab PATH [--top N]
   culda infer    --model M.phi --docword PATH --vocab PATH [--iters N]
   culda info     --model M.phi
   culda profile  --docword PATH --vocab PATH [--topics K] [--iters N]
-                 [--platform maxwell|pascal|volta] [--gpus G]
+                 [--platform maxwell|pascal|volta] [--gpus G] [--workers N]
+
+`--workers N` sets the host threads each simulated GPU uses to execute
+its thread blocks. Results are bit-identical for any value; only host
+wall-clock changes.
 ";
 
 fn load_corpus(args: &Args) -> Result<Corpus, Box<dyn std::error::Error>> {
@@ -61,6 +65,20 @@ fn platform(args: &Args) -> Result<Platform, Box<dyn std::error::Error>> {
     }
     p.num_gpus = gpus;
     Ok(p)
+}
+
+/// Applies the `--workers N` flag (host threads per simulated device) to a
+/// trainer config. Absent flag = simulator default.
+fn apply_workers(args: &Args, cfg: TrainerConfig) -> Result<TrainerConfig, Box<dyn std::error::Error>> {
+    let workers: usize = args.num_or("workers", 0)?;
+    if args.require("workers").is_ok() && workers == 0 {
+        return Err(err("--workers must be at least 1"));
+    }
+    Ok(if workers > 0 {
+        cfg.with_host_workers(workers)
+    } else {
+        cfg
+    })
 }
 
 /// `culda generate` — write a synthetic corpus in UCI format.
@@ -104,10 +122,13 @@ pub fn train(args: &Args) -> CmdResult {
         "training K = {topics} for {iters} iterations on {} ({} GPU(s))",
         platform.name, platform.num_gpus
     );
-    let cfg = TrainerConfig::new(topics, platform)
-        .with_iterations(iters)
-        .with_score_every(score_every)
-        .with_seed(seed);
+    let cfg = apply_workers(
+        args,
+        TrainerConfig::new(topics, platform)
+            .with_iterations(iters)
+            .with_score_every(score_every)
+            .with_seed(seed),
+    )?;
     let mut trainer = match args.require("resume") {
         Ok(state_path) => {
             let t = culda_multigpu::resume_training(
@@ -217,9 +238,12 @@ pub fn profile_cmd(args: &Args) -> CmdResult {
     let topics: usize = args.num_or("topics", 64)?;
     let iters: u32 = args.num_or("iters", 5)?;
     let platform = platform(args)?;
-    let cfg = TrainerConfig::new(topics, platform)
-        .with_iterations(iters)
-        .with_score_every(0);
+    let cfg = apply_workers(
+        args,
+        TrainerConfig::new(topics, platform)
+            .with_iterations(iters)
+            .with_score_every(0),
+    )?;
     let mut trainer = CuldaTrainer::new(&corpus, cfg);
     for _ in 0..iters {
         trainer.step();
@@ -229,6 +253,10 @@ pub fn profile_cmd(args: &Args) -> CmdResult {
     println!("\nphase breakdown (Table 5 form):");
     for (phase, pct) in trainer.breakdown().percent_rows() {
         println!("  {:<14} {pct:>6.1}%", phase.name());
+    }
+    if trainer.num_gpus() > 1 {
+        println!("\nper-GPU phase seconds:");
+        print!("{}", trainer.per_gpu_breakdowns().render());
     }
     println!(
         "\nthroughput: {}/s",
@@ -339,6 +367,41 @@ mod tests {
         let e = platform(&args("train --platform tpu")).unwrap_err();
         assert!(e.to_string().contains("unknown platform"));
         assert!(platform(&args("train --platform pascal --gpus 9")).is_err());
+    }
+
+    #[test]
+    fn workers_flag_is_validated_and_accepted() {
+        assert!(apply_workers(
+            &args("train --workers 0"),
+            TrainerConfig::new(8, Platform::maxwell())
+        )
+        .is_err());
+        let cfg = apply_workers(
+            &args("train --workers 3"),
+            TrainerConfig::new(8, Platform::maxwell()),
+        )
+        .unwrap();
+        assert_eq!(cfg.host_workers, Some(3));
+        let cfg = apply_workers(&args("train"), TrainerConfig::new(8, Platform::maxwell())).unwrap();
+        assert_eq!(cfg.host_workers, None);
+        // End to end through the train command.
+        let docword = tmp("w.docword");
+        let vocab = tmp("w.vocab");
+        let model = tmp("w.phi");
+        generate(&args(&format!(
+            "generate --preset tiny --seed 5 --docword {} --vocab {}",
+            docword.display(),
+            vocab.display()
+        )))
+        .unwrap();
+        train(&args(&format!(
+            "train --docword {} --vocab {} --model {} --topics 8 --iters 2 \
+             --score-every 0 --platform maxwell --workers 2",
+            docword.display(),
+            vocab.display(),
+            model.display()
+        )))
+        .unwrap();
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub fn partition_by_tokens(corpus: &Corpus, c: usize) -> Vec<ChunkSpec> {
         let docs_remaining_after = |doc: usize| d - doc;
         while doc < d {
             let must_take = doc == start;
-            let must_stop = docs_remaining_after(doc) <= c - i - 1;
+            let must_stop = docs_remaining_after(doc) < c - i;
             if !must_take && (must_stop || consumed >= boundary) {
                 break;
             }
@@ -61,7 +61,7 @@ pub fn partition_by_tokens(corpus: &Corpus, c: usize) -> Vec<ChunkSpec> {
             tokens += len;
             consumed += len;
             doc += 1;
-            if must_take && docs_remaining_after(doc) <= c - i - 1 {
+            if must_take && docs_remaining_after(doc) < c - i {
                 break;
             }
         }
@@ -163,7 +163,7 @@ mod tests {
     fn balances_by_tokens_not_documents() {
         // One huge doc then many small: doc-count split would be terrible.
         let mut lens = vec![1000usize];
-        lens.extend(std::iter::repeat(10).take(100));
+        lens.extend(std::iter::repeat_n(10, 100));
         let c = corpus_with_lengths(&lens);
         let chunks = partition_by_tokens(&c, 2);
         check_cover(&c, &chunks);
@@ -208,7 +208,7 @@ mod tests {
         // Long documents clustered at the front (like a corpus sorted by
         // source): doc-count splitting hands the first chunk most tokens.
         let mut lens = vec![200usize; 10];
-        lens.extend(std::iter::repeat(10).take(90));
+        lens.extend(std::iter::repeat_n(10, 90));
         let c = corpus_with_lengths(&lens);
         let by_tokens = partition_by_tokens(&c, 4);
         let by_docs = partition_by_docs(&c, 4);

@@ -80,7 +80,7 @@ pub fn read_uci<R1: BufRead, R2: BufRead>(docword: R1, vocab_lines: R2) -> io::R
             return Err(bad(line_no, "zero count"));
         }
         let words = &mut docs[doc_id - 1].words;
-        words.extend(std::iter::repeat((word_id - 1) as u32).take(count));
+        words.extend(std::iter::repeat_n((word_id - 1) as u32, count));
         seen += 1;
     }
     if seen != nnz {

@@ -87,8 +87,8 @@ impl SortedChunk {
         let mut doc_ptr = Vec::with_capacity(num_docs + 1);
         doc_ptr.push(0usize);
         let mut doc_token_idx = Vec::with_capacity(num_tokens);
-        for local in 0..num_docs {
-            doc_token_idx.extend_from_slice(&doc_positions[local]);
+        for positions in &doc_positions {
+            doc_token_idx.extend_from_slice(positions);
             doc_ptr.push(doc_token_idx.len());
         }
 

@@ -17,14 +17,14 @@
 
 use crate::document::{Corpus, Document};
 use crate::vocab::Vocab;
-use rand::Rng;
+use crate::rng::Xoshiro256;
 
 /// Draws a standard normal via Box–Muller (we avoid `rand_distr`, which is
 /// outside the approved dependency set).
-pub fn sample_normal<R: Rng>(rng: &mut R) -> f64 {
+pub fn sample_normal(rng: &mut Xoshiro256) -> f64 {
     loop {
-        let u1: f64 = rng.gen::<f64>();
-        let u2: f64 = rng.gen::<f64>();
+        let u1: f64 = rng.next_f64();
+        let u2: f64 = rng.next_f64();
         if u1 > f64::MIN_POSITIVE {
             return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
         }
@@ -33,11 +33,11 @@ pub fn sample_normal<R: Rng>(rng: &mut R) -> f64 {
 
 /// Draws `Gamma(shape, 1)` via Marsaglia–Tsang, with the usual boost for
 /// `shape < 1`.
-pub fn sample_gamma<R: Rng>(rng: &mut R, shape: f64) -> f64 {
+pub fn sample_gamma(rng: &mut Xoshiro256, shape: f64) -> f64 {
     assert!(shape > 0.0 && shape.is_finite(), "shape must be > 0");
     if shape < 1.0 {
         // Γ(a) = Γ(a+1) · U^{1/a}
-        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u: f64 = rng.next_f64().max(f64::MIN_POSITIVE);
         return sample_gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
     }
     let d = shape - 1.0 / 3.0;
@@ -49,7 +49,7 @@ pub fn sample_gamma<R: Rng>(rng: &mut R, shape: f64) -> f64 {
             continue;
         }
         let v = v * v * v;
-        let u: f64 = rng.gen();
+        let u: f64 = rng.next_f64();
         let x2 = x * x;
         if u < 1.0 - 0.0331 * x2 * x2 || u.ln() < 0.5 * x2 + d * (1.0 - v + v.ln()) {
             return d * v;
@@ -59,13 +59,13 @@ pub fn sample_gamma<R: Rng>(rng: &mut R, shape: f64) -> f64 {
 
 /// Draws a Dirichlet vector with symmetric concentration `alpha` over `k`
 /// components.
-pub fn sample_dirichlet<R: Rng>(rng: &mut R, alpha: f64, k: usize) -> Vec<f64> {
+pub fn sample_dirichlet(rng: &mut Xoshiro256, alpha: f64, k: usize) -> Vec<f64> {
     assert!(k > 0, "Dirichlet needs at least one component");
     let mut v: Vec<f64> = (0..k).map(|_| sample_gamma(rng, alpha)).collect();
     let sum: f64 = v.iter().sum();
     if sum <= 0.0 {
         // Numerically possible for tiny alpha; fall back to a point mass.
-        let i = rng.gen_range(0..k);
+        let i = rng.next_below(k as u32) as usize;
         v.iter_mut().for_each(|x| *x = 0.0);
         v[i] = 1.0;
         return v;
@@ -96,9 +96,9 @@ impl Discrete {
     }
 
     /// Draws an index proportional to its weight.
-    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+    pub fn sample(&self, rng: &mut Xoshiro256) -> usize {
         let total = *self.cdf.last().unwrap();
-        let u: f64 = rng.gen::<f64>() * total;
+        let u: f64 = rng.next_f64() * total;
         // partition_point returns the first index with cdf > u.
         self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
     }
@@ -196,8 +196,7 @@ impl SynthSpec {
 
     /// Generates the corpus from the LDA generative process.
     pub fn generate(&self) -> Corpus {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let mut rng = Xoshiro256::from_seed_stream(self.seed, 0);
         assert!(self.num_topics > 0 && self.vocab_size > 0 && self.num_docs > 0);
         let support = self.topic_support.min(self.vocab_size).max(1);
 
@@ -211,11 +210,11 @@ impl SynthSpec {
                 // A shared frequent head (drawn from the first 5% of ids)…
                 let head_take = support / 4;
                 for _ in 0..head_take {
-                    words.push(rng.gen_range(0..head) as u32);
+                    words.push(rng.next_below(head as u32));
                 }
                 // …plus topic-specific tail words anywhere in V.
                 for _ in head_take..support {
-                    words.push(rng.gen_range(0..self.vocab_size) as u32);
+                    words.push(rng.next_below(self.vocab_size as u32));
                 }
                 let zipf = zipf_weights(support, self.zipf_exponent);
                 let mut dense = vec![0.0f64; self.vocab_size];
@@ -250,11 +249,10 @@ impl SynthSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn gamma_mean_matches_shape() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = Xoshiro256::from_seed_stream(7, 0);
         for &shape in &[0.3, 1.0, 4.5] {
             let n = 20_000;
             let mean: f64 =
@@ -268,7 +266,7 @@ mod tests {
 
     #[test]
     fn dirichlet_sums_to_one() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256::from_seed_stream(1, 0);
         for &a in &[0.05, 0.5, 5.0] {
             let v = sample_dirichlet(&mut rng, a, 16);
             assert_eq!(v.len(), 16);
@@ -280,7 +278,7 @@ mod tests {
 
     #[test]
     fn discrete_respects_weights() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = Xoshiro256::from_seed_stream(3, 0);
         let d = Discrete::new(&[1.0, 0.0, 3.0]);
         let mut hist = [0u32; 3];
         for _ in 0..40_000 {

@@ -1,11 +1,21 @@
 //! A simulated GPU device: kernel launches, transfers, clock, memory.
+//!
+//! All time-keeping state sits behind interior mutability so a device can
+//! be driven through a shared reference. That is what lets one host thread
+//! per GPU run its iteration body concurrently with its peers (the per-GPU
+//! worker model) while the borrow checker still prevents two threads from
+//! driving the *same* device without synchronisation semantics: the clock
+//! and profile log are mutex-protected, and each launch's block execution
+//! already runs on its own internal thread pool.
 
 use crate::clock::SimClock;
 use crate::kernel::{default_workers, run_grid, BlockCtx, LaunchReport};
+use crate::launcher::{KernelSpec, Launcher};
 use crate::link::Link;
 use crate::memory::{MemoryLedger, OomError, Reservation};
 use crate::platform::GpuSpec;
-use std::sync::Arc;
+use crate::profile::ProfileLog;
+use std::sync::{Arc, Mutex};
 
 /// One GPU in the system.
 #[derive(Debug)]
@@ -14,7 +24,8 @@ pub struct Device {
     pub id: usize,
     /// Hardware parameters.
     pub spec: GpuSpec,
-    clock: SimClock,
+    clock: Mutex<SimClock>,
+    profile: Mutex<ProfileLog>,
     ledger: Arc<MemoryLedger>,
     workers: usize,
 }
@@ -26,34 +37,63 @@ impl Device {
         Self {
             id,
             spec,
-            clock: SimClock::new(),
+            clock: Mutex::new(SimClock::new()),
+            profile: Mutex::new(ProfileLog::new()),
             ledger,
             workers: default_workers(),
         }
     }
 
-    /// Overrides the host thread count used to execute blocks (tests).
+    /// Overrides the host thread count used to execute blocks.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
         self
     }
 
+    /// Host threads used to execute this device's blocks.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The launch entry point: submits [`KernelSpec`]s to this device.
+    pub fn launcher(&self) -> Launcher<'_> {
+        Launcher::new(self)
+    }
+
     /// Launches `body` once per block and advances this device's clock by
-    /// the modelled kernel time.
-    pub fn launch<F>(&mut self, name: &str, num_blocks: u32, body: F) -> LaunchReport
+    /// the modelled kernel time. Convenience wrapper over [`launch_spec`]
+    /// (stream 0, phase `Other`).
+    ///
+    /// [`launch_spec`]: Device::launch_spec
+    pub fn launch<F>(&self, name: &str, num_blocks: u32, body: F) -> LaunchReport
     where
         F: Fn(&mut BlockCtx) + Sync,
     {
-        let report = run_grid(&self.spec, name, num_blocks, self.workers, body);
-        self.clock.advance(report.sim_seconds);
+        self.launch_spec(KernelSpec::new(name, num_blocks), body)
+    }
+
+    /// Executes a fully specified launch. Every kernel in the system funnels
+    /// through here: the grid really runs on host threads, the clock
+    /// advances by the modelled time, and the launch is appended to this
+    /// device's profile log with its phase and stream tags.
+    pub fn launch_spec<F>(&self, spec: KernelSpec, body: F) -> LaunchReport
+    where
+        F: Fn(&mut BlockCtx) + Sync,
+    {
+        let report = run_grid(&self.spec, &spec.name, spec.grid, self.workers, body);
+        self.clock.lock().unwrap().advance(report.sim_seconds);
+        self.profile
+            .lock()
+            .unwrap()
+            .push_tagged(&report, spec.phase, spec.stream);
         report
     }
 
     /// Models moving `bytes` between host and this device over `link`,
     /// advancing the clock. Returns the transfer seconds.
-    pub fn transfer(&mut self, bytes: u64, link: &Link) -> f64 {
+    pub fn transfer(&self, bytes: u64, link: &Link) -> f64 {
         let t = link.transfer_seconds(bytes);
-        self.clock.advance(t);
+        self.clock.lock().unwrap().advance(t);
         t
     }
 
@@ -70,22 +110,39 @@ impl Device {
 
     /// Current simulated time on this device.
     pub fn now(&self) -> f64 {
-        self.clock.now()
+        self.clock.lock().unwrap().now()
     }
 
     /// Advances this device's clock by `dt` seconds (e.g. waiting on a peer).
-    pub fn advance(&mut self, dt: f64) {
-        self.clock.advance(dt);
+    pub fn advance(&self, dt: f64) {
+        self.clock.lock().unwrap().advance(dt);
     }
 
     /// Moves this device's clock to `t` if later (barrier join).
-    pub fn advance_to(&mut self, t: f64) {
-        self.clock.advance_to(t);
+    pub fn advance_to(&self, t: f64) {
+        self.clock.lock().unwrap().advance_to(t);
     }
 
     /// Resets the clock to zero (between experiments).
-    pub fn reset_clock(&mut self) {
-        self.clock.reset();
+    pub fn reset_clock(&self) {
+        self.clock.lock().unwrap().reset();
+    }
+
+    /// A snapshot of this device's launch history.
+    pub fn profile(&self) -> ProfileLog {
+        self.profile.lock().unwrap().clone()
+    }
+
+    /// Drains this device's launch history, leaving it empty. Workers use
+    /// this at iteration boundaries to hand their records to the trainer's
+    /// merged log without double counting.
+    pub fn take_profile(&self) -> ProfileLog {
+        std::mem::take(&mut *self.profile.lock().unwrap())
+    }
+
+    /// Clears this device's launch history.
+    pub fn clear_profile(&self) {
+        self.profile.lock().unwrap().clear();
     }
 }
 
@@ -96,7 +153,7 @@ mod tests {
 
     #[test]
     fn launch_advances_clock() {
-        let mut dev = Device::new(0, GpuSpec::titan_x_maxwell()).with_workers(2);
+        let dev = Device::new(0, GpuSpec::titan_x_maxwell()).with_workers(2);
         assert_eq!(dev.now(), 0.0);
         let r = dev.launch("k", 8, |ctx| ctx.dram_read(1_000_000));
         assert!(r.sim_seconds > 0.0);
@@ -107,7 +164,7 @@ mod tests {
 
     #[test]
     fn transfer_advances_clock() {
-        let mut dev = Device::new(0, GpuSpec::v100_volta());
+        let dev = Device::new(0, GpuSpec::v100_volta());
         let t = dev.transfer(16_000_000_000, &Link::pcie3());
         assert!((t - 1.0).abs() < 1e-3);
         assert_eq!(dev.now(), t);
@@ -123,7 +180,7 @@ mod tests {
 
     #[test]
     fn kernels_really_mutate_shared_state() {
-        let mut dev = Device::new(0, GpuSpec::titan_xp_pascal()).with_workers(4);
+        let dev = Device::new(0, GpuSpec::titan_xp_pascal()).with_workers(4);
         let buf = AtomicU32Buf::zeros(16);
         dev.launch("fill", 16, |ctx| {
             buf.fetch_add(ctx.block_id as usize, ctx.block_id + 1);
@@ -136,9 +193,39 @@ mod tests {
 
     #[test]
     fn reset_clock() {
-        let mut dev = Device::new(0, GpuSpec::titan_x_maxwell());
+        let dev = Device::new(0, GpuSpec::titan_x_maxwell());
         dev.advance(3.0);
         dev.reset_clock();
         assert_eq!(dev.now(), 0.0);
+    }
+
+    #[test]
+    fn launches_work_through_a_shared_reference() {
+        // The whole point of the interior-mutability rework: a device
+        // behind `&` can launch, advance and profile.
+        let dev = Device::new(0, GpuSpec::titan_x_maxwell()).with_workers(2);
+        let shared: &Device = &dev;
+        shared.launch("a", 4, |ctx| ctx.dram_read(100));
+        shared.launch("b", 4, |ctx| ctx.dram_read(100));
+        assert!(shared.now() > 0.0);
+        assert_eq!(shared.profile().len(), 2);
+    }
+
+    #[test]
+    fn profile_log_is_per_device_and_drainable() {
+        let dev = Device::new(0, GpuSpec::titan_x_maxwell()).with_workers(1);
+        dev.launch("x", 2, |ctx| ctx.dram_read(64));
+        assert_eq!(dev.profile().len(), 1);
+        let drained = dev.take_profile();
+        assert_eq!(drained.len(), 1);
+        assert!(dev.profile().is_empty());
+    }
+
+    #[test]
+    fn workers_getter_reflects_override() {
+        let dev = Device::new(0, GpuSpec::v100_volta()).with_workers(3);
+        assert_eq!(dev.workers(), 3);
+        let floor = Device::new(0, GpuSpec::v100_volta()).with_workers(0);
+        assert_eq!(floor.workers(), 1);
     }
 }

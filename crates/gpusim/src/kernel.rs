@@ -14,7 +14,7 @@
 use crate::cost::{KernelCost, TrafficCounter};
 use crate::platform::GpuSpec;
 use crate::shared::SharedMem;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Execution context handed to a kernel closure, one per thread block.
@@ -121,12 +121,12 @@ where
                     body(&mut ctx);
                     local.merge(&ctx.traffic.into_cost());
                 }
-                total.lock().merge(&local);
+                total.lock().unwrap().merge(&local);
             });
         }
     });
 
-    let cost = *total.lock();
+    let cost = *total.lock().unwrap();
     let sim_seconds = cost.sim_seconds(gpu);
     LaunchReport {
         name: name.to_string(),

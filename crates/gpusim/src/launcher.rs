@@ -1,0 +1,169 @@
+//! The unified kernel-launch entry point.
+//!
+//! Every kernel launch in the system goes through a [`KernelSpec`] — name,
+//! grid size, stream, phase tag — submitted via a device's [`Launcher`].
+//! Centralising the launch path gives three things the free-form
+//! `Device::launch` string API could not:
+//!
+//! * the per-device [`ProfileLog`](crate::ProfileLog) records the *phase*
+//!   of every launch, so Table-5-style breakdowns fall out of the log
+//!   instead of being hand-threaded through the trainer;
+//! * stream tags survive into the launch history, letting the out-of-core
+//!   scheduler attribute kernel time to pipeline stages;
+//! * call sites can no longer bypass the clock/profile bookkeeping.
+
+use crate::device::Device;
+use crate::kernel::{BlockCtx, LaunchReport};
+
+/// Which algorithmic phase a launch belongs to (Algorithm 1's structure).
+///
+/// This is the simulator-local tag; `culda-multigpu` maps it onto its own
+/// wall-clock breakdown phases. `Other` covers setup/diagnostic kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LaunchPhase {
+    /// Collapsed Gibbs sampling over token assignments.
+    Sampling,
+    /// θ (document–topic) recount.
+    ThetaUpdate,
+    /// ϕ (word–topic) clear + recount.
+    PhiUpdate,
+    /// ϕ replica reduce/broadcast traffic.
+    Sync,
+    /// Anything else (setup, diagnostics, tests).
+    #[default]
+    Other,
+}
+
+impl LaunchPhase {
+    /// Short lower-case label for profiler tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            LaunchPhase::Sampling => "sampling",
+            LaunchPhase::ThetaUpdate => "theta",
+            LaunchPhase::PhiUpdate => "phi",
+            LaunchPhase::Sync => "sync",
+            LaunchPhase::Other => "other",
+        }
+    }
+}
+
+/// A fully described kernel launch: what to run, how wide, where.
+#[derive(Debug, Clone)]
+pub struct KernelSpec {
+    /// Kernel name (profiler key).
+    pub name: String,
+    /// Grid size in thread blocks.
+    pub grid: u32,
+    /// Stream ordinal; launches on different streams may overlap in the
+    /// engine model ([`EnginePipeline`](crate::EnginePipeline)). Stream 0
+    /// is the default stream.
+    pub stream: u32,
+    /// Algorithmic phase this launch belongs to.
+    pub phase: LaunchPhase,
+}
+
+impl KernelSpec {
+    /// A launch of `name` over `grid` blocks on stream 0, phase `Other`.
+    pub fn new(name: impl Into<String>, grid: u32) -> Self {
+        Self {
+            name: name.into(),
+            grid,
+            stream: 0,
+            phase: LaunchPhase::default(),
+        }
+    }
+
+    /// Tags the launch with an algorithmic phase.
+    pub fn with_phase(mut self, phase: LaunchPhase) -> Self {
+        self.phase = phase;
+        self
+    }
+
+    /// Places the launch on a non-default stream.
+    pub fn on_stream(mut self, stream: u32) -> Self {
+        self.stream = stream;
+        self
+    }
+}
+
+/// A handle that submits [`KernelSpec`]s to one device.
+///
+/// Obtained from [`Device::launcher`]; borrows the device shared, so any
+/// number of host threads can hold launchers onto different devices (the
+/// per-GPU worker model) while the device's interior-mutability clock and
+/// profile log keep the bookkeeping consistent.
+#[derive(Debug, Clone, Copy)]
+pub struct Launcher<'d> {
+    device: &'d Device,
+}
+
+impl<'d> Launcher<'d> {
+    /// Creates a launcher for `device`.
+    pub fn new(device: &'d Device) -> Self {
+        Self { device }
+    }
+
+    /// The device this launcher submits to.
+    pub fn device(&self) -> &'d Device {
+        self.device
+    }
+
+    /// Executes the launch: runs `body` once per block on the device's
+    /// host-thread pool, advances the device clock by the modelled kernel
+    /// time, and appends a tagged record to the device's profile log.
+    pub fn submit<F>(&self, spec: KernelSpec, body: F) -> LaunchReport
+    where
+        F: Fn(&mut BlockCtx) + Sync,
+    {
+        self.device.launch_spec(spec, body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::GpuSpec;
+
+    #[test]
+    fn spec_builder_sets_all_fields() {
+        let s = KernelSpec::new("k", 64)
+            .with_phase(LaunchPhase::Sampling)
+            .on_stream(2);
+        assert_eq!(s.name, "k");
+        assert_eq!(s.grid, 64);
+        assert_eq!(s.stream, 2);
+        assert_eq!(s.phase, LaunchPhase::Sampling);
+    }
+
+    #[test]
+    fn submit_records_a_tagged_launch() {
+        let dev = Device::new(0, GpuSpec::titan_x_maxwell()).with_workers(2);
+        let launcher = dev.launcher();
+        let r = launcher.submit(
+            KernelSpec::new("tagged", 4).with_phase(LaunchPhase::PhiUpdate),
+            |ctx| ctx.dram_read(1024),
+        );
+        assert!(r.sim_seconds > 0.0);
+        let log = dev.profile();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.records()[0].name, "tagged");
+        assert_eq!(log.records()[0].phase, LaunchPhase::PhiUpdate);
+        assert!((dev.now() - r.sim_seconds).abs() < 1e-15);
+    }
+
+    #[test]
+    fn phase_labels_are_distinct() {
+        use std::collections::HashSet;
+        let labels: HashSet<_> = [
+            LaunchPhase::Sampling,
+            LaunchPhase::ThetaUpdate,
+            LaunchPhase::PhiUpdate,
+            LaunchPhase::Sync,
+            LaunchPhase::Other,
+        ]
+        .iter()
+        .map(|p| p.label())
+        .collect();
+        assert_eq!(labels.len(), 5);
+    }
+}

@@ -26,7 +26,7 @@
 //! use culda_gpusim::{AtomicU32Buf, Device, GpuSpec};
 //!
 //! // A simulated V100 running a histogram kernel over 64 blocks.
-//! let mut dev = Device::new(0, GpuSpec::v100_volta());
+//! let dev = Device::new(0, GpuSpec::v100_volta());
 //! let hist = AtomicU32Buf::zeros(16);
 //! let report = dev.launch("histogram", 64, |ctx| {
 //!     hist.fetch_add(ctx.block_id as usize % 16, 1);
@@ -45,6 +45,7 @@ pub mod clock;
 pub mod cost;
 pub mod device;
 pub mod kernel;
+pub mod launcher;
 pub mod link;
 pub mod memory;
 pub mod multi;
@@ -59,10 +60,11 @@ pub use clock::SimClock;
 pub use cost::KernelCost;
 pub use device::Device;
 pub use kernel::{BlockCtx, LaunchReport};
+pub use launcher::{KernelSpec, LaunchPhase, Launcher};
 pub use link::Link;
 pub use memory::{AtomicF32Buf, AtomicU16Buf, AtomicU32Buf, MemoryLedger, OomError};
 pub use multi::GpuCluster;
 pub use platform::{GpuSpec, Platform};
-pub use profile::{KernelSummary, ProfileLog};
+pub use profile::{KernelSummary, LaunchRecord, ProfileLog};
 pub use shared::SharedMem;
 pub use stream::{pipelined_seconds, serial_seconds, EnginePipeline, Stage};

@@ -14,7 +14,7 @@
 //!    atomicity — each iteration ends with a real synchronization point,
 //!    the thread join, which publishes everything).
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -328,12 +328,12 @@ impl<T> HostStaging<T> {
 
     /// Deposits a value, returning the previous occupant if any.
     pub fn put(&self, v: T) -> Option<T> {
-        self.slot.lock().replace(v)
+        self.slot.lock().unwrap().replace(v)
     }
 
     /// Removes the value if present.
     pub fn take(&self) -> Option<T> {
-        self.slot.lock().take()
+        self.slot.lock().unwrap().take()
     }
 }
 

@@ -5,6 +5,12 @@
 //! peer-to-peer copies (which occupy both endpoints) and host copies
 //! (which occupy only the device — the host is never the bottleneck for a
 //! single transfer at a time, per the paper's pipelining discussion).
+//!
+//! Devices use interior mutability for their clocks, so the whole cluster
+//! is driven through shared references: [`GpuCluster::par_each_gpu`] runs
+//! one closure per device on real host threads — the execution shape of
+//! Algorithm 1, where every GPU runs its iteration body independently and
+//! the host joins them at the ϕ synchronisation point.
 
 use crate::device::Device;
 use crate::link::Link;
@@ -38,21 +44,58 @@ impl GpuCluster {
         }
     }
 
+    /// Overrides the per-device host thread count used to execute blocks
+    /// (the `--workers` knob).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.devices = self
+            .devices
+            .into_iter()
+            .map(|d| d.with_workers(workers))
+            .collect();
+        self
+    }
+
     /// Number of GPUs.
     pub fn num_gpus(&self) -> usize {
         self.devices.len()
     }
 
+    /// Runs `f(gpu_index, device)` for every device, each on its own host
+    /// thread, and returns the results **in device-id order** regardless
+    /// of which thread finishes first — the join is deterministic. A panic
+    /// in any worker is propagated to the caller after all threads join.
+    ///
+    /// With a single device the closure runs inline on the calling thread,
+    /// so 1-GPU runs pay no threading overhead.
+    pub fn par_each_gpu<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, &Device) -> R + Sync,
+    {
+        if self.devices.len() == 1 {
+            return vec![f(0, &self.devices[0])];
+        }
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .devices
+                .iter()
+                .enumerate()
+                .map(|(i, dev)| scope.spawn(move || f(i, dev)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect()
+        })
+    }
+
     /// Barrier: every device's clock advances to the latest. Returns the
     /// barrier time. This is the per-iteration join of Algorithm 1 ("after
     /// all GPUs finish their execution").
-    pub fn barrier(&mut self) -> f64 {
-        let t = self
-            .devices
-            .iter()
-            .map(Device::now)
-            .fold(0.0f64, f64::max);
-        for d in &mut self.devices {
+    pub fn barrier(&self) -> f64 {
+        let t = self.system_time();
+        for d in &self.devices {
             d.advance_to(t);
         }
         t
@@ -61,7 +104,7 @@ impl GpuCluster {
     /// Peer-to-peer copy of `bytes` from device `src` to device `dst`:
     /// starts when both are free, occupies both until done. Returns the
     /// completion time.
-    pub fn peer_copy(&mut self, src: usize, dst: usize, bytes: u64) -> f64 {
+    pub fn peer_copy(&self, src: usize, dst: usize, bytes: u64) -> f64 {
         assert!(src != dst, "self-copy is free and meaningless");
         let start = self.devices[src].now().max(self.devices[dst].now());
         let done = start + self.peer_link.transfer_seconds(bytes);
@@ -71,13 +114,13 @@ impl GpuCluster {
     }
 
     /// Host→device copy of `bytes`: occupies only the device.
-    pub fn host_to_device(&mut self, dst: usize, bytes: u64) -> f64 {
-        self.devices[dst].transfer(bytes, &self.host_link.clone())
+    pub fn host_to_device(&self, dst: usize, bytes: u64) -> f64 {
+        self.devices[dst].transfer(bytes, &self.host_link)
     }
 
     /// Device→host copy of `bytes`: occupies only the device.
-    pub fn device_to_host(&mut self, src: usize, bytes: u64) -> f64 {
-        self.devices[src].transfer(bytes, &self.host_link.clone())
+    pub fn device_to_host(&self, src: usize, bytes: u64) -> f64 {
+        self.devices[src].transfer(bytes, &self.host_link)
     }
 
     /// Latest clock among devices (current system time).
@@ -89,8 +132,8 @@ impl GpuCluster {
     }
 
     /// Resets all device clocks.
-    pub fn reset_clocks(&mut self) {
-        for d in &mut self.devices {
+    pub fn reset_clocks(&self) {
+        for d in &self.devices {
             d.reset_clock();
         }
     }
@@ -110,7 +153,7 @@ mod tests {
 
     #[test]
     fn barrier_aligns_clocks() {
-        let mut c = GpuCluster::from_platform(&Platform::pascal());
+        let c = GpuCluster::from_platform(&Platform::pascal());
         c.devices[2].advance(5.0);
         let t = c.barrier();
         assert_eq!(t, 5.0);
@@ -121,7 +164,7 @@ mod tests {
 
     #[test]
     fn peer_copy_occupies_both_endpoints() {
-        let mut c = GpuCluster::from_platform(&Platform::pascal());
+        let c = GpuCluster::from_platform(&Platform::pascal());
         c.devices[0].advance(1.0);
         // dst at 0, src at 1 → copy starts at 1.
         let done = c.peer_copy(0, 1, 16_000_000_000);
@@ -134,7 +177,7 @@ mod tests {
 
     #[test]
     fn host_copies_only_touch_their_device() {
-        let mut c = GpuCluster::from_platform(&Platform::volta());
+        let c = GpuCluster::from_platform(&Platform::volta());
         let t = c.host_to_device(1, 1_600_000_000);
         assert!((t - 0.1).abs() < 1e-3);
         assert_eq!(c.devices[0].now(), 0.0);
@@ -144,7 +187,71 @@ mod tests {
     #[test]
     #[should_panic(expected = "self-copy")]
     fn self_copy_rejected() {
-        let mut c = GpuCluster::from_platform(&Platform::volta());
+        let c = GpuCluster::from_platform(&Platform::volta());
         c.peer_copy(1, 1, 10);
+    }
+
+    #[test]
+    fn par_each_gpu_joins_in_device_order() {
+        let c = GpuCluster::from_platform(&Platform::pascal());
+        // Later devices finish first; the result order must still be 0..G.
+        let ids = c.par_each_gpu(|i, dev| {
+            std::thread::sleep(std::time::Duration::from_millis(
+                (c.num_gpus() - i) as u64 * 5,
+            ));
+            dev.advance(i as f64);
+            i
+        });
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        assert_eq!(c.devices[3].now(), 3.0);
+    }
+
+    #[test]
+    fn par_each_gpu_really_runs_concurrently() {
+        // All four closures rendezvous on one std Barrier: this can only
+        // complete if they run on live threads at the same time.
+        let c = GpuCluster::from_platform(&Platform::pascal());
+        let gate = std::sync::Barrier::new(c.num_gpus());
+        let hits = c.par_each_gpu(|i, _dev| {
+            gate.wait();
+            i
+        });
+        assert_eq!(hits.len(), 4);
+    }
+
+    #[test]
+    fn single_gpu_runs_inline() {
+        let c = GpuCluster::from_platform(&Platform::pascal().with_gpus(1));
+        let main_thread = std::thread::current().id();
+        let same = c.par_each_gpu(|_, _| std::thread::current().id() == main_thread);
+        assert_eq!(same, vec![true]);
+    }
+
+    #[test]
+    fn with_workers_applies_to_every_device() {
+        let c = GpuCluster::from_platform(&Platform::pascal()).with_workers(3);
+        for d in &c.devices {
+            assert_eq!(d.workers(), 3);
+        }
+    }
+
+    #[test]
+    fn devices_launch_concurrently_through_shared_refs() {
+        use crate::memory::AtomicU32Buf;
+        let c = GpuCluster::from_platform(&Platform::pascal());
+        let buf = AtomicU32Buf::zeros(4);
+        c.par_each_gpu(|i, dev| {
+            dev.launch("per_gpu", 8, |ctx| {
+                ctx.dram_read(1_000);
+                if ctx.block_id == 0 {
+                    buf.fetch_add(i, 1);
+                }
+            });
+        });
+        assert_eq!(buf.snapshot(), vec![1, 1, 1, 1]);
+        for d in &c.devices {
+            assert!(d.now() > 0.0);
+            assert_eq!(d.profile().len(), 1);
+        }
     }
 }

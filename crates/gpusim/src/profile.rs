@@ -7,6 +7,7 @@
 
 use crate::cost::KernelCost;
 use crate::kernel::LaunchReport;
+use crate::launcher::LaunchPhase;
 
 /// One profiled launch (a thin record of [`LaunchReport`]).
 #[derive(Debug, Clone)]
@@ -17,6 +18,10 @@ pub struct LaunchRecord {
     pub cost: KernelCost,
     /// Modelled seconds.
     pub sim_seconds: f64,
+    /// Algorithmic phase tag from the launch spec.
+    pub phase: LaunchPhase,
+    /// Stream the launch was placed on.
+    pub stream: u32,
 }
 
 /// Aggregated statistics for one kernel name.
@@ -48,13 +53,36 @@ impl ProfileLog {
         Self::default()
     }
 
-    /// Records a launch.
+    /// Records an untagged launch (stream 0, phase `Other`).
     pub fn push(&mut self, report: &LaunchReport) {
+        self.push_tagged(report, LaunchPhase::default(), 0);
+    }
+
+    /// Records a launch with its phase and stream tags.
+    pub fn push_tagged(&mut self, report: &LaunchReport, phase: LaunchPhase, stream: u32) {
         self.records.push(LaunchRecord {
             name: report.name.clone(),
             cost: report.cost,
             sim_seconds: report.sim_seconds,
+            phase,
+            stream,
         });
+    }
+
+    /// Appends every record of `other`, in `other`'s launch order. The
+    /// trainer merges per-device logs in device-id order so the combined
+    /// history is deterministic regardless of worker scheduling.
+    pub fn merge(&mut self, other: &ProfileLog) {
+        self.records.extend(other.records.iter().cloned());
+    }
+
+    /// Total modelled seconds attributed to `phase`.
+    pub fn phase_seconds(&self, phase: LaunchPhase) -> f64 {
+        self.records
+            .iter()
+            .filter(|r| r.phase == phase)
+            .map(|r| r.sim_seconds)
+            .sum()
     }
 
     /// All records, in launch order.
@@ -194,5 +222,30 @@ mod tests {
         assert_eq!(log.len(), 1);
         log.clear();
         assert!(log.is_empty());
+    }
+
+    #[test]
+    fn merge_preserves_order_and_counts() {
+        let mut a = ProfileLog::new();
+        a.push(&report("x", 0.1, 1));
+        let mut b = ProfileLog::new();
+        b.push(&report("y", 0.2, 1));
+        b.push(&report("z", 0.3, 1));
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        let names: Vec<_> = a.records().iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["x", "y", "z"]);
+    }
+
+    #[test]
+    fn phase_seconds_sums_only_the_tagged_phase() {
+        let mut log = ProfileLog::new();
+        log.push_tagged(&report("s", 0.5, 1), LaunchPhase::Sampling, 0);
+        log.push_tagged(&report("s", 0.25, 1), LaunchPhase::Sampling, 1);
+        log.push_tagged(&report("t", 0.1, 1), LaunchPhase::ThetaUpdate, 0);
+        assert!((log.phase_seconds(LaunchPhase::Sampling) - 0.75).abs() < 1e-12);
+        assert!((log.phase_seconds(LaunchPhase::ThetaUpdate) - 0.1).abs() < 1e-12);
+        assert_eq!(log.phase_seconds(LaunchPhase::Sync), 0.0);
+        assert_eq!(log.records()[1].stream, 1);
     }
 }

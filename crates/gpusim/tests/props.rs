@@ -1,106 +1,153 @@
-//! Property tests for the GPU substrate's timing and scheduling models.
+//! Property-style tests for the GPU substrate's timing and scheduling
+//! models, swept over deterministic pseudo-random cases (a local splitmix
+//! stream stands in for a property-testing framework; gpusim itself has no
+//! dependencies).
 
 use culda_gpusim::{pipelined_seconds, serial_seconds, GpuSpec, KernelCost, Link, Stage};
-use proptest::prelude::*;
 
-fn stage_strategy() -> impl Strategy<Value = Stage> {
-    (0.0f64..10.0, 0.0f64..10.0, 0.0f64..10.0).prop_map(|(h, c, d)| Stage {
-        h2d_seconds: h,
-        compute_seconds: c,
-        d2h_seconds: d,
-    })
+/// Tiny deterministic case generator (SplitMix64).
+struct Cases {
+    state: u64,
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+impl Cases {
+    fn new(test_id: u64) -> Self {
+        Self {
+            state: 0x9E37_79B9 ^ test_id.wrapping_mul(0xA076_1D64_78BD_642F),
+        }
+    }
 
-    #[test]
-    fn pipeline_is_never_slower_than_serial_nor_faster_than_any_engine(
-        stages in proptest::collection::vec(stage_strategy(), 1..20),
-    ) {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform u64 in `[lo, hi)`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// Uniform f64 in `[0, hi)`.
+    fn f64_below(&mut self, hi: f64) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) * hi
+    }
+}
+
+#[test]
+fn pipeline_is_never_slower_than_serial_nor_faster_than_any_engine() {
+    let mut g = Cases::new(1);
+    for _ in 0..256 {
+        let n = g.range(1, 20) as usize;
+        let stages: Vec<Stage> = (0..n)
+            .map(|_| Stage {
+                h2d_seconds: g.f64_below(10.0),
+                compute_seconds: g.f64_below(10.0),
+                d2h_seconds: g.f64_below(10.0),
+            })
+            .collect();
         let pipe = pipelined_seconds(&stages);
         let serial = serial_seconds(&stages);
-        prop_assert!(pipe <= serial + 1e-9, "pipeline {pipe} > serial {serial}");
+        assert!(pipe <= serial + 1e-9, "pipeline {pipe} > serial {serial}");
         // No engine can finish before the sum of its own work.
         let h2d: f64 = stages.iter().map(|s| s.h2d_seconds).sum();
         let comp: f64 = stages.iter().map(|s| s.compute_seconds).sum();
         let d2h: f64 = stages.iter().map(|s| s.d2h_seconds).sum();
         let floor = h2d.max(comp).max(d2h);
-        prop_assert!(pipe >= floor - 1e-9, "pipeline {pipe} < engine floor {floor}");
+        assert!(pipe >= floor - 1e-9, "pipeline {pipe} < engine floor {floor}");
     }
+}
 
-    #[test]
-    fn kernel_time_is_monotone_in_traffic(
-        bytes in 1u64..1_000_000_000,
-        extra in 1u64..1_000_000_000,
-        blocks in 1u64..100_000,
-    ) {
-        let gpu = GpuSpec::titan_x_maxwell();
-        let a = KernelCost { dram_read_bytes: bytes, blocks, ..Default::default() };
-        let b = KernelCost { dram_read_bytes: bytes + extra, blocks, ..Default::default() };
-        prop_assert!(b.sim_seconds(&gpu) >= a.sim_seconds(&gpu));
-    }
-
-    #[test]
-    fn more_bandwidth_is_never_slower_once_saturated(
-        bytes in 1u64..1_000_000_000,
-        flops in 0u64..1_000_000_000,
-        blocks in 160u64..100_000, // ≥ 2 × V100's 80 SMs: both GPUs saturated
-    ) {
-        // Below saturation a bigger GPU can legitimately be *slower* (8
-        // blocks cannot fill 80 SMs) — the model reproduces that, so the
-        // monotonicity property only holds for saturating grids.
-        let cost = KernelCost {
+#[test]
+fn kernel_time_is_monotone_in_traffic() {
+    let mut g = Cases::new(2);
+    let gpu = GpuSpec::titan_x_maxwell();
+    for _ in 0..256 {
+        let bytes = g.range(1, 1_000_000_000);
+        let extra = g.range(1, 1_000_000_000);
+        let blocks = g.range(1, 100_000);
+        let a = KernelCost {
             dram_read_bytes: bytes,
-            flops,
             blocks,
             ..Default::default()
         };
-        let titan = GpuSpec::titan_x_maxwell();
-        let volta = GpuSpec::v100_volta();
-        prop_assert!(cost.sim_seconds(&volta) <= cost.sim_seconds(&titan) + 1e-12);
-    }
-
-    #[test]
-    fn small_grids_can_invert_the_gpu_ranking(_x in 0..1) {
-        // Pin the low-occupancy behaviour the property above excludes.
-        let cost = KernelCost {
-            dram_read_bytes: 21_855_720,
-            blocks: 8,
+        let b = KernelCost {
+            dram_read_bytes: bytes + extra,
+            blocks,
             ..Default::default()
         };
-        let titan = GpuSpec::titan_x_maxwell();
-        let volta = GpuSpec::v100_volta();
-        prop_assert!(cost.sim_seconds(&volta) > cost.sim_seconds(&titan));
+        assert!(b.sim_seconds(&gpu) >= a.sim_seconds(&gpu));
     }
+}
 
-    #[test]
-    fn transfer_time_is_superadditive_under_splitting(
-        bytes in 2u64..10_000_000_000,
-        cut in 1u64..100,
-    ) {
-        // Splitting one transfer into two pays latency twice.
-        let link = Link::pcie3();
+#[test]
+fn more_bandwidth_is_never_slower_once_saturated() {
+    // Below saturation a bigger GPU can legitimately be *slower* (8 blocks
+    // cannot fill 80 SMs) — the model reproduces that, so the monotonicity
+    // property only holds for saturating grids (≥ 2 × V100's 80 SMs).
+    let mut g = Cases::new(3);
+    let titan = GpuSpec::titan_x_maxwell();
+    let volta = GpuSpec::v100_volta();
+    for _ in 0..256 {
+        let cost = KernelCost {
+            dram_read_bytes: g.range(1, 1_000_000_000),
+            flops: g.range(0, 1_000_000_000),
+            blocks: g.range(160, 100_000),
+            ..Default::default()
+        };
+        assert!(cost.sim_seconds(&volta) <= cost.sim_seconds(&titan) + 1e-12);
+    }
+}
+
+#[test]
+fn small_grids_can_invert_the_gpu_ranking() {
+    // Pin the low-occupancy behaviour the property above excludes.
+    let cost = KernelCost {
+        dram_read_bytes: 21_855_720,
+        blocks: 8,
+        ..Default::default()
+    };
+    let titan = GpuSpec::titan_x_maxwell();
+    let volta = GpuSpec::v100_volta();
+    assert!(cost.sim_seconds(&volta) > cost.sim_seconds(&titan));
+}
+
+#[test]
+fn transfer_time_is_superadditive_under_splitting() {
+    // Splitting one transfer into two pays latency twice.
+    let mut g = Cases::new(4);
+    let link = Link::pcie3();
+    for _ in 0..256 {
+        let bytes = g.range(2, 10_000_000_000);
+        let cut = g.range(1, 100);
         let a = bytes * cut / 100;
         let b = bytes - a;
         let whole = link.transfer_seconds(bytes);
         let split = link.transfer_seconds(a) + link.transfer_seconds(b);
-        prop_assert!(split >= whole - 1e-12);
+        assert!(split >= whole - 1e-12);
     }
+}
 
-    #[test]
-    fn cost_merge_is_commutative_on_time(
-        a_bytes in 0u64..1_000_000,
-        b_bytes in 0u64..1_000_000,
-        a_blocks in 1u64..1000,
-        b_blocks in 1u64..1000,
-    ) {
-        let a = KernelCost { dram_read_bytes: a_bytes, blocks: a_blocks, ..Default::default() };
-        let b = KernelCost { dram_read_bytes: b_bytes, blocks: b_blocks, ..Default::default() };
+#[test]
+fn cost_merge_is_commutative_on_time() {
+    let mut g = Cases::new(5);
+    for _ in 0..256 {
+        let a = KernelCost {
+            dram_read_bytes: g.range(0, 1_000_000),
+            blocks: g.range(1, 1000),
+            ..Default::default()
+        };
+        let b = KernelCost {
+            dram_read_bytes: g.range(0, 1_000_000),
+            blocks: g.range(1, 1000),
+            ..Default::default()
+        };
         let mut ab = a;
         ab.merge(&b);
         let mut ba = b;
         ba.merge(&a);
-        prop_assert_eq!(ab, ba);
+        assert_eq!(ab, ba);
     }
 }

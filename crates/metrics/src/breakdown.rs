@@ -105,6 +105,84 @@ impl Breakdown {
     }
 }
 
+/// Per-GPU phase accounts, attributing each phase's time to the device
+/// that spent it (the multi-GPU extension of Table 5: one column per GPU
+/// plus the merged system view).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GpuBreakdowns {
+    per_gpu: Vec<Breakdown>,
+}
+
+impl GpuBreakdowns {
+    /// Wraps one breakdown per GPU, in device-id order.
+    pub fn new(per_gpu: Vec<Breakdown>) -> Self {
+        Self { per_gpu }
+    }
+
+    /// Number of GPUs accounted.
+    pub fn num_gpus(&self) -> usize {
+        self.per_gpu.len()
+    }
+
+    /// One GPU's account.
+    pub fn gpu(&self, id: usize) -> &Breakdown {
+        &self.per_gpu[id]
+    }
+
+    /// All accounts in device-id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Breakdown> {
+        self.per_gpu.iter()
+    }
+
+    /// The merged system view (element-wise sum over GPUs).
+    pub fn merged(&self) -> Breakdown {
+        let mut total = Breakdown::new();
+        for b in &self.per_gpu {
+            total.merge(b);
+        }
+        total
+    }
+
+    /// Seconds the busiest GPU spent in `phase` — the critical-path view
+    /// (phases run concurrently across devices, so the max, not the sum,
+    /// bounds the iteration time).
+    pub fn max_seconds(&self, phase: Phase) -> f64 {
+        self.per_gpu
+            .iter()
+            .map(|b| b.seconds(phase))
+            .fold(0.0f64, f64::max)
+    }
+
+    /// Renders a table: one row per GPU, one column per phase that
+    /// occurred anywhere, plus a total row.
+    pub fn render(&self) -> String {
+        let merged = self.merged();
+        let phases: Vec<Phase> = Phase::ALL
+            .iter()
+            .copied()
+            .filter(|&p| merged.seconds(p) > 0.0)
+            .collect();
+        let mut out = String::from("gpu  ");
+        for p in &phases {
+            out.push_str(&format!("{:>14}", p.name()));
+        }
+        out.push('\n');
+        for (i, b) in self.per_gpu.iter().enumerate() {
+            out.push_str(&format!("{i:<5}"));
+            for &p in &phases {
+                out.push_str(&format!("{:>13.6}s", b.seconds(p)));
+            }
+            out.push('\n');
+        }
+        out.push_str("all  ");
+        for &p in &phases {
+            out.push_str(&format!("{:>13.6}s", merged.seconds(p)));
+        }
+        out.push('\n');
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,5 +235,24 @@ mod tests {
     #[should_panic(expected = "bad duration")]
     fn rejects_negative_time() {
         Breakdown::new().add(Phase::Sampling, -1.0);
+    }
+
+    #[test]
+    fn per_gpu_accounts_merge_and_expose_critical_path() {
+        let mut g0 = Breakdown::new();
+        g0.add(Phase::Sampling, 2.0);
+        g0.add(Phase::UpdatePhi, 0.5);
+        let mut g1 = Breakdown::new();
+        g1.add(Phase::Sampling, 3.0);
+        let per = GpuBreakdowns::new(vec![g0, g1]);
+        assert_eq!(per.num_gpus(), 2);
+        assert!((per.merged().seconds(Phase::Sampling) - 5.0).abs() < 1e-12);
+        assert!((per.max_seconds(Phase::Sampling) - 3.0).abs() < 1e-12);
+        assert!((per.gpu(1).seconds(Phase::UpdatePhi)).abs() < 1e-12);
+        let table = per.render();
+        assert!(table.contains("Sampling"));
+        assert!(table.lines().count() == 4, "{table}");
+        // Phases no GPU ran are not rendered.
+        assert!(!table.contains("Transfer"));
     }
 }

@@ -23,7 +23,7 @@ pub mod roofline;
 pub mod series;
 pub mod throughput;
 
-pub use breakdown::{Breakdown, Phase};
+pub use breakdown::{Breakdown, GpuBreakdowns, Phase};
 pub use coherence::CoOccurrence;
 pub use lgamma::{digamma, ln_gamma, ln_gamma_ratio};
 pub use loglik::LdaLoglik;

@@ -1,79 +1,131 @@
-//! Property tests for the measurement substrate.
+//! Property-style tests for the measurement substrate, swept over
+//! deterministic pseudo-random cases (a local splitmix stream stands in
+//! for a property-testing framework; metrics has no dependencies).
 
 use culda_metrics::{lgamma, Breakdown, LdaLoglik, Phase};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// Tiny deterministic case generator (SplitMix64).
+struct Cases {
+    state: u64,
+}
 
-    #[test]
-    fn lngamma_satisfies_recurrence(x in 0.01f64..1e6) {
-        // ln Γ(x+1) = ln Γ(x) + ln x
-        let lhs = lgamma::ln_gamma(x + 1.0);
-        let rhs = lgamma::ln_gamma(x) + x.ln();
-        prop_assert!((lhs - rhs).abs() <= 1e-10 * rhs.abs().max(1.0));
+impl Cases {
+    fn new(test_id: u64) -> Self {
+        Self {
+            state: 0x5EED_CAFE ^ test_id.wrapping_mul(0xA076_1D64_78BD_642F),
+        }
     }
 
-    #[test]
-    fn lngamma_is_convex_on_sampled_triples(x in 0.1f64..1e4, h in 0.01f64..10.0) {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in `[lo, hi)`.
+    fn f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) * (hi - lo)
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next_u64() % (hi - lo)
+    }
+}
+
+#[test]
+fn lngamma_satisfies_recurrence() {
+    let mut g = Cases::new(1);
+    for _ in 0..256 {
+        // ln Γ(x+1) = ln Γ(x) + ln x
+        let x = g.f64_range(0.01, 1e6);
+        let lhs = lgamma::ln_gamma(x + 1.0);
+        let rhs = lgamma::ln_gamma(x) + x.ln();
+        assert!((lhs - rhs).abs() <= 1e-10 * rhs.abs().max(1.0), "x = {x}");
+    }
+}
+
+#[test]
+fn lngamma_is_convex_on_sampled_triples() {
+    let mut g = Cases::new(2);
+    for _ in 0..256 {
         // Midpoint convexity: f((a+b)/2) ≤ (f(a)+f(b))/2.
+        let x = g.f64_range(0.1, 1e4);
+        let h = g.f64_range(0.01, 10.0);
         let a = x;
         let b = x + 2.0 * h;
         let mid = lgamma::ln_gamma(x + h);
         let avg = 0.5 * (lgamma::ln_gamma(a) + lgamma::ln_gamma(b));
-        prop_assert!(mid <= avg + 1e-9);
+        assert!(mid <= avg + 1e-9, "x = {x}, h = {h}");
     }
+}
 
-    #[test]
-    fn ratio_matches_difference(x in 0.01f64..1e4, n in 0u32..5000) {
+#[test]
+fn ratio_matches_difference() {
+    let mut g = Cases::new(3);
+    for _ in 0..256 {
+        let x = g.f64_range(0.01, 1e4);
+        let n = g.range(0, 5000) as u32;
         let direct = lgamma::ln_gamma(x + n as f64) - lgamma::ln_gamma(x);
         let ratio = lgamma::ln_gamma_ratio(x, n);
-        prop_assert!((direct - ratio).abs() <= 1e-7 * direct.abs().max(1.0));
+        assert!(
+            (direct - ratio).abs() <= 1e-7 * direct.abs().max(1.0),
+            "x = {x}, n = {n}"
+        );
     }
+}
 
-    #[test]
-    fn digamma_recurrence(x in 0.05f64..1e5) {
+#[test]
+fn digamma_recurrence() {
+    let mut g = Cases::new(4);
+    for _ in 0..256 {
+        let x = g.f64_range(0.05, 1e5);
         let lhs = lgamma::digamma(x + 1.0);
         let rhs = lgamma::digamma(x) + 1.0 / x;
-        prop_assert!((lhs - rhs).abs() <= 1e-9 * rhs.abs().max(1.0));
+        assert!((lhs - rhs).abs() <= 1e-9 * rhs.abs().max(1.0), "x = {x}");
     }
+}
 
-    #[test]
-    fn topic_term_is_permutation_invariant(
-        mut counts in proptest::collection::vec(0u32..500, 1..40),
-    ) {
-        let eval = LdaLoglik::new(0.5, 0.01, 4, 64);
+#[test]
+fn topic_term_is_permutation_invariant() {
+    let mut g = Cases::new(5);
+    let eval = LdaLoglik::new(0.5, 0.01, 4, 64);
+    for _ in 0..256 {
+        let n = g.range(1, 40) as usize;
+        let mut counts: Vec<u32> = (0..n).map(|_| g.range(0, 500) as u32).collect();
         let total: u64 = counts.iter().map(|&c| c as u64).sum();
         let a = eval.topic_term(counts.iter().copied(), total);
         counts.reverse();
         let b = eval.topic_term(counts.iter().copied(), total);
-        prop_assert!((a - b).abs() < 1e-9);
+        assert!((a - b).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn splitting_mass_across_topics_never_helps_beyond_bound(
-        c in 1u32..1000,
-    ) {
-        // With β < 1, concentrating a topic's mass on one word scores at
-        // least as high as splitting it across two words.
-        let eval = LdaLoglik::new(0.5, 0.01, 2, 8);
+#[test]
+fn splitting_mass_across_topics_never_helps_beyond_bound() {
+    // With β < 1, concentrating a topic's mass on one word scores at least
+    // as high as splitting it across two words.
+    let eval = LdaLoglik::new(0.5, 0.01, 2, 8);
+    for c in 1u32..1000 {
         let concentrated = eval.topic_term([c], c as u64);
         let split = eval.topic_term([c / 2, c - c / 2], c as u64);
-        prop_assert!(concentrated >= split - 1e-9);
+        assert!(concentrated >= split - 1e-9, "c = {c}");
     }
+}
 
-    #[test]
-    fn breakdown_fractions_partition_unity(
-        secs in proptest::collection::vec(0.001f64..100.0, 5),
-    ) {
+#[test]
+fn breakdown_fractions_partition_unity() {
+    let mut g = Cases::new(6);
+    for _ in 0..256 {
         let mut b = Breakdown::new();
-        for (phase, s) in Phase::ALL.into_iter().zip(&secs) {
-            b.add(phase, *s);
+        for phase in Phase::ALL {
+            b.add(phase, g.f64_range(0.001, 100.0));
         }
         let sum: f64 = Phase::ALL.iter().map(|&p| b.fraction(p)).sum();
-        prop_assert!((sum - 1.0).abs() < 1e-9);
+        assert!((sum - 1.0).abs() < 1e-9);
         let rows = b.percent_rows();
         let pct: f64 = rows.iter().map(|(_, p)| p).sum();
-        prop_assert!((pct - 100.0).abs() < 1e-6);
+        assert!((pct - 100.0).abs() < 1e-6);
     }
 }

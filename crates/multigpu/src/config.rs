@@ -34,6 +34,10 @@ pub struct TrainerConfig {
     /// Use the ring all-reduce for the ϕ sync instead of the paper's
     /// Figure 4 tree (extension; same result, different critical path).
     pub ring_sync: bool,
+    /// Host threads each simulated device uses to execute its thread
+    /// blocks (the `--workers` knob). `None` = the simulator default.
+    /// Results are bit-identical for any value; only wall-clock changes.
+    pub host_workers: Option<usize>,
 }
 
 impl TrainerConfig {
@@ -53,6 +57,7 @@ impl TrainerConfig {
             tokens_per_block: None,
             peer_link: None,
             ring_sync: false,
+            host_workers: None,
         }
     }
 
@@ -71,6 +76,12 @@ impl TrainerConfig {
     /// Builder-style override of the scoring cadence.
     pub fn with_score_every(mut self, n: u32) -> Self {
         self.score_every = n;
+        self
+    }
+
+    /// Builder-style override of the per-device host thread count.
+    pub fn with_host_workers(mut self, n: usize) -> Self {
+        self.host_workers = Some(n);
         self
     }
 
@@ -116,9 +127,11 @@ mod tests {
         let cfg = TrainerConfig::new(8, Platform::maxwell())
             .with_iterations(5)
             .with_seed(9)
-            .with_score_every(1);
+            .with_score_every(1)
+            .with_host_workers(3);
         assert_eq!(cfg.iterations, 5);
         assert_eq!(cfg.seed, 9);
         assert_eq!(cfg.score_every, 1);
+        assert_eq!(cfg.host_workers, Some(3));
     }
 }

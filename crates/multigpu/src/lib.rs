@@ -3,8 +3,10 @@
 //! Multi-GPU orchestration for CuLDA_CGS (Sections 4–5): token-balanced
 //! partition-by-document ([`partition`]), the `M` memory-planning rule and
 //! round-robin schedule of Algorithm 1 ([`schedule`]), the Figure 4
-//! reduce/broadcast ϕ synchronization ([`sync`]), and the end-to-end
-//! trainer with WorkSchedule1/WorkSchedule2 and sync/θ-update overlap
+//! reduce/broadcast ϕ synchronization ([`sync`]), the per-GPU worker that
+//! owns a device plus its chunks and ϕ replicas and runs the iteration
+//! body on its own host thread ([`worker`]), and the end-to-end trainer
+//! with WorkSchedule1/WorkSchedule2 and sync/θ-update overlap
 //! ([`trainer`]).
 
 //! ```
@@ -31,6 +33,7 @@ pub mod schedule;
 pub mod sync;
 pub mod trainer;
 pub mod word_trainer;
+pub mod worker;
 
 pub use config::TrainerConfig;
 pub use partition::PartitionedCorpus;
@@ -40,3 +43,4 @@ pub use schedule::{chunk_owner, plan_partition, MemoryPlan};
 pub use sync::{sync_phi_replicas, sync_phi_ring, SyncReport};
 pub use trainer::{CuldaTrainer, TrainOutcome};
 pub use word_trainer::WordPartitionedTrainer;
+pub use worker::{run_workers, GpuWorker};

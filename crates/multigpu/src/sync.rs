@@ -48,12 +48,13 @@ fn add_kernel_seconds(gpu: &GpuSpec, elements: u64, elem_bytes: u64) -> f64 {
 }
 
 /// Synchronizes the replicas in place: afterwards every replica holds the
-/// global sum. Returns the modelled critical-path timing.
+/// global sum. Returns the modelled critical-path timing. Takes a slice of
+/// references because each replica lives inside its owning `GpuWorker`.
 ///
 /// # Panics
 /// Panics if `replicas` is empty or shapes disagree.
 pub fn sync_phi_replicas(
-    replicas: &[PhiModel],
+    replicas: &[&PhiModel],
     gpu: &GpuSpec,
     link: &Link,
     cfg: &TrainerConfig,
@@ -73,7 +74,7 @@ pub fn sync_phi_replicas(
         let mut any = false;
         let mut i = 0;
         while i + stride < g {
-            replicas[i].add_from(&replicas[i + stride]);
+            replicas[i].add_from(replicas[i + stride]);
             any = true;
             i += 2 * stride;
         }
@@ -97,7 +98,7 @@ pub fn sync_phi_replicas(
             let mut i = 0;
             let mut any = false;
             while i + stride < g {
-                replicas[i + stride].copy_from(&replicas[i]);
+                replicas[i + stride].copy_from(replicas[i]);
                 any = true;
                 i += 2 * stride;
             }
@@ -128,7 +129,7 @@ pub fn sync_phi_replicas(
 /// on shared PCIe the tree's assumptions match the paper's hardware).
 /// Results are identical to the tree by construction; only time differs.
 pub fn sync_phi_ring(
-    replicas: &[PhiModel],
+    replicas: &[&PhiModel],
     gpu: &GpuSpec,
     link: &Link,
     cfg: &TrainerConfig,
@@ -147,10 +148,10 @@ pub fn sync_phi_ring(
     // Data movement: same result as the tree — sum everything into every
     // replica (the ring's chunked passes commute to the same totals).
     for i in 1..g {
-        replicas[0].add_from(&replicas[i]);
+        replicas[0].add_from(replicas[i]);
     }
     for i in 1..g {
-        replicas[i].copy_from(&replicas[0]);
+        replicas[i].copy_from(replicas[0]);
     }
     // Time: 2(G−1) steps, each moving bytes/G per link, all links busy;
     // the reduce-scatter half also pays the element-wise adds (on 1/G of
@@ -198,19 +199,23 @@ mod tests {
         TrainerConfig::new(4, Platform::pascal())
     }
 
+    fn refs(reps: &[PhiModel]) -> Vec<&PhiModel> {
+        reps.iter().collect()
+    }
+
     #[test]
     fn all_replicas_hold_the_global_sum() {
         for g in [1usize, 2, 3, 4, 7, 8] {
             let reps = replicas(g);
             // Expected sums computed up front.
-            let mut want = vec![0u64; 24];
+            let mut want = [0u64; 24];
             for r in &reps {
                 for (slot, w) in want.iter_mut().enumerate() {
                     *w += r.phi.load(slot) as u64;
                 }
             }
             let report = sync_phi_replicas(
-                &reps,
+                &refs(&reps),
                 &Platform::pascal().gpu,
                 &Link::pcie3(),
                 &cfg(),
@@ -230,7 +235,7 @@ mod tests {
     #[test]
     fn single_gpu_sync_is_free() {
         let reps = replicas(1);
-        let r = sync_phi_replicas(&reps, &Platform::volta().gpu, &Link::pcie3(), &cfg());
+        let r = sync_phi_replicas(&refs(&reps), &Platform::volta().gpu, &Link::pcie3(), &cfg());
         assert_eq!(r.total_seconds(), 0.0);
         assert_eq!(r.rounds, 0);
     }
@@ -239,9 +244,9 @@ mod tests {
     fn sync_cost_grows_logarithmically() {
         let gpu = Platform::pascal().gpu;
         let link = Link::pcie3();
-        let t2 = sync_phi_replicas(&replicas(2), &gpu, &link, &cfg()).total_seconds();
-        let t4 = sync_phi_replicas(&replicas(4), &gpu, &link, &cfg()).total_seconds();
-        let t8 = sync_phi_replicas(&replicas(8), &gpu, &link, &cfg()).total_seconds();
+        let t2 = sync_phi_replicas(&refs(&replicas(2)), &gpu, &link, &cfg()).total_seconds();
+        let t4 = sync_phi_replicas(&refs(&replicas(4)), &gpu, &link, &cfg()).total_seconds();
+        let t8 = sync_phi_replicas(&refs(&replicas(8)), &gpu, &link, &cfg()).total_seconds();
         assert!(t4 > t2 && t8 > t4);
         // log-depth: doubling GPUs adds one round, so cost is ~linear in
         // log G, not in G.
@@ -257,8 +262,8 @@ mod tests {
         for g in [1usize, 2, 3, 4, 8] {
             let tree_reps = replicas(g);
             let ring_reps = replicas(g);
-            sync_phi_replicas(&tree_reps, &Platform::pascal().gpu, &Link::pcie3(), &cfg());
-            sync_phi_ring(&ring_reps, &Platform::pascal().gpu, &Link::pcie3(), &cfg());
+            sync_phi_replicas(&refs(&tree_reps), &Platform::pascal().gpu, &Link::pcie3(), &cfg());
+            sync_phi_ring(&refs(&ring_reps), &Platform::pascal().gpu, &Link::pcie3(), &cfg());
             for (a, b) in tree_reps.iter().zip(&ring_reps) {
                 assert_eq!(a.phi.snapshot(), b.phi.snapshot(), "g = {g}");
                 assert_eq!(a.phi_sum.snapshot(), b.phi_sum.snapshot());
@@ -273,8 +278,8 @@ mod tests {
         let gpu = Platform::pascal().gpu;
         let link = Link::pcie3();
         let cfg = TrainerConfig::new(256, Platform::pascal());
-        let tree = sync_phi_replicas(&replicas_sized(8, 256, 4000), &gpu, &link, &cfg);
-        let ring = sync_phi_ring(&replicas_sized(8, 256, 4000), &gpu, &link, &cfg);
+        let tree = sync_phi_replicas(&refs(&replicas_sized(8, 256, 4000)), &gpu, &link, &cfg);
+        let ring = sync_phi_ring(&refs(&replicas_sized(8, 256, 4000)), &gpu, &link, &cfg);
         assert!(
             ring.total_seconds() < tree.total_seconds(),
             "ring {} vs tree {}",
@@ -290,10 +295,10 @@ mod tests {
         let link = Link::pcie3();
         let mut c = TrainerConfig::new(256, Platform::pascal());
         let small =
-            sync_phi_replicas(&replicas_sized(2, 256, 2000), &gpu, &link, &c).total_seconds();
+            sync_phi_replicas(&refs(&replicas_sized(2, 256, 2000)), &gpu, &link, &c).total_seconds();
         c.compressed = false;
         let big =
-            sync_phi_replicas(&replicas_sized(2, 256, 2000), &gpu, &link, &c).total_seconds();
+            sync_phi_replicas(&refs(&replicas_sized(2, 256, 2000)), &gpu, &link, &c).total_seconds();
         assert!(big > 1.5 * small, "big={big} small={small}");
     }
 }

@@ -1,18 +1,25 @@
 //! The end-to-end CuLDA_CGS trainer (Figure 3b + Algorithm 1).
 //!
-//! Per iteration, per GPU: run the sampling kernel over the GPU's chunks,
-//! rebuild the ϕ replica (clear + atomic accumulate), rebuild θ, then
-//! synchronize ϕ across GPUs with the Figure 4 reduce/broadcast. Following
-//! Section 6.2, ϕ is updated *before* θ so the inter-GPU synchronization
-//! overlaps the θ update — the simulated clocks model exactly that
-//! overlap: `iteration_end = max(θ_done, sync_start + sync_time)`.
+//! The trainer owns one [`GpuWorker`] per GPU; each worker owns its
+//! device, its chunks' assignment states and block maps, and its
+//! double-buffered ϕ replica pair. Per iteration the trainer fans the
+//! per-GPU iteration bodies out over real host threads
+//! ([`crate::worker::run_workers`]), joins them at the ϕ synchronization
+//! (the Figure 4 reduce/broadcast), and merges the per-worker phase
+//! accounts into the system [`Breakdown`].
+//!
+//! Following Section 6.2, ϕ is updated *before* θ so the inter-GPU
+//! synchronization overlaps the θ update — the simulated clocks model
+//! exactly that overlap: `iteration_end = max(θ_done, sync_start +
+//! sync_time)`.
 //!
 //! Each GPU holds **two** ϕ buffers: a read replica (the global model
 //! snapshot produced by the previous sync) and a write replica (this
 //! iteration's local counts). They swap after the sync. This is what
 //! double-buffered multi-GPU implementations do, and it gives a strong
 //! testable property: for a fixed chunk count `C`, training is
-//! bit-identical whether those chunks run on 1, 2, or 4 GPUs, because the
+//! bit-identical whether those chunks run on 1, 2, or 4 GPUs — and whether
+//! the per-GPU bodies run sequentially or concurrently — because the
 //! sampler RNG streams are keyed by global token index and every kernel
 //! reads only the previous iteration's snapshot.
 //!
@@ -24,14 +31,13 @@ use crate::config::TrainerConfig;
 use crate::partition::PartitionedCorpus;
 use crate::schedule::{chunk_owner, chunk_state_bytes, plan_partition, MemoryPlan};
 use crate::sync::{sync_phi_replicas, sync_phi_ring};
+use crate::worker::{run_workers, GpuWorker};
 use culda_corpus::Corpus;
 use culda_gpusim::memory::Reservation;
-use culda_gpusim::{EnginePipeline, GpuCluster, ProfileLog, Stage};
-use culda_metrics::{Breakdown, IterationStat, LdaLoglik, Phase, RunHistory};
+use culda_gpusim::{GpuCluster, Link, ProfileLog};
+use culda_metrics::{Breakdown, GpuBreakdowns, IterationStat, LdaLoglik, Phase, RunHistory};
 use culda_sampler::{
-    auto_tokens_per_block, build_block_map, run_phi_clear_kernel, run_phi_update_kernel,
-    run_sampling_kernel, run_theta_update_kernel, BlockWork, ChunkState, PhiModel, Priors,
-    SampleConfig,
+    auto_tokens_per_block, build_block_map, BlockWork, ChunkState, IterationPlan, PhiModel, Priors,
 };
 
 /// Result of a completed training run.
@@ -45,18 +51,16 @@ pub struct TrainOutcome {
     pub final_loglik_per_token: f64,
 }
 
-/// The CuLDA trainer: a corpus partitioned over a simulated GPU cluster.
+/// The CuLDA trainer: a corpus partitioned over per-GPU workers.
 pub struct CuldaTrainer {
     /// Run configuration.
     pub cfg: TrainerConfig,
-    cluster: GpuCluster,
     part: PartitionedCorpus,
     plan: MemoryPlan,
     priors: Priors,
-    states: Vec<ChunkState>,
-    read_phi: Vec<PhiModel>,
-    write_phi: Vec<PhiModel>,
-    block_maps: Vec<Vec<BlockWork>>,
+    workers: Vec<GpuWorker>,
+    peer_link: Link,
+    host_link: Link,
     history: RunHistory,
     breakdown: Breakdown,
     profile: ProfileLog,
@@ -66,13 +70,17 @@ pub struct CuldaTrainer {
 
 impl CuldaTrainer {
     /// Prepares a training run: plans `M`, partitions and sorts the corpus,
-    /// initializes random assignments, builds the initial model, and
-    /// charges the initial host→device transfers (Algorithm 1, lines 7–9).
+    /// initializes random assignments, builds the initial model, assigns
+    /// chunks to workers round-robin, and charges the initial host→device
+    /// transfers (Algorithm 1, lines 7–9).
     pub fn new(corpus: &Corpus, cfg: TrainerConfig) -> Self {
         let (part, plan) = plan_partition(corpus, &cfg);
         let mut cluster = GpuCluster::from_platform(&cfg.platform);
         if let Some(link) = cfg.peer_link {
             cluster.peer_link = link;
+        }
+        if let Some(n) = cfg.host_workers {
+            cluster = cluster.with_workers(n);
         }
         let g = cluster.num_gpus();
         let priors = Priors::paper(cfg.num_topics);
@@ -114,14 +122,15 @@ impl CuldaTrainer {
         for (i, ch) in part.chunks.iter().enumerate() {
             culda_sampler::accumulate_phi_host(ch, &states[i].z, &write_phi[chunk_owner(i, g)]);
         }
-        let _ = sync_phi_replicas(&write_phi, &cfg.platform.gpu, &cluster.peer_link, &cfg);
+        let write_refs: Vec<&PhiModel> = write_phi.iter().collect();
+        let _ = sync_phi_replicas(&write_refs, &cfg.platform.gpu, &cluster.peer_link, &cfg);
+        drop(write_refs);
         for (r, w) in read_phi.iter().zip(&write_phi) {
             r.copy_from(w);
         }
 
         // Reserve device residency and charge the initial transfers.
         let mut residency = Vec::new();
-        let breakdown = Breakdown::new();
         for dev in 0..g {
             let phi_bytes = 2 * cfg.phi_device_bytes(part.vocab_size);
             residency.push(
@@ -147,18 +156,33 @@ impl CuldaTrainer {
         }
         cluster.reset_clocks();
 
+        // Hand each device its worker and distribute the chunks
+        // round-robin (worker `w` owns global chunks `w, w+G, w+2G, …`).
+        let GpuCluster {
+            devices,
+            peer_link,
+            host_link,
+        } = cluster;
+        let mut workers: Vec<GpuWorker> = devices
+            .into_iter()
+            .zip(read_phi)
+            .zip(write_phi)
+            .map(|((device, read), write)| GpuWorker::new(device, read, write))
+            .collect();
+        for (i, (state, map)) in states.into_iter().zip(block_maps).enumerate() {
+            workers[chunk_owner(i, g)].push_chunk(i, state, map);
+        }
+
         Self {
             cfg,
-            cluster,
             part,
             plan,
             priors,
-            states,
-            read_phi,
-            write_phi,
-            block_maps,
+            workers,
+            peer_link,
+            host_link,
             history: RunHistory::new(),
-            breakdown,
+            breakdown: Breakdown::new(),
             profile: ProfileLog::new(),
             iteration: 0,
             _residency: residency,
@@ -175,14 +199,33 @@ impl CuldaTrainer {
         &self.part
     }
 
-    /// Per-chunk assignment state (read access for tests and examples).
-    pub fn states(&self) -> &[ChunkState] {
-        &self.states
+    /// Number of GPU workers.
+    pub fn num_gpus(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The per-GPU workers (read access for tests and examples).
+    pub fn workers(&self) -> &[GpuWorker] {
+        &self.workers
+    }
+
+    /// Per-chunk assignment state in **global chunk order**, reassembled
+    /// from the owning workers.
+    pub fn states(&self) -> Vec<&ChunkState> {
+        let mut out: Vec<Option<&ChunkState>> = vec![None; self.part.num_chunks()];
+        for w in &self.workers {
+            for (local, &gi) in w.chunk_ids.iter().enumerate() {
+                out[gi] = Some(&w.states[local]);
+            }
+        }
+        out.into_iter()
+            .map(|s| s.expect("every chunk has an owner"))
+            .collect()
     }
 
     /// The current global ϕ snapshot (all read replicas are identical).
     pub fn global_phi(&self) -> &PhiModel {
-        &self.read_phi[0]
+        self.workers[0].read_replica()
     }
 
     /// Timing/scoring history so far.
@@ -190,12 +233,20 @@ impl CuldaTrainer {
         &self.history
     }
 
-    /// Accumulated phase breakdown so far.
+    /// Accumulated phase breakdown so far (system view: all GPUs summed).
     pub fn breakdown(&self) -> &Breakdown {
         &self.breakdown
     }
 
-    /// Per-kernel launch log (an `nvprof`-style profile of the run).
+    /// Per-GPU phase attribution: each worker's own kernel and transfer
+    /// time. The ϕ sync is a shared phase and appears only in the system
+    /// [`Self::breakdown`].
+    pub fn per_gpu_breakdowns(&self) -> GpuBreakdowns {
+        GpuBreakdowns::new(self.workers.iter().map(|w| w.breakdown.clone()).collect())
+    }
+
+    /// Per-kernel launch log (an `nvprof`-style profile of the run),
+    /// merged from the per-device logs in device order each iteration.
     pub fn profile(&self) -> &ProfileLog {
         &self.profile
     }
@@ -203,6 +254,30 @@ impl CuldaTrainer {
     /// Iterations completed so far.
     pub fn iterations_done(&self) -> u32 {
         self.iteration
+    }
+
+    /// Latest clock among the workers' devices (current system time).
+    fn system_time(&self) -> f64 {
+        self.workers
+            .iter()
+            .map(|w| w.device.now())
+            .fold(0.0f64, f64::max)
+    }
+
+    /// Barrier: every device's clock advances to the latest (the
+    /// per-iteration join of Algorithm 1).
+    fn barrier(&self) -> f64 {
+        let t = self.system_time();
+        for w in &self.workers {
+            w.device.advance_to(t);
+        }
+        t
+    }
+
+    /// The worker index and worker-local slot of a global chunk id.
+    fn chunk_slot(&self, global_id: usize) -> (usize, usize) {
+        let g = self.workers.len();
+        (chunk_owner(global_id, g), global_id / g)
     }
 
     /// Restores a checkpointed state: overwrites every chunk's assignments,
@@ -217,91 +292,142 @@ impl CuldaTrainer {
         iteration: u32,
         z_per_chunk: &[Vec<u16>],
     ) -> Result<(), String> {
-        if z_per_chunk.len() != self.states.len() {
+        if z_per_chunk.len() != self.part.num_chunks() {
             return Err(format!(
                 "{} chunks supplied, trainer has {}",
                 z_per_chunk.len(),
-                self.states.len()
+                self.part.num_chunks()
             ));
         }
-        let g = self.cluster.num_gpus();
         for (ci, z) in z_per_chunk.iter().enumerate() {
-            if z.len() != self.states[ci].z.len() {
+            let (wi, local) = self.chunk_slot(ci);
+            if z.len() != self.workers[wi].states[local].z.len() {
                 return Err(format!("chunk {ci} token-count mismatch"));
             }
             if let Some(&bad) = z.iter().find(|&&v| v as usize >= self.cfg.num_topics) {
                 return Err(format!("assignment {bad} out of range"));
             }
+            let state = &mut self.workers[wi].states[local];
             for (t, &v) in z.iter().enumerate() {
-                self.states[ci].z.store(t, v);
+                state.z.store(t, v);
             }
-            self.states[ci].theta =
-                culda_sampler::build_theta_host(&self.part.chunks[ci], &self.states[ci].z, self.cfg.num_topics);
+            state.theta =
+                culda_sampler::build_theta_host(&self.part.chunks[ci], &state.z, self.cfg.num_topics);
         }
         // Rebuild ϕ exactly as `new()` does.
-        for w in &self.write_phi {
-            w.clear();
+        for w in &self.workers {
+            w.write_replica().clear();
         }
         for (i, ch) in self.part.chunks.iter().enumerate() {
-            culda_sampler::accumulate_phi_host(ch, &self.states[i].z, &self.write_phi[chunk_owner(i, g)]);
+            let (wi, local) = self.chunk_slot(i);
+            culda_sampler::accumulate_phi_host(
+                ch,
+                &self.workers[wi].states[local].z,
+                self.workers[wi].write_replica(),
+            );
         }
-        let _ = sync_phi_replicas(
-            &self.write_phi,
-            &self.cfg.platform.gpu,
-            &self.cluster.peer_link,
-            &self.cfg,
-        );
-        for (r, w) in self.read_phi.iter().zip(&self.write_phi) {
-            r.copy_from(w);
+        let write_refs: Vec<&PhiModel> =
+            self.workers.iter().map(|w| w.write_replica()).collect();
+        let _ = sync_phi_replicas(&write_refs, &self.cfg.platform.gpu, &self.peer_link, &self.cfg);
+        drop(write_refs);
+        for w in &self.workers {
+            w.read_replica().copy_from(w.write_replica());
         }
         self.iteration = iteration;
         self.history = RunHistory::new();
         self.breakdown = Breakdown::new();
         self.profile.clear();
-        self.cluster.reset_clocks();
+        for w in &mut self.workers {
+            w.breakdown = Breakdown::new();
+            w.device.reset_clock();
+            w.device.clear_profile();
+        }
         Ok(())
     }
 
     /// Runs one full iteration over the corpus; returns its stats.
+    ///
+    /// Execution shape (Figure 3b): every worker runs its iteration body
+    /// on its own host thread; the host joins them, starts the ϕ sync at
+    /// `max(ϕ_done)` (it overlaps the already-executed θ updates), and
+    /// swaps each worker's replica pair.
     pub fn step(&mut self) -> IterationStat {
-        let wall_start = std::time::Instant::now();
-        let g = self.cluster.num_gpus();
-        let t0 = self.cluster.system_time();
-        let mut t_phi_done = vec![t0; g];
+        self.step_impl(true)
+    }
 
-        if self.plan.m == 1 {
-            self.step_resident(&mut t_phi_done);
+    /// Like [`step`](Self::step) but runs every worker's iteration body on
+    /// the calling thread, one after another — the pre-worker-layer
+    /// execution shape. Simulated time and results are identical to
+    /// [`step`](Self::step); only host wall-clock differs. Exists for the
+    /// sequential-vs-concurrent benchmark and regression tests.
+    pub fn step_sequential(&mut self) -> IterationStat {
+        self.step_impl(false)
+    }
+
+    fn step_impl(&mut self, concurrent: bool) -> IterationStat {
+        let wall_start = std::time::Instant::now();
+        let t0 = self.system_time();
+        let plan = if self.plan.m == 1 {
+            IterationPlan::resident(self.cfg.num_topics)
         } else {
-            self.step_out_of_core(&mut t_phi_done);
+            IterationPlan::out_of_core(self.cfg.num_topics)
+        };
+        let iteration = self.iteration;
+        let part = &self.part;
+        let cfg = &self.cfg;
+        let host_link = self.host_link;
+
+        // Spawn G workers — each runs its full iteration body concurrently.
+        let reports = if concurrent {
+            run_workers(&mut self.workers, |_, w| {
+                w.run_iteration(part, cfg, plan, iteration, &host_link)
+            })
+        } else {
+            self.workers
+                .iter_mut()
+                .map(|w| w.run_iteration(part, cfg, plan, iteration, &host_link))
+                .collect()
+        };
+
+        // Merge per-worker accounts in device order (deterministic).
+        for (w, r) in self.workers.iter_mut().zip(&reports) {
+            self.breakdown.add(Phase::Sampling, r.sampling_seconds);
+            self.breakdown.add(Phase::UpdatePhi, r.phi_seconds);
+            self.breakdown.add(Phase::UpdateTheta, r.theta_seconds);
+            if plan.is_out_of_core() {
+                self.breakdown
+                    .add(Phase::Transfer, r.exposed_transfer_seconds);
+            }
+            self.profile.merge(&w.device.take_profile());
         }
 
         // ϕ synchronization starts once every GPU finished its ϕ update and
         // overlaps the (already-executed) θ updates.
-        let sync_start = t_phi_done.iter().copied().fold(t0, f64::max);
+        let sync_start = reports.iter().map(|r| r.phi_done_at).fold(t0, f64::max);
         let sync_fn = if self.cfg.ring_sync {
             sync_phi_ring
         } else {
             sync_phi_replicas
         };
-        let sync = sync_fn(
-            &self.write_phi,
-            &self.cfg.platform.gpu,
-            &self.cluster.peer_link,
-            &self.cfg,
-        );
+        let write_refs: Vec<&PhiModel> =
+            self.workers.iter().map(|w| w.write_replica()).collect();
+        let sync = sync_fn(&write_refs, &self.cfg.platform.gpu, &self.peer_link, &self.cfg);
+        drop(write_refs);
         self.breakdown.add(Phase::SyncPhi, sync.total_seconds());
         let sync_end = sync_start + sync.total_seconds();
-        for dev in &mut self.cluster.devices {
-            dev.advance_to(sync_end);
+        for w in &self.workers {
+            w.device.advance_to(sync_end);
         }
-        let t_end = self.cluster.barrier();
+        let t_end = self.barrier();
 
         // The freshly-summed write replicas become next iteration's read
         // snapshots.
-        std::mem::swap(&mut self.read_phi, &mut self.write_phi);
+        for w in &mut self.workers {
+            w.swap_replicas();
+        }
 
         self.iteration += 1;
-        let scored = self.cfg.score_every > 0 && self.iteration % self.cfg.score_every == 0;
+        let scored = self.cfg.score_every > 0 && self.iteration.is_multiple_of(self.cfg.score_every);
         let stat = IterationStat {
             iteration: self.iteration - 1,
             tokens: self.part.num_tokens,
@@ -311,156 +437,6 @@ impl CuldaTrainer {
         };
         self.history.push(stat);
         stat
-    }
-
-    /// WorkSchedule1: all chunks resident; kernels back-to-back.
-    fn step_resident(&mut self, t_phi_done: &mut [f64]) {
-        let g = self.cluster.num_gpus();
-        for dev_id in 0..g {
-            let inv_denom = self.read_phi[dev_id].inv_denominators();
-            let owned: Vec<usize> = (dev_id..self.part.num_chunks()).step_by(g).collect();
-            // Sample every owned chunk against the read snapshot.
-            for &i in &owned {
-                if self.block_maps[i].is_empty() {
-                    continue; // zero-token chunk
-                }
-                let cfg = SampleConfig {
-                    seed: self.cfg.seed,
-                    iteration: self.iteration,
-                    chunk_token_offset: self.part.token_offsets[i],
-                    compressed: self.cfg.compressed,
-                    use_shared_memory: self.cfg.use_shared_memory,
-                    use_l1_for_indices: self.cfg.use_l1_for_indices,
-                };
-                let r = run_sampling_kernel(
-                    &mut self.cluster.devices[dev_id],
-                    &self.part.chunks[i],
-                    &self.states[i],
-                    &self.read_phi[dev_id],
-                    &inv_denom,
-                    &self.block_maps[i],
-                    &cfg,
-                );
-                self.breakdown.add(Phase::Sampling, r.sim_seconds);
-                self.profile.push(&r);
-            }
-            // Rebuild the write replica: clear once, accumulate each chunk.
-            let rc = run_phi_clear_kernel(&mut self.cluster.devices[dev_id], &self.write_phi[dev_id]);
-            self.breakdown.add(Phase::UpdatePhi, rc.sim_seconds);
-            self.profile.push(&rc);
-            for &i in &owned {
-                if self.block_maps[i].is_empty() {
-                    continue;
-                }
-                let r = run_phi_update_kernel(
-                    &mut self.cluster.devices[dev_id],
-                    &self.part.chunks[i],
-                    &self.states[i],
-                    &self.write_phi[dev_id],
-                    &self.block_maps[i],
-                );
-                self.breakdown.add(Phase::UpdatePhi, r.sim_seconds);
-                self.profile.push(&r);
-            }
-            t_phi_done[dev_id] = self.cluster.devices[dev_id].now();
-            // θ update runs after ϕ so it overlaps the sync.
-            for &i in &owned {
-                let r = run_theta_update_kernel(
-                    &mut self.cluster.devices[dev_id],
-                    &self.part.chunks[i],
-                    &mut self.states[i],
-                    self.cfg.num_topics,
-                );
-                self.breakdown.add(Phase::UpdateTheta, r.sim_seconds);
-                self.profile.push(&r);
-            }
-        }
-    }
-
-    /// WorkSchedule2: `M` chunks per GPU streamed through the
-    /// H2D → compute → D2H pipeline; iteration time is the makespan.
-    fn step_out_of_core(&mut self, t_phi_done: &mut [f64]) {
-        let g = self.cluster.num_gpus();
-        for dev_id in 0..g {
-            let inv_denom = self.read_phi[dev_id].inv_denominators();
-            let owned: Vec<usize> = (dev_id..self.part.num_chunks()).step_by(g).collect();
-            let start = self.cluster.devices[dev_id].now();
-            let mut pipeline = EnginePipeline::new();
-            let mut compute_total = 0.0;
-
-            // The replica clear is not chunk-bound; run it up front.
-            let rc = run_phi_clear_kernel(&mut self.cluster.devices[dev_id], &self.write_phi[dev_id]);
-            self.breakdown.add(Phase::UpdatePhi, rc.sim_seconds);
-            compute_total += rc.sim_seconds;
-            pipeline.submit(Stage {
-                h2d_seconds: 0.0,
-                compute_seconds: rc.sim_seconds,
-                d2h_seconds: 0.0,
-            });
-
-            for &i in &owned {
-                if self.block_maps[i].is_empty() {
-                    continue; // zero-token chunk: nothing to stream or run
-                }
-                let chunk_bytes = chunk_state_bytes(&self.part, i, self.cfg.num_topics);
-                let theta_bytes = self.states[i].theta.storage_bytes() as u64;
-                let h2d = self.cluster.host_link.transfer_seconds(chunk_bytes);
-                let before = self.cluster.devices[dev_id].now();
-                let cfg = SampleConfig {
-                    seed: self.cfg.seed,
-                    iteration: self.iteration,
-                    chunk_token_offset: self.part.token_offsets[i],
-                    compressed: self.cfg.compressed,
-                    use_shared_memory: self.cfg.use_shared_memory,
-                    use_l1_for_indices: self.cfg.use_l1_for_indices,
-                };
-                let r = run_sampling_kernel(
-                    &mut self.cluster.devices[dev_id],
-                    &self.part.chunks[i],
-                    &self.states[i],
-                    &self.read_phi[dev_id],
-                    &inv_denom,
-                    &self.block_maps[i],
-                    &cfg,
-                );
-                self.breakdown.add(Phase::Sampling, r.sim_seconds);
-                self.profile.push(&r);
-                let r = run_phi_update_kernel(
-                    &mut self.cluster.devices[dev_id],
-                    &self.part.chunks[i],
-                    &self.states[i],
-                    &self.write_phi[dev_id],
-                    &self.block_maps[i],
-                );
-                self.breakdown.add(Phase::UpdatePhi, r.sim_seconds);
-                self.profile.push(&r);
-                let r = run_theta_update_kernel(
-                    &mut self.cluster.devices[dev_id],
-                    &self.part.chunks[i],
-                    &mut self.states[i],
-                    self.cfg.num_topics,
-                );
-                self.breakdown.add(Phase::UpdateTheta, r.sim_seconds);
-                self.profile.push(&r);
-                let compute = self.cluster.devices[dev_id].now() - before;
-                compute_total += compute;
-                let d2h = self.cluster.host_link.transfer_seconds(theta_bytes);
-                pipeline.submit(Stage {
-                    h2d_seconds: h2d,
-                    compute_seconds: compute,
-                    d2h_seconds: d2h,
-                });
-            }
-            let makespan = pipeline.makespan();
-            // Exposed (non-overlapped) transfer time is what the pipeline
-            // could not hide.
-            self.breakdown
-                .add(Phase::Transfer, (makespan - compute_total).max(0.0));
-            self.cluster.devices[dev_id].advance_to(start + makespan);
-            // ϕ of the *last* chunk completes with the compute engine; the
-            // sync can start then (θ of the last chunk still overlaps).
-            t_phi_done[dev_id] = self.cluster.devices[dev_id].now();
-        }
     }
 
     /// Trains for the configured number of iterations.
@@ -505,7 +481,9 @@ impl CuldaTrainer {
         )
     }
 
-    /// Joint log-likelihood per token of the current state.
+    /// Joint log-likelihood per token of the current state. Accumulates
+    /// in global chunk order so the value is independent of how chunks
+    /// are distributed over GPUs.
     pub fn loglik_per_token(&self) -> f64 {
         let phi = self.global_phi();
         let eval = LdaLoglik::new(
@@ -520,7 +498,7 @@ impl CuldaTrainer {
             let col = (0..self.part.vocab_size).map(|v| phi.phi.load(v * k + t));
             acc += eval.topic_term(col, phi.phi_sum.load(t) as u64);
         }
-        for (ci, state) in self.states.iter().enumerate() {
+        for (ci, state) in self.states().iter().enumerate() {
             let chunk = &self.part.chunks[ci];
             for d in 0..chunk.num_docs {
                 let (_, vals) = state.theta.row(d);
@@ -534,7 +512,7 @@ impl CuldaTrainer {
     /// global ϕ equals the sum over chunks.
     pub fn check_invariants(&self) {
         let fresh = PhiModel::zeros(self.cfg.num_topics, self.part.vocab_size, self.priors);
-        for (ci, state) in self.states.iter().enumerate() {
+        for (ci, state) in self.states().iter().enumerate() {
             culda_sampler::validate::check_chunk_consistency(&self.part.chunks[ci], state, None);
             culda_sampler::accumulate_phi_host(&self.part.chunks[ci], &state.z, &fresh);
         }
@@ -580,6 +558,31 @@ mod tests {
             .with_iterations(3)
             .with_score_every(1)
             .with_seed(42)
+    }
+
+    #[test]
+    fn sequential_and_concurrent_steps_are_bit_identical() {
+        // `step_sequential` is the pre-worker-layer execution shape; the
+        // fan-out must change host wall-clock only — z, loglik, and the
+        // per-device simulated clocks stay bitwise equal.
+        let c = corpus();
+        let run = |concurrent: bool| {
+            let mut config = cfg(Platform::pascal().with_gpus(4)).with_score_every(0);
+            config.chunks_per_gpu = Some(1);
+            let mut t = CuldaTrainer::new(&c, config);
+            for _ in 0..2 {
+                if concurrent {
+                    t.step();
+                } else {
+                    t.step_sequential();
+                }
+            }
+            let z: Vec<Vec<u16>> = t.states().iter().map(|s| s.z.snapshot()).collect();
+            let clocks: Vec<u64> =
+                t.workers().iter().map(|w| w.device.now().to_bits()).collect();
+            (z, clocks, t.loglik_per_token().to_bits())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]
@@ -632,6 +635,60 @@ mod tests {
         assert_eq!(z1, z2);
         assert_eq!(z2, z4);
         assert!((ll1 - ll2).abs() < 1e-12 && (ll2 - ll4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iteration_bodies_really_run_on_concurrent_threads() {
+        // Each worker records which host thread ran its iteration body; on
+        // a 4-GPU platform the bodies must be on 4 distinct spawned
+        // threads (and not the caller's).
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let c = corpus();
+        let mut config = cfg(Platform::pascal().with_gpus(4)).with_score_every(0);
+        config.chunks_per_gpu = Some(1);
+        let mut t = CuldaTrainer::new(&c, config);
+        let seen: Mutex<Vec<std::thread::ThreadId>> = Mutex::new(Vec::new());
+        let part = &t.part;
+        let cfgr = &t.cfg;
+        let host_link = t.host_link;
+        let plan = IterationPlan::resident(cfgr.num_topics);
+        let reports = run_workers(&mut t.workers, |_, w| {
+            seen.lock().unwrap().push(std::thread::current().id());
+            w.run_iteration(part, cfgr, plan, 0, &host_link)
+        });
+        assert_eq!(reports.len(), 4);
+        let ids = seen.into_inner().unwrap();
+        let distinct: HashSet<_> = ids.iter().copied().collect();
+        assert_eq!(distinct.len(), 4, "bodies shared a thread");
+        assert!(!distinct.contains(&std::thread::current().id()));
+    }
+
+    #[test]
+    fn per_gpu_breakdowns_attribute_work_to_owners() {
+        let c = corpus();
+        let mut config = cfg(Platform::pascal().with_gpus(4)).with_score_every(0);
+        config.chunks_per_gpu = Some(1);
+        let mut t = CuldaTrainer::new(&c, config);
+        for _ in 0..2 {
+            t.step();
+        }
+        let per = t.per_gpu_breakdowns();
+        assert_eq!(per.num_gpus(), 4);
+        for i in 0..4 {
+            assert!(per.gpu(i).seconds(Phase::Sampling) > 0.0, "gpu {i} idle");
+            // The sync is a shared phase, not attributed per GPU.
+            assert_eq!(per.gpu(i).seconds(Phase::SyncPhi), 0.0);
+        }
+        let merged = per.merged();
+        let sys = t.breakdown();
+        for p in [Phase::Sampling, Phase::UpdatePhi, Phase::UpdateTheta] {
+            assert!(
+                (merged.seconds(p) - sys.seconds(p)).abs() < 1e-9,
+                "{p:?}: per-GPU sum diverged from the system view"
+            );
+        }
+        assert!(sys.seconds(Phase::SyncPhi) > 0.0);
     }
 
     #[test]

@@ -16,10 +16,11 @@
 
 use crate::config::TrainerConfig;
 use crate::sync::SyncReport;
+use crate::worker::{run_workers, GpuWorker};
 use culda_corpus::{Corpus, CsrMatrix, Xoshiro256};
 use culda_gpusim::memory::AtomicU16Buf;
-use culda_gpusim::{BlockCtx, GpuCluster, KernelCost};
-use culda_metrics::{IterationStat, LdaLoglik, RunHistory};
+use culda_gpusim::{BlockCtx, GpuCluster, KernelCost, KernelSpec, LaunchPhase, Link};
+use culda_metrics::{GpuBreakdowns, IterationStat, LdaLoglik, Phase, RunHistory};
 use culda_sampler::ptree::{IndexTree, DEFAULT_FANOUT};
 use culda_sampler::spq::p1_weights;
 use culda_sampler::{PhiModel, Priors};
@@ -45,10 +46,15 @@ impl WordShard {
     }
 }
 
-/// The alternative trainer.
+/// The alternative trainer. Reuses the same per-GPU [`GpuWorker`] type as
+/// [`crate::trainer::CuldaTrainer`] (with empty ϕ replicas — this policy's
+/// ϕ columns are private and never synchronized), so its sampling bodies
+/// also run concurrently, one host thread per device, with phase-tagged
+/// launches.
 pub struct WordPartitionedTrainer {
     cfg: TrainerConfig,
-    cluster: GpuCluster,
+    workers: Vec<GpuWorker>,
+    peer_link: Link,
     priors: Priors,
     num_docs: usize,
     vocab_size: usize,
@@ -72,7 +78,13 @@ impl WordPartitionedTrainer {
         let g = cfg.platform.num_gpus;
         let v = corpus.vocab_size();
         assert!(g <= v, "more GPUs than words");
-        let cluster = GpuCluster::from_platform(&cfg.platform);
+        let mut cluster = GpuCluster::from_platform(&cfg.platform);
+        if let Some(link) = cfg.peer_link {
+            cluster.peer_link = link;
+        }
+        if let Some(n) = cfg.host_workers {
+            cluster = cluster.with_workers(n);
+        }
         let priors = Priors::paper(cfg.num_topics);
 
         // Token counts per word, then contiguous word ranges balanced by
@@ -90,13 +102,13 @@ impl WordPartitionedTrainer {
             let start = w0;
             while w0 < v {
                 let must_take = w0 == start;
-                let must_stop = v - w0 <= g - i - 1;
+                let must_stop = v - w0 < g - i;
                 if !must_take && (must_stop || consumed >= boundary) {
                     break;
                 }
                 consumed += word_tokens[w0];
                 w0 += 1;
-                if must_take && v - w0 <= g - i - 1 {
+                if must_take && v - w0 < g - i {
                     break;
                 }
             }
@@ -162,9 +174,17 @@ impl WordPartitionedTrainer {
         let theta = CsrMatrix::from_dense_rows(&theta_dense, cfg.num_topics);
         let doc_lens = corpus.docs.iter().map(|d| d.len() as u32).collect();
 
+        let peer_link = cluster.peer_link;
+        let workers: Vec<GpuWorker> = cluster
+            .devices
+            .into_iter()
+            .map(GpuWorker::without_replicas)
+            .collect();
+
         Self {
             cfg,
-            cluster,
+            workers,
+            peer_link,
             priors,
             num_docs: corpus.num_docs(),
             vocab_size: v,
@@ -190,7 +210,7 @@ impl WordPartitionedTrainer {
     /// broadcast θ (+ `n_k`). Returns the stats.
     pub fn step(&mut self) -> IterationStat {
         let wall = std::time::Instant::now();
-        let t0 = self.cluster.system_time();
+        let t0 = self.system_time();
         let k = self.cfg.num_topics;
         let alpha = self.priors.alpha as f32;
         let beta = self.priors.beta as f32;
@@ -201,16 +221,19 @@ impl WordPartitionedTrainer {
         let theta = &self.theta;
         let phi = &self.phi;
 
-        // --- Sampling + local ϕ rebuild, one device per shard ------------
-        for (si, shard) in self.shards.iter().enumerate() {
-            let dev = &mut self.cluster.devices[si];
+        // --- Sampling, one worker thread per shard -----------------------
+        let shards = &self.shards;
+        run_workers(&mut self.workers, |si, worker| {
+            let shard = &shards[si];
             let blocks = shard.word_ids.len().max(1) as u32;
             let word_ptr = &shard.word_ptr;
             let word_ids = &shard.word_ids;
             let token_doc = &shard.token_doc;
             let token_stream = &shard.token_stream;
             let z = &shard.z;
-            dev.launch("word_lda_sample", blocks, |ctx: &mut BlockCtx| {
+            let spec =
+                KernelSpec::new("word_lda_sample", blocks).with_phase(LaunchPhase::Sampling);
+            let r = worker.device.launch_spec(spec, |ctx: &mut BlockCtx| {
                 let wi = ctx.block_id as usize;
                 if wi >= word_ids.len() {
                     return;
@@ -251,7 +274,8 @@ impl WordPartitionedTrainer {
                     ctx.dram_write(2);
                 }
             });
-        }
+            worker.breakdown.add(Phase::Sampling, r.sim_seconds);
+        });
 
         // --- Rebuild ϕ (local, never synced) and θ (to be synced) --------
         // ϕ columns are private per shard; rebuild is a local kernel-cost
@@ -278,7 +302,8 @@ impl WordPartitionedTrainer {
                 ..Default::default()
             };
             let secs = cost.sim_seconds(&self.cfg.platform.gpu);
-            self.cluster.devices[si].advance(secs);
+            self.workers[si].device.advance(secs);
+            self.workers[si].breakdown.add(Phase::UpdatePhi, secs);
         }
         self.theta = CsrMatrix::from_dense_rows(&theta_dense, k);
 
@@ -286,16 +311,15 @@ impl WordPartitionedTrainer {
         let sync = self.theta_sync_report();
         self.theta_sync_seconds += sync.total_seconds();
         let sync_start = self
-            .cluster
-            .devices
+            .workers
             .iter()
-            .map(|d| d.now())
+            .map(|w| w.device.now())
             .fold(t0, f64::max);
         let sync_end = sync_start + sync.total_seconds();
-        for d in &mut self.cluster.devices {
-            d.advance_to(sync_end);
+        for w in &self.workers {
+            w.device.advance_to(sync_end);
         }
-        let t_end = self.cluster.barrier();
+        let t_end = self.barrier();
 
         self.iteration += 1;
         let stat = IterationStat {
@@ -309,10 +333,27 @@ impl WordPartitionedTrainer {
         stat
     }
 
+    /// Latest clock among the workers' devices.
+    fn system_time(&self) -> f64 {
+        self.workers
+            .iter()
+            .map(|w| w.device.now())
+            .fold(0.0f64, f64::max)
+    }
+
+    /// Barrier: every device's clock advances to the latest.
+    fn barrier(&self) -> f64 {
+        let t = self.system_time();
+        for w in &self.workers {
+            w.device.advance_to(t);
+        }
+        t
+    }
+
     /// The Figure 4 tree applied to θ replicas: `⌈log₂G⌉` rounds each way,
     /// each moving the full θ bytes plus an add pass.
     fn theta_sync_report(&self) -> SyncReport {
-        let g = self.cluster.num_gpus();
+        let g = self.workers.len();
         if g <= 1 {
             return SyncReport {
                 reduce_seconds: 0.0,
@@ -322,7 +363,7 @@ impl WordPartitionedTrainer {
         }
         let bytes = self.theta_sync_bytes();
         let rounds = (g as f64).log2().ceil() as u32;
-        let link = &self.cluster.peer_link;
+        let link = &self.peer_link;
         let add = KernelCost {
             dram_read_bytes: 2 * bytes,
             dram_write_bytes: bytes,
@@ -362,6 +403,12 @@ impl WordPartitionedTrainer {
     /// Run history.
     pub fn history(&self) -> &RunHistory {
         &self.history
+    }
+
+    /// Per-GPU phase attribution (sampling + local ϕ rebuild; the θ sync
+    /// is a shared phase tracked in [`Self::theta_sync_seconds`]).
+    pub fn per_gpu_breakdowns(&self) -> GpuBreakdowns {
+        GpuBreakdowns::new(self.workers.iter().map(|w| w.breakdown.clone()).collect())
     }
 
     /// Count-conservation audit.

@@ -1,0 +1,336 @@
+//! The per-GPU worker: one simulated device plus everything it owns.
+//!
+//! Algorithm 1 is "every GPU runs its iteration body independently; the
+//! host joins them at the ϕ synchronization". A [`GpuWorker`] is that
+//! per-GPU half: the device, the chunks assigned to it (round-robin, see
+//! [`crate::schedule::chunk_owner`]), their assignment states and block
+//! maps, and the double-buffered ϕ replicas. [`GpuWorker::run_iteration`]
+//! is the iteration body — it builds the [`ChunkTask`]s and submits an
+//! [`IterationPlan`] through the device's [`KernelSet`] — and
+//! [`run_workers`] fans the bodies out over real host threads with a
+//! deterministic device-order join.
+//!
+//! Results are bit-identical whether the bodies run sequentially or
+//! concurrently: the sampler RNG streams are keyed by global token index,
+//! every kernel reads only the previous iteration's ϕ snapshot, and each
+//! worker mutates only state it owns.
+
+use crate::config::TrainerConfig;
+use crate::partition::PartitionedCorpus;
+use crate::schedule::chunk_state_bytes;
+use culda_gpusim::{Device, Link};
+use culda_metrics::{Breakdown, Phase};
+use culda_sampler::{
+    BlockWork, ChunkState, ChunkTask, IterationPlan, KernelSet, PhiModel, PlanReport, SampleConfig,
+};
+
+/// One GPU's share of a training run: the device and all state resident
+/// on it.
+#[derive(Debug)]
+pub struct GpuWorker {
+    /// The simulated device this worker drives.
+    pub device: Device,
+    /// Global chunk ids owned, ascending (`id, id + G, id + 2G, …`).
+    pub chunk_ids: Vec<usize>,
+    /// Assignment state per owned chunk, parallel to `chunk_ids`.
+    pub states: Vec<ChunkState>,
+    /// Sampling/ϕ block map per owned chunk, parallel to `chunk_ids`.
+    pub block_maps: Vec<Vec<BlockWork>>,
+    /// The ϕ read replica (previous iteration's global snapshot).
+    /// `None` for policies that never replicate ϕ (partition-by-word).
+    pub read_phi: Option<PhiModel>,
+    /// The ϕ write replica (this iteration's local counts). `None` when
+    /// `read_phi` is.
+    pub write_phi: Option<PhiModel>,
+    /// This GPU's own phase account (per-GPU Table 5 attribution).
+    pub breakdown: Breakdown,
+}
+
+impl GpuWorker {
+    /// A worker with its ϕ replica pair and no chunks yet.
+    pub fn new(device: Device, read_phi: PhiModel, write_phi: PhiModel) -> Self {
+        Self {
+            device,
+            chunk_ids: Vec::new(),
+            states: Vec::new(),
+            block_maps: Vec::new(),
+            read_phi: Some(read_phi),
+            write_phi: Some(write_phi),
+            breakdown: Breakdown::new(),
+        }
+    }
+
+    /// A worker for policies whose ϕ is never replicated or synchronized
+    /// (partition-by-word keeps its ϕ columns private): no replica pair,
+    /// and the chunk payload stays empty.
+    pub fn without_replicas(device: Device) -> Self {
+        Self {
+            device,
+            chunk_ids: Vec::new(),
+            states: Vec::new(),
+            block_maps: Vec::new(),
+            read_phi: None,
+            write_phi: None,
+            breakdown: Breakdown::new(),
+        }
+    }
+
+    /// The ϕ read replica.
+    ///
+    /// # Panics
+    /// Panics on a replica-less worker (see [`Self::without_replicas`]).
+    pub fn read_replica(&self) -> &PhiModel {
+        self.read_phi.as_ref().expect("worker has no ϕ replicas")
+    }
+
+    /// The ϕ write replica.
+    ///
+    /// # Panics
+    /// Panics on a replica-less worker (see [`Self::without_replicas`]).
+    pub fn write_replica(&self) -> &PhiModel {
+        self.write_phi.as_ref().expect("worker has no ϕ replicas")
+    }
+
+    /// Assigns a chunk (by global id) to this worker.
+    pub fn push_chunk(&mut self, global_id: usize, state: ChunkState, block_map: Vec<BlockWork>) {
+        self.chunk_ids.push(global_id);
+        self.states.push(state);
+        self.block_maps.push(block_map);
+    }
+
+    /// Number of chunks owned.
+    pub fn num_chunks(&self) -> usize {
+        self.chunk_ids.len()
+    }
+
+    /// The state of an owned chunk, by *global* chunk id.
+    pub fn state_for(&self, global_id: usize) -> Option<&ChunkState> {
+        self.chunk_ids
+            .iter()
+            .position(|&gi| gi == global_id)
+            .map(|local| &self.states[local])
+    }
+
+    /// Swaps the ϕ replica pair: the freshly-summed write replica becomes
+    /// the next iteration's read snapshot.
+    pub fn swap_replicas(&mut self) {
+        std::mem::swap(&mut self.read_phi, &mut self.write_phi);
+    }
+
+    /// Runs one iteration body on this worker's device: builds a
+    /// [`ChunkTask`] per owned chunk (with transfer costs when `plan` is
+    /// out-of-core) and executes `plan` through the device's kernel set.
+    /// Updates the per-GPU breakdown and returns the plan report (the
+    /// trainer needs `phi_done_at` to start the sync).
+    pub fn run_iteration(
+        &mut self,
+        part: &PartitionedCorpus,
+        cfg: &TrainerConfig,
+        plan: IterationPlan,
+        iteration: u32,
+        host_link: &Link,
+    ) -> PlanReport {
+        let out_of_core = plan.is_out_of_core();
+        let read_phi = self.read_phi.as_ref().expect("worker has no ϕ replicas");
+        let write_phi = self.write_phi.as_ref().expect("worker has no ϕ replicas");
+        let kernels = KernelSet::new(&self.device);
+        let mut tasks: Vec<ChunkTask<'_>> = self
+            .states
+            .iter_mut()
+            .zip(&self.chunk_ids)
+            .zip(&self.block_maps)
+            .map(|((state, &gi), block_map)| {
+                let (h2d_seconds, d2h_seconds) = if out_of_core && !block_map.is_empty() {
+                    let chunk_bytes = chunk_state_bytes(part, gi, cfg.num_topics);
+                    let theta_bytes = state.theta.storage_bytes() as u64;
+                    (
+                        host_link.transfer_seconds(chunk_bytes),
+                        host_link.transfer_seconds(theta_bytes),
+                    )
+                } else {
+                    (0.0, 0.0)
+                };
+                ChunkTask {
+                    chunk: &part.chunks[gi],
+                    state,
+                    block_map,
+                    sample_cfg: SampleConfig {
+                        seed: cfg.seed,
+                        iteration,
+                        chunk_token_offset: part.token_offsets[gi],
+                        compressed: cfg.compressed,
+                        use_shared_memory: cfg.use_shared_memory,
+                        use_l1_for_indices: cfg.use_l1_for_indices,
+                    },
+                    h2d_seconds,
+                    d2h_seconds,
+                }
+            })
+            .collect();
+        let report = plan.execute(&kernels, read_phi, write_phi, &mut tasks);
+        self.breakdown.add(Phase::Sampling, report.sampling_seconds);
+        self.breakdown.add(Phase::UpdatePhi, report.phi_seconds);
+        self.breakdown.add(Phase::UpdateTheta, report.theta_seconds);
+        if out_of_core {
+            self.breakdown
+                .add(Phase::Transfer, report.exposed_transfer_seconds);
+        }
+        report
+    }
+}
+
+/// Runs `f(worker_index, worker)` for every worker, each on its own host
+/// thread, returning results **in worker order** regardless of finish
+/// order. A panic in any worker propagates after all threads join. With a
+/// single worker the closure runs inline (1-GPU runs pay no threading
+/// overhead). The `&mut` counterpart of
+/// [`culda_gpusim::GpuCluster::par_each_gpu`].
+pub fn run_workers<R, F>(workers: &mut [GpuWorker], f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, &mut GpuWorker) -> R + Sync,
+{
+    if workers.len() == 1 {
+        return vec![f(0, &mut workers[0])];
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = workers
+            .iter_mut()
+            .enumerate()
+            .map(|(i, w)| scope.spawn(move || f(i, w)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culda_gpusim::{GpuSpec, Platform};
+
+    fn bare_workers(g: usize) -> Vec<GpuWorker> {
+        (0..g)
+            .map(|i| GpuWorker::without_replicas(Device::new(i, GpuSpec::titan_x_maxwell())))
+            .collect()
+    }
+
+    #[test]
+    fn run_workers_joins_in_worker_order() {
+        let mut workers = bare_workers(4);
+        let ids = run_workers(&mut workers, |i, w| {
+            std::thread::sleep(std::time::Duration::from_millis((4 - i) as u64 * 5));
+            w.device.advance(i as f64);
+            i
+        });
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        assert_eq!(workers[3].device.now(), 3.0);
+    }
+
+    #[test]
+    fn run_workers_runs_bodies_concurrently() {
+        let mut workers = bare_workers(4);
+        let gate = std::sync::Barrier::new(4);
+        let hits = run_workers(&mut workers, |i, _| {
+            gate.wait();
+            i
+        });
+        assert_eq!(hits.len(), 4);
+    }
+
+    #[test]
+    fn single_worker_runs_inline() {
+        let mut workers = bare_workers(1);
+        let main_thread = std::thread::current().id();
+        let same = run_workers(&mut workers, |_, _| {
+            std::thread::current().id() == main_thread
+        });
+        assert_eq!(same, vec![true]);
+    }
+
+    #[test]
+    fn worker_iteration_matches_hand_sequenced_plan() {
+        use culda_corpus::SynthSpec;
+        use culda_sampler::{accumulate_phi_host, build_block_map, Priors};
+
+        let corpus = SynthSpec::tiny().generate();
+        let cfg = TrainerConfig::new(8, Platform::maxwell()).with_seed(11);
+        let (part, _plan) = crate::schedule::plan_partition(&corpus, &cfg);
+        let priors = Priors::paper(cfg.num_topics);
+        let chunk = &part.chunks[0];
+        let state = ChunkState::init_random(chunk, cfg.num_topics, 7);
+        let map = build_block_map(chunk, 128);
+        let read = PhiModel::zeros(cfg.num_topics, part.vocab_size, priors);
+        accumulate_phi_host(chunk, &state.z, &read);
+
+        // Hand-sequenced reference through the plan directly.
+        let ref_dev = Device::new(0, GpuSpec::titan_x_maxwell());
+        let ref_write = PhiModel::zeros(cfg.num_topics, part.vocab_size, priors);
+        let mut ref_state = ChunkState {
+            z: culda_gpusim::memory::AtomicU16Buf::from_vec(state.z.snapshot()),
+            theta: state.theta.clone(),
+        };
+        let mut tasks = [ChunkTask {
+            chunk,
+            state: &mut ref_state,
+            block_map: &map,
+            sample_cfg: SampleConfig {
+                seed: cfg.seed,
+                iteration: 0,
+                chunk_token_offset: part.token_offsets[0],
+                compressed: cfg.compressed,
+                use_shared_memory: cfg.use_shared_memory,
+                use_l1_for_indices: cfg.use_l1_for_indices,
+            },
+            h2d_seconds: 0.0,
+            d2h_seconds: 0.0,
+        }];
+        IterationPlan::resident(cfg.num_topics).execute(
+            &KernelSet::new(&ref_dev),
+            &read,
+            &ref_write,
+            &mut tasks,
+        );
+
+        // The same iteration through a worker.
+        let mut w = GpuWorker::new(
+            Device::new(0, GpuSpec::titan_x_maxwell()),
+            PhiModel::zeros(cfg.num_topics, part.vocab_size, priors),
+            PhiModel::zeros(cfg.num_topics, part.vocab_size, priors),
+        );
+        w.read_replica().copy_from(&read);
+        w.push_chunk(0, state, map.clone());
+        let report = w.run_iteration(
+            &part,
+            &cfg,
+            IterationPlan::resident(cfg.num_topics),
+            0,
+            &Link::pcie3(),
+        );
+        assert_eq!(w.states[0].z.snapshot(), ref_state.z.snapshot());
+        assert_eq!(w.write_replica().phi.snapshot(), ref_write.phi.snapshot());
+        assert!((w.device.now() - ref_dev.now()).abs() < 1e-15);
+        assert!((report.phi_done_at - w.breakdown.seconds(Phase::Sampling)
+            - w.breakdown.seconds(Phase::UpdatePhi))
+            .abs()
+            < 1e-12);
+        assert!(w.breakdown.seconds(Phase::UpdateTheta) > 0.0);
+        assert_eq!(w.breakdown.seconds(Phase::Transfer), 0.0);
+    }
+
+    #[test]
+    fn state_lookup_is_by_global_id() {
+        let mut w = bare_workers(1).pop().unwrap();
+        use culda_corpus::{partition_by_tokens, SortedChunk, SynthSpec};
+        let corpus = SynthSpec::tiny().generate();
+        let chunks = partition_by_tokens(&corpus, 2);
+        let sorted = SortedChunk::build(&corpus, &chunks[0]);
+        w.push_chunk(5, ChunkState::init_random(&sorted, 8, 1), Vec::new());
+        assert!(w.state_for(5).is_some());
+        assert!(w.state_for(0).is_none());
+        assert_eq!(w.num_chunks(), 1);
+    }
+}

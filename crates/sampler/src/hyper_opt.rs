@@ -88,21 +88,17 @@ where
 mod tests {
     use super::*;
     use culda_corpus::{sample_dirichlet, Discrete, Xoshiro256};
-    use rand::SeedableRng;
 
     /// Generates documents whose topic counts follow Dirichlet(α_true),
     /// then checks the optimizer recovers α_true.
     fn synth_counts(alpha_true: f64, k: usize, docs: usize, len: usize, seed: u64) -> Vec<(Vec<u32>, u64)> {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let mut stream = Xoshiro256::from_seed_stream(seed, 1);
+        let mut rng = Xoshiro256::from_seed_stream(seed, 0);
         (0..docs)
             .map(|_| {
                 let mix = sample_dirichlet(&mut rng, alpha_true, k);
                 let dist = Discrete::new(&mix);
                 let mut counts = vec![0u32; k];
                 for _ in 0..len {
-                    // Use the deterministic stream for the categorical.
-                    let _ = stream.next_u64();
                     counts[dist.sample(&mut rng)] += 1;
                 }
                 (counts, len as u64)

@@ -86,8 +86,8 @@ impl<'m> FoldIn<'m> {
         for &w in words {
             let base = w as usize * k_n;
             let mut pw = 0.0;
-            for t in 0..k_n {
-                let topic_p = (theta[t] as f64 + alpha) / denom;
+            for (t, &cnt) in theta.iter().enumerate() {
+                let topic_p = (cnt as f64 + alpha) / denom;
                 pw += topic_p * (self.phi.phi.load(base + t) as f64 + beta) * self.inv_denom[t];
             }
             acc += pw.ln();

@@ -15,15 +15,16 @@
 use crate::blockmap::BlockWork;
 use crate::model::{ChunkState, PhiModel};
 use culda_corpus::SortedChunk;
-use culda_gpusim::{BlockCtx, Device, LaunchReport};
+use culda_gpusim::{BlockCtx, Device, KernelSpec, LaunchPhase, LaunchReport};
 
 /// Zeroes a ϕ replica (the memset kernel that precedes accumulation).
-pub fn run_phi_clear_kernel(device: &mut Device, phi: &PhiModel) -> LaunchReport {
+pub fn run_phi_clear_kernel(device: &Device, phi: &PhiModel) -> LaunchReport {
     let cells = phi.phi.len() + phi.phi_sum.len();
     // 256 threads × 4 cells per thread per block is a typical memset grid;
     // the traffic is what matters: one u32 store per cell.
     let blocks = (cells as u32).div_ceil(1024).max(1);
-    device.launch("phi_clear", blocks, |ctx: &mut BlockCtx| {
+    let spec = KernelSpec::new("phi_clear", blocks).with_phase(LaunchPhase::PhiUpdate);
+    device.launch_spec(spec, |ctx: &mut BlockCtx| {
         let start = ctx.block_id as usize * 1024;
         let end = (start + 1024).min(cells);
         for i in start..end {
@@ -39,7 +40,7 @@ pub fn run_phi_clear_kernel(device: &mut Device, phi: &PhiModel) -> LaunchReport
 
 /// Accumulates one chunk's assignments into the ϕ replica with atomic adds.
 pub fn run_phi_update_kernel(
-    device: &mut Device,
+    device: &Device,
     chunk: &SortedChunk,
     state: &ChunkState,
     phi: &PhiModel,
@@ -47,7 +48,9 @@ pub fn run_phi_update_kernel(
 ) -> LaunchReport {
     assert_eq!(state.z.len(), chunk.num_tokens(), "z/chunk mismatch");
     let k = phi.num_topics;
-    device.launch("phi_update", block_map.len() as u32, |ctx: &mut BlockCtx| {
+    let spec =
+        KernelSpec::new("phi_update", block_map.len() as u32).with_phase(LaunchPhase::PhiUpdate);
+    device.launch_spec(spec, |ctx: &mut BlockCtx| {
         let work = &block_map[ctx.block_id as usize];
         let word = chunk.word_ids[work.word_idx] as usize;
         let base = word * k;
@@ -89,10 +92,10 @@ mod tests {
         let oracle_phi = PhiModel::zeros(8, 500, Priors::paper(8));
         accumulate_phi_host(&chunk, &state.z, &oracle_phi);
 
-        let mut dev = Device::new(0, GpuSpec::titan_x_maxwell()).with_workers(4);
+        let dev = Device::new(0, GpuSpec::titan_x_maxwell()).with_workers(4);
         let map = build_block_map(&chunk, 64);
-        run_phi_clear_kernel(&mut dev, &kernel_phi);
-        run_phi_update_kernel(&mut dev, &chunk, &state, &kernel_phi, &map);
+        run_phi_clear_kernel(&dev, &kernel_phi);
+        run_phi_update_kernel(&dev, &chunk, &state, &kernel_phi, &map);
 
         assert_eq!(kernel_phi.phi.snapshot(), oracle_phi.phi.snapshot());
         assert_eq!(kernel_phi.phi_sum.snapshot(), oracle_phi.phi_sum.snapshot());
@@ -104,8 +107,8 @@ mod tests {
         let phi = PhiModel::zeros(4, 10, Priors::paper(4));
         phi.phi.store(13, 99);
         phi.phi_sum.store(2, 7);
-        let mut dev = Device::new(0, GpuSpec::v100_volta());
-        run_phi_clear_kernel(&mut dev, &phi);
+        let dev = Device::new(0, GpuSpec::v100_volta());
+        run_phi_clear_kernel(&dev, &phi);
         assert!(phi.phi.snapshot().iter().all(|&v| v == 0));
         assert!(phi.phi_sum.snapshot().iter().all(|&v| v == 0));
     }
@@ -118,9 +121,9 @@ mod tests {
         let mut totals = Vec::new();
         for (tpb, workers) in [(16usize, 1usize), (200, 8)] {
             let phi = PhiModel::zeros(8, 500, Priors::paper(8));
-            let mut dev = Device::new(0, GpuSpec::titan_xp_pascal()).with_workers(workers);
+            let dev = Device::new(0, GpuSpec::titan_xp_pascal()).with_workers(workers);
             let map = build_block_map(&chunk, tpb);
-            run_phi_update_kernel(&mut dev, &chunk, &state, &phi, &map);
+            run_phi_update_kernel(&dev, &chunk, &state, &phi, &map);
             totals.push(phi.phi.snapshot());
         }
         assert_eq!(totals[0], totals[1]);
@@ -130,9 +133,9 @@ mod tests {
     fn cost_scales_with_tokens() {
         let (chunk, state) = setup();
         let phi = PhiModel::zeros(8, 500, Priors::paper(8));
-        let mut dev = Device::new(0, GpuSpec::titan_x_maxwell());
+        let dev = Device::new(0, GpuSpec::titan_x_maxwell());
         let map = build_block_map(&chunk, 64);
-        let r = run_phi_update_kernel(&mut dev, &chunk, &state, &phi, &map);
+        let r = run_phi_update_kernel(&dev, &chunk, &state, &phi, &map);
         assert_eq!(r.cost.atomics, 2 * chunk.num_tokens() as u64);
     }
 }

@@ -22,7 +22,7 @@ use crate::model::{ChunkState, PhiModel};
 use crate::ptree::{IndexTree, DEFAULT_FANOUT};
 use crate::spq::p1_weights;
 use culda_corpus::{SortedChunk, Xoshiro256};
-use culda_gpusim::{BlockCtx, Device, LaunchReport};
+use culda_gpusim::{BlockCtx, Device, KernelSpec, LaunchPhase, LaunchReport};
 
 /// Tuning and bookkeeping for one sampling launch.
 #[derive(Debug, Clone, Copy)]
@@ -69,6 +69,7 @@ impl SampleConfig {
 /// Draws one token's topic through the trees; returns the topic plus the
 /// (shared_touches, leaf_touches) of the walk for traffic accounting.
 #[inline]
+#[allow(clippy::too_many_arguments)] // mirrors the CUDA kernel's register set
 fn draw_token(
     theta_cols: &[u16],
     theta_vals: &[u32],
@@ -96,7 +97,7 @@ fn draw_token(
 /// Launches the sampling kernel for one chunk on `device`. Writes new
 /// assignments into `state.z`; model matrices are read-only.
 pub fn run_sampling_kernel(
-    device: &mut Device,
+    device: &Device,
     chunk: &SortedChunk,
     state: &ChunkState,
     phi: &PhiModel,
@@ -114,7 +115,9 @@ pub fn run_sampling_kernel(
     let theta_col_bytes = if cfg.compressed { 2 } else { 4 };
     let stream_seed = cfg.stream_seed();
 
-    device.launch("lda_sample", block_map.len() as u32, |ctx: &mut BlockCtx| {
+    let spec = KernelSpec::new("lda_sample", block_map.len() as u32)
+        .with_phase(LaunchPhase::Sampling);
+    device.launch_spec(spec, |ctx: &mut BlockCtx| {
         let work = &block_map[ctx.block_id as usize];
         let word = chunk.word_ids[work.word_idx] as usize;
 
@@ -300,9 +303,9 @@ mod tests {
         let cfg = SampleConfig::new(77);
         let expected = sample_chunk_reference(&chunk, &state, &phi, &inv, &cfg);
 
-        let mut dev = Device::new(0, GpuSpec::titan_x_maxwell()).with_workers(4);
+        let dev = Device::new(0, GpuSpec::titan_x_maxwell()).with_workers(4);
         let map = build_block_map(&chunk, 128);
-        run_sampling_kernel(&mut dev, &chunk, &state, &phi, &inv, &map, &cfg);
+        run_sampling_kernel(&dev, &chunk, &state, &phi, &inv, &map, &cfg);
         assert_eq!(state.z.snapshot(), expected);
     }
 
@@ -317,9 +320,9 @@ mod tests {
                 z: culda_gpusim::memory::AtomicU16Buf::from_vec(state.z.snapshot()),
                 theta: state.theta.clone(),
             };
-            let mut dev = Device::new(0, GpuSpec::v100_volta()).with_workers(workers);
+            let dev = Device::new(0, GpuSpec::v100_volta()).with_workers(workers);
             let map = build_block_map(&chunk, tpb);
-            run_sampling_kernel(&mut dev, &chunk, &fresh, &phi, &inv, &map, &cfg);
+            run_sampling_kernel(&dev, &chunk, &fresh, &phi, &inv, &map, &cfg);
             runs.push(fresh.z.snapshot());
         }
         assert_eq!(runs[0], runs[1]);
@@ -330,13 +333,13 @@ mod tests {
     fn different_iterations_resample_differently() {
         let (chunk, state, phi) = setup();
         let inv = phi.inv_denominators();
-        let mut dev = Device::new(0, GpuSpec::titan_x_maxwell());
+        let dev = Device::new(0, GpuSpec::titan_x_maxwell());
         let map = build_block_map(&chunk, 256);
         let mut cfg = SampleConfig::new(5);
-        run_sampling_kernel(&mut dev, &chunk, &state, &phi, &inv, &map, &cfg);
+        run_sampling_kernel(&dev, &chunk, &state, &phi, &inv, &map, &cfg);
         let z1 = state.z.snapshot();
         cfg.iteration = 1;
-        run_sampling_kernel(&mut dev, &chunk, &state, &phi, &inv, &map, &cfg);
+        run_sampling_kernel(&dev, &chunk, &state, &phi, &inv, &map, &cfg);
         let z2 = state.z.snapshot();
         assert_ne!(z1, z2, "iterations must use fresh randomness");
     }
@@ -345,10 +348,10 @@ mod tests {
     fn all_assignments_in_range() {
         let (chunk, state, phi) = setup();
         let inv = phi.inv_denominators();
-        let mut dev = Device::new(0, GpuSpec::titan_xp_pascal());
+        let dev = Device::new(0, GpuSpec::titan_xp_pascal());
         let map = build_block_map(&chunk, 100);
         run_sampling_kernel(
-            &mut dev,
+            &dev,
             &chunk,
             &state,
             &phi,
@@ -368,13 +371,13 @@ mod tests {
         let map = build_block_map(&chunk, 256);
         let mut cfg = SampleConfig::new(9);
 
-        let mut dev_a = Device::new(0, GpuSpec::titan_x_maxwell());
+        let dev_a = Device::new(0, GpuSpec::titan_x_maxwell());
         let with_shared =
-            run_sampling_kernel(&mut dev_a, &chunk, &state, &phi, &inv, &map, &cfg);
+            run_sampling_kernel(&dev_a, &chunk, &state, &phi, &inv, &map, &cfg);
         cfg.use_shared_memory = false;
-        let mut dev_b = Device::new(0, GpuSpec::titan_x_maxwell());
+        let dev_b = Device::new(0, GpuSpec::titan_x_maxwell());
         let without =
-            run_sampling_kernel(&mut dev_b, &chunk, &state, &phi, &inv, &map, &cfg);
+            run_sampling_kernel(&dev_b, &chunk, &state, &phi, &inv, &map, &cfg);
         assert!(
             with_shared.cost.dram_bytes() < without.cost.dram_bytes(),
             "shared path must reduce DRAM traffic"
@@ -403,9 +406,9 @@ mod tests {
         let inv = phi.inv_denominators();
         let cfg = SampleConfig::new(8);
         let expected = sample_chunk_reference(&chunk, &state, &phi, &inv, &cfg);
-        let mut dev = Device::new(0, GpuSpec::titan_x_maxwell()).with_workers(2);
+        let dev = Device::new(0, GpuSpec::titan_x_maxwell()).with_workers(2);
         let map = build_block_map(&chunk, 64);
-        let report = run_sampling_kernel(&mut dev, &chunk, &state, &phi, &inv, &map, &cfg);
+        let report = run_sampling_kernel(&dev, &chunk, &state, &phi, &inv, &map, &cfg);
         assert_eq!(state.z.snapshot(), expected);
         // The fallback path must have charged the p* arrays to DRAM.
         assert!(report.cost.dram_bytes() > 0);
@@ -423,10 +426,10 @@ mod tests {
                 z: culda_gpusim::memory::AtomicU16Buf::from_vec(state.z.snapshot()),
                 theta: state.theta.clone(),
             };
-            let mut dev = Device::new(0, GpuSpec::titan_x_maxwell()).with_workers(2);
+            let dev = Device::new(0, GpuSpec::titan_x_maxwell()).with_workers(2);
             let mut cfg = SampleConfig::new(13);
             cfg.use_l1_for_indices = l1;
-            let r = run_sampling_kernel(&mut dev, &chunk, &fresh, &phi, &inv, &map, &cfg);
+            let r = run_sampling_kernel(&dev, &chunk, &fresh, &phi, &inv, &map, &cfg);
             outputs.push(fresh.z.snapshot());
             dram.push(r.cost.dram_read_bytes);
         }
@@ -440,10 +443,10 @@ mod tests {
         let inv = phi.inv_denominators();
         let map = build_block_map(&chunk, 256);
         let mut cfg = SampleConfig::new(9);
-        let mut dev = Device::new(0, GpuSpec::titan_x_maxwell());
-        let small = run_sampling_kernel(&mut dev, &chunk, &state, &phi, &inv, &map, &cfg);
+        let dev = Device::new(0, GpuSpec::titan_x_maxwell());
+        let small = run_sampling_kernel(&dev, &chunk, &state, &phi, &inv, &map, &cfg);
         cfg.compressed = false;
-        let big = run_sampling_kernel(&mut dev, &chunk, &state, &phi, &inv, &map, &cfg);
+        let big = run_sampling_kernel(&dev, &chunk, &state, &phi, &inv, &map, &cfg);
         assert!(small.cost.dram_read_bytes < big.cost.dram_read_bytes);
     }
 }

@@ -19,13 +19,13 @@
 
 use crate::model::ChunkState;
 use culda_corpus::{CsrMatrix, SortedChunk};
-use culda_gpusim::{BlockCtx, Device, LaunchReport};
+use culda_gpusim::{BlockCtx, Device, KernelSpec, LaunchPhase, LaunchReport};
 use std::sync::OnceLock;
 
 /// Rebuilds a chunk's θ replica from the current assignments.
 /// Returns the launch report; the new CSR replaces `state.theta`.
 pub fn run_theta_update_kernel(
-    device: &mut Device,
+    device: &Device,
     chunk: &SortedChunk,
     state: &mut ChunkState,
     num_topics: usize,
@@ -37,7 +37,9 @@ pub fn run_theta_update_kernel(
     let rows: Vec<OnceLock<(Vec<u16>, Vec<u32>)>> =
         (0..chunk.num_docs).map(|_| OnceLock::new()).collect();
 
-    let report = device.launch("theta_update", chunk.num_docs as u32, |ctx: &mut BlockCtx| {
+    let spec =
+        KernelSpec::new("theta_update", chunk.num_docs as u32).with_phase(LaunchPhase::ThetaUpdate);
+    let report = device.launch_spec(spec, |ctx: &mut BlockCtx| {
         let d = ctx.block_id as usize;
         let positions = chunk.doc_tokens(d);
         // Step 1: dense scratch per document. The paper fills it with
@@ -111,8 +113,8 @@ mod tests {
             state.z.store(t, ((t * 7) % 12) as u16);
         }
         let expected = build_theta_host(&chunk, &state.z, 12);
-        let mut dev = Device::new(0, GpuSpec::titan_x_maxwell()).with_workers(4);
-        run_theta_update_kernel(&mut dev, &chunk, &mut state, 12);
+        let dev = Device::new(0, GpuSpec::titan_x_maxwell()).with_workers(4);
+        run_theta_update_kernel(&dev, &chunk, &mut state, 12);
         state.theta.check_invariants();
         assert_eq!(state.theta, expected);
     }
@@ -120,8 +122,8 @@ mod tests {
     #[test]
     fn rebuilt_theta_conserves_doc_lengths() {
         let (chunk, mut state) = setup();
-        let mut dev = Device::new(0, GpuSpec::v100_volta()).with_workers(8);
-        run_theta_update_kernel(&mut dev, &chunk, &mut state, 12);
+        let dev = Device::new(0, GpuSpec::v100_volta()).with_workers(8);
+        run_theta_update_kernel(&dev, &chunk, &mut state, 12);
         for d in 0..chunk.num_docs {
             assert_eq!(state.theta.row_sum(d) as usize, chunk.doc_len(d));
         }
@@ -136,8 +138,8 @@ mod tests {
                 z: culda_gpusim::memory::AtomicU16Buf::from_vec(state.z.snapshot()),
                 theta: state.theta.clone(),
             };
-            let mut dev = Device::new(0, GpuSpec::titan_xp_pascal()).with_workers(workers);
-            run_theta_update_kernel(&mut dev, &chunk, &mut st, 12);
+            let dev = Device::new(0, GpuSpec::titan_xp_pascal()).with_workers(workers);
+            run_theta_update_kernel(&dev, &chunk, &mut st, 12);
             results.push(st.theta);
         }
         assert_eq!(results[0], results[1]);
@@ -153,8 +155,8 @@ mod tests {
             state.z.store(t, ((t * 31) % k) as u16);
         }
         let expected = build_theta_host(&chunk, &state.z, k);
-        let mut dev = Device::new(0, GpuSpec::titan_x_maxwell()).with_workers(2);
-        run_theta_update_kernel(&mut dev, &chunk, &mut state, k);
+        let dev = Device::new(0, GpuSpec::titan_x_maxwell()).with_workers(2);
+        run_theta_update_kernel(&dev, &chunk, &mut state, k);
         assert_eq!(state.theta, expected);
     }
 }

@@ -13,6 +13,8 @@
 //!   splitting and smallest-ID-first scheduling.
 //! * [`kernel_sample`] — the warp-per-sampler sampling kernel (Algorithm 2).
 //! * [`kernel_theta`] / [`kernel_phi`] — the Section 6.2 update kernels.
+//! * [`plan`] — [`KernelSet`]/[`IterationPlan`]: one GPU's iteration body
+//!   (sample → ϕ → θ, resident or pipelined) submitted as a unit.
 //! * [`dense`] — the textbook O(K) CGS used as correctness oracle/baseline.
 //! * [`infer`] — fold-in inference and held-out perplexity (extension).
 //! * [`hyper_opt`] — Minka α re-estimation (extension).
@@ -30,6 +32,7 @@ pub mod kernel_phi;
 pub mod kernel_sample;
 pub mod kernel_theta;
 pub mod model;
+pub mod plan;
 pub mod ptree;
 pub mod spq;
 pub mod validate;
@@ -44,4 +47,5 @@ pub use kernel_phi::{run_phi_clear_kernel, run_phi_update_kernel};
 pub use kernel_sample::{run_sampling_kernel, sample_chunk_reference, SampleConfig};
 pub use kernel_theta::run_theta_update_kernel;
 pub use model::{accumulate_phi_host, build_theta_host, ChunkState, PhiModel, MAX_TOPICS};
+pub use plan::{ChunkTask, IterationPlan, KernelSet, PlanReport};
 pub use ptree::{IndexTree, DEFAULT_FANOUT};

@@ -119,8 +119,8 @@ impl PhiModel {
         let k = self.num_topics;
         let mut totals = vec![0u64; k];
         for v in 0..self.vocab_size {
-            for t in 0..k {
-                totals[t] += self.phi.load(self.phi_index(v, t)) as u64;
+            for (t, total) in totals.iter_mut().enumerate() {
+                *total += self.phi.load(self.phi_index(v, t)) as u64;
             }
         }
         for (t, &sum) in totals.iter().enumerate() {
@@ -181,11 +181,11 @@ impl ChunkState {
 pub fn build_theta_host(chunk: &SortedChunk, z: &AtomicU16Buf, num_topics: usize) -> CsrMatrix {
     assert_eq!(z.len(), chunk.num_tokens(), "z length mismatch");
     let mut rows: Vec<Vec<u32>> = vec![vec![0u32; num_topics]; chunk.num_docs];
-    for d in 0..chunk.num_docs {
+    for (d, row) in rows.iter_mut().enumerate() {
         for &pos in chunk.doc_tokens(d) {
             let k = z.load(pos as usize) as usize;
             assert!(k < num_topics, "assignment {k} out of range");
-            rows[d][k] += 1;
+            row[k] += 1;
         }
     }
     CsrMatrix::from_dense_rows(&rows, num_topics)

@@ -1,15 +1,17 @@
-//! Property tests for the sampling mathematics: the S/Q decomposition and
-//! the tree/reference sampler equivalence over arbitrary model states.
+//! Property-style tests for the sampling mathematics: the S/Q
+//! decomposition and the tree/reference sampler equivalence over seeded
+//! pseudo-random model states (deterministic sweeps stand in for a
+//! property-testing framework in the offline build).
 
+use culda_corpus::Xoshiro256;
 use culda_sampler::spq::{
     compute_pstar, exact_conditional, p1_weights, pstar_tree, q_mass, sample_token_reference,
     sample_token_tree,
 };
 use culda_sampler::{PhiModel, Priors};
-use proptest::prelude::*;
 
-/// An arbitrary small model state: K topics × V words of ϕ counts plus a
-/// θ row with the same column space.
+/// A small pseudo-random model state: K topics × V words of ϕ counts plus
+/// a θ row with the same column space.
 #[derive(Debug, Clone)]
 struct ModelCase {
     k: usize,
@@ -19,24 +21,22 @@ struct ModelCase {
     word: usize,
 }
 
-fn model_strategy() -> impl Strategy<Value = ModelCase> {
-    (2usize..24, 2usize..12)
-        .prop_flat_map(|(k, v)| {
-            (
-                Just(k),
-                Just(v),
-                proptest::collection::vec(0u32..30, k * v),
-                proptest::collection::vec(0u32..15, k),
-                0..v,
-            )
-        })
-        .prop_map(|(k, v, phi_counts, theta_dense, word)| ModelCase {
+impl ModelCase {
+    fn draw(g: &mut Xoshiro256) -> Self {
+        let k = 2 + g.next_below(22) as usize;
+        let v = 2 + g.next_below(10) as usize;
+        Self {
             k,
             v,
-            phi_counts,
-            theta_dense,
-            word,
-        })
+            phi_counts: (0..k * v).map(|_| g.next_below(30)).collect(),
+            theta_dense: (0..k).map(|_| g.next_below(15)).collect(),
+            word: g.next_below(v as u32) as usize,
+        }
+    }
+}
+
+fn cases(test_id: u64) -> Xoshiro256 {
+    Xoshiro256::from_seed_stream(0x5A4D_71E5 ^ test_id, 0)
 }
 
 fn build_phi(case: &ModelCase) -> PhiModel {
@@ -65,11 +65,11 @@ fn sparse_theta(dense: &[u32]) -> (Vec<u16>, Vec<u32>) {
     (cols, vals)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn s_plus_q_equals_exact_mass(case in model_strategy()) {
+#[test]
+fn s_plus_q_equals_exact_mass() {
+    let mut g = cases(1);
+    for _ in 0..96 {
+        let case = ModelCase::draw(&mut g);
         let phi = build_phi(&case);
         let inv = phi.inv_denominators();
         let mut pstar = vec![0.0f32; case.k];
@@ -81,18 +81,21 @@ proptest! {
         let exact: f64 = exact_conditional(&case.theta_dense, &phi, case.word, &inv)
             .iter()
             .sum();
-        prop_assert!(
+        assert!(
             ((s + q) - exact).abs() <= 1e-4 * exact.max(1e-6),
-            "S+Q = {} vs exact {exact}", s + q
+            "S+Q = {} vs exact {exact}",
+            s + q
         );
     }
+}
 
-    #[test]
-    fn tree_and_reference_samplers_agree(
-        case in model_strategy(),
-        ub in 0.0f32..1.0,
-        ui in 0.0f32..1.0,
-    ) {
+#[test]
+fn tree_and_reference_samplers_agree() {
+    let mut g = cases(2);
+    for _ in 0..96 {
+        let case = ModelCase::draw(&mut g);
+        let ub = g.next_f32();
+        let ui = g.next_f32();
         let phi = build_phi(&case);
         let inv = phi.inv_denominators();
         let mut pstar = vec![0.0f32; case.k];
@@ -101,35 +104,33 @@ proptest! {
         let (cols, vals) = sparse_theta(&case.theta_dense);
         let a = sample_token_reference(&cols, &vals, &pstar, 0.3, ub, ui);
         let b = sample_token_tree(&cols, &vals, &tree, &pstar, 0.3, ub, ui);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    #[test]
-    fn sampled_topic_has_positive_exact_probability(
-        case in model_strategy(),
-        ub in 0.0f32..1.0,
-        ui in 0.0f32..1.0,
-    ) {
+#[test]
+fn sampled_topic_has_positive_exact_probability() {
+    let mut g = cases(3);
+    for _ in 0..96 {
+        let case = ModelCase::draw(&mut g);
+        let ub = g.next_f32();
+        let ui = g.next_f32();
         let phi = build_phi(&case);
         let inv = phi.inv_denominators();
         let mut pstar = vec![0.0f32; case.k];
         compute_pstar(&phi, case.word, &inv, &mut pstar);
         let (cols, vals) = sparse_theta(&case.theta_dense);
         let topic = sample_token_reference(&cols, &vals, &pstar, 0.3, ub, ui) as usize;
-        prop_assert!(topic < case.k);
+        assert!(topic < case.k);
         let exact = exact_conditional(&case.theta_dense, &phi, case.word, &inv);
-        prop_assert!(exact[topic] > 0.0, "drew a zero-probability topic");
+        assert!(exact[topic] > 0.0, "drew a zero-probability topic");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn checkpoint_loader_never_panics_on_corruption(
-        flips in proptest::collection::vec((0usize..4096, any::<u8>()), 1..8),
-        truncate_to in 0usize..4096,
-    ) {
+#[test]
+fn checkpoint_loader_never_panics_on_corruption() {
+    let mut g = cases(4);
+    for _ in 0..64 {
         // Build a valid checkpoint, then corrupt it arbitrarily: the
         // loader must return Ok or Err, never panic or over-allocate.
         let phi = PhiModel::zeros(8, 32, Priors::paper(8));
@@ -146,24 +147,25 @@ proptest! {
         }
         let mut buf = Vec::new();
         culda_sampler::save_phi(&phi, &mut buf).unwrap();
-        for (pos, val) in flips {
+        let flips = 1 + g.next_below(7);
+        for _ in 0..flips {
             let n = buf.len();
-            buf[pos % n] = val;
+            let pos = g.next_below(4096) as usize % n;
+            buf[pos] = g.next_u64() as u8;
         }
-        let cut = truncate_to.min(buf.len());
+        let cut = (g.next_below(4096) as usize).min(buf.len());
         let _ = culda_sampler::load_phi(&buf[..cut]); // must not panic
         let _ = culda_sampler::load_phi(buf.as_slice());
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn fold_in_theta_always_conserves_length(
-        words in proptest::collection::vec(0u32..12, 1..50),
-        iters in 1u32..8,
-    ) {
+#[test]
+fn fold_in_theta_always_conserves_length() {
+    let mut g = cases(5);
+    for _ in 0..16 {
+        let len = 1 + g.next_below(49) as usize;
+        let words: Vec<u32> = (0..len).map(|_| g.next_below(12)).collect();
+        let iters = 1 + g.next_below(7);
         let case = ModelCase {
             k: 6,
             v: 12,
@@ -175,6 +177,6 @@ proptest! {
         let fold = culda_sampler::FoldIn::new(&phi);
         let theta = fold.infer_document(&words, iters, 9);
         let total: u32 = theta.iter().sum();
-        prop_assert_eq!(total as usize, words.len());
+        assert_eq!(total as usize, words.len());
     }
 }

@@ -169,9 +169,6 @@ fn every_solver_scores_with_the_same_statistic() {
     let dense = DenseCgs::new(&corpus, k, Priors::paper(k), 5);
     let warp = WarpLda::new(&corpus, k, Priors::paper(k), 5);
     let sparse = SparseCgs::new(&corpus, k, Priors::paper(k), 5);
-    // Same seed → same xoshiro stream (identical init logic) → identical
-    // initial assignments → identical likelihood.
-    assert!((dense.loglik() - warp.loglik()).abs() > 0.0 || true);
     // The three values are all finite and in the plausible LDA range.
     for ll in [dense.loglik(), warp.loglik(), sparse.loglik()] {
         let per_tok = ll / corpus.num_tokens() as f64;

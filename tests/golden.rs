@@ -64,6 +64,9 @@ fn fixed_seed_run_is_pinned() {
     );
 }
 
-// Pinned by running with CULDA_PRINT_GOLDEN=1.
-const GOLDEN_FINGERPRINT: u64 = 0x85d1e6d88d04542b;
-const GOLDEN_LOGLIK: f64 = -5.669591823564;
+// Pinned by running with CULDA_PRINT_GOLDEN=1. Last repin: the synthetic
+// corpus generator moved from the external StdRng to the in-repo xoshiro
+// stream (offline build), which changes the generated corpora and hence
+// the whole assignment chain.
+const GOLDEN_FINGERPRINT: u64 = 0x70c6d5206fa8ac32;
+const GOLDEN_LOGLIK: f64 = -5.616761715172;

@@ -1,138 +1,185 @@
-//! Property-based tests over the core data structures and invariants,
-//! exercised through the public API of the workspace crates.
+//! Property-style tests over the core data structures and invariants,
+//! exercised through the public API of the workspace crates on seeded
+//! pseudo-random case sweeps (deterministic; the offline build has no
+//! property-testing framework).
 
 use culda::baselines::AliasTable;
-use culda::corpus::{partition_by_tokens, Corpus, CsrMatrix, Document, SortedChunk, Vocab};
+use culda::corpus::{
+    partition_by_tokens, Corpus, CsrMatrix, Document, SortedChunk, Vocab, Xoshiro256,
+};
 use culda::gpusim::warp;
 use culda::sampler::{IndexTree, Priors};
-use proptest::prelude::*;
 
-/// Arbitrary non-degenerate weight vectors for the samplers.
-fn weights_strategy() -> impl Strategy<Value = Vec<f32>> {
-    proptest::collection::vec(0.0f32..100.0, 1..300).prop_filter(
-        "needs positive mass",
-        |w| w.iter().sum::<f32>() > 1e-3,
-    )
+fn cases(test_id: u64) -> Xoshiro256 {
+    Xoshiro256::from_seed_stream(0x100F_CA5E ^ test_id, 0)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Non-degenerate weight vector for the samplers: up to 300 entries in
+/// `[0, 100)` with positive total mass.
+fn draw_weights(g: &mut Xoshiro256) -> Vec<f32> {
+    loop {
+        let n = 1 + g.next_below(299) as usize;
+        let w: Vec<f32> = (0..n).map(|_| g.next_f32() * 100.0).collect();
+        if w.iter().sum::<f32>() > 1e-3 {
+            return w;
+        }
+    }
+}
 
-    #[test]
-    fn index_tree_agrees_with_linear_search(
-        w in weights_strategy(),
-        fanout in 2usize..40,
-        frac in 0.0f64..1.0,
-    ) {
+#[test]
+fn index_tree_agrees_with_linear_search() {
+    let mut g = cases(1);
+    for _ in 0..128 {
+        let w = draw_weights(&mut g);
+        let fanout = 2 + g.next_below(38) as usize;
+        let frac = g.next_f64();
         let tree = IndexTree::build(&w, fanout);
-        let prefix: Vec<f32> = w.iter().scan(0.0, |a, &x| { *a += x; Some(*a) }).collect();
+        let prefix: Vec<f32> = w
+            .iter()
+            .scan(0.0, |a, &x| {
+                *a += x;
+                Some(*a)
+            })
+            .collect();
         let x = (frac as f32) * tree.total();
         let x = x.min(tree.total() * 0.999_999);
         let (got, _, _) = tree.sample_scaled(x);
         let want = culda::sampler::ptree::linear_search(&prefix, x);
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
+}
 
-    #[test]
-    fn index_tree_rebuild_equals_fresh_build(
-        w1 in weights_strategy(),
-        w2 in weights_strategy(),
-    ) {
+#[test]
+fn index_tree_rebuild_equals_fresh_build() {
+    let mut g = cases(2);
+    for _ in 0..128 {
+        let w1 = draw_weights(&mut g);
+        let w2 = draw_weights(&mut g);
         let mut tree = IndexTree::build(&w1, 32);
         tree.rebuild(&w2);
-        prop_assert_eq!(tree, IndexTree::build(&w2, 32));
+        assert_eq!(tree, IndexTree::build(&w2, 32));
     }
+}
 
-    #[test]
-    fn index_tree_never_draws_zero_weight(
-        mut w in weights_strategy(),
-        idx in 0usize..300,
-        frac in 0.0f64..1.0,
-    ) {
-        let idx = idx % w.len();
+#[test]
+fn index_tree_never_draws_zero_weight() {
+    let mut g = cases(3);
+    for _ in 0..128 {
+        let mut w = draw_weights(&mut g);
+        let idx = g.next_below(w.len() as u32) as usize;
+        let frac = g.next_f64();
         w[idx] = 0.0;
-        prop_assume!(w.iter().sum::<f32>() > 1e-3);
+        if w.iter().sum::<f32>() <= 1e-3 {
+            continue;
+        }
         let tree = IndexTree::build(&w, 32);
         let x = (frac as f32 * tree.total()).min(tree.total() * 0.999_999);
         let (got, _, _) = tree.sample_scaled(x);
-        prop_assert_ne!(got, idx, "drew zero-weight index");
+        assert_ne!(got, idx, "drew zero-weight index");
     }
+}
 
-    #[test]
-    fn alias_table_probabilities_match_weights(
-        w in proptest::collection::vec(0.0f64..50.0, 1..64)
-            .prop_filter("positive mass", |w| w.iter().sum::<f64>() > 1e-6),
-    ) {
-        let t = AliasTable::build(&w);
+#[test]
+fn alias_table_probabilities_match_weights() {
+    let mut g = cases(4);
+    for _ in 0..128 {
+        let n = 1 + g.next_below(63) as usize;
+        let w: Vec<f64> = (0..n).map(|_| g.next_f64() * 50.0).collect();
         let total: f64 = w.iter().sum();
+        if total <= 1e-6 {
+            continue;
+        }
+        let t = AliasTable::build(&w);
         for (i, &wi) in w.iter().enumerate() {
             let p = t.probability(i);
-            prop_assert!((p - wi / total).abs() < 1e-9, "outcome {}: {} vs {}", i, p, wi / total);
+            assert!(
+                (p - wi / total).abs() < 1e-9,
+                "outcome {}: {} vs {}",
+                i,
+                p,
+                wi / total
+            );
         }
     }
+}
 
-    #[test]
-    fn partition_conserves_tokens_for_any_shape(
-        lens in proptest::collection::vec(0usize..60, 1..120),
-        c in 1usize..12,
-    ) {
-        prop_assume!(c <= lens.len());
+#[test]
+fn partition_conserves_tokens_for_any_shape() {
+    let mut g = cases(5);
+    for _ in 0..128 {
+        let n = 1 + g.next_below(119) as usize;
+        let lens: Vec<usize> = (0..n).map(|_| g.next_below(60) as usize).collect();
+        let c = 1 + g.next_below(11) as usize;
+        if c > lens.len() {
+            continue;
+        }
         let docs: Vec<Document> = lens.iter().map(|&l| Document::new(vec![0u32; l])).collect();
         let corpus = Corpus::new(docs, Vocab::synthetic(1));
         let chunks = partition_by_tokens(&corpus, c);
-        prop_assert_eq!(chunks.len(), c);
+        assert_eq!(chunks.len(), c);
         let total: u64 = chunks.iter().map(|ch| ch.tokens).sum();
-        prop_assert_eq!(total, corpus.num_tokens());
+        assert_eq!(total, corpus.num_tokens());
         // Contiguous cover, no empty chunk.
-        prop_assert_eq!(chunks[0].docs.start, 0);
+        assert_eq!(chunks[0].docs.start, 0);
         for w in chunks.windows(2) {
-            prop_assert_eq!(w[0].docs.end, w[1].docs.start);
+            assert_eq!(w[0].docs.end, w[1].docs.start);
         }
-        prop_assert_eq!(chunks.last().unwrap().docs.end as usize, corpus.num_docs());
+        assert_eq!(chunks.last().unwrap().docs.end as usize, corpus.num_docs());
         for ch in &chunks {
-            prop_assert!(ch.num_docs() > 0);
+            assert!(ch.num_docs() > 0);
         }
     }
+}
 
-    #[test]
-    fn sorted_chunk_layout_is_a_permutation(
-        doc_words in proptest::collection::vec(
-            proptest::collection::vec(0u32..20, 1..30),
-            1..40,
-        ),
-        c in 1usize..5,
-    ) {
-        prop_assume!(c <= doc_words.len());
-        let docs: Vec<Document> = doc_words.into_iter().map(Document::new).collect();
+#[test]
+fn sorted_chunk_layout_is_a_permutation() {
+    let mut g = cases(6);
+    for _ in 0..128 {
+        let d = 1 + g.next_below(39) as usize;
+        let docs: Vec<Document> = (0..d)
+            .map(|_| {
+                let len = 1 + g.next_below(29) as usize;
+                Document::new((0..len).map(|_| g.next_below(20)).collect())
+            })
+            .collect();
+        let c = 1 + g.next_below(4) as usize;
+        if c > docs.len() {
+            continue;
+        }
         let corpus = Corpus::new(docs, Vocab::synthetic(20));
         let chunks = partition_by_tokens(&corpus, c);
         let mut tokens = 0usize;
         for ch in &chunks {
             let sorted = SortedChunk::build(&corpus, ch);
-            prop_assert!(sorted.check_invariants(&corpus, ch));
+            assert!(sorted.check_invariants(&corpus, ch));
             tokens += sorted.num_tokens();
         }
-        prop_assert_eq!(tokens as u64, corpus.num_tokens());
+        assert_eq!(tokens as u64, corpus.num_tokens());
     }
+}
 
-    #[test]
-    fn csr_dense_round_trip(
-        rows in proptest::collection::vec(
-            proptest::collection::vec(0u32..9, 8),
-            0..20,
-        ),
-    ) {
+#[test]
+fn csr_dense_round_trip() {
+    let mut g = cases(7);
+    for _ in 0..128 {
+        let n = g.next_below(20) as usize;
+        let rows: Vec<Vec<u32>> = (0..n)
+            .map(|_| (0..8).map(|_| g.next_below(9)).collect())
+            .collect();
         let m = CsrMatrix::from_dense_rows(&rows, 8);
         m.check_invariants();
         for (r, want) in rows.iter().enumerate() {
-            prop_assert_eq!(&m.row_to_dense(r), want);
+            assert_eq!(&m.row_to_dense(r), want);
         }
     }
+}
 
-    #[test]
-    fn warp_scan_matches_serial(
-        lanes in proptest::collection::vec(-100.0f32..100.0, 1..33),
-    ) {
+#[test]
+fn warp_scan_matches_serial() {
+    let mut g = cases(8);
+    for _ in 0..128 {
+        let n = 1 + g.next_below(32) as usize;
+        let lanes: Vec<f32> = (0..n).map(|_| g.next_f32() * 200.0 - 100.0).collect();
         let mut scanned = lanes.clone();
         let total = warp::inclusive_scan_f32(&mut scanned);
         let mut acc = 0.0f32;
@@ -140,44 +187,50 @@ proptest! {
             acc += x;
             // Hillis–Steele adds in a different order than serial; allow
             // f32 reassociation slack.
-            prop_assert!((scanned[i] - acc).abs() <= 1e-3 * acc.abs().max(1.0));
+            assert!((scanned[i] - acc).abs() <= 1e-3 * acc.abs().max(1.0));
         }
-        prop_assert!((total - scanned[lanes.len() - 1]).abs() < 1e-6);
-    }
-
-    #[test]
-    fn warp_ballot_round_trips(bits in proptest::collection::vec(any::<bool>(), 1..33)) {
-        let mask = warp::ballot(&bits);
-        for (i, &b) in bits.iter().enumerate() {
-            prop_assert_eq!(mask & (1 << i) != 0, b);
-        }
-        let first_true = bits.iter().position(|&b| b);
-        prop_assert_eq!(warp::first_set_lane(mask), first_true);
-    }
-
-    #[test]
-    fn priors_masses_are_linear(k in 1usize..5000, v in 1usize..200_000) {
-        let p = Priors::paper(k);
-        prop_assert!((p.alpha * k as f64 - 50.0).abs() < 1e-9);
-        prop_assert!((p.beta_v(v) - 0.01 * v as f64).abs() < 1e-6);
+        assert!((total - scanned[n - 1]).abs() < 1e-6);
     }
 }
 
-proptest! {
-    // Heavier cases: fewer iterations.
-    #![proptest_config(ProptestConfig::with_cases(24))]
+#[test]
+fn warp_ballot_round_trips() {
+    let mut g = cases(9);
+    for _ in 0..128 {
+        let n = 1 + g.next_below(32) as usize;
+        let bits: Vec<bool> = (0..n).map(|_| g.next_u64() & 1 == 1).collect();
+        let mask = warp::ballot(&bits);
+        for (i, &b) in bits.iter().enumerate() {
+            assert_eq!(mask & (1 << i) != 0, b);
+        }
+        let first_true = bits.iter().position(|&b| b);
+        assert_eq!(warp::first_set_lane(mask), first_true);
+    }
+}
 
-    #[test]
-    fn phi_sync_equals_serial_sum(
-        replica_fills in proptest::collection::vec(
-            proptest::collection::vec(0u32..7, 12),
-            1..7,
-        ),
-    ) {
-        use culda::gpusim::{Link, Platform};
-        use culda::multigpu::{sync_phi_replicas, TrainerConfig};
-        use culda::sampler::PhiModel;
-        let g = replica_fills.len();
+#[test]
+fn priors_masses_are_linear() {
+    let mut g = cases(10);
+    for _ in 0..128 {
+        let k = 1 + g.next_below(4999) as usize;
+        let v = 1 + g.next_below(199_999) as usize;
+        let p = Priors::paper(k);
+        assert!((p.alpha * k as f64 - 50.0).abs() < 1e-9);
+        assert!((p.beta_v(v) - 0.01 * v as f64).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn phi_sync_equals_serial_sum() {
+    use culda::gpusim::{Link, Platform};
+    use culda::multigpu::{sync_phi_replicas, TrainerConfig};
+    use culda::sampler::PhiModel;
+    let mut rng = cases(11);
+    for _ in 0..24 {
+        let g = 1 + rng.next_below(6) as usize;
+        let replica_fills: Vec<Vec<u32>> = (0..g)
+            .map(|_| (0..12).map(|_| rng.next_below(7)).collect())
+            .collect();
         let replicas: Vec<PhiModel> = replica_fills
             .iter()
             .map(|cells| {
@@ -191,43 +244,48 @@ proptest! {
                 m
             })
             .collect();
-        let mut want = vec![0u64; 12];
+        let mut want = [0u64; 12];
         for cells in &replica_fills {
             for (slot, w) in want.iter_mut().enumerate() {
                 *w += cells[slot] as u64;
             }
         }
         let cfg = TrainerConfig::new(3, Platform::pascal());
-        sync_phi_replicas(&replicas, &Platform::pascal().gpu, &Link::pcie3(), &cfg);
+        let refs: Vec<&_> = replicas.iter().collect();
+        sync_phi_replicas(&refs, &Platform::pascal().gpu, &Link::pcie3(), &cfg);
         for r in &replicas {
             for (slot, &w) in want.iter().enumerate() {
-                prop_assert_eq!(r.phi.load(slot) as u64, w, "g = {}", g);
+                assert_eq!(r.phi.load(slot) as u64, w, "g = {g}");
             }
         }
     }
+}
 
-    #[test]
-    fn block_map_partitions_any_chunk(
-        doc_words in proptest::collection::vec(
-            proptest::collection::vec(0u32..15, 1..40),
-            2..30,
-        ),
-        tpb in 1usize..200,
-    ) {
-        use culda::sampler::build_block_map;
-        let docs: Vec<Document> = doc_words.into_iter().map(Document::new).collect();
+#[test]
+fn block_map_partitions_any_chunk() {
+    use culda::sampler::build_block_map;
+    let mut g = cases(12);
+    for _ in 0..24 {
+        let d = 2 + g.next_below(28) as usize;
+        let docs: Vec<Document> = (0..d)
+            .map(|_| {
+                let len = 1 + g.next_below(39) as usize;
+                Document::new((0..len).map(|_| g.next_below(15)).collect())
+            })
+            .collect();
+        let tpb = 1 + g.next_below(199) as usize;
         let corpus = Corpus::new(docs, Vocab::synthetic(15));
         let chunks = partition_by_tokens(&corpus, 1);
         let chunk = SortedChunk::build(&corpus, &chunks[0]);
         let map = build_block_map(&chunk, tpb);
         let mut seen = vec![false; chunk.num_tokens()];
         for b in &map {
-            prop_assert!(b.len() <= tpb);
+            assert!(b.len() <= tpb);
             for t in b.tokens.clone() {
-                prop_assert!(!seen[t]);
+                assert!(!seen[t]);
                 seen[t] = true;
             }
         }
-        prop_assert!(seen.iter().all(|&s| s));
+        assert!(seen.iter().all(|&s| s));
     }
 }
