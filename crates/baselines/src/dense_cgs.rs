@@ -37,8 +37,7 @@ impl TimedDenseCgs {
         let tokens = self.inner.iterate(corpus);
         let k = self.inner.num_topics as u64;
         let bytes_per_token = k * 12 + 4 * CACHE_LINE + 10;
-        let seconds =
-            (tokens * bytes_per_token) as f64 / (self.host_bandwidth_gbps * 1e9 * 0.85);
+        let seconds = (tokens * bytes_per_token) as f64 / (self.host_bandwidth_gbps * 1e9 * 0.85);
         (tokens, seconds)
     }
 

@@ -100,8 +100,7 @@ impl DistributedLda {
         let alpha = self.priors.alpha as f32;
         let beta = self.priors.beta as f32;
         let inv_denom: Vec<f32> = self.global_phi.inv_denominators();
-        let stream_seed =
-            self.seed ^ (self.iteration as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let stream_seed = self.seed ^ (self.iteration as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
 
         let mut worker_seconds: f64 = 0.0;
         let mut tokens_done = 0u64;
@@ -194,7 +193,8 @@ impl DistributedLda {
         );
         let mut acc = 0.0;
         for t in 0..self.num_topics {
-            let col = (0..self.vocab_size).map(|v| self.global_phi.phi.load(v * self.num_topics + t));
+            let col =
+                (0..self.vocab_size).map(|v| self.global_phi.phi.load(v * self.num_topics + t));
             acc += eval.topic_term(col, self.global_phi.phi_sum.load(t) as u64);
         }
         for (chunk, st) in self.chunks.iter().zip(&self.states) {

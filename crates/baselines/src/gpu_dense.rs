@@ -143,8 +143,7 @@ mod tests {
         let inv = phi.inv_denominators();
 
         let mut dev_naive = Device::new(0, GpuSpec::titan_x_maxwell()).with_workers(4);
-        let naive =
-            run_naive_dense_kernel(&mut dev_naive, &chunk, &state, &phi, &inv, 7, 0);
+        let naive = run_naive_dense_kernel(&mut dev_naive, &chunk, &state, &phi, &inv, 7, 0);
 
         let dev_culda = Device::new(0, GpuSpec::titan_x_maxwell()).with_workers(4);
         let map = build_block_map(&chunk, 512);

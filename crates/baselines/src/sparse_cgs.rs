@@ -109,7 +109,7 @@ impl SparseCgs {
                 let w = self.tokens[ti] as usize;
                 let cur = self.z[ti] as usize;
                 self.bytes_this_pass += 8; // sequential token + z
-                // Remove the token.
+                                           // Remove the token.
                 dense_row[cur] -= 1;
                 self.phi[w * k_n + cur] -= 1;
                 self.nk[cur] -= 1;
@@ -120,8 +120,8 @@ impl SparseCgs {
                 p1.clear();
                 let mut q = 0.0f64;
                 for (t, &c) in dense_row.iter().enumerate().take(k_n) {
-                    let pstar = (self.phi[w * k_n + t] as f64 + beta)
-                        / (self.nk[t] as f64 + beta_v);
+                    let pstar =
+                        (self.phi[w * k_n + t] as f64 + beta) / (self.nk[t] as f64 + beta_v);
                     q += alpha * pstar;
                     if c > 0 {
                         let w1 = c as f64 * pstar;
@@ -149,8 +149,8 @@ impl SparseCgs {
                     let mut x = (u - s) / alpha;
                     let mut pick = k_n - 1;
                     for t in 0..k_n {
-                        let pstar = (self.phi[w * k_n + t] as f64 + beta)
-                            / (self.nk[t] as f64 + beta_v);
+                        let pstar =
+                            (self.phi[w * k_n + t] as f64 + beta) / (self.nk[t] as f64 + beta_v);
                         if x < pstar {
                             pick = t;
                             break;
@@ -171,8 +171,8 @@ impl SparseCgs {
             self.theta.set_row_from_dense(di, &dense_row);
             self.bytes_this_pass += (self.theta.row_nnz(di) as u64) * 6;
         }
-        let seconds = self.bytes_this_pass as f64
-            / (self.host_bandwidth_gbps * 1e9 * self.host_efficiency);
+        let seconds =
+            self.bytes_this_pass as f64 / (self.host_bandwidth_gbps * 1e9 * self.host_efficiency);
         (tokens_done, seconds)
     }
 

@@ -136,7 +136,7 @@ impl WarpLda {
                 let w = self.tokens[ti] as usize;
                 let mut cur = self.z[ti] as usize;
                 self.charge_stream(8); // sequential token + z read
-                // Remove the token from the counts for a proper conditional.
+                                       // Remove the token from the counts for a proper conditional.
                 self.theta[di * k_n + cur] -= 1;
                 self.phi[w * k_n + cur] -= 1;
                 self.nk[cur] -= 1;
@@ -196,8 +196,8 @@ impl WarpLda {
                 tokens_done += 1;
             }
         }
-        let seconds = self.bytes_this_pass as f64
-            / (self.host_bandwidth_gbps * 1e9 * self.host_efficiency);
+        let seconds =
+            self.bytes_this_pass as f64 / (self.host_bandwidth_gbps * 1e9 * self.host_efficiency);
         (tokens_done, seconds)
     }
 
@@ -231,8 +231,7 @@ impl WarpLda {
     /// trained baseline can drive the same fold-in inference and
     /// checkpointing machinery as CuLDA.
     pub fn export_phi(&self) -> culda_sampler::PhiModel {
-        let phi =
-            culda_sampler::PhiModel::zeros(self.num_topics, self.vocab_size, self.priors);
+        let phi = culda_sampler::PhiModel::zeros(self.num_topics, self.vocab_size, self.priors);
         for v in 0..self.vocab_size {
             for k in 0..self.num_topics {
                 let c = self.phi[v * self.num_topics + k];

@@ -68,7 +68,9 @@ fn main() {
     let dev = Device::new(0, GpuSpec::titan_x_maxwell());
     let phi = PhiModel::zeros(256, 800, Priors::paper(256));
     bench("phi_update", || {
-        black_box(run_phi_update_kernel(&dev, &f.chunk, &f.state, &phi, &f.map))
+        black_box(run_phi_update_kernel(
+            &dev, &f.chunk, &f.state, &phi, &f.map,
+        ))
     });
     bench_with_setup(
         "theta_update",

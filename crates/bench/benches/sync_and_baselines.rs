@@ -1,8 +1,8 @@
 //! Micro-benchmarks for the Figure 4 ϕ synchronization and the per-pass
 //! cost of every baseline solver.
 
-use culda_bench::harness::{bench, bench_with_setup, group};
 use culda_baselines::{SparseCgs, TimedDenseCgs, WarpLda};
+use culda_bench::harness::{bench, bench_with_setup, group};
 use culda_corpus::SynthSpec;
 use culda_gpusim::{Link, Platform};
 use culda_multigpu::{sync_phi_replicas, TrainerConfig};

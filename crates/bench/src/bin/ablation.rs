@@ -43,9 +43,18 @@ fn main() {
     println!("\n[1,2] memory optimizations (Titan, K = {k}):");
     let (base_tps, base_ll) = run(&|_| {});
     for (label, f) in [
-        ("full optimizations", Box::new(|_: &mut TrainerConfig| {}) as Box<dyn Fn(&mut TrainerConfig)>),
-        ("no shared-memory reuse", Box::new(|c: &mut TrainerConfig| c.use_shared_memory = false)),
-        ("no u16 compression", Box::new(|c: &mut TrainerConfig| c.compressed = false)),
+        (
+            "full optimizations",
+            Box::new(|_: &mut TrainerConfig| {}) as Box<dyn Fn(&mut TrainerConfig)>,
+        ),
+        (
+            "no shared-memory reuse",
+            Box::new(|c: &mut TrainerConfig| c.use_shared_memory = false),
+        ),
+        (
+            "no u16 compression",
+            Box::new(|c: &mut TrainerConfig| c.compressed = false),
+        ),
         (
             "neither",
             Box::new(|c: &mut TrainerConfig| {
@@ -87,9 +96,7 @@ fn main() {
         imbalance(&by_tokens),
         imbalance(&by_docs)
     );
-    println!(
-        "  (iteration time is max over GPUs, so imbalance is a direct slowdown bound)"
-    );
+    println!("  (iteration time is max over GPUs, so imbalance is a direct slowdown bound)");
     csv.push_str(&format!(
         "partition,token_balanced,{},0\npartition,doc_count,{},0\n",
         imbalance(&by_tokens),
@@ -168,7 +175,10 @@ fn main() {
     // --- 5: interconnect for the 4-GPU sync ------------------------------
     println!("\n[5] interconnect for the 4-GPU phi sync (Pascal, K = 128):");
     let sync_corpus = SynthSpec::pubmed_like(0.003 * user_scale()).generate();
-    for (label, link) in [("PCIe 3.0 (16 GB/s)", None), ("NVLink (300 GB/s)", Some(Link::nvlink()))] {
+    for (label, link) in [
+        ("PCIe 3.0 (16 GB/s)", None),
+        ("NVLink (300 GB/s)", Some(Link::nvlink())),
+    ] {
         let mut cfg = TrainerConfig::new(128, Platform::pascal())
             .with_iterations(iters)
             .with_score_every(0);

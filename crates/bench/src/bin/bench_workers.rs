@@ -4,13 +4,16 @@
 //! (`step`, one host thread per simulated GPU). Simulated time and all
 //! statistics are bit-identical between the two — only the host pays.
 //!
-//! Writes `BENCH_workers.json` at the repository root.
+//! Writes `BENCH_workers.json` and a `metrics.json` snapshot of the
+//! concurrent run's hot-path instruments at the repository root.
 
 use culda_bench::{banner, user_iters, user_scale};
 use culda_corpus::SynthSpec;
 use culda_gpusim::Platform;
+use culda_metrics::MetricsRegistry;
 use culda_multigpu::{CuldaTrainer, TrainerConfig};
 use std::io::Write;
+use std::sync::Arc;
 use std::time::Instant;
 
 const BENCH_TOPICS: usize = 128;
@@ -22,11 +25,20 @@ struct Run {
     final_z_hash: u64,
 }
 
-fn run(corpus: &culda_corpus::Corpus, gpus: usize, iters: u32, concurrent: bool) -> Run {
+fn run(
+    corpus: &culda_corpus::Corpus,
+    gpus: usize,
+    iters: u32,
+    concurrent: bool,
+    metrics: Option<&Arc<MetricsRegistry>>,
+) -> Run {
     let cfg = TrainerConfig::new(BENCH_TOPICS, Platform::pascal().with_gpus(gpus))
         .with_iterations(iters)
         .with_score_every(0);
     let mut t = CuldaTrainer::new(corpus, cfg);
+    if let Some(reg) = metrics {
+        t.attach_observability(None, Some(reg.clone()));
+    }
     let start = Instant::now();
     for _ in 0..iters {
         if concurrent {
@@ -46,7 +58,11 @@ fn run(corpus: &culda_corpus::Corpus, gpus: usize, iters: u32, concurrent: bool)
     Run {
         wall_seconds,
         sim_seconds: t.history().total_sim_seconds(),
-        device_clocks: t.workers().iter().map(|w| w.device.now().to_bits()).collect(),
+        device_clocks: t
+            .workers()
+            .iter()
+            .map(|w| w.device.now().to_bits())
+            .collect(),
         final_z_hash: h,
     }
 }
@@ -68,9 +84,10 @@ fn main() {
         corpus.vocab_size()
     );
 
-    let before = run(&corpus, 4, iters, false);
-    let after = run(&corpus, 4, iters, true);
-    let one_gpu = run(&corpus, 1, iters, true);
+    let registry = Arc::new(MetricsRegistry::new());
+    let before = run(&corpus, 4, iters, false, None);
+    let after = run(&corpus, 4, iters, true, Some(&registry));
+    let one_gpu = run(&corpus, 1, iters, true, None);
 
     assert_eq!(
         before.device_clocks, after.device_clocks,
@@ -83,8 +100,14 @@ fn main() {
 
     let speedup = before.wall_seconds / after.wall_seconds;
     let vs_single = after.wall_seconds / one_gpu.wall_seconds;
-    println!("{:<34} {:>10.3} s", "4-GPU sequential bodies (before)", before.wall_seconds);
-    println!("{:<34} {:>10.3} s", "4-GPU concurrent bodies (after)", after.wall_seconds);
+    println!(
+        "{:<34} {:>10.3} s",
+        "4-GPU sequential bodies (before)", before.wall_seconds
+    );
+    println!(
+        "{:<34} {:>10.3} s",
+        "4-GPU concurrent bodies (after)", after.wall_seconds
+    );
     println!("{:<34} {:>10.3} s", "1-GPU reference", one_gpu.wall_seconds);
     println!("{:<34} {:>10.2}x", "host speedup (before/after)", speedup);
     println!("{:<34} {:>10.2}x", "4-GPU wall vs 1-GPU wall", vs_single);
@@ -108,6 +131,13 @@ fn main() {
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_workers.json");
     let mut f = std::fs::File::create(path).expect("create BENCH_workers.json");
-    f.write_all(json.as_bytes()).expect("write BENCH_workers.json");
+    f.write_all(json.as_bytes())
+        .expect("write BENCH_workers.json");
     println!("\nwrote {path}");
+
+    // Snapshot the concurrent run's hot-path metrics next to the bench
+    // result so regressions in the recorded distributions are diffable.
+    let metrics_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../metrics.json");
+    std::fs::write(metrics_path, registry.snapshot_json().render()).expect("write metrics.json");
+    println!("wrote {metrics_path}");
 }

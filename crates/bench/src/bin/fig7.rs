@@ -20,7 +20,10 @@ fn culda_series(corpus: &Corpus, platform: Platform, iters: u32) -> Vec<(f64, f6
     let cfg = TrainerConfig::new(BENCH_TOPICS, platform.with_gpus(1))
         .with_iterations(iters)
         .with_score_every(0);
-    CuldaTrainer::new(corpus, cfg).train().history.throughput_series()
+    CuldaTrainer::new(corpus, cfg)
+        .train()
+        .history
+        .throughput_series()
 }
 
 fn warplda_series(corpus: &Corpus, iters: u32) -> Vec<(f64, f64)> {
@@ -41,9 +44,18 @@ fn main() {
     );
     for (name, corpus) in [("NYTimes", nytimes_corpus()), ("PubMed", pubmed_corpus())] {
         let mut fig = Figure::new(format!("Fig 7 — {name}"), "iteration", "tokens_per_sec");
-        fig.push(Series::new("Titan", culda_series(&corpus, Platform::maxwell(), iters)));
-        fig.push(Series::new("Pascal", culda_series(&corpus, Platform::pascal(), iters)));
-        fig.push(Series::new("Volta", culda_series(&corpus, Platform::volta(), iters)));
+        fig.push(Series::new(
+            "Titan",
+            culda_series(&corpus, Platform::maxwell(), iters),
+        ));
+        fig.push(Series::new(
+            "Pascal",
+            culda_series(&corpus, Platform::pascal(), iters),
+        ));
+        fig.push(Series::new(
+            "Volta",
+            culda_series(&corpus, Platform::volta(), iters),
+        ));
         fig.push(Series::new("WarpLDA", warplda_series(&corpus, iters)));
         print!("{}", fig.to_ascii(48));
 
@@ -63,9 +75,6 @@ fn main() {
             );
         }
         println!();
-        write_result(
-            &format!("fig7_{}.csv", name.to_lowercase()),
-            &fig.to_csv(),
-        );
+        write_result(&format!("fig7_{}.csv", name.to_lowercase()), &fig.to_csv());
     }
 }

@@ -7,8 +7,8 @@
 //! Volta fastest of all; WarpLDA and LDA* are stretched out along the time
 //! axis by an order of magnitude.
 
-use culda_bench::{banner, nytimes_corpus, pubmed_corpus, user_iters, write_result, BENCH_TOPICS};
 use culda_baselines::{DistributedLda, WarpLda};
+use culda_bench::{banner, nytimes_corpus, pubmed_corpus, user_iters, write_result, BENCH_TOPICS};
 use culda_corpus::Corpus;
 use culda_gpusim::Platform;
 use culda_metrics::{Figure, Series};
@@ -19,7 +19,10 @@ fn culda_series(corpus: &Corpus, platform: Platform, iters: u32) -> Vec<(f64, f6
     let cfg = TrainerConfig::new(BENCH_TOPICS, platform.with_gpus(1))
         .with_iterations(iters)
         .with_score_every(1);
-    CuldaTrainer::new(corpus, cfg).train().history.loglik_series()
+    CuldaTrainer::new(corpus, cfg)
+        .train()
+        .history
+        .loglik_series()
 }
 
 fn warplda_series(corpus: &Corpus, iters: u32) -> Vec<(f64, f64)> {
@@ -66,9 +69,18 @@ fn main() {
             "time_seconds",
             "loglik_per_token",
         );
-        fig.push(Series::new("Titan", culda_series(&corpus, Platform::maxwell(), iters)));
-        fig.push(Series::new("Pascal", culda_series(&corpus, Platform::pascal(), iters)));
-        fig.push(Series::new("Volta", culda_series(&corpus, Platform::volta(), iters)));
+        fig.push(Series::new(
+            "Titan",
+            culda_series(&corpus, Platform::maxwell(), iters),
+        ));
+        fig.push(Series::new(
+            "Pascal",
+            culda_series(&corpus, Platform::pascal(), iters),
+        ));
+        fig.push(Series::new(
+            "Volta",
+            culda_series(&corpus, Platform::volta(), iters),
+        ));
         fig.push(Series::new("WarpLDA", warplda_series(&corpus, iters)));
         fig.push(Series::new("SaberLDA~", saber_series(&corpus, iters)));
         if name == "PubMed" {
@@ -85,12 +97,12 @@ fn main() {
                 .find(|p| p.1 >= target)
                 .map(|p| format!("{:.3}s", p.0))
                 .unwrap_or_else(|| "not reached".into());
-            println!("  {:<10} reaches Titan-final loglik ({target:.3}) at {reach}", s.name);
+            println!(
+                "  {:<10} reaches Titan-final loglik ({target:.3}) at {reach}",
+                s.name
+            );
         }
         println!();
-        write_result(
-            &format!("fig8_{}.csv", name.to_lowercase()),
-            &fig.to_csv(),
-        );
+        write_result(&format!("fig8_{}.csv", name.to_lowercase()), &fig.to_csv());
     }
 }

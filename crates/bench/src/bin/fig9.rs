@@ -74,7 +74,10 @@ fn main() {
     speedup_fig.push(Series::new("CuLDA_CGS", pts.clone()));
     speedup_fig.push(Series::new(
         "Linear",
-        scaling.iter().map(|(g, _)| (*g as f64, *g as f64)).collect(),
+        scaling
+            .iter()
+            .map(|(g, _)| (*g as f64, *g as f64))
+            .collect(),
     ));
 
     let s2 = pts[1].1;

@@ -57,10 +57,7 @@ fn main() {
     }
     println!(
         "\nShape check: sampling dominates on every platform — {}",
-        if measured
-            .iter()
-            .all(|b| b.fraction(Phase::Sampling) > 0.5)
-        {
+        if measured.iter().all(|b| b.fraction(Phase::Sampling) > 0.5) {
             "HOLDS (paper: 79.4%–87.9%)"
         } else {
             "VIOLATED"

@@ -3,11 +3,12 @@
 use crate::args::{ArgError, Args};
 use culda_corpus::{read_uci, write_uci, Corpus, SynthSpec};
 use culda_gpusim::Platform;
-use culda_metrics::format_tokens_per_sec;
+use culda_metrics::{format_tokens_per_sec, MetricsRegistry, TraceSink};
 use culda_multigpu::{CuldaTrainer, TrainerConfig};
 use culda_sampler::{load_phi, save_phi, FoldIn};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
+use std::sync::Arc;
 
 /// Any command error: bad arguments or I/O.
 pub type CmdResult = Result<(), Box<dyn std::error::Error>>;
@@ -32,10 +33,20 @@ USAGE:
   culda info     --model M.phi
   culda profile  --docword PATH --vocab PATH [--topics K] [--iters N]
                  [--platform maxwell|pascal|volta] [--gpus G] [--workers N]
+  culda trace    --preset <tiny|nytimes|pubmed> [--scale F] [--seed N]
+                 [--topics K] [--iters N] [--platform maxwell|pascal|volta]
+                 [--gpus G] [--workers N]
+                 [--trace-out trace.json] [--metrics-out metrics.json]
 
 `--workers N` sets the host threads each simulated GPU uses to execute
 its thread blocks. Results are bit-identical for any value; only host
 wall-clock changes.
+
+`culda profile` reports each kernel's achieved bandwidth as a percent of
+the platform's DRAM roofline, plus a metrics dashboard. `culda trace`
+runs a traced training session on a synthetic corpus and writes a
+Chrome-trace JSON (load it at https://ui.perfetto.dev) alongside a
+metrics snapshot. `trace` defaults to the pascal platform (4 GPUs).
 ";
 
 fn load_corpus(args: &Args) -> Result<Corpus, Box<dyn std::error::Error>> {
@@ -49,7 +60,11 @@ fn load_corpus(args: &Args) -> Result<Corpus, Box<dyn std::error::Error>> {
 }
 
 fn platform(args: &Args) -> Result<Platform, Box<dyn std::error::Error>> {
-    let name = args.get_or("platform", "volta");
+    platform_or(args, "volta")
+}
+
+fn platform_or(args: &Args, default: &str) -> Result<Platform, Box<dyn std::error::Error>> {
+    let name = args.get_or("platform", default);
     let mut p = match name {
         "maxwell" | "titan" => Platform::maxwell(),
         "pascal" => Platform::pascal(),
@@ -69,7 +84,10 @@ fn platform(args: &Args) -> Result<Platform, Box<dyn std::error::Error>> {
 
 /// Applies the `--workers N` flag (host threads per simulated device) to a
 /// trainer config. Absent flag = simulator default.
-fn apply_workers(args: &Args, cfg: TrainerConfig) -> Result<TrainerConfig, Box<dyn std::error::Error>> {
+fn apply_workers(
+    args: &Args,
+    cfg: TrainerConfig,
+) -> Result<TrainerConfig, Box<dyn std::error::Error>> {
     let workers: usize = args.num_or("workers", 0)?;
     if args.require("workers").is_ok() && workers == 0 {
         return Err(err("--workers must be at least 1"));
@@ -81,18 +99,25 @@ fn apply_workers(args: &Args, cfg: TrainerConfig) -> Result<TrainerConfig, Box<d
     })
 }
 
-/// `culda generate` — write a synthetic corpus in UCI format.
-pub fn generate(args: &Args) -> CmdResult {
+/// Parses `--preset`, `--scale` and `--seed` into a synthetic-corpus spec.
+/// Accepts both the short preset names and the `_like` spellings used by
+/// the corpus crate.
+fn synth_spec(args: &Args) -> Result<SynthSpec, Box<dyn std::error::Error>> {
     let scale: f64 = args.num_or("scale", 0.001)?;
     let seed: u64 = args.num_or("seed", 0xC01DA)?;
     let mut spec = match args.get_or("preset", "tiny") {
         "tiny" => SynthSpec::tiny(),
-        "nytimes" => SynthSpec::nytimes_like(scale),
-        "pubmed" => SynthSpec::pubmed_like(scale),
+        "nytimes" | "nytimes_like" => SynthSpec::nytimes_like(scale),
+        "pubmed" | "pubmed_like" => SynthSpec::pubmed_like(scale),
         other => return Err(err(format!("unknown preset {other:?}"))),
     };
     spec.seed = seed;
-    let corpus = spec.generate();
+    Ok(spec)
+}
+
+/// `culda generate` — write a synthetic corpus in UCI format.
+pub fn generate(args: &Args) -> CmdResult {
+    let corpus = synth_spec(args)?.generate();
     let docword = args.require("docword")?;
     let vocab = args.require("vocab")?;
     write_uci(
@@ -136,7 +161,10 @@ pub fn train(args: &Args) -> CmdResult {
                 cfg,
                 BufReader::new(File::open(state_path)?),
             )?;
-            println!("resumed from {state_path} at iteration {}", t.iterations_done());
+            println!(
+                "resumed from {state_path} at iteration {}",
+                t.iterations_done()
+            );
             t
         }
         Err(_) => CuldaTrainer::new(&corpus, cfg),
@@ -152,7 +180,10 @@ pub fn train(args: &Args) -> CmdResult {
             );
         }
     }
-    save_phi(trainer.global_phi(), BufWriter::new(File::create(model_path)?))?;
+    save_phi(
+        trainer.global_phi(),
+        BufWriter::new(File::create(model_path)?),
+    )?;
     if let Ok(state_path) = args.require("save-state") {
         culda_multigpu::save_training(&trainer, BufWriter::new(File::create(state_path)?))?;
         println!("training state saved to {state_path}");
@@ -220,9 +251,14 @@ pub fn info(args: &Args) -> CmdResult {
     println!("CuLDA phi checkpoint");
     println!("  topics (K):     {}", model.num_topics);
     println!("  vocabulary (V): {}", model.vocab_size);
-    println!("  alpha / beta:   {} / {}", model.priors.alpha, model.priors.beta);
+    println!(
+        "  alpha / beta:   {} / {}",
+        model.priors.alpha, model.priors.beta
+    );
     println!("  total tokens:   {tokens}");
-    let nonzero = (0..model.phi.len()).filter(|&i| model.phi.load(i) != 0).count();
+    let nonzero = (0..model.phi.len())
+        .filter(|&i| model.phi.load(i) != 0)
+        .count();
     println!(
         "  phi density:    {:.2}% ({nonzero} of {} entries)",
         100.0 * nonzero as f64 / model.phi.len() as f64,
@@ -232,12 +268,15 @@ pub fn info(args: &Args) -> CmdResult {
 }
 
 /// `culda profile` — run a few iterations and print the per-kernel launch
-/// profile plus the Table 5-style phase breakdown.
+/// profile (with roofline attainment), the Table 5-style phase breakdown,
+/// and a metrics dashboard.
 pub fn profile_cmd(args: &Args) -> CmdResult {
     let corpus = load_corpus(args)?;
     let topics: usize = args.num_or("topics", 64)?;
     let iters: u32 = args.num_or("iters", 5)?;
     let platform = platform(args)?;
+    let roof_gbps = platform.gpu.mem_bandwidth_gbps;
+    let platform_name = platform.name;
     let cfg = apply_workers(
         args,
         TrainerConfig::new(topics, platform)
@@ -245,11 +284,16 @@ pub fn profile_cmd(args: &Args) -> CmdResult {
             .with_score_every(0),
     )?;
     let mut trainer = CuldaTrainer::new(&corpus, cfg);
+    let registry = Arc::new(MetricsRegistry::new());
+    trainer.attach_observability(None, Some(registry.clone()));
     for _ in 0..iters {
         trainer.step();
     }
-    println!("kernel profile over {iters} iterations:\n");
-    print!("{}", trainer.profile().render());
+    println!(
+        "kernel profile over {iters} iterations \
+         (roof% = share of {platform_name} {roof_gbps} GB/s DRAM peak):\n"
+    );
+    print!("{}", trainer.profile().render_with_roof(roof_gbps));
     println!("\nphase breakdown (Table 5 form):");
     for (phase, pct) in trainer.breakdown().percent_rows() {
         println!("  {:<14} {pct:>6.1}%", phase.name());
@@ -260,10 +304,47 @@ pub fn profile_cmd(args: &Args) -> CmdResult {
     }
     println!(
         "\nthroughput: {}/s",
-        culda_metrics::format_tokens_per_sec(
-            trainer.history().avg_tokens_per_sec(iters as usize)
-        )
+        culda_metrics::format_tokens_per_sec(trainer.history().avg_tokens_per_sec(iters as usize))
     );
+    println!("\nmetrics dashboard:");
+    print!("{}", registry.render_dashboard());
+    Ok(())
+}
+
+/// `culda trace` — run a traced training session on a synthetic corpus and
+/// write a Perfetto-loadable Chrome trace plus a metrics snapshot.
+pub fn trace_cmd(args: &Args) -> CmdResult {
+    let corpus = synth_spec(args)?.generate();
+    let topics: usize = args.num_or("topics", 64)?;
+    let iters: u32 = args.num_or("iters", 3)?;
+    let seed: u64 = args.num_or("seed", 0xC01DA)?;
+    // Default to pascal so `--gpus 4` works without an explicit platform.
+    let platform = platform_or(args, "pascal")?;
+    let num_gpus = platform.num_gpus;
+    let trace_path = args.get_or("trace-out", "trace.json").to_string();
+    let metrics_path = args.get_or("metrics-out", "metrics.json").to_string();
+    let cfg = apply_workers(
+        args,
+        TrainerConfig::new(topics, platform)
+            .with_iterations(iters)
+            .with_score_every(0)
+            .with_seed(seed),
+    )?;
+    let mut trainer = CuldaTrainer::new(&corpus, cfg);
+    let sink = Arc::new(TraceSink::new());
+    let registry = Arc::new(MetricsRegistry::new());
+    trainer.attach_observability(Some(sink.clone()), Some(registry.clone()));
+    for _ in 0..iters {
+        trainer.step();
+    }
+    std::fs::write(&trace_path, sink.export_chrome_json())?;
+    std::fs::write(&metrics_path, registry.snapshot_json().render())?;
+    println!(
+        "traced {iters} iteration(s) over {} tokens on {num_gpus} GPU(s)",
+        corpus.num_tokens()
+    );
+    println!("trace written to {trace_path} (open at https://ui.perfetto.dev)");
+    println!("metrics snapshot written to {metrics_path}");
     Ok(())
 }
 
@@ -282,6 +363,7 @@ pub fn dispatch(args: &Args) -> CmdResult {
         Some("infer") => infer(args),
         Some("info") => info(args),
         Some("profile") => profile_cmd(args),
+        Some("trace") => trace_cmd(args),
         Some(other) => Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
         None => Err(err(USAGE.to_string())),
     }
@@ -382,7 +464,8 @@ mod tests {
         )
         .unwrap();
         assert_eq!(cfg.host_workers, Some(3));
-        let cfg = apply_workers(&args("train"), TrainerConfig::new(8, Platform::maxwell())).unwrap();
+        let cfg =
+            apply_workers(&args("train"), TrainerConfig::new(8, Platform::maxwell())).unwrap();
         assert_eq!(cfg.host_workers, None);
         // End to end through the train command.
         let docword = tmp("w.docword");
@@ -402,6 +485,31 @@ mod tests {
             model.display()
         )))
         .unwrap();
+    }
+
+    #[test]
+    fn trace_command_writes_trace_and_metrics_json() {
+        let trace_out = tmp("t.trace.json");
+        let metrics_out = tmp("t.metrics.json");
+        trace_cmd(&args(&format!(
+            "trace --preset nytimes_like --scale 0.0002 --gpus 4 --topics 8 \
+             --iters 2 --trace-out {} --metrics-out {}",
+            trace_out.display(),
+            metrics_out.display()
+        )))
+        .unwrap();
+        let doc = culda_metrics::Json::parse(&std::fs::read_to_string(&trace_out).unwrap())
+            .expect("trace.json must be valid JSON");
+        let events = doc.get("traceEvents").and_then(|e| e.as_arr()).unwrap();
+        assert!(!events.is_empty());
+        let metrics =
+            culda_metrics::Json::parse(&std::fs::read_to_string(&metrics_out).unwrap()).unwrap();
+        let launches = metrics
+            .get("counters")
+            .and_then(|c| c.get("kernel.launches"))
+            .and_then(|v| v.as_f64())
+            .unwrap();
+        assert!(launches > 0.0);
     }
 
     #[test]

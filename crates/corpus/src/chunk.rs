@@ -130,10 +130,7 @@ mod tests {
     use crate::vocab::Vocab;
 
     fn corpus_with_lengths(lens: &[usize]) -> Corpus {
-        let docs = lens
-            .iter()
-            .map(|&l| Document::new(vec![0u32; l]))
-            .collect();
+        let docs = lens.iter().map(|&l| Document::new(vec![0u32; l])).collect();
         Corpus::new(docs, Vocab::synthetic(1))
     }
 

@@ -190,7 +190,10 @@ impl CsrMatrix {
         assert_eq!(*self.row_ptr.last().unwrap(), self.cols.len());
         assert_eq!(self.cols.len(), self.vals.len());
         for r in 0..self.num_rows() {
-            assert!(self.row_ptr[r] <= self.row_ptr[r + 1], "row_ptr not monotone");
+            assert!(
+                self.row_ptr[r] <= self.row_ptr[r + 1],
+                "row_ptr not monotone"
+            );
             let (cols, vals) = self.row(r);
             for w in cols.windows(2) {
                 assert!(w[0] < w[1], "row {r} columns not strictly increasing");
@@ -210,10 +213,7 @@ mod tests {
     use super::*;
 
     fn sample() -> CsrMatrix {
-        CsrMatrix::from_dense_rows(
-            &[vec![0, 2, 0, 1], vec![0, 0, 0, 0], vec![5, 0, 0, 7]],
-            4,
-        )
+        CsrMatrix::from_dense_rows(&[vec![0, 2, 0, 1], vec![0, 0, 0, 0], vec![5, 0, 0, 7]], 4)
     }
 
     #[test]

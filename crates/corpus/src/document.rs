@@ -88,9 +88,10 @@ impl Corpus {
 
     /// Iterates `(doc_id, word_id)` over every token.
     pub fn tokens(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
-        self.docs.iter().enumerate().flat_map(|(d, doc)| {
-            doc.words.iter().map(move |&w| (d as u32, w))
-        })
+        self.docs
+            .iter()
+            .enumerate()
+            .flat_map(|(d, doc)| doc.words.iter().map(move |&w| (d as u32, w)))
     }
 }
 

@@ -103,7 +103,10 @@ pub fn read_uci<R1: BufRead, R2: BufRead>(docword: R1, vocab_lines: R2) -> io::R
     if vocab.len() > w {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("vocab has {} words but docword declared W = {w}", vocab.len()),
+            format!(
+                "vocab has {} words but docword declared W = {w}",
+                vocab.len()
+            ),
         ));
     }
     Ok(Corpus::new(docs, vocab))

@@ -16,8 +16,8 @@
 //!   log-likelihood curves are meaningful.
 
 use crate::document::{Corpus, Document};
-use crate::vocab::Vocab;
 use crate::rng::Xoshiro256;
+use crate::vocab::Vocab;
 
 /// Draws a standard normal via Box–Muller (we avoid `rand_distr`, which is
 /// outside the approved dependency set).
@@ -100,7 +100,9 @@ impl Discrete {
         let total = *self.cdf.last().unwrap();
         let u: f64 = rng.next_f64() * total;
         // partition_point returns the first index with cdf > u.
-        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
     }
 
     /// Number of outcomes.
@@ -255,8 +257,7 @@ mod tests {
         let mut rng = Xoshiro256::from_seed_stream(7, 0);
         for &shape in &[0.3, 1.0, 4.5] {
             let n = 20_000;
-            let mean: f64 =
-                (0..n).map(|_| sample_gamma(&mut rng, shape)).sum::<f64>() / n as f64;
+            let mean: f64 = (0..n).map(|_| sample_gamma(&mut rng, shape)).sum::<f64>() / n as f64;
             assert!(
                 (mean - shape).abs() < 0.1 * shape.max(0.5),
                 "shape {shape}: mean {mean}"

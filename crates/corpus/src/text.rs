@@ -32,12 +32,12 @@ impl Default for TextPipeline {
 /// UCI preprocessing used a similar list).
 pub fn default_stopwords() -> HashSet<String> {
     [
-        "the", "and", "for", "are", "but", "not", "you", "all", "any", "can", "her", "was",
-        "one", "our", "out", "has", "have", "had", "his", "she", "they", "them", "this",
-        "that", "with", "from", "will", "would", "there", "their", "what", "which", "when",
-        "who", "how", "were", "been", "being", "into", "than", "then", "its", "also", "these",
-        "those", "said", "each", "such", "some", "more", "most", "other", "about", "after",
-        "before", "between", "because", "does", "did", "doing", "your", "over", "under",
+        "the", "and", "for", "are", "but", "not", "you", "all", "any", "can", "her", "was", "one",
+        "our", "out", "has", "have", "had", "his", "she", "they", "them", "this", "that", "with",
+        "from", "will", "would", "there", "their", "what", "which", "when", "who", "how", "were",
+        "been", "being", "into", "than", "then", "its", "also", "these", "those", "said", "each",
+        "such", "some", "more", "most", "other", "about", "after", "before", "between", "because",
+        "does", "did", "doing", "your", "over", "under",
     ]
     .into_iter()
     .map(String::from)
@@ -62,13 +62,7 @@ impl TextPipeline {
         let mut vocab = Vocab::new();
         let docs: Vec<Document> = texts
             .into_iter()
-            .map(|text| {
-                Document::new(
-                    self.tokenize(text)
-                        .map(|tok| vocab.intern(&tok))
-                        .collect(),
-                )
-            })
+            .map(|text| Document::new(self.tokenize(text).map(|tok| vocab.intern(&tok)).collect()))
             .collect();
         let corpus = Corpus::new(docs, vocab);
         assert!(

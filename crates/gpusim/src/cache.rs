@@ -189,7 +189,7 @@ mod tests {
     #[test]
     fn working_set_beyond_capacity_thrashes() {
         let mut c = tiny(); // 256 B capacity
-        // Stream 4 KiB twice: second pass still misses everything.
+                            // Stream 4 KiB twice: second pass still misses everything.
         for pass in 0..2 {
             let mut missed = 0;
             for i in 0..64u64 {

@@ -15,7 +15,15 @@ use crate::link::Link;
 use crate::memory::{MemoryLedger, OomError, Reservation};
 use crate::platform::GpuSpec;
 use crate::profile::ProfileLog;
+use culda_metrics::{Json, MetricsRegistry, TraceSink};
 use std::sync::{Arc, Mutex};
+
+/// Observability sinks attached to a device (both optional).
+#[derive(Debug, Clone, Default)]
+struct Observability {
+    trace: Option<Arc<TraceSink>>,
+    metrics: Option<Arc<MetricsRegistry>>,
+}
 
 /// One GPU in the system.
 #[derive(Debug)]
@@ -28,6 +36,7 @@ pub struct Device {
     profile: Mutex<ProfileLog>,
     ledger: Arc<MemoryLedger>,
     workers: usize,
+    obs: Mutex<Observability>,
 }
 
 impl Device {
@@ -41,7 +50,36 @@ impl Device {
             profile: Mutex::new(ProfileLog::new()),
             ledger,
             workers: default_workers(),
+            obs: Mutex::new(Observability::default()),
         }
+    }
+
+    /// Attaches a trace sink: every subsequent launch emits a span on this
+    /// device's track (`pid` [`culda_metrics::SIM_PID`], `tid` = device id).
+    pub fn attach_trace(&self, sink: Arc<TraceSink>) {
+        self.obs.lock().unwrap().trace = Some(sink);
+    }
+
+    /// Attaches a metrics registry: launches record kernel counters and
+    /// bandwidth histograms, and kernel bodies can record through
+    /// [`BlockCtx::metrics`].
+    pub fn attach_metrics(&self, registry: Arc<MetricsRegistry>) {
+        self.obs.lock().unwrap().metrics = Some(registry);
+    }
+
+    /// Detaches both observability sinks.
+    pub fn detach_observability(&self) {
+        *self.obs.lock().unwrap() = Observability::default();
+    }
+
+    /// The attached trace sink, if any.
+    pub fn trace(&self) -> Option<Arc<TraceSink>> {
+        self.obs.lock().unwrap().trace.clone()
+    }
+
+    /// The attached metrics registry, if any.
+    pub fn metrics(&self) -> Option<Arc<MetricsRegistry>> {
+        self.obs.lock().unwrap().metrics.clone()
     }
 
     /// Overrides the host thread count used to execute blocks.
@@ -80,12 +118,60 @@ impl Device {
     where
         F: Fn(&mut BlockCtx) + Sync,
     {
-        let report = run_grid(&self.spec, &spec.name, spec.grid, self.workers, body);
-        self.clock.lock().unwrap().advance(report.sim_seconds);
+        let obs = self.obs.lock().unwrap().clone();
+        let report = run_grid(
+            &self.spec,
+            &spec.name,
+            spec.grid,
+            self.workers,
+            obs.metrics.as_ref(),
+            body,
+        );
+        // Read start and end under one lock so consecutive spans tile the
+        // clock exactly: computing `end - sim_seconds` after the advance
+        // can round below the previous span's end and break per-track
+        // timestamp monotonicity in the trace.
+        let (start, end) = {
+            let mut clock = self.clock.lock().unwrap();
+            let start = clock.now();
+            clock.advance(report.sim_seconds);
+            (start, clock.now())
+        };
         self.profile
             .lock()
             .unwrap()
             .push_tagged(&report, spec.phase, spec.stream);
+        if let Some(sink) = &obs.trace {
+            sink.span_sim(
+                self.id as u32,
+                &spec.name,
+                spec.phase.label(),
+                start,
+                end,
+                vec![
+                    ("grid".into(), Json::from(spec.grid)),
+                    ("stream".into(), Json::from(spec.stream)),
+                    ("phase".into(), Json::from(spec.phase.label())),
+                    (
+                        "dram_mb".into(),
+                        Json::Num(report.cost.dram_bytes() as f64 / 1e6),
+                    ),
+                    ("flops".into(), Json::from(report.cost.flops)),
+                    ("atomics".into(), Json::from(report.cost.atomics)),
+                    ("wall_ms".into(), Json::Num(report.wall_seconds * 1e3)),
+                ],
+            );
+        }
+        if let Some(reg) = &obs.metrics {
+            reg.counter("kernel.launches").inc();
+            reg.counter("kernel.dram_bytes")
+                .add(report.cost.dram_bytes());
+            reg.counter("kernel.atomic_adds").add(report.cost.atomics);
+            if report.sim_seconds > 0.0 {
+                reg.histogram(&format!("kernel.gbps.{}", spec.name))
+                    .record(report.cost.dram_bytes() as f64 / report.sim_seconds / 1e9);
+            }
+        }
         report
     }
 
@@ -219,6 +305,56 @@ mod tests {
         let drained = dev.take_profile();
         assert_eq!(drained.len(), 1);
         assert!(dev.profile().is_empty());
+    }
+
+    #[test]
+    fn attached_trace_gets_a_span_per_launch() {
+        use culda_metrics::EventKind;
+        let dev = Device::new(2, GpuSpec::titan_xp_pascal()).with_workers(2);
+        let sink = Arc::new(TraceSink::new());
+        dev.attach_trace(sink.clone());
+        dev.launch_spec(
+            KernelSpec::new("k", 4).with_phase(crate::launcher::LaunchPhase::Sampling),
+            |ctx| ctx.dram_read(1000),
+        );
+        dev.launch("k2", 4, |ctx| ctx.dram_read(1000));
+        let evs = sink.events();
+        let begins: Vec<_> = evs.iter().filter(|e| e.kind == EventKind::Begin).collect();
+        assert_eq!(begins.len(), 2);
+        assert!(begins.iter().all(|e| e.tid == 2));
+        assert_eq!(begins[0].cat, "sampling");
+        assert!(begins[0].args.iter().any(|(k, _)| k == "stream"));
+        // Span [start, end] matches the clock advance.
+        let ends: Vec<_> = evs.iter().filter(|e| e.kind == EventKind::End).collect();
+        assert!((ends[1].ts_us / 1e6 - dev.now()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attached_metrics_record_launch_counters() {
+        let dev = Device::new(0, GpuSpec::titan_x_maxwell()).with_workers(1);
+        let reg = Arc::new(MetricsRegistry::new());
+        dev.attach_metrics(reg.clone());
+        dev.launch("k", 4, |ctx| {
+            ctx.dram_read(1000);
+            ctx.atomic(3);
+        });
+        assert_eq!(reg.counter("kernel.launches").value(), 1);
+        assert_eq!(reg.counter("kernel.atomic_adds").value(), 12);
+        assert_eq!(reg.histogram("kernel.gbps.k").count(), 1);
+    }
+
+    #[test]
+    fn observability_does_not_change_report_or_clock() {
+        let plain = Device::new(0, GpuSpec::v100_volta()).with_workers(2);
+        let observed = Device::new(0, GpuSpec::v100_volta()).with_workers(2);
+        observed.attach_trace(Arc::new(TraceSink::new()));
+        observed.attach_metrics(Arc::new(MetricsRegistry::new()));
+        let a = plain.launch("k", 8, |ctx| ctx.dram_read(4096));
+        let b = observed.launch("k", 8, |ctx| ctx.dram_read(4096));
+        assert_eq!(a.sim_seconds.to_bits(), b.sim_seconds.to_bits());
+        assert_eq!(plain.now().to_bits(), observed.now().to_bits());
+        observed.detach_observability();
+        assert!(observed.trace().is_none() && observed.metrics().is_none());
     }
 
     #[test]

@@ -14,8 +14,9 @@
 use crate::cost::{KernelCost, TrafficCounter};
 use crate::platform::GpuSpec;
 use crate::shared::SharedMem;
-use std::sync::Mutex;
+use culda_metrics::MetricsRegistry;
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Execution context handed to a kernel closure, one per thread block.
 #[derive(Debug)]
@@ -27,9 +28,19 @@ pub struct BlockCtx {
     /// The block's shared-memory arena (budget = the GPU's per-block limit).
     pub shared: SharedMem,
     traffic: TrafficCounter,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl BlockCtx {
+    /// The metrics registry attached to the launching device, if any.
+    ///
+    /// Kernels that record hot-path metrics should resolve instrument
+    /// handles from this *once per block*, before their token loop, and
+    /// branch on `None` otherwise — the unobserved cost is a single branch.
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.metrics.as_deref()
+    }
+
     /// Counts `bytes` read from device DRAM.
     #[inline]
     pub fn dram_read(&mut self, bytes: usize) {
@@ -93,7 +104,18 @@ pub fn default_workers() -> usize {
 /// Blocks are dispatched in ascending id order. The closure must be `Sync`:
 /// cross-block mutation goes through the atomic buffers in
 /// [`crate::memory`], exactly as CUDA kernels mutate global memory.
-pub fn run_grid<F>(gpu: &GpuSpec, name: &str, num_blocks: u32, workers: usize, body: F) -> LaunchReport
+///
+/// `metrics`, when present, is handed to each block via
+/// [`BlockCtx::metrics`] so kernels can record hot-path instruments;
+/// recording never affects traffic counting or modelled time.
+pub fn run_grid<F>(
+    gpu: &GpuSpec,
+    name: &str,
+    num_blocks: u32,
+    workers: usize,
+    metrics: Option<&Arc<MetricsRegistry>>,
+    body: F,
+) -> LaunchReport
 where
     F: Fn(&mut BlockCtx) + Sync,
 {
@@ -117,6 +139,7 @@ where
                         grid_blocks: num_blocks,
                         shared: SharedMem::new(gpu.shared_mem_per_block),
                         traffic: TrafficCounter::default(),
+                        metrics: metrics.cloned(),
                     };
                     body(&mut ctx);
                     local.merge(&ctx.traffic.into_cost());
@@ -149,7 +172,7 @@ mod tests {
     #[test]
     fn every_block_runs_exactly_once() {
         let hits = AtomicU32Buf::zeros(100);
-        let report = run_grid(&gpu(), "touch", 100, 4, |ctx| {
+        let report = run_grid(&gpu(), "touch", 100, 4, None, |ctx| {
             hits.fetch_add(ctx.block_id as usize, 1);
             ctx.dram_write(4);
         });
@@ -160,7 +183,7 @@ mod tests {
 
     #[test]
     fn traffic_aggregates_across_blocks() {
-        let report = run_grid(&gpu(), "traffic", 10, 3, |ctx| {
+        let report = run_grid(&gpu(), "traffic", 10, 3, None, |ctx| {
             ctx.dram_read(100);
             ctx.shared_access(50);
             ctx.flop(7);
@@ -177,7 +200,7 @@ mod tests {
     #[test]
     fn shared_memory_budget_is_per_block() {
         // Each block may use the full 48 KiB; ten blocks do not conflict.
-        run_grid(&gpu(), "shared", 10, 4, |ctx| {
+        run_grid(&gpu(), "shared", 10, 4, None, |ctx| {
             let buf: Vec<f32> = ctx.shared.alloc(12 * 1024 - 1); // ~48 KiB
             assert_eq!(buf.len(), 12 * 1024 - 1);
         });
@@ -186,7 +209,7 @@ mod tests {
     #[test]
     fn concurrent_blocks_share_device_memory_atomically() {
         let counter = AtomicU32Buf::zeros(1);
-        run_grid(&gpu(), "atomics", 64, 8, |ctx| {
+        run_grid(&gpu(), "atomics", 64, 8, None, |ctx| {
             for _ in 0..100 {
                 counter.fetch_add(0, 1);
             }
@@ -198,7 +221,7 @@ mod tests {
     #[test]
     fn block_ids_cover_grid() {
         let seen = AtomicU32Buf::zeros(33);
-        run_grid(&gpu(), "ids", 33, 5, |ctx| {
+        run_grid(&gpu(), "ids", 33, 5, None, |ctx| {
             assert!(ctx.block_id < ctx.grid_blocks);
             assert_eq!(ctx.grid_blocks, 33);
             seen.fetch_add(ctx.block_id as usize, 1);
@@ -209,6 +232,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty grid")]
     fn empty_grid_rejected() {
-        run_grid(&gpu(), "none", 0, 1, |_| {});
+        run_grid(&gpu(), "none", 0, 1, None, |_| {});
     }
 }

@@ -68,3 +68,7 @@ pub use platform::{GpuSpec, Platform};
 pub use profile::{KernelSummary, LaunchRecord, ProfileLog};
 pub use shared::SharedMem;
 pub use stream::{pipelined_seconds, serial_seconds, EnginePipeline, Stage};
+
+// Observability sinks devices accept (re-exported from culda-metrics so
+// substrate users need not name that crate).
+pub use culda_metrics::{MetricsRegistry, TraceSink};

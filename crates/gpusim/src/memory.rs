@@ -14,9 +14,9 @@
 //!    atomicity — each iteration ends with a real synchronization point,
 //!    the thread join, which publishes everything).
 
-use std::sync::Mutex;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Device memory exhausted.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -119,7 +119,9 @@ impl Reservation {
 
 impl Drop for Reservation {
     fn drop(&mut self) {
-        self.ledger.allocated.fetch_sub(self.bytes, Ordering::Relaxed);
+        self.ledger
+            .allocated
+            .fetch_sub(self.bytes, Ordering::Relaxed);
     }
 }
 
@@ -184,7 +186,10 @@ impl AtomicU32Buf {
 
     /// Snapshot into a plain vector (between kernels; no concurrent writers).
     pub fn snapshot(&self) -> Vec<u32> {
-        self.cells.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+        self.cells
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Overwrites all cells from a slice (between kernels).
@@ -255,7 +260,10 @@ impl AtomicU16Buf {
 
     /// Snapshot into a plain vector (between kernels).
     pub fn snapshot(&self) -> Vec<u16> {
-        self.cells.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+        self.cells
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
     }
 }
 

@@ -125,10 +125,7 @@ impl GpuCluster {
 
     /// Latest clock among devices (current system time).
     pub fn system_time(&self) -> f64 {
-        self.devices
-            .iter()
-            .map(Device::now)
-            .fold(0.0f64, f64::max)
+        self.devices.iter().map(Device::now).fold(0.0f64, f64::max)
     }
 
     /// Resets all device clocks.

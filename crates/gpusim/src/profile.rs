@@ -8,6 +8,7 @@
 use crate::cost::KernelCost;
 use crate::kernel::LaunchReport;
 use crate::launcher::LaunchPhase;
+use std::collections::HashMap;
 
 /// One profiled launch (a thin record of [`LaunchReport`]).
 #[derive(Debug, Clone)]
@@ -18,6 +19,8 @@ pub struct LaunchRecord {
     pub cost: KernelCost,
     /// Modelled seconds.
     pub sim_seconds: f64,
+    /// Host wall-clock seconds the simulated launch took to execute.
+    pub wall_seconds: f64,
     /// Algorithmic phase tag from the launch spec.
     pub phase: LaunchPhase,
     /// Stream the launch was placed on.
@@ -33,6 +36,8 @@ pub struct KernelSummary {
     pub launches: u32,
     /// Total modelled seconds.
     pub total_seconds: f64,
+    /// Total host wall-clock seconds spent executing on the simulator.
+    pub wall_seconds: f64,
     /// Total DRAM bytes.
     pub dram_bytes: u64,
     /// Total flops.
@@ -64,6 +69,7 @@ impl ProfileLog {
             name: report.name.clone(),
             cost: report.cost,
             sim_seconds: report.sim_seconds,
+            wall_seconds: report.wall_seconds,
             phase,
             stream,
         });
@@ -100,25 +106,34 @@ impl ProfileLog {
         self.records.is_empty()
     }
 
-    /// Aggregates by kernel name, ordered by descending total time.
+    /// Aggregates by kernel name, ordered by descending total time. Name
+    /// lookup goes through a `HashMap`, so building the summary is linear in
+    /// the number of records; ties keep first-launch order (stable sort).
     pub fn summaries(&self) -> Vec<KernelSummary> {
         let mut by_name: Vec<KernelSummary> = Vec::new();
+        let mut index: HashMap<&str, usize> = HashMap::new();
         for r in &self.records {
-            match by_name.iter_mut().find(|s| s.name == r.name) {
-                Some(s) => {
+            match index.get(r.name.as_str()) {
+                Some(&i) => {
+                    let s = &mut by_name[i];
                     s.launches += 1;
                     s.total_seconds += r.sim_seconds;
+                    s.wall_seconds += r.wall_seconds;
                     s.dram_bytes += r.cost.dram_bytes();
                     s.flops += r.cost.flops;
                 }
-                None => by_name.push(KernelSummary {
-                    name: r.name.clone(),
-                    launches: 1,
-                    total_seconds: r.sim_seconds,
-                    dram_bytes: r.cost.dram_bytes(),
-                    flops: r.cost.flops,
-                    effective_gbps: 0.0,
-                }),
+                None => {
+                    index.insert(r.name.as_str(), by_name.len());
+                    by_name.push(KernelSummary {
+                        name: r.name.clone(),
+                        launches: 1,
+                        total_seconds: r.sim_seconds,
+                        wall_seconds: r.wall_seconds,
+                        dram_bytes: r.cost.dram_bytes(),
+                        flops: r.cost.flops,
+                        effective_gbps: 0.0,
+                    });
+                }
             }
         }
         for s in &mut by_name {
@@ -134,25 +149,49 @@ impl ProfileLog {
 
     /// A profiler-style text table.
     pub fn render(&self) -> String {
+        self.render_impl(None)
+    }
+
+    /// Like [`ProfileLog::render`], with an extra `roof%` column giving each
+    /// kernel's effective bandwidth as a percentage of `peak_gbps` — the
+    /// selected platform's memory-bandwidth roofline.
+    pub fn render_with_roof(&self, peak_gbps: f64) -> String {
+        self.render_impl(Some(peak_gbps))
+    }
+
+    fn render_impl(&self, roof_gbps: Option<f64>) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         let total: f64 = self.records.iter().map(|r| r.sim_seconds).sum();
-        let _ = writeln!(
+        let _ = write!(
             out,
-            "{:<22} {:>9} {:>12} {:>12} {:>10} {:>7}",
-            "kernel", "launches", "time (ms)", "DRAM (MB)", "GB/s", "share"
+            "{:<22} {:>9} {:>12} {:>10} {:>12} {:>10} {:>7}",
+            "kernel", "launches", "time (ms)", "wall (ms)", "DRAM (MB)", "GB/s", "share"
         );
+        if roof_gbps.is_some() {
+            let _ = write!(out, " {:>7}", "roof%");
+        }
+        out.push('\n');
         for s in self.summaries() {
-            let _ = writeln!(
+            let _ = write!(
                 out,
-                "{:<22} {:>9} {:>12.3} {:>12.2} {:>10.1} {:>6.1}%",
+                "{:<22} {:>9} {:>12.3} {:>10.3} {:>12.2} {:>10.1} {:>6.1}%",
                 s.name,
                 s.launches,
                 s.total_seconds * 1e3,
+                s.wall_seconds * 1e3,
                 s.dram_bytes as f64 / 1e6,
                 s.effective_gbps,
                 100.0 * s.total_seconds / total.max(f64::MIN_POSITIVE),
             );
+            if let Some(roof) = roof_gbps {
+                let _ = write!(
+                    out,
+                    " {:>6.1}%",
+                    100.0 * s.effective_gbps / roof.max(f64::MIN_POSITIVE)
+                );
+            }
+            out.push('\n');
         }
         out
     }
@@ -213,6 +252,40 @@ mod tests {
         assert!(table.contains("a"));
         assert!(table.contains("75.0%"));
         assert!(table.contains("25.0%"));
+    }
+
+    #[test]
+    fn wall_seconds_is_carried_through_to_summaries() {
+        let mut log = ProfileLog::new();
+        let mut r = report("k", 0.5, 100);
+        r.wall_seconds = 0.002;
+        log.push(&r);
+        r.wall_seconds = 0.003;
+        log.push(&r);
+        let s = &log.summaries()[0];
+        assert!((s.wall_seconds - 0.005).abs() < 1e-12);
+        assert!((log.records()[0].wall_seconds - 0.002).abs() < 1e-12);
+        assert!(log.render().contains("wall (ms)"));
+    }
+
+    #[test]
+    fn render_with_roof_reports_attainment() {
+        let mut log = ProfileLog::new();
+        // 100 GB in 1 s = 100 GB/s; against a 200 GB/s roof → 50.0%.
+        log.push(&report("k", 1.0, 100_000_000_000));
+        let table = log.render_with_roof(200.0);
+        assert!(table.contains("roof%"));
+        assert!(table.contains("50.0%"));
+        assert!(!log.render().contains("roof%"));
+    }
+
+    #[test]
+    fn summaries_tie_break_keeps_first_launch_order() {
+        let mut log = ProfileLog::new();
+        log.push(&report("b_first", 0.5, 1));
+        log.push(&report("a_second", 0.5, 1));
+        let names: Vec<_> = log.summaries().into_iter().map(|s| s.name).collect();
+        assert_eq!(names, ["b_first", "a_second"]);
     }
 
     #[test]

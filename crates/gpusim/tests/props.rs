@@ -56,7 +56,10 @@ fn pipeline_is_never_slower_than_serial_nor_faster_than_any_engine() {
         let comp: f64 = stages.iter().map(|s| s.compute_seconds).sum();
         let d2h: f64 = stages.iter().map(|s| s.d2h_seconds).sum();
         let floor = h2d.max(comp).max(d2h);
-        assert!(pipe >= floor - 1e-9, "pipeline {pipe} < engine floor {floor}");
+        assert!(
+            pipe >= floor - 1e-9,
+            "pipeline {pipe} < engine floor {floor}"
+        );
     }
 }
 

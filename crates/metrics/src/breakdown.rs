@@ -66,7 +66,10 @@ impl Breakdown {
 
     /// Adds `seconds` of simulated time to `phase`.
     pub fn add(&mut self, phase: Phase, seconds: f64) {
-        assert!(seconds >= 0.0 && seconds.is_finite(), "bad duration {seconds}");
+        assert!(
+            seconds >= 0.0 && seconds.is_finite(),
+            "bad duration {seconds}"
+        );
         self.seconds[phase.index()] += seconds;
     }
 

@@ -116,14 +116,7 @@ mod tests {
     #[test]
     fn cooccurring_topics_score_higher() {
         // Words 0,1,2 always together; words 3,4,5 never together.
-        let idx = index(&[
-            &[0, 1, 2],
-            &[0, 1, 2],
-            &[0, 1, 2],
-            &[3],
-            &[4],
-            &[5],
-        ]);
+        let idx = index(&[&[0, 1, 2], &[0, 1, 2], &[0, 1, 2], &[3], &[4], &[5]]);
         let coherent = idx.umass_coherence(&[0, 1, 2], 1.0);
         let incoherent = idx.umass_coherence(&[3, 4, 5], 1.0);
         assert!(

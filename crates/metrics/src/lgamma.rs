@@ -92,10 +92,9 @@ pub fn digamma(x: f64) -> f64 {
     let inv = 1.0 / x;
     let inv2 = inv * inv;
     // Asymptotic: ln x − 1/(2x) − Σ B_{2n} / (2n x^{2n})
-    acc + x.ln() - 0.5 * inv
-        - inv2
-            * (1.0 / 12.0
-                - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0))))
+    acc + x.ln()
+        - 0.5 * inv
+        - inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0))))
 }
 
 #[cfg(test)]

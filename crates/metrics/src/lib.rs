@@ -12,21 +12,30 @@
 //! * [`roofline`] — Flops/Byte analysis (Table 1, Section 3.1).
 //! * [`coherence`] — UMass topic coherence (quality extension).
 //! * [`series`] — named curves + CSV/ASCII emitters for the figure harnesses.
+//! * [`json`] — a dependency-free JSON value (build / render / parse).
+//! * [`registry`] — hot-path counters, gauges, log-bucketed histograms.
+//! * [`trace`] — Chrome Trace Event Format timelines (Perfetto-loadable).
 
 #![warn(missing_docs)]
 
 pub mod breakdown;
 pub mod coherence;
+pub mod json;
 pub mod lgamma;
 pub mod loglik;
+pub mod registry;
 pub mod roofline;
 pub mod series;
 pub mod throughput;
+pub mod trace;
 
 pub use breakdown::{Breakdown, GpuBreakdowns, Phase};
 pub use coherence::CoOccurrence;
+pub use json::Json;
 pub use lgamma::{digamma, ln_gamma, ln_gamma_ratio};
 pub use loglik::LdaLoglik;
+pub use registry::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use roofline::{Roofline, SamplingStep};
 pub use series::{Figure, Series};
 pub use throughput::{format_tokens_per_sec, IterationStat, RunHistory};
+pub use trace::{EventKind, TraceEvent, TraceSink, HOST_PID, SIM_PID, SYNC_TID};

@@ -59,7 +59,11 @@ impl LdaLoglik {
     ///
     /// `nonzero_counts` may arrive in any order; entries equal to zero are
     /// permitted (they contribute nothing) so callers can stream dense rows.
-    pub fn topic_term<I: IntoIterator<Item = u32>>(&self, nonzero_counts: I, topic_total: u64) -> f64 {
+    pub fn topic_term<I: IntoIterator<Item = u32>>(
+        &self,
+        nonzero_counts: I,
+        topic_total: u64,
+    ) -> f64 {
         let v_beta = self.beta * self.vocab_size as f64;
         let mut acc = ln_gamma(v_beta) - ln_gamma(topic_total as f64 + v_beta);
         let mut seen: u64 = 0;

@@ -69,7 +69,12 @@ impl Figure {
     /// Long-format CSV: header then one row per point.
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "series,{},{}", csv_field(&self.x_label), csv_field(&self.y_label));
+        let _ = writeln!(
+            out,
+            "series,{},{}",
+            csv_field(&self.x_label),
+            csv_field(&self.y_label)
+        );
         for s in &self.series {
             for &(x, y) in &s.points {
                 let _ = writeln!(out, "{},{x},{y}", csv_field(&s.name));
@@ -81,7 +86,10 @@ impl Figure {
     /// A coarse ASCII rendering (one row per series, bar-chart of final y or
     /// sparkline of the curve) for terminal inspection.
     pub fn to_ascii(&self, width: usize) -> String {
-        const TICKS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+        const TICKS: [char; 8] = [
+            '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+            '\u{2588}',
+        ];
         let (lo, hi) = self
             .series
             .iter()
@@ -90,7 +98,11 @@ impl Figure {
                 (lo.min(a), hi.max(b))
             });
         let mut out = String::new();
-        let _ = writeln!(out, "# {} ({} vs {})", self.title, self.y_label, self.x_label);
+        let _ = writeln!(
+            out,
+            "# {} ({} vs {})",
+            self.title, self.y_label, self.x_label
+        );
         if !lo.is_finite() {
             return out;
         }
@@ -165,7 +177,10 @@ mod tests {
     fn ascii_renders_without_panicking() {
         let mut fig = Figure::new("fig", "x", "y");
         fig.push(Series::new("flat", vec![(0.0, 1.0); 5]));
-        fig.push(Series::new("ramp", (0..50).map(|i| (i as f64, i as f64)).collect()));
+        fig.push(Series::new(
+            "ramp",
+            (0..50).map(|i| (i as f64, i as f64)).collect(),
+        ));
         fig.push(Series::new("empty", vec![]));
         let art = fig.to_ascii(40);
         assert!(art.contains("fig"));

@@ -189,8 +189,8 @@ mod tests {
         let mut h = RunHistory::new();
         h.push(stat(0, 100, 1.0)); // 100 t/s
         h.push(stat(1, 300, 1.0)); // 300 t/s
-        // total 400 tokens / 2 s = 200, not mean(100,300)=200 here; use an
-        // asymmetric case to distinguish:
+                                   // total 400 tokens / 2 s = 200, not mean(100,300)=200 here; use an
+                                   // asymmetric case to distinguish:
         h.push(stat(2, 1000, 0.5));
         // totals: 1400 tokens / 2.5 s = 560
         assert!((h.avg_tokens_per_sec(3) - 560.0).abs() < 1e-9);

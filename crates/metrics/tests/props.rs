@@ -129,3 +129,105 @@ fn breakdown_fractions_partition_unity() {
         assert!((pct - 100.0).abs() < 1e-6);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Log-bucketed histogram properties (observability layer).
+// ---------------------------------------------------------------------------
+
+use culda_metrics::registry::{MAX_EXP, MIN_EXP};
+use culda_metrics::Histogram;
+
+#[test]
+fn histogram_bucket_bounds_bracket_every_in_range_value() {
+    let mut g = Cases::new(7);
+    for _ in 0..512 {
+        // exp2 of a uniform exponent covers the whole bucketable range.
+        let v = g.f64_range(MIN_EXP as f64, MAX_EXP as f64).exp2();
+        let i = Histogram::bucket_index(v).expect("in-range value must land in a bucket");
+        let (lo, hi) = Histogram::bucket_bounds(i);
+        assert!(lo <= v && v < hi, "v = {v} outside [{lo}, {hi})");
+        // Power-of-two buckets: the upper bound is exactly twice the lower.
+        assert_eq!(hi, lo * 2.0);
+    }
+}
+
+#[test]
+fn histogram_bucket_boundaries_are_contiguous_and_exclusive_at_the_top() {
+    let buckets = (MAX_EXP - MIN_EXP) as usize;
+    for i in 0..buckets {
+        let (lo, hi) = Histogram::bucket_bounds(i);
+        // A bucket's lower bound belongs to it; its upper bound belongs to
+        // the next bucket (or overflows past the last one).
+        assert_eq!(Histogram::bucket_index(lo), Some(i));
+        if i + 1 < buckets {
+            assert_eq!(Histogram::bucket_bounds(i + 1).0, hi);
+            assert_eq!(Histogram::bucket_index(hi), Some(i + 1));
+        } else {
+            assert_eq!(Histogram::bucket_index(hi), None, "2^MAX_EXP overflows");
+        }
+    }
+    assert_eq!(Histogram::bucket_index((MIN_EXP as f64 - 0.5).exp2()), None);
+    assert_eq!(Histogram::bucket_index(0.0), None);
+    assert_eq!(Histogram::bucket_index(-1.0), None);
+}
+
+#[test]
+fn histogram_quantiles_are_monotone_and_bracket_recorded_values() {
+    let mut g = Cases::new(8);
+    for _ in 0..64 {
+        let h = Histogram::default();
+        let n = 1 + g.range(1, 400) as usize;
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for _ in 0..n {
+            let v = g.f64_range(-10.0, 10.0).exp2();
+            lo = lo.min(v);
+            hi = hi.max(v);
+            h.record(v);
+        }
+        assert_eq!(h.count(), n as u64);
+        let mut prev = 0.0;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let x = h.quantile(q).expect("non-empty histogram has quantiles");
+            assert!(x >= prev, "quantile must be monotone in q");
+            prev = x;
+            // Bucketed answers can be off by at most one bucket (2x) at
+            // either extreme of the recorded range.
+            assert!(
+                x >= lo / 2.0 && x <= hi * 2.0,
+                "q = {q}: {x} vs [{lo}, {hi}]"
+            );
+        }
+    }
+}
+
+#[test]
+fn histogram_single_value_quantiles_land_in_its_bucket() {
+    let mut g = Cases::new(9);
+    for _ in 0..128 {
+        let v = g.f64_range(-15.0, 15.0).exp2();
+        let h = Histogram::default();
+        h.record(v);
+        let (lo, hi) = Histogram::bucket_bounds(Histogram::bucket_index(v).unwrap());
+        for q in [0.0, 0.5, 1.0] {
+            let x = h.quantile(q).unwrap();
+            assert!(
+                x >= lo && x <= hi,
+                "quantile {x} outside bucket [{lo}, {hi}]"
+            );
+        }
+    }
+}
+
+#[test]
+fn histogram_out_of_range_values_are_counted_not_lost() {
+    let h = Histogram::default();
+    h.record(0.0);
+    h.record(-3.5);
+    h.record((MIN_EXP as f64 - 1.0).exp2());
+    h.record((MAX_EXP as f64).exp2());
+    h.record(f64::INFINITY);
+    assert_eq!(h.underflow(), 3);
+    assert_eq!(h.overflow(), 2);
+    assert_eq!(h.count(), 5);
+}

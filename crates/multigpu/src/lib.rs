@@ -43,4 +43,4 @@ pub use schedule::{chunk_owner, plan_partition, MemoryPlan};
 pub use sync::{sync_phi_replicas, sync_phi_ring, SyncReport};
 pub use trainer::{CuldaTrainer, TrainOutcome};
 pub use word_trainer::WordPartitionedTrainer;
-pub use worker::{run_workers, GpuWorker};
+pub use worker::{run_workers, run_workers_traced, GpuWorker};

@@ -61,9 +61,7 @@ impl PartitionedCorpus {
         let t = ch.num_tokens() as u64;
         // token_doc (4) + doc_token_idx (4) + z (2) per token, plus word and
         // doc pointer tables.
-        t * (4 + 4 + 2)
-            + (ch.word_ids.len() as u64) * (4 + 8)
-            + (ch.num_docs as u64 + 1) * 8
+        t * (4 + 4 + 2) + (ch.word_ids.len() as u64) * (4 + 8) + (ch.num_docs as u64 + 1) * 8
     }
 }
 

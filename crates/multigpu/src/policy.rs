@@ -15,8 +15,8 @@
 //! ablation harness prints the comparison for the synthetic corpora.
 
 use crate::config::TrainerConfig;
-use culda_gpusim::Link;
 use culda_corpus::Corpus;
+use culda_gpusim::Link;
 
 /// Per-iteration synchronization footprint of the two policies.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,11 +51,7 @@ impl PolicyComparison {
 pub fn compare_policies(corpus: &Corpus, cfg: &TrainerConfig) -> PolicyComparison {
     let k = cfg.num_topics;
     let phi_bytes = cfg.phi_device_bytes(corpus.vocab_size());
-    let theta_nnz: u64 = corpus
-        .docs
-        .iter()
-        .map(|d| d.len().min(k) as u64)
-        .sum();
+    let theta_nnz: u64 = corpus.docs.iter().map(|d| d.len().min(k) as u64).sum();
     let theta_bytes = theta_nnz * 6 + (corpus.num_docs() as u64 + 1) * 8;
     PolicyComparison {
         phi_bytes,
@@ -123,8 +119,8 @@ mod tests {
             16,
             2,
         );
-        let rel = (exact.theta_bytes as f64 - approx.theta_bytes as f64).abs()
-            / exact.theta_bytes as f64;
+        let rel =
+            (exact.theta_bytes as f64 - approx.theta_bytes as f64).abs() / exact.theta_bytes as f64;
         assert!(rel < 0.25, "analytic estimate off by {rel}");
         assert_eq!(exact.phi_bytes, approx.phi_bytes);
     }

@@ -89,7 +89,10 @@ pub fn resume_training<R: Read>(
     }
     let k = r64(&mut input)? as usize;
     if k != cfg.num_topics {
-        return Err(invalid(format!("checkpoint K = {k} != config K = {}", cfg.num_topics)));
+        return Err(invalid(format!(
+            "checkpoint K = {k} != config K = {}",
+            cfg.num_topics
+        )));
     }
     let iteration = r32(&mut input)?;
     let num_chunks = r64(&mut input)? as usize;
@@ -170,9 +173,7 @@ mod tests {
         let a: Vec<Vec<u16>> = straight.states().iter().map(|s| s.z.snapshot()).collect();
         let b: Vec<Vec<u16>> = resumed.states().iter().map(|s| s.z.snapshot()).collect();
         assert_eq!(a, b, "resume broke the chain");
-        assert!(
-            (straight.loglik_per_token() - resumed.loglik_per_token()).abs() < 1e-12
-        );
+        assert!((straight.loglik_per_token() - resumed.loglik_per_token()).abs() < 1e-12);
     }
 
     #[test]

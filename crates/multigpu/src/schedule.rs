@@ -42,10 +42,7 @@ pub fn chunk_state_bytes(part: &PartitionedCorpus, i: usize, num_topics: usize) 
 /// # Panics
 /// Panics if even the largest sensible `M` cannot fit (a single chunk plus
 /// the model exceeds device memory), or if a forced `M` does not fit.
-pub fn plan_partition(
-    corpus: &Corpus,
-    cfg: &TrainerConfig,
-) -> (PartitionedCorpus, MemoryPlan) {
+pub fn plan_partition(corpus: &Corpus, cfg: &TrainerConfig) -> (PartitionedCorpus, MemoryPlan) {
     let g = cfg.platform.num_gpus;
     let capacity = cfg.platform.gpu.memory_bytes;
     // Two ϕ buffers per GPU: the read snapshot and the write accumulator

@@ -79,8 +79,8 @@ pub fn sync_phi_replicas(
             i += 2 * stride;
         }
         if any {
-            reduce_seconds +=
-                link.transfer_seconds(bytes) + add_kernel_seconds(gpu, elements, cfg.phi_elem_bytes());
+            reduce_seconds += link.transfer_seconds(bytes)
+                + add_kernel_seconds(gpu, elements, cfg.phi_elem_bytes());
             rounds += 1;
         }
         stride *= 2;
@@ -158,7 +158,11 @@ pub fn sync_phi_ring(
     // the data per step, G−1 times = (G−1)/G of one full add).
     let step_bytes = bytes / g as u64;
     let per_step = link.transfer_seconds(step_bytes);
-    let adds = add_kernel_seconds(gpu, elements * (g as u64 - 1) / g as u64, cfg.phi_elem_bytes());
+    let adds = add_kernel_seconds(
+        gpu,
+        elements * (g as u64 - 1) / g as u64,
+        cfg.phi_elem_bytes(),
+    );
     SyncReport {
         reduce_seconds: (g as f64 - 1.0) * per_step + adds,
         broadcast_seconds: (g as f64 - 1.0) * per_step,
@@ -262,8 +266,18 @@ mod tests {
         for g in [1usize, 2, 3, 4, 8] {
             let tree_reps = replicas(g);
             let ring_reps = replicas(g);
-            sync_phi_replicas(&refs(&tree_reps), &Platform::pascal().gpu, &Link::pcie3(), &cfg());
-            sync_phi_ring(&refs(&ring_reps), &Platform::pascal().gpu, &Link::pcie3(), &cfg());
+            sync_phi_replicas(
+                &refs(&tree_reps),
+                &Platform::pascal().gpu,
+                &Link::pcie3(),
+                &cfg(),
+            );
+            sync_phi_ring(
+                &refs(&ring_reps),
+                &Platform::pascal().gpu,
+                &Link::pcie3(),
+                &cfg(),
+            );
             for (a, b) in tree_reps.iter().zip(&ring_reps) {
                 assert_eq!(a.phi.snapshot(), b.phi.snapshot(), "g = {g}");
                 assert_eq!(a.phi_sum.snapshot(), b.phi_sum.snapshot());
@@ -294,11 +308,11 @@ mod tests {
         let gpu = Platform::pascal().gpu;
         let link = Link::pcie3();
         let mut c = TrainerConfig::new(256, Platform::pascal());
-        let small =
-            sync_phi_replicas(&refs(&replicas_sized(2, 256, 2000)), &gpu, &link, &c).total_seconds();
+        let small = sync_phi_replicas(&refs(&replicas_sized(2, 256, 2000)), &gpu, &link, &c)
+            .total_seconds();
         c.compressed = false;
-        let big =
-            sync_phi_replicas(&refs(&replicas_sized(2, 256, 2000)), &gpu, &link, &c).total_seconds();
+        let big = sync_phi_replicas(&refs(&replicas_sized(2, 256, 2000)), &gpu, &link, &c)
+            .total_seconds();
         assert!(big > 1.5 * small, "big={big} small={small}");
     }
 }

@@ -31,14 +31,18 @@ use crate::config::TrainerConfig;
 use crate::partition::PartitionedCorpus;
 use crate::schedule::{chunk_owner, chunk_state_bytes, plan_partition, MemoryPlan};
 use crate::sync::{sync_phi_replicas, sync_phi_ring};
-use crate::worker::{run_workers, GpuWorker};
+use crate::worker::{run_workers_traced, GpuWorker};
 use culda_corpus::Corpus;
 use culda_gpusim::memory::Reservation;
 use culda_gpusim::{GpuCluster, Link, ProfileLog};
-use culda_metrics::{Breakdown, GpuBreakdowns, IterationStat, LdaLoglik, Phase, RunHistory};
+use culda_metrics::{
+    Breakdown, GpuBreakdowns, IterationStat, Json, LdaLoglik, MetricsRegistry, Phase, RunHistory,
+    TraceSink, SIM_PID, SYNC_TID,
+};
 use culda_sampler::{
     auto_tokens_per_block, build_block_map, BlockWork, ChunkState, IterationPlan, PhiModel, Priors,
 };
+use std::sync::Arc;
 
 /// Result of a completed training run.
 #[derive(Debug)]
@@ -65,6 +69,8 @@ pub struct CuldaTrainer {
     breakdown: Breakdown,
     profile: ProfileLog,
     iteration: u32,
+    trace: Option<Arc<TraceSink>>,
+    metrics: Option<Arc<MetricsRegistry>>,
     _residency: Vec<Reservation>,
 }
 
@@ -185,8 +191,43 @@ impl CuldaTrainer {
             breakdown: Breakdown::new(),
             profile: ProfileLog::new(),
             iteration: 0,
+            trace: None,
+            metrics: None,
             _residency: residency,
         }
+    }
+
+    /// Attaches observability sinks to the trainer and all worker devices:
+    /// every kernel launch then emits a trace span and records metrics,
+    /// iteration bodies get host-side spans, and the ϕ sync is drawn on its
+    /// own track with flow events from/to the participating devices. Pass
+    /// `None` to leave a domain unobserved. Tracing never perturbs RNG
+    /// streams, execution order, or the simulated clocks.
+    pub fn attach_observability(
+        &mut self,
+        trace: Option<Arc<TraceSink>>,
+        metrics: Option<Arc<MetricsRegistry>>,
+    ) {
+        for w in &self.workers {
+            if let Some(t) = &trace {
+                w.device.attach_trace(t.clone());
+            }
+            if let Some(m) = &metrics {
+                w.device.attach_metrics(m.clone());
+            }
+        }
+        self.trace = trace;
+        self.metrics = metrics;
+    }
+
+    /// The attached trace sink, if any.
+    pub fn trace_sink(&self) -> Option<Arc<TraceSink>> {
+        self.trace.clone()
+    }
+
+    /// The attached metrics registry, if any.
+    pub fn metrics_registry(&self) -> Option<Arc<MetricsRegistry>> {
+        self.metrics.clone()
     }
 
     /// The chosen memory plan (`M`, `C`, byte budgets).
@@ -311,8 +352,11 @@ impl CuldaTrainer {
             for (t, &v) in z.iter().enumerate() {
                 state.z.store(t, v);
             }
-            state.theta =
-                culda_sampler::build_theta_host(&self.part.chunks[ci], &state.z, self.cfg.num_topics);
+            state.theta = culda_sampler::build_theta_host(
+                &self.part.chunks[ci],
+                &state.z,
+                self.cfg.num_topics,
+            );
         }
         // Rebuild ϕ exactly as `new()` does.
         for w in &self.workers {
@@ -326,9 +370,13 @@ impl CuldaTrainer {
                 self.workers[wi].write_replica(),
             );
         }
-        let write_refs: Vec<&PhiModel> =
-            self.workers.iter().map(|w| w.write_replica()).collect();
-        let _ = sync_phi_replicas(&write_refs, &self.cfg.platform.gpu, &self.peer_link, &self.cfg);
+        let write_refs: Vec<&PhiModel> = self.workers.iter().map(|w| w.write_replica()).collect();
+        let _ = sync_phi_replicas(
+            &write_refs,
+            &self.cfg.platform.gpu,
+            &self.peer_link,
+            &self.cfg,
+        );
         drop(write_refs);
         for w in &self.workers {
             w.read_replica().copy_from(w.write_replica());
@@ -379,9 +427,12 @@ impl CuldaTrainer {
 
         // Spawn G workers — each runs its full iteration body concurrently.
         let reports = if concurrent {
-            run_workers(&mut self.workers, |_, w| {
-                w.run_iteration(part, cfg, plan, iteration, &host_link)
-            })
+            run_workers_traced(
+                &mut self.workers,
+                self.trace.as_deref(),
+                &format!("iter {iteration}"),
+                |_, w| w.run_iteration(part, cfg, plan, iteration, &host_link),
+            )
         } else {
             self.workers
                 .iter_mut()
@@ -409,12 +460,55 @@ impl CuldaTrainer {
         } else {
             sync_phi_replicas
         };
-        let write_refs: Vec<&PhiModel> =
-            self.workers.iter().map(|w| w.write_replica()).collect();
-        let sync = sync_fn(&write_refs, &self.cfg.platform.gpu, &self.peer_link, &self.cfg);
+        let write_refs: Vec<&PhiModel> = self.workers.iter().map(|w| w.write_replica()).collect();
+        let sync = sync_fn(
+            &write_refs,
+            &self.cfg.platform.gpu,
+            &self.peer_link,
+            &self.cfg,
+        );
         drop(write_refs);
         self.breakdown.add(Phase::SyncPhi, sync.total_seconds());
         let sync_end = sync_start + sync.total_seconds();
+
+        // Draw the sync on its own track. It overlaps the θ-update kernels
+        // (sync_start = max(ϕ_done) can precede a device's last θ span), so
+        // it cannot sit on a device track without breaking B/E nesting.
+        if let Some(sink) = &self.trace {
+            if self.workers.len() > 1 {
+                // Reduce: each device's ϕ contribution flows into the sync.
+                for (w, r) in self.workers.iter().zip(&reports) {
+                    let id = sink.new_flow_id();
+                    sink.flow_start(SIM_PID, w.device.id as u32, "phi_reduce", r.phi_done_at, id);
+                    sink.flow_finish(SIM_PID, SYNC_TID, "phi_reduce", sync_start, id);
+                }
+                sink.span_sim(
+                    SYNC_TID,
+                    &format!("phi_sync iter {iteration}"),
+                    "sync",
+                    sync_start,
+                    sync_end,
+                    vec![
+                        ("reduce_s".into(), Json::Num(sync.reduce_seconds)),
+                        ("broadcast_s".into(), Json::Num(sync.broadcast_seconds)),
+                        ("rounds".into(), Json::from(sync.rounds)),
+                        ("gpus".into(), Json::from(self.workers.len())),
+                    ],
+                );
+                // Broadcast: the merged ϕ flows back out to every device.
+                for w in &self.workers {
+                    let id = sink.new_flow_id();
+                    sink.flow_start(SIM_PID, SYNC_TID, "phi_broadcast", sync_end, id);
+                    sink.flow_finish(SIM_PID, w.device.id as u32, "phi_broadcast", sync_end, id);
+                    sink.instant_sim(w.device.id as u32, "phi_ready", "sync", sync_end);
+                }
+            }
+        }
+        if let Some(reg) = &self.metrics {
+            reg.counter("sync.rounds").add(sync.rounds as u64);
+            reg.histogram("sync.seconds").record(sync.total_seconds());
+        }
+
         for w in &self.workers {
             w.device.advance_to(sync_end);
         }
@@ -427,7 +521,8 @@ impl CuldaTrainer {
         }
 
         self.iteration += 1;
-        let scored = self.cfg.score_every > 0 && self.iteration.is_multiple_of(self.cfg.score_every);
+        let scored =
+            self.cfg.score_every > 0 && self.iteration.is_multiple_of(self.cfg.score_every);
         let stat = IterationStat {
             iteration: self.iteration - 1,
             tokens: self.part.num_tokens,
@@ -521,7 +616,11 @@ impl CuldaTrainer {
             assert_eq!(global.phi.load(i), fresh.phi.load(i), "phi[{i}] mismatch");
         }
         for t in 0..self.cfg.num_topics {
-            assert_eq!(global.phi_sum.load(t), fresh.phi_sum.load(t), "phi_sum[{t}]");
+            assert_eq!(
+                global.phi_sum.load(t),
+                fresh.phi_sum.load(t),
+                "phi_sum[{t}]"
+            );
         }
     }
 }
@@ -529,6 +628,7 @@ impl CuldaTrainer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::worker::run_workers;
     use culda_corpus::SynthSpec;
     use culda_gpusim::{GpuSpec, Platform};
 
@@ -578,8 +678,11 @@ mod tests {
                 }
             }
             let z: Vec<Vec<u16>> = t.states().iter().map(|s| s.z.snapshot()).collect();
-            let clocks: Vec<u64> =
-                t.workers().iter().map(|w| w.device.now().to_bits()).collect();
+            let clocks: Vec<u64> = t
+                .workers()
+                .iter()
+                .map(|w| w.device.now().to_bits())
+                .collect();
             (z, clocks, t.loglik_per_token().to_bits())
         };
         assert_eq!(run(false), run(true));
@@ -603,17 +706,16 @@ mod tests {
         let c = corpus();
         let mut t = CuldaTrainer::new(
             &c,
-            cfg(Platform::maxwell()).with_iterations(12).with_score_every(0),
+            cfg(Platform::maxwell())
+                .with_iterations(12)
+                .with_score_every(0),
         );
         let before = t.loglik_per_token();
         for _ in 0..12 {
             t.step();
         }
         let after = t.loglik_per_token();
-        assert!(
-            after > before + 0.01,
-            "no convergence: {before} → {after}"
-        );
+        assert!(after > before + 0.01, "no convergence: {before} → {after}");
     }
 
     #[test]
@@ -740,7 +842,11 @@ mod tests {
             resident.step();
         }
         out_of_core.check_invariants();
-        let za: Vec<Vec<u16>> = out_of_core.states().iter().map(|s| s.z.snapshot()).collect();
+        let za: Vec<Vec<u16>> = out_of_core
+            .states()
+            .iter()
+            .map(|s| s.z.snapshot())
+            .collect();
         let zb: Vec<Vec<u16>> = resident.states().iter().map(|s| s.z.snapshot()).collect();
         assert_eq!(za, zb, "out-of-core must compute identical assignments");
         // And the pipeline must actually pay transfer time each iteration.
@@ -760,7 +866,11 @@ mod tests {
             ..small_mem.gpu
         };
         let mut t = CuldaTrainer::new(&c, cfg(small_mem).with_score_every(0));
-        assert!(t.plan().m > 1, "expected out-of-core plan, got {}", t.plan().m);
+        assert!(
+            t.plan().m > 1,
+            "expected out-of-core plan, got {}",
+            t.plan().m
+        );
         t.step();
         t.check_invariants();
     }
@@ -837,10 +947,85 @@ mod tests {
     }
 
     #[test]
+    fn observability_attached_is_bit_identical_to_unobserved() {
+        let c = corpus();
+        let run = |observe: bool| {
+            let mut config = cfg(Platform::pascal().with_gpus(4)).with_score_every(0);
+            config.chunks_per_gpu = Some(1);
+            let mut t = CuldaTrainer::new(&c, config);
+            if observe {
+                t.attach_observability(
+                    Some(Arc::new(TraceSink::new())),
+                    Some(Arc::new(MetricsRegistry::new())),
+                );
+            }
+            for _ in 0..2 {
+                t.step();
+            }
+            let z: Vec<Vec<u16>> = t.states().iter().map(|s| s.z.snapshot()).collect();
+            let clocks: Vec<u64> = t
+                .workers()
+                .iter()
+                .map(|w| w.device.now().to_bits())
+                .collect();
+            (z, clocks, t.loglik_per_token().to_bits())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn trace_covers_devices_workers_and_sync() {
+        use culda_metrics::{EventKind, HOST_PID};
+        let c = corpus();
+        let mut config = cfg(Platform::pascal().with_gpus(4)).with_score_every(0);
+        config.chunks_per_gpu = Some(1);
+        let mut t = CuldaTrainer::new(&c, config);
+        let sink = Arc::new(TraceSink::new());
+        let reg = Arc::new(MetricsRegistry::new());
+        t.attach_observability(Some(sink.clone()), Some(reg.clone()));
+        for _ in 0..2 {
+            t.step();
+        }
+        let evs = sink.events();
+        // One kernel-span track per device, one host track per worker.
+        for tid in 0..4u32 {
+            assert!(
+                evs.iter()
+                    .any(|e| e.pid == SIM_PID && e.tid == tid && e.kind == EventKind::Begin),
+                "no kernel span on device {tid}"
+            );
+            assert!(
+                evs.iter().any(|e| e.pid == HOST_PID && e.tid == tid),
+                "no host span for worker {tid}"
+            );
+        }
+        // The ϕ sync sits on its own track, with flows touching the devices.
+        assert!(evs
+            .iter()
+            .any(|e| e.tid == SYNC_TID && e.kind == EventKind::Begin));
+        let flow_device_tids: std::collections::HashSet<u32> = evs
+            .iter()
+            .filter(|e| {
+                matches!(e.kind, EventKind::FlowStart | EventKind::FlowFinish)
+                    && e.pid == SIM_PID
+                    && e.tid != SYNC_TID
+            })
+            .map(|e| e.tid)
+            .collect();
+        assert_eq!(flow_device_tids.len(), 4, "flows must reach every device");
+        // Metrics saw the launches and the sync.
+        assert!(reg.counter("kernel.launches").value() >= 8);
+        assert!(reg.histogram("sync.seconds").count() == 2);
+        assert!(t.trace_sink().is_some() && t.metrics_registry().is_some());
+    }
+
+    #[test]
     fn ring_sync_changes_time_not_results() {
         let c = corpus();
         let run = |ring: bool| {
-            let mut config = cfg(Platform::pascal()).with_score_every(0).with_iterations(3);
+            let mut config = cfg(Platform::pascal())
+                .with_score_every(0)
+                .with_iterations(3);
             config.ring_sync = ring;
             let mut t = CuldaTrainer::new(&c, config);
             for _ in 0..3 {

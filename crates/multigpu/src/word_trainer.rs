@@ -16,14 +16,18 @@
 
 use crate::config::TrainerConfig;
 use crate::sync::SyncReport;
-use crate::worker::{run_workers, GpuWorker};
+use crate::worker::{run_workers_traced, GpuWorker};
 use culda_corpus::{Corpus, CsrMatrix, Xoshiro256};
 use culda_gpusim::memory::AtomicU16Buf;
 use culda_gpusim::{BlockCtx, GpuCluster, KernelCost, KernelSpec, LaunchPhase, Link};
-use culda_metrics::{GpuBreakdowns, IterationStat, LdaLoglik, Phase, RunHistory};
+use culda_metrics::{
+    GpuBreakdowns, IterationStat, Json, LdaLoglik, MetricsRegistry, Phase, RunHistory, TraceSink,
+    SIM_PID, SYNC_TID,
+};
 use culda_sampler::ptree::{IndexTree, DEFAULT_FANOUT};
 use culda_sampler::spq::p1_weights;
 use culda_sampler::{PhiModel, Priors};
+use std::sync::Arc;
 
 /// One GPU's word shard: the tokens of its word range, word-major.
 #[derive(Debug)]
@@ -68,6 +72,8 @@ pub struct WordPartitionedTrainer {
     theta: CsrMatrix,
     history: RunHistory,
     iteration: u32,
+    trace: Option<Arc<TraceSink>>,
+    metrics: Option<Arc<MetricsRegistry>>,
     /// Accumulated θ sync time (for the policy comparison).
     pub theta_sync_seconds: f64,
 }
@@ -195,8 +201,30 @@ impl WordPartitionedTrainer {
             theta,
             history: RunHistory::new(),
             iteration: 0,
+            trace: None,
+            metrics: None,
             theta_sync_seconds: 0.0,
         }
+    }
+
+    /// Attaches observability sinks to this trainer and all shard devices
+    /// (same contract as `CuldaTrainer::attach_observability`: spans per
+    /// launch, host iteration spans, the θ sync on its own track).
+    pub fn attach_observability(
+        &mut self,
+        trace: Option<Arc<TraceSink>>,
+        metrics: Option<Arc<MetricsRegistry>>,
+    ) {
+        for w in &self.workers {
+            if let Some(t) = &trace {
+                w.device.attach_trace(t.clone());
+            }
+            if let Some(m) = &metrics {
+                w.device.attach_metrics(m.clone());
+            }
+        }
+        self.trace = trace;
+        self.metrics = metrics;
     }
 
     /// θ replica bytes (what this policy must synchronize).
@@ -223,59 +251,64 @@ impl WordPartitionedTrainer {
 
         // --- Sampling, one worker thread per shard -----------------------
         let shards = &self.shards;
-        run_workers(&mut self.workers, |si, worker| {
-            let shard = &shards[si];
-            let blocks = shard.word_ids.len().max(1) as u32;
-            let word_ptr = &shard.word_ptr;
-            let word_ids = &shard.word_ids;
-            let token_doc = &shard.token_doc;
-            let token_stream = &shard.token_stream;
-            let z = &shard.z;
-            let spec =
-                KernelSpec::new("word_lda_sample", blocks).with_phase(LaunchPhase::Sampling);
-            let r = worker.device.launch_spec(spec, |ctx: &mut BlockCtx| {
-                let wi = ctx.block_id as usize;
-                if wi >= word_ids.len() {
-                    return;
-                }
-                let w = word_ids[wi] as usize;
-                let mut pstar = if ctx.shared.fits::<f32>(2 * k + 64) {
-                    ctx.shared.alloc::<f32>(k)
-                } else {
-                    vec![0.0f32; k]
-                };
-                ctx.dram_read(k * if compressed { 2 } else { 4 } + k * 4);
-                ctx.flop(2 * k);
-                for (t, slot) in pstar.iter_mut().enumerate() {
-                    *slot = (phi.phi.load(w * k + t) as f32 + beta) * inv_denom[t];
-                }
-                let block_tree = IndexTree::build(&pstar, DEFAULT_FANOUT);
-                ctx.shared_access(2 * k * 4);
-                let mut p1_tree = IndexTree::build(&[1.0f32], DEFAULT_FANOUT);
-                let mut weights = Vec::new();
-                for t in word_ptr[wi]..word_ptr[wi + 1] {
-                    let d = token_doc[t] as usize;
-                    let (cols, vals) = theta.row(d);
-                    ctx.dram_read(4 + cols.len() * (if compressed { 2 } else { 4 } + 4));
-                    ctx.flop(3 * cols.len());
-                    let s = p1_weights(cols, vals, &pstar, &mut weights);
-                    let q = alpha * block_tree.total();
-                    let mut rng =
-                        Xoshiro256::from_seed_stream(stream_seed, token_stream[t]);
-                    let ub = rng.next_f32();
-                    let ui = rng.next_f32();
-                    let topic = if s > 0.0 && ub < s / (s + q) {
-                        p1_tree.rebuild(&weights);
-                        cols[p1_tree.sample_scaled(ui * s).0]
+        let iter_label = format!("word iter {}", self.iteration);
+        run_workers_traced(
+            &mut self.workers,
+            self.trace.as_deref(),
+            &iter_label,
+            |si, worker| {
+                let shard = &shards[si];
+                let blocks = shard.word_ids.len().max(1) as u32;
+                let word_ptr = &shard.word_ptr;
+                let word_ids = &shard.word_ids;
+                let token_doc = &shard.token_doc;
+                let token_stream = &shard.token_stream;
+                let z = &shard.z;
+                let spec =
+                    KernelSpec::new("word_lda_sample", blocks).with_phase(LaunchPhase::Sampling);
+                let r = worker.device.launch_spec(spec, |ctx: &mut BlockCtx| {
+                    let wi = ctx.block_id as usize;
+                    if wi >= word_ids.len() {
+                        return;
+                    }
+                    let w = word_ids[wi] as usize;
+                    let mut pstar = if ctx.shared.fits::<f32>(2 * k + 64) {
+                        ctx.shared.alloc::<f32>(k)
                     } else {
-                        block_tree.sample_scaled(ui * block_tree.total()).0 as u16
+                        vec![0.0f32; k]
                     };
-                    z.store(t, topic);
-                    ctx.dram_write(2);
-                }
-            });
-            worker.breakdown.add(Phase::Sampling, r.sim_seconds);
-        });
+                    ctx.dram_read(k * if compressed { 2 } else { 4 } + k * 4);
+                    ctx.flop(2 * k);
+                    for (t, slot) in pstar.iter_mut().enumerate() {
+                        *slot = (phi.phi.load(w * k + t) as f32 + beta) * inv_denom[t];
+                    }
+                    let block_tree = IndexTree::build(&pstar, DEFAULT_FANOUT);
+                    ctx.shared_access(2 * k * 4);
+                    let mut p1_tree = IndexTree::build(&[1.0f32], DEFAULT_FANOUT);
+                    let mut weights = Vec::new();
+                    for t in word_ptr[wi]..word_ptr[wi + 1] {
+                        let d = token_doc[t] as usize;
+                        let (cols, vals) = theta.row(d);
+                        ctx.dram_read(4 + cols.len() * (if compressed { 2 } else { 4 } + 4));
+                        ctx.flop(3 * cols.len());
+                        let s = p1_weights(cols, vals, &pstar, &mut weights);
+                        let q = alpha * block_tree.total();
+                        let mut rng = Xoshiro256::from_seed_stream(stream_seed, token_stream[t]);
+                        let ub = rng.next_f32();
+                        let ui = rng.next_f32();
+                        let topic = if s > 0.0 && ub < s / (s + q) {
+                            p1_tree.rebuild(&weights);
+                            cols[p1_tree.sample_scaled(ui * s).0]
+                        } else {
+                            block_tree.sample_scaled(ui * block_tree.total()).0 as u16
+                        };
+                        z.store(t, topic);
+                        ctx.dram_write(2);
+                    }
+                });
+                worker.breakdown.add(Phase::Sampling, r.sim_seconds);
+            },
+        );
 
         // --- Rebuild ϕ (local, never synced) and θ (to be synced) --------
         // ϕ columns are private per shard; rebuild is a local kernel-cost
@@ -316,6 +349,43 @@ impl WordPartitionedTrainer {
             .map(|w| w.device.now())
             .fold(t0, f64::max);
         let sync_end = sync_start + sync.total_seconds();
+        if let Some(sink) = &self.trace {
+            if self.workers.len() > 1 {
+                for w in &self.workers {
+                    let id = sink.new_flow_id();
+                    sink.flow_start(
+                        SIM_PID,
+                        w.device.id as u32,
+                        "theta_reduce",
+                        w.device.now(),
+                        id,
+                    );
+                    sink.flow_finish(SIM_PID, SYNC_TID, "theta_reduce", sync_start, id);
+                }
+                sink.span_sim(
+                    SYNC_TID,
+                    &format!("theta_sync iter {}", self.iteration),
+                    "sync",
+                    sync_start,
+                    sync_end,
+                    vec![
+                        ("reduce_s".into(), Json::Num(sync.reduce_seconds)),
+                        ("broadcast_s".into(), Json::Num(sync.broadcast_seconds)),
+                        ("rounds".into(), Json::from(sync.rounds)),
+                    ],
+                );
+                for w in &self.workers {
+                    let id = sink.new_flow_id();
+                    sink.flow_start(SIM_PID, SYNC_TID, "theta_broadcast", sync_end, id);
+                    sink.flow_finish(SIM_PID, w.device.id as u32, "theta_broadcast", sync_end, id);
+                    sink.instant_sim(w.device.id as u32, "theta_ready", "sync", sync_end);
+                }
+            }
+        }
+        if let Some(reg) = &self.metrics {
+            reg.counter("sync.rounds").add(sync.rounds as u64);
+            reg.histogram("sync.seconds").record(sync.total_seconds());
+        }
         for w in &self.workers {
             w.device.advance_to(sync_end);
         }
@@ -494,6 +564,26 @@ mod tests {
         }
         let gap = (word.loglik_per_token() - doc.loglik_per_token()).abs();
         assert!(gap < 0.5, "policies should converge similarly, gap {gap}");
+    }
+
+    #[test]
+    fn observability_traces_word_kernels_and_theta_sync() {
+        use culda_metrics::EventKind;
+        let c = corpus();
+        let mut t = WordPartitionedTrainer::new(&c, cfg(2));
+        let sink = Arc::new(TraceSink::new());
+        let reg = Arc::new(MetricsRegistry::new());
+        t.attach_observability(Some(sink.clone()), Some(reg.clone()));
+        t.step();
+        let evs = sink.events();
+        assert!(evs
+            .iter()
+            .any(|e| e.kind == EventKind::Begin && e.name == "word_lda_sample"));
+        assert!(evs
+            .iter()
+            .any(|e| e.tid == SYNC_TID && e.name.starts_with("theta_sync")));
+        assert!(evs.iter().any(|e| e.name == "theta_broadcast"));
+        assert!(reg.counter("kernel.launches").value() >= 2);
     }
 
     #[test]

@@ -207,6 +207,40 @@ where
     })
 }
 
+/// [`run_workers`] with host-side tracing: when `trace` is attached, each
+/// worker's body is wrapped in a wall-clock span named `"{label} · gpu {i}"`
+/// on that worker's host track ([`culda_metrics::HOST_PID`], tid = worker
+/// index), carrying the device's simulated clock at completion. With no
+/// sink this is exactly `run_workers`.
+pub fn run_workers_traced<R, F>(
+    workers: &mut [GpuWorker],
+    trace: Option<&culda_metrics::TraceSink>,
+    label: &str,
+    f: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, &mut GpuWorker) -> R + Sync,
+{
+    match trace {
+        None => run_workers(workers, f),
+        Some(sink) => run_workers(workers, |i, w| {
+            let start = sink.host_now_us();
+            let out = f(i, w);
+            sink.span_host(
+                i as u32,
+                &format!("{label} · gpu {i}"),
+                "iteration",
+                start,
+                sink.host_now_us(),
+                culda_metrics::trace::sim_us(w.device.now()),
+                Vec::new(),
+            );
+            out
+        }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,6 +273,32 @@ mod tests {
             i
         });
         assert_eq!(hits.len(), 4);
+    }
+
+    #[test]
+    fn traced_run_emits_one_host_span_per_worker() {
+        use culda_metrics::{EventKind, TraceSink, HOST_PID};
+        let mut workers = bare_workers(3);
+        let sink = TraceSink::new();
+        let out = run_workers_traced(&mut workers, Some(&sink), "iter 0", |i, w| {
+            w.device.advance(1.0 + i as f64);
+            i
+        });
+        assert_eq!(out, vec![0, 1, 2]);
+        let begins: Vec<_> = sink
+            .events()
+            .into_iter()
+            .filter(|e| e.kind == EventKind::Begin)
+            .collect();
+        assert_eq!(begins.len(), 3);
+        let mut tids: Vec<u32> = begins.iter().map(|e| e.tid).collect();
+        tids.sort_unstable();
+        assert_eq!(tids, vec![0, 1, 2]);
+        assert!(begins.iter().all(|e| e.pid == HOST_PID));
+        assert!(begins[0].name.contains("iter 0"));
+        // Without a sink, behaviour is plain run_workers.
+        let out = run_workers_traced(&mut workers, None, "iter 1", |i, _| i);
+        assert_eq!(out, vec![0, 1, 2]);
     }
 
     #[test]
@@ -313,10 +373,13 @@ mod tests {
         assert_eq!(w.states[0].z.snapshot(), ref_state.z.snapshot());
         assert_eq!(w.write_replica().phi.snapshot(), ref_write.phi.snapshot());
         assert!((w.device.now() - ref_dev.now()).abs() < 1e-15);
-        assert!((report.phi_done_at - w.breakdown.seconds(Phase::Sampling)
-            - w.breakdown.seconds(Phase::UpdatePhi))
+        assert!(
+            (report.phi_done_at
+                - w.breakdown.seconds(Phase::Sampling)
+                - w.breakdown.seconds(Phase::UpdatePhi))
             .abs()
-            < 1e-12);
+                < 1e-12
+        );
         assert!(w.breakdown.seconds(Phase::UpdateTheta) > 0.0);
         assert_eq!(w.breakdown.seconds(Phase::Transfer), 0.0);
     }

@@ -89,7 +89,9 @@ pub fn build_block_map(chunk: &SortedChunk, tokens_per_block: usize) -> Vec<Bloc
 /// (enough to saturate the device) without degenerating to tiny blocks.
 pub fn auto_tokens_per_block(total_tokens: usize, min_blocks: usize) -> usize {
     assert!(min_blocks > 0);
-    (total_tokens / min_blocks).clamp(SAMPLERS_PER_BLOCK, 8192).max(1)
+    (total_tokens / min_blocks)
+        .clamp(SAMPLERS_PER_BLOCK, 8192)
+        .max(1)
 }
 
 #[cfg(test)]

@@ -103,7 +103,11 @@ pub fn load_phi<R: Read>(mut input: R) -> io::Result<PhiModel> {
     // capped at 2³¹ cells (8 GiB of u32), far beyond any real model here.
     match k.checked_mul(v) {
         Some(cells) if cells <= (1 << 31) => {}
-        _ => return Err(invalid(format!("phi of {k}×{v} cells is implausibly large"))),
+        _ => {
+            return Err(invalid(format!(
+                "phi of {k}×{v} cells is implausibly large"
+            )))
+        }
     }
     let alpha = read_f64(&mut input)?;
     let beta = read_f64(&mut input)?;

@@ -90,10 +90,7 @@ impl DenseCgs {
                     self.scratch[t] = acc;
                 }
                 let u = self.rng.next_f64() * acc;
-                let new = self
-                    .scratch
-                    .partition_point(|&c| c <= u)
-                    .min(k_n - 1);
+                let new = self.scratch.partition_point(|&c| c <= u).min(k_n - 1);
                 // Add it back under the new topic.
                 self.z[zi] = new as u16;
                 self.theta[di * k_n + new] += 1;

@@ -91,7 +91,13 @@ mod tests {
 
     /// Generates documents whose topic counts follow Dirichlet(α_true),
     /// then checks the optimizer recovers α_true.
-    fn synth_counts(alpha_true: f64, k: usize, docs: usize, len: usize, seed: u64) -> Vec<(Vec<u32>, u64)> {
+    fn synth_counts(
+        alpha_true: f64,
+        k: usize,
+        docs: usize,
+        len: usize,
+        seed: u64,
+    ) -> Vec<(Vec<u32>, u64)> {
         let mut rng = Xoshiro256::from_seed_stream(seed, 0);
         (0..docs)
             .map(|_| {
@@ -112,10 +118,7 @@ mod tests {
         let truth = 0.2;
         let data = synth_counts(truth, k, 400, 60, 3);
         let est = optimize_alpha(1.0, k, 100, 1e-8, || data.clone());
-        assert!(
-            (est - truth).abs() < 0.08,
-            "estimated {est}, truth {truth}"
-        );
+        assert!((est - truth).abs() < 0.08, "estimated {est}, truth {truth}");
     }
 
     #[test]
@@ -124,10 +127,7 @@ mod tests {
         let truth = 2.0;
         let data = synth_counts(truth, k, 400, 120, 5);
         let est = optimize_alpha(0.1, k, 200, 1e-8, || data.clone());
-        assert!(
-            (est - truth).abs() < 0.5,
-            "estimated {est}, truth {truth}"
-        );
+        assert!((est - truth).abs() < 0.5, "estimated {est}, truth {truth}");
     }
 
     #[test]

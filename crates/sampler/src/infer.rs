@@ -116,8 +116,8 @@ impl<'m> FoldIn<'m> {
 
 #[cfg(test)]
 mod tests {
-    use crate::hyper::Priors;
     use super::*;
+    use crate::hyper::Priors;
 
     /// A model with two sharply separated topics over 6 words.
     fn two_topic_model() -> PhiModel {

@@ -66,8 +66,18 @@ impl SampleConfig {
     }
 }
 
+/// Hot-path instrument handles, resolved once per block (never per token)
+/// from the device's attached [`culda_metrics::MetricsRegistry`].
+struct SamplerInstruments {
+    p1_draws: std::sync::Arc<culda_metrics::Counter>,
+    p2_draws: std::sync::Arc<culda_metrics::Counter>,
+    divergence: std::sync::Arc<culda_metrics::Counter>,
+    tree_depth: std::sync::Arc<culda_metrics::Histogram>,
+}
+
 /// Draws one token's topic through the trees; returns the topic plus the
-/// (shared_touches, leaf_touches) of the walk for traffic accounting.
+/// (shared_touches, leaf_touches) of the walk for traffic accounting and
+/// whether the sparse `p1` branch was taken (the warp-divergent decision).
 #[inline]
 #[allow(clippy::too_many_arguments)] // mirrors the CUDA kernel's register set
 fn draw_token(
@@ -79,7 +89,7 @@ fn draw_token(
     rng: &mut Xoshiro256,
     p1_tree: &mut IndexTree,
     weights: &mut Vec<f32>,
-) -> (u16, usize, usize) {
+) -> (u16, usize, usize, bool) {
     let s = p1_weights(theta_cols, theta_vals, pstar, weights);
     let q = alpha * block_tree.total();
     let u_branch = rng.next_f32();
@@ -87,10 +97,10 @@ fn draw_token(
     if s > 0.0 && u_branch < s / (s + q) {
         p1_tree.rebuild(weights);
         let (idx, sh, lf) = p1_tree.sample_scaled(u_inner * s);
-        (theta_cols[idx], sh, lf)
+        (theta_cols[idx], sh, lf, true)
     } else {
         let (k, sh, lf) = block_tree.sample_scaled(u_inner * block_tree.total());
-        (k as u16, sh, lf)
+        (k as u16, sh, lf, false)
     }
 }
 
@@ -115,8 +125,8 @@ pub fn run_sampling_kernel(
     let theta_col_bytes = if cfg.compressed { 2 } else { 4 };
     let stream_seed = cfg.stream_seed();
 
-    let spec = KernelSpec::new("lda_sample", block_map.len() as u32)
-        .with_phase(LaunchPhase::Sampling);
+    let spec =
+        KernelSpec::new("lda_sample", block_map.len() as u32).with_phase(LaunchPhase::Sampling);
     device.launch_spec(spec, |ctx: &mut BlockCtx| {
         let work = &block_map[ctx.block_id as usize];
         let word = chunk.word_ids[work.word_idx] as usize;
@@ -140,6 +150,19 @@ pub fn run_sampling_kernel(
         // Build the shared p*(k) tree (prefix + upper levels).
         let block_tree = IndexTree::build(&pstar, DEFAULT_FANOUT);
         ctx.flop(k); // prefix-sum adds
+
+        // Metric handles resolved once per block; `None` costs one branch
+        // per token below. Recording never touches traffic counters, so
+        // modelled time and sampled topics are unaffected.
+        let instruments = ctx.metrics().map(|m| SamplerInstruments {
+            p1_draws: m.counter("sampler.p1_draws"),
+            p2_draws: m.counter("sampler.p2_draws"),
+            divergence: m.counter("sampler.warp_divergence_events"),
+            tree_depth: m.histogram("sampler.tree_depth"),
+        });
+        if let Some(ins) = &instruments {
+            ins.tree_depth.record(block_tree.depth() as f64);
+        }
         if shared_ok {
             // Prefix leaves + upper nodes written to shared memory.
             let tree_bytes = block_tree.leaf_bytes() + block_tree.shared_bytes();
@@ -173,6 +196,7 @@ pub fn run_sampling_kernel(
             // Private, allocation-reused p1 tree and weight scratch.
             let mut p1_tree = IndexTree::build(&[1.0f32], DEFAULT_FANOUT);
             let mut weights: Vec<f32> = Vec::new();
+            let mut prev_branch: Option<bool> = None;
             for t in tokens {
                 let d = chunk.token_doc[t] as usize;
                 ctx.dram_read(4); // token -> doc index
@@ -202,11 +226,9 @@ pub fn run_sampling_kernel(
                 } else {
                     ctx.dram_read(kd * 4);
                 }
-                let mut rng = Xoshiro256::from_seed_stream(
-                    stream_seed,
-                    cfg.chunk_token_offset + t as u64,
-                );
-                let (topic, sh_touch, leaf_touch) = draw_token(
+                let mut rng =
+                    Xoshiro256::from_seed_stream(stream_seed, cfg.chunk_token_offset + t as u64);
+                let (topic, sh_touch, leaf_touch, took_p1) = draw_token(
                     cols,
                     vals,
                     &pstar,
@@ -216,6 +238,20 @@ pub fn run_sampling_kernel(
                     &mut p1_tree,
                     &mut weights,
                 );
+                if let Some(ins) = &instruments {
+                    if took_p1 {
+                        ins.p1_draws.inc();
+                        ins.tree_depth.record(p1_tree.depth() as f64);
+                    } else {
+                        ins.p2_draws.inc();
+                    }
+                    // A branch flip between consecutive tokens of one warp-
+                    // sampler is where lockstep execution would serialise.
+                    if prev_branch.is_some_and(|p| p != took_p1) {
+                        ins.divergence.inc();
+                    }
+                    prev_branch = Some(took_p1);
+                }
                 // Tree-walk traffic: node scans in shared (or DRAM when the
                 // shared path is disabled), plus the new-topic write.
                 let walk_bytes = (sh_touch + leaf_touch) * 4;
@@ -261,7 +297,7 @@ pub fn sample_chunk_reference(
             let (cols, vals) = state.theta.row(d);
             let mut rng =
                 Xoshiro256::from_seed_stream(stream_seed, cfg.chunk_token_offset + t as u64);
-            let (topic, _, _) = draw_token(
+            let (topic, _, _, _) = draw_token(
                 cols,
                 vals,
                 &pstar,
@@ -372,12 +408,10 @@ mod tests {
         let mut cfg = SampleConfig::new(9);
 
         let dev_a = Device::new(0, GpuSpec::titan_x_maxwell());
-        let with_shared =
-            run_sampling_kernel(&dev_a, &chunk, &state, &phi, &inv, &map, &cfg);
+        let with_shared = run_sampling_kernel(&dev_a, &chunk, &state, &phi, &inv, &map, &cfg);
         cfg.use_shared_memory = false;
         let dev_b = Device::new(0, GpuSpec::titan_x_maxwell());
-        let without =
-            run_sampling_kernel(&dev_b, &chunk, &state, &phi, &inv, &map, &cfg);
+        let without = run_sampling_kernel(&dev_b, &chunk, &state, &phi, &inv, &map, &cfg);
         assert!(
             with_shared.cost.dram_bytes() < without.cost.dram_bytes(),
             "shared path must reduce DRAM traffic"
@@ -435,6 +469,27 @@ mod tests {
         }
         assert_eq!(outputs[0], outputs[1], "L1 must not change results");
         assert_ne!(dram[0], dram[1], "L1 must change the traffic mix");
+    }
+
+    #[test]
+    fn metrics_recording_does_not_change_assignments() {
+        let (chunk, state, phi) = setup();
+        let inv = phi.inv_denominators();
+        let cfg = SampleConfig::new(21);
+        let map = build_block_map(&chunk, 256);
+        let expected = sample_chunk_reference(&chunk, &state, &phi, &inv, &cfg);
+
+        let dev = Device::new(0, GpuSpec::titan_x_maxwell()).with_workers(4);
+        let reg = std::sync::Arc::new(culda_metrics::MetricsRegistry::new());
+        dev.attach_metrics(reg.clone());
+        run_sampling_kernel(&dev, &chunk, &state, &phi, &inv, &map, &cfg);
+        assert_eq!(state.z.snapshot(), expected);
+
+        // Every token took exactly one branch; depth was sampled per block.
+        let draws =
+            reg.counter("sampler.p1_draws").value() + reg.counter("sampler.p2_draws").value();
+        assert_eq!(draws as usize, chunk.num_tokens());
+        assert!(reg.histogram("sampler.tree_depth").count() > 0);
     }
 
     #[test]

@@ -407,8 +407,12 @@ mod tests {
             h2d_seconds: 5.0,
             d2h_seconds: 5.0,
         }];
-        let oc =
-            IterationPlan::out_of_core(K).execute(&KernelSet::new(&dev_b), &read, &write_b, &mut tasks);
+        let oc = IterationPlan::out_of_core(K).execute(
+            &KernelSet::new(&dev_b),
+            &read,
+            &write_b,
+            &mut tasks,
+        );
 
         assert_eq!(st_a.z.snapshot(), st_b.z.snapshot());
         assert_eq!(write_a.phi.snapshot(), write_b.phi.snapshot());
@@ -443,7 +447,11 @@ mod tests {
                 LaunchPhase::ThetaUpdate
             ]
         );
-        assert!((log.phase_seconds(LaunchPhase::Sampling) - dev.profile().records()[0].sim_seconds).abs() < 1e-15);
+        assert!(
+            (log.phase_seconds(LaunchPhase::Sampling) - dev.profile().records()[0].sim_seconds)
+                .abs()
+                < 1e-15
+        );
     }
 
     #[test]
@@ -465,7 +473,8 @@ mod tests {
             h2d_seconds: 0.0,
             d2h_seconds: 0.0,
         }];
-        let r = IterationPlan::resident(4).execute(&KernelSet::new(&dev), &read, &write, &mut tasks);
+        let r =
+            IterationPlan::resident(4).execute(&KernelSet::new(&dev), &read, &write, &mut tasks);
         assert_eq!(r.sampling_seconds, 0.0);
         // Only the clear runs (not chunk-bound) — and θ, which handles
         // empty documents itself.

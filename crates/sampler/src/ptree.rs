@@ -72,15 +72,9 @@ impl IndexTree {
         // prefix value, until a level fits in one node.
         let mut upper: Vec<Vec<f32>> = Vec::new();
         if prefix.len() > fanout {
-            let mut cur: Vec<f32> = prefix
-                .chunks(fanout)
-                .map(|g| *g.last().unwrap())
-                .collect();
+            let mut cur: Vec<f32> = prefix.chunks(fanout).map(|g| *g.last().unwrap()).collect();
             while cur.len() > fanout {
-                let next: Vec<f32> = cur
-                    .chunks(fanout)
-                    .map(|g| *g.last().unwrap())
-                    .collect();
+                let next: Vec<f32> = cur.chunks(fanout).map(|g| *g.last().unwrap()).collect();
                 upper.push(std::mem::take(&mut cur));
                 cur = next;
             }
@@ -329,9 +323,7 @@ mod tests {
     fn rebuild_matches_fresh_build() {
         let mut tree = IndexTree::build(&[1.0f32], 32);
         for n in [1usize, 5, 31, 32, 33, 1000, 1025] {
-            let weights: Vec<f32> = (0..n)
-                .map(|i| ((i * 7919) % 13) as f32 + 0.5)
-                .collect();
+            let weights: Vec<f32> = (0..n).map(|i| ((i * 7919) % 13) as f32 + 0.5).collect();
             tree.rebuild(&weights);
             let fresh = IndexTree::build(&weights, 32);
             assert_eq!(tree, fresh, "n = {n}");

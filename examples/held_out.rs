@@ -83,17 +83,20 @@ fn main() {
     // 5. Topic coherence of the learned topics on the training documents.
     let top_n = 8;
     let tops: Vec<Vec<u32>> = (0..k)
-        .map(|t| model.top_words(t, top_n).into_iter().map(|(w, _)| w).collect())
+        .map(|t| {
+            model
+                .top_words(t, top_n)
+                .into_iter()
+                .map(|(w, _)| w)
+                .collect()
+        })
         .collect();
     let track: HashSet<u32> = tops.iter().flatten().copied().collect();
     let index = CoOccurrence::build(
         trainer_corpus.docs.iter().map(|d| d.words.as_slice()),
         &track,
     );
-    let mut scores: Vec<f64> = tops
-        .iter()
-        .map(|t| index.umass_coherence(t, 1.0))
-        .collect();
+    let mut scores: Vec<f64> = tops.iter().map(|t| index.umass_coherence(t, 1.0)).collect();
     scores.sort_by(|a, b| b.partial_cmp(a).unwrap());
     println!(
         "UMass coherence over {} topics: best {:.1}, median {:.1}, worst {:.1}",

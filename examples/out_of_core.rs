@@ -35,8 +35,10 @@ fn main() {
     );
 
     let iters = 8u32;
-    for (label, platform) in [("clamped (out-of-core)", tiny), ("full 12 GiB (resident)", Platform::maxwell())]
-    {
+    for (label, platform) in [
+        ("clamped (out-of-core)", tiny),
+        ("full 12 GiB (resident)", Platform::maxwell()),
+    ] {
         let cfg = TrainerConfig::new(k, platform)
             .with_iterations(iters)
             .with_score_every(0);
@@ -53,10 +55,7 @@ fn main() {
             "  exposed transfer time: {:.3} ms/iter (hidden by the H2D/compute/D2H pipeline)",
             1e3 * exposed / iters as f64
         );
-        println!(
-            "  final loglik/token: {:.4}\n",
-            out.final_loglik_per_token
-        );
+        println!("  final loglik/token: {:.4}\n", out.final_loglik_per_token);
     }
     println!(
         "Same statistics either way — the out-of-core path changes where the\n\

@@ -1,13 +1,19 @@
 #!/usr/bin/env bash
-# CI gate: build, test, lint. Run from anywhere; operates on the repo root.
+# CI gate: format, build, test, lint. Run from anywhere; operates on the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
 
 echo "==> cargo build --release"
 cargo build --workspace --release
 
 echo "==> cargo test"
 cargo test --workspace -q
+
+echo "==> trace golden test"
+cargo test -q --test trace_golden
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

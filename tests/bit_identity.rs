@@ -62,8 +62,16 @@ fn z_and_loglik_series_identical_on_1_2_4_gpus() {
     // f64 bit patterns, not approximate equality: the reduction order is
     // pinned to global chunk order so the series is exactly reproducible.
     let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
-    assert_eq!(bits(&ll1), bits(&ll2), "1-GPU vs 2-GPU loglik series differ");
-    assert_eq!(bits(&ll2), bits(&ll4), "2-GPU vs 4-GPU loglik series differ");
+    assert_eq!(
+        bits(&ll1),
+        bits(&ll2),
+        "1-GPU vs 2-GPU loglik series differ"
+    );
+    assert_eq!(
+        bits(&ll2),
+        bits(&ll4),
+        "2-GPU vs 4-GPU loglik series differ"
+    );
 }
 
 #[test]
@@ -92,4 +100,32 @@ fn simulated_seconds_per_device_unchanged_by_host_workers() {
             .collect::<Vec<u64>>()
     };
     assert_eq!(clock(1), clock(4));
+}
+
+#[test]
+fn z_and_loglik_series_identical_with_observability_attached() {
+    // Tracing and metrics are pure observers: attaching both sinks must
+    // not move a single bit of sampled state or scored likelihood.
+    let (z_plain, ll_plain) = run(cfg(4, 1), 3);
+    let corpus = small_corpus();
+    let mut t = CuldaTrainer::new(&corpus, cfg(4, 1));
+    let sink = std::sync::Arc::new(culda::metrics::TraceSink::new());
+    let registry = std::sync::Arc::new(culda::metrics::MetricsRegistry::new());
+    t.attach_observability(Some(sink.clone()), Some(registry.clone()));
+    for _ in 0..3 {
+        t.step();
+    }
+    let z_traced: Vec<Vec<u16>> = t.states().iter().map(|s| s.z.snapshot()).collect();
+    let ll_traced: Vec<f64> = t
+        .history()
+        .loglik_series()
+        .into_iter()
+        .map(|(_, v)| v)
+        .collect();
+    assert_eq!(z_plain, z_traced, "tracing changed topic assignments");
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+    assert_eq!(bits(&ll_plain), bits(&ll_traced), "tracing changed loglik");
+    // And the observers did observe something.
+    assert!(!sink.is_empty(), "trace sink captured no events");
+    assert!(registry.counter("kernel.launches").value() > 0);
 }

@@ -151,8 +151,14 @@ fn ablations_only_change_time_never_statistics() {
     let (ll_full, t_full) = run(true, true);
     let (ll_nc, t_nc) = run(false, true);
     let (ll_ns, t_ns) = run(true, false);
-    assert!((ll_full - ll_nc).abs() < 1e-12, "compression changed results");
-    assert!((ll_full - ll_ns).abs() < 1e-12, "shared memory changed results");
+    assert!(
+        (ll_full - ll_nc).abs() < 1e-12,
+        "compression changed results"
+    );
+    assert!(
+        (ll_full - ll_ns).abs() < 1e-12,
+        "shared memory changed results"
+    );
     assert!(t_nc > t_full, "uncompressed must be slower");
     assert!(t_ns > t_full, "no-shared must be slower");
 }

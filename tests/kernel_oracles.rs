@@ -76,10 +76,7 @@ fn update_kernels_equal_host_oracles_after_sampling() {
     run_phi_update_kernel(&dev, &chunk, &state, &phi_kernel, &map);
     accumulate_phi_host(&chunk, &state.z, &phi_oracle);
     assert_eq!(phi_kernel.phi.snapshot(), phi_oracle.phi.snapshot());
-    assert_eq!(
-        phi_kernel.phi_sum.snapshot(),
-        phi_oracle.phi_sum.snapshot()
-    );
+    assert_eq!(phi_kernel.phi_sum.snapshot(), phi_oracle.phi_sum.snapshot());
 
     // And the whole state is self-consistent.
     culda::sampler::validate::check_chunk_consistency(&chunk, &state, Some(&phi_kernel));
@@ -125,7 +122,9 @@ fn dense_cgs_oracle_and_gpu_pipeline_reach_similar_quality() {
     let cfg = TrainerConfig::new(8, Platform::maxwell())
         .with_iterations(iters)
         .with_score_every(0);
-    let gpu_ll = CuldaTrainer::new(&corpus, cfg).train().final_loglik_per_token;
+    let gpu_ll = CuldaTrainer::new(&corpus, cfg)
+        .train()
+        .final_loglik_per_token;
 
     let mut dense = culda::sampler::DenseCgs::new(&corpus, 8, Priors::paper(8), 77);
     for _ in 0..iters {
