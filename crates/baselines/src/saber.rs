@@ -35,6 +35,7 @@ pub fn saber_platform() -> Platform {
 /// no sub-expression sharing in shared memory.
 pub fn saber_like_trainer(corpus: &Corpus, num_topics: usize, iterations: u32) -> CuldaTrainer {
     let mut cfg = TrainerConfig::new(num_topics, saber_platform())
+        .unwrap()
         .with_iterations(iterations)
         .with_score_every(1);
     cfg.use_shared_memory = false;
@@ -66,6 +67,7 @@ mod tests {
         let culda = CuldaTrainer::new(
             &corpus,
             TrainerConfig::new(32, Platform::maxwell())
+                .unwrap()
                 .with_iterations(2)
                 .with_score_every(0),
         )

@@ -1,11 +1,12 @@
 //! End-to-end iteration cost of the full trainer (one `step()`), single-
-//! and multi-GPU — the host-side simulation throughput of the whole
-//! pipeline.
+//! and multi-GPU and both partition policies through the unified
+//! `LdaTrainer` surface — plus the serving path's micro-batch cost.
 
 use culda_bench::harness::{bench, group};
 use culda_corpus::SynthSpec;
 use culda_gpusim::Platform;
-use culda_multigpu::{CuldaTrainer, TrainerConfig};
+use culda_multigpu::{build_trainer, PartitionPolicy, TrainerConfig};
+use culda_serve::{FrozenModel, InferenceEngine, ServeConfig};
 use std::hint::black_box;
 
 fn main() {
@@ -16,18 +17,38 @@ fn main() {
     let corpus = spec.generate();
 
     group("trainer_step");
-    for gpus in [1usize, 4] {
-        let cfg = TrainerConfig::new(64, Platform::pascal().with_gpus(gpus))
-            .with_iterations(1)
-            .with_score_every(0);
-        let mut t = CuldaTrainer::new(&corpus, cfg);
-        bench(&format!("pascal/{gpus}"), || black_box(t.step()));
+    for policy in [PartitionPolicy::Document, PartitionPolicy::Word] {
+        for gpus in [1usize, 4] {
+            let cfg = TrainerConfig::new(64, Platform::pascal().with_gpus(gpus))
+                .unwrap()
+                .with_iterations(1)
+                .with_score_every(0);
+            let mut t = build_trainer(policy, &corpus, cfg);
+            bench(&format!("{policy}/pascal/{gpus}"), || black_box(t.step()));
+        }
     }
 
-    group("word_trainer_step");
+    group("inference_batch");
     let cfg = TrainerConfig::new(64, Platform::pascal())
-        .with_iterations(1)
+        .unwrap()
+        .with_iterations(2)
         .with_score_every(0);
-    let mut t = culda_multigpu::WordPartitionedTrainer::new(&corpus, cfg);
-    bench("pascal_4gpu", || black_box(t.step()));
+    let mut t = build_trainer(PartitionPolicy::Document, &corpus, cfg);
+    t.step();
+    t.step();
+    let docs: Vec<Vec<u32>> = corpus
+        .docs
+        .iter()
+        .take(64)
+        .map(|d| d.words.clone())
+        .collect();
+    for workers in [1usize, 4] {
+        let serve_cfg = ServeConfig::new(7)
+            .with_workers(workers)
+            .with_batch_size(16);
+        let mut engine = InferenceEngine::new(FrozenModel::freeze(t.phi()), serve_cfg).unwrap();
+        bench(&format!("64docs/pascal/{workers}"), || {
+            black_box(engine.infer_batch(&docs).unwrap())
+        });
+    }
 }

@@ -29,6 +29,7 @@ fn main() {
 
     let run = |mutate: &dyn Fn(&mut TrainerConfig)| {
         let mut cfg = TrainerConfig::new(k, Platform::maxwell())
+            .unwrap()
             .with_iterations(iters)
             .with_score_every(0);
         mutate(&mut cfg);
@@ -105,7 +106,7 @@ fn main() {
 
     // --- 4b: partition policy sync footprint (Section 4's argument) -----
     println!("\n[4b] partition-by-document vs partition-by-word sync footprint:");
-    let probe = TrainerConfig::new(k, Platform::pascal());
+    let probe = TrainerConfig::new(k, Platform::pascal()).unwrap();
     let cmp = culda_multigpu::compare_policies(&corpus, &probe);
     println!(
         "  sync phi (by-document): {:>12} B   sync theta (by-word): {:>12} B   ratio {:.1}x",
@@ -130,6 +131,7 @@ fn main() {
     let mut word_trainer = culda_multigpu::WordPartitionedTrainer::new(
         &corpus,
         TrainerConfig::new(k, Platform::pascal())
+            .unwrap()
             .with_iterations(iters)
             .with_score_every(0),
     );
@@ -139,6 +141,7 @@ fn main() {
     }
     let word_tps = corpus.num_tokens() as f64 * iters as f64 / word_secs;
     let mut doc_cfg = TrainerConfig::new(k, Platform::pascal())
+        .unwrap()
         .with_iterations(iters)
         .with_score_every(0);
     doc_cfg.chunks_per_gpu = Some(1);
@@ -180,6 +183,7 @@ fn main() {
         ("NVLink (300 GB/s)", Some(Link::nvlink())),
     ] {
         let mut cfg = TrainerConfig::new(128, Platform::pascal())
+            .unwrap()
             .with_iterations(iters)
             .with_score_every(0);
         cfg.peer_link = link;

@@ -33,6 +33,7 @@ fn run(
     metrics: Option<&Arc<MetricsRegistry>>,
 ) -> Run {
     let cfg = TrainerConfig::new(BENCH_TOPICS, Platform::pascal().with_gpus(gpus))
+        .unwrap()
         .with_iterations(iters)
         .with_score_every(0);
     let mut t = CuldaTrainer::new(corpus, cfg);

@@ -49,6 +49,7 @@ fn main() {
 
     // CuLDA (Volta sim): snapshot perplexity during training.
     let cfg = TrainerConfig::new(K, Platform::volta().with_gpus(1))
+        .unwrap()
         .with_iterations(iters)
         .with_score_every(0);
     let mut trainer = CuldaTrainer::new(&train, cfg);

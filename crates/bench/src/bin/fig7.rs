@@ -18,6 +18,7 @@ use culda_sampler::Priors;
 
 fn culda_series(corpus: &Corpus, platform: Platform, iters: u32) -> Vec<(f64, f64)> {
     let cfg = TrainerConfig::new(BENCH_TOPICS, platform.with_gpus(1))
+        .unwrap()
         .with_iterations(iters)
         .with_score_every(0);
     CuldaTrainer::new(corpus, cfg)

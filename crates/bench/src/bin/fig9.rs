@@ -39,6 +39,7 @@ fn main() {
     let mut scaling = Vec::new();
     for gpus in [1usize, 2, 4] {
         let cfg = TrainerConfig::new(BENCH_TOPICS, Platform::pascal().with_gpus(gpus))
+            .unwrap()
             .with_iterations(iters)
             .with_score_every(0);
         let out = CuldaTrainer::new(&corpus, cfg).train();

@@ -16,6 +16,7 @@ use culda_sampler::Priors;
 
 fn culda_tps(corpus: &Corpus, platform: Platform, iters: u32) -> f64 {
     let cfg = TrainerConfig::new(BENCH_TOPICS, platform.with_gpus(1))
+        .unwrap()
         .with_iterations(iters)
         .with_score_every(0);
     let out = CuldaTrainer::new(corpus, cfg).train();

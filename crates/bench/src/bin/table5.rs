@@ -25,6 +25,7 @@ fn main() {
     let mut measured = Vec::new();
     for platform in Platform::all() {
         let cfg = TrainerConfig::new(BENCH_TOPICS, platform.with_gpus(1))
+            .unwrap()
             .with_iterations(iters)
             .with_score_every(0);
         let out = CuldaTrainer::new(&corpus, cfg).train();

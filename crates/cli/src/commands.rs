@@ -1,11 +1,19 @@
 //! CLI subcommand implementations.
+//!
+//! Training-adjacent commands (`train`, `profile`, `trace`) drive a
+//! `Box<dyn LdaTrainer>` chosen by `--policy`, so both partition policies
+//! share one code path; `infer` drives the serving subsystem's
+//! [`InferenceEngine`] against a frozen checkpoint.
 
 use crate::args::{ArgError, Args};
-use culda_corpus::{read_uci, write_uci, Corpus, SynthSpec};
+use culda_corpus::{read_uci, split_held_out, write_uci, Corpus, SynthSpec};
 use culda_gpusim::Platform;
-use culda_metrics::{format_tokens_per_sec, MetricsRegistry, TraceSink};
-use culda_multigpu::{CuldaTrainer, TrainerConfig};
-use culda_sampler::{load_phi, save_phi, FoldIn};
+use culda_metrics::{format_tokens_per_sec, Json, MetricsRegistry, TraceSink};
+use culda_multigpu::{
+    build_trainer, resume_any, save_training, LdaTrainer, PartitionPolicy, TrainerConfig,
+};
+use culda_sampler::{load_phi, LdaModel};
+use culda_serve::{FrozenModel, InferenceEngine, InferenceOutcome, ServeConfig};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::sync::Arc;
@@ -25,28 +33,41 @@ USAGE:
   culda generate --preset <tiny|nytimes|pubmed> [--scale F] [--seed N]
                  --docword PATH --vocab PATH
   culda train    --docword PATH --vocab PATH --model OUT.phi
-                 [--topics K] [--iters N] [--platform maxwell|pascal|volta]
-                 [--gpus G] [--workers N] [--seed N] [--score-every N]
+                 [--policy doc|word] [--topics K] [--iters N]
+                 [--platform maxwell|pascal|volta] [--gpus G] [--workers N]
+                 [--seed N] [--score-every N]
                  [--resume STATE] [--save-state STATE]
   culda topics   --model M.phi --vocab PATH [--top N]
-  culda infer    --model M.phi --docword PATH --vocab PATH [--iters N]
+  culda infer    --model M.phi --docword PATH --vocab PATH
+                 [--workers W] [--batch-size B] [--burnin N] [--samples N]
+                 [--seed N] [--platform maxwell|pascal|volta]
+                 [--out theta.json] [--trace-out trace.json]
   culda info     --model M.phi
-  culda profile  --docword PATH --vocab PATH [--topics K] [--iters N]
-                 [--platform maxwell|pascal|volta] [--gpus G] [--workers N]
+  culda profile  --docword PATH --vocab PATH [--policy doc|word] [--topics K]
+                 [--iters N] [--platform maxwell|pascal|volta] [--gpus G]
+                 [--workers N]
   culda trace    --preset <tiny|nytimes|pubmed> [--scale F] [--seed N]
-                 [--topics K] [--iters N] [--platform maxwell|pascal|volta]
-                 [--gpus G] [--workers N]
+                 [--policy doc|word] [--topics K] [--iters N]
+                 [--platform maxwell|pascal|volta] [--gpus G] [--workers N]
                  [--trace-out trace.json] [--metrics-out metrics.json]
 
-`--workers N` sets the host threads each simulated GPU uses to execute
-its thread blocks. Results are bit-identical for any value; only host
-wall-clock changes.
+`--policy` picks the Section 4 partition policy (default doc, the paper's
+choice). `--workers N` on train/profile/trace sets the host threads each
+simulated GPU uses; results are bit-identical for any value. On `infer`,
+`--workers W` is the number of simulated GPUs micro-batches fan across.
+
+`culda infer` folds held-out documents into a frozen checkpoint (ϕ is
+read-only: no atomics, no sync phase) and emits a JSON report with each
+document's θ̂, the held-out perplexity, and its burn-in curve — to stdout,
+or to `--out`. `--trace-out` additionally records the inference batches
+as kernel spans with roofline attribution.
 
 `culda profile` reports each kernel's achieved bandwidth as a percent of
 the platform's DRAM roofline, plus a metrics dashboard. `culda trace`
-runs a traced training session on a synthetic corpus and writes a
-Chrome-trace JSON (load it at https://ui.perfetto.dev) alongside a
-metrics snapshot. `trace` defaults to the pascal platform (4 GPUs).
+runs a traced training session on a synthetic corpus, then folds a 10%
+held-out split back through the serving path, and writes a Chrome-trace
+JSON (load it at https://ui.perfetto.dev) alongside a metrics snapshot.
+`trace` defaults to the pascal platform (4 GPUs).
 ";
 
 fn load_corpus(args: &Args) -> Result<Corpus, Box<dyn std::error::Error>> {
@@ -80,6 +101,11 @@ fn platform_or(args: &Args, default: &str) -> Result<Platform, Box<dyn std::erro
     }
     p.num_gpus = gpus;
     Ok(p)
+}
+
+/// Parses `--policy doc|word` (default: the paper's partition-by-document).
+fn policy(args: &Args) -> Result<PartitionPolicy, Box<dyn std::error::Error>> {
+    args.get_or("policy", "doc").parse().map_err(err)
 }
 
 /// Applies the `--workers N` flag (host threads per simulated device) to a
@@ -134,7 +160,7 @@ pub fn generate(args: &Args) -> CmdResult {
     Ok(())
 }
 
-/// `culda train` — train and checkpoint a model.
+/// `culda train` — train and checkpoint a model (either policy).
 pub fn train(args: &Args) -> CmdResult {
     let corpus = load_corpus(args)?;
     let topics: usize = args.num_or("topics", 64)?;
@@ -150,26 +176,25 @@ pub fn train(args: &Args) -> CmdResult {
     let cfg = apply_workers(
         args,
         TrainerConfig::new(topics, platform)
+            .map_err(|e| err(e.to_string()))?
             .with_iterations(iters)
             .with_score_every(score_every)
             .with_seed(seed),
     )?;
-    let mut trainer = match args.require("resume") {
+    let mut trainer: Box<dyn LdaTrainer> = match args.require("resume") {
         Ok(state_path) => {
-            let t = culda_multigpu::resume_training(
-                &corpus,
-                cfg,
-                BufReader::new(File::open(state_path)?),
-            )?;
+            // The checkpoint's policy tag decides which trainer comes back.
+            let t = resume_any(&corpus, cfg, BufReader::new(File::open(state_path)?))?;
             println!(
-                "resumed from {state_path} at iteration {}",
+                "resumed {} training from {state_path} at iteration {}",
+                t.policy(),
                 t.iterations_done()
             );
             t
         }
-        Err(_) => CuldaTrainer::new(&corpus, cfg),
+        Err(_) => build_trainer(policy(args)?, &corpus, cfg),
     };
-    println!("plan: M = {}, C = {}", trainer.plan().m, trainer.plan().c);
+    println!("policy: partition-by-{}", trainer.policy());
     for i in 0..iters {
         let stat = trainer.step();
         if let Some(ll) = stat.loglik_per_token {
@@ -180,12 +205,9 @@ pub fn train(args: &Args) -> CmdResult {
             );
         }
     }
-    save_phi(
-        trainer.global_phi(),
-        BufWriter::new(File::create(model_path)?),
-    )?;
+    FrozenModel::freeze(trainer.phi()).save(BufWriter::new(File::create(model_path)?))?;
     if let Ok(state_path) = args.require("save-state") {
-        culda_multigpu::save_training(&trainer, BufWriter::new(File::create(state_path)?))?;
+        save_training(trainer.as_ref(), BufWriter::new(File::create(state_path)?))?;
         println!("training state saved to {state_path}");
     }
     println!(
@@ -220,27 +242,81 @@ pub fn topics(args: &Args) -> CmdResult {
     Ok(())
 }
 
-/// `culda infer` — fold held-out documents into a checkpointed model and
-/// report perplexity.
+/// Renders an inference outcome as the `culda infer` JSON report.
+fn outcome_json(engine: &InferenceEngine, out: &InferenceOutcome) -> Json {
+    let row = |r: &Vec<f64>| Json::Arr(r.iter().map(|&x| Json::Num(x)).collect());
+    Json::obj()
+        .with("topics", Json::Num(engine.model().num_topics() as f64))
+        .with("vocab", Json::Num(engine.model().vocab_size() as f64))
+        .with("docs", Json::Num(out.docs as f64))
+        .with("tokens", Json::Num(out.tokens as f64))
+        .with("workers", Json::Num(engine.num_workers() as f64))
+        .with("micro_batches", Json::Num(out.micro_batches as f64))
+        .with("perplexity", Json::Num(out.perplexity))
+        .with(
+            "perplexity_by_sweep",
+            Json::Arr(
+                out.perplexity_by_sweep
+                    .iter()
+                    .map(|&p| Json::Num(p))
+                    .collect(),
+            ),
+        )
+        .with("sim_seconds", Json::Num(out.sim_seconds))
+        .with("device_seconds", Json::Num(out.device_seconds))
+        .with("theta", Json::Arr(out.theta.iter().map(row).collect()))
+}
+
+/// `culda infer` — fold a held-out corpus into a frozen checkpoint through
+/// the serving engine and emit the θ̂/perplexity JSON report.
 pub fn infer(args: &Args) -> CmdResult {
-    let model = load_phi(BufReader::new(File::open(args.require("model")?)?))?;
+    let model = FrozenModel::load(BufReader::new(File::open(args.require("model")?)?))?;
     let corpus = load_corpus(args)?;
-    if corpus.vocab_size() != model.vocab_size {
+    if corpus.vocab_size() != model.vocab_size() {
         return Err(err(format!(
             "held-out vocabulary {} != model vocabulary {}",
             corpus.vocab_size(),
-            model.vocab_size
+            model.vocab_size()
         )));
     }
-    let iters: u32 = args.num_or("iters", 20)?;
-    let fold = FoldIn::new(&model);
-    let docs: Vec<Vec<u32>> = corpus.docs.iter().map(|d| d.words.clone()).collect();
-    let perplexity = fold.perplexity(&docs, iters, 0xF01D);
-    println!(
-        "held-out perplexity over {} docs / {} tokens: {perplexity:.2}",
-        corpus.num_docs(),
-        corpus.num_tokens()
+    let workers: usize = args.num_or("workers", 2)?;
+    let batch_size: usize = args.num_or("batch-size", 64)?;
+    let burnin: u32 = args.num_or("burnin", 8)?;
+    let samples: u32 = args.num_or("samples", 4)?;
+    let seed: u64 = args.num_or("seed", 0xF01D)?;
+    let platform = platform_or(args, "pascal")?;
+    let cfg = ServeConfig::new(seed)
+        .with_workers(workers)
+        .with_batch_size(batch_size)
+        .with_burnin(burnin)
+        .with_samples(samples)
+        .with_gpu(platform.gpu.clone());
+    let mut engine = InferenceEngine::new(model, cfg).map_err(err)?;
+    let sink = args
+        .require("trace-out")
+        .ok()
+        .map(|_| Arc::new(TraceSink::new()));
+    if let Some(s) = &sink {
+        engine.attach_observability(Some(Arc::clone(s)), None);
+    }
+    let out = engine.infer_corpus(&corpus).map_err(err)?;
+    eprintln!(
+        "inferred {} docs / {} tokens in {} micro-batch(es) across {workers} worker(s) \
+         on {}; held-out perplexity {:.2}",
+        out.docs, out.tokens, out.micro_batches, platform.gpu.name, out.perplexity
     );
+    let report = outcome_json(&engine, &out).render();
+    match args.require("out") {
+        Ok(path) => {
+            std::fs::write(path, report)?;
+            println!("inference report written to {path}");
+        }
+        Err(_) => println!("{report}"),
+    }
+    if let (Some(s), Ok(path)) = (&sink, args.require("trace-out")) {
+        std::fs::write(path, s.export_chrome_json())?;
+        eprintln!("inference trace written to {path}");
+    }
     Ok(())
 }
 
@@ -280,18 +356,20 @@ pub fn profile_cmd(args: &Args) -> CmdResult {
     let cfg = apply_workers(
         args,
         TrainerConfig::new(topics, platform)
+            .map_err(|e| err(e.to_string()))?
             .with_iterations(iters)
             .with_score_every(0),
     )?;
-    let mut trainer = CuldaTrainer::new(&corpus, cfg);
+    let mut trainer = build_trainer(policy(args)?, &corpus, cfg);
     let registry = Arc::new(MetricsRegistry::new());
     trainer.attach_observability(None, Some(registry.clone()));
     for _ in 0..iters {
         trainer.step();
     }
     println!(
-        "kernel profile over {iters} iterations \
-         (roof% = share of {platform_name} {roof_gbps} GB/s DRAM peak):\n"
+        "kernel profile over {iters} iterations of partition-by-{} \
+         (roof% = share of {platform_name} {roof_gbps} GB/s DRAM peak):\n",
+        trainer.policy()
     );
     print!("{}", trainer.profile().render_with_roof(roof_gbps));
     println!("\nphase breakdown (Table 5 form):");
@@ -311,8 +389,9 @@ pub fn profile_cmd(args: &Args) -> CmdResult {
     Ok(())
 }
 
-/// `culda trace` — run a traced training session on a synthetic corpus and
-/// write a Perfetto-loadable Chrome trace plus a metrics snapshot.
+/// `culda trace` — run a traced training session on a synthetic corpus,
+/// fold a held-out split back through the serving engine, and write a
+/// Perfetto-loadable Chrome trace plus a metrics snapshot.
 pub fn trace_cmd(args: &Args) -> CmdResult {
     let corpus = synth_spec(args)?.generate();
     let topics: usize = args.num_or("topics", 64)?;
@@ -321,27 +400,44 @@ pub fn trace_cmd(args: &Args) -> CmdResult {
     // Default to pascal so `--gpus 4` works without an explicit platform.
     let platform = platform_or(args, "pascal")?;
     let num_gpus = platform.num_gpus;
+    let gpu_spec = platform.gpu.clone();
     let trace_path = args.get_or("trace-out", "trace.json").to_string();
     let metrics_path = args.get_or("metrics-out", "metrics.json").to_string();
+    let (train_corpus, held_out) = split_held_out(&corpus, 0.1, seed);
     let cfg = apply_workers(
         args,
         TrainerConfig::new(topics, platform)
+            .map_err(|e| err(e.to_string()))?
             .with_iterations(iters)
             .with_score_every(0)
             .with_seed(seed),
     )?;
-    let mut trainer = CuldaTrainer::new(&corpus, cfg);
+    let mut trainer = build_trainer(policy(args)?, &train_corpus, cfg);
     let sink = Arc::new(TraceSink::new());
     let registry = Arc::new(MetricsRegistry::new());
     trainer.attach_observability(Some(sink.clone()), Some(registry.clone()));
     for _ in 0..iters {
         trainer.step();
     }
+    // Serving leg: freeze ϕ and run the held-out split through the same
+    // observability sinks, so the trace shows inference batches too.
+    let serve_cfg = ServeConfig::new(seed)
+        .with_workers(num_gpus)
+        .with_gpu(gpu_spec);
+    let mut engine =
+        InferenceEngine::new(FrozenModel::freeze(trainer.phi()), serve_cfg).map_err(err)?;
+    engine.attach_observability(Some(sink.clone()), Some(registry.clone()));
+    let served = engine.infer_corpus(&held_out).map_err(err)?;
     std::fs::write(&trace_path, sink.export_chrome_json())?;
     std::fs::write(&metrics_path, registry.snapshot_json().render())?;
     println!(
-        "traced {iters} iteration(s) over {} tokens on {num_gpus} GPU(s)",
-        corpus.num_tokens()
+        "traced {iters} iteration(s) over {} tokens on {num_gpus} GPU(s) (policy {})",
+        train_corpus.num_tokens(),
+        trainer.policy()
+    );
+    println!(
+        "served {} held-out docs in {} micro-batch(es); perplexity {:.2}",
+        served.docs, served.micro_batches, served.perplexity
     );
     println!("trace written to {trace_path} (open at https://ui.perfetto.dev)");
     println!("metrics snapshot written to {metrics_path}");
@@ -409,7 +505,7 @@ mod tests {
         )))
         .unwrap();
         infer(&args(&format!(
-            "infer --model {} --docword {} --vocab {} --iters 3",
+            "infer --model {} --docword {} --vocab {} --burnin 3 --samples 2",
             model.display(),
             docword.display(),
             vocab.display()
@@ -443,6 +539,105 @@ mod tests {
     }
 
     #[test]
+    fn word_policy_trains_resumes_and_profiles() {
+        let docword = tmp("p.docword");
+        let vocab = tmp("p.vocab");
+        let model = tmp("p.phi");
+        let state = tmp("p.state");
+        generate(&args(&format!(
+            "generate --preset tiny --seed 6 --docword {} --vocab {}",
+            docword.display(),
+            vocab.display()
+        )))
+        .unwrap();
+        train(&args(&format!(
+            "train --docword {} --vocab {} --model {} --policy word --topics 8 \
+             --iters 2 --score-every 0 --platform volta --save-state {}",
+            docword.display(),
+            vocab.display(),
+            model.display(),
+            state.display()
+        )))
+        .unwrap();
+        // `--resume` follows the checkpoint's policy tag, not `--policy`.
+        train(&args(&format!(
+            "train --docword {} --vocab {} --model {} --topics 8 --iters 2 \
+             --score-every 0 --platform volta --resume {}",
+            docword.display(),
+            vocab.display(),
+            model.display(),
+            state.display()
+        )))
+        .unwrap();
+        profile_cmd(&args(&format!(
+            "profile --docword {} --vocab {} --policy word --topics 8 --iters 2 \
+             --platform volta",
+            docword.display(),
+            vocab.display()
+        )))
+        .unwrap();
+        assert!(policy(&args("train --policy gpu")).is_err());
+    }
+
+    #[test]
+    fn infer_writes_normalized_theta_json() {
+        let docword = tmp("i.docword");
+        let vocab = tmp("i.vocab");
+        let model = tmp("i.phi");
+        let report = tmp("i.theta.json");
+        let trace = tmp("i.trace.json");
+        generate(&args(&format!(
+            "generate --preset tiny --seed 7 --docword {} --vocab {}",
+            docword.display(),
+            vocab.display()
+        )))
+        .unwrap();
+        train(&args(&format!(
+            "train --docword {} --vocab {} --model {} --topics 8 --iters 4 \
+             --score-every 0 --platform maxwell",
+            docword.display(),
+            vocab.display(),
+            model.display()
+        )))
+        .unwrap();
+        infer(&args(&format!(
+            "infer --model {} --docword {} --vocab {} --workers 2 --batch-size 7 \
+             --burnin 4 --samples 2 --seed 9 --out {} --trace-out {}",
+            model.display(),
+            docword.display(),
+            vocab.display(),
+            report.display(),
+            trace.display()
+        )))
+        .unwrap();
+        let doc = Json::parse(&std::fs::read_to_string(&report).unwrap())
+            .expect("inference report must be valid JSON");
+        let theta = doc.get("theta").and_then(|t| t.as_arr()).unwrap();
+        assert!(!theta.is_empty());
+        for row in theta {
+            let sum: f64 = row
+                .as_arr()
+                .unwrap()
+                .iter()
+                .map(|x| x.as_f64().unwrap())
+                .sum();
+            assert!((sum - 1.0).abs() < 1e-6, "theta row sums to {sum}");
+        }
+        assert!(doc.get("perplexity").and_then(|p| p.as_f64()).unwrap() > 0.0);
+        let sweeps = doc
+            .get("perplexity_by_sweep")
+            .and_then(|p| p.as_arr())
+            .unwrap();
+        assert_eq!(sweeps.len(), 6);
+        // The inference trace shows the serving kernels.
+        let tr = Json::parse(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        let events = tr.get("traceEvents").and_then(|e| e.as_arr()).unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.get("name").and_then(|n| n.as_str()) == Some("lda_infer")));
+    }
+
+    #[test]
     fn unknown_command_and_platform_are_rejected() {
         assert!(dispatch(&args("frobnicate")).is_err());
         assert!(dispatch(&args("")).is_err());
@@ -455,17 +650,20 @@ mod tests {
     fn workers_flag_is_validated_and_accepted() {
         assert!(apply_workers(
             &args("train --workers 0"),
-            TrainerConfig::new(8, Platform::maxwell())
+            TrainerConfig::new(8, Platform::maxwell()).unwrap()
         )
         .is_err());
         let cfg = apply_workers(
             &args("train --workers 3"),
-            TrainerConfig::new(8, Platform::maxwell()),
+            TrainerConfig::new(8, Platform::maxwell()).unwrap(),
         )
         .unwrap();
         assert_eq!(cfg.host_workers, Some(3));
-        let cfg =
-            apply_workers(&args("train"), TrainerConfig::new(8, Platform::maxwell())).unwrap();
+        let cfg = apply_workers(
+            &args("train"),
+            TrainerConfig::new(8, Platform::maxwell()).unwrap(),
+        )
+        .unwrap();
         assert_eq!(cfg.host_workers, None);
         // End to end through the train command.
         let docword = tmp("w.docword");
@@ -502,6 +700,10 @@ mod tests {
             .expect("trace.json must be valid JSON");
         let events = doc.get("traceEvents").and_then(|e| e.as_arr()).unwrap();
         assert!(!events.is_empty());
+        // The serving leg appears alongside the training kernels.
+        assert!(events
+            .iter()
+            .any(|e| e.get("name").and_then(|n| n.as_str()) == Some("lda_infer")));
         let metrics =
             culda_metrics::Json::parse(&std::fs::read_to_string(&metrics_out).unwrap()).unwrap();
         let launches = metrics

@@ -29,6 +29,7 @@ pub mod io;
 pub mod prune;
 pub mod rng;
 pub mod sorted;
+pub mod split;
 pub mod stats;
 pub mod synth;
 pub mod text;
@@ -41,6 +42,7 @@ pub use io::{read_uci, write_uci};
 pub use prune::{prune_vocab, PruneSpec, Pruned};
 pub use rng::{SplitMix64, Xoshiro256};
 pub use sorted::SortedChunk;
+pub use split::split_held_out;
 pub use stats::DatasetStats;
 pub use synth::{sample_dirichlet, sample_gamma, zipf_weights, Discrete, SynthSpec};
 pub use text::{default_stopwords, TextPipeline};

@@ -1,0 +1,115 @@
+//! Held-out corpus splitting for serving evaluation.
+//!
+//! Fold-in inference is scored on documents the model never trained on;
+//! this module carves a deterministic held-out slice off a corpus while
+//! keeping the full vocabulary on both sides (word ids must line up with
+//! the trained ϕ).
+
+use crate::document::{Corpus, Document};
+use crate::rng::Xoshiro256;
+use crate::vocab::Vocab;
+
+/// Rebuilds `vocab`'s terms with zeroed counts (the [`Corpus`]
+/// constructor recounts from the documents it is given).
+fn blank_vocab(vocab: &Vocab) -> Vocab {
+    let mut v = Vocab::new();
+    for id in 0..vocab.len() as u32 {
+        v.intern(vocab.word(id));
+    }
+    v
+}
+
+/// Splits `corpus` into `(train, held_out)` by document.
+///
+/// A deterministic shuffle keyed by `seed` picks
+/// `⌈num_docs · held_out_fraction⌉` documents for the held-out side (at
+/// least one, and at least one stays in train). Both sides keep the full
+/// vocabulary, so word ids remain valid against a model trained on either.
+///
+/// # Panics
+/// Panics if `held_out_fraction` is outside `(0, 1)` or the corpus has
+/// fewer than two documents.
+pub fn split_held_out(corpus: &Corpus, held_out_fraction: f64, seed: u64) -> (Corpus, Corpus) {
+    assert!(
+        held_out_fraction > 0.0 && held_out_fraction < 1.0,
+        "held_out_fraction must be in (0, 1), got {held_out_fraction}"
+    );
+    let d = corpus.num_docs();
+    assert!(d >= 2, "need at least two documents to split, got {d}");
+    let take = (((d as f64) * held_out_fraction).ceil() as usize).clamp(1, d - 1);
+
+    // Fisher–Yates with the workspace RNG: the same seed always carves
+    // the same split, independent of platform.
+    let mut order: Vec<usize> = (0..d).collect();
+    let mut rng = Xoshiro256::from_seed_stream(seed, 0x5B11);
+    for i in (1..d).rev() {
+        let j = rng.next_below(i as u32 + 1) as usize;
+        order.swap(i, j);
+    }
+    let mut held: Vec<bool> = vec![false; d];
+    for &i in order.iter().take(take) {
+        held[i] = true;
+    }
+
+    let mut train_docs = Vec::with_capacity(d - take);
+    let mut held_docs = Vec::with_capacity(take);
+    for (i, doc) in corpus.docs.iter().enumerate() {
+        if held[i] {
+            held_docs.push(Document::new(doc.words.clone()));
+        } else {
+            train_docs.push(Document::new(doc.words.clone()));
+        }
+    }
+    (
+        Corpus::new(train_docs, blank_vocab(&corpus.vocab)),
+        Corpus::new(held_docs, blank_vocab(&corpus.vocab)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SynthSpec;
+
+    fn corpus() -> Corpus {
+        let mut spec = SynthSpec::tiny();
+        spec.num_docs = 100;
+        spec.generate()
+    }
+
+    #[test]
+    fn split_partitions_documents_and_tokens() {
+        let c = corpus();
+        let (train, held) = split_held_out(&c, 0.2, 7);
+        assert_eq!(held.num_docs(), 20);
+        assert_eq!(train.num_docs(), 80);
+        assert_eq!(train.num_tokens() + held.num_tokens(), c.num_tokens());
+        assert_eq!(train.vocab_size(), c.vocab_size());
+        assert_eq!(held.vocab_size(), c.vocab_size());
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let c = corpus();
+        let (a_train, a_held) = split_held_out(&c, 0.1, 3);
+        let (b_train, b_held) = split_held_out(&c, 0.1, 3);
+        assert_eq!(a_train.docs, b_train.docs);
+        assert_eq!(a_held.docs, b_held.docs);
+        let (c_train, _) = split_held_out(&c, 0.1, 4);
+        assert_ne!(a_train.docs, c_train.docs, "seed must matter");
+    }
+
+    #[test]
+    fn tiny_fractions_still_hold_out_one_document() {
+        let c = corpus();
+        let (train, held) = split_held_out(&c, 0.0001, 1);
+        assert_eq!(held.num_docs(), 1);
+        assert_eq!(train.num_docs(), c.num_docs() - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "held_out_fraction")]
+    fn rejects_degenerate_fraction() {
+        split_held_out(&corpus(), 1.0, 1);
+    }
+}

@@ -29,6 +29,8 @@ pub enum LaunchPhase {
     PhiUpdate,
     /// ϕ replica reduce/broadcast traffic.
     Sync,
+    /// Fold-in inference on a frozen ϕ (serving path; read-only model).
+    Inference,
     /// Anything else (setup, diagnostics, tests).
     #[default]
     Other,
@@ -42,6 +44,7 @@ impl LaunchPhase {
             LaunchPhase::ThetaUpdate => "theta",
             LaunchPhase::PhiUpdate => "phi",
             LaunchPhase::Sync => "sync",
+            LaunchPhase::Inference => "inference",
             LaunchPhase::Other => "other",
         }
     }
@@ -159,11 +162,12 @@ mod tests {
             LaunchPhase::ThetaUpdate,
             LaunchPhase::PhiUpdate,
             LaunchPhase::Sync,
+            LaunchPhase::Inference,
             LaunchPhase::Other,
         ]
         .iter()
         .map(|p| p.label())
         .collect();
-        assert_eq!(labels.len(), 5);
+        assert_eq!(labels.len(), 6);
     }
 }

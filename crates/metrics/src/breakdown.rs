@@ -18,16 +18,19 @@ pub enum Phase {
     SyncPhi,
     /// Host↔device chunk and model transfers (WorkSchedule2 path).
     Transfer,
+    /// Frozen-model fold-in inference (serving path; φ read-only).
+    Inference,
 }
 
 impl Phase {
     /// All phases, in reporting order.
-    pub const ALL: [Phase; 5] = [
+    pub const ALL: [Phase; 6] = [
         Phase::Sampling,
         Phase::UpdateTheta,
         Phase::UpdatePhi,
         Phase::SyncPhi,
         Phase::Transfer,
+        Phase::Inference,
     ];
 
     /// Display name as used in Table 5.
@@ -38,6 +41,7 @@ impl Phase {
             Phase::UpdatePhi => "Update phi",
             Phase::SyncPhi => "Sync phi",
             Phase::Transfer => "Transfer",
+            Phase::Inference => "Inference",
         }
     }
 
@@ -48,6 +52,7 @@ impl Phase {
             Phase::UpdatePhi => 2,
             Phase::SyncPhi => 3,
             Phase::Transfer => 4,
+            Phase::Inference => 5,
         }
     }
 }
@@ -55,7 +60,7 @@ impl Phase {
 /// Accumulated simulated seconds per phase.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Breakdown {
-    seconds: [f64; 5],
+    seconds: [f64; 6],
 }
 
 impl Breakdown {

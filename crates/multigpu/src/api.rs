@@ -1,0 +1,371 @@
+//! The unified trainer surface.
+//!
+//! [`CuldaTrainer`](crate::CuldaTrainer) (partition-by-document, the
+//! paper's choice) and
+//! [`WordPartitionedTrainer`](crate::WordPartitionedTrainer) (the
+//! Section 4 alternative) grew near-duplicate accessor surfaces that every
+//! consumer — CLI, benches, checkpointing, and now serving — had to
+//! special-case. [`LdaTrainer`] is the one object-safe contract they both
+//! implement: stepping, scoring, phase accounting, observability
+//! attachment, and the assignment snapshot/restore pair that checkpoints
+//! are built from. Consumers hold a `Box<dyn LdaTrainer>` and stop caring
+//! which partition policy is underneath.
+
+use crate::config::TrainerConfig;
+use crate::trainer::CuldaTrainer;
+use crate::word_trainer::WordPartitionedTrainer;
+use culda_gpusim::ProfileLog;
+use culda_metrics::{
+    Breakdown, GpuBreakdowns, IterationStat, MetricsRegistry, Phase, RunHistory, TraceSink,
+};
+use culda_sampler::PhiModel;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+/// Which Section 4 partition policy a trainer implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PartitionPolicy {
+    /// Partition-by-document (the paper's choice; ϕ replicas synced).
+    Document,
+    /// Partition-by-word (θ replicas synced, ϕ columns private).
+    Word,
+}
+
+impl PartitionPolicy {
+    /// Short lower-case label (CLI flag value, checkpoint tag).
+    pub fn label(self) -> &'static str {
+        match self {
+            PartitionPolicy::Document => "doc",
+            PartitionPolicy::Word => "word",
+        }
+    }
+}
+
+impl fmt::Display for PartitionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for PartitionPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "doc" | "document" => Ok(PartitionPolicy::Document),
+            "word" => Ok(PartitionPolicy::Word),
+            other => Err(format!("unknown policy {other:?} (expected doc|word)")),
+        }
+    }
+}
+
+/// The trainer contract both partition policies implement.
+///
+/// Object-safe on purpose: the CLI and benches drive a
+/// `Box<dyn LdaTrainer>` chosen at runtime by `--policy`. The assignment
+/// snapshot methods make checkpointing policy-agnostic — a trainer's full
+/// resumable state is `(iteration, assignments())`, because the RNG
+/// streams are keyed by `(seed, iteration, token)` and θ/ϕ are pure
+/// functions of the assignments.
+pub trait LdaTrainer {
+    /// The partition policy underneath.
+    fn policy(&self) -> PartitionPolicy;
+
+    /// The run configuration.
+    fn config(&self) -> &TrainerConfig;
+
+    /// Number of simulated GPUs driving the run.
+    fn num_gpus(&self) -> usize;
+
+    /// Runs one full iteration over the corpus; returns its stats.
+    fn step(&mut self) -> IterationStat;
+
+    /// Timing/scoring history so far.
+    fn history(&self) -> &RunHistory;
+
+    /// Accumulated phase breakdown (system view: all GPUs plus shared
+    /// sync phases).
+    fn breakdown(&self) -> Breakdown;
+
+    /// Per-GPU phase attribution.
+    fn per_gpu_breakdowns(&self) -> GpuBreakdowns;
+
+    /// Merged per-kernel launch log (`nvprof`-style).
+    fn profile(&self) -> ProfileLog;
+
+    /// Attaches trace/metrics sinks to the trainer and every device it
+    /// drives. Never perturbs RNG streams or simulated clocks.
+    fn attach_observability(
+        &mut self,
+        trace: Option<Arc<TraceSink>>,
+        metrics: Option<Arc<MetricsRegistry>>,
+    );
+
+    /// Joint log-likelihood per token of the current state.
+    fn loglik_per_token(&self) -> f64;
+
+    /// Count-conservation audit; panics on violation.
+    fn check_invariants(&self);
+
+    /// The current global ϕ — the frozen read view serving snapshots from.
+    fn phi(&self) -> &PhiModel;
+
+    /// Iterations completed so far.
+    fn iterations_done(&self) -> u32;
+
+    /// Snapshot of every token's topic assignment, one vector per
+    /// chunk/shard in the policy's canonical order (the checkpoint
+    /// payload).
+    fn assignments(&self) -> Vec<Vec<u16>>;
+
+    /// Restores a checkpointed `(iteration, assignments)` state; rebuilds
+    /// θ/ϕ and resets timing so the chain continues bit-identically.
+    fn restore_assignments(&mut self, iteration: u32, z: &[Vec<u16>]) -> Result<(), String>;
+}
+
+impl LdaTrainer for CuldaTrainer {
+    fn policy(&self) -> PartitionPolicy {
+        PartitionPolicy::Document
+    }
+
+    fn config(&self) -> &TrainerConfig {
+        &self.cfg
+    }
+
+    fn num_gpus(&self) -> usize {
+        CuldaTrainer::num_gpus(self)
+    }
+
+    fn step(&mut self) -> IterationStat {
+        CuldaTrainer::step(self)
+    }
+
+    fn history(&self) -> &RunHistory {
+        CuldaTrainer::history(self)
+    }
+
+    fn breakdown(&self) -> Breakdown {
+        CuldaTrainer::breakdown(self).clone()
+    }
+
+    fn per_gpu_breakdowns(&self) -> GpuBreakdowns {
+        CuldaTrainer::per_gpu_breakdowns(self)
+    }
+
+    fn profile(&self) -> ProfileLog {
+        CuldaTrainer::profile(self).clone()
+    }
+
+    fn attach_observability(
+        &mut self,
+        trace: Option<Arc<TraceSink>>,
+        metrics: Option<Arc<MetricsRegistry>>,
+    ) {
+        CuldaTrainer::attach_observability(self, trace, metrics)
+    }
+
+    fn loglik_per_token(&self) -> f64 {
+        CuldaTrainer::loglik_per_token(self)
+    }
+
+    fn check_invariants(&self) {
+        CuldaTrainer::check_invariants(self)
+    }
+
+    fn phi(&self) -> &PhiModel {
+        self.global_phi()
+    }
+
+    fn iterations_done(&self) -> u32 {
+        CuldaTrainer::iterations_done(self)
+    }
+
+    fn assignments(&self) -> Vec<Vec<u16>> {
+        self.states().iter().map(|s| s.z.snapshot()).collect()
+    }
+
+    fn restore_assignments(&mut self, iteration: u32, z: &[Vec<u16>]) -> Result<(), String> {
+        CuldaTrainer::restore_assignments(self, iteration, z)
+    }
+}
+
+impl LdaTrainer for WordPartitionedTrainer {
+    fn policy(&self) -> PartitionPolicy {
+        PartitionPolicy::Word
+    }
+
+    fn config(&self) -> &TrainerConfig {
+        WordPartitionedTrainer::config(self)
+    }
+
+    fn num_gpus(&self) -> usize {
+        WordPartitionedTrainer::num_gpus(self)
+    }
+
+    fn step(&mut self) -> IterationStat {
+        WordPartitionedTrainer::step(self)
+    }
+
+    fn history(&self) -> &RunHistory {
+        WordPartitionedTrainer::history(self)
+    }
+
+    fn breakdown(&self) -> Breakdown {
+        // System view: per-GPU sampling/ϕ-rebuild time plus the shared θ
+        // sync phase (this policy's analogue of the ϕ sync).
+        let mut b = self.per_gpu_breakdowns().merged();
+        if self.theta_sync_seconds > 0.0 {
+            b.add(Phase::SyncPhi, self.theta_sync_seconds);
+        }
+        b
+    }
+
+    fn per_gpu_breakdowns(&self) -> GpuBreakdowns {
+        WordPartitionedTrainer::per_gpu_breakdowns(self)
+    }
+
+    fn profile(&self) -> ProfileLog {
+        WordPartitionedTrainer::profile(self)
+    }
+
+    fn attach_observability(
+        &mut self,
+        trace: Option<Arc<TraceSink>>,
+        metrics: Option<Arc<MetricsRegistry>>,
+    ) {
+        WordPartitionedTrainer::attach_observability(self, trace, metrics)
+    }
+
+    fn loglik_per_token(&self) -> f64 {
+        WordPartitionedTrainer::loglik_per_token(self)
+    }
+
+    fn check_invariants(&self) {
+        WordPartitionedTrainer::check_invariants(self)
+    }
+
+    fn phi(&self) -> &PhiModel {
+        WordPartitionedTrainer::phi(self)
+    }
+
+    fn iterations_done(&self) -> u32 {
+        WordPartitionedTrainer::iterations_done(self)
+    }
+
+    fn assignments(&self) -> Vec<Vec<u16>> {
+        WordPartitionedTrainer::assignments(self)
+    }
+
+    fn restore_assignments(&mut self, iteration: u32, z: &[Vec<u16>]) -> Result<(), String> {
+        WordPartitionedTrainer::restore_assignments(self, iteration, z)
+    }
+}
+
+/// Constructs the chosen policy's trainer behind the unified surface.
+pub fn build_trainer(
+    policy: PartitionPolicy,
+    corpus: &culda_corpus::Corpus,
+    cfg: TrainerConfig,
+) -> Box<dyn LdaTrainer> {
+    match policy {
+        PartitionPolicy::Document => Box::new(CuldaTrainer::new(corpus, cfg)),
+        PartitionPolicy::Word => Box::new(WordPartitionedTrainer::new(corpus, cfg)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culda_corpus::SynthSpec;
+    use culda_gpusim::Platform;
+    use culda_metrics::Phase;
+
+    fn corpus() -> culda_corpus::Corpus {
+        let mut spec = SynthSpec::tiny();
+        spec.num_docs = 120;
+        spec.vocab_size = 200;
+        spec.avg_doc_len = 20.0;
+        spec.generate()
+    }
+
+    fn cfg() -> TrainerConfig {
+        TrainerConfig::new(8, Platform::pascal().with_gpus(2))
+            .unwrap()
+            .with_iterations(2)
+            .with_score_every(0)
+            .with_seed(5)
+    }
+
+    #[test]
+    fn policy_labels_round_trip() {
+        for p in [PartitionPolicy::Document, PartitionPolicy::Word] {
+            assert_eq!(p.label().parse::<PartitionPolicy>().unwrap(), p);
+        }
+        assert!("gpu".parse::<PartitionPolicy>().is_err());
+    }
+
+    #[test]
+    fn both_policies_drive_through_the_trait() {
+        let c = corpus();
+        for policy in [PartitionPolicy::Document, PartitionPolicy::Word] {
+            let mut t = build_trainer(policy, &c, cfg());
+            assert_eq!(t.policy(), policy);
+            assert_eq!(t.num_gpus(), 2);
+            assert_eq!(t.iterations_done(), 0);
+            let before = t.loglik_per_token();
+            for _ in 0..2 {
+                t.step();
+            }
+            t.check_invariants();
+            assert_eq!(t.iterations_done(), 2);
+            assert_eq!(t.history().len(), 2);
+            assert!(t.loglik_per_token() > before, "{policy} did not improve");
+            assert!(t.breakdown().seconds(Phase::Sampling) > 0.0);
+            assert_eq!(t.per_gpu_breakdowns().num_gpus(), 2);
+            assert!(!t.profile().is_empty());
+            assert_eq!(t.phi().num_topics, 8);
+            assert_eq!(t.config().num_topics, 8);
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_continues_bit_identically_for_both_policies() {
+        let c = corpus();
+        for policy in [PartitionPolicy::Document, PartitionPolicy::Word] {
+            let mut reference = build_trainer(policy, &c, cfg());
+            let mut resumed = build_trainer(policy, &c, cfg());
+            reference.step();
+            reference.step();
+            let snap = reference.assignments();
+            let iter = reference.iterations_done();
+            resumed
+                .restore_assignments(iter, &snap)
+                .expect("restore must succeed");
+            reference.step();
+            resumed.step();
+            assert_eq!(
+                reference.assignments(),
+                resumed.assignments(),
+                "{policy} diverged after restore"
+            );
+            assert!(
+                (reference.loglik_per_token() - resumed.loglik_per_token()).abs() < 1e-12,
+                "{policy} loglik diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn restore_rejects_shape_mismatch() {
+        let c = corpus();
+        let mut t = build_trainer(PartitionPolicy::Word, &c, cfg());
+        let mut snap = t.assignments();
+        snap.pop();
+        assert!(t.restore_assignments(1, &snap).is_err());
+        let mut t2 = build_trainer(PartitionPolicy::Document, &c, cfg());
+        let mut snap2 = t2.assignments();
+        snap2[0].pop();
+        assert!(t2.restore_assignments(1, &snap2).is_err());
+    }
+}

@@ -1,6 +1,41 @@
 //! Trainer configuration.
 
 use culda_gpusim::{Link, Platform};
+use culda_sampler::MAX_TOPICS;
+use std::fmt;
+
+/// Why a [`TrainerConfig`] was rejected. Every constructor path surfaces
+/// these instead of letting a degenerate configuration (zero topics, zero
+/// GPUs, zero iterations, zero workers) silently produce an empty plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `num_topics == 0` or beyond the u16 compression limit.
+    BadTopicCount(usize),
+    /// The platform has no GPUs to schedule onto.
+    NoGpus,
+    /// `iterations == 0` — the run would do nothing.
+    NoIterations,
+    /// `host_workers == Some(0)` — no threads to execute blocks.
+    NoHostWorkers,
+    /// `chunks_per_gpu == Some(0)` — no chunks to schedule.
+    NoChunks,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::BadTopicCount(k) => {
+                write!(f, "num_topics must be in 1..={MAX_TOPICS}, got {k}")
+            }
+            ConfigError::NoGpus => write!(f, "platform must have at least one GPU"),
+            ConfigError::NoIterations => write!(f, "iterations must be >= 1"),
+            ConfigError::NoHostWorkers => write!(f, "host_workers must be >= 1"),
+            ConfigError::NoChunks => write!(f, "chunks_per_gpu must be >= 1"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Everything that parameterizes a CuLDA training run.
 #[derive(Debug, Clone)]
@@ -43,8 +78,12 @@ pub struct TrainerConfig {
 impl TrainerConfig {
     /// A sensible default: `K` topics on `platform`, 100 iterations (the
     /// paper's Table 4 horizon), full optimizations, scoring every 10.
-    pub fn new(num_topics: usize, platform: Platform) -> Self {
-        Self {
+    ///
+    /// Rejects degenerate configurations (`K == 0`, `K` beyond the u16
+    /// compression limit, a platform with zero GPUs) instead of letting
+    /// them surface later as empty plans or division panics.
+    pub fn new(num_topics: usize, platform: Platform) -> Result<Self, ConfigError> {
+        let cfg = Self {
             num_topics,
             iterations: 100,
             seed: 0xC0_1DA,
@@ -58,7 +97,31 @@ impl TrainerConfig {
             peer_link: None,
             ring_sync: false,
             host_workers: None,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Full validity check; constructors call this, and the trainers
+    /// re-check on entry so configs assembled by hand (the fields are
+    /// public) cannot smuggle in a degenerate run.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.num_topics == 0 || self.num_topics > MAX_TOPICS {
+            return Err(ConfigError::BadTopicCount(self.num_topics));
         }
+        if self.platform.num_gpus == 0 {
+            return Err(ConfigError::NoGpus);
+        }
+        if self.iterations == 0 {
+            return Err(ConfigError::NoIterations);
+        }
+        if self.host_workers == Some(0) {
+            return Err(ConfigError::NoHostWorkers);
+        }
+        if self.chunks_per_gpu == Some(0) {
+            return Err(ConfigError::NoChunks);
+        }
+        Ok(())
     }
 
     /// Builder-style override of the iteration count.
@@ -107,7 +170,7 @@ mod tests {
 
     #[test]
     fn defaults_match_paper() {
-        let cfg = TrainerConfig::new(1024, Platform::volta());
+        let cfg = TrainerConfig::new(1024, Platform::volta()).unwrap();
         assert_eq!(cfg.iterations, 100);
         assert!(cfg.compressed);
         assert!(cfg.use_shared_memory);
@@ -116,7 +179,7 @@ mod tests {
 
     #[test]
     fn phi_bytes_respect_compression() {
-        let mut cfg = TrainerConfig::new(1000, Platform::maxwell());
+        let mut cfg = TrainerConfig::new(1000, Platform::maxwell()).unwrap();
         assert_eq!(cfg.phi_device_bytes(100), (100_000 + 1000) * 2);
         cfg.compressed = false;
         assert_eq!(cfg.phi_device_bytes(100), (100_000 + 1000) * 4);
@@ -125,6 +188,7 @@ mod tests {
     #[test]
     fn builders_chain() {
         let cfg = TrainerConfig::new(8, Platform::maxwell())
+            .unwrap()
             .with_iterations(5)
             .with_seed(9)
             .with_score_every(1)
@@ -133,5 +197,48 @@ mod tests {
         assert_eq!(cfg.seed, 9);
         assert_eq!(cfg.score_every, 1);
         assert_eq!(cfg.host_workers, Some(3));
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        assert_eq!(
+            TrainerConfig::new(0, Platform::maxwell()).unwrap_err(),
+            ConfigError::BadTopicCount(0)
+        );
+        assert_eq!(
+            TrainerConfig::new(MAX_TOPICS + 1, Platform::maxwell()).unwrap_err(),
+            ConfigError::BadTopicCount(MAX_TOPICS + 1)
+        );
+        let mut headless = Platform::maxwell();
+        headless.num_gpus = 0;
+        assert_eq!(
+            TrainerConfig::new(8, headless).unwrap_err(),
+            ConfigError::NoGpus
+        );
+    }
+
+    #[test]
+    fn validate_catches_builder_and_field_degeneracy() {
+        let ok = TrainerConfig::new(8, Platform::maxwell()).unwrap();
+        assert!(ok.validate().is_ok());
+        assert_eq!(
+            ok.clone().with_iterations(0).validate().unwrap_err(),
+            ConfigError::NoIterations
+        );
+        assert_eq!(
+            ok.clone().with_host_workers(0).validate().unwrap_err(),
+            ConfigError::NoHostWorkers
+        );
+        let mut chunks = ok.clone();
+        chunks.chunks_per_gpu = Some(0);
+        assert_eq!(chunks.validate().unwrap_err(), ConfigError::NoChunks);
+    }
+
+    #[test]
+    fn errors_render_actionable_messages() {
+        let msg = TrainerConfig::new(0, Platform::maxwell())
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("num_topics"), "{msg}");
     }
 }

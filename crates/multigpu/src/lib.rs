@@ -15,7 +15,7 @@
 //! use culda_multigpu::{CuldaTrainer, TrainerConfig};
 //!
 //! let corpus = SynthSpec::tiny().generate();
-//! let cfg = TrainerConfig::new(8, Platform::volta())
+//! let cfg = TrainerConfig::new(8, Platform::volta()).unwrap()
 //!     .with_iterations(3)
 //!     .with_score_every(0);
 //! let outcome = CuldaTrainer::new(&corpus, cfg).train();
@@ -25,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod config;
 pub mod partition;
 pub mod policy;
@@ -35,10 +36,11 @@ pub mod trainer;
 pub mod word_trainer;
 pub mod worker;
 
-pub use config::TrainerConfig;
+pub use api::{build_trainer, LdaTrainer, PartitionPolicy};
+pub use config::{ConfigError, TrainerConfig};
 pub use partition::PartitionedCorpus;
 pub use policy::{compare_policies, compare_policies_analytic, PolicyComparison};
-pub use resume::{resume_training, save_training};
+pub use resume::{resume_any, resume_training, resume_word_training, save_training};
 pub use schedule::{chunk_owner, plan_partition, MemoryPlan};
 pub use sync::{sync_phi_replicas, sync_phi_ring, SyncReport};
 pub use trainer::{CuldaTrainer, TrainOutcome};

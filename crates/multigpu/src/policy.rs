@@ -110,7 +110,7 @@ mod tests {
     #[test]
     fn corpus_and_analytic_agree_roughly() {
         let corpus = SynthSpec::tiny().generate();
-        let cfg = TrainerConfig::new(16, Platform::maxwell());
+        let cfg = TrainerConfig::new(16, Platform::maxwell()).unwrap();
         let exact = compare_policies(&corpus, &cfg);
         let approx = compare_policies_analytic(
             corpus.num_docs() as u64,

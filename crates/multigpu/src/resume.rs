@@ -1,4 +1,4 @@
-//! Training checkpoints: suspend and resume a CuLDA run.
+//! Training checkpoints: suspend and resume a training run.
 //!
 //! The paper's runs are hundreds of iterations over hours; production
 //! training must survive restarts. The ϕ checkpoint of
@@ -6,17 +6,25 @@
 //! *training* needs the exact sampler state: every token's assignment,
 //! the iteration counter, and the configuration identity. This module
 //! serializes that (hand-rolled little-endian, consistent with the
-//! workspace's no-serde policy) and rebuilds a trainer that continues
+//! workspace's no-serde policy) for **either** partition policy through
+//! the [`LdaTrainer`] surface, and rebuilds a trainer that continues
 //! **bit-identically** — the golden property the tests pin: train 2+3
 //! iterations with a save/load in between ≡ train 5 straight.
+//!
+//! Format: `"CULDARUN"`, version (u32), policy tag (u32, v2+), seed
+//! (u64), K (u64), iteration (u32), shard count (u64), then per shard a
+//! token count (u64) and the u16 assignments. Version-1 checkpoints had
+//! no policy tag and are read as partition-by-document.
 
+use crate::api::{LdaTrainer, PartitionPolicy};
 use crate::config::TrainerConfig;
 use crate::trainer::CuldaTrainer;
+use crate::word_trainer::WordPartitionedTrainer;
 use culda_corpus::Corpus;
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 8] = b"CULDARUN";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 fn invalid(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
@@ -42,18 +50,26 @@ fn r64<R: Read>(r: &mut R) -> io::Result<u64> {
     Ok(u64::from_le_bytes(b))
 }
 
-/// Serializes the resumable state of a trainer: config identity (seed, K,
-/// chunk count), the iteration counter, and each chunk's assignments.
-pub fn save_training<W: Write>(trainer: &CuldaTrainer, mut out: W) -> io::Result<()> {
+fn policy_tag(policy: PartitionPolicy) -> u32 {
+    match policy {
+        PartitionPolicy::Document => 0,
+        PartitionPolicy::Word => 1,
+    }
+}
+
+/// Serializes the resumable state of either policy's trainer: policy tag,
+/// config identity (seed, K, shard count), the iteration counter, and
+/// each chunk/shard's assignments.
+pub fn save_training<W: Write>(trainer: &dyn LdaTrainer, mut out: W) -> io::Result<()> {
     out.write_all(MAGIC)?;
     w32(&mut out, VERSION)?;
-    w64(&mut out, trainer.cfg.seed)?;
-    w64(&mut out, trainer.cfg.num_topics as u64)?;
+    w32(&mut out, policy_tag(trainer.policy()))?;
+    w64(&mut out, trainer.config().seed)?;
+    w64(&mut out, trainer.config().num_topics as u64)?;
     w32(&mut out, trainer.iterations_done())?;
-    let states = trainer.states();
-    w64(&mut out, states.len() as u64)?;
-    for st in states {
-        let z = st.z.snapshot();
+    let shards = trainer.assignments();
+    w64(&mut out, shards.len() as u64)?;
+    for z in shards {
         w64(&mut out, z.len() as u64)?;
         for v in z {
             out.write_all(&v.to_le_bytes())?;
@@ -62,55 +78,87 @@ pub fn save_training<W: Write>(trainer: &CuldaTrainer, mut out: W) -> io::Result
     Ok(())
 }
 
-/// Rebuilds a trainer from `corpus` + `cfg` and a checkpoint produced by
-/// [`save_training`]. The corpus and configuration must be the ones the
-/// checkpoint was taken with (validated where possible: seed, K, chunk
-/// count, per-chunk token counts).
-pub fn resume_training<R: Read>(
-    corpus: &Corpus,
-    cfg: TrainerConfig,
-    mut input: R,
-) -> io::Result<CuldaTrainer> {
+/// Parsed checkpoint header (everything before the assignment payload).
+struct Header {
+    policy: PartitionPolicy,
+    seed: u64,
+    num_topics: usize,
+    iteration: u32,
+    num_shards: usize,
+}
+
+fn read_header<R: Read>(input: &mut R) -> io::Result<Header> {
     let mut magic = [0u8; 8];
     input.read_exact(&mut magic)?;
     if &magic != MAGIC {
         return Err(invalid("not a CuLDA training checkpoint"));
     }
-    let version = r32(&mut input)?;
-    if version != VERSION {
-        return Err(invalid(format!("unsupported checkpoint version {version}")));
-    }
-    let seed = r64(&mut input)?;
-    if seed != cfg.seed {
-        return Err(invalid(format!(
-            "checkpoint seed {seed:#x} != config seed {:#x}",
-            cfg.seed
-        )));
-    }
-    let k = r64(&mut input)? as usize;
-    if k != cfg.num_topics {
-        return Err(invalid(format!(
-            "checkpoint K = {k} != config K = {}",
-            cfg.num_topics
-        )));
-    }
-    let iteration = r32(&mut input)?;
-    let num_chunks = r64(&mut input)? as usize;
+    let version = r32(input)?;
+    let policy = match version {
+        // v1 predates the policy tag; it was CuldaTrainer-only.
+        1 => PartitionPolicy::Document,
+        2 => match r32(input)? {
+            0 => PartitionPolicy::Document,
+            1 => PartitionPolicy::Word,
+            tag => return Err(invalid(format!("unknown policy tag {tag}"))),
+        },
+        v => return Err(invalid(format!("unsupported checkpoint version {v}"))),
+    };
+    let seed = r64(input)?;
+    let num_topics = r64(input)? as usize;
+    let iteration = r32(input)?;
+    let num_shards = r64(input)? as usize;
+    Ok(Header {
+        policy,
+        seed,
+        num_topics,
+        iteration,
+        num_shards,
+    })
+}
 
-    let mut trainer = CuldaTrainer::new(corpus, cfg);
-    if trainer.states().len() != num_chunks {
+/// Shared resume back-end: validates the header against `cfg` and the
+/// freshly constructed `trainer`, reads the payload, and restores.
+fn resume_into<T: LdaTrainer, R: Read>(
+    mut trainer: T,
+    cfg: &TrainerConfig,
+    mut input: R,
+) -> io::Result<T> {
+    let header = read_header(&mut input)?;
+    if header.policy != trainer.policy() {
         return Err(invalid(format!(
-            "checkpoint has {num_chunks} chunks, corpus partitions into {}",
-            trainer.states().len()
+            "checkpoint was taken with the {} policy, resuming as {}",
+            header.policy,
+            trainer.policy()
         )));
     }
-    let mut all_z = Vec::with_capacity(num_chunks);
-    for ci in 0..num_chunks {
+    if header.seed != cfg.seed {
+        return Err(invalid(format!(
+            "checkpoint seed {:#x} != config seed {:#x}",
+            header.seed, cfg.seed
+        )));
+    }
+    if header.num_topics != cfg.num_topics {
+        return Err(invalid(format!(
+            "checkpoint K = {} != config K = {}",
+            header.num_topics, cfg.num_topics
+        )));
+    }
+    let shapes: Vec<usize> = trainer.assignments().iter().map(Vec::len).collect();
+    if shapes.len() != header.num_shards {
+        return Err(invalid(format!(
+            "checkpoint has {} shards, corpus partitions into {}",
+            header.num_shards,
+            shapes.len()
+        )));
+    }
+    let k = header.num_topics;
+    let mut all_z = Vec::with_capacity(header.num_shards);
+    for (ci, &expect) in shapes.iter().enumerate() {
         let n = r64(&mut input)? as usize;
-        if n != trainer.states()[ci].z.len() {
+        if n != expect {
             return Err(invalid(format!(
-                "chunk {ci} has {n} tokens in the checkpoint but {} in the corpus",
-                trainer.states()[ci].z.len()
+                "shard {ci} has {n} tokens in the checkpoint but {expect} in the corpus"
             )));
         }
         let mut z = Vec::with_capacity(n);
@@ -126,9 +174,66 @@ pub fn resume_training<R: Read>(
         all_z.push(z);
     }
     trainer
-        .restore_assignments(iteration, &all_z)
+        .restore_assignments(header.iteration, &all_z)
         .map_err(invalid)?;
     Ok(trainer)
+}
+
+/// Rebuilds a partition-by-document trainer from `corpus` + `cfg` and a
+/// checkpoint produced by [`save_training`]. The corpus and configuration
+/// must be the ones the checkpoint was taken with (validated where
+/// possible: policy, seed, K, chunk count, per-chunk token counts).
+pub fn resume_training<R: Read>(
+    corpus: &Corpus,
+    cfg: TrainerConfig,
+    input: R,
+) -> io::Result<CuldaTrainer> {
+    let trainer = CuldaTrainer::new(corpus, cfg.clone());
+    resume_into(trainer, &cfg, input)
+}
+
+/// Rebuilds a partition-by-word trainer from a [`save_training`]
+/// checkpoint; the word-policy counterpart of [`resume_training`].
+pub fn resume_word_training<R: Read>(
+    corpus: &Corpus,
+    cfg: TrainerConfig,
+    input: R,
+) -> io::Result<WordPartitionedTrainer> {
+    let trainer = WordPartitionedTrainer::new(corpus, cfg.clone());
+    resume_into(trainer, &cfg, input)
+}
+
+/// Policy-dispatching resume: reads the tag from the checkpoint itself
+/// and rebuilds the matching trainer behind the [`LdaTrainer`] surface.
+pub fn resume_any<R: Read>(
+    corpus: &Corpus,
+    cfg: TrainerConfig,
+    mut input: R,
+) -> io::Result<Box<dyn LdaTrainer>> {
+    // Peek the header by buffering it, then replay for the typed path.
+    let mut head = vec![0u8; 16];
+    input.read_exact(&mut head)?;
+    let mut cursor = io::Cursor::new(&head);
+    let mut magic = [0u8; 8];
+    cursor.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(invalid("not a CuLDA training checkpoint"));
+    }
+    let version = r32(&mut cursor)?;
+    let policy = match version {
+        1 => PartitionPolicy::Document,
+        2 => match r32(&mut cursor)? {
+            0 => PartitionPolicy::Document,
+            1 => PartitionPolicy::Word,
+            tag => return Err(invalid(format!("unknown policy tag {tag}"))),
+        },
+        v => return Err(invalid(format!("unsupported checkpoint version {v}"))),
+    };
+    let replay = io::Cursor::new(head).chain(input);
+    Ok(match policy {
+        PartitionPolicy::Document => Box::new(resume_training(corpus, cfg, replay)?),
+        PartitionPolicy::Word => Box::new(resume_word_training(corpus, cfg, replay)?),
+    })
 }
 
 #[cfg(test)]
@@ -147,6 +252,15 @@ mod tests {
 
     fn cfg() -> TrainerConfig {
         TrainerConfig::new(8, Platform::maxwell())
+            .unwrap()
+            .with_iterations(10)
+            .with_score_every(0)
+            .with_seed(31)
+    }
+
+    fn multi_gpu_cfg() -> TrainerConfig {
+        TrainerConfig::new(8, Platform::pascal().with_gpus(2))
+            .unwrap()
             .with_iterations(10)
             .with_score_every(0)
             .with_seed(31)
@@ -177,6 +291,55 @@ mod tests {
     }
 
     #[test]
+    fn word_trainer_resume_is_bit_identical_to_straight_training() {
+        let c = corpus();
+        let mut straight = WordPartitionedTrainer::new(&c, multi_gpu_cfg());
+        for _ in 0..5 {
+            straight.step();
+        }
+        let mut first = WordPartitionedTrainer::new(&c, multi_gpu_cfg());
+        first.step();
+        first.step();
+        let mut buf = Vec::new();
+        save_training(&first, &mut buf).unwrap();
+        let mut resumed = resume_word_training(&c, multi_gpu_cfg(), buf.as_slice()).unwrap();
+        for _ in 0..3 {
+            resumed.step();
+        }
+        assert_eq!(
+            straight.assignments(),
+            resumed.assignments(),
+            "word-policy resume broke the chain"
+        );
+        assert!((straight.loglik_per_token() - resumed.loglik_per_token()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resume_any_dispatches_on_the_policy_tag() {
+        let c = corpus();
+        for policy in [PartitionPolicy::Document, PartitionPolicy::Word] {
+            let mut t = crate::api::build_trainer(policy, &c, multi_gpu_cfg());
+            t.step();
+            let mut buf = Vec::new();
+            save_training(t.as_ref(), &mut buf).unwrap();
+            let resumed = resume_any(&c, multi_gpu_cfg(), buf.as_slice()).unwrap();
+            assert_eq!(resumed.policy(), policy);
+            assert_eq!(resumed.iterations_done(), 1);
+            assert_eq!(resumed.assignments(), t.assignments());
+        }
+    }
+
+    #[test]
+    fn cross_policy_resume_is_rejected() {
+        let c = corpus();
+        let mut word = WordPartitionedTrainer::new(&c, multi_gpu_cfg());
+        word.step();
+        let mut buf = Vec::new();
+        save_training(&word, &mut buf).unwrap();
+        assert!(resume_training(&c, multi_gpu_cfg(), buf.as_slice()).is_err());
+    }
+
+    #[test]
     fn mismatched_config_is_rejected() {
         let c = corpus();
         let mut t = CuldaTrainer::new(&c, cfg());
@@ -187,7 +350,9 @@ mod tests {
         let bad = cfg().with_seed(32);
         assert!(resume_training(&c, bad, buf.as_slice()).is_err());
         // Wrong K.
-        let bad = TrainerConfig::new(16, Platform::maxwell()).with_seed(31);
+        let bad = TrainerConfig::new(16, Platform::maxwell())
+            .unwrap()
+            .with_seed(31);
         assert!(resume_training(&c, bad, buf.as_slice()).is_err());
         // Wrong corpus (different shape).
         let mut spec = SynthSpec::tiny();

@@ -200,7 +200,7 @@ mod tests {
     }
 
     fn cfg() -> TrainerConfig {
-        TrainerConfig::new(4, Platform::pascal())
+        TrainerConfig::new(4, Platform::pascal()).unwrap()
     }
 
     fn refs(reps: &[PhiModel]) -> Vec<&PhiModel> {
@@ -291,7 +291,7 @@ mod tests {
         // 2·7/8 ≈ 1.75 replicas with all links busy.
         let gpu = Platform::pascal().gpu;
         let link = Link::pcie3();
-        let cfg = TrainerConfig::new(256, Platform::pascal());
+        let cfg = TrainerConfig::new(256, Platform::pascal()).unwrap();
         let tree = sync_phi_replicas(&refs(&replicas_sized(8, 256, 4000)), &gpu, &link, &cfg);
         let ring = sync_phi_ring(&refs(&replicas_sized(8, 256, 4000)), &gpu, &link, &cfg);
         assert!(
@@ -307,7 +307,7 @@ mod tests {
         // A model big enough that bytes dominate latency: K=256, V=2000.
         let gpu = Platform::pascal().gpu;
         let link = Link::pcie3();
-        let mut c = TrainerConfig::new(256, Platform::pascal());
+        let mut c = TrainerConfig::new(256, Platform::pascal()).unwrap();
         let small = sync_phi_replicas(&refs(&replicas_sized(2, 256, 2000)), &gpu, &link, &c)
             .total_seconds();
         c.compressed = false;

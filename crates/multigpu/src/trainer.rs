@@ -80,6 +80,7 @@ impl CuldaTrainer {
     /// chunks to workers round-robin, and charges the initial host→device
     /// transfers (Algorithm 1, lines 7–9).
     pub fn new(corpus: &Corpus, cfg: TrainerConfig) -> Self {
+        cfg.validate().expect("invalid TrainerConfig");
         let (part, plan) = plan_partition(corpus, &cfg);
         let mut cluster = GpuCluster::from_platform(&cfg.platform);
         if let Some(link) = cfg.peer_link {
@@ -655,6 +656,7 @@ mod tests {
 
     fn cfg(platform: Platform) -> TrainerConfig {
         TrainerConfig::new(16, platform)
+            .unwrap()
             .with_iterations(3)
             .with_score_every(1)
             .with_seed(42)
@@ -805,6 +807,7 @@ mod tests {
         let c = spec.generate();
         let run = |gpus: usize| {
             let config = TrainerConfig::new(32, Platform::pascal().with_gpus(gpus))
+                .unwrap()
                 .with_iterations(2)
                 .with_score_every(0)
                 .with_seed(42);
@@ -860,7 +863,7 @@ mod tests {
         small_mem.gpu = GpuSpec {
             // Two ϕ buffers plus about half the corpus state: forces M > 1.
             memory_bytes: {
-                let probe = TrainerConfig::new(16, Platform::maxwell());
+                let probe = TrainerConfig::new(16, Platform::maxwell()).unwrap();
                 2 * probe.phi_device_bytes(c.vocab_size()) + c.num_tokens() * 10 / 2
             },
             ..small_mem.gpu
@@ -879,6 +882,7 @@ mod tests {
     fn breakdown_is_dominated_by_sampling() {
         let c = perf_corpus();
         let config = TrainerConfig::new(32, Platform::maxwell())
+            .unwrap()
             .with_iterations(2)
             .with_score_every(0);
         let t = CuldaTrainer::new(&c, config);

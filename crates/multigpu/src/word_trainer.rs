@@ -19,7 +19,7 @@ use crate::sync::SyncReport;
 use crate::worker::{run_workers_traced, GpuWorker};
 use culda_corpus::{Corpus, CsrMatrix, Xoshiro256};
 use culda_gpusim::memory::AtomicU16Buf;
-use culda_gpusim::{BlockCtx, GpuCluster, KernelCost, KernelSpec, LaunchPhase, Link};
+use culda_gpusim::{BlockCtx, GpuCluster, KernelCost, KernelSpec, LaunchPhase, Link, ProfileLog};
 use culda_metrics::{
     GpuBreakdowns, IterationStat, Json, LdaLoglik, MetricsRegistry, Phase, RunHistory, TraceSink,
     SIM_PID, SYNC_TID,
@@ -81,6 +81,7 @@ pub struct WordPartitionedTrainer {
 impl WordPartitionedTrainer {
     /// Shards `corpus` by word over the platform's GPUs.
     pub fn new(corpus: &Corpus, cfg: TrainerConfig) -> Self {
+        cfg.validate().expect("invalid TrainerConfig");
         let g = cfg.platform.num_gpus;
         let v = corpus.vocab_size();
         assert!(g <= v, "more GPUs than words");
@@ -475,6 +476,96 @@ impl WordPartitionedTrainer {
         &self.history
     }
 
+    /// The run configuration.
+    pub fn config(&self) -> &TrainerConfig {
+        &self.cfg
+    }
+
+    /// Number of GPU workers (one per word shard).
+    pub fn num_gpus(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Iterations completed so far.
+    pub fn iterations_done(&self) -> u32 {
+        self.iteration
+    }
+
+    /// The current global ϕ (columns owned per shard, assembled whole).
+    pub fn phi(&self) -> &PhiModel {
+        &self.phi
+    }
+
+    /// Per-kernel launch log merged from the shard devices in device
+    /// order (this policy keeps the logs on the devices).
+    pub fn profile(&self) -> ProfileLog {
+        let mut log = ProfileLog::new();
+        for w in &self.workers {
+            log.merge(&w.device.profile());
+        }
+        log
+    }
+
+    /// Snapshot of every token's assignment, one vector per shard in
+    /// device order (the checkpoint payload).
+    pub fn assignments(&self) -> Vec<Vec<u16>> {
+        self.shards.iter().map(|s| s.z.snapshot()).collect()
+    }
+
+    /// Restores a checkpointed state: overwrites every shard's
+    /// assignments, rebuilds ϕ and θ from them, and sets the iteration
+    /// counter. Timing state restarts from zero; the *chain* continues
+    /// bit-identically because the RNG streams are keyed by
+    /// `(seed, iteration, global token index)`.
+    pub fn restore_assignments(
+        &mut self,
+        iteration: u32,
+        z_per_shard: &[Vec<u16>],
+    ) -> Result<(), String> {
+        if z_per_shard.len() != self.shards.len() {
+            return Err(format!(
+                "{} shards supplied, trainer has {}",
+                z_per_shard.len(),
+                self.shards.len()
+            ));
+        }
+        for (si, z) in z_per_shard.iter().enumerate() {
+            if z.len() != self.shards[si].num_tokens() {
+                return Err(format!("shard {si} token-count mismatch"));
+            }
+            if let Some(&bad) = z.iter().find(|&&v| v as usize >= self.cfg.num_topics) {
+                return Err(format!("assignment {bad} out of range"));
+            }
+        }
+        let k = self.cfg.num_topics;
+        self.phi.clear();
+        let mut theta_dense = vec![vec![0u32; k]; self.num_docs];
+        for (si, z) in z_per_shard.iter().enumerate() {
+            let shard = &self.shards[si];
+            for (t, &v) in z.iter().enumerate() {
+                shard.z.store(t, v);
+            }
+            for (wi, &w) in shard.word_ids.iter().enumerate() {
+                for t in shard.word_ptr[wi]..shard.word_ptr[wi + 1] {
+                    let kk = shard.z.load(t) as usize;
+                    self.phi.phi.fetch_add(w as usize * k + kk, 1);
+                    self.phi.phi_sum.fetch_add(kk, 1);
+                    theta_dense[shard.token_doc[t] as usize][kk] += 1;
+                }
+            }
+        }
+        self.theta = CsrMatrix::from_dense_rows(&theta_dense, k);
+        self.iteration = iteration;
+        self.history = RunHistory::new();
+        self.theta_sync_seconds = 0.0;
+        for w in &mut self.workers {
+            w.breakdown = culda_metrics::Breakdown::new();
+            w.device.reset_clock();
+            w.device.clear_profile();
+        }
+        Ok(())
+    }
+
     /// Per-GPU phase attribution (sampling + local ϕ rebuild; the θ sync
     /// is a shared phase tracked in [`Self::theta_sync_seconds`]).
     pub fn per_gpu_breakdowns(&self) -> GpuBreakdowns {
@@ -508,6 +599,7 @@ mod tests {
 
     fn cfg(gpus: usize) -> TrainerConfig {
         TrainerConfig::new(16, Platform::pascal().with_gpus(gpus))
+            .unwrap()
             .with_iterations(5)
             .with_score_every(0)
             .with_seed(77)
@@ -554,6 +646,7 @@ mod tests {
         }
         assert!(word.theta_sync_seconds > 0.0);
         let mut doc_cfg = crate::TrainerConfig::new(16, Platform::pascal().with_gpus(4))
+            .unwrap()
             .with_iterations(3)
             .with_score_every(0)
             .with_seed(77);

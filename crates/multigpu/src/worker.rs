@@ -317,7 +317,9 @@ mod tests {
         use culda_sampler::{accumulate_phi_host, build_block_map, Priors};
 
         let corpus = SynthSpec::tiny().generate();
-        let cfg = TrainerConfig::new(8, Platform::maxwell()).with_seed(11);
+        let cfg = TrainerConfig::new(8, Platform::maxwell())
+            .unwrap()
+            .with_seed(11);
         let (part, _plan) = crate::schedule::plan_partition(&corpus, &cfg);
         let priors = Priors::paper(cfg.num_topics);
         let chunk = &part.chunks[0];

@@ -12,6 +12,8 @@
 //! * [`blockmap`] — Figure 6 word-first block assignment with heavy-word
 //!   splitting and smallest-ID-first scheduling.
 //! * [`kernel_sample`] — the warp-per-sampler sampling kernel (Algorithm 2).
+//! * [`kernel_infer`] — the warp-per-document fold-in kernel (serving path,
+//!   ϕ strictly read-only).
 //! * [`kernel_theta`] / [`kernel_phi`] — the Section 6.2 update kernels.
 //! * [`plan`] — [`KernelSet`]/[`IterationPlan`]: one GPU's iteration body
 //!   (sample → ϕ → θ, resident or pipelined) submitted as a unit.
@@ -28,6 +30,7 @@ pub mod dense;
 pub mod hyper;
 pub mod hyper_opt;
 pub mod infer;
+pub mod kernel_infer;
 pub mod kernel_phi;
 pub mod kernel_sample;
 pub mod kernel_theta;
@@ -43,9 +46,14 @@ pub use dense::DenseCgs;
 pub use hyper::Priors;
 pub use hyper_opt::{minka_alpha_step, optimize_alpha};
 pub use infer::FoldIn;
+pub use kernel_infer::{
+    infer_reference, run_infer_kernel, DocPosterior, InferDoc, InferKernelConfig,
+};
 pub use kernel_phi::{run_phi_clear_kernel, run_phi_update_kernel};
 pub use kernel_sample::{run_sampling_kernel, sample_chunk_reference, SampleConfig};
 pub use kernel_theta::run_theta_update_kernel;
-pub use model::{accumulate_phi_host, build_theta_host, ChunkState, PhiModel, MAX_TOPICS};
+pub use model::{
+    accumulate_phi_host, build_theta_host, ChunkState, LdaModel, PhiModel, MAX_TOPICS,
+};
 pub use plan::{ChunkTask, IterationPlan, KernelSet, PlanReport};
 pub use ptree::{IndexTree, DEFAULT_FANOUT};

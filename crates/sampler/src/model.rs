@@ -19,6 +19,71 @@ use culda_gpusim::memory::{AtomicU16Buf, AtomicU32Buf};
 /// Upper bound on topics imposed by the u16 compression.
 pub const MAX_TOPICS: usize = u16::MAX as usize + 1;
 
+/// A frozen, read-only view of a trained LDA model — the single surface
+/// every model consumer (serving, perplexity scoring, topic dumps,
+/// checkpoint writers) programs against, whether the counts live in a
+/// trainer's live replica or in a serving snapshot.
+///
+/// The contract is *counts only*: implementors expose the raw word–topic
+/// counters and topic totals; smoothing (`+β`, `÷(n_k + βV)`) is applied
+/// by the provided combinators so every consumer smooths identically.
+pub trait LdaModel {
+    /// Topic count `K`.
+    fn num_topics(&self) -> usize;
+    /// Vocabulary size `V`.
+    fn vocab_size(&self) -> usize;
+    /// Hyper-parameters the model was trained with.
+    fn priors(&self) -> Priors;
+    /// Raw count `ϕ_{k,v}` for `(word, topic)`.
+    fn phi_count(&self, word: usize, topic: usize) -> u32;
+    /// Raw topic total `n_k = Σ_v ϕ_{k,v}`.
+    fn topic_total(&self, topic: usize) -> u32;
+
+    /// Total tokens the model was estimated from.
+    fn total_tokens(&self) -> u64 {
+        (0..self.num_topics())
+            .map(|k| self.topic_total(k) as u64)
+            .sum()
+    }
+
+    /// `1 / (n_k + βV)` per topic — the shared Eq. 8 denominator.
+    fn inv_denominators(&self) -> Vec<f32> {
+        let beta_v = self.priors().beta_v(self.vocab_size()) as f32;
+        (0..self.num_topics())
+            .map(|k| 1.0 / (self.topic_total(k) as f32 + beta_v))
+            .collect()
+    }
+
+    /// Smoothed word emission probability `p(w | k)` in f64 (scoring path).
+    fn word_prob(&self, word: usize, topic: usize) -> f64 {
+        let beta_v = self.priors().beta_v(self.vocab_size());
+        (self.phi_count(word, topic) as f64 + self.priors().beta)
+            / (self.topic_total(topic) as f64 + beta_v)
+    }
+}
+
+impl LdaModel for PhiModel {
+    fn num_topics(&self) -> usize {
+        self.num_topics
+    }
+
+    fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    fn priors(&self) -> Priors {
+        self.priors
+    }
+
+    fn phi_count(&self, word: usize, topic: usize) -> u32 {
+        self.phi.load(self.phi_index(word, topic))
+    }
+
+    fn topic_total(&self, topic: usize) -> u32 {
+        self.phi_sum.load(topic)
+    }
+}
+
 /// Global (per-GPU replica) model state: ϕ and its sums.
 #[derive(Debug)]
 pub struct PhiModel {

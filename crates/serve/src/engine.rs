@@ -1,0 +1,524 @@
+//! The inference engine: micro-batched fold-in over the GPU worker fleet.
+//!
+//! Serving reuses the training stack's worker layer wholesale: each
+//! simulated GPU is a [`GpuWorker`] without ϕ replicas (the frozen model
+//! is shared read-only — no atomics, no sync phase), micro-batches are
+//! dealt round-robin across workers, and every launch goes through the
+//! same traced `run_workers_traced` fan-out the trainers use, so
+//! inference batches appear in `culda trace` output as host spans
+//! wrapping `lda_infer` kernel spans with roofline attribution.
+//!
+//! Results are bit-deterministic per `(model, seed)`: each document draws
+//! from an RNG stream keyed by its global arrival index, so θ and
+//! perplexity are identical regardless of `--batch-size`, `--workers`, or
+//! which simulated GPU a document lands on.
+
+use crate::frozen::FrozenModel;
+use culda_corpus::Corpus;
+use culda_gpusim::{Device, GpuSpec, ProfileLog};
+use culda_metrics::{Breakdown, MetricsRegistry, Phase, TraceSink};
+use culda_multigpu::{run_workers_traced, GpuWorker};
+use culda_sampler::{run_infer_kernel, DocPosterior, InferDoc, InferKernelConfig, LdaModel};
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Configuration for an [`InferenceEngine`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// RNG seed for the serving session (per-document streams derive
+    /// from it plus each document's global index).
+    pub seed: u64,
+    /// Simulated GPUs to fan micro-batches across.
+    pub workers: usize,
+    /// Documents per kernel launch (one block per document).
+    pub batch_size: usize,
+    /// Gibbs sweeps discarded before θ accumulation.
+    pub burnin: u32,
+    /// Post-burn-in sweeps averaged into θ̂.
+    pub samples: u32,
+    /// Count ϕ loads at u16 precision (the paper's compression).
+    pub compressed: bool,
+    /// Let blocks stage θ/weights/tree in shared memory when they fit.
+    pub use_shared_memory: bool,
+    /// Host threads driving each simulated device's blocks.
+    pub host_workers: usize,
+    /// The GPU model every worker simulates.
+    pub gpu: GpuSpec,
+}
+
+impl ServeConfig {
+    /// Serving defaults: 2 workers, 64-document micro-batches, 8 burn-in
+    /// + 4 sample sweeps, on the Pascal part the paper serves from.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            workers: 2,
+            batch_size: 64,
+            burnin: 8,
+            samples: 4,
+            compressed: true,
+            use_shared_memory: true,
+            host_workers: 1,
+            gpu: GpuSpec::titan_xp_pascal(),
+        }
+    }
+
+    /// Sets the simulated GPU count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the micro-batch size (documents per launch).
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Sets the burn-in sweep count.
+    pub fn with_burnin(mut self, burnin: u32) -> Self {
+        self.burnin = burnin;
+        self
+    }
+
+    /// Sets the post-burn-in sample sweep count.
+    pub fn with_samples(mut self, samples: u32) -> Self {
+        self.samples = samples;
+        self
+    }
+
+    /// Sets the simulated GPU model.
+    pub fn with_gpu(mut self, gpu: GpuSpec) -> Self {
+        self.gpu = gpu;
+        self
+    }
+
+    /// Sets the host threads per simulated device.
+    pub fn with_host_workers(mut self, host_workers: usize) -> Self {
+        self.host_workers = host_workers;
+        self
+    }
+
+    /// Rejects configurations that cannot serve anything.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.workers == 0 {
+            return Err("serving needs at least one worker".into());
+        }
+        if self.batch_size == 0 {
+            return Err("batch size must be at least one document".into());
+        }
+        if self.host_workers == 0 {
+            return Err("each device needs at least one host worker".into());
+        }
+        Ok(())
+    }
+
+    fn kernel_config(&self) -> InferKernelConfig {
+        InferKernelConfig {
+            seed: self.seed,
+            burnin: self.burnin,
+            samples: self.samples,
+            compressed: self.compressed,
+            use_shared_memory: self.use_shared_memory,
+        }
+    }
+}
+
+/// Everything one [`InferenceEngine::infer_batch`] call produces.
+#[derive(Debug, Clone)]
+pub struct InferenceOutcome {
+    /// Per-document normalized posterior topic mixture θ̂ (each row sums
+    /// to 1), in input order.
+    pub theta: Vec<Vec<f64>>,
+    /// Per-document log-predictive `Σ_w ln p(w | θ̂, ϕ)` under the final
+    /// θ̂ estimate, in input order (0 for empty documents).
+    pub doc_log_predictive: Vec<f64>,
+    /// Held-out perplexity `exp(−Σ_d ll_d / Σ_d |d|)` under the final θ̂.
+    pub perplexity: f64,
+    /// Perplexity after each Gibbs sweep, scored with the running-average
+    /// θ over the sweeps so far — the burn-in convergence curve.
+    pub perplexity_by_sweep: Vec<f64>,
+    /// Documents inferred.
+    pub docs: usize,
+    /// Tokens scored.
+    pub tokens: u64,
+    /// Kernel launches issued (micro-batches).
+    pub micro_batches: usize,
+    /// Critical-path simulated seconds (slowest worker this call).
+    pub sim_seconds: f64,
+    /// Total simulated device seconds summed over workers.
+    pub device_seconds: f64,
+}
+
+/// Micro-batched fold-in inference over a [`FrozenModel`].
+#[derive(Debug)]
+pub struct InferenceEngine {
+    model: FrozenModel,
+    inv_denom: Vec<f32>,
+    cfg: ServeConfig,
+    workers: Vec<GpuWorker>,
+    trace: Option<Arc<TraceSink>>,
+    batches_served: u64,
+    docs_served: u64,
+    tokens_served: u64,
+}
+
+impl InferenceEngine {
+    /// Builds an engine: `cfg.workers` replica-less [`GpuWorker`]s sharing
+    /// the frozen ϕ read-only.
+    pub fn new(model: FrozenModel, cfg: ServeConfig) -> Result<Self, String> {
+        cfg.validate()?;
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                GpuWorker::without_replicas(
+                    Device::new(i, cfg.gpu.clone()).with_workers(cfg.host_workers),
+                )
+            })
+            .collect();
+        let inv_denom = model.inv_denominators();
+        Ok(Self {
+            model,
+            inv_denom,
+            cfg,
+            workers,
+            trace: None,
+            batches_served: 0,
+            docs_served: 0,
+            tokens_served: 0,
+        })
+    }
+
+    /// The frozen model being served.
+    pub fn model(&self) -> &FrozenModel {
+        &self.model
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Simulated GPUs in the fleet.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Documents served so far (also the next document's RNG stream id).
+    pub fn docs_served(&self) -> u64 {
+        self.docs_served
+    }
+
+    /// Tokens scored so far.
+    pub fn tokens_served(&self) -> u64 {
+        self.tokens_served
+    }
+
+    /// Attaches PR-2 observability: every worker device reports kernel
+    /// spans/counters, and batch fan-outs emit host spans per GPU.
+    pub fn attach_observability(
+        &mut self,
+        trace: Option<Arc<TraceSink>>,
+        metrics: Option<Arc<MetricsRegistry>>,
+    ) {
+        for w in &self.workers {
+            if let Some(t) = &trace {
+                w.device.attach_trace(Arc::clone(t));
+            }
+            if let Some(m) = &metrics {
+                w.device.attach_metrics(Arc::clone(m));
+            }
+        }
+        self.trace = trace;
+    }
+
+    /// Per-GPU phase breakdowns accumulated across all batches served.
+    pub fn per_gpu_breakdowns(&self) -> Vec<Breakdown> {
+        self.workers.iter().map(|w| w.breakdown.clone()).collect()
+    }
+
+    /// Merged kernel profiles from every worker device.
+    pub fn profile(&self) -> ProfileLog {
+        let mut log = ProfileLog::new();
+        for w in &self.workers {
+            log.merge(&w.device.profile());
+        }
+        log
+    }
+
+    /// Infers θ̂ and held-out perplexity for a batch of documents (token
+    /// word-id lists). Documents are packed into `batch_size` micro-batches
+    /// dealt round-robin across the workers; results come back in input
+    /// order and are independent of that packing.
+    pub fn infer_batch(&mut self, docs: &[Vec<u32>]) -> Result<InferenceOutcome, String> {
+        if docs.is_empty() {
+            return Err("no documents to infer".into());
+        }
+        let vocab = self.model.vocab_size();
+        for (d, doc) in docs.iter().enumerate() {
+            if let Some(&w) = doc.iter().find(|&&w| w as usize >= vocab) {
+                return Err(format!(
+                    "document {d} has word id {w}, outside the model vocabulary of {vocab}"
+                ));
+            }
+        }
+
+        // Deal micro-batches round-robin: micro-batch b → worker b mod G.
+        let num_workers = self.workers.len();
+        let mut owned: Vec<Vec<(usize, Range<usize>)>> = vec![Vec::new(); num_workers];
+        let mut micro_batches = 0usize;
+        let mut start = 0usize;
+        while start < docs.len() {
+            let end = (start + self.cfg.batch_size).min(docs.len());
+            owned[micro_batches % num_workers].push((micro_batches, start..end));
+            micro_batches += 1;
+            start = end;
+        }
+
+        let kcfg = self.cfg.kernel_config();
+        let base_stream = self.docs_served;
+        let phi = self.model.phi();
+        let inv_denom = &self.inv_denom;
+        let label = format!("infer batch {}", self.batches_served);
+        let owned_ref = &owned;
+        let per_worker: Vec<Vec<(usize, Vec<DocPosterior>, f64)>> = run_workers_traced(
+            &mut self.workers,
+            self.trace.as_deref(),
+            &label,
+            |wi, worker| {
+                let mut done = Vec::with_capacity(owned_ref[wi].len());
+                for (_, range) in &owned_ref[wi] {
+                    let batch: Vec<InferDoc<'_>> = docs[range.clone()]
+                        .iter()
+                        .enumerate()
+                        .map(|(j, d)| InferDoc {
+                            stream_id: base_stream + (range.start + j) as u64,
+                            words: d,
+                        })
+                        .collect();
+                    let (posteriors, report) =
+                        run_infer_kernel(&worker.device, phi, inv_denom, &batch, &kcfg);
+                    worker.breakdown.add(Phase::Inference, report.sim_seconds);
+                    done.push((range.start, posteriors, report.sim_seconds));
+                }
+                done
+            },
+        );
+
+        // Scatter posteriors back to input order and aggregate scores.
+        let mut slots: Vec<Option<DocPosterior>> = vec![None; docs.len()];
+        let mut device_seconds = 0.0f64;
+        let mut sim_seconds = 0.0f64;
+        for worker_results in per_worker {
+            let worker_seconds: f64 = worker_results.iter().map(|(_, _, s)| s).sum();
+            sim_seconds = sim_seconds.max(worker_seconds);
+            device_seconds += worker_seconds;
+            for (start, posteriors, _) in worker_results {
+                for (j, p) in posteriors.into_iter().enumerate() {
+                    slots[start + j] = Some(p);
+                }
+            }
+        }
+
+        let k = self.model.num_topics();
+        let alpha = self.model.priors().alpha;
+        let tokens: u64 = docs.iter().map(|d| d.len() as u64).sum();
+        let sweeps = kcfg.sweeps() as usize;
+        let mut theta = Vec::with_capacity(docs.len());
+        let mut doc_log_predictive = Vec::with_capacity(docs.len());
+        let mut sweep_ll = vec![0.0f64; sweeps];
+        for (doc, slot) in docs.iter().zip(slots) {
+            let posterior = slot.expect("every document is inferred exactly once");
+            let th = posterior.theta(doc.len(), alpha, k);
+            doc_log_predictive.push(self.score_doc(doc, &th));
+            for (s, ll) in posterior.sweep_log_predictive.iter().enumerate() {
+                sweep_ll[s] += ll;
+            }
+            theta.push(th);
+        }
+        let perplexity = perplexity_from(doc_log_predictive.iter().sum(), tokens);
+        let perplexity_by_sweep: Vec<f64> = sweep_ll
+            .into_iter()
+            .map(|ll| perplexity_from(ll, tokens))
+            .collect();
+
+        self.batches_served += 1;
+        self.docs_served += docs.len() as u64;
+        self.tokens_served += tokens;
+        Ok(InferenceOutcome {
+            theta,
+            doc_log_predictive,
+            perplexity,
+            perplexity_by_sweep,
+            docs: docs.len(),
+            tokens,
+            micro_batches,
+            sim_seconds,
+            device_seconds,
+        })
+    }
+
+    /// Convenience: infers every document of a held-out corpus.
+    pub fn infer_corpus(&mut self, corpus: &Corpus) -> Result<InferenceOutcome, String> {
+        let docs: Vec<Vec<u32>> = corpus.docs.iter().map(|d| d.words.clone()).collect();
+        self.infer_batch(&docs)
+    }
+
+    /// `Σ_w ln Σ_k θ̂_k p(w|k)` for one document under the final θ̂.
+    fn score_doc(&self, words: &[u32], theta: &[f64]) -> f64 {
+        let beta = self.model.priors().beta;
+        let phi = self.model.phi();
+        let mut ll = 0.0;
+        for &w in words {
+            let base = w as usize * phi.num_topics;
+            let mut p = 0.0f64;
+            for (t, &th) in theta.iter().enumerate() {
+                p += th * (phi.phi.load(base + t) as f64 + beta) * self.inv_denom[t] as f64;
+            }
+            ll += p.max(f64::MIN_POSITIVE).ln();
+        }
+        ll
+    }
+}
+
+/// `exp(−ll / tokens)`, with the empty-batch convention of 1.
+fn perplexity_from(ll: f64, tokens: u64) -> f64 {
+    if tokens == 0 {
+        1.0
+    } else {
+        (-ll / tokens as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culda_corpus::{partition_by_tokens, SortedChunk, SynthSpec};
+    use culda_metrics::EventKind;
+    use culda_sampler::{accumulate_phi_host, ChunkState, PhiModel, Priors};
+
+    fn model_and_docs() -> (FrozenModel, Vec<Vec<u32>>) {
+        let corpus = SynthSpec::tiny().generate();
+        let chunks = partition_by_tokens(&corpus, 1);
+        let chunk = SortedChunk::build(&corpus, &chunks[0]);
+        let state = ChunkState::init_random(&chunk, 12, 5);
+        let phi = PhiModel::zeros(12, corpus.vocab_size(), Priors::paper(12));
+        accumulate_phi_host(&chunk, &state.z, &phi);
+        let docs: Vec<Vec<u32>> = corpus
+            .docs
+            .iter()
+            .take(17)
+            .map(|d| d.words.clone())
+            .collect();
+        (FrozenModel::from_phi(phi), docs)
+    }
+
+    fn engine(cfg: ServeConfig) -> (InferenceEngine, Vec<Vec<u32>>) {
+        let (model, docs) = model_and_docs();
+        (InferenceEngine::new(model, cfg).unwrap(), docs)
+    }
+
+    #[test]
+    fn outcome_is_independent_of_workers_and_batch_size() {
+        let (mut a, docs) = engine(ServeConfig::new(11).with_workers(1).with_batch_size(64));
+        let (mut b, _) = engine(ServeConfig::new(11).with_workers(3).with_batch_size(4));
+        let out_a = a.infer_batch(&docs).unwrap();
+        let out_b = b.infer_batch(&docs).unwrap();
+        assert_eq!(out_a.theta, out_b.theta);
+        assert_eq!(out_a.perplexity, out_b.perplexity);
+        assert_eq!(out_a.perplexity_by_sweep, out_b.perplexity_by_sweep);
+        assert_eq!(out_a.micro_batches, 1);
+        assert_eq!(out_b.micro_batches, 5);
+        // A different seed must change the draw.
+        let (mut c, _) = engine(ServeConfig::new(12));
+        assert_ne!(c.infer_batch(&docs).unwrap().theta, out_a.theta);
+    }
+
+    #[test]
+    fn theta_rows_are_normalized() {
+        let (mut eng, docs) = engine(ServeConfig::new(3).with_batch_size(5));
+        let out = eng.infer_batch(&docs).unwrap();
+        assert_eq!(out.theta.len(), docs.len());
+        for row in &out.theta {
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "theta row sums to {sum}");
+            assert!(row.iter().all(|&x| x > 0.0));
+        }
+        assert!(out.perplexity.is_finite() && out.perplexity > 0.0);
+        assert_eq!(out.perplexity_by_sweep.len(), 12);
+    }
+
+    #[test]
+    fn micro_batches_fan_out_across_workers() {
+        let (mut eng, docs) = engine(ServeConfig::new(9).with_workers(2).with_batch_size(3));
+        let out = eng.infer_batch(&docs).unwrap();
+        assert!(out.micro_batches >= 2);
+        let breakdowns = eng.per_gpu_breakdowns();
+        assert_eq!(breakdowns.len(), 2);
+        for (g, b) in breakdowns.iter().enumerate() {
+            assert!(
+                b.seconds(Phase::Inference) > 0.0,
+                "worker {g} sampled nothing"
+            );
+        }
+        assert!(out.device_seconds >= out.sim_seconds);
+        assert!(out.sim_seconds > 0.0);
+        // The profile records only inference launches — ϕ stays frozen.
+        let profile = eng.profile();
+        assert!(profile.records().iter().all(|l| l.name == "lda_infer"));
+    }
+
+    #[test]
+    fn serving_counters_accumulate_across_batches() {
+        let (mut eng, docs) = engine(ServeConfig::new(2).with_batch_size(4));
+        eng.infer_batch(&docs[..5]).unwrap();
+        eng.infer_batch(&docs[5..]).unwrap();
+        assert_eq!(eng.docs_served(), docs.len() as u64);
+        let tokens: u64 = docs.iter().map(|d| d.len() as u64).sum();
+        assert_eq!(eng.tokens_served(), tokens);
+    }
+
+    #[test]
+    fn traced_batches_emit_host_and_kernel_spans() {
+        let (mut eng, docs) = engine(ServeConfig::new(4).with_workers(2).with_batch_size(3));
+        let trace = Arc::new(TraceSink::new());
+        eng.attach_observability(Some(Arc::clone(&trace)), None);
+        eng.infer_batch(&docs).unwrap();
+        let events = trace.events();
+        assert!(events
+            .iter()
+            .any(|e| e.kind == EventKind::Begin && e.name == "infer batch 0 · gpu 0"));
+        assert!(events
+            .iter()
+            .any(|e| e.kind == EventKind::Begin && e.name == "infer batch 0 · gpu 1"));
+        assert!(events
+            .iter()
+            .any(|e| e.kind == EventKind::Begin && e.name == "lda_infer" && e.cat == "inference"));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let (model, _) = model_and_docs();
+        assert!(InferenceEngine::new(model, ServeConfig::new(1).with_workers(0)).is_err());
+        let (model, _) = model_and_docs();
+        assert!(InferenceEngine::new(model, ServeConfig::new(1).with_batch_size(0)).is_err());
+        let (mut eng, _) = engine(ServeConfig::new(1));
+        assert!(eng.infer_batch(&[]).is_err());
+        let vocab = eng.model().vocab_size() as u32;
+        let err = eng.infer_batch(&[vec![0, vocab]]).unwrap_err();
+        assert!(err.contains("outside the model vocabulary"), "{err}");
+    }
+
+    #[test]
+    fn infer_corpus_scores_every_document() {
+        let mut spec = SynthSpec::tiny();
+        spec.num_docs = 24;
+        let held = spec.generate();
+        let (model, _) = model_and_docs();
+        // Same synthetic vocabulary size, so ids line up.
+        assert_eq!(model.vocab_size(), held.vocab_size());
+        let mut eng = InferenceEngine::new(model, ServeConfig::new(6)).unwrap();
+        let out = eng.infer_corpus(&held).unwrap();
+        assert_eq!(out.docs, held.num_docs());
+        assert_eq!(out.tokens, held.num_tokens());
+    }
+}

@@ -1,0 +1,146 @@
+//! The serving snapshot: a frozen ϕ behind the [`LdaModel`] surface.
+//!
+//! A [`FrozenModel`] is what survives a trainer: the topic–word counts,
+//! their column sums, and the priors they were estimated under. It is
+//! strictly read-only from the engine's point of view — inference kernels
+//! take `&PhiModel` and never write — and it round-trips through the
+//! existing `CULDAPHI` checkpoint format, so a model trained by either
+//! trainer, saved with `culda train --save-model`, loads here unchanged.
+
+use culda_sampler::{load_phi, save_phi, LdaModel, PhiModel, Priors};
+use std::io::{self, Read, Write};
+
+/// An immutable trained-model snapshot for serving.
+#[derive(Debug)]
+pub struct FrozenModel {
+    phi: PhiModel,
+}
+
+impl FrozenModel {
+    /// Takes ownership of a ϕ replica as the serving snapshot.
+    pub fn from_phi(phi: PhiModel) -> Self {
+        Self { phi }
+    }
+
+    /// Deep-copies any [`LdaModel`] view (e.g. a live trainer's ϕ) into a
+    /// standalone snapshot the trainer can no longer mutate.
+    pub fn freeze(model: &dyn LdaModel) -> Self {
+        let k = model.num_topics();
+        let v = model.vocab_size();
+        let phi = PhiModel::zeros(k, v, model.priors());
+        for w in 0..v {
+            for t in 0..k {
+                let c = model.phi_count(w, t);
+                if c != 0 {
+                    phi.phi.store(phi.phi_index(w, t), c);
+                }
+            }
+        }
+        for t in 0..k {
+            phi.phi_sum.store(t, model.topic_total(t));
+        }
+        Self { phi }
+    }
+
+    /// Loads a snapshot from a `CULDAPHI` checkpoint stream.
+    pub fn load<R: Read>(input: R) -> io::Result<Self> {
+        Ok(Self {
+            phi: load_phi(input)?,
+        })
+    }
+
+    /// Writes the snapshot as a `CULDAPHI` checkpoint.
+    pub fn save<W: Write>(&self, out: W) -> io::Result<()> {
+        save_phi(&self.phi, out)
+    }
+
+    /// The underlying ϕ, for handing to inference kernels (read-only by
+    /// convention: serving code never writes through this reference).
+    pub fn phi(&self) -> &PhiModel {
+        &self.phi
+    }
+
+    /// Hyper-parameters the snapshot was trained with.
+    pub fn priors(&self) -> Priors {
+        self.phi.priors
+    }
+}
+
+impl LdaModel for FrozenModel {
+    fn num_topics(&self) -> usize {
+        self.phi.num_topics
+    }
+
+    fn vocab_size(&self) -> usize {
+        self.phi.vocab_size
+    }
+
+    fn priors(&self) -> Priors {
+        self.phi.priors
+    }
+
+    fn phi_count(&self, word: usize, topic: usize) -> u32 {
+        self.phi.phi.load(self.phi.phi_index(word, topic))
+    }
+
+    fn topic_total(&self, topic: usize) -> u32 {
+        self.phi.phi_sum.load(topic)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_phi() -> PhiModel {
+        let phi = PhiModel::zeros(4, 6, Priors::paper(4));
+        for w in 0..6 {
+            for t in 0..4 {
+                if (w + t) % 3 != 0 {
+                    let c = (w * 4 + t + 1) as u32;
+                    phi.phi.store(phi.phi_index(w, t), c);
+                    phi.phi_sum.fetch_add(t, c);
+                }
+            }
+        }
+        phi
+    }
+
+    #[test]
+    fn freeze_copies_counts_exactly() {
+        let phi = tiny_phi();
+        let frozen = FrozenModel::freeze(&phi);
+        for w in 0..6 {
+            for t in 0..4 {
+                assert_eq!(frozen.phi_count(w, t), LdaModel::phi_count(&phi, w, t));
+            }
+        }
+        for t in 0..4 {
+            assert_eq!(frozen.topic_total(t), phi.phi_sum.load(t));
+        }
+        // The copy is independent: mutating the source leaves it untouched.
+        phi.phi.store(phi.phi_index(0, 1), 999);
+        assert_ne!(frozen.phi_count(0, 1), 999);
+    }
+
+    #[test]
+    fn checkpoint_round_trip_is_bit_identical() {
+        let frozen = FrozenModel::from_phi(tiny_phi());
+        let mut buf = Vec::new();
+        frozen.save(&mut buf).unwrap();
+        let back = FrozenModel::load(&buf[..]).unwrap();
+        assert_eq!(back.num_topics(), frozen.num_topics());
+        assert_eq!(back.vocab_size(), frozen.vocab_size());
+        for w in 0..frozen.vocab_size() {
+            for t in 0..frozen.num_topics() {
+                assert_eq!(back.phi_count(w, t), frozen.phi_count(w, t));
+            }
+        }
+        assert_eq!(back.inv_denominators(), frozen.inv_denominators());
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        assert!(FrozenModel::load(&b"NOTAPHI0"[..]).is_err());
+    }
+}

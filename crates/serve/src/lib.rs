@@ -1,0 +1,37 @@
+//! # culda-serve
+//!
+//! The serving subsystem: frozen-model inference on the simulated GPU
+//! fleet. A [`FrozenModel`] is a read-only ϕ snapshot (loadable from the
+//! `CULDAPHI` checkpoint a training run writes); an [`InferenceEngine`]
+//! packs held-out documents into micro-batches and fans them across
+//! replica-less `GpuWorker`s as warp-per-document fold-in kernels — ϕ is
+//! never written, so there are no atomics and no sync phase — returning
+//! per-document θ̂ plus held-out perplexity and its burn-in curve.
+
+//! ```
+//! use culda_sampler::{accumulate_phi_host, ChunkState, PhiModel, Priors};
+//! use culda_corpus::{partition_by_tokens, SortedChunk, SynthSpec};
+//! use culda_serve::{FrozenModel, InferenceEngine, ServeConfig};
+//!
+//! // A (toy) trained ϕ, frozen into a serving snapshot.
+//! let corpus = SynthSpec::tiny().generate();
+//! let chunk = SortedChunk::build(&corpus, &partition_by_tokens(&corpus, 1)[0]);
+//! let state = ChunkState::init_random(&chunk, 8, 5);
+//! let phi = PhiModel::zeros(8, corpus.vocab_size(), Priors::paper(8));
+//! accumulate_phi_host(&chunk, &state.z, &phi);
+//!
+//! let cfg = ServeConfig::new(42).with_workers(2).with_batch_size(4);
+//! let mut engine = InferenceEngine::new(FrozenModel::from_phi(phi), cfg).unwrap();
+//! let docs: Vec<Vec<u32>> = corpus.docs.iter().take(8).map(|d| d.words.clone()).collect();
+//! let out = engine.infer_batch(&docs).unwrap();
+//! assert_eq!(out.theta.len(), 8);
+//! assert!(out.perplexity.is_finite());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod frozen;
+
+pub use engine::{InferenceEngine, InferenceOutcome, ServeConfig};
+pub use frozen::FrozenModel;

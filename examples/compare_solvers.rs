@@ -31,6 +31,7 @@ fn main() {
 
     // CuLDA on a single simulated V100.
     let cfg = TrainerConfig::new(k, Platform::volta().with_gpus(1))
+        .unwrap()
         .with_iterations(iters)
         .with_score_every(0);
     let out = CuldaTrainer::new(&corpus, cfg).train();

@@ -46,6 +46,7 @@ fn main() {
     // 3. Train and checkpoint.
     let k = 16;
     let cfg = TrainerConfig::new(k, Platform::volta())
+        .unwrap()
         .with_iterations(40)
         .with_score_every(0);
     let trainer_corpus = pruned.corpus;

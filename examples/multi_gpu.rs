@@ -30,6 +30,7 @@ fn main() {
     let mut base = None;
     for (i, gpus) in [1usize, 2, 4].into_iter().enumerate() {
         let cfg = TrainerConfig::new(k, Platform::pascal().with_gpus(gpus))
+            .unwrap()
             .with_iterations(iters)
             .with_score_every(0);
         let out = CuldaTrainer::new(&corpus, cfg).train();

@@ -31,6 +31,7 @@ fn main() {
         let name = platform.name;
         let gpu_bw = platform.gpu.mem_bandwidth_gbps;
         let cfg = TrainerConfig::new(k, platform.with_gpus(1))
+            .unwrap()
             .with_iterations(iters)
             .with_score_every(0);
         let out = CuldaTrainer::new(&corpus, cfg).train();

@@ -21,7 +21,7 @@ fn main() {
 
     // A Titan X whose memory has been shrunk until only a fraction of the
     // corpus state fits alongside the model.
-    let probe = TrainerConfig::new(k, Platform::maxwell());
+    let probe = TrainerConfig::new(k, Platform::maxwell()).unwrap();
     let model_bytes = 2 * probe.phi_device_bytes(corpus.vocab_size());
     let mut tiny = Platform::maxwell();
     tiny.gpu = GpuSpec {
@@ -40,6 +40,7 @@ fn main() {
         ("full 12 GiB (resident)", Platform::maxwell()),
     ] {
         let cfg = TrainerConfig::new(k, platform)
+            .unwrap()
             .with_iterations(iters)
             .with_score_every(0);
         let trainer = CuldaTrainer::new(&corpus, cfg);

@@ -25,6 +25,7 @@ fn main() {
     // 2. A trainer: K topics on a (simulated) single-GPU Maxwell platform.
     let k = 8;
     let cfg = TrainerConfig::new(k, Platform::maxwell())
+        .unwrap()
         .with_iterations(40)
         .with_score_every(10)
         .with_seed(2024);

@@ -62,6 +62,7 @@ fn main() {
 
     let k = 3;
     let cfg = TrainerConfig::new(k, Platform::maxwell())
+        .unwrap()
         .with_iterations(80)
         .with_score_every(0)
         .with_seed(11);

@@ -15,6 +15,21 @@ cargo test --workspace -q
 echo "==> trace golden test"
 cargo test -q --test trace_golden
 
+echo "==> inference smoke test"
+smoke="$(mktemp -d)"
+trap 'rm -rf "$smoke"' EXIT
+cargo run --release -q -p culda-cli -- generate --preset tiny --seed 3 \
+    --docword "$smoke/c.dw" --vocab "$smoke/c.v"
+cargo run --release -q -p culda-cli -- train --docword "$smoke/c.dw" \
+    --vocab "$smoke/c.v" --model "$smoke/c.phi" --topics 8 --iters 3 \
+    --score-every 0 --platform maxwell
+cargo run --release -q -p culda-cli -- infer --model "$smoke/c.phi" \
+    --docword "$smoke/c.dw" --vocab "$smoke/c.v" --workers 2 \
+    --batch-size 16 --burnin 3 --samples 2 --out "$smoke/theta.json"
+test -s "$smoke/theta.json"
+grep -q '"theta"' "$smoke/theta.json"
+grep -q '"perplexity"' "$smoke/theta.json"
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

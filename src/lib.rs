@@ -5,3 +5,4 @@ pub use culda_gpusim as gpusim;
 pub use culda_metrics as metrics;
 pub use culda_multigpu as multigpu;
 pub use culda_sampler as sampler;
+pub use culda_serve as serve;

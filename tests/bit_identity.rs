@@ -44,6 +44,7 @@ fn run(cfg: TrainerConfig, iters: u32) -> (Vec<Vec<u16>>, Vec<f64>) {
 
 fn cfg(gpus: usize, chunks_per_gpu: usize) -> TrainerConfig {
     let mut c = TrainerConfig::new(8, Platform::pascal().with_gpus(gpus))
+        .unwrap()
         .with_seed(4242)
         .with_score_every(1);
     c.chunks_per_gpu = Some(chunks_per_gpu);

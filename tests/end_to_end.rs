@@ -16,6 +16,7 @@ fn small_corpus() -> culda::corpus::Corpus {
 fn full_training_run_converges_and_conserves() {
     let corpus = small_corpus();
     let cfg = TrainerConfig::new(12, Platform::maxwell())
+        .unwrap()
         .with_iterations(20)
         .with_score_every(5)
         .with_seed(99);
@@ -42,6 +43,7 @@ fn training_is_deterministic_per_seed() {
     let corpus = small_corpus();
     let run = |seed: u64| {
         let cfg = TrainerConfig::new(8, Platform::volta())
+            .unwrap()
             .with_iterations(5)
             .with_score_every(0)
             .with_seed(seed);
@@ -72,6 +74,7 @@ fn gpu_count_is_a_pure_performance_knob() {
     let corpus = small_corpus();
     let run = |gpus: usize, m: usize| {
         let mut cfg = TrainerConfig::new(8, Platform::pascal().with_gpus(gpus))
+            .unwrap()
             .with_iterations(4)
             .with_score_every(0)
             .with_seed(3);
@@ -93,6 +96,7 @@ fn gpu_count_is_a_pure_performance_knob() {
 fn out_of_core_training_matches_resident_statistics() {
     let corpus = small_corpus();
     let mut forced = TrainerConfig::new(8, Platform::maxwell())
+        .unwrap()
         .with_iterations(3)
         .with_score_every(0)
         .with_seed(11);
@@ -100,6 +104,7 @@ fn out_of_core_training_matches_resident_statistics() {
     let mut ooc = CuldaTrainer::new(&corpus, forced);
     assert_eq!(ooc.plan().m, 3);
     let mut resident = TrainerConfig::new(8, Platform::pascal().with_gpus(3))
+        .unwrap()
         .with_iterations(3)
         .with_score_every(0)
         .with_seed(11);
@@ -117,13 +122,14 @@ fn out_of_core_training_matches_resident_statistics() {
 fn oom_forces_out_of_core_automatically() {
     let corpus = small_corpus();
     let mut platform = Platform::maxwell();
-    let probe = TrainerConfig::new(8, Platform::maxwell());
+    let probe = TrainerConfig::new(8, Platform::maxwell()).unwrap();
     platform.gpu = GpuSpec {
         memory_bytes: 2 * probe.phi_device_bytes(corpus.vocab_size())
             + corpus.num_tokens() * 10 / 2,
         ..platform.gpu
     };
     let cfg = TrainerConfig::new(8, platform)
+        .unwrap()
         .with_iterations(2)
         .with_score_every(0);
     let mut t = CuldaTrainer::new(&corpus, cfg);
@@ -137,6 +143,7 @@ fn ablations_only_change_time_never_statistics() {
     let corpus = small_corpus();
     let run = |compressed: bool, shared: bool| {
         let mut cfg = TrainerConfig::new(8, Platform::maxwell())
+            .unwrap()
             .with_iterations(3)
             .with_score_every(0)
             .with_seed(21);

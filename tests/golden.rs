@@ -31,6 +31,7 @@ fn run() -> (u64, f64) {
     spec.seed = 0xBEEF;
     let corpus = spec.generate();
     let cfg = TrainerConfig::new(8, Platform::maxwell())
+        .unwrap()
         .with_iterations(3)
         .with_score_every(0)
         .with_seed(0x601DE4);

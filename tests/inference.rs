@@ -1,0 +1,176 @@
+//! End-to-end serving tests: train through the unified `LdaTrainer`
+//! surface, freeze ϕ into a `CULDAPHI` checkpoint, and drive the
+//! inference engine — checking determinism, θ normalization, burn-in
+//! perplexity behaviour, and the CTEF discipline of inference traces.
+
+use culda::corpus::{split_held_out, Corpus, SynthSpec};
+use culda::gpusim::Platform;
+use culda::metrics::{Json, TraceSink, HOST_PID, SIM_PID};
+use culda::multigpu::{build_trainer, PartitionPolicy, TrainerConfig};
+use culda::serve::{FrozenModel, InferenceEngine, ServeConfig};
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+/// Trains once per process: returns the frozen model as checkpoint bytes
+/// (so each test exercises the load path) plus the held-out split.
+fn trained() -> &'static (Vec<u8>, Corpus) {
+    static CELL: OnceLock<(Vec<u8>, Corpus)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let mut spec = SynthSpec::tiny();
+        spec.num_docs = 200;
+        spec.vocab_size = 300;
+        spec.avg_doc_len = 30.0;
+        spec.seed = 13;
+        let corpus = spec.generate();
+        let (train, held) = split_held_out(&corpus, 0.15, 13);
+        let cfg = TrainerConfig::new(12, Platform::pascal().with_gpus(2))
+            .unwrap()
+            .with_iterations(12)
+            .with_score_every(0)
+            .with_seed(5);
+        let mut trainer = build_trainer(PartitionPolicy::Document, &train, cfg);
+        for _ in 0..12 {
+            trainer.step();
+        }
+        let mut bytes = Vec::new();
+        FrozenModel::freeze(trainer.phi()).save(&mut bytes).unwrap();
+        (bytes, held)
+    })
+}
+
+fn engine(cfg: ServeConfig) -> InferenceEngine {
+    let (bytes, _) = trained();
+    InferenceEngine::new(FrozenModel::load(&bytes[..]).unwrap(), cfg).unwrap()
+}
+
+#[test]
+fn serving_is_deterministic_across_workers_and_batching() {
+    let (_, held) = trained();
+    let wide = engine(ServeConfig::new(21).with_workers(1).with_batch_size(256))
+        .infer_corpus(held)
+        .unwrap();
+    let narrow = engine(ServeConfig::new(21).with_workers(3).with_batch_size(5))
+        .infer_corpus(held)
+        .unwrap();
+    assert_eq!(wide.theta, narrow.theta, "batching must be invisible");
+    assert_eq!(wide.perplexity, narrow.perplexity);
+    assert_eq!(wide.perplexity_by_sweep, narrow.perplexity_by_sweep);
+    assert!(narrow.micro_batches > wide.micro_batches);
+    // Seeds matter: a different chain gives a different θ.
+    let other = engine(ServeConfig::new(22).with_workers(1).with_batch_size(256))
+        .infer_corpus(held)
+        .unwrap();
+    assert_ne!(wide.theta, other.theta);
+}
+
+#[test]
+fn theta_rows_are_normalized_probability_vectors() {
+    let (_, held) = trained();
+    let out = engine(ServeConfig::new(4).with_batch_size(17))
+        .infer_corpus(held)
+        .unwrap();
+    assert_eq!(out.theta.len(), held.num_docs());
+    assert_eq!(out.tokens, held.num_tokens());
+    for row in &out.theta {
+        let sum: f64 = row.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "theta row sums to {sum}");
+        assert!(row.iter().all(|&x| x > 0.0 && x < 1.0));
+    }
+}
+
+#[test]
+fn held_out_perplexity_is_nonincreasing_across_burnin() {
+    let (_, held) = trained();
+    let out = engine(ServeConfig::new(33).with_burnin(6).with_samples(2))
+        .infer_corpus(held)
+        .unwrap();
+    let curve = &out.perplexity_by_sweep;
+    assert_eq!(curve.len(), 8);
+    for (s, pair) in curve.windows(2).enumerate() {
+        assert!(
+            pair[1] <= pair[0],
+            "perplexity rose from {} to {} at sweep {s}",
+            pair[0],
+            pair[1]
+        );
+    }
+    assert!(
+        curve[curve.len() - 1] < 0.995 * curve[0],
+        "burn-in barely moved: {} -> {}",
+        curve[0],
+        curve[curve.len() - 1]
+    );
+    assert!(out.perplexity.is_finite() && out.perplexity > 1.0);
+}
+
+#[test]
+fn inference_trace_obeys_ctef_discipline() {
+    let (_, held) = trained();
+    let mut eng = engine(ServeConfig::new(8).with_workers(2).with_batch_size(6));
+    let sink = Arc::new(TraceSink::new());
+    eng.attach_observability(Some(sink.clone()), None);
+    let out = eng.infer_corpus(held).unwrap();
+    assert!(out.micro_batches >= 2, "need a real fan-out to trace");
+
+    let doc = Json::parse(&sink.export_chrome_json()).expect("trace must parse");
+    let events = doc.get("traceEvents").and_then(|e| e.as_arr()).unwrap();
+    let s = |e: &Json, k: &str| -> String {
+        e.get(k)
+            .and_then(|v| v.as_str())
+            .unwrap_or_default()
+            .to_string()
+    };
+    let f = |e: &Json, k: &str| -> f64 { e.get(k).and_then(|v| v.as_f64()).unwrap() };
+
+    let mut stacks: HashMap<(u32, u32), Vec<String>> = HashMap::new();
+    let mut last_ts: HashMap<(u32, u32), f64> = HashMap::new();
+    let mut kernel_spans = 0usize;
+    let mut host_gpus = Vec::new();
+    for e in events {
+        let ph = s(e, "ph");
+        if ph == "M" {
+            continue;
+        }
+        let name = s(e, "name");
+        let track = (f(e, "pid") as u32, f(e, "tid") as u32);
+        let ts = f(e, "ts");
+        let prev = last_ts.entry(track).or_insert(f64::NEG_INFINITY);
+        assert!(ts >= *prev, "ts regressed on {track:?} at {name}");
+        *prev = ts;
+        match ph.as_str() {
+            "B" => {
+                stacks.entry(track).or_default().push(name.clone());
+                if track.0 == SIM_PID {
+                    assert_eq!(name, "lda_infer", "serving launches only lda_infer");
+                    assert_eq!(s(e, "cat"), "inference", "kernel span phase cat");
+                    assert!(
+                        e.get("args").and_then(|a| a.get("stream")).is_some(),
+                        "kernel span without stream arg"
+                    );
+                    kernel_spans += 1;
+                } else if track.0 == HOST_PID && name.starts_with("infer batch") {
+                    host_gpus.push(track.1);
+                }
+            }
+            "E" => {
+                let open = stacks
+                    .entry(track)
+                    .or_default()
+                    .pop()
+                    .unwrap_or_else(|| panic!("E without open B on {track:?}"));
+                assert_eq!(open, name, "mismatched B/E pair on {track:?}");
+            }
+            _ => {}
+        }
+    }
+    for (track, stack) in &stacks {
+        assert!(stack.is_empty(), "unclosed spans {stack:?} on {track:?}");
+    }
+    assert_eq!(
+        kernel_spans, out.micro_batches,
+        "one kernel span per launch"
+    );
+    host_gpus.sort_unstable();
+    host_gpus.dedup();
+    assert_eq!(host_gpus, vec![0, 1], "both workers emit batch host spans");
+}

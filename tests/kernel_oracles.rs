@@ -120,6 +120,7 @@ fn dense_cgs_oracle_and_gpu_pipeline_reach_similar_quality() {
     let iters = 40;
 
     let cfg = TrainerConfig::new(8, Platform::maxwell())
+        .unwrap()
         .with_iterations(iters)
         .with_score_every(0);
     let gpu_ll = CuldaTrainer::new(&corpus, cfg)

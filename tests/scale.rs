@@ -14,6 +14,7 @@ fn nytimes_scale_end_to_end() {
     let corpus = SynthSpec::nytimes_like(0.01).generate();
     assert!(corpus.num_tokens() > 500_000);
     let cfg = TrainerConfig::new(1024, Platform::volta())
+        .unwrap()
         .with_iterations(10)
         .with_score_every(5);
     let mut trainer = CuldaTrainer::new(&corpus, cfg);
@@ -39,6 +40,7 @@ fn multi_gpu_scale_end_to_end() {
     let corpus = SynthSpec::pubmed_like(0.003).generate();
     let run = |gpus: usize| {
         let cfg = TrainerConfig::new(128, Platform::pascal().with_gpus(gpus))
+            .unwrap()
             .with_iterations(5)
             .with_score_every(0);
         let mut t = CuldaTrainer::new(&corpus, cfg);

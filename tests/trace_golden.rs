@@ -27,6 +27,7 @@ fn traced_run() -> (String, String) {
     spec.seed = 11;
     let corpus = spec.generate();
     let cfg = TrainerConfig::new(8, Platform::pascal().with_gpus(GPUS))
+        .unwrap()
         .with_iterations(ITERS)
         .with_score_every(0)
         .with_seed(3);
