@@ -7,22 +7,63 @@
 
 use crate::args::{ArgError, Args};
 use culda_corpus::{read_uci, split_held_out, write_uci, Corpus, SynthSpec};
-use culda_gpusim::Platform;
+use culda_gpusim::{FaultPlan, Platform};
 use culda_metrics::{format_tokens_per_sec, Json, MetricsRegistry, TraceSink};
 use culda_multigpu::{
-    build_trainer, resume_any, save_training, LdaTrainer, PartitionPolicy, TrainerConfig,
+    resume_any, save_training, try_build_trainer, ConfigError, CuldaError, LdaTrainer,
+    PartitionPolicy, TrainerConfig,
 };
 use culda_sampler::{load_phi, LdaModel};
-use culda_serve::{FrozenModel, InferenceEngine, InferenceOutcome, ServeConfig};
+use culda_serve::{FrozenModel, InferenceEngine, InferenceOutcome, ServeConfig, ServeError};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::sync::Arc;
 
-/// Any command error: bad arguments or I/O.
+/// Any command error: bad arguments, configuration, faults, or I/O.
 pub type CmdResult = Result<(), Box<dyn std::error::Error>>;
 
 fn err(msg: impl Into<String>) -> Box<dyn std::error::Error> {
     Box::new(ArgError(msg.into()))
+}
+
+/// Maps a command error to the process exit code: 2 for usage and
+/// configuration problems, 3 for simulated faults and worker loss, 4 for
+/// I/O and checkpoint data problems, 1 for anything else.
+pub fn exit_code(e: &(dyn std::error::Error + 'static)) -> i32 {
+    if let Some(e) = e.downcast_ref::<CuldaError>() {
+        return match e {
+            CuldaError::Config(_) | CuldaError::Invalid(_) => 2,
+            CuldaError::Sim(_)
+            | CuldaError::WorkerLost { .. }
+            | CuldaError::AllWorkersLost
+            | CuldaError::WorkerPanicked { .. } => 3,
+            CuldaError::Checkpoint(_) | CuldaError::Io(_) => 4,
+        };
+    }
+    if let Some(e) = e.downcast_ref::<ServeError>() {
+        return match e {
+            ServeError::Config(_) | ServeError::Invalid(_) => 2,
+            ServeError::Sim(_)
+            | ServeError::WorkerLost { .. }
+            | ServeError::AllWorkersLost
+            | ServeError::WorkerPanicked { .. } => 3,
+        };
+    }
+    if e.downcast_ref::<ArgError>().is_some() || e.downcast_ref::<ConfigError>().is_some() {
+        return 2;
+    }
+    if e.downcast_ref::<std::io::Error>().is_some() {
+        return 4;
+    }
+    1
+}
+
+/// Parses the optional `--fault-plan` flag (see [`FaultPlan::parse`]).
+fn fault_plan(args: &Args) -> Result<Option<Arc<FaultPlan>>, Box<dyn std::error::Error>> {
+    match args.require("fault-plan") {
+        Ok(spec) => Ok(Some(Arc::new(FaultPlan::parse(spec).map_err(err)?))),
+        Err(_) => Ok(None),
+    }
 }
 
 /// Usage text.
@@ -36,12 +77,13 @@ USAGE:
                  [--policy doc|word] [--topics K] [--iters N]
                  [--platform maxwell|pascal|volta] [--gpus G] [--workers N]
                  [--seed N] [--score-every N]
-                 [--resume STATE] [--save-state STATE]
+                 [--resume STATE] [--save-state STATE] [--fault-plan SPEC]
   culda topics   --model M.phi --vocab PATH [--top N]
   culda infer    --model M.phi --docword PATH --vocab PATH
                  [--workers W] [--batch-size B] [--burnin N] [--samples N]
                  [--seed N] [--platform maxwell|pascal|volta]
                  [--out theta.json] [--trace-out trace.json]
+                 [--fault-plan SPEC]
   culda info     --model M.phi
   culda profile  --docword PATH --vocab PATH [--policy doc|word] [--topics K]
                  [--iters N] [--platform maxwell|pascal|volta] [--gpus G]
@@ -61,6 +103,15 @@ read-only: no atomics, no sync phase) and emits a JSON report with each
 document's θ̂, the held-out perplexity, and its burn-in curve — to stdout,
 or to `--out`. `--trace-out` additionally records the inference batches
 as kernel spans with roofline attribution.
+
+`--fault-plan` injects deterministic simulated faults for resilience
+testing: clauses `kind:device:epoch[:kernel][:permanent]` separated by
+`;` or `,`, with kind ∈ {launch, corrupt, drop}. The epoch is the
+training iteration (on `train`) or the batch ordinal (on `infer`).
+`--fault-plan launch:0:1` fails one GPU-0 kernel launch at iteration 1;
+the worker retries with exponential backoff and the run stays
+bit-identical to a fault-free one. `:permanent` makes a dead GPU whose
+chunks migrate to the survivors. Recovery metrics print after the run.
 
 `culda profile` reports each kernel's achieved bandwidth as a percent of
 the platform's DRAM roofline, plus a metrics dashboard. `culda trace`
@@ -192,11 +243,16 @@ pub fn train(args: &Args) -> CmdResult {
             );
             t
         }
-        Err(_) => build_trainer(policy(args)?, &corpus, cfg),
+        Err(_) => try_build_trainer(policy(args)?, &corpus, cfg)?,
     };
     println!("policy: partition-by-{}", trainer.policy());
+    let faults = fault_plan(args)?;
+    if let Some(plan) = &faults {
+        trainer.attach_fault_plan(Arc::clone(plan));
+        println!("fault plan armed: {} fault spec(s)", plan.armed_len());
+    }
     for i in 0..iters {
-        let stat = trainer.step();
+        let stat = trainer.try_step()?;
         if let Some(ll) = stat.loglik_per_token {
             println!(
                 "iter {:>4}  {:>10}/s  loglik/token {ll:.4}",
@@ -204,6 +260,10 @@ pub fn train(args: &Args) -> CmdResult {
                 format_tokens_per_sec(stat.tokens_per_sec())
             );
         }
+    }
+    let rec = trainer.recovery();
+    if faults.is_some() || !rec.is_clean() {
+        println!("recovery: {rec}");
     }
     FrozenModel::freeze(trainer.phi()).save(BufWriter::new(File::create(model_path)?))?;
     if let Ok(state_path) = args.require("save-state") {
@@ -291,7 +351,12 @@ pub fn infer(args: &Args) -> CmdResult {
         .with_burnin(burnin)
         .with_samples(samples)
         .with_gpu(platform.gpu.clone());
-    let mut engine = InferenceEngine::new(model, cfg).map_err(err)?;
+    let mut engine = InferenceEngine::new(model, cfg)?;
+    let faults = fault_plan(args)?;
+    if let Some(plan) = &faults {
+        engine.attach_fault_plan(Arc::clone(plan));
+        eprintln!("fault plan armed: {} fault spec(s)", plan.armed_len());
+    }
     let sink = args
         .require("trace-out")
         .ok()
@@ -299,7 +364,11 @@ pub fn infer(args: &Args) -> CmdResult {
     if let Some(s) = &sink {
         engine.attach_observability(Some(Arc::clone(s)), None);
     }
-    let out = engine.infer_corpus(&corpus).map_err(err)?;
+    let out = engine.infer_corpus(&corpus)?;
+    let rec = engine.recovery();
+    if faults.is_some() || !rec.is_clean() {
+        eprintln!("recovery: {rec}");
+    }
     eprintln!(
         "inferred {} docs / {} tokens in {} micro-batch(es) across {workers} worker(s) \
          on {}; held-out perplexity {:.2}",
@@ -360,7 +429,7 @@ pub fn profile_cmd(args: &Args) -> CmdResult {
             .with_iterations(iters)
             .with_score_every(0),
     )?;
-    let mut trainer = build_trainer(policy(args)?, &corpus, cfg);
+    let mut trainer = try_build_trainer(policy(args)?, &corpus, cfg)?;
     let registry = Arc::new(MetricsRegistry::new());
     trainer.attach_observability(None, Some(registry.clone()));
     for _ in 0..iters {
@@ -412,7 +481,7 @@ pub fn trace_cmd(args: &Args) -> CmdResult {
             .with_score_every(0)
             .with_seed(seed),
     )?;
-    let mut trainer = build_trainer(policy(args)?, &train_corpus, cfg);
+    let mut trainer = try_build_trainer(policy(args)?, &train_corpus, cfg)?;
     let sink = Arc::new(TraceSink::new());
     let registry = Arc::new(MetricsRegistry::new());
     trainer.attach_observability(Some(sink.clone()), Some(registry.clone()));
@@ -424,10 +493,9 @@ pub fn trace_cmd(args: &Args) -> CmdResult {
     let serve_cfg = ServeConfig::new(seed)
         .with_workers(num_gpus)
         .with_gpu(gpu_spec);
-    let mut engine =
-        InferenceEngine::new(FrozenModel::freeze(trainer.phi()), serve_cfg).map_err(err)?;
+    let mut engine = InferenceEngine::new(FrozenModel::freeze(trainer.phi()), serve_cfg)?;
     engine.attach_observability(Some(sink.clone()), Some(registry.clone()));
-    let served = engine.infer_corpus(&held_out).map_err(err)?;
+    let served = engine.infer_corpus(&held_out)?;
     std::fs::write(&trace_path, sink.export_chrome_json())?;
     std::fs::write(&metrics_path, registry.snapshot_json().render())?;
     println!(
@@ -712,6 +780,68 @@ mod tests {
             .and_then(|v| v.as_f64())
             .unwrap();
         assert!(launches > 0.0);
+    }
+
+    #[test]
+    fn fault_plan_training_recovers_and_matches_fault_free_model() {
+        let docword = tmp("f.docword");
+        let vocab = tmp("f.vocab");
+        let clean_model = tmp("f.clean.phi");
+        let faulty_model = tmp("f.faulty.phi");
+        generate(&args(&format!(
+            "generate --preset tiny --seed 8 --docword {} --vocab {}",
+            docword.display(),
+            vocab.display()
+        )))
+        .unwrap();
+        let base = format!(
+            "train --docword {} --vocab {} --topics 8 --iters 3 \
+             --score-every 0 --platform pascal --gpus 2",
+            docword.display(),
+            vocab.display()
+        );
+        train(&args(&format!("{base} --model {}", clean_model.display()))).unwrap();
+        // A transient launch fault is retried; the model is bit-identical.
+        train(&args(&format!(
+            "{base} --model {} --fault-plan launch:0:1",
+            faulty_model.display()
+        )))
+        .unwrap();
+        assert_eq!(
+            std::fs::read(&clean_model).unwrap(),
+            std::fs::read(&faulty_model).unwrap(),
+            "transient fault changed the trained model"
+        );
+        // A garbage plan is a usage error.
+        let e = train(&args(&format!(
+            "{base} --model {} --fault-plan explode:0:1",
+            faulty_model.display()
+        )))
+        .unwrap_err();
+        assert_eq!(exit_code(e.as_ref()), 2);
+    }
+
+    #[test]
+    fn exit_codes_separate_usage_fault_and_io_errors() {
+        assert_eq!(exit_code(&ArgError("bad flag".into())), 2);
+        assert_eq!(
+            exit_code(&CuldaError::Invalid("more GPUs than words".into())),
+            2
+        );
+        assert_eq!(
+            exit_code(&CuldaError::WorkerLost {
+                device: 0,
+                attempts: 3
+            }),
+            3
+        );
+        assert_eq!(exit_code(&CuldaError::AllWorkersLost), 3);
+        assert_eq!(exit_code(&CuldaError::Checkpoint("truncated".into())), 4);
+        assert_eq!(exit_code(&CuldaError::Io(std::io::Error::other("disk"))), 4);
+        assert_eq!(exit_code(&ServeError::AllWorkersLost), 3);
+        assert_eq!(exit_code(&ServeError::Config("no workers".into())), 2);
+        assert_eq!(exit_code(&std::io::Error::other("disk")), 4);
+        assert_eq!(exit_code(&std::fmt::Error), 1);
     }
 
     #[test]

@@ -19,6 +19,6 @@ fn main() {
     }
     if let Err(e) = commands::dispatch(&parsed) {
         eprintln!("error: {e}");
-        std::process::exit(1);
+        std::process::exit(commands::exit_code(e.as_ref()));
     }
 }

@@ -9,6 +9,8 @@
 //! already runs on its own internal thread pool.
 
 use crate::clock::SimClock;
+use crate::error::SimFault;
+use crate::fault::{FaultKind, FaultPlan};
 use crate::kernel::{default_workers, run_grid, BlockCtx, LaunchReport};
 use crate::launcher::{KernelSpec, Launcher};
 use crate::link::Link;
@@ -16,7 +18,15 @@ use crate::memory::{MemoryLedger, OomError, Reservation};
 use crate::platform::GpuSpec;
 use crate::profile::ProfileLog;
 use culda_metrics::{Json, MetricsRegistry, TraceSink};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Poison-safe lock. A panicking kernel body poisons the device mutexes;
+/// recovery code (the whole point of fault injection) must still be able to
+/// read the clock and profile afterwards, so poisoning is not propagated.
+fn locked<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
 
 /// Observability sinks attached to a device (both optional).
 #[derive(Debug, Clone, Default)]
@@ -37,6 +47,10 @@ pub struct Device {
     ledger: Arc<MemoryLedger>,
     workers: usize,
     obs: Mutex<Observability>,
+    /// Current epoch (training iteration / serving batch): the coordinate
+    /// an attached [`FaultPlan`] resolves against.
+    epoch: AtomicU32,
+    faults: Mutex<Option<Arc<FaultPlan>>>,
 }
 
 impl Device {
@@ -51,35 +65,83 @@ impl Device {
             ledger,
             workers: default_workers(),
             obs: Mutex::new(Observability::default()),
+            epoch: AtomicU32::new(0),
+            faults: Mutex::new(None),
         }
+    }
+
+    /// Sets the epoch an attached [`FaultPlan`] resolves against. Trainers
+    /// set this to the iteration number before each fan-out; the serving
+    /// engine sets it to the batch ordinal.
+    pub fn set_epoch(&self, epoch: u32) {
+        self.epoch.store(epoch, Ordering::Relaxed);
+    }
+
+    /// The current fault-plan epoch.
+    pub fn epoch(&self) -> u32 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Attaches a fault plan. Only the fallible paths
+    /// ([`try_launch_spec`](Device::try_launch_spec),
+    /// [`try_transfer`](Device::try_transfer)) consult it; the infallible
+    /// paths stay byte-for-byte identical to an unattached device.
+    pub fn attach_faults(&self, plan: Arc<FaultPlan>) {
+        *locked(&self.faults) = Some(plan);
+    }
+
+    /// Detaches the fault plan, if any.
+    pub fn detach_faults(&self) {
+        *locked(&self.faults) = None;
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        locked(&self.faults).clone()
+    }
+
+    /// Consults the attached fault plan at the current epoch. A hit is
+    /// recorded in the attached observability sinks (`fault.injected`
+    /// counter and instant) before being returned.
+    pub fn poll_fault(&self, kind: FaultKind, kernel: Option<&str>) -> Option<SimFault> {
+        let plan = locked(&self.faults).clone()?;
+        let fault = plan.take(kind, self.id, self.epoch(), kernel)?;
+        let obs = locked(&self.obs).clone();
+        if let Some(sink) = &obs.trace {
+            sink.instant_sim(self.id as u32, "fault.injected", kind.label(), self.now());
+        }
+        if let Some(reg) = &obs.metrics {
+            reg.counter("fault.injected").inc();
+        }
+        Some(fault)
     }
 
     /// Attaches a trace sink: every subsequent launch emits a span on this
     /// device's track (`pid` [`culda_metrics::SIM_PID`], `tid` = device id).
     pub fn attach_trace(&self, sink: Arc<TraceSink>) {
-        self.obs.lock().unwrap().trace = Some(sink);
+        locked(&self.obs).trace = Some(sink);
     }
 
     /// Attaches a metrics registry: launches record kernel counters and
     /// bandwidth histograms, and kernel bodies can record through
     /// [`BlockCtx::metrics`].
     pub fn attach_metrics(&self, registry: Arc<MetricsRegistry>) {
-        self.obs.lock().unwrap().metrics = Some(registry);
+        locked(&self.obs).metrics = Some(registry);
     }
 
     /// Detaches both observability sinks.
     pub fn detach_observability(&self) {
-        *self.obs.lock().unwrap() = Observability::default();
+        *locked(&self.obs) = Observability::default();
     }
 
     /// The attached trace sink, if any.
     pub fn trace(&self) -> Option<Arc<TraceSink>> {
-        self.obs.lock().unwrap().trace.clone()
+        locked(&self.obs).trace.clone()
     }
 
     /// The attached metrics registry, if any.
     pub fn metrics(&self) -> Option<Arc<MetricsRegistry>> {
-        self.obs.lock().unwrap().metrics.clone()
+        locked(&self.obs).metrics.clone()
     }
 
     /// Overrides the host thread count used to execute blocks.
@@ -118,7 +180,7 @@ impl Device {
     where
         F: Fn(&mut BlockCtx) + Sync,
     {
-        let obs = self.obs.lock().unwrap().clone();
+        let obs = locked(&self.obs).clone();
         let report = run_grid(
             &self.spec,
             &spec.name,
@@ -132,15 +194,12 @@ impl Device {
         // can round below the previous span's end and break per-track
         // timestamp monotonicity in the trace.
         let (start, end) = {
-            let mut clock = self.clock.lock().unwrap();
+            let mut clock = locked(&self.clock);
             let start = clock.now();
             clock.advance(report.sim_seconds);
             (start, clock.now())
         };
-        self.profile
-            .lock()
-            .unwrap()
-            .push_tagged(&report, spec.phase, spec.stream);
+        locked(&self.profile).push_tagged(&report, spec.phase, spec.stream);
         if let Some(sink) = &obs.trace {
             sink.span_sim(
                 self.id as u32,
@@ -175,12 +234,50 @@ impl Device {
         report
     }
 
+    /// The fallible launch path: like [`launch_spec`](Device::launch_spec)
+    /// but surfaces injected faults and user-shaped mistakes as
+    /// [`SimFault`] values instead of panicking.
+    ///
+    /// Ordering matters for recovery semantics:
+    ///
+    /// 1. an empty grid is rejected before anything runs;
+    /// 2. an armed `launch` fault fires *before* the grid runs — no state
+    ///    is mutated and the clock does not advance, so a retry is clean;
+    /// 3. an armed `corrupt` fault fires *after* the grid ran — the clock
+    ///    advanced and device state did change, so recovery must roll back.
+    pub fn try_launch_spec<F>(&self, spec: KernelSpec, body: F) -> Result<LaunchReport, SimFault>
+    where
+        F: Fn(&mut BlockCtx) + Sync,
+    {
+        if spec.grid == 0 {
+            return Err(SimFault::EmptyGrid { kernel: spec.name });
+        }
+        if let Some(fault) = self.poll_fault(FaultKind::KernelLaunch, Some(&spec.name)) {
+            return Err(fault);
+        }
+        let name = spec.name.clone();
+        let report = self.launch_spec(spec, body);
+        if let Some(fault) = self.poll_fault(FaultKind::MemoryCorruption, Some(&name)) {
+            return Err(fault);
+        }
+        Ok(report)
+    }
+
     /// Models moving `bytes` between host and this device over `link`,
     /// advancing the clock. Returns the transfer seconds.
     pub fn transfer(&self, bytes: u64, link: &Link) -> f64 {
         let t = link.transfer_seconds(bytes);
-        self.clock.lock().unwrap().advance(t);
+        locked(&self.clock).advance(t);
         t
+    }
+
+    /// The fallible transfer path: an armed `drop` fault loses the
+    /// transfer before any time is charged.
+    pub fn try_transfer(&self, bytes: u64, link: &Link) -> Result<f64, SimFault> {
+        if let Some(fault) = self.poll_fault(FaultKind::LinkDrop, None) {
+            return Err(fault);
+        }
+        Ok(self.transfer(bytes, link))
     }
 
     /// Reserves device memory (fails with [`OomError`] when the model and
@@ -196,39 +293,39 @@ impl Device {
 
     /// Current simulated time on this device.
     pub fn now(&self) -> f64 {
-        self.clock.lock().unwrap().now()
+        locked(&self.clock).now()
     }
 
     /// Advances this device's clock by `dt` seconds (e.g. waiting on a peer).
     pub fn advance(&self, dt: f64) {
-        self.clock.lock().unwrap().advance(dt);
+        locked(&self.clock).advance(dt);
     }
 
     /// Moves this device's clock to `t` if later (barrier join).
     pub fn advance_to(&self, t: f64) {
-        self.clock.lock().unwrap().advance_to(t);
+        locked(&self.clock).advance_to(t);
     }
 
     /// Resets the clock to zero (between experiments).
     pub fn reset_clock(&self) {
-        self.clock.lock().unwrap().reset();
+        locked(&self.clock).reset();
     }
 
     /// A snapshot of this device's launch history.
     pub fn profile(&self) -> ProfileLog {
-        self.profile.lock().unwrap().clone()
+        locked(&self.profile).clone()
     }
 
     /// Drains this device's launch history, leaving it empty. Workers use
     /// this at iteration boundaries to hand their records to the trainer's
     /// merged log without double counting.
     pub fn take_profile(&self) -> ProfileLog {
-        std::mem::take(&mut *self.profile.lock().unwrap())
+        std::mem::take(&mut *locked(&self.profile))
     }
 
     /// Clears this device's launch history.
     pub fn clear_profile(&self) {
-        self.profile.lock().unwrap().clear();
+        locked(&self.profile).clear();
     }
 }
 
@@ -355,6 +452,131 @@ mod tests {
         assert_eq!(plain.now().to_bits(), observed.now().to_bits());
         observed.detach_observability();
         assert!(observed.trace().is_none() && observed.metrics().is_none());
+    }
+
+    #[test]
+    fn try_launch_rejects_empty_grid_without_panicking() {
+        let dev = Device::new(0, GpuSpec::titan_x_maxwell()).with_workers(1);
+        let err = dev
+            .try_launch_spec(KernelSpec::new("k", 0), |_| {})
+            .unwrap_err();
+        assert!(matches!(err, SimFault::EmptyGrid { .. }));
+        assert_eq!(dev.now(), 0.0);
+    }
+
+    #[test]
+    fn launch_fault_fires_before_the_grid_runs() {
+        use crate::fault::{FaultKind, FaultPlan, FaultSpec};
+        let dev = Device::new(0, GpuSpec::titan_x_maxwell()).with_workers(1);
+        let plan = Arc::new(FaultPlan::from_specs(vec![FaultSpec::new(
+            FaultKind::KernelLaunch,
+            0,
+            1,
+        )]));
+        dev.attach_faults(plan.clone());
+        // Wrong epoch: no fault, launch succeeds.
+        dev.set_epoch(0);
+        let buf = AtomicU32Buf::zeros(1);
+        dev.try_launch_spec(KernelSpec::new("k", 2), |_| {
+            buf.fetch_add(0, 1);
+        })
+        .unwrap();
+        let t = dev.now();
+        assert_eq!(buf.sum(), 2);
+        // Armed epoch: the launch fails, nothing runs, the clock is frozen.
+        dev.set_epoch(1);
+        let err = dev
+            .try_launch_spec(KernelSpec::new("k", 2), |_| {
+                buf.fetch_add(0, 1);
+            })
+            .unwrap_err();
+        assert!(matches!(err, SimFault::LaunchFailed { epoch: 1, .. }));
+        assert_eq!(buf.sum(), 2);
+        assert_eq!(dev.now().to_bits(), t.to_bits());
+        // Transient: the retry succeeds.
+        dev.try_launch_spec(KernelSpec::new("k", 2), |_| {
+            buf.fetch_add(0, 1);
+        })
+        .unwrap();
+        assert_eq!(buf.sum(), 4);
+        assert_eq!(plan.injected(), 1);
+    }
+
+    #[test]
+    fn corruption_fault_fires_after_the_grid_ran() {
+        use crate::fault::{FaultKind, FaultPlan, FaultSpec};
+        let dev = Device::new(0, GpuSpec::titan_x_maxwell()).with_workers(1);
+        dev.attach_faults(Arc::new(FaultPlan::from_specs(vec![FaultSpec::new(
+            FaultKind::MemoryCorruption,
+            0,
+            0,
+        )])));
+        let buf = AtomicU32Buf::zeros(1);
+        let err = dev
+            .try_launch_spec(KernelSpec::new("k", 2), |ctx| {
+                buf.fetch_add(0, 1);
+                ctx.dram_read(1024);
+            })
+            .unwrap_err();
+        assert!(matches!(err, SimFault::MemoryCorrupted { .. }));
+        // The grid ran and the clock advanced: recovery must roll back.
+        assert_eq!(buf.sum(), 2);
+        assert!(dev.now() > 0.0);
+    }
+
+    #[test]
+    fn dropped_transfer_charges_no_time() {
+        use crate::fault::{FaultKind, FaultPlan, FaultSpec};
+        let dev = Device::new(0, GpuSpec::v100_volta());
+        dev.attach_faults(Arc::new(FaultPlan::from_specs(vec![FaultSpec::new(
+            FaultKind::LinkDrop,
+            0,
+            0,
+        )])));
+        let err = dev.try_transfer(1_000_000, &Link::pcie3()).unwrap_err();
+        assert!(matches!(err, SimFault::LinkDropped { .. }));
+        assert_eq!(dev.now(), 0.0);
+        // Transient: the retry goes through and charges time.
+        let t = dev.try_transfer(1_000_000, &Link::pcie3()).unwrap();
+        assert!(t > 0.0);
+        dev.detach_faults();
+        assert!(dev.fault_plan().is_none());
+    }
+
+    #[test]
+    fn fault_hit_is_observable() {
+        use crate::fault::{FaultKind, FaultPlan, FaultSpec};
+        use culda_metrics::EventKind;
+        let dev = Device::new(0, GpuSpec::titan_x_maxwell()).with_workers(1);
+        let sink = Arc::new(TraceSink::new());
+        let reg = Arc::new(MetricsRegistry::new());
+        dev.attach_trace(sink.clone());
+        dev.attach_metrics(reg.clone());
+        dev.attach_faults(Arc::new(FaultPlan::from_specs(vec![FaultSpec::new(
+            FaultKind::KernelLaunch,
+            0,
+            0,
+        )])));
+        assert!(dev
+            .try_launch_spec(KernelSpec::new("k", 2), |_| {})
+            .is_err());
+        assert_eq!(reg.counter("fault.injected").value(), 1);
+        assert!(sink
+            .events()
+            .iter()
+            .any(|e| e.kind == EventKind::Instant && e.name == "fault.injected"));
+    }
+
+    #[test]
+    fn fault_free_try_launch_matches_infallible_launch() {
+        let a = Device::new(0, GpuSpec::v100_volta()).with_workers(2);
+        let b = Device::new(0, GpuSpec::v100_volta()).with_workers(2);
+        let ra = a.launch("k", 8, |ctx| ctx.dram_read(4096));
+        let rb = b
+            .try_launch_spec(KernelSpec::new("k", 8), |ctx| ctx.dram_read(4096))
+            .unwrap();
+        assert_eq!(ra.sim_seconds.to_bits(), rb.sim_seconds.to_bits());
+        assert_eq!(a.now().to_bits(), b.now().to_bits());
     }
 
     #[test]

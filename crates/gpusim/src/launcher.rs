@@ -13,6 +13,7 @@
 //! * call sites can no longer bypass the clock/profile bookkeeping.
 
 use crate::device::Device;
+use crate::error::SimFault;
 use crate::kernel::{BlockCtx, LaunchReport};
 
 /// Which algorithmic phase a launch belongs to (Algorithm 1's structure).
@@ -119,6 +120,16 @@ impl<'d> Launcher<'d> {
         F: Fn(&mut BlockCtx) + Sync,
     {
         self.device.launch_spec(spec, body)
+    }
+
+    /// The fallible launch path: surfaces injected faults and user-shaped
+    /// mistakes (empty grids) as [`SimFault`] values instead of panicking.
+    /// See [`Device::try_launch_spec`] for the firing-order contract.
+    pub fn try_submit<F>(&self, spec: KernelSpec, body: F) -> Result<LaunchReport, SimFault>
+    where
+        F: Fn(&mut BlockCtx) + Sync,
+    {
+        self.device.try_launch_spec(spec, body)
     }
 }
 

@@ -44,6 +44,8 @@ pub mod cache;
 pub mod clock;
 pub mod cost;
 pub mod device;
+pub mod error;
+pub mod fault;
 pub mod kernel;
 pub mod launcher;
 pub mod link;
@@ -59,6 +61,8 @@ pub use cache::{CacheConfig, CacheSim};
 pub use clock::SimClock;
 pub use cost::KernelCost;
 pub use device::Device;
+pub use error::SimFault;
+pub use fault::{FaultKind, FaultPlan, FaultSpec};
 pub use kernel::{BlockCtx, LaunchReport};
 pub use launcher::{KernelSpec, LaunchPhase, Launcher};
 pub use link::Link;

@@ -20,17 +20,21 @@ pub enum Phase {
     Transfer,
     /// Frozen-model fold-in inference (serving path; φ read-only).
     Inference,
+    /// Fault recovery: retry backoff, wasted partial attempts, and chunk
+    /// migration after a permanent worker loss.
+    Recovery,
 }
 
 impl Phase {
     /// All phases, in reporting order.
-    pub const ALL: [Phase; 6] = [
+    pub const ALL: [Phase; 7] = [
         Phase::Sampling,
         Phase::UpdateTheta,
         Phase::UpdatePhi,
         Phase::SyncPhi,
         Phase::Transfer,
         Phase::Inference,
+        Phase::Recovery,
     ];
 
     /// Display name as used in Table 5.
@@ -42,6 +46,7 @@ impl Phase {
             Phase::SyncPhi => "Sync phi",
             Phase::Transfer => "Transfer",
             Phase::Inference => "Inference",
+            Phase::Recovery => "Recovery",
         }
     }
 
@@ -53,6 +58,7 @@ impl Phase {
             Phase::SyncPhi => 3,
             Phase::Transfer => 4,
             Phase::Inference => 5,
+            Phase::Recovery => 6,
         }
     }
 }
@@ -60,7 +66,7 @@ impl Phase {
 /// Accumulated simulated seconds per phase.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Breakdown {
-    seconds: [f64; 6],
+    seconds: [f64; 7],
 }
 
 impl Breakdown {

@@ -12,9 +12,10 @@
 //! which partition policy is underneath.
 
 use crate::config::TrainerConfig;
+use crate::error::{CuldaError, RecoveryStats};
 use crate::trainer::CuldaTrainer;
 use crate::word_trainer::WordPartitionedTrainer;
-use culda_gpusim::ProfileLog;
+use culda_gpusim::{FaultPlan, ProfileLog};
 use culda_metrics::{
     Breakdown, GpuBreakdowns, IterationStat, MetricsRegistry, Phase, RunHistory, TraceSink,
 };
@@ -79,7 +80,24 @@ pub trait LdaTrainer {
     fn num_gpus(&self) -> usize;
 
     /// Runs one full iteration over the corpus; returns its stats.
+    ///
+    /// Panics on an unrecoverable simulated fault; fault-tolerant
+    /// consumers should drive [`try_step`](LdaTrainer::try_step) instead.
     fn step(&mut self) -> IterationStat;
+
+    /// Fallible variant of [`step`](LdaTrainer::step): an unrecoverable
+    /// fault (retry budget exhausted, every worker lost) surfaces as a
+    /// [`CuldaError`] instead of a panic.
+    fn try_step(&mut self) -> Result<IterationStat, CuldaError>;
+
+    /// Arms a deterministic fault-injection plan on every device this
+    /// trainer drives. Subsequent iterations consult the plan at each
+    /// kernel launch and transfer.
+    fn attach_fault_plan(&mut self, plan: Arc<FaultPlan>);
+
+    /// Fault-recovery statistics accumulated so far: injected faults,
+    /// retries, permanently lost workers, migrated chunks.
+    fn recovery(&self) -> RecoveryStats;
 
     /// Timing/scoring history so far.
     fn history(&self) -> &RunHistory;
@@ -139,6 +157,18 @@ impl LdaTrainer for CuldaTrainer {
 
     fn step(&mut self) -> IterationStat {
         CuldaTrainer::step(self)
+    }
+
+    fn try_step(&mut self) -> Result<IterationStat, CuldaError> {
+        CuldaTrainer::try_step(self)
+    }
+
+    fn attach_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        CuldaTrainer::attach_fault_plan(self, plan)
+    }
+
+    fn recovery(&self) -> RecoveryStats {
+        CuldaTrainer::recovery(self)
     }
 
     fn history(&self) -> &RunHistory {
@@ -207,6 +237,18 @@ impl LdaTrainer for WordPartitionedTrainer {
         WordPartitionedTrainer::step(self)
     }
 
+    fn try_step(&mut self) -> Result<IterationStat, CuldaError> {
+        WordPartitionedTrainer::try_step(self)
+    }
+
+    fn attach_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        WordPartitionedTrainer::attach_fault_plan(self, plan)
+    }
+
+    fn recovery(&self) -> RecoveryStats {
+        WordPartitionedTrainer::recovery(self)
+    }
+
     fn history(&self) -> &RunHistory {
         WordPartitionedTrainer::history(self)
     }
@@ -263,15 +305,32 @@ impl LdaTrainer for WordPartitionedTrainer {
 }
 
 /// Constructs the chosen policy's trainer behind the unified surface.
+///
+/// Panicking shim over [`try_build_trainer`], kept for callers that
+/// validated the configuration up front.
 pub fn build_trainer(
     policy: PartitionPolicy,
     corpus: &culda_corpus::Corpus,
     cfg: TrainerConfig,
 ) -> Box<dyn LdaTrainer> {
-    match policy {
-        PartitionPolicy::Document => Box::new(CuldaTrainer::new(corpus, cfg)),
-        PartitionPolicy::Word => Box::new(WordPartitionedTrainer::new(corpus, cfg)),
+    match try_build_trainer(policy, corpus, cfg) {
+        Ok(t) => t,
+        Err(e) => panic!("invalid trainer configuration: {e}"),
     }
+}
+
+/// Fallible constructor for the chosen policy's trainer: configuration
+/// and corpus-shape problems surface as [`CuldaError`] instead of a
+/// panic. This is the entry point the CLI and serving layers use.
+pub fn try_build_trainer(
+    policy: PartitionPolicy,
+    corpus: &culda_corpus::Corpus,
+    cfg: TrainerConfig,
+) -> Result<Box<dyn LdaTrainer>, CuldaError> {
+    Ok(match policy {
+        PartitionPolicy::Document => Box::new(CuldaTrainer::try_new(corpus, cfg)?),
+        PartitionPolicy::Word => Box::new(WordPartitionedTrainer::try_new(corpus, cfg)?),
+    })
 }
 
 #[cfg(test)]

@@ -19,6 +19,9 @@ pub enum ConfigError {
     NoHostWorkers,
     /// `chunks_per_gpu == Some(0)` — no chunks to schedule.
     NoChunks,
+    /// `retry.max_attempts == 0` — every fault would be instantly fatal,
+    /// which is never what a resilience policy means.
+    NoAttempts,
 }
 
 impl fmt::Display for ConfigError {
@@ -31,11 +34,46 @@ impl fmt::Display for ConfigError {
             ConfigError::NoIterations => write!(f, "iterations must be >= 1"),
             ConfigError::NoHostWorkers => write!(f, "host_workers must be >= 1"),
             ConfigError::NoChunks => write!(f, "chunks_per_gpu must be >= 1"),
+            ConfigError::NoAttempts => write!(f, "retry.max_attempts must be >= 1"),
         }
     }
 }
 
 impl std::error::Error for ConfigError {}
+
+/// How a trainer reacts to a worker's iteration body failing with a
+/// simulated fault: bounded retries with exponential backoff, charged to
+/// simulated time on the failing device ([`Phase::Recovery`] in the
+/// breakdown).
+///
+/// [`Phase::Recovery`]: culda_metrics::Phase::Recovery
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total tries per worker per iteration (initial attempt + retries).
+    /// A worker that fails this many times is declared lost and its chunks
+    /// are migrated to the survivors.
+    pub max_attempts: u32,
+    /// Simulated seconds of backoff before the first retry; doubles on
+    /// every further retry.
+    pub backoff_base_seconds: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            backoff_base_seconds: 1e-3,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `attempt` (1-based: the wait before the
+    /// first retry is `attempt == 1`): `base · 2^(attempt-1)`.
+    pub fn backoff_seconds(&self, attempt: u32) -> f64 {
+        self.backoff_base_seconds * f64::from(1u32 << (attempt - 1).min(31))
+    }
+}
 
 /// Everything that parameterizes a CuLDA training run.
 #[derive(Debug, Clone)]
@@ -73,6 +111,10 @@ pub struct TrainerConfig {
     /// blocks (the `--workers` knob). `None` = the simulator default.
     /// Results are bit-identical for any value; only wall-clock changes.
     pub host_workers: Option<usize>,
+    /// Fault-recovery policy: bounded retries with exponential backoff.
+    /// Only consulted when a fault plan is attached; fault-free runs never
+    /// touch it.
+    pub retry: RetryPolicy,
 }
 
 impl TrainerConfig {
@@ -97,9 +139,18 @@ impl TrainerConfig {
             peer_link: None,
             ring_sync: false,
             host_workers: None,
+            retry: RetryPolicy::default(),
         };
         cfg.validate()?;
         Ok(cfg)
+    }
+
+    /// Start a [`TrainerConfigBuilder`]. Prefer this over [`Self::new`] +
+    /// `with_*` chains for new code: the builder defers validation to one
+    /// [`build`](TrainerConfigBuilder::build) call, so partial configs
+    /// never exist as `TrainerConfig` values.
+    pub fn builder(num_topics: usize, platform: Platform) -> TrainerConfigBuilder {
+        TrainerConfigBuilder::new(num_topics, platform)
     }
 
     /// Full validity check; constructors call this, and the trainers
@@ -120,6 +171,9 @@ impl TrainerConfig {
         }
         if self.chunks_per_gpu == Some(0) {
             return Err(ConfigError::NoChunks);
+        }
+        if self.retry.max_attempts == 0 {
+            return Err(ConfigError::NoAttempts);
         }
         Ok(())
     }
@@ -148,6 +202,12 @@ impl TrainerConfig {
         self
     }
 
+    /// Builder-style override of the fault-recovery policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
     /// Bytes of one ϕ element under the current compression setting.
     pub fn phi_elem_bytes(&self) -> u64 {
         if self.compressed {
@@ -161,6 +221,121 @@ impl TrainerConfig {
     pub fn phi_device_bytes(&self, vocab_size: usize) -> u64 {
         (vocab_size as u64 * self.num_topics as u64 + self.num_topics as u64)
             * self.phi_elem_bytes()
+    }
+}
+
+/// Deferred-validation builder for [`TrainerConfig`].
+///
+/// Unlike the `with_*` methods on `TrainerConfig` (which require an
+/// already-valid config from [`TrainerConfig::new`]), the builder collects
+/// every override first and validates once in [`build`](Self::build) —
+/// the only way degenerate combinations can be reported as one
+/// [`ConfigError`] without a half-built config escaping.
+#[derive(Debug, Clone)]
+pub struct TrainerConfigBuilder {
+    cfg: TrainerConfig,
+}
+
+impl TrainerConfigBuilder {
+    /// Start from the paper defaults for `num_topics` on `platform`.
+    /// Nothing is validated until [`build`](Self::build).
+    pub fn new(num_topics: usize, platform: Platform) -> Self {
+        Self {
+            cfg: TrainerConfig {
+                num_topics,
+                iterations: 100,
+                seed: 0xC0_1DA,
+                platform,
+                chunks_per_gpu: None,
+                score_every: 10,
+                compressed: true,
+                use_shared_memory: true,
+                use_l1_for_indices: true,
+                tokens_per_block: None,
+                peer_link: None,
+                ring_sync: false,
+                host_workers: None,
+                retry: RetryPolicy::default(),
+            },
+        }
+    }
+
+    /// Set the iteration count.
+    pub fn iterations(mut self, n: u32) -> Self {
+        self.cfg.iterations = n;
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Set the scoring cadence (0 = never score).
+    pub fn score_every(mut self, n: u32) -> Self {
+        self.cfg.score_every = n;
+        self
+    }
+
+    /// Set the chunks-per-GPU override (`None` = auto-size).
+    pub fn chunks_per_gpu(mut self, m: Option<usize>) -> Self {
+        self.cfg.chunks_per_gpu = m;
+        self
+    }
+
+    /// Toggle the u16 precision compression.
+    pub fn compressed(mut self, on: bool) -> Self {
+        self.cfg.compressed = on;
+        self
+    }
+
+    /// Toggle shared-memory caching.
+    pub fn use_shared_memory(mut self, on: bool) -> Self {
+        self.cfg.use_shared_memory = on;
+        self
+    }
+
+    /// Toggle selective L1 caching of θ index loads.
+    pub fn use_l1_for_indices(mut self, on: bool) -> Self {
+        self.cfg.use_l1_for_indices = on;
+        self
+    }
+
+    /// Set the tokens-per-block override (`None` = auto-size).
+    pub fn tokens_per_block(mut self, n: Option<usize>) -> Self {
+        self.cfg.tokens_per_block = n;
+        self
+    }
+
+    /// Override the device↔device link.
+    pub fn peer_link(mut self, link: Link) -> Self {
+        self.cfg.peer_link = Some(link);
+        self
+    }
+
+    /// Use the ring all-reduce instead of the Figure 4 tree.
+    pub fn ring_sync(mut self, on: bool) -> Self {
+        self.cfg.ring_sync = on;
+        self
+    }
+
+    /// Set the per-device host thread count.
+    pub fn host_workers(mut self, n: usize) -> Self {
+        self.cfg.host_workers = Some(n);
+        self
+    }
+
+    /// Set the fault-recovery policy.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.cfg.retry = retry;
+        self
+    }
+
+    /// Validate the assembled configuration and hand it out.
+    pub fn build(self) -> Result<TrainerConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -232,6 +407,56 @@ mod tests {
         let mut chunks = ok.clone();
         chunks.chunks_per_gpu = Some(0);
         assert_eq!(chunks.validate().unwrap_err(), ConfigError::NoChunks);
+    }
+
+    #[test]
+    fn builder_validates_once_at_build() {
+        let cfg = TrainerConfig::builder(16, Platform::maxwell())
+            .iterations(7)
+            .seed(3)
+            .score_every(2)
+            .ring_sync(true)
+            .host_workers(2)
+            .retry(RetryPolicy {
+                max_attempts: 5,
+                backoff_base_seconds: 1e-4,
+            })
+            .build()
+            .unwrap();
+        assert_eq!(cfg.iterations, 7);
+        assert!(cfg.ring_sync);
+        assert_eq!(cfg.retry.max_attempts, 5);
+        // Degenerate values survive until build(), then fail with the
+        // right error.
+        assert_eq!(
+            TrainerConfig::builder(0, Platform::maxwell())
+                .build()
+                .unwrap_err(),
+            ConfigError::BadTopicCount(0)
+        );
+        assert_eq!(
+            TrainerConfig::builder(16, Platform::maxwell())
+                .retry(RetryPolicy {
+                    max_attempts: 0,
+                    backoff_base_seconds: 1.0,
+                })
+                .build()
+                .unwrap_err(),
+            ConfigError::NoAttempts
+        );
+    }
+
+    #[test]
+    fn backoff_doubles_and_stays_bounded() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_seconds(1), 1e-3);
+        assert_eq!(p.backoff_seconds(2), 2e-3);
+        assert_eq!(p.backoff_seconds(3), 4e-3);
+        // The shift saturates instead of overflowing for absurd attempts.
+        assert!(p.backoff_seconds(64).is_finite());
+        // Total wait for max_attempts retries is bounded by base·2^n.
+        let total: f64 = (1..=p.max_attempts).map(|a| p.backoff_seconds(a)).sum();
+        assert!(total < p.backoff_base_seconds * f64::from(1u32 << p.max_attempts));
     }
 
     #[test]

@@ -27,6 +27,7 @@
 
 pub mod api;
 pub mod config;
+pub mod error;
 pub mod partition;
 pub mod policy;
 pub mod resume;
@@ -36,8 +37,9 @@ pub mod trainer;
 pub mod word_trainer;
 pub mod worker;
 
-pub use api::{build_trainer, LdaTrainer, PartitionPolicy};
-pub use config::{ConfigError, TrainerConfig};
+pub use api::{build_trainer, try_build_trainer, LdaTrainer, PartitionPolicy};
+pub use config::{ConfigError, RetryPolicy, TrainerConfig, TrainerConfigBuilder};
+pub use error::{CuldaError, RecoveryStats};
 pub use partition::PartitionedCorpus;
 pub use policy::{compare_policies, compare_policies_analytic, PolicyComparison};
 pub use resume::{resume_any, resume_training, resume_word_training, save_training};
@@ -45,4 +47,4 @@ pub use schedule::{chunk_owner, plan_partition, MemoryPlan};
 pub use sync::{sync_phi_replicas, sync_phi_ring, SyncReport};
 pub use trainer::{CuldaTrainer, TrainOutcome};
 pub use word_trainer::WordPartitionedTrainer;
-pub use worker::{run_workers, run_workers_traced, GpuWorker};
+pub use worker::{run_workers, run_workers_fallible, run_workers_traced, GpuWorker};

@@ -18,6 +18,7 @@
 
 use crate::api::{LdaTrainer, PartitionPolicy};
 use crate::config::TrainerConfig;
+use crate::error::CuldaError;
 use crate::trainer::CuldaTrainer;
 use crate::word_trainer::WordPartitionedTrainer;
 use culda_corpus::Corpus;
@@ -60,7 +61,11 @@ fn policy_tag(policy: PartitionPolicy) -> u32 {
 /// Serializes the resumable state of either policy's trainer: policy tag,
 /// config identity (seed, K, shard count), the iteration counter, and
 /// each chunk/shard's assignments.
-pub fn save_training<W: Write>(trainer: &dyn LdaTrainer, mut out: W) -> io::Result<()> {
+pub fn save_training<W: Write>(trainer: &dyn LdaTrainer, out: W) -> Result<(), CuldaError> {
+    Ok(save_training_io(trainer, out)?)
+}
+
+fn save_training_io<W: Write>(trainer: &dyn LdaTrainer, mut out: W) -> io::Result<()> {
     out.write_all(MAGIC)?;
     w32(&mut out, VERSION)?;
     w32(&mut out, policy_tag(trainer.policy()))?;
@@ -183,13 +188,16 @@ fn resume_into<T: LdaTrainer, R: Read>(
 /// checkpoint produced by [`save_training`]. The corpus and configuration
 /// must be the ones the checkpoint was taken with (validated where
 /// possible: policy, seed, K, chunk count, per-chunk token counts).
+/// Malformed or mismatched checkpoints surface as
+/// [`CuldaError::Checkpoint`]; underlying read failures as
+/// [`CuldaError::Io`].
 pub fn resume_training<R: Read>(
     corpus: &Corpus,
     cfg: TrainerConfig,
     input: R,
-) -> io::Result<CuldaTrainer> {
-    let trainer = CuldaTrainer::new(corpus, cfg.clone());
-    resume_into(trainer, &cfg, input)
+) -> Result<CuldaTrainer, CuldaError> {
+    let trainer = CuldaTrainer::try_new(corpus, cfg.clone())?;
+    Ok(resume_into(trainer, &cfg, input)?)
 }
 
 /// Rebuilds a partition-by-word trainer from a [`save_training`]
@@ -198,9 +206,9 @@ pub fn resume_word_training<R: Read>(
     corpus: &Corpus,
     cfg: TrainerConfig,
     input: R,
-) -> io::Result<WordPartitionedTrainer> {
-    let trainer = WordPartitionedTrainer::new(corpus, cfg.clone());
-    resume_into(trainer, &cfg, input)
+) -> Result<WordPartitionedTrainer, CuldaError> {
+    let trainer = WordPartitionedTrainer::try_new(corpus, cfg.clone())?;
+    Ok(resume_into(trainer, &cfg, input)?)
 }
 
 /// Policy-dispatching resume: reads the tag from the checkpoint itself
@@ -209,25 +217,31 @@ pub fn resume_any<R: Read>(
     corpus: &Corpus,
     cfg: TrainerConfig,
     mut input: R,
-) -> io::Result<Box<dyn LdaTrainer>> {
+) -> Result<Box<dyn LdaTrainer>, CuldaError> {
     // Peek the header by buffering it, then replay for the typed path.
     let mut head = vec![0u8; 16];
-    input.read_exact(&mut head)?;
+    input.read_exact(&mut head).map_err(CuldaError::from)?;
     let mut cursor = io::Cursor::new(&head);
     let mut magic = [0u8; 8];
-    cursor.read_exact(&mut magic)?;
+    cursor.read_exact(&mut magic).map_err(CuldaError::from)?;
     if &magic != MAGIC {
-        return Err(invalid("not a CuLDA training checkpoint"));
+        return Err(CuldaError::Checkpoint(
+            "not a CuLDA training checkpoint".into(),
+        ));
     }
-    let version = r32(&mut cursor)?;
+    let version = r32(&mut cursor).map_err(CuldaError::from)?;
     let policy = match version {
         1 => PartitionPolicy::Document,
-        2 => match r32(&mut cursor)? {
+        2 => match r32(&mut cursor).map_err(CuldaError::from)? {
             0 => PartitionPolicy::Document,
             1 => PartitionPolicy::Word,
-            tag => return Err(invalid(format!("unknown policy tag {tag}"))),
+            tag => return Err(CuldaError::Checkpoint(format!("unknown policy tag {tag}"))),
         },
-        v => return Err(invalid(format!("unsupported checkpoint version {v}"))),
+        v => {
+            return Err(CuldaError::Checkpoint(format!(
+                "unsupported checkpoint version {v}"
+            )))
+        }
     };
     let replay = io::Cursor::new(head).chain(input);
     Ok(match policy {

@@ -28,20 +28,23 @@
 //! is the pipeline makespan instead of the kernel sum.
 
 use crate::config::TrainerConfig;
+use crate::error::{CuldaError, RecoveryStats};
 use crate::partition::PartitionedCorpus;
 use crate::schedule::{chunk_owner, chunk_state_bytes, plan_partition, MemoryPlan};
 use crate::sync::{sync_phi_replicas, sync_phi_ring};
 use crate::worker::{run_workers_traced, GpuWorker};
 use culda_corpus::Corpus;
 use culda_gpusim::memory::Reservation;
-use culda_gpusim::{GpuCluster, Link, ProfileLog};
+use culda_gpusim::{FaultPlan, GpuCluster, Link, ProfileLog};
 use culda_metrics::{
     Breakdown, GpuBreakdowns, IterationStat, Json, LdaLoglik, MetricsRegistry, Phase, RunHistory,
     TraceSink, SIM_PID, SYNC_TID,
 };
 use culda_sampler::{
-    auto_tokens_per_block, build_block_map, BlockWork, ChunkState, IterationPlan, PhiModel, Priors,
+    auto_tokens_per_block, build_block_map, BlockWork, ChunkState, IterationPlan, PhiModel,
+    PlanReport, Priors,
 };
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 /// Result of a completed training run.
@@ -53,6 +56,8 @@ pub struct TrainOutcome {
     pub breakdown: Breakdown,
     /// Final joint log-likelihood per token (always scored at the end).
     pub final_loglik_per_token: f64,
+    /// What fault recovery did (all-zero for fault-free runs).
+    pub recovery: RecoveryStats,
 }
 
 /// The CuLDA trainer: a corpus partitioned over per-GPU workers.
@@ -71,6 +76,8 @@ pub struct CuldaTrainer {
     iteration: u32,
     trace: Option<Arc<TraceSink>>,
     metrics: Option<Arc<MetricsRegistry>>,
+    faults: Option<Arc<FaultPlan>>,
+    recovery: RecoveryStats,
     _residency: Vec<Reservation>,
 }
 
@@ -79,8 +86,17 @@ impl CuldaTrainer {
     /// initializes random assignments, builds the initial model, assigns
     /// chunks to workers round-robin, and charges the initial host→device
     /// transfers (Algorithm 1, lines 7–9).
+    ///
+    /// Panics on an invalid configuration; fallible callers use
+    /// [`Self::try_new`].
     pub fn new(corpus: &Corpus, cfg: TrainerConfig) -> Self {
-        cfg.validate().expect("invalid TrainerConfig");
+        Self::try_new(corpus, cfg).unwrap_or_else(|e| panic!("invalid TrainerConfig: {e}"))
+    }
+
+    /// Fallible counterpart of [`Self::new`]: a degenerate configuration
+    /// comes back as [`CuldaError::Config`] instead of a panic.
+    pub fn try_new(corpus: &Corpus, cfg: TrainerConfig) -> Result<Self, CuldaError> {
+        cfg.validate()?;
         let (part, plan) = plan_partition(corpus, &cfg);
         let mut cluster = GpuCluster::from_platform(&cfg.platform);
         if let Some(link) = cfg.peer_link {
@@ -180,7 +196,7 @@ impl CuldaTrainer {
             workers[chunk_owner(i, g)].push_chunk(i, state, map);
         }
 
-        Self {
+        Ok(Self {
             cfg,
             part,
             plan,
@@ -194,8 +210,37 @@ impl CuldaTrainer {
             iteration: 0,
             trace: None,
             metrics: None,
+            faults: None,
+            recovery: RecoveryStats::default(),
             _residency: residency,
+        })
+    }
+
+    /// Arms fault injection: every worker device consults `plan` on its
+    /// fallible launch/transfer paths, and [`Self::try_step`] recovers
+    /// from whatever fires (retry with backoff; chunk migration on a
+    /// permanent loss). Without a plan attached, stepping never snapshots
+    /// state and is byte-for-byte the fault-free trainer.
+    pub fn attach_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        for w in &self.workers {
+            w.device.attach_faults(plan.clone());
         }
+        self.faults = Some(plan);
+    }
+
+    /// What fault recovery has done so far in this run.
+    pub fn recovery(&self) -> RecoveryStats {
+        let mut r = self.recovery;
+        if let Some(p) = &self.faults {
+            r.faults_injected = p.injected();
+        }
+        r
+    }
+
+    /// Number of workers still alive (== GPU count until a permanent
+    /// fault exhausts some worker's retry budget).
+    pub fn num_alive(&self) -> usize {
+        self.workers.iter().filter(|w| w.alive).count()
     }
 
     /// Attaches observability sinks to the trainer and all worker devices:
@@ -265,9 +310,14 @@ impl CuldaTrainer {
             .collect()
     }
 
-    /// The current global ϕ snapshot (all read replicas are identical).
+    /// The current global ϕ snapshot (all *alive* read replicas are
+    /// identical; dead workers drop out of the sync).
     pub fn global_phi(&self) -> &PhiModel {
-        self.workers[0].read_replica()
+        self.workers
+            .iter()
+            .find(|w| w.alive)
+            .expect("at least one worker is alive")
+            .read_replica()
     }
 
     /// Timing/scoring history so far.
@@ -298,28 +348,36 @@ impl CuldaTrainer {
         self.iteration
     }
 
-    /// Latest clock among the workers' devices (current system time).
+    /// Latest clock among the *alive* workers' devices (current system
+    /// time; a dead device's clock is frozen at its point of loss).
     fn system_time(&self) -> f64 {
         self.workers
             .iter()
+            .filter(|w| w.alive)
             .map(|w| w.device.now())
             .fold(0.0f64, f64::max)
     }
 
-    /// Barrier: every device's clock advances to the latest (the
+    /// Barrier: every alive device's clock advances to the latest (the
     /// per-iteration join of Algorithm 1).
     fn barrier(&self) -> f64 {
         let t = self.system_time();
-        for w in &self.workers {
+        for w in self.workers.iter().filter(|w| w.alive) {
             w.device.advance_to(t);
         }
         t
     }
 
-    /// The worker index and worker-local slot of a global chunk id.
+    /// The worker index and worker-local slot of a global chunk id. A
+    /// search, not arithmetic: rebalancing can move chunks off the
+    /// round-robin [`chunk_owner`] layout.
     fn chunk_slot(&self, global_id: usize) -> (usize, usize) {
-        let g = self.workers.len();
-        (chunk_owner(global_id, g), global_id / g)
+        for (wi, w) in self.workers.iter().enumerate() {
+            if let Some(local) = w.chunk_ids.iter().position(|&gi| gi == global_id) {
+                return (wi, local);
+            }
+        }
+        panic!("chunk {global_id} has no owner");
     }
 
     /// Restores a checkpointed state: overwrites every chunk's assignments,
@@ -400,8 +458,12 @@ impl CuldaTrainer {
     /// on its own host thread; the host joins them, starts the ϕ sync at
     /// `max(ϕ_done)` (it overlaps the already-executed θ updates), and
     /// swaps each worker's replica pair.
+    ///
+    /// Panics on an unrecoverable fault; resilient callers use
+    /// [`Self::try_step`].
     pub fn step(&mut self) -> IterationStat {
-        self.step_impl(true)
+        self.try_step()
+            .unwrap_or_else(|e| panic!("unrecoverable training fault: {e}"))
     }
 
     /// Like [`step`](Self::step) but runs every worker's iteration body on
@@ -410,10 +472,30 @@ impl CuldaTrainer {
     /// [`step`](Self::step); only host wall-clock differs. Exists for the
     /// sequential-vs-concurrent benchmark and regression tests.
     pub fn step_sequential(&mut self) -> IterationStat {
-        self.step_impl(false)
+        self.try_step_impl(false)
+            .unwrap_or_else(|e| panic!("unrecoverable training fault: {e}"))
     }
 
-    fn step_impl(&mut self, concurrent: bool) -> IterationStat {
+    /// Fallible [`step`](Self::step): one full iteration with fault
+    /// recovery.
+    ///
+    /// Each worker is its own failure domain. A worker whose iteration
+    /// body hits an injected fault restores its pre-iteration (z, θ)
+    /// snapshot and retries after exponential backoff, up to
+    /// `cfg.retry.max_attempts` tries; the body is idempotent against the
+    /// read ϕ snapshot, so a successful retry is bit-identical to a
+    /// fault-free run. A worker that exhausts its budget is declared lost:
+    /// its chunks migrate round-robin to the survivors, which re-run the
+    /// migrated bodies against the same snapshot (commutative ϕ adds keep
+    /// the summed model bit-identical), and the sync continues over the
+    /// survivors. Errors surface only when recovery is impossible:
+    /// [`CuldaError::AllWorkersLost`], a fault during the rebalance
+    /// itself, or a worker panic (a bug, not a fault).
+    pub fn try_step(&mut self) -> Result<IterationStat, CuldaError> {
+        self.try_step_impl(true)
+    }
+
+    fn try_step_impl(&mut self, concurrent: bool) -> Result<IterationStat, CuldaError> {
         let wall_start = std::time::Instant::now();
         let t0 = self.system_time();
         let plan = if self.plan.m == 1 {
@@ -422,24 +504,120 @@ impl CuldaTrainer {
             IterationPlan::out_of_core(self.cfg.num_topics)
         };
         let iteration = self.iteration;
+        // Fault coordinates are (device, epoch); the trainer's epoch is
+        // the iteration number.
+        for w in &self.workers {
+            w.device.set_epoch(iteration);
+        }
         let part = &self.part;
         let cfg = &self.cfg;
         let host_link = self.host_link;
+        let faulty = self.faults.is_some();
+        let retry = cfg.retry;
+        let trace = self.trace.clone();
+        let metrics = self.metrics.clone();
+
+        // One worker's failure domain: the iteration body plus its retry
+        // loop, run on the worker's own host thread. Returns the plan
+        // report, retries performed, and simulated recovery seconds.
+        let body = |i: usize, w: &mut GpuWorker| -> Result<(PlanReport, u32, f64), CuldaError> {
+            if !w.alive {
+                return Ok((PlanReport::default(), 0, 0.0));
+            }
+            if !faulty {
+                // Fault-free fast path: no snapshot, no recovery state.
+                let r = w.try_run_iteration(part, cfg, plan, iteration, &host_link)?;
+                return Ok((r, 0, 0.0));
+            }
+            let snap = w.snapshot_states();
+            let mut attempt = 1u32;
+            let mut recovery_seconds = 0.0;
+            loop {
+                let before = w.device.now();
+                match w.try_run_iteration(part, cfg, plan, iteration, &host_link) {
+                    Ok(r) => return Ok((r, attempt - 1, recovery_seconds)),
+                    Err(fault) => {
+                        // Time burned by the failed attempt (zero for a
+                        // pre-body launch fault, partial for corruption).
+                        let wasted = w.device.now() - before;
+                        w.restore_states(&snap);
+                        if attempt >= retry.max_attempts {
+                            w.breakdown.add(Phase::Recovery, wasted);
+                            return Err(CuldaError::WorkerLost {
+                                device: i,
+                                attempts: attempt,
+                            });
+                        }
+                        let backoff = retry.backoff_seconds(attempt);
+                        let retry_at = w.device.now();
+                        w.device.advance(backoff);
+                        w.breakdown.add(Phase::Recovery, wasted + backoff);
+                        recovery_seconds += wasted + backoff;
+                        if let Some(sink) = &trace {
+                            sink.span_sim(
+                                w.device.id as u32,
+                                "worker.retry",
+                                "recovery",
+                                retry_at,
+                                w.device.now(),
+                                vec![
+                                    ("attempt".into(), Json::from(attempt as usize)),
+                                    ("fault".into(), Json::Str(fault.to_string())),
+                                ],
+                            );
+                        }
+                        if let Some(reg) = &metrics {
+                            reg.counter("worker.retry").inc();
+                        }
+                        attempt += 1;
+                    }
+                }
+            }
+        };
+        // A panicking body (a bug, not an injected fault) is caught at the
+        // fan-out boundary so the other workers' results survive.
+        let guarded = |i: usize, w: &mut GpuWorker| {
+            catch_unwind(AssertUnwindSafe(|| body(i, w)))
+                .unwrap_or(Err(CuldaError::WorkerPanicked { device: i }))
+        };
 
         // Spawn G workers — each runs its full iteration body concurrently.
-        let reports = if concurrent {
+        let results = if concurrent {
             run_workers_traced(
                 &mut self.workers,
                 self.trace.as_deref(),
                 &format!("iter {iteration}"),
-                |_, w| w.run_iteration(part, cfg, plan, iteration, &host_link),
+                guarded,
             )
         } else {
             self.workers
                 .iter_mut()
-                .map(|w| w.run_iteration(part, cfg, plan, iteration, &host_link))
+                .enumerate()
+                .map(|(i, w)| guarded(i, w))
                 .collect()
         };
+
+        // Sort the joined results into reports and lost workers. Anything
+        // other than a retry-exhausted loss is fatal.
+        let mut reports: Vec<PlanReport> = Vec::with_capacity(results.len());
+        let mut lost: Vec<usize> = Vec::new();
+        for (i, res) in results.into_iter().enumerate() {
+            match res {
+                Ok((r, retries, rec_s)) => {
+                    self.recovery.retries += u64::from(retries);
+                    self.breakdown.add(Phase::Recovery, rec_s);
+                    reports.push(r);
+                }
+                Err(CuldaError::WorkerLost { attempts, .. }) => {
+                    self.recovery.retries += u64::from(attempts - 1);
+                    self.recovery.workers_lost += 1;
+                    self.workers[i].alive = false;
+                    lost.push(i);
+                    reports.push(PlanReport::default());
+                }
+                Err(e) => return Err(e),
+            }
+        }
 
         // Merge per-worker accounts in device order (deterministic).
         for (w, r) in self.workers.iter_mut().zip(&reports) {
@@ -453,15 +631,36 @@ impl CuldaTrainer {
             self.profile.merge(&w.device.take_profile());
         }
 
+        // Permanent losses: migrate the dead workers' chunks to the
+        // survivors and re-run their bodies before the sync.
+        if !lost.is_empty() {
+            self.rebalance(&lost, iteration)?;
+            // Rebalance kernels left launch records behind.
+            for w in self.workers.iter_mut().filter(|w| w.alive) {
+                self.profile.merge(&w.device.take_profile());
+            }
+        }
+
         // ϕ synchronization starts once every GPU finished its ϕ update and
-        // overlaps the (already-executed) θ updates.
-        let sync_start = reports.iter().map(|r| r.phi_done_at).fold(t0, f64::max);
+        // overlaps the (already-executed) θ updates. After a rebalance the
+        // migrated ϕ lands last, so the sync waits for everything.
+        let sync_start = if lost.is_empty() {
+            reports.iter().map(|r| r.phi_done_at).fold(t0, f64::max)
+        } else {
+            self.system_time()
+        };
         let sync_fn = if self.cfg.ring_sync {
             sync_phi_ring
         } else {
             sync_phi_replicas
         };
-        let write_refs: Vec<&PhiModel> = self.workers.iter().map(|w| w.write_replica()).collect();
+        let write_refs: Vec<&PhiModel> = self
+            .workers
+            .iter()
+            .filter(|w| w.alive)
+            .map(|w| w.write_replica())
+            .collect();
+        let alive_count = write_refs.len();
         let sync = sync_fn(
             &write_refs,
             &self.cfg.platform.gpu,
@@ -476,9 +675,9 @@ impl CuldaTrainer {
         // (sync_start = max(ϕ_done) can precede a device's last θ span), so
         // it cannot sit on a device track without breaking B/E nesting.
         if let Some(sink) = &self.trace {
-            if self.workers.len() > 1 {
+            if alive_count > 1 {
                 // Reduce: each device's ϕ contribution flows into the sync.
-                for (w, r) in self.workers.iter().zip(&reports) {
+                for (w, r) in self.workers.iter().zip(&reports).filter(|(w, _)| w.alive) {
                     let id = sink.new_flow_id();
                     sink.flow_start(SIM_PID, w.device.id as u32, "phi_reduce", r.phi_done_at, id);
                     sink.flow_finish(SIM_PID, SYNC_TID, "phi_reduce", sync_start, id);
@@ -493,11 +692,11 @@ impl CuldaTrainer {
                         ("reduce_s".into(), Json::Num(sync.reduce_seconds)),
                         ("broadcast_s".into(), Json::Num(sync.broadcast_seconds)),
                         ("rounds".into(), Json::from(sync.rounds)),
-                        ("gpus".into(), Json::from(self.workers.len())),
+                        ("gpus".into(), Json::from(alive_count)),
                     ],
                 );
                 // Broadcast: the merged ϕ flows back out to every device.
-                for w in &self.workers {
+                for w in self.workers.iter().filter(|w| w.alive) {
                     let id = sink.new_flow_id();
                     sink.flow_start(SIM_PID, SYNC_TID, "phi_broadcast", sync_end, id);
                     sink.flow_finish(SIM_PID, w.device.id as u32, "phi_broadcast", sync_end, id);
@@ -510,14 +709,14 @@ impl CuldaTrainer {
             reg.histogram("sync.seconds").record(sync.total_seconds());
         }
 
-        for w in &self.workers {
+        for w in self.workers.iter().filter(|w| w.alive) {
             w.device.advance_to(sync_end);
         }
         let t_end = self.barrier();
 
         // The freshly-summed write replicas become next iteration's read
         // snapshots.
-        for w in &mut self.workers {
+        for w in self.workers.iter_mut().filter(|w| w.alive) {
             w.swap_replicas();
         }
 
@@ -532,20 +731,101 @@ impl CuldaTrainer {
             loglik_per_token: scored.then(|| self.loglik_per_token()),
         };
         self.history.push(stat);
-        stat
+        Ok(stat)
+    }
+
+    /// Migrates every chunk of the just-lost workers to the survivors
+    /// (round-robin over ascending global chunk id — deterministic) and
+    /// re-runs the migrated iteration bodies there against the same read
+    /// ϕ snapshot. The write replicas were already cleared and partially
+    /// filled by the survivors' own bodies; the migrated ϕ contributions
+    /// are commutative atomic adds on top, so the post-sync global ϕ is
+    /// bit-identical to the fault-free run. Recovery itself is not
+    /// fault-tolerant: a fault firing during the re-run is fatal.
+    fn rebalance(&mut self, lost: &[usize], iteration: u32) -> Result<(), CuldaError> {
+        let survivors: Vec<usize> = (0..self.workers.len())
+            .filter(|&i| self.workers[i].alive)
+            .collect();
+        if survivors.is_empty() {
+            return Err(CuldaError::AllWorkersLost);
+        }
+        let mut migrated: Vec<(usize, ChunkState, Vec<BlockWork>)> = Vec::new();
+        for &li in lost {
+            migrated.extend(self.workers[li].drain_chunks());
+        }
+        migrated.sort_by_key(|&(gi, ..)| gi);
+
+        // Deal the chunks out and charge each migration's host-mediated
+        // state transfer to the receiving device.
+        let mut added: Vec<Vec<usize>> = vec![Vec::new(); self.workers.len()];
+        for (n, (gi, state, map)) in migrated.into_iter().enumerate() {
+            let target = survivors[n % survivors.len()];
+            let bytes = chunk_state_bytes(&self.part, gi, self.cfg.num_topics);
+            let w = &mut self.workers[target];
+            // Recovery is not fault-tolerant: a drop fault armed on the
+            // receiving device loses the migration and aborts training.
+            let secs = w.device.try_transfer(bytes, &self.host_link)?;
+            w.breakdown.add(Phase::Recovery, secs);
+            self.breakdown.add(Phase::Recovery, secs);
+            added[target].push(w.num_chunks());
+            w.push_chunk(gi, state, map);
+            self.recovery.chunks_migrated += 1;
+        }
+
+        for &wi in &survivors {
+            if added[wi].is_empty() {
+                continue;
+            }
+            let start = self.workers[wi].device.now();
+            let r =
+                self.workers[wi].try_run_chunks(&added[wi], &self.part, &self.cfg, iteration)?;
+            let spent = r.sampling_seconds + r.phi_seconds + r.theta_seconds;
+            self.workers[wi].breakdown.add(Phase::Recovery, spent);
+            self.breakdown.add(Phase::Recovery, spent);
+            if let Some(sink) = &self.trace {
+                sink.span_sim(
+                    self.workers[wi].device.id as u32,
+                    "rebalance",
+                    "recovery",
+                    start,
+                    self.workers[wi].device.now(),
+                    vec![
+                        ("chunks".into(), Json::from(added[wi].len())),
+                        ("iteration".into(), Json::from(iteration as usize)),
+                    ],
+                );
+            }
+            if let Some(reg) = &self.metrics {
+                reg.counter("rebalance").inc();
+            }
+        }
+        Ok(())
     }
 
     /// Trains for the configured number of iterations.
-    pub fn train(mut self) -> TrainOutcome {
+    ///
+    /// Panics on an unrecoverable fault; resilient callers use
+    /// [`Self::try_train`].
+    pub fn train(self) -> TrainOutcome {
+        self.try_train()
+            .unwrap_or_else(|e| panic!("unrecoverable training fault: {e}"))
+    }
+
+    /// Fallible [`train`](Self::train): recovered faults show up in the
+    /// outcome's [`RecoveryStats`]; unrecoverable ones surface as
+    /// [`CuldaError`].
+    pub fn try_train(mut self) -> Result<TrainOutcome, CuldaError> {
         for _ in 0..self.cfg.iterations {
-            self.step();
+            self.try_step()?;
         }
         let final_ll = self.loglik_per_token();
-        TrainOutcome {
+        let recovery = self.recovery();
+        Ok(TrainOutcome {
             history: self.history,
             breakdown: self.breakdown,
             final_loglik_per_token: final_ll,
-        }
+            recovery,
+        })
     }
 
     /// Trains until the scored log-likelihood flattens (less than `tol`
@@ -567,11 +847,13 @@ impl CuldaTrainer {
             }
         }
         let final_ll = self.loglik_per_token();
+        let recovery = self.recovery();
         (
             TrainOutcome {
                 history: self.history,
                 breakdown: self.breakdown,
                 final_loglik_per_token: final_ll,
+                recovery,
             },
             ran,
         )

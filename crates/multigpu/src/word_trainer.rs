@@ -15,11 +15,14 @@
 //! bit-identical: token stream ids follow each policy's own layout.)
 
 use crate::config::TrainerConfig;
+use crate::error::{CuldaError, RecoveryStats};
 use crate::sync::SyncReport;
 use crate::worker::{run_workers_traced, GpuWorker};
 use culda_corpus::{Corpus, CsrMatrix, Xoshiro256};
 use culda_gpusim::memory::AtomicU16Buf;
-use culda_gpusim::{BlockCtx, GpuCluster, KernelCost, KernelSpec, LaunchPhase, Link, ProfileLog};
+use culda_gpusim::{
+    BlockCtx, FaultPlan, GpuCluster, KernelCost, KernelSpec, LaunchPhase, Link, ProfileLog,
+};
 use culda_metrics::{
     GpuBreakdowns, IterationStat, Json, LdaLoglik, MetricsRegistry, Phase, RunHistory, TraceSink,
     SIM_PID, SYNC_TID,
@@ -74,17 +77,31 @@ pub struct WordPartitionedTrainer {
     iteration: u32,
     trace: Option<Arc<TraceSink>>,
     metrics: Option<Arc<MetricsRegistry>>,
+    faults: Option<Arc<FaultPlan>>,
+    recovery: RecoveryStats,
     /// Accumulated θ sync time (for the policy comparison).
     pub theta_sync_seconds: f64,
 }
 
 impl WordPartitionedTrainer {
     /// Shards `corpus` by word over the platform's GPUs.
+    ///
+    /// Panics on an invalid configuration; fallible callers use
+    /// [`Self::try_new`].
     pub fn new(corpus: &Corpus, cfg: TrainerConfig) -> Self {
-        cfg.validate().expect("invalid TrainerConfig");
+        Self::try_new(corpus, cfg).unwrap_or_else(|e| panic!("invalid TrainerConfig: {e}"))
+    }
+
+    /// Fallible counterpart of [`Self::new`].
+    pub fn try_new(corpus: &Corpus, cfg: TrainerConfig) -> Result<Self, CuldaError> {
+        cfg.validate()?;
         let g = cfg.platform.num_gpus;
         let v = corpus.vocab_size();
-        assert!(g <= v, "more GPUs than words");
+        if g > v {
+            return Err(CuldaError::Invalid(format!(
+                "more GPUs ({g}) than vocabulary words ({v})"
+            )));
+        }
         let mut cluster = GpuCluster::from_platform(&cfg.platform);
         if let Some(link) = cfg.peer_link {
             cluster.peer_link = link;
@@ -188,7 +205,7 @@ impl WordPartitionedTrainer {
             .map(GpuWorker::without_replicas)
             .collect();
 
-        Self {
+        Ok(Self {
             cfg,
             workers,
             peer_link,
@@ -204,8 +221,32 @@ impl WordPartitionedTrainer {
             iteration: 0,
             trace: None,
             metrics: None,
+            faults: None,
+            recovery: RecoveryStats::default(),
             theta_sync_seconds: 0.0,
+        })
+    }
+
+    /// Arms fault injection on every shard device. This policy's sampling
+    /// kernel is idempotent (ϕ and θ are rebuilt host-side from `z` after
+    /// the fan-out), so recovery is retry-only: a transient fault re-runs
+    /// the shard's kernel bit-identically, and a worker that exhausts its
+    /// budget is fatal — ϕ columns are private to their shard, so there is
+    /// no replica to rebalance from.
+    pub fn attach_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        for w in &self.workers {
+            w.device.attach_faults(plan.clone());
         }
+        self.faults = Some(plan);
+    }
+
+    /// What fault recovery has done so far in this run.
+    pub fn recovery(&self) -> RecoveryStats {
+        let mut r = self.recovery;
+        if let Some(p) = &self.faults {
+            r.faults_injected = p.injected();
+        }
+        r
     }
 
     /// Attaches observability sinks to this trainer and all shard devices
@@ -237,7 +278,20 @@ impl WordPartitionedTrainer {
 
     /// One iteration: sample every shard, rebuild ϕ locally, reduce and
     /// broadcast θ (+ `n_k`). Returns the stats.
+    ///
+    /// Panics on an unrecoverable fault; resilient callers use
+    /// [`Self::try_step`].
     pub fn step(&mut self) -> IterationStat {
+        self.try_step()
+            .unwrap_or_else(|e| panic!("unrecoverable training fault: {e}"))
+    }
+
+    /// Fallible [`step`](Self::step). A shard whose sampling kernel hits
+    /// an injected fault retries after exponential backoff (the kernel is
+    /// idempotent — it rewrites every `z` of the shard from the previous
+    /// snapshot); exhausting `cfg.retry.max_attempts` is fatal for this
+    /// policy (private ϕ columns cannot be rebalanced).
+    pub fn try_step(&mut self) -> Result<IterationStat, CuldaError> {
         let wall = std::time::Instant::now();
         let t0 = self.system_time();
         let k = self.cfg.num_topics;
@@ -249,15 +303,21 @@ impl WordPartitionedTrainer {
         let compressed = self.cfg.compressed;
         let theta = &self.theta;
         let phi = &self.phi;
+        for w in &self.workers {
+            w.device.set_epoch(self.iteration);
+        }
+        let retry = self.cfg.retry;
+        let trace = self.trace.clone();
+        let metrics = self.metrics.clone();
 
         // --- Sampling, one worker thread per shard -----------------------
         let shards = &self.shards;
         let iter_label = format!("word iter {}", self.iteration);
-        run_workers_traced(
+        let results = run_workers_traced(
             &mut self.workers,
             self.trace.as_deref(),
             &iter_label,
-            |si, worker| {
+            |si, worker| -> Result<u32, CuldaError> {
                 let shard = &shards[si];
                 let blocks = shard.word_ids.len().max(1) as u32;
                 let word_ptr = &shard.word_ptr;
@@ -267,7 +327,7 @@ impl WordPartitionedTrainer {
                 let z = &shard.z;
                 let spec =
                     KernelSpec::new("word_lda_sample", blocks).with_phase(LaunchPhase::Sampling);
-                let r = worker.device.launch_spec(spec, |ctx: &mut BlockCtx| {
+                let body = |ctx: &mut BlockCtx| {
                     let wi = ctx.block_id as usize;
                     if wi >= word_ids.len() {
                         return;
@@ -306,10 +366,50 @@ impl WordPartitionedTrainer {
                         z.store(t, topic);
                         ctx.dram_write(2);
                     }
-                });
-                worker.breakdown.add(Phase::Sampling, r.sim_seconds);
+                };
+                let mut attempt = 1u32;
+                loop {
+                    match worker.device.try_launch_spec(spec.clone(), body) {
+                        Ok(r) => {
+                            worker.breakdown.add(Phase::Sampling, r.sim_seconds);
+                            return Ok(attempt - 1);
+                        }
+                        Err(_) if attempt >= retry.max_attempts => {
+                            return Err(CuldaError::WorkerLost {
+                                device: si,
+                                attempts: attempt,
+                            });
+                        }
+                        Err(fault) => {
+                            let backoff = retry.backoff_seconds(attempt);
+                            let retry_at = worker.device.now();
+                            worker.device.advance(backoff);
+                            worker.breakdown.add(Phase::Recovery, backoff);
+                            if let Some(sink) = &trace {
+                                sink.span_sim(
+                                    worker.device.id as u32,
+                                    "worker.retry",
+                                    "recovery",
+                                    retry_at,
+                                    worker.device.now(),
+                                    vec![
+                                        ("attempt".into(), Json::from(attempt as usize)),
+                                        ("fault".into(), Json::Str(fault.to_string())),
+                                    ],
+                                );
+                            }
+                            if let Some(reg) = &metrics {
+                                reg.counter("worker.retry").inc();
+                            }
+                            attempt += 1;
+                        }
+                    }
+                }
             },
         );
+        for res in results {
+            self.recovery.retries += u64::from(res?);
+        }
 
         // --- Rebuild ϕ (local, never synced) and θ (to be synced) --------
         // ϕ columns are private per shard; rebuild is a local kernel-cost
@@ -401,7 +501,7 @@ impl WordPartitionedTrainer {
             loglik_per_token: None,
         };
         self.history.push(stat);
-        stat
+        Ok(stat)
     }
 
     /// Latest clock among the workers' devices.

@@ -16,13 +16,20 @@
 //! worker mutates only state it owns.
 
 use crate::config::TrainerConfig;
+use crate::error::CuldaError;
 use crate::partition::PartitionedCorpus;
 use crate::schedule::chunk_state_bytes;
-use culda_gpusim::{Device, Link};
+use culda_corpus::CsrMatrix;
+use culda_gpusim::{Device, FaultKind, Link, SimFault};
 use culda_metrics::{Breakdown, Phase};
 use culda_sampler::{
     BlockWork, ChunkState, ChunkTask, IterationPlan, KernelSet, PhiModel, PlanReport, SampleConfig,
 };
+
+/// A pre-iteration copy of one chunk's mutable state (`z` + θ), taken only
+/// when fault recovery is armed so a failed iteration body can be rolled
+/// back and re-run. Fault-free runs never allocate these.
+pub type StateSnapshot = (Vec<u16>, CsrMatrix);
 
 /// One GPU's share of a training run: the device and all state resident
 /// on it.
@@ -44,6 +51,10 @@ pub struct GpuWorker {
     pub write_phi: Option<PhiModel>,
     /// This GPU's own phase account (per-GPU Table 5 attribution).
     pub breakdown: Breakdown,
+    /// False once the worker exhausted its retry budget on a permanent
+    /// fault: its chunks have been migrated and it takes no further part
+    /// in the run (no iteration body, no sync, no replica swap).
+    pub alive: bool,
 }
 
 impl GpuWorker {
@@ -57,6 +68,7 @@ impl GpuWorker {
             read_phi: Some(read_phi),
             write_phi: Some(write_phi),
             breakdown: Breakdown::new(),
+            alive: true,
         }
     }
 
@@ -72,6 +84,7 @@ impl GpuWorker {
             read_phi: None,
             write_phi: None,
             breakdown: Breakdown::new(),
+            alive: true,
         }
     }
 
@@ -103,6 +116,42 @@ impl GpuWorker {
         self.chunk_ids.len()
     }
 
+    /// Removes and returns every owned chunk `(global_id, state,
+    /// block_map)`, ascending by global id. Used when this worker is
+    /// declared lost and its chunks migrate to the survivors.
+    pub fn drain_chunks(&mut self) -> Vec<(usize, ChunkState, Vec<BlockWork>)> {
+        let ids = std::mem::take(&mut self.chunk_ids);
+        let states = std::mem::take(&mut self.states);
+        let maps = std::mem::take(&mut self.block_maps);
+        let mut out: Vec<_> = ids.into_iter().zip(states.into_iter().zip(maps)).collect();
+        out.sort_by_key(|&(gi, _)| gi);
+        out.into_iter()
+            .map(|(gi, (state, map))| (gi, state, map))
+            .collect()
+    }
+
+    /// Copies every owned chunk's mutable state (`z` + θ), in local chunk
+    /// order. Taken before a fallible iteration body so a mid-body fault —
+    /// which may have already committed some chunks' θ rebuilds — can be
+    /// rolled back to a consistent pre-iteration point before the retry.
+    pub fn snapshot_states(&self) -> Vec<StateSnapshot> {
+        self.states
+            .iter()
+            .map(|s| (s.z.snapshot(), s.theta.clone()))
+            .collect()
+    }
+
+    /// Restores the state copied by [`Self::snapshot_states`].
+    pub fn restore_states(&mut self, snap: &[StateSnapshot]) {
+        assert_eq!(snap.len(), self.states.len(), "snapshot shape mismatch");
+        for (state, (z, theta)) in self.states.iter_mut().zip(snap) {
+            for (t, &v) in z.iter().enumerate() {
+                state.z.store(t, v);
+            }
+            state.theta = theta.clone();
+        }
+    }
+
     /// The state of an owned chunk, by *global* chunk id.
     pub fn state_for(&self, global_id: usize) -> Option<&ChunkState> {
         self.chunk_ids
@@ -122,6 +171,9 @@ impl GpuWorker {
     /// out-of-core) and executes `plan` through the device's kernel set.
     /// Updates the per-GPU breakdown and returns the plan report (the
     /// trainer needs `phi_done_at` to start the sync).
+    ///
+    /// Panics on a simulated fault; resilient callers use
+    /// [`Self::try_run_iteration`].
     pub fn run_iteration(
         &mut self,
         part: &PartitionedCorpus,
@@ -130,7 +182,31 @@ impl GpuWorker {
         iteration: u32,
         host_link: &Link,
     ) -> PlanReport {
+        self.try_run_iteration(part, cfg, plan, iteration, host_link)
+            .unwrap_or_else(|f| panic!("unrecoverable simulated fault: {f}"))
+    }
+
+    /// Fallible iteration body. On a fault the error is surfaced and the
+    /// breakdown is left untouched; chunk state may be mid-iteration (some
+    /// θ rebuilds already committed), so a retrying caller must restore a
+    /// [`Self::snapshot_states`] copy first.
+    pub fn try_run_iteration(
+        &mut self,
+        part: &PartitionedCorpus,
+        cfg: &TrainerConfig,
+        plan: IterationPlan,
+        iteration: u32,
+        host_link: &Link,
+    ) -> Result<PlanReport, SimFault> {
         let out_of_core = plan.is_out_of_core();
+        // Out-of-core iterations stage chunk state over the host link; an
+        // armed `drop` fault loses that staging transfer before any time
+        // is charged, and the caller's retry re-stages it.
+        if out_of_core {
+            if let Some(fault) = self.device.poll_fault(FaultKind::LinkDrop, None) {
+                return Err(fault);
+            }
+        }
         let read_phi = self.read_phi.as_ref().expect("worker has no ϕ replicas");
         let write_phi = self.write_phi.as_ref().expect("worker has no ϕ replicas");
         let kernels = KernelSet::new(&self.device);
@@ -167,7 +243,7 @@ impl GpuWorker {
                 }
             })
             .collect();
-        let report = plan.execute(&kernels, read_phi, write_phi, &mut tasks);
+        let report = plan.try_execute(&kernels, read_phi, write_phi, &mut tasks)?;
         self.breakdown.add(Phase::Sampling, report.sampling_seconds);
         self.breakdown.add(Phase::UpdatePhi, report.phi_seconds);
         self.breakdown.add(Phase::UpdateTheta, report.theta_seconds);
@@ -175,7 +251,59 @@ impl GpuWorker {
             self.breakdown
                 .add(Phase::Transfer, report.exposed_transfer_seconds);
         }
-        report
+        Ok(report)
+    }
+
+    /// Runs the sample → ϕ-accumulate → θ sequence for a subset of owned
+    /// chunks (by *local* index) **without clearing the write replica** —
+    /// the rebalance path: chunks migrated from a lost worker are folded
+    /// into a survivor whose own iteration body (including the clear)
+    /// already ran. The ϕ adds are commutative atomics, so the summed
+    /// global ϕ — and with it the next iteration — is bit-identical to
+    /// the fault-free run. Kernel time is charged to the device clock;
+    /// the caller attributes it (the trainer books it as recovery).
+    pub fn try_run_chunks(
+        &mut self,
+        locals: &[usize],
+        part: &PartitionedCorpus,
+        cfg: &TrainerConfig,
+        iteration: u32,
+    ) -> Result<PlanReport, SimFault> {
+        let read_phi = self.read_phi.as_ref().expect("worker has no ϕ replicas");
+        let write_phi = self.write_phi.as_ref().expect("worker has no ϕ replicas");
+        let kernels = KernelSet::new(&self.device);
+        let inv_denom = read_phi.inv_denominators();
+        let mut out = PlanReport::default();
+        for &li in locals {
+            let gi = self.chunk_ids[li];
+            let state = &mut self.states[li];
+            let block_map = &self.block_maps[li];
+            if !block_map.is_empty() {
+                let sample_cfg = SampleConfig {
+                    seed: cfg.seed,
+                    iteration,
+                    chunk_token_offset: part.token_offsets[gi],
+                    compressed: cfg.compressed,
+                    use_shared_memory: cfg.use_shared_memory,
+                    use_l1_for_indices: cfg.use_l1_for_indices,
+                };
+                let r = kernels.try_sample(
+                    &part.chunks[gi],
+                    state,
+                    read_phi,
+                    &inv_denom,
+                    block_map,
+                    &sample_cfg,
+                )?;
+                out.sampling_seconds += r.sim_seconds;
+                let r = kernels.try_update_phi(&part.chunks[gi], state, write_phi, block_map)?;
+                out.phi_seconds += r.sim_seconds;
+            }
+            let r = kernels.try_update_theta(&part.chunks[gi], state, cfg.num_topics)?;
+            out.theta_seconds += r.sim_seconds;
+        }
+        out.phi_done_at = self.device.now();
+        Ok(out)
     }
 }
 
@@ -203,6 +331,41 @@ where
         handles
             .into_iter()
             .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    })
+}
+
+/// The fallible counterpart of [`run_workers`]: `f` returns
+/// `Result<R, CuldaError>`, and a worker body that **panics** (a genuine
+/// bug, not an injected fault) is caught at the fan-out boundary and
+/// surfaced as [`CuldaError::WorkerPanicked`] instead of tearing down the
+/// process — the other workers still run to completion and their results
+/// are preserved. Results are in worker order, one per worker.
+pub fn run_workers_fallible<R, F>(workers: &mut [GpuWorker], f: F) -> Vec<Result<R, CuldaError>>
+where
+    R: Send,
+    F: Fn(usize, &mut GpuWorker) -> Result<R, CuldaError> + Sync,
+{
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    if workers.len() == 1 {
+        let one = catch_unwind(AssertUnwindSafe(|| f(0, &mut workers[0])))
+            .unwrap_or(Err(CuldaError::WorkerPanicked { device: 0 }));
+        return vec![one];
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = workers
+            .iter_mut()
+            .enumerate()
+            .map(|(i, w)| scope.spawn(move || f(i, w)))
+            .collect();
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(i, h)| {
+                h.join()
+                    .unwrap_or(Err(CuldaError::WorkerPanicked { device: i }))
+            })
             .collect()
     })
 }

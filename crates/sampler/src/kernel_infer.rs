@@ -21,7 +21,7 @@
 use crate::model::PhiModel;
 use crate::ptree::{IndexTree, DEFAULT_FANOUT};
 use culda_corpus::Xoshiro256;
-use culda_gpusim::{BlockCtx, Device, KernelSpec, LaunchPhase, LaunchReport};
+use culda_gpusim::{BlockCtx, Device, KernelSpec, LaunchPhase, LaunchReport, SimFault};
 use std::sync::Mutex;
 
 /// Tuning for one inference launch.
@@ -226,6 +226,9 @@ fn log_predictive(phi: &PhiModel, inv_denom: &[f32], words: &[u32], acc: &[u64],
 /// Launches the fold-in kernel for one micro-batch on `device`: one block
 /// per document, ϕ strictly read-only. Returns per-document posteriors in
 /// input order plus the launch report.
+///
+/// Panics on a simulated fault; resilient callers use
+/// [`try_run_infer_kernel`].
 pub fn run_infer_kernel(
     device: &Device,
     phi: &PhiModel,
@@ -233,20 +236,34 @@ pub fn run_infer_kernel(
     docs: &[InferDoc<'_>],
     cfg: &InferKernelConfig,
 ) -> (Vec<DocPosterior>, LaunchReport) {
+    try_run_infer_kernel(device, phi, inv_denom, docs, cfg)
+        .unwrap_or_else(|f| panic!("unrecoverable simulated fault: {f}"))
+}
+
+/// Fallible fold-in launch. ϕ is read-only and posteriors are derived from
+/// per-document RNG streams, so a failed micro-batch can be re-run on any
+/// device with bit-identical results.
+pub fn try_run_infer_kernel(
+    device: &Device,
+    phi: &PhiModel,
+    inv_denom: &[f32],
+    docs: &[InferDoc<'_>],
+    cfg: &InferKernelConfig,
+) -> Result<(Vec<DocPosterior>, LaunchReport), SimFault> {
     assert!(!docs.is_empty(), "empty inference micro-batch");
     assert_eq!(inv_denom.len(), phi.num_topics, "inv_denom size");
     let slots: Vec<Mutex<Option<DocPosterior>>> = docs.iter().map(|_| Mutex::new(None)).collect();
     let spec = KernelSpec::new("lda_infer", docs.len() as u32).with_phase(LaunchPhase::Inference);
-    let report = device.launch_spec(spec, |ctx: &mut BlockCtx| {
+    let report = device.try_launch_spec(spec, |ctx: &mut BlockCtx| {
         let b = ctx.block_id as usize;
         let posterior = fold_in_doc(phi, inv_denom, &docs[b], cfg, Some(ctx));
         *slots[b].lock().unwrap() = Some(posterior);
-    });
+    })?;
     let out = slots
         .into_iter()
         .map(|s| s.into_inner().unwrap().expect("block skipped a document"))
         .collect();
-    (out, report)
+    Ok((out, report))
 }
 
 /// Host-side oracle: the exact posteriors the kernel must produce, using

@@ -15,16 +15,25 @@
 use crate::blockmap::BlockWork;
 use crate::model::{ChunkState, PhiModel};
 use culda_corpus::SortedChunk;
-use culda_gpusim::{BlockCtx, Device, KernelSpec, LaunchPhase, LaunchReport};
+use culda_gpusim::{BlockCtx, Device, KernelSpec, LaunchPhase, LaunchReport, SimFault};
 
 /// Zeroes a ϕ replica (the memset kernel that precedes accumulation).
+///
+/// Panics on a simulated fault; resilient callers use
+/// [`try_run_phi_clear_kernel`].
 pub fn run_phi_clear_kernel(device: &Device, phi: &PhiModel) -> LaunchReport {
+    try_run_phi_clear_kernel(device, phi)
+        .unwrap_or_else(|f| panic!("unrecoverable simulated fault: {f}"))
+}
+
+/// Fallible ϕ clear launch. Idempotent (a memset), so retry is a re-run.
+pub fn try_run_phi_clear_kernel(device: &Device, phi: &PhiModel) -> Result<LaunchReport, SimFault> {
     let cells = phi.phi.len() + phi.phi_sum.len();
     // 256 threads × 4 cells per thread per block is a typical memset grid;
     // the traffic is what matters: one u32 store per cell.
     let blocks = (cells as u32).div_ceil(1024).max(1);
     let spec = KernelSpec::new("phi_clear", blocks).with_phase(LaunchPhase::PhiUpdate);
-    device.launch_spec(spec, |ctx: &mut BlockCtx| {
+    device.try_launch_spec(spec, |ctx: &mut BlockCtx| {
         let start = ctx.block_id as usize * 1024;
         let end = (start + 1024).min(cells);
         for i in start..end {
@@ -39,6 +48,9 @@ pub fn run_phi_clear_kernel(device: &Device, phi: &PhiModel) -> LaunchReport {
 }
 
 /// Accumulates one chunk's assignments into the ϕ replica with atomic adds.
+///
+/// Panics on a simulated fault; resilient callers use
+/// [`try_run_phi_update_kernel`].
 pub fn run_phi_update_kernel(
     device: &Device,
     chunk: &SortedChunk,
@@ -46,11 +58,25 @@ pub fn run_phi_update_kernel(
     phi: &PhiModel,
     block_map: &[BlockWork],
 ) -> LaunchReport {
+    try_run_phi_update_kernel(device, chunk, state, phi, block_map)
+        .unwrap_or_else(|f| panic!("unrecoverable simulated fault: {f}"))
+}
+
+/// Fallible ϕ accumulation launch. *Not* idempotent on its own (atomic
+/// adds double-count on a blind re-run) — recovery re-runs the whole
+/// iteration body starting from the clear.
+pub fn try_run_phi_update_kernel(
+    device: &Device,
+    chunk: &SortedChunk,
+    state: &ChunkState,
+    phi: &PhiModel,
+    block_map: &[BlockWork],
+) -> Result<LaunchReport, SimFault> {
     assert_eq!(state.z.len(), chunk.num_tokens(), "z/chunk mismatch");
     let k = phi.num_topics;
     let spec =
         KernelSpec::new("phi_update", block_map.len() as u32).with_phase(LaunchPhase::PhiUpdate);
-    device.launch_spec(spec, |ctx: &mut BlockCtx| {
+    device.try_launch_spec(spec, |ctx: &mut BlockCtx| {
         let work = &block_map[ctx.block_id as usize];
         let word = chunk.word_ids[work.word_idx] as usize;
         let base = word * k;

@@ -22,7 +22,7 @@ use crate::model::{ChunkState, PhiModel};
 use crate::ptree::{IndexTree, DEFAULT_FANOUT};
 use crate::spq::p1_weights;
 use culda_corpus::{SortedChunk, Xoshiro256};
-use culda_gpusim::{BlockCtx, Device, KernelSpec, LaunchPhase, LaunchReport};
+use culda_gpusim::{BlockCtx, Device, KernelSpec, LaunchPhase, LaunchReport, SimFault};
 
 /// Tuning and bookkeeping for one sampling launch.
 #[derive(Debug, Clone, Copy)]
@@ -106,6 +106,9 @@ fn draw_token(
 
 /// Launches the sampling kernel for one chunk on `device`. Writes new
 /// assignments into `state.z`; model matrices are read-only.
+///
+/// Panics on a simulated fault; resilient callers use
+/// [`try_run_sampling_kernel`].
 pub fn run_sampling_kernel(
     device: &Device,
     chunk: &SortedChunk,
@@ -115,6 +118,22 @@ pub fn run_sampling_kernel(
     block_map: &[BlockWork],
     cfg: &SampleConfig,
 ) -> LaunchReport {
+    try_run_sampling_kernel(device, chunk, state, phi, inv_denom, block_map, cfg)
+        .unwrap_or_else(|f| panic!("unrecoverable simulated fault: {f}"))
+}
+
+/// Fallible sampling launch: surfaces injected faults as [`SimFault`].
+/// Because the kernel only *writes* `state.z` (θ and ϕ are read-only), a
+/// failed launch can simply be re-run — the kernel is idempotent.
+pub fn try_run_sampling_kernel(
+    device: &Device,
+    chunk: &SortedChunk,
+    state: &ChunkState,
+    phi: &PhiModel,
+    inv_denom: &[f32],
+    block_map: &[BlockWork],
+    cfg: &SampleConfig,
+) -> Result<LaunchReport, SimFault> {
     assert_eq!(state.z.len(), chunk.num_tokens(), "z/chunk mismatch");
     assert_eq!(inv_denom.len(), phi.num_topics, "inv_denom size");
     assert!(!block_map.is_empty(), "empty block map");
@@ -127,7 +146,7 @@ pub fn run_sampling_kernel(
 
     let spec =
         KernelSpec::new("lda_sample", block_map.len() as u32).with_phase(LaunchPhase::Sampling);
-    device.launch_spec(spec, |ctx: &mut BlockCtx| {
+    device.try_launch_spec(spec, |ctx: &mut BlockCtx| {
         let work = &block_map[ctx.block_id as usize];
         let word = chunk.word_ids[work.word_idx] as usize;
 

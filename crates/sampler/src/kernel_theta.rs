@@ -19,17 +19,33 @@
 
 use crate::model::ChunkState;
 use culda_corpus::{CsrMatrix, SortedChunk};
-use culda_gpusim::{BlockCtx, Device, KernelSpec, LaunchPhase, LaunchReport};
+use culda_gpusim::{BlockCtx, Device, KernelSpec, LaunchPhase, LaunchReport, SimFault};
 use std::sync::OnceLock;
 
 /// Rebuilds a chunk's θ replica from the current assignments.
 /// Returns the launch report; the new CSR replaces `state.theta`.
+///
+/// Panics on a simulated fault; resilient callers use
+/// [`try_run_theta_update_kernel`].
 pub fn run_theta_update_kernel(
     device: &Device,
     chunk: &SortedChunk,
     state: &mut ChunkState,
     num_topics: usize,
 ) -> LaunchReport {
+    try_run_theta_update_kernel(device, chunk, state, num_topics)
+        .unwrap_or_else(|f| panic!("unrecoverable simulated fault: {f}"))
+}
+
+/// Fallible θ rebuild launch. On failure `state.theta` is left untouched
+/// (the rebuilt rows are only committed after a clean launch), so the
+/// rebuild is idempotent: a retry recounts from the same `z`.
+pub fn try_run_theta_update_kernel(
+    device: &Device,
+    chunk: &SortedChunk,
+    state: &mut ChunkState,
+    num_topics: usize,
+) -> Result<LaunchReport, SimFault> {
     assert_eq!(state.z.len(), chunk.num_tokens(), "z/chunk mismatch");
     assert!(chunk.num_docs > 0, "chunk has no documents");
     let z = &state.z;
@@ -39,7 +55,7 @@ pub fn run_theta_update_kernel(
 
     let spec =
         KernelSpec::new("theta_update", chunk.num_docs as u32).with_phase(LaunchPhase::ThetaUpdate);
-    let report = device.launch_spec(spec, |ctx: &mut BlockCtx| {
+    let report = device.try_launch_spec(spec, |ctx: &mut BlockCtx| {
         let d = ctx.block_id as usize;
         let positions = chunk.doc_tokens(d);
         // Step 1: dense scratch per document. The paper fills it with
@@ -73,7 +89,7 @@ pub fn run_theta_update_kernel(
         rows[d]
             .set((cols, vals))
             .expect("document rebuilt by two blocks");
-    });
+    })?;
 
     // Device-side rows → one CSR matrix (row pointers by prefix sum).
     let mut row_ptr = Vec::with_capacity(chunk.num_docs + 1);
@@ -87,7 +103,7 @@ pub fn run_theta_update_kernel(
         row_ptr.push(all_cols.len());
     }
     state.theta = CsrMatrix::from_parts(chunk.num_docs, num_topics, row_ptr, all_cols, all_vals);
-    report
+    Ok(report)
 }
 
 #[cfg(test)]

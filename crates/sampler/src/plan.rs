@@ -15,12 +15,15 @@
 //! constructor choice, not a fork in its iteration loop.
 
 use crate::blockmap::BlockWork;
-use crate::kernel_phi::{run_phi_clear_kernel, run_phi_update_kernel};
-use crate::kernel_sample::{run_sampling_kernel, SampleConfig};
-use crate::kernel_theta::run_theta_update_kernel;
+use crate::kernel_phi::{
+    run_phi_clear_kernel, run_phi_update_kernel, try_run_phi_clear_kernel,
+    try_run_phi_update_kernel,
+};
+use crate::kernel_sample::{run_sampling_kernel, try_run_sampling_kernel, SampleConfig};
+use crate::kernel_theta::{run_theta_update_kernel, try_run_theta_update_kernel};
 use crate::model::{ChunkState, PhiModel};
 use culda_corpus::SortedChunk;
-use culda_gpusim::{Device, EnginePipeline, LaunchReport, Stage};
+use culda_gpusim::{Device, EnginePipeline, LaunchReport, SimFault, Stage};
 
 /// The paper's three kernels bound to one device — the only launch surface
 /// trainers use.
@@ -77,6 +80,45 @@ impl<'d> KernelSet<'d> {
         num_topics: usize,
     ) -> LaunchReport {
         run_theta_update_kernel(self.device, chunk, state, num_topics)
+    }
+
+    /// Fallible sampling launch (see [`try_run_sampling_kernel`]).
+    pub fn try_sample(
+        &self,
+        chunk: &SortedChunk,
+        state: &ChunkState,
+        phi: &PhiModel,
+        inv_denom: &[f32],
+        block_map: &[BlockWork],
+        cfg: &SampleConfig,
+    ) -> Result<LaunchReport, SimFault> {
+        try_run_sampling_kernel(self.device, chunk, state, phi, inv_denom, block_map, cfg)
+    }
+
+    /// Fallible ϕ clear launch (see [`try_run_phi_clear_kernel`]).
+    pub fn try_clear_phi(&self, phi: &PhiModel) -> Result<LaunchReport, SimFault> {
+        try_run_phi_clear_kernel(self.device, phi)
+    }
+
+    /// Fallible ϕ accumulation launch (see [`try_run_phi_update_kernel`]).
+    pub fn try_update_phi(
+        &self,
+        chunk: &SortedChunk,
+        state: &ChunkState,
+        phi: &PhiModel,
+        block_map: &[BlockWork],
+    ) -> Result<LaunchReport, SimFault> {
+        try_run_phi_update_kernel(self.device, chunk, state, phi, block_map)
+    }
+
+    /// Fallible θ rebuild launch (see [`try_run_theta_update_kernel`]).
+    pub fn try_update_theta(
+        &self,
+        chunk: &SortedChunk,
+        state: &mut ChunkState,
+        num_topics: usize,
+    ) -> Result<LaunchReport, SimFault> {
+        try_run_theta_update_kernel(self.device, chunk, state, num_topics)
     }
 }
 
@@ -160,6 +202,9 @@ impl IterationPlan {
     /// against the `read_phi` snapshot, rebuilds `write_phi` (clear +
     /// accumulate), then rebuilds every task's θ. Advances the device
     /// clock and returns the per-phase totals.
+    ///
+    /// Panics on a simulated fault; resilient callers use
+    /// [`try_execute`](IterationPlan::try_execute).
     pub fn execute(
         &self,
         kernels: &KernelSet<'_>,
@@ -167,6 +212,22 @@ impl IterationPlan {
         write_phi: &PhiModel,
         tasks: &mut [ChunkTask<'_>],
     ) -> PlanReport {
+        self.try_execute(kernels, read_phi, write_phi, tasks)
+            .unwrap_or_else(|f| panic!("unrecoverable simulated fault: {f}"))
+    }
+
+    /// Fallible execution: stops at the first injected fault and surfaces
+    /// it. The iteration body is idempotent — sampling reads only the
+    /// previous θ and the read ϕ snapshot, the write replica starts from a
+    /// clear, and θ is a full recount from `z` — so recovery re-runs the
+    /// whole plan after restoring the pre-iteration (z, θ) snapshot.
+    pub fn try_execute(
+        &self,
+        kernels: &KernelSet<'_>,
+        read_phi: &PhiModel,
+        write_phi: &PhiModel,
+        tasks: &mut [ChunkTask<'_>],
+    ) -> Result<PlanReport, SimFault> {
         match self.schedule {
             WorkSchedule::Resident => self.execute_resident(kernels, read_phi, write_phi, tasks),
             WorkSchedule::OutOfCore => {
@@ -181,7 +242,7 @@ impl IterationPlan {
         read_phi: &PhiModel,
         write_phi: &PhiModel,
         tasks: &mut [ChunkTask<'_>],
-    ) -> PlanReport {
+    ) -> Result<PlanReport, SimFault> {
         let inv_denom = read_phi.inv_denominators();
         let mut out = PlanReport::default();
         // Sample every chunk against the read snapshot.
@@ -189,33 +250,33 @@ impl IterationPlan {
             if task.block_map.is_empty() {
                 continue; // zero-token chunk
             }
-            let r = kernels.sample(
+            let r = kernels.try_sample(
                 task.chunk,
                 task.state,
                 read_phi,
                 &inv_denom,
                 task.block_map,
                 &task.sample_cfg,
-            );
+            )?;
             out.sampling_seconds += r.sim_seconds;
         }
         // Rebuild the write replica: clear once, accumulate each chunk.
-        let rc = kernels.clear_phi(write_phi);
+        let rc = kernels.try_clear_phi(write_phi)?;
         out.phi_seconds += rc.sim_seconds;
         for task in tasks.iter() {
             if task.block_map.is_empty() {
                 continue;
             }
-            let r = kernels.update_phi(task.chunk, task.state, write_phi, task.block_map);
+            let r = kernels.try_update_phi(task.chunk, task.state, write_phi, task.block_map)?;
             out.phi_seconds += r.sim_seconds;
         }
         out.phi_done_at = kernels.device().now();
         // θ update runs after ϕ so it overlaps the sync.
         for task in tasks.iter_mut() {
-            let r = kernels.update_theta(task.chunk, task.state, self.num_topics);
+            let r = kernels.try_update_theta(task.chunk, task.state, self.num_topics)?;
             out.theta_seconds += r.sim_seconds;
         }
-        out
+        Ok(out)
     }
 
     fn execute_out_of_core(
@@ -224,7 +285,7 @@ impl IterationPlan {
         read_phi: &PhiModel,
         write_phi: &PhiModel,
         tasks: &mut [ChunkTask<'_>],
-    ) -> PlanReport {
+    ) -> Result<PlanReport, SimFault> {
         let inv_denom = read_phi.inv_denominators();
         let device = kernels.device();
         let start = device.now();
@@ -233,7 +294,7 @@ impl IterationPlan {
         let mut out = PlanReport::default();
 
         // The replica clear is not chunk-bound; run it up front.
-        let rc = kernels.clear_phi(write_phi);
+        let rc = kernels.try_clear_phi(write_phi)?;
         out.phi_seconds += rc.sim_seconds;
         compute_total += rc.sim_seconds;
         pipeline.submit(Stage {
@@ -247,18 +308,18 @@ impl IterationPlan {
                 continue; // zero-token chunk: nothing to stream or run
             }
             let before = device.now();
-            let r = kernels.sample(
+            let r = kernels.try_sample(
                 task.chunk,
                 task.state,
                 read_phi,
                 &inv_denom,
                 task.block_map,
                 &task.sample_cfg,
-            );
+            )?;
             out.sampling_seconds += r.sim_seconds;
-            let r = kernels.update_phi(task.chunk, task.state, write_phi, task.block_map);
+            let r = kernels.try_update_phi(task.chunk, task.state, write_phi, task.block_map)?;
             out.phi_seconds += r.sim_seconds;
-            let r = kernels.update_theta(task.chunk, task.state, self.num_topics);
+            let r = kernels.try_update_theta(task.chunk, task.state, self.num_topics)?;
             out.theta_seconds += r.sim_seconds;
             let compute = device.now() - before;
             compute_total += compute;
@@ -276,7 +337,7 @@ impl IterationPlan {
         // ϕ of the *last* chunk completes with the compute engine; the
         // sync can start then (θ of the last chunk still overlaps).
         out.phi_done_at = device.now();
-        out
+        Ok(out)
     }
 }
 

@@ -13,12 +13,13 @@
 //! perplexity are identical regardless of `--batch-size`, `--workers`, or
 //! which simulated GPU a document lands on.
 
+use crate::error::ServeError;
 use crate::frozen::FrozenModel;
 use culda_corpus::Corpus;
-use culda_gpusim::{Device, GpuSpec, ProfileLog};
-use culda_metrics::{Breakdown, MetricsRegistry, Phase, TraceSink};
-use culda_multigpu::{run_workers_traced, GpuWorker};
-use culda_sampler::{run_infer_kernel, DocPosterior, InferDoc, InferKernelConfig, LdaModel};
+use culda_gpusim::{Device, FaultPlan, GpuSpec, ProfileLog};
+use culda_metrics::{Breakdown, Json, MetricsRegistry, Phase, TraceSink};
+use culda_multigpu::{run_workers_traced, GpuWorker, RecoveryStats, RetryPolicy};
+use culda_sampler::{try_run_infer_kernel, DocPosterior, InferDoc, InferKernelConfig, LdaModel};
 use std::ops::Range;
 use std::sync::Arc;
 
@@ -44,6 +45,8 @@ pub struct ServeConfig {
     pub host_workers: usize,
     /// The GPU model every worker simulates.
     pub gpu: GpuSpec,
+    /// Retry budget and backoff for transient launch faults.
+    pub retry: RetryPolicy,
 }
 
 impl ServeConfig {
@@ -60,6 +63,7 @@ impl ServeConfig {
             use_shared_memory: true,
             host_workers: 1,
             gpu: GpuSpec::titan_xp_pascal(),
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -99,16 +103,31 @@ impl ServeConfig {
         self
     }
 
+    /// Sets the transient-fault retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
     /// Rejects configurations that cannot serve anything.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ServeError> {
         if self.workers == 0 {
-            return Err("serving needs at least one worker".into());
+            return Err(ServeError::Config(
+                "serving needs at least one worker".into(),
+            ));
         }
         if self.batch_size == 0 {
-            return Err("batch size must be at least one document".into());
+            return Err(ServeError::Config(
+                "batch size must be at least one document".into(),
+            ));
         }
         if self.host_workers == 0 {
-            return Err("each device needs at least one host worker".into());
+            return Err(ServeError::Config(
+                "each device needs at least one host worker".into(),
+            ));
+        }
+        if self.retry.max_attempts == 0 {
+            return Err(ServeError::Config("retry.max_attempts must be >= 1".into()));
         }
         Ok(())
     }
@@ -150,6 +169,87 @@ pub struct InferenceOutcome {
     pub device_seconds: f64,
 }
 
+/// Builder-style construction for [`InferenceEngine`]: configure the
+/// fleet, arm an optional fault plan, validate once at
+/// [`build`](InferenceEngineBuilder::build).
+#[derive(Debug)]
+pub struct InferenceEngineBuilder {
+    model: FrozenModel,
+    cfg: ServeConfig,
+    faults: Option<Arc<FaultPlan>>,
+}
+
+impl InferenceEngineBuilder {
+    /// Sets the simulated GPU count.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.cfg.workers = workers;
+        self
+    }
+
+    /// Sets the micro-batch size (documents per launch).
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.cfg.batch_size = batch_size;
+        self
+    }
+
+    /// Sets the burn-in sweep count.
+    pub fn burnin(mut self, burnin: u32) -> Self {
+        self.cfg.burnin = burnin;
+        self
+    }
+
+    /// Sets the post-burn-in sample sweep count.
+    pub fn samples(mut self, samples: u32) -> Self {
+        self.cfg.samples = samples;
+        self
+    }
+
+    /// Counts ϕ loads at u16 precision (the paper's compression).
+    pub fn compressed(mut self, compressed: bool) -> Self {
+        self.cfg.compressed = compressed;
+        self
+    }
+
+    /// Lets blocks stage θ/weights/tree in shared memory when they fit.
+    pub fn use_shared_memory(mut self, on: bool) -> Self {
+        self.cfg.use_shared_memory = on;
+        self
+    }
+
+    /// Sets the host threads per simulated device.
+    pub fn host_workers(mut self, host_workers: usize) -> Self {
+        self.cfg.host_workers = host_workers;
+        self
+    }
+
+    /// Sets the simulated GPU model.
+    pub fn gpu(mut self, gpu: GpuSpec) -> Self {
+        self.cfg.gpu = gpu;
+        self
+    }
+
+    /// Sets the transient-fault retry policy.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.cfg.retry = retry;
+        self
+    }
+
+    /// Arms a deterministic fault-injection plan on every worker device.
+    pub fn fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Validates the configuration and builds the engine.
+    pub fn build(self) -> Result<InferenceEngine, ServeError> {
+        let mut engine = InferenceEngine::new(self.model, self.cfg)?;
+        if let Some(plan) = self.faults {
+            engine.attach_fault_plan(plan);
+        }
+        Ok(engine)
+    }
+}
+
 /// Micro-batched fold-in inference over a [`FrozenModel`].
 #[derive(Debug)]
 pub struct InferenceEngine {
@@ -157,7 +257,11 @@ pub struct InferenceEngine {
     inv_denom: Vec<f32>,
     cfg: ServeConfig,
     workers: Vec<GpuWorker>,
+    alive: Vec<bool>,
+    faults: Option<Arc<FaultPlan>>,
     trace: Option<Arc<TraceSink>>,
+    metrics: Option<Arc<MetricsRegistry>>,
+    recovery: RecoveryStats,
     batches_served: u64,
     docs_served: u64,
     tokens_served: u64,
@@ -166,26 +270,69 @@ pub struct InferenceEngine {
 impl InferenceEngine {
     /// Builds an engine: `cfg.workers` replica-less [`GpuWorker`]s sharing
     /// the frozen ϕ read-only.
-    pub fn new(model: FrozenModel, cfg: ServeConfig) -> Result<Self, String> {
+    ///
+    /// Thin constructor shim kept for existing callers; prefer
+    /// [`InferenceEngine::builder`], which also arms fault plans.
+    pub fn new(model: FrozenModel, cfg: ServeConfig) -> Result<Self, ServeError> {
         cfg.validate()?;
-        let workers = (0..cfg.workers)
+        let workers: Vec<GpuWorker> = (0..cfg.workers)
             .map(|i| {
                 GpuWorker::without_replicas(
                     Device::new(i, cfg.gpu.clone()).with_workers(cfg.host_workers),
                 )
             })
             .collect();
+        let alive = vec![true; workers.len()];
         let inv_denom = model.inv_denominators();
         Ok(Self {
             model,
             inv_denom,
             cfg,
             workers,
+            alive,
+            faults: None,
             trace: None,
+            metrics: None,
+            recovery: RecoveryStats::default(),
             batches_served: 0,
             docs_served: 0,
             tokens_served: 0,
         })
+    }
+
+    /// Starts builder-style construction with `seed`'s serving defaults.
+    pub fn builder(model: FrozenModel, seed: u64) -> InferenceEngineBuilder {
+        InferenceEngineBuilder {
+            model,
+            cfg: ServeConfig::new(seed),
+            faults: None,
+        }
+    }
+
+    /// Arms a deterministic fault-injection plan on every worker device.
+    /// Subsequent [`infer_batch`](InferenceEngine::infer_batch) calls
+    /// consult it at each kernel launch.
+    pub fn attach_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        for w in &self.workers {
+            w.device.attach_faults(Arc::clone(&plan));
+        }
+        self.faults = Some(plan);
+    }
+
+    /// Fault-recovery statistics accumulated across all batches served:
+    /// injected faults, launch retries, lost workers, re-enqueued
+    /// micro-batches (counted as migrated chunks).
+    pub fn recovery(&self) -> RecoveryStats {
+        let mut r = self.recovery;
+        if let Some(plan) = &self.faults {
+            r.faults_injected = plan.injected();
+        }
+        r
+    }
+
+    /// Workers still serving (not lost to permanent faults).
+    pub fn num_alive(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
     }
 
     /// The frozen model being served.
@@ -229,6 +376,7 @@ impl InferenceEngine {
             }
         }
         self.trace = trace;
+        self.metrics = metrics;
     }
 
     /// Per-GPU phase breakdowns accumulated across all batches served.
@@ -247,75 +395,142 @@ impl InferenceEngine {
 
     /// Infers θ̂ and held-out perplexity for a batch of documents (token
     /// word-id lists). Documents are packed into `batch_size` micro-batches
-    /// dealt round-robin across the workers; results come back in input
-    /// order and are independent of that packing.
-    pub fn infer_batch(&mut self, docs: &[Vec<u32>]) -> Result<InferenceOutcome, String> {
+    /// dealt round-robin across the live workers; results come back in
+    /// input order and are independent of that packing.
+    ///
+    /// Fault recovery: each worker retries a faulted launch with
+    /// exponential backoff up to the configured budget. A worker that
+    /// exhausts it is removed from the fleet and its stranded
+    /// micro-batches are re-enqueued (ascending id, round-robin) on the
+    /// survivors — per-document RNG streams are keyed by arrival index,
+    /// so the re-served results are bit-identical to a fault-free run.
+    pub fn infer_batch(&mut self, docs: &[Vec<u32>]) -> Result<InferenceOutcome, ServeError> {
         if docs.is_empty() {
-            return Err("no documents to infer".into());
+            return Err(ServeError::Invalid("no documents to infer".into()));
         }
         let vocab = self.model.vocab_size();
         for (d, doc) in docs.iter().enumerate() {
             if let Some(&w) = doc.iter().find(|&&w| w as usize >= vocab) {
-                return Err(format!(
+                return Err(ServeError::Invalid(format!(
                     "document {d} has word id {w}, outside the model vocabulary of {vocab}"
-                ));
+                )));
             }
         }
 
-        // Deal micro-batches round-robin: micro-batch b → worker b mod G.
         let num_workers = self.workers.len();
-        let mut owned: Vec<Vec<(usize, Range<usize>)>> = vec![Vec::new(); num_workers];
-        let mut micro_batches = 0usize;
+        let alive_ids: Vec<usize> = (0..num_workers).filter(|&i| self.alive[i]).collect();
+        if alive_ids.is_empty() {
+            return Err(ServeError::AllWorkersLost);
+        }
+
+        // Fault coordinates address (device, batch ordinal).
+        for w in &self.workers {
+            w.device.set_epoch(self.batches_served as u32);
+        }
+
+        // Deal micro-batches round-robin over the LIVE fleet: micro-batch
+        // b → survivor b mod |alive|.
+        let mut ranges: Vec<Range<usize>> = Vec::new();
         let mut start = 0usize;
         while start < docs.len() {
             let end = (start + self.cfg.batch_size).min(docs.len());
-            owned[micro_batches % num_workers].push((micro_batches, start..end));
-            micro_batches += 1;
+            ranges.push(start..end);
             start = end;
+        }
+        let micro_batches = ranges.len();
+        let mut owned: Vec<Vec<(usize, Range<usize>)>> = vec![Vec::new(); num_workers];
+        for (mb, range) in ranges.iter().enumerate() {
+            owned[alive_ids[mb % alive_ids.len()]].push((mb, range.clone()));
         }
 
         let kcfg = self.cfg.kernel_config();
         let base_stream = self.docs_served;
         let phi = self.model.phi();
         let inv_denom = &self.inv_denom;
+        let retry = self.cfg.retry;
         let label = format!("infer batch {}", self.batches_served);
-        let owned_ref = &owned;
-        let per_worker: Vec<Vec<(usize, Vec<DocPosterior>, f64)>> = run_workers_traced(
+        let shards = run_shards(
             &mut self.workers,
             self.trace.as_deref(),
+            self.metrics.as_deref(),
             &label,
-            |wi, worker| {
-                let mut done = Vec::with_capacity(owned_ref[wi].len());
-                for (_, range) in &owned_ref[wi] {
-                    let batch: Vec<InferDoc<'_>> = docs[range.clone()]
-                        .iter()
-                        .enumerate()
-                        .map(|(j, d)| InferDoc {
-                            stream_id: base_stream + (range.start + j) as u64,
-                            words: d,
-                        })
-                        .collect();
-                    let (posteriors, report) =
-                        run_infer_kernel(&worker.device, phi, inv_denom, &batch, &kcfg);
-                    worker.breakdown.add(Phase::Inference, report.sim_seconds);
-                    done.push((range.start, posteriors, report.sim_seconds));
-                }
-                done
-            },
+            &owned,
+            docs,
+            base_stream,
+            phi,
+            inv_denom,
+            &kcfg,
+            retry,
         );
+
+        // Harvest: completed micro-batches, lost workers, stranded ids.
+        let mut done: Vec<(usize, Vec<DocPosterior>, f64)> = Vec::new();
+        let mut per_worker_seconds = vec![0.0f64; num_workers];
+        let mut stranded: Vec<usize> = Vec::new();
+        for (wi, shard) in shards.into_iter().enumerate() {
+            self.recovery.retries += shard.retries;
+            if shard.lost {
+                self.alive[wi] = false;
+                self.recovery.workers_lost += 1;
+            }
+            per_worker_seconds[wi] += shard.done.iter().map(|(_, _, s)| s).sum::<f64>();
+            stranded.extend(shard.unfinished);
+            done.extend(shard.done);
+        }
+
+        if !stranded.is_empty() {
+            stranded.sort_unstable();
+            let survivors: Vec<usize> = (0..num_workers).filter(|&i| self.alive[i]).collect();
+            if survivors.is_empty() {
+                return Err(ServeError::AllWorkersLost);
+            }
+            let failed: Vec<(usize, Range<usize>)> = stranded
+                .iter()
+                .map(|&mb| (mb, ranges[mb].clone()))
+                .collect();
+            let reassigned = redistribute_batches(&failed, &survivors, num_workers);
+            self.recovery.chunks_migrated += failed.len() as u64;
+            if let Some(reg) = self.metrics.as_deref() {
+                reg.counter("rebalance").inc();
+            }
+            let label = format!("infer batch {} · re-enqueue", self.batches_served);
+            let shards = run_shards(
+                &mut self.workers,
+                self.trace.as_deref(),
+                self.metrics.as_deref(),
+                &label,
+                &reassigned,
+                docs,
+                base_stream,
+                phi,
+                inv_denom,
+                &kcfg,
+                retry,
+            );
+            for (wi, shard) in shards.into_iter().enumerate() {
+                self.recovery.retries += shard.retries;
+                if shard.lost {
+                    // Recovery is not itself fault-tolerant: losing a
+                    // survivor while re-serving stranded batches is fatal.
+                    self.alive[wi] = false;
+                    self.recovery.workers_lost += 1;
+                    return Err(ServeError::WorkerLost {
+                        device: wi,
+                        attempts: shard.attempts,
+                    });
+                }
+                per_worker_seconds[wi] += shard.done.iter().map(|(_, _, s)| s).sum::<f64>();
+                done.extend(shard.done);
+            }
+        }
 
         // Scatter posteriors back to input order and aggregate scores.
         let mut slots: Vec<Option<DocPosterior>> = vec![None; docs.len()];
-        let mut device_seconds = 0.0f64;
-        let mut sim_seconds = 0.0f64;
-        for worker_results in per_worker {
-            let worker_seconds: f64 = worker_results.iter().map(|(_, _, s)| s).sum();
-            sim_seconds = sim_seconds.max(worker_seconds);
-            device_seconds += worker_seconds;
-            for (start, posteriors, _) in worker_results {
-                for (j, p) in posteriors.into_iter().enumerate() {
-                    slots[start + j] = Some(p);
-                }
+        let device_seconds: f64 = per_worker_seconds.iter().sum();
+        let sim_seconds = per_worker_seconds.iter().fold(0.0f64, |a, &b| a.max(b));
+        for (start, posteriors, _) in done {
+            for (j, p) in posteriors.into_iter().enumerate() {
+                slots[start + j] = Some(p);
             }
         }
 
@@ -327,7 +542,14 @@ impl InferenceEngine {
         let mut doc_log_predictive = Vec::with_capacity(docs.len());
         let mut sweep_ll = vec![0.0f64; sweeps];
         for (doc, slot) in docs.iter().zip(slots) {
-            let posterior = slot.expect("every document is inferred exactly once");
+            let posterior = match slot {
+                Some(p) => p,
+                None => {
+                    return Err(ServeError::Invalid(
+                        "internal error: a document was never inferred".into(),
+                    ))
+                }
+            };
             let th = posterior.theta(doc.len(), alpha, k);
             doc_log_predictive.push(self.score_doc(doc, &th));
             for (s, ll) in posterior.sweep_log_predictive.iter().enumerate() {
@@ -358,7 +580,7 @@ impl InferenceEngine {
     }
 
     /// Convenience: infers every document of a held-out corpus.
-    pub fn infer_corpus(&mut self, corpus: &Corpus) -> Result<InferenceOutcome, String> {
+    pub fn infer_corpus(&mut self, corpus: &Corpus) -> Result<InferenceOutcome, ServeError> {
         let docs: Vec<Vec<u32>> = corpus.docs.iter().map(|d| d.words.clone()).collect();
         self.infer_batch(&docs)
     }
@@ -380,6 +602,119 @@ impl InferenceEngine {
     }
 }
 
+/// One worker's share of a fan-out: completed micro-batches, plus the
+/// ids it left stranded if it exhausted its retry budget and died.
+#[derive(Debug, Default)]
+struct WorkerShard {
+    /// `(range.start, posteriors, sim_seconds)` per completed launch.
+    done: Vec<(usize, Vec<DocPosterior>, f64)>,
+    /// Micro-batch ids this worker could not finish.
+    unfinished: Vec<usize>,
+    retries: u64,
+    lost: bool,
+    /// Launch attempts made on the batch that killed the worker.
+    attempts: u32,
+}
+
+/// One traced fan-out of `assigned` micro-batches over the fleet, with
+/// per-launch retry/backoff. A worker that exhausts its budget stops and
+/// reports the rest of its share as unfinished.
+#[allow(clippy::too_many_arguments)]
+fn run_shards(
+    workers: &mut [GpuWorker],
+    trace: Option<&TraceSink>,
+    metrics: Option<&MetricsRegistry>,
+    label: &str,
+    assigned: &[Vec<(usize, Range<usize>)>],
+    docs: &[Vec<u32>],
+    base_stream: u64,
+    phi: &culda_sampler::PhiModel,
+    inv_denom: &[f32],
+    kcfg: &InferKernelConfig,
+    retry: RetryPolicy,
+) -> Vec<WorkerShard> {
+    run_workers_traced(workers, trace, label, |wi, worker| {
+        let mut shard = WorkerShard::default();
+        for (mb, range) in &assigned[wi] {
+            if shard.lost {
+                shard.unfinished.push(*mb);
+                continue;
+            }
+            let batch: Vec<InferDoc<'_>> = docs[range.clone()]
+                .iter()
+                .enumerate()
+                .map(|(j, d)| InferDoc {
+                    stream_id: base_stream + (range.start + j) as u64,
+                    words: d,
+                })
+                .collect();
+            let mut attempt = 1u32;
+            loop {
+                let before = worker.device.now();
+                match try_run_infer_kernel(&worker.device, phi, inv_denom, &batch, kcfg) {
+                    Ok((posteriors, report)) => {
+                        worker.breakdown.add(Phase::Inference, report.sim_seconds);
+                        shard
+                            .done
+                            .push((range.start, posteriors, report.sim_seconds));
+                        break;
+                    }
+                    Err(fault) => {
+                        let wasted = worker.device.now() - before;
+                        if attempt >= retry.max_attempts {
+                            worker.breakdown.add(Phase::Recovery, wasted);
+                            shard.lost = true;
+                            shard.attempts = attempt;
+                            shard.unfinished.push(*mb);
+                            break;
+                        }
+                        let backoff = retry.backoff_seconds(attempt);
+                        let retry_at = worker.device.now();
+                        worker.device.advance(backoff);
+                        worker.breakdown.add(Phase::Recovery, wasted + backoff);
+                        if let Some(sink) = trace {
+                            sink.span_sim(
+                                worker.device.id as u32,
+                                "worker.retry",
+                                "recovery",
+                                retry_at,
+                                worker.device.now(),
+                                vec![
+                                    ("attempt".into(), Json::from(attempt as usize)),
+                                    ("fault".into(), Json::Str(fault.to_string())),
+                                ],
+                            );
+                        }
+                        if let Some(reg) = metrics {
+                            reg.counter("worker.retry").inc();
+                        }
+                        shard.retries += 1;
+                        attempt += 1;
+                    }
+                }
+            }
+        }
+        shard
+    })
+}
+
+/// Deals stranded micro-batches across the survivors: ascending
+/// micro-batch id, round-robin over `survivors`. Pure, so the re-enqueue
+/// ordering is unit-testable without building a fleet.
+fn redistribute_batches(
+    failed: &[(usize, Range<usize>)],
+    survivors: &[usize],
+    num_workers: usize,
+) -> Vec<Vec<(usize, Range<usize>)>> {
+    let mut assigned: Vec<Vec<(usize, Range<usize>)>> = vec![Vec::new(); num_workers];
+    let mut order: Vec<&(usize, Range<usize>)> = failed.iter().collect();
+    order.sort_by_key(|(mb, _)| *mb);
+    for (n, (mb, range)) in order.into_iter().enumerate() {
+        assigned[survivors[n % survivors.len()]].push((*mb, range.clone()));
+    }
+    assigned
+}
+
 /// `exp(−ll / tokens)`, with the empty-batch convention of 1.
 fn perplexity_from(ll: f64, tokens: u64) -> f64 {
     if tokens == 0 {
@@ -393,6 +728,7 @@ fn perplexity_from(ll: f64, tokens: u64) -> f64 {
 mod tests {
     use super::*;
     use culda_corpus::{partition_by_tokens, SortedChunk, SynthSpec};
+    use culda_gpusim::{FaultKind, FaultSpec};
     use culda_metrics::EventKind;
     use culda_sampler::{accumulate_phi_host, ChunkState, PhiModel, Priors};
 
@@ -505,7 +841,116 @@ mod tests {
         assert!(eng.infer_batch(&[]).is_err());
         let vocab = eng.model().vocab_size() as u32;
         let err = eng.infer_batch(&[vec![0, vocab]]).unwrap_err();
-        assert!(err.contains("outside the model vocabulary"), "{err}");
+        let msg = err.to_string();
+        assert!(msg.contains("outside the model vocabulary"), "{msg}");
+        let bad_retry = ServeConfig::new(1).with_retry(RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::default()
+        });
+        let (model, _) = model_and_docs();
+        assert!(InferenceEngine::new(model, bad_retry).is_err());
+    }
+
+    #[test]
+    fn builder_matches_constructor() {
+        let (model, docs) = model_and_docs();
+        let mut built = InferenceEngine::builder(model, 11)
+            .workers(2)
+            .batch_size(4)
+            .build()
+            .unwrap();
+        let (mut plain, _) = engine(ServeConfig::new(11).with_workers(2).with_batch_size(4));
+        assert_eq!(
+            built.infer_batch(&docs).unwrap().theta,
+            plain.infer_batch(&docs).unwrap().theta
+        );
+    }
+
+    #[test]
+    fn re_enqueue_deals_ascending_ids_round_robin_over_survivors() {
+        let failed: Vec<(usize, Range<usize>)> =
+            vec![(7, 21..24), (1, 3..6), (5, 15..18), (3, 9..12)];
+        let assigned = redistribute_batches(&failed, &[0, 2], 4);
+        let ids = |wi: usize| -> Vec<usize> { assigned[wi].iter().map(|(mb, _)| *mb).collect() };
+        // Ascending ids 1, 3, 5, 7 dealt alternately to survivors 0 and 2.
+        assert_eq!(ids(0), vec![1, 5]);
+        assert_eq!(ids(2), vec![3, 7]);
+        assert!(assigned[1].is_empty() && assigned[3].is_empty());
+        assert_eq!(assigned[0][1].1, 15..18);
+    }
+
+    #[test]
+    fn transient_fault_retries_and_stays_bit_identical() {
+        let cfg = ServeConfig::new(11).with_workers(2).with_batch_size(3);
+        let (mut clean, docs) = engine(cfg.clone());
+        let want = clean.infer_batch(&docs).unwrap();
+
+        let plan = Arc::new(FaultPlan::from_specs(vec![FaultSpec::new(
+            FaultKind::KernelLaunch,
+            1,
+            0,
+        )]));
+        let (mut faulty, _) = engine(cfg);
+        faulty.attach_fault_plan(Arc::clone(&plan));
+        let got = faulty.infer_batch(&docs).unwrap();
+        assert_eq!(got.theta, want.theta);
+        assert_eq!(got.perplexity, want.perplexity);
+        let rec = faulty.recovery();
+        assert_eq!(rec.faults_injected, 1);
+        assert_eq!(rec.retries, 1);
+        assert_eq!(rec.workers_lost, 0);
+        assert_eq!(faulty.num_alive(), 2);
+    }
+
+    #[test]
+    fn dead_worker_batches_are_re_enqueued_on_survivors() {
+        let cfg = ServeConfig::new(11).with_workers(2).with_batch_size(3);
+        let (mut clean, docs) = engine(cfg.clone());
+        let want = clean.infer_batch(&docs).unwrap();
+
+        // Device 1 never launches again: its share must migrate to 0.
+        let plan = Arc::new(FaultPlan::from_specs(vec![FaultSpec::new(
+            FaultKind::KernelLaunch,
+            1,
+            0,
+        )
+        .permanent()]));
+        let (mut faulty, _) = engine(cfg);
+        faulty.attach_fault_plan(Arc::clone(&plan));
+        let got = faulty.infer_batch(&docs).unwrap();
+        assert_eq!(got.theta, want.theta, "re-served batches diverged");
+        assert_eq!(got.perplexity, want.perplexity);
+        let rec = faulty.recovery();
+        assert_eq!(rec.workers_lost, 1);
+        assert!(rec.chunks_migrated >= 1, "{rec}");
+        assert_eq!(faulty.num_alive(), 1);
+
+        // The next batch routes around the dead worker entirely.
+        let again = faulty.infer_batch(&docs).unwrap();
+        assert_eq!(again.theta.len(), docs.len());
+        assert_eq!(faulty.recovery().workers_lost, 1);
+    }
+
+    #[test]
+    fn losing_every_worker_is_an_error_not_a_panic() {
+        let cfg = ServeConfig::new(11).with_workers(1).with_batch_size(4);
+        let plan = Arc::new(FaultPlan::from_specs(vec![FaultSpec::new(
+            FaultKind::KernelLaunch,
+            0,
+            0,
+        )
+        .permanent()]));
+        let (mut eng, docs) = engine(cfg);
+        eng.attach_fault_plan(plan);
+        match eng.infer_batch(&docs) {
+            Err(ServeError::AllWorkersLost) => {}
+            other => panic!("expected AllWorkersLost, got {other:?}"),
+        }
+        assert_eq!(eng.num_alive(), 0);
+        assert!(matches!(
+            eng.infer_batch(&docs),
+            Err(ServeError::AllWorkersLost)
+        ));
     }
 
     #[test]

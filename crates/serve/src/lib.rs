@@ -31,7 +31,9 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod error;
 pub mod frozen;
 
-pub use engine::{InferenceEngine, InferenceOutcome, ServeConfig};
+pub use engine::{InferenceEngine, InferenceEngineBuilder, InferenceOutcome, ServeConfig};
+pub use error::ServeError;
 pub use frozen::FrozenModel;

@@ -30,6 +30,16 @@ test -s "$smoke/theta.json"
 grep -q '"theta"' "$smoke/theta.json"
 grep -q '"perplexity"' "$smoke/theta.json"
 
+echo "==> fault-injection smoke test"
+# A transient launch fault mid-training must recover (exit 0), report
+# recovery metrics, and train the exact same model as the clean run.
+cargo run --release -q -p culda-cli -- train --docword "$smoke/c.dw" \
+    --vocab "$smoke/c.v" --model "$smoke/f.phi" --topics 8 --iters 3 \
+    --score-every 0 --platform maxwell --fault-plan launch:0:1 \
+    | tee "$smoke/fault.log"
+grep -q 'recovery: 1 fault(s) injected, 1 retry(s)' "$smoke/fault.log"
+cmp "$smoke/c.phi" "$smoke/f.phi"
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
