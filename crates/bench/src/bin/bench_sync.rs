@@ -1,0 +1,176 @@
+//! Sync-strategy benchmark: bytes moved and modelled sync seconds for
+//! every `SyncMode` on the same seeded run.
+//!
+//! The workload is shaped like the regime the sparse Δϕ sync targets —
+//! a vocabulary×topics model much larger than one iteration's token
+//! stream (`V·K ≫ tokens`), which is the realistic large-corpus setting
+//! (NYTimes: 100M tokens but a 102k×1k ϕ). Every mode must produce the
+//! bit-identical model; what differs is the traffic: the dense modes ship
+//! the whole replica every iteration, delta ships only the touched
+//! counts, and `auto` picks per iteration from modelled cost.
+//!
+//! Writes `BENCH_sync.json` at the repository root with per-mode totals
+//! and the post-burn-in delta compression ratio.
+
+use culda_bench::{banner, user_iters, user_scale};
+use culda_corpus::SynthSpec;
+use culda_gpusim::Platform;
+use culda_multigpu::{CuldaTrainer, SyncMode, SyncTotals, TrainerConfig};
+use std::io::Write;
+use std::time::Instant;
+
+const BENCH_TOPICS: usize = 128;
+const GPUS: usize = 4;
+/// Iterations excluded from the "after burn-in" totals: the first passes
+/// still touch nearly every row, so they understate the steady state.
+const BURN_IN: u32 = 2;
+
+struct Run {
+    totals: SyncTotals,
+    after_burn_in: SyncTotals,
+    wall_seconds: f64,
+    final_z_hash: u64,
+}
+
+fn diff(a: &SyncTotals, b: &SyncTotals) -> SyncTotals {
+    SyncTotals {
+        bytes_moved: a.bytes_moved - b.bytes_moved,
+        dense_bytes: a.dense_bytes - b.dense_bytes,
+        nnz: a.nnz - b.nnz,
+        seconds: a.seconds - b.seconds,
+    }
+}
+
+fn run(corpus: &culda_corpus::Corpus, iters: u32, mode: SyncMode) -> Run {
+    let cfg = TrainerConfig::builder(BENCH_TOPICS, Platform::pascal().with_gpus(GPUS))
+        .iterations(iters)
+        .score_every(0)
+        .sync_mode(mode)
+        .build()
+        .unwrap();
+    let mut t = CuldaTrainer::new(corpus, cfg);
+    let start = Instant::now();
+    let mut at_burn_in = SyncTotals::default();
+    for i in 0..iters {
+        t.step();
+        if i + 1 == BURN_IN.min(iters) {
+            at_burn_in = t.sync_totals();
+        }
+    }
+    let wall_seconds = start.elapsed().as_secs_f64();
+    let totals = t.sync_totals();
+    // FNV-1a over the final assignments: cheap cross-mode equality witness.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for s in t.states() {
+        for z in s.z.snapshot() {
+            h = (h ^ z as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    Run {
+        totals,
+        after_burn_in: diff(&totals, &at_burn_in),
+        wall_seconds,
+        final_z_hash: h,
+    }
+}
+
+fn mib(bytes: u64) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+fn main() {
+    let iters = user_iters(10).max(BURN_IN + 2);
+    let scale = 0.0005 * user_scale();
+    banner(
+        "Sync-strategy benchmark — bytes moved and modelled seconds per SyncMode",
+        &format!(
+            "NYTimes-like at scale {scale}, K = {BENCH_TOPICS}, {iters} iterations, Pascal ×{GPUS}"
+        ),
+    );
+    let corpus = SynthSpec::nytimes_like(scale).generate();
+    println!(
+        "corpus: {} docs, {} tokens, V = {} (ϕ cells: {})\n",
+        corpus.num_docs(),
+        corpus.num_tokens(),
+        corpus.vocab_size(),
+        corpus.vocab_size() * BENCH_TOPICS,
+    );
+
+    let modes = [
+        SyncMode::DenseTree,
+        SyncMode::DenseRing,
+        SyncMode::Delta,
+        SyncMode::Auto,
+    ];
+    let runs: Vec<(SyncMode, Run)> = modes.iter().map(|&m| (m, run(&corpus, iters, m))).collect();
+
+    for (_, r) in &runs[1..] {
+        assert_eq!(
+            r.final_z_hash, runs[0].1.final_z_hash,
+            "sync mode changed the sampled assignments"
+        );
+    }
+
+    println!(
+        "{:<12} {:>14} {:>14} {:>12} {:>12} {:>10}",
+        "mode", "bytes (MiB)", "post-burn-in", "sync sec", "compress", "wall s"
+    );
+    for (m, r) in &runs {
+        println!(
+            "{:<12} {:>14.2} {:>14.2} {:>12.4} {:>11.1}x {:>10.2}",
+            m.to_string(),
+            mib(r.totals.bytes_moved),
+            mib(r.after_burn_in.bytes_moved),
+            r.totals.seconds,
+            r.after_burn_in.compression_ratio(),
+            r.wall_seconds,
+        );
+    }
+
+    let delta = runs
+        .iter()
+        .find(|(m, _)| *m == SyncMode::Delta)
+        .map(|(_, r)| r)
+        .unwrap();
+    let auto = runs
+        .iter()
+        .find(|(m, _)| *m == SyncMode::Auto)
+        .map(|(_, r)| r)
+        .unwrap();
+    let ratio = delta.after_burn_in.compression_ratio();
+    println!("\npost-burn-in delta compression: {ratio:.1}x fewer bytes than the dense tree");
+    let best_fixed = runs[..3]
+        .iter()
+        .map(|(_, r)| r.totals.seconds)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        auto.totals.seconds <= best_fixed + 1e-12,
+        "auto modelled more sync seconds than the best fixed mode"
+    );
+
+    let per_mode: Vec<String> = runs
+        .iter()
+        .map(|(m, r)| {
+            format!(
+                "    {{\n      \"mode\": \"{m}\",\n      \"bytes_moved\": {},\n      \"bytes_moved_after_burn_in\": {},\n      \"payload_nnz\": {},\n      \"modelled_sync_seconds\": {:.9},\n      \"compression_ratio_after_burn_in\": {:.3},\n      \"wall_seconds\": {:.4}\n    }}",
+                r.totals.bytes_moved,
+                r.after_burn_in.bytes_moved,
+                r.totals.nnz,
+                r.totals.seconds,
+                r.after_burn_in.compression_ratio(),
+                r.wall_seconds,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"benchmark\": \"phi synchronization strategies: bytes moved and modelled sync seconds per --sync-mode\",\n  \"workload\": {{\n    \"preset\": \"nytimes_like\",\n    \"scale\": {scale},\n    \"num_docs\": {},\n    \"num_tokens\": {},\n    \"vocab_size\": {},\n    \"topics\": {BENCH_TOPICS},\n    \"iterations\": {iters},\n    \"burn_in_iterations\": {BURN_IN},\n    \"platform\": \"pascal\",\n    \"gpus\": {GPUS}\n  }},\n  \"modes\": [\n{}\n  ],\n  \"delta_compression_after_burn_in\": {ratio:.3},\n  \"auto_never_slower_than_best_fixed\": true,\n  \"results_bit_identical_across_modes\": true\n}}\n",
+        corpus.num_docs(),
+        corpus.num_tokens(),
+        corpus.vocab_size(),
+        per_mode.join(",\n"),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sync.json");
+    let mut f = std::fs::File::create(path).expect("create BENCH_sync.json");
+    f.write_all(json.as_bytes()).expect("write BENCH_sync.json");
+    println!("wrote {path}");
+}

@@ -11,7 +11,7 @@ use culda_gpusim::{FaultPlan, Platform};
 use culda_metrics::{format_tokens_per_sec, Json, MetricsRegistry, TraceSink};
 use culda_multigpu::{
     resume_any, save_training, try_build_trainer, ConfigError, CuldaError, LdaTrainer,
-    PartitionPolicy, TrainerConfig,
+    PartitionPolicy, SyncMode, TrainerConfig,
 };
 use culda_sampler::{load_phi, LdaModel};
 use culda_serve::{FrozenModel, InferenceEngine, InferenceOutcome, ServeConfig, ServeError};
@@ -77,6 +77,7 @@ USAGE:
                  [--policy doc|word] [--topics K] [--iters N]
                  [--platform maxwell|pascal|volta] [--gpus G] [--workers N]
                  [--seed N] [--score-every N]
+                 [--sync-mode auto|dense-tree|dense-ring|delta]
                  [--resume STATE] [--save-state STATE] [--fault-plan SPEC]
   culda topics   --model M.phi --vocab PATH [--top N]
   culda infer    --model M.phi --docword PATH --vocab PATH
@@ -97,6 +98,10 @@ USAGE:
 choice). `--workers N` on train/profile/trace sets the host threads each
 simulated GPU uses; results are bit-identical for any value. On `infer`,
 `--workers W` is the number of simulated GPUs micro-batches fan across.
+`--sync-mode` picks the ϕ synchronization strategy (default dense-tree,
+the paper's Figure 4); `delta` ships only the touched counts, `auto`
+picks the cheapest per iteration from modelled cost. Checkpoints are
+byte-identical across all modes — only modelled sync time/bytes change.
 
 `culda infer` folds held-out documents into a frozen checkpoint (ϕ is
 read-only: no atomics, no sync phase) and emits a JSON report with each
@@ -218,6 +223,10 @@ pub fn train(args: &Args) -> CmdResult {
     let iters: u32 = args.num_or("iters", 100)?;
     let score_every: u32 = args.num_or("score-every", 10)?;
     let seed: u64 = args.num_or("seed", 0xC01DA)?;
+    let sync_mode: SyncMode = args
+        .get_or("sync-mode", "dense-tree")
+        .parse()
+        .map_err(err)?;
     let model_path = args.require("model")?;
     let platform = platform(args)?;
     println!(
@@ -230,7 +239,8 @@ pub fn train(args: &Args) -> CmdResult {
             .map_err(|e| err(e.to_string()))?
             .with_iterations(iters)
             .with_score_every(score_every)
-            .with_seed(seed),
+            .with_seed(seed)
+            .with_sync_mode(sync_mode),
     )?;
     let mut trainer: Box<dyn LdaTrainer> = match args.require("resume") {
         Ok(state_path) => {
@@ -604,6 +614,43 @@ mod tests {
             vocab.display()
         )))
         .unwrap();
+    }
+
+    #[test]
+    fn sync_mode_flag_changes_timing_not_checkpoints() {
+        let docword = tmp("s.docword");
+        let vocab = tmp("s.vocab");
+        generate(&args(&format!(
+            "generate --preset tiny --seed 9 --docword {} --vocab {}",
+            docword.display(),
+            vocab.display()
+        )))
+        .unwrap();
+        let mut models = Vec::new();
+        for mode in ["dense-tree", "dense-ring", "delta", "auto"] {
+            let model = tmp(&format!("s-{mode}.phi"));
+            train(&args(&format!(
+                "train --docword {} --vocab {} --model {} --topics 8 --iters 3 \
+                 --score-every 0 --platform pascal --gpus 2 --seed 21 \
+                 --sync-mode {mode}",
+                docword.display(),
+                vocab.display(),
+                model.display()
+            )))
+            .unwrap();
+            models.push(std::fs::read(&model).unwrap());
+        }
+        for m in &models[1..] {
+            assert_eq!(&models[0], m, "checkpoints diverged across sync modes");
+        }
+
+        let bad = train(&args(&format!(
+            "train --docword {} --vocab {} --model {} --sync-mode nccl",
+            docword.display(),
+            vocab.display(),
+            tmp("s-bad.phi").display()
+        )));
+        assert!(bad.is_err(), "unknown sync mode must be rejected");
     }
 
     #[test]

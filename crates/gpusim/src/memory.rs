@@ -184,6 +184,14 @@ impl AtomicU32Buf {
         prev
     }
 
+    /// `atomicOr(&buf[i], d)`; returns the previous value. Used for
+    /// touched-set bitmaps (e.g. the Δϕ row tracker), where many blocks
+    /// set bits in the same word concurrently.
+    #[inline]
+    pub fn fetch_or(&self, i: usize, d: u32) -> u32 {
+        self.cells[i].fetch_or(d, Ordering::Relaxed)
+    }
+
     /// Snapshot into a plain vector (between kernels; no concurrent writers).
     pub fn snapshot(&self) -> Vec<u32> {
         self.cells

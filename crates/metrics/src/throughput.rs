@@ -19,6 +19,10 @@ pub struct IterationStat {
     pub wall_seconds: f64,
     /// Joint log-likelihood per token after this iteration, if scored.
     pub loglik_per_token: Option<f64>,
+    /// Nonzero density of the Δϕ payload this iteration's sync shipped
+    /// (`nnz / (V·K)`). `None` when the sync ran dense (nothing sparse
+    /// shipped) or the trainer has no ϕ sync at all.
+    pub delta_density: Option<f64>,
 }
 
 impl IterationStat {
@@ -176,6 +180,7 @@ mod tests {
             sim_seconds: sim,
             wall_seconds: sim * 2.0,
             loglik_per_token: None,
+            delta_density: None,
         }
     }
 

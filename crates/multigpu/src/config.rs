@@ -75,6 +75,54 @@ impl RetryPolicy {
     }
 }
 
+/// How the per-GPU ϕ write replicas are combined each iteration.
+///
+/// Every mode computes the exact same global sums (integer adds are
+/// commutative), so checkpoints are byte-identical across modes; only the
+/// modelled transfer time and bytes moved differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncMode {
+    /// Pick the cheapest of the fixed modes every iteration from modelled
+    /// cost, using the iteration's actual Δϕ nonzero count.
+    Auto,
+    /// The paper's Figure 4 pairwise reduce tree + broadcast over the
+    /// full dense replica (the default; matches CuLDA).
+    DenseTree,
+    /// Ring all-reduce over the full dense replica (bandwidth-optimal at
+    /// high GPU counts).
+    DenseRing,
+    /// Sparse Δϕ sync: ship only the touched rows, encoded per row as
+    /// COO / CSR / dense — whichever moves the fewest bytes.
+    Delta,
+}
+
+impl std::fmt::Display for SyncMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SyncMode::Auto => "auto",
+            SyncMode::DenseTree => "dense-tree",
+            SyncMode::DenseRing => "dense-ring",
+            SyncMode::Delta => "delta",
+        })
+    }
+}
+
+impl std::str::FromStr for SyncMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(SyncMode::Auto),
+            "dense-tree" => Ok(SyncMode::DenseTree),
+            "dense-ring" => Ok(SyncMode::DenseRing),
+            "delta" => Ok(SyncMode::Delta),
+            other => Err(format!(
+                "unknown sync mode '{other}' (expected auto|dense-tree|dense-ring|delta)"
+            )),
+        }
+    }
+}
+
 /// Everything that parameterizes a CuLDA training run.
 #[derive(Debug, Clone)]
 pub struct TrainerConfig {
@@ -106,7 +154,12 @@ pub struct TrainerConfig {
     pub peer_link: Option<Link>,
     /// Use the ring all-reduce for the ϕ sync instead of the paper's
     /// Figure 4 tree (extension; same result, different critical path).
+    /// Kept for back-compatibility; subsumed by [`Self::sync_mode`] — see
+    /// [`Self::effective_sync_mode`].
     pub ring_sync: bool,
+    /// Replica combination strategy (see [`SyncMode`]). The default,
+    /// [`SyncMode::DenseTree`], reproduces the paper's timing exactly.
+    pub sync_mode: SyncMode,
     /// Host threads each simulated device uses to execute its thread
     /// blocks (the `--workers` knob). `None` = the simulator default.
     /// Results are bit-identical for any value; only wall-clock changes.
@@ -138,6 +191,7 @@ impl TrainerConfig {
             tokens_per_block: None,
             peer_link: None,
             ring_sync: false,
+            sync_mode: SyncMode::DenseTree,
             host_workers: None,
             retry: RetryPolicy::default(),
         };
@@ -208,6 +262,23 @@ impl TrainerConfig {
         self
     }
 
+    /// Builder-style override of the sync strategy.
+    pub fn with_sync_mode(mut self, mode: SyncMode) -> Self {
+        self.sync_mode = mode;
+        self
+    }
+
+    /// The sync strategy after folding in the legacy `ring_sync` flag:
+    /// `ring_sync = true` with the default mode still means the ring, so
+    /// pre-existing configs keep their behaviour.
+    pub fn effective_sync_mode(&self) -> SyncMode {
+        if self.ring_sync && self.sync_mode == SyncMode::DenseTree {
+            SyncMode::DenseRing
+        } else {
+            self.sync_mode
+        }
+    }
+
     /// Bytes of one ϕ element under the current compression setting.
     pub fn phi_elem_bytes(&self) -> u64 {
         if self.compressed {
@@ -254,6 +325,7 @@ impl TrainerConfigBuilder {
                 tokens_per_block: None,
                 peer_link: None,
                 ring_sync: false,
+                sync_mode: SyncMode::DenseTree,
                 host_workers: None,
                 retry: RetryPolicy::default(),
             },
@@ -317,6 +389,12 @@ impl TrainerConfigBuilder {
     /// Use the ring all-reduce instead of the Figure 4 tree.
     pub fn ring_sync(mut self, on: bool) -> Self {
         self.cfg.ring_sync = on;
+        self
+    }
+
+    /// Replica combination strategy (see [`SyncMode`]).
+    pub fn sync_mode(mut self, mode: SyncMode) -> Self {
+        self.cfg.sync_mode = mode;
         self
     }
 
@@ -465,5 +543,38 @@ mod tests {
             .unwrap_err()
             .to_string();
         assert!(msg.contains("num_topics"), "{msg}");
+    }
+
+    #[test]
+    fn sync_mode_round_trips_through_strings() {
+        for mode in [
+            SyncMode::Auto,
+            SyncMode::DenseTree,
+            SyncMode::DenseRing,
+            SyncMode::Delta,
+        ] {
+            assert_eq!(mode.to_string().parse::<SyncMode>().unwrap(), mode);
+        }
+        assert!("nvlink".parse::<SyncMode>().is_err());
+    }
+
+    #[test]
+    fn legacy_ring_flag_maps_onto_sync_mode() {
+        let cfg = TrainerConfig::new(8, Platform::maxwell()).unwrap();
+        assert_eq!(cfg.effective_sync_mode(), SyncMode::DenseTree);
+
+        let ring = TrainerConfig::builder(8, Platform::maxwell())
+            .ring_sync(true)
+            .build()
+            .unwrap();
+        assert_eq!(ring.effective_sync_mode(), SyncMode::DenseRing);
+
+        // An explicit mode wins over the legacy flag.
+        let explicit = TrainerConfig::builder(8, Platform::maxwell())
+            .ring_sync(true)
+            .sync_mode(SyncMode::Delta)
+            .build()
+            .unwrap();
+        assert_eq!(explicit.effective_sync_mode(), SyncMode::Delta);
     }
 }

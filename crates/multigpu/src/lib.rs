@@ -3,7 +3,8 @@
 //! Multi-GPU orchestration for CuLDA_CGS (Sections 4–5): token-balanced
 //! partition-by-document ([`partition`]), the `M` memory-planning rule and
 //! round-robin schedule of Algorithm 1 ([`schedule`]), the Figure 4
-//! reduce/broadcast ϕ synchronization ([`sync`]), the per-GPU worker that
+//! reduce/broadcast ϕ synchronization ([`sync`], dense or sparse-Δϕ via
+//! [`delta`]), the per-GPU worker that
 //! owns a device plus its chunks and ϕ replicas and runs the iteration
 //! body on its own host thread ([`worker`]), and the end-to-end trainer
 //! with WorkSchedule1/WorkSchedule2 and sync/θ-update overlap
@@ -27,6 +28,7 @@
 
 pub mod api;
 pub mod config;
+pub mod delta;
 pub mod error;
 pub mod partition;
 pub mod policy;
@@ -38,13 +40,16 @@ pub mod word_trainer;
 pub mod worker;
 
 pub use api::{build_trainer, try_build_trainer, LdaTrainer, PartitionPolicy};
-pub use config::{ConfigError, RetryPolicy, TrainerConfig, TrainerConfigBuilder};
+pub use config::{ConfigError, RetryPolicy, SyncMode, TrainerConfig, TrainerConfigBuilder};
+pub use delta::{dense_cutover, row_encoding, DeltaPayload, RowFormat};
 pub use error::{CuldaError, RecoveryStats};
 pub use partition::PartitionedCorpus;
 pub use policy::{compare_policies, compare_policies_analytic, PolicyComparison};
 pub use resume::{resume_any, resume_training, resume_word_training, save_training};
 pub use schedule::{chunk_owner, plan_partition, MemoryPlan};
-pub use sync::{sync_phi_replicas, sync_phi_ring, SyncReport};
+pub use sync::{
+    sync_phi_auto, sync_phi_delta, sync_phi_replicas, sync_phi_ring, SyncReport, SyncTotals,
+};
 pub use trainer::{CuldaTrainer, TrainOutcome};
 pub use word_trainer::WordPartitionedTrainer;
 pub use worker::{run_workers, run_workers_fallible, run_workers_traced, GpuWorker};

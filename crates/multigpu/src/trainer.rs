@@ -27,11 +27,13 @@
 //! the H2D → compute → D2H engines (WorkSchedule2), and the iteration time
 //! is the pipeline makespan instead of the kernel sum.
 
-use crate::config::TrainerConfig;
+use crate::config::{SyncMode, TrainerConfig};
 use crate::error::{CuldaError, RecoveryStats};
 use crate::partition::PartitionedCorpus;
 use crate::schedule::{chunk_owner, chunk_state_bytes, plan_partition, MemoryPlan};
-use crate::sync::{sync_phi_replicas, sync_phi_ring};
+use crate::sync::{
+    sync_phi_auto, sync_phi_delta, sync_phi_replicas, sync_phi_ring, SyncReport, SyncTotals,
+};
 use crate::worker::{run_workers_traced, GpuWorker};
 use culda_corpus::Corpus;
 use culda_gpusim::memory::Reservation;
@@ -41,8 +43,8 @@ use culda_metrics::{
     TraceSink, SIM_PID, SYNC_TID,
 };
 use culda_sampler::{
-    auto_tokens_per_block, build_block_map, BlockWork, ChunkState, IterationPlan, PhiModel,
-    PlanReport, Priors,
+    auto_tokens_per_block, build_block_map, BlockWork, ChunkState, IterationPlan, PhiDelta,
+    PhiModel, PlanReport, Priors,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -78,6 +80,7 @@ pub struct CuldaTrainer {
     metrics: Option<Arc<MetricsRegistry>>,
     faults: Option<Arc<FaultPlan>>,
     recovery: RecoveryStats,
+    sync_totals: SyncTotals,
     _residency: Vec<Reservation>,
 }
 
@@ -212,6 +215,7 @@ impl CuldaTrainer {
             metrics: None,
             faults: None,
             recovery: RecoveryStats::default(),
+            sync_totals: SyncTotals::default(),
             _residency: residency,
         })
     }
@@ -226,6 +230,12 @@ impl CuldaTrainer {
             w.device.attach_faults(plan.clone());
         }
         self.faults = Some(plan);
+    }
+
+    /// Run-level ϕ-sync traffic and timing totals (bytes moved at their
+    /// encoded size, dense-baseline bytes, payload nonzeros, seconds).
+    pub fn sync_totals(&self) -> SyncTotals {
+        self.sync_totals
     }
 
     /// What fault recovery has done so far in this run.
@@ -430,7 +440,7 @@ impl CuldaTrainer {
             );
         }
         let write_refs: Vec<&PhiModel> = self.workers.iter().map(|w| w.write_replica()).collect();
-        let _ = sync_phi_replicas(
+        let resume_sync = sync_phi_replicas(
             &write_refs,
             &self.cfg.platform.gpu,
             &self.peer_link,
@@ -443,6 +453,12 @@ impl CuldaTrainer {
         self.iteration = iteration;
         self.history = RunHistory::new();
         self.breakdown = Breakdown::new();
+        // Unlike `new()`'s untimed setup sync, the resume sync replaces an
+        // iteration-time sync the original run performed — attribute it, so
+        // resumed runs profile identically to fresh ones.
+        self.breakdown
+            .add(Phase::SyncPhi, resume_sync.total_seconds());
+        self.sync_totals.absorb(&resume_sync);
         self.profile.clear();
         for w in &mut self.workers {
             w.breakdown = Breakdown::new();
@@ -649,26 +665,35 @@ impl CuldaTrainer {
         } else {
             self.system_time()
         };
-        let sync_fn = if self.cfg.ring_sync {
-            sync_phi_ring
-        } else {
-            sync_phi_replicas
-        };
-        let write_refs: Vec<&PhiModel> = self
-            .workers
-            .iter()
-            .filter(|w| w.alive)
-            .map(|w| w.write_replica())
-            .collect();
+        let mode = self.cfg.effective_sync_mode();
+        let alive: Vec<&GpuWorker> = self.workers.iter().filter(|w| w.alive).collect();
+        let write_refs: Vec<&PhiModel> = alive.iter().map(|w| w.write_replica()).collect();
         let alive_count = write_refs.len();
-        let sync = sync_fn(
-            &write_refs,
-            &self.cfg.platform.gpu,
-            &self.peer_link,
-            &self.cfg,
-        );
+        let gpu = &self.cfg.platform.gpu;
+        let sync: SyncReport = match mode {
+            SyncMode::DenseTree => sync_phi_replicas(&write_refs, gpu, &self.peer_link, &self.cfg),
+            SyncMode::DenseRing => sync_phi_ring(&write_refs, gpu, &self.peer_link, &self.cfg),
+            SyncMode::Delta | SyncMode::Auto => {
+                let delta_refs: Vec<&PhiDelta> = alive
+                    .iter()
+                    .map(|w| w.delta.as_ref().expect("replicated workers track Δϕ"))
+                    .collect();
+                if mode == SyncMode::Delta {
+                    sync_phi_delta(&write_refs, &delta_refs, gpu, &self.peer_link, &self.cfg)
+                } else {
+                    sync_phi_auto(&write_refs, &delta_refs, gpu, &self.peer_link, &self.cfg)
+                }
+            }
+        };
         drop(write_refs);
+        drop(alive);
         self.breakdown.add(Phase::SyncPhi, sync.total_seconds());
+        self.sync_totals.absorb(&sync);
+        // Δϕ nonzero density of the shipped payload — only meaningful when
+        // a sparse payload actually shipped.
+        let phi_cells = (self.part.vocab_size * self.cfg.num_topics) as f64;
+        let delta_density =
+            (sync.mode == SyncMode::Delta && alive_count > 1).then(|| sync.nnz as f64 / phi_cells);
         let sync_end = sync_start + sync.total_seconds();
 
         // Draw the sync on its own track. It overlaps the θ-update kernels
@@ -693,6 +718,9 @@ impl CuldaTrainer {
                         ("broadcast_s".into(), Json::Num(sync.broadcast_seconds)),
                         ("rounds".into(), Json::from(sync.rounds)),
                         ("gpus".into(), Json::from(alive_count)),
+                        ("mode".into(), Json::Str(sync.mode.to_string())),
+                        ("bytes".into(), Json::from(sync.bytes_moved)),
+                        ("nnz".into(), Json::from(sync.nnz)),
                     ],
                 );
                 // Broadcast: the merged ϕ flows back out to every device.
@@ -706,6 +734,13 @@ impl CuldaTrainer {
         }
         if let Some(reg) = &self.metrics {
             reg.counter("sync.rounds").add(sync.rounds as u64);
+            reg.counter("sync.bytes").add(sync.bytes_moved);
+            reg.counter("sync.nnz").add(sync.nnz);
+            reg.gauge("sync.compression_ratio")
+                .set(sync.compression_ratio());
+            if let Some(d) = delta_density {
+                reg.gauge("sync.density").set(d);
+            }
             reg.histogram("sync.seconds").record(sync.total_seconds());
         }
 
@@ -729,6 +764,7 @@ impl CuldaTrainer {
             sim_seconds: t_end - t0,
             wall_seconds: wall_start.elapsed().as_secs_f64(),
             loglik_per_token: scored.then(|| self.loglik_per_token()),
+            delta_density,
         };
         self.history.push(stat);
         Ok(stat)

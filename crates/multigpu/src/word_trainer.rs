@@ -499,6 +499,7 @@ impl WordPartitionedTrainer {
             sim_seconds: t_end - t0,
             wall_seconds: wall.elapsed().as_secs_f64(),
             loglik_per_token: None,
+            delta_density: None,
         };
         self.history.push(stat);
         Ok(stat)
@@ -526,11 +527,7 @@ impl WordPartitionedTrainer {
     fn theta_sync_report(&self) -> SyncReport {
         let g = self.workers.len();
         if g <= 1 {
-            return SyncReport {
-                reduce_seconds: 0.0,
-                broadcast_seconds: 0.0,
-                rounds: 0,
-            };
+            return SyncReport::default();
         }
         let bytes = self.theta_sync_bytes();
         let rounds = (g as f64).log2().ceil() as u32;
@@ -543,10 +540,16 @@ impl WordPartitionedTrainer {
             ..Default::default()
         }
         .sim_seconds(&self.cfg.platform.gpu);
+        // θ travels dense both ways: 2(G−1) full-θ transfers in total.
+        let moved = 2 * (g as u64 - 1) * bytes;
         SyncReport {
             reduce_seconds: rounds as f64 * (link.transfer_seconds(bytes) + add),
             broadcast_seconds: rounds as f64 * link.transfer_seconds(bytes),
             rounds,
+            bytes_moved: moved,
+            dense_bytes: moved,
+            nnz: bytes / 4,
+            ..SyncReport::default()
         }
     }
 

@@ -23,7 +23,8 @@ use culda_corpus::CsrMatrix;
 use culda_gpusim::{Device, FaultKind, Link, SimFault};
 use culda_metrics::{Breakdown, Phase};
 use culda_sampler::{
-    BlockWork, ChunkState, ChunkTask, IterationPlan, KernelSet, PhiModel, PlanReport, SampleConfig,
+    BlockWork, ChunkState, ChunkTask, IterationPlan, KernelSet, PhiDelta, PhiModel, PlanReport,
+    SampleConfig,
 };
 
 /// A pre-iteration copy of one chunk's mutable state (`z` + θ), taken only
@@ -49,6 +50,10 @@ pub struct GpuWorker {
     /// The ϕ write replica (this iteration's local counts). `None` when
     /// `read_phi` is.
     pub write_phi: Option<PhiModel>,
+    /// The rows this iteration's ϕ updates touched (feeds the sparse Δϕ
+    /// sync; cleared with the write replica at the top of every plan).
+    /// `None` exactly when the replicas are.
+    pub delta: Option<PhiDelta>,
     /// This GPU's own phase account (per-GPU Table 5 attribution).
     pub breakdown: Breakdown,
     /// False once the worker exhausted its retry budget on a permanent
@@ -60,6 +65,7 @@ pub struct GpuWorker {
 impl GpuWorker {
     /// A worker with its ϕ replica pair and no chunks yet.
     pub fn new(device: Device, read_phi: PhiModel, write_phi: PhiModel) -> Self {
+        let delta = PhiDelta::new(read_phi.vocab_size);
         Self {
             device,
             chunk_ids: Vec::new(),
@@ -67,6 +73,7 @@ impl GpuWorker {
             block_maps: Vec::new(),
             read_phi: Some(read_phi),
             write_phi: Some(write_phi),
+            delta: Some(delta),
             breakdown: Breakdown::new(),
             alive: true,
         }
@@ -83,6 +90,7 @@ impl GpuWorker {
             block_maps: Vec::new(),
             read_phi: None,
             write_phi: None,
+            delta: None,
             breakdown: Breakdown::new(),
             alive: true,
         }
@@ -243,7 +251,13 @@ impl GpuWorker {
                 }
             })
             .collect();
-        let report = plan.try_execute(&kernels, read_phi, write_phi, &mut tasks)?;
+        let report = plan.try_execute(
+            &kernels,
+            read_phi,
+            write_phi,
+            &mut tasks,
+            self.delta.as_ref(),
+        )?;
         self.breakdown.add(Phase::Sampling, report.sampling_seconds);
         self.breakdown.add(Phase::UpdatePhi, report.phi_seconds);
         self.breakdown.add(Phase::UpdateTheta, report.theta_seconds);
@@ -296,7 +310,15 @@ impl GpuWorker {
                     &sample_cfg,
                 )?;
                 out.sampling_seconds += r.sim_seconds;
-                let r = kernels.try_update_phi(&part.chunks[gi], state, write_phi, block_map)?;
+                // Rebalanced chunks fold on top of the survivor's own
+                // counts — no clear; delta rows OR-accumulate the same way.
+                let r = kernels.try_update_phi(
+                    &part.chunks[gi],
+                    state,
+                    write_phi,
+                    block_map,
+                    self.delta.as_ref(),
+                )?;
                 out.phi_seconds += r.sim_seconds;
             }
             let r = kernels.try_update_theta(&part.chunks[gi], state, cfg.num_topics)?;
@@ -513,11 +535,15 @@ mod tests {
             h2d_seconds: 0.0,
             d2h_seconds: 0.0,
         }];
+        // The worker tracks a Δϕ; the reference must too, or the extra
+        // per-block atomicOr skews the modelled clocks apart.
+        let ref_delta = culda_sampler::PhiDelta::new(part.vocab_size);
         IterationPlan::resident(cfg.num_topics).execute(
             &KernelSet::new(&ref_dev),
             &read,
             &ref_write,
             &mut tasks,
+            Some(&ref_delta),
         );
 
         // The same iteration through a worker.

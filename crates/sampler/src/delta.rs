@@ -1,0 +1,122 @@
+//! The Δϕ touched-row tracker behind sparsity-aware synchronization.
+//!
+//! A CGS iteration touches at most `tokens` ϕ cells, and — because the
+//! corpus chunk is word-sorted and the ϕ-update kernel runs one block per
+//! word slice — every block's atomics land in exactly one ϕ row. The
+//! cheapest exact record of "which cells changed" is therefore a bitmap
+//! over word rows, set once per block with an `atomicOr`: the sparse
+//! payload is recovered later by scanning only the marked rows of the
+//! (freshly cleared and rebuilt) write replica.
+//!
+//! The bitmap is allocated once per worker and reused across iterations:
+//! [`PhiDelta::clear`] resets the words in place, so steady-state training
+//! does no allocation for delta tracking. Recovery safety falls out of the
+//! same design: a retried iteration body re-runs from the ϕ clear, which
+//! also clears the tracker, so a delta is never double-applied.
+
+use culda_gpusim::memory::AtomicU32Buf;
+
+/// Per-worker record of the ϕ rows (words) touched this iteration.
+#[derive(Debug)]
+pub struct PhiDelta {
+    /// One bit per vocabulary word, packed into u32 words.
+    bits: AtomicU32Buf,
+    vocab_size: usize,
+}
+
+impl PhiDelta {
+    /// An empty tracker for a `vocab_size`-row ϕ replica.
+    pub fn new(vocab_size: usize) -> Self {
+        Self {
+            bits: AtomicU32Buf::zeros(vocab_size.div_ceil(32)),
+            vocab_size,
+        }
+    }
+
+    /// Rows this tracker covers.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    /// Marks row `word` as touched (`atomicOr`, safe under concurrent
+    /// blocks). One call per ϕ-update block — not per token.
+    #[inline]
+    pub fn mark_row(&self, word: usize) {
+        debug_assert!(word < self.vocab_size, "row out of range");
+        self.bits.fetch_or(word / 32, 1 << (word % 32));
+    }
+
+    /// Whether row `word` was touched since the last [`Self::clear`].
+    #[inline]
+    pub fn is_marked(&self, word: usize) -> bool {
+        self.bits.load(word / 32) & (1 << (word % 32)) != 0
+    }
+
+    /// Resets every bit in place, reusing the allocation.
+    pub fn clear(&self) {
+        for i in 0..self.bits.len() {
+            self.bits.store(i, 0);
+        }
+    }
+
+    /// Number of touched rows.
+    pub fn count(&self) -> usize {
+        (0..self.bits.len())
+            .map(|i| self.bits.load(i).count_ones() as usize)
+            .sum()
+    }
+
+    /// The touched rows, ascending.
+    pub fn touched_rows(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.count());
+        for i in 0..self.bits.len() {
+            let mut w = self.bits.load(i);
+            while w != 0 {
+                let b = w.trailing_zeros() as usize;
+                let row = i * 32 + b;
+                if row < self.vocab_size {
+                    out.push(row);
+                }
+                w &= w - 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marks_clears_and_enumerates() {
+        let d = PhiDelta::new(100);
+        assert_eq!(d.count(), 0);
+        for w in [0usize, 31, 32, 63, 64, 99] {
+            d.mark_row(w);
+        }
+        d.mark_row(31); // idempotent
+        assert_eq!(d.count(), 6);
+        assert_eq!(d.touched_rows(), vec![0, 31, 32, 63, 64, 99]);
+        assert!(d.is_marked(64) && !d.is_marked(65));
+        d.clear();
+        assert_eq!(d.count(), 0);
+        assert!(d.touched_rows().is_empty());
+    }
+
+    #[test]
+    fn concurrent_marks_are_all_recorded() {
+        let d = PhiDelta::new(1024);
+        std::thread::scope(|s| {
+            for t in 0..8usize {
+                let d = &d;
+                s.spawn(move || {
+                    for w in (t..1024).step_by(8) {
+                        d.mark_row(w);
+                    }
+                });
+            }
+        });
+        assert_eq!(d.count(), 1024);
+    }
+}

@@ -13,6 +13,7 @@
 //! summed by the Figure 4 reduce afterwards.
 
 use crate::blockmap::BlockWork;
+use crate::delta::PhiDelta;
 use crate::model::{ChunkState, PhiModel};
 use culda_corpus::SortedChunk;
 use culda_gpusim::{BlockCtx, Device, KernelSpec, LaunchPhase, LaunchReport, SimFault};
@@ -57,20 +58,27 @@ pub fn run_phi_update_kernel(
     state: &ChunkState,
     phi: &PhiModel,
     block_map: &[BlockWork],
+    delta: Option<&PhiDelta>,
 ) -> LaunchReport {
-    try_run_phi_update_kernel(device, chunk, state, phi, block_map)
+    try_run_phi_update_kernel(device, chunk, state, phi, block_map, delta)
         .unwrap_or_else(|f| panic!("unrecoverable simulated fault: {f}"))
 }
 
 /// Fallible ϕ accumulation launch. *Not* idempotent on its own (atomic
 /// adds double-count on a blind re-run) — recovery re-runs the whole
 /// iteration body starting from the clear.
+///
+/// When `delta` is given, each block additionally marks the single ϕ row
+/// it writes in the touched-row bitmap (one extra `atomicOr` per block —
+/// negligible next to the per-token atomics). The marked rows are what
+/// the sparse Δϕ synchronization later encodes and ships.
 pub fn try_run_phi_update_kernel(
     device: &Device,
     chunk: &SortedChunk,
     state: &ChunkState,
     phi: &PhiModel,
     block_map: &[BlockWork],
+    delta: Option<&PhiDelta>,
 ) -> Result<LaunchReport, SimFault> {
     assert_eq!(state.z.len(), chunk.num_tokens(), "z/chunk mismatch");
     let k = phi.num_topics;
@@ -91,6 +99,10 @@ pub fn try_run_phi_update_kernel(
         ctx.dram_read(n * 2);
         ctx.atomic(2 * n);
         ctx.dram_write(n * 8); // atomics dirty one ϕ and one sum cell each
+        if let Some(d) = delta {
+            d.mark_row(word);
+            ctx.atomic(1); // one atomicOr into the row bitmap per block
+        }
     })
 }
 
@@ -121,11 +133,31 @@ mod tests {
         let dev = Device::new(0, GpuSpec::titan_x_maxwell()).with_workers(4);
         let map = build_block_map(&chunk, 64);
         run_phi_clear_kernel(&dev, &kernel_phi);
-        run_phi_update_kernel(&dev, &chunk, &state, &kernel_phi, &map);
+        run_phi_update_kernel(&dev, &chunk, &state, &kernel_phi, &map, None);
 
         assert_eq!(kernel_phi.phi.snapshot(), oracle_phi.phi.snapshot());
         assert_eq!(kernel_phi.phi_sum.snapshot(), oracle_phi.phi_sum.snapshot());
         assert_eq!(kernel_phi.check_sums(), chunk.num_tokens() as u64);
+    }
+
+    #[test]
+    fn delta_marks_exactly_the_touched_rows() {
+        let (chunk, state) = setup();
+        let phi = PhiModel::zeros(8, 500, Priors::paper(8));
+        let delta = PhiDelta::new(500);
+        let dev = Device::new(0, GpuSpec::titan_x_maxwell()).with_workers(4);
+        let map = build_block_map(&chunk, 64);
+        run_phi_clear_kernel(&dev, &phi);
+        run_phi_update_kernel(&dev, &chunk, &state, &phi, &map, Some(&delta));
+
+        // Every nonzero ϕ row is marked, and every marked row is nonzero
+        // (word-sorted chunks touch exactly the rows of their words).
+        let k = phi.num_topics;
+        for v in 0..500 {
+            let row_nonzero = (0..k).any(|t| phi.phi.load(v * k + t) > 0);
+            assert_eq!(delta.is_marked(v), row_nonzero, "row {v}");
+        }
+        assert!(delta.count() > 0);
     }
 
     #[test]
@@ -149,7 +181,7 @@ mod tests {
             let phi = PhiModel::zeros(8, 500, Priors::paper(8));
             let dev = Device::new(0, GpuSpec::titan_xp_pascal()).with_workers(workers);
             let map = build_block_map(&chunk, tpb);
-            run_phi_update_kernel(&dev, &chunk, &state, &phi, &map);
+            run_phi_update_kernel(&dev, &chunk, &state, &phi, &map, None);
             totals.push(phi.phi.snapshot());
         }
         assert_eq!(totals[0], totals[1]);
@@ -161,7 +193,7 @@ mod tests {
         let phi = PhiModel::zeros(8, 500, Priors::paper(8));
         let dev = Device::new(0, GpuSpec::titan_x_maxwell());
         let map = build_block_map(&chunk, 64);
-        let r = run_phi_update_kernel(&dev, &chunk, &state, &phi, &map);
+        let r = run_phi_update_kernel(&dev, &chunk, &state, &phi, &map, None);
         assert_eq!(r.cost.atomics, 2 * chunk.num_tokens() as u64);
     }
 }

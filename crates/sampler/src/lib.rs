@@ -15,6 +15,8 @@
 //! * [`kernel_infer`] — the warp-per-document fold-in kernel (serving path,
 //!   ϕ strictly read-only).
 //! * [`kernel_theta`] / [`kernel_phi`] — the Section 6.2 update kernels.
+//! * [`delta`] — [`PhiDelta`], the touched-row tracker feeding sparse Δϕ
+//!   synchronization (the ϕ kernel marks one row per block).
 //! * [`plan`] — [`KernelSet`]/[`IterationPlan`]: one GPU's iteration body
 //!   (sample → ϕ → θ, resident or pipelined) submitted as a unit.
 //! * [`dense`] — the textbook O(K) CGS used as correctness oracle/baseline.
@@ -26,6 +28,7 @@
 
 pub mod blockmap;
 pub mod checkpoint;
+pub mod delta;
 pub mod dense;
 pub mod hyper;
 pub mod hyper_opt;
@@ -42,6 +45,7 @@ pub mod validate;
 
 pub use blockmap::{auto_tokens_per_block, build_block_map, BlockWork, SAMPLERS_PER_BLOCK};
 pub use checkpoint::{load_phi, save_phi};
+pub use delta::PhiDelta;
 pub use dense::DenseCgs;
 pub use hyper::Priors;
 pub use hyper_opt::{minka_alpha_step, optimize_alpha};

@@ -15,6 +15,7 @@
 //! constructor choice, not a fork in its iteration loop.
 
 use crate::blockmap::BlockWork;
+use crate::delta::PhiDelta;
 use crate::kernel_phi::{
     run_phi_clear_kernel, run_phi_update_kernel, try_run_phi_clear_kernel,
     try_run_phi_update_kernel,
@@ -61,15 +62,17 @@ impl<'d> KernelSet<'d> {
         run_phi_clear_kernel(self.device, phi)
     }
 
-    /// The ϕ accumulation kernel for one chunk.
+    /// The ϕ accumulation kernel for one chunk, optionally recording the
+    /// touched rows into `delta` for the sparse Δϕ synchronization.
     pub fn update_phi(
         &self,
         chunk: &SortedChunk,
         state: &ChunkState,
         phi: &PhiModel,
         block_map: &[BlockWork],
+        delta: Option<&PhiDelta>,
     ) -> LaunchReport {
-        run_phi_update_kernel(self.device, chunk, state, phi, block_map)
+        run_phi_update_kernel(self.device, chunk, state, phi, block_map, delta)
     }
 
     /// The θ rebuild kernel for one chunk.
@@ -107,8 +110,9 @@ impl<'d> KernelSet<'d> {
         state: &ChunkState,
         phi: &PhiModel,
         block_map: &[BlockWork],
+        delta: Option<&PhiDelta>,
     ) -> Result<LaunchReport, SimFault> {
-        try_run_phi_update_kernel(self.device, chunk, state, phi, block_map)
+        try_run_phi_update_kernel(self.device, chunk, state, phi, block_map, delta)
     }
 
     /// Fallible θ rebuild launch (see [`try_run_theta_update_kernel`]).
@@ -205,14 +209,18 @@ impl IterationPlan {
     ///
     /// Panics on a simulated fault; resilient callers use
     /// [`try_execute`](IterationPlan::try_execute).
+    /// `delta`, when given, is cleared alongside the write replica and
+    /// then fed every ϕ-update launch, so after the plan it records
+    /// exactly the rows this iteration's counts landed in.
     pub fn execute(
         &self,
         kernels: &KernelSet<'_>,
         read_phi: &PhiModel,
         write_phi: &PhiModel,
         tasks: &mut [ChunkTask<'_>],
+        delta: Option<&PhiDelta>,
     ) -> PlanReport {
-        self.try_execute(kernels, read_phi, write_phi, tasks)
+        self.try_execute(kernels, read_phi, write_phi, tasks, delta)
             .unwrap_or_else(|f| panic!("unrecoverable simulated fault: {f}"))
     }
 
@@ -227,11 +235,14 @@ impl IterationPlan {
         read_phi: &PhiModel,
         write_phi: &PhiModel,
         tasks: &mut [ChunkTask<'_>],
+        delta: Option<&PhiDelta>,
     ) -> Result<PlanReport, SimFault> {
         match self.schedule {
-            WorkSchedule::Resident => self.execute_resident(kernels, read_phi, write_phi, tasks),
+            WorkSchedule::Resident => {
+                self.execute_resident(kernels, read_phi, write_phi, tasks, delta)
+            }
             WorkSchedule::OutOfCore => {
-                self.execute_out_of_core(kernels, read_phi, write_phi, tasks)
+                self.execute_out_of_core(kernels, read_phi, write_phi, tasks, delta)
             }
         }
     }
@@ -242,6 +253,7 @@ impl IterationPlan {
         read_phi: &PhiModel,
         write_phi: &PhiModel,
         tasks: &mut [ChunkTask<'_>],
+        delta: Option<&PhiDelta>,
     ) -> Result<PlanReport, SimFault> {
         let inv_denom = read_phi.inv_denominators();
         let mut out = PlanReport::default();
@@ -261,13 +273,19 @@ impl IterationPlan {
             out.sampling_seconds += r.sim_seconds;
         }
         // Rebuild the write replica: clear once, accumulate each chunk.
+        // The Δϕ tracker resets with the replica, which also makes a
+        // retried body safe: the re-run can never double-mark stale rows.
+        if let Some(d) = delta {
+            d.clear();
+        }
         let rc = kernels.try_clear_phi(write_phi)?;
         out.phi_seconds += rc.sim_seconds;
         for task in tasks.iter() {
             if task.block_map.is_empty() {
                 continue;
             }
-            let r = kernels.try_update_phi(task.chunk, task.state, write_phi, task.block_map)?;
+            let r =
+                kernels.try_update_phi(task.chunk, task.state, write_phi, task.block_map, delta)?;
             out.phi_seconds += r.sim_seconds;
         }
         out.phi_done_at = kernels.device().now();
@@ -285,6 +303,7 @@ impl IterationPlan {
         read_phi: &PhiModel,
         write_phi: &PhiModel,
         tasks: &mut [ChunkTask<'_>],
+        delta: Option<&PhiDelta>,
     ) -> Result<PlanReport, SimFault> {
         let inv_denom = read_phi.inv_denominators();
         let device = kernels.device();
@@ -293,7 +312,11 @@ impl IterationPlan {
         let mut compute_total = 0.0;
         let mut out = PlanReport::default();
 
-        // The replica clear is not chunk-bound; run it up front.
+        // The replica clear is not chunk-bound; run it up front. The Δϕ
+        // tracker resets with it (see `execute_resident`).
+        if let Some(d) = delta {
+            d.clear();
+        }
         let rc = kernels.try_clear_phi(write_phi)?;
         out.phi_seconds += rc.sim_seconds;
         compute_total += rc.sim_seconds;
@@ -317,7 +340,8 @@ impl IterationPlan {
                 &task.sample_cfg,
             )?;
             out.sampling_seconds += r.sim_seconds;
-            let r = kernels.try_update_phi(task.chunk, task.state, write_phi, task.block_map)?;
+            let r =
+                kernels.try_update_phi(task.chunk, task.state, write_phi, task.block_map, delta)?;
             out.phi_seconds += r.sim_seconds;
             let r = kernels.try_update_theta(task.chunk, task.state, self.num_topics)?;
             out.theta_seconds += r.sim_seconds;
@@ -380,7 +404,7 @@ mod tests {
             let inv = read.inv_denominators();
             run_sampling_kernel(&dev, &chunk, &st, &read, &inv, &map, &cfg);
             run_phi_clear_kernel(&dev, &w);
-            run_phi_update_kernel(&dev, &chunk, &st, &w, &map);
+            run_phi_update_kernel(&dev, &chunk, &st, &w, &map, None);
             run_theta_update_kernel(&dev, &chunk, &mut st, K);
             (st.z.snapshot(), w.phi.snapshot(), dev.now())
         };
@@ -399,7 +423,7 @@ mod tests {
             h2d_seconds: 0.0,
             d2h_seconds: 0.0,
         }];
-        let report = IterationPlan::resident(K).execute(&kernels, &read, &write, &mut tasks);
+        let report = IterationPlan::resident(K).execute(&kernels, &read, &write, &mut tasks, None);
 
         assert_eq!(st.z.snapshot(), by_hand.0, "plan changed assignments");
         assert_eq!(write.phi.snapshot(), by_hand.1, "plan changed phi");
@@ -424,7 +448,7 @@ mod tests {
             h2d_seconds: 0.0,
             d2h_seconds: 0.0,
         }];
-        let report = IterationPlan::resident(K).execute(&kernels, &read, &write, &mut tasks);
+        let report = IterationPlan::resident(K).execute(&kernels, &read, &write, &mut tasks, None);
         assert!(report.phi_done_at > 0.0);
         assert!(
             report.phi_done_at < dev.now(),
@@ -451,7 +475,13 @@ mod tests {
             h2d_seconds: 0.0,
             d2h_seconds: 0.0,
         }];
-        IterationPlan::resident(K).execute(&KernelSet::new(&dev_a), &read, &write_a, &mut tasks);
+        IterationPlan::resident(K).execute(
+            &KernelSet::new(&dev_a),
+            &read,
+            &write_a,
+            &mut tasks,
+            None,
+        );
 
         let dev_b = Device::new(0, GpuSpec::titan_x_maxwell());
         let write_b = PhiModel::zeros(K, read.phi.len() / K, Priors::paper(K));
@@ -473,6 +503,7 @@ mod tests {
             &read,
             &write_b,
             &mut tasks,
+            None,
         );
 
         assert_eq!(st_a.z.snapshot(), st_b.z.snapshot());
@@ -495,7 +526,7 @@ mod tests {
             h2d_seconds: 0.0,
             d2h_seconds: 0.0,
         }];
-        IterationPlan::resident(K).execute(&kernels, &read, &write, &mut tasks);
+        IterationPlan::resident(K).execute(&kernels, &read, &write, &mut tasks, None);
         let log = dev.profile();
         assert_eq!(log.len(), 4); // sample, clear, phi, theta
         let phases: Vec<LaunchPhase> = log.records().iter().map(|r| r.phase).collect();
@@ -534,8 +565,13 @@ mod tests {
             h2d_seconds: 0.0,
             d2h_seconds: 0.0,
         }];
-        let r =
-            IterationPlan::resident(4).execute(&KernelSet::new(&dev), &read, &write, &mut tasks);
+        let r = IterationPlan::resident(4).execute(
+            &KernelSet::new(&dev),
+            &read,
+            &write,
+            &mut tasks,
+            None,
+        );
         assert_eq!(r.sampling_seconds, 0.0);
         // Only the clear runs (not chunk-bound) — and θ, which handles
         // empty documents itself.

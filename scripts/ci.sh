@@ -40,6 +40,19 @@ cargo run --release -q -p culda-cli -- train --docword "$smoke/c.dw" \
 grep -q 'recovery: 1 fault(s) injected, 1 retry(s)' "$smoke/fault.log"
 cmp "$smoke/c.phi" "$smoke/f.phi"
 
+echo "==> sync-mode matrix smoke test"
+# Every ϕ synchronization strategy must train the bit-identical model;
+# only modelled time and bytes moved may differ.
+for sync_mode in dense-tree dense-ring delta auto; do
+    cargo run --release -q -p culda-cli -- train --docword "$smoke/c.dw" \
+        --vocab "$smoke/c.v" --model "$smoke/s-$sync_mode.phi" --topics 8 \
+        --iters 3 --score-every 0 --platform pascal --gpus 2 \
+        --sync-mode "$sync_mode"
+done
+for sync_mode in dense-ring delta auto; do
+    cmp "$smoke/s-dense-tree.phi" "$smoke/s-$sync_mode.phi"
+done
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -14,7 +14,7 @@ use culda::corpus::{Corpus, SynthSpec};
 use culda::gpusim::{FaultKind, FaultPlan, FaultSpec, Platform};
 use culda::metrics::{MetricsRegistry, TraceSink};
 use culda::multigpu::{
-    try_build_trainer, CuldaError, CuldaTrainer, PartitionPolicy, TrainerConfig,
+    try_build_trainer, CuldaError, CuldaTrainer, PartitionPolicy, SyncMode, TrainerConfig,
     WordPartitionedTrainer,
 };
 use culda::sampler::PhiModel;
@@ -90,6 +90,50 @@ fn any_single_transient_fault_is_bit_identical_to_fault_free() {
                     "{kind:?} at ({device}, {iteration}) changed ϕ"
                 );
                 assert!((t.loglik_per_token() - want_ll).abs() < 1e-12);
+            }
+        }
+    }
+}
+
+#[test]
+fn transient_faults_under_delta_sync_never_double_apply() {
+    // The delta payload is rebuilt from the cleared write replica every
+    // iteration — including the retried one — so a fault that fires after
+    // some ϕ updates already landed must not leave stale rows behind to
+    // be shipped twice. Sweep every transient coordinate under
+    // `SyncMode::Delta` and pin bit-identity against the *dense-tree*
+    // fault-free reference (cross-mode and cross-fault at once).
+    let c = corpus();
+    let reference = train_with(&c, None);
+    let want_phi = phi_counts(reference.global_phi());
+
+    let delta_cfg = || {
+        let mut cfg = cfg();
+        cfg.sync_mode = SyncMode::Delta;
+        cfg
+    };
+    for kind in [
+        FaultKind::KernelLaunch,
+        FaultKind::MemoryCorruption,
+        FaultKind::LinkDrop,
+    ] {
+        for device in 0..2 {
+            for iteration in 0..ITERS {
+                let plan = Arc::new(FaultPlan::from_specs(vec![FaultSpec::new(
+                    kind, device, iteration,
+                )]));
+                let mut t = CuldaTrainer::try_new(&c, delta_cfg()).unwrap();
+                t.attach_fault_plan(Arc::clone(&plan));
+                for _ in 0..ITERS {
+                    t.try_step().expect("recoverable run");
+                }
+                assert_eq!(plan.injected(), 1);
+                assert_eq!(t.recovery().retries, 1);
+                assert_eq!(
+                    phi_counts(t.global_phi()),
+                    want_phi,
+                    "delta sync with {kind:?} at ({device}, {iteration})                      double-applied or lost counts"
+                );
             }
         }
     }
