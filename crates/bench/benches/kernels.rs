@@ -69,7 +69,7 @@ fn main() {
     let phi = PhiModel::zeros(256, 800, Priors::paper(256));
     bench("phi_update", || {
         black_box(run_phi_update_kernel(
-            &dev, &f.chunk, &f.state, &phi, &f.map, None,
+            &dev, &f.chunk, &f.state, &phi, &f.map,
         ))
     });
     bench_with_setup(

@@ -1,0 +1,185 @@
+//! Sampling-path benchmark: modelled tokens/sec for every `SamplingMode`
+//! on the same seeded run.
+//!
+//! The workload is shaped like the regime the sparse p* fill targets — a
+//! Zipf-distributed NYTimes-like corpus with `K` far above the typical
+//! per-word topic support, so after a couple of burn-in iterations most
+//! ϕ rows hold far fewer than `K` nonzeros and the β-baseline-plus-
+//! patches fill touches a fraction of the dense scan's bytes. Every mode
+//! must produce bit-identical assignments; what differs is modelled
+//! sampling time: `dense` always runs the paper's K-length scan, `sparse`
+//! always patches, and `auto` re-decides each iteration from the shared
+//! cutover cost model.
+//!
+//! Writes `BENCH_sampling.json` at the repository root with per-mode
+//! throughput before and after burn-in.
+
+use culda_bench::{banner, user_iters, user_scale};
+use culda_corpus::SynthSpec;
+use culda_gpusim::Platform;
+use culda_metrics::{format_tokens_per_sec, IterationStat};
+use culda_multigpu::{CuldaTrainer, SamplingMode, SyncMode, TrainerConfig};
+use std::io::Write;
+use std::time::Instant;
+
+const BENCH_TOPICS: usize = 4096;
+const GPUS: usize = 4;
+/// Iterations excluded from the "after burn-in" rates: random initial
+/// assignments spread every word over ~K topics, so the first passes
+/// understate the steady-state sparsity the hybrid fill banks on.
+const BURN_IN: u32 = 2;
+
+struct Run {
+    overall_tps: f64,
+    pre_burn_in_tps: f64,
+    post_burn_in_tps: f64,
+    sparse_iterations: u32,
+    total_iterations: u32,
+    wall_seconds: f64,
+    final_z_hash: u64,
+}
+
+fn tps(stats: &[IterationStat]) -> f64 {
+    let tokens: u64 = stats.iter().map(|s| s.tokens).sum();
+    let secs: f64 = stats.iter().map(|s| s.sim_seconds).sum();
+    tokens as f64 / secs
+}
+
+fn run(corpus: &culda_corpus::Corpus, iters: u32, mode: SamplingMode) -> Run {
+    let cfg = TrainerConfig::builder(BENCH_TOPICS, Platform::pascal().with_gpus(GPUS))
+        .iterations(iters)
+        .score_every(0)
+        // Auto delta sync for every run: the benchmark isolates the
+        // sampling-path choice, so the (orthogonal) sync phase should use
+        // its best mode rather than drown the signal in dense-tree bytes.
+        .sync_mode(SyncMode::Auto)
+        .sampling_mode(mode)
+        .build()
+        .unwrap();
+    let mut t = CuldaTrainer::new(corpus, cfg);
+    let start = Instant::now();
+    for _ in 0..iters {
+        t.step();
+    }
+    let wall_seconds = start.elapsed().as_secs_f64();
+    let stats = t.history().iterations().to_vec();
+    let cut = (BURN_IN as usize).min(stats.len());
+    // FNV-1a over the final assignments: cheap cross-mode equality witness.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for s in t.states() {
+        for z in s.z.snapshot() {
+            h = (h ^ z as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    Run {
+        overall_tps: tps(&stats),
+        pre_burn_in_tps: tps(&stats[..cut]),
+        post_burn_in_tps: tps(&stats[cut..]),
+        sparse_iterations: stats
+            .iter()
+            .filter(|s| s.sampling_sparse == Some(true))
+            .count() as u32,
+        total_iterations: stats.len() as u32,
+        wall_seconds,
+        final_z_hash: h,
+    }
+}
+
+fn main() {
+    let iters = user_iters(10).max(BURN_IN + 2);
+    let scale = 0.0005 * user_scale();
+    banner(
+        "Sampling-path benchmark — modelled tokens/sec per SamplingMode",
+        &format!(
+            "NYTimes-like at scale {scale}, K = {BENCH_TOPICS}, {iters} iterations, Pascal ×{GPUS}"
+        ),
+    );
+    let corpus = SynthSpec::nytimes_like(scale).generate();
+    println!(
+        "corpus: {} docs, {} tokens, V = {} (ϕ cells: {})\n",
+        corpus.num_docs(),
+        corpus.num_tokens(),
+        corpus.vocab_size(),
+        corpus.vocab_size() * BENCH_TOPICS,
+    );
+
+    let modes = [
+        SamplingMode::Dense,
+        SamplingMode::Sparse,
+        SamplingMode::Auto,
+    ];
+    let runs: Vec<(SamplingMode, Run)> =
+        modes.iter().map(|&m| (m, run(&corpus, iters, m))).collect();
+
+    for (_, r) in &runs[1..] {
+        assert_eq!(
+            r.final_z_hash, runs[0].1.final_z_hash,
+            "sampling mode changed the sampled assignments"
+        );
+    }
+
+    println!(
+        "{:<8} {:>14} {:>14} {:>14} {:>12} {:>10}",
+        "mode", "tokens/s", "pre-burn-in", "post-burn-in", "sparse its", "wall s"
+    );
+    for (m, r) in &runs {
+        println!(
+            "{:<8} {:>14} {:>14} {:>14} {:>9}/{:<2} {:>10.2}",
+            m.to_string(),
+            format_tokens_per_sec(r.overall_tps),
+            format_tokens_per_sec(r.pre_burn_in_tps),
+            format_tokens_per_sec(r.post_burn_in_tps),
+            r.sparse_iterations,
+            r.total_iterations,
+            r.wall_seconds,
+        );
+    }
+
+    let dense = &runs[0].1;
+    let auto = runs
+        .iter()
+        .find(|(m, _)| *m == SamplingMode::Auto)
+        .map(|(_, r)| r)
+        .unwrap();
+    let speedup = auto.post_burn_in_tps / dense.post_burn_in_tps;
+    println!("\npost-burn-in auto speedup over the dense fill: {speedup:.2}x");
+    assert!(
+        speedup >= 2.0,
+        "auto modelled only {speedup:.2}x the dense post-burn-in throughput (wanted >= 2x)"
+    );
+    let best_fixed = runs[..2]
+        .iter()
+        .map(|(_, r)| r.overall_tps)
+        .fold(0.0, f64::max);
+    assert!(
+        auto.overall_tps >= best_fixed - 1e-9 * best_fixed,
+        "auto modelled fewer tokens/sec than the best fixed mode"
+    );
+
+    let per_mode: Vec<String> = runs
+        .iter()
+        .map(|(m, r)| {
+            format!(
+                "    {{\n      \"mode\": \"{m}\",\n      \"tokens_per_sec\": {:.3},\n      \"tokens_per_sec_pre_burn_in\": {:.3},\n      \"tokens_per_sec_post_burn_in\": {:.3},\n      \"sparse_iterations\": {},\n      \"total_iterations\": {},\n      \"wall_seconds\": {:.4}\n    }}",
+                r.overall_tps,
+                r.pre_burn_in_tps,
+                r.post_burn_in_tps,
+                r.sparse_iterations,
+                r.total_iterations,
+                r.wall_seconds,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"benchmark\": \"sampling p* fill paths: modelled tokens/sec per --sampling-mode\",\n  \"workload\": {{\n    \"preset\": \"nytimes_like\",\n    \"scale\": {scale},\n    \"num_docs\": {},\n    \"num_tokens\": {},\n    \"vocab_size\": {},\n    \"topics\": {BENCH_TOPICS},\n    \"iterations\": {iters},\n    \"burn_in_iterations\": {BURN_IN},\n    \"platform\": \"pascal\",\n    \"gpus\": {GPUS}\n  }},\n  \"modes\": [\n{}\n  ],\n  \"auto_post_burn_in_speedup_over_dense\": {speedup:.3},\n  \"auto_never_slower_than_best_fixed\": true,\n  \"results_bit_identical_across_modes\": true\n}}\n",
+        corpus.num_docs(),
+        corpus.num_tokens(),
+        corpus.vocab_size(),
+        per_mode.join(",\n"),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sampling.json");
+    let mut f = std::fs::File::create(path).expect("create BENCH_sampling.json");
+    f.write_all(json.as_bytes())
+        .expect("write BENCH_sampling.json");
+    println!("wrote {path}");
+}

@@ -11,7 +11,7 @@ use culda_gpusim::{FaultPlan, Platform};
 use culda_metrics::{format_tokens_per_sec, Json, MetricsRegistry, TraceSink};
 use culda_multigpu::{
     resume_any, save_training, try_build_trainer, ConfigError, CuldaError, LdaTrainer,
-    PartitionPolicy, SyncMode, TrainerConfig,
+    PartitionPolicy, SamplingMode, SyncMode, TrainerConfig,
 };
 use culda_sampler::{load_phi, LdaModel};
 use culda_serve::{FrozenModel, InferenceEngine, InferenceOutcome, ServeConfig, ServeError};
@@ -78,6 +78,7 @@ USAGE:
                  [--platform maxwell|pascal|volta] [--gpus G] [--workers N]
                  [--seed N] [--score-every N]
                  [--sync-mode auto|dense-tree|dense-ring|delta]
+                 [--sampling-mode auto|dense|sparse]
                  [--resume STATE] [--save-state STATE] [--fault-plan SPEC]
   culda topics   --model M.phi --vocab PATH [--top N]
   culda infer    --model M.phi --docword PATH --vocab PATH
@@ -102,6 +103,12 @@ simulated GPU uses; results are bit-identical for any value. On `infer`,
 the paper's Figure 4); `delta` ships only the touched counts, `auto`
 picks the cheapest per iteration from modelled cost. Checkpoints are
 byte-identical across all modes — only modelled sync time/bytes change.
+`--sampling-mode` picks the p* fill path inside the sampling kernel
+(default dense, the paper's K-length scan); `sparse` patches only the
+nonzero ϕ cells over the β baseline, `auto` re-decides each iteration
+from the same cost model the delta sync uses. Like sync modes, every
+sampling mode draws identical topics — checkpoints are byte-identical
+and only the modelled sampling time changes.
 
 `culda infer` folds held-out documents into a frozen checkpoint (ϕ is
 read-only: no atomics, no sync phase) and emits a JSON report with each
@@ -227,6 +234,7 @@ pub fn train(args: &Args) -> CmdResult {
         .get_or("sync-mode", "dense-tree")
         .parse()
         .map_err(err)?;
+    let sampling_mode: SamplingMode = args.get_or("sampling-mode", "dense").parse().map_err(err)?;
     let model_path = args.require("model")?;
     let platform = platform(args)?;
     println!(
@@ -240,7 +248,8 @@ pub fn train(args: &Args) -> CmdResult {
             .with_iterations(iters)
             .with_score_every(score_every)
             .with_seed(seed)
-            .with_sync_mode(sync_mode),
+            .with_sync_mode(sync_mode)
+            .with_sampling_mode(sampling_mode),
     )?;
     let mut trainer: Box<dyn LdaTrainer> = match args.require("resume") {
         Ok(state_path) => {
@@ -451,6 +460,15 @@ pub fn profile_cmd(args: &Args) -> CmdResult {
         trainer.policy()
     );
     print!("{}", trainer.profile().render_with_roof(roof_gbps));
+    let phi = trainer.phi();
+    let (dense_rows, sparse_rows, nnz) = phi.phi.format_census();
+    println!(
+        "\nphi storage occupancy: {dense_rows} dense row(s), {sparse_rows} sparse row(s), \
+         avg nnz/row {:.1} of K = {} ({:.1}% occupied)",
+        nnz as f64 / phi.vocab_size.max(1) as f64,
+        phi.num_topics,
+        100.0 * nnz as f64 / (phi.vocab_size.max(1) * phi.num_topics) as f64
+    );
     println!("\nphase breakdown (Table 5 form):");
     for (phase, pct) in trainer.breakdown().percent_rows() {
         println!("  {:<14} {pct:>6.1}%", phase.name());
@@ -651,6 +669,43 @@ mod tests {
             tmp("s-bad.phi").display()
         )));
         assert!(bad.is_err(), "unknown sync mode must be rejected");
+    }
+
+    #[test]
+    fn sampling_mode_flag_changes_timing_not_checkpoints() {
+        let docword = tmp("m.docword");
+        let vocab = tmp("m.vocab");
+        generate(&args(&format!(
+            "generate --preset tiny --seed 11 --docword {} --vocab {}",
+            docword.display(),
+            vocab.display()
+        )))
+        .unwrap();
+        let mut models = Vec::new();
+        for mode in ["dense", "sparse", "auto"] {
+            let model = tmp(&format!("m-{mode}.phi"));
+            train(&args(&format!(
+                "train --docword {} --vocab {} --model {} --topics 8 --iters 3 \
+                 --score-every 0 --platform pascal --gpus 2 --seed 21 \
+                 --sampling-mode {mode}",
+                docword.display(),
+                vocab.display(),
+                model.display()
+            )))
+            .unwrap();
+            models.push(std::fs::read(&model).unwrap());
+        }
+        for m in &models[1..] {
+            assert_eq!(&models[0], m, "checkpoints diverged across sampling modes");
+        }
+
+        let bad = train(&args(&format!(
+            "train --docword {} --vocab {} --model {} --sampling-mode csr",
+            docword.display(),
+            vocab.display(),
+            tmp("m-bad.phi").display()
+        )));
+        assert!(bad.is_err(), "unknown sampling mode must be rejected");
     }
 
     #[test]

@@ -23,6 +23,10 @@ pub struct IterationStat {
     /// (`nnz / (V·K)`). `None` when the sync ran dense (nothing sparse
     /// shipped) or the trainer has no ϕ sync at all.
     pub delta_density: Option<f64>,
+    /// Whether the sampling kernel modelled the sparse `p*` fill this
+    /// iteration (`Some(false)` = dense). `None` for trainers without the
+    /// hybrid sampling path.
+    pub sampling_sparse: Option<bool>,
 }
 
 impl IterationStat {
@@ -181,6 +185,7 @@ mod tests {
             wall_seconds: sim * 2.0,
             loglik_per_token: None,
             delta_density: None,
+            sampling_sparse: None,
         }
     }
 

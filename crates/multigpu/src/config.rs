@@ -123,6 +123,53 @@ impl std::str::FromStr for SyncMode {
     }
 }
 
+/// Which `p*(k)` fill path the sampling kernel models each iteration.
+///
+/// Every mode computes bit-identical assignments: the sparse fill seeds
+/// the row with the `β/(n_k+βV)` baseline and patches the nonzero cells,
+/// which reproduces the dense values exactly in IEEE f32 (`(0+β)·x ==
+/// β·x`). Only the *modelled* traffic differs, so checkpoints are
+/// byte-identical across modes and only tokens/sec moves — the same
+/// contract as [`SyncMode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplingMode {
+    /// Per iteration, pick dense or sparse from the modelled per-row ϕ
+    /// traffic of the previous iteration's snapshot
+    /// ([`culda_sampler::choose_sparse_sampling`]).
+    Auto,
+    /// Always model the dense `K`-length fill (the default; matches the
+    /// paper's kernel and its timing exactly).
+    Dense,
+    /// Always model the sparse bucket fill (per-row work ∝ `nnz`, clamped
+    /// so it never exceeds the dense cost).
+    Sparse,
+}
+
+impl std::fmt::Display for SamplingMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SamplingMode::Auto => "auto",
+            SamplingMode::Dense => "dense",
+            SamplingMode::Sparse => "sparse",
+        })
+    }
+}
+
+impl std::str::FromStr for SamplingMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(SamplingMode::Auto),
+            "dense" => Ok(SamplingMode::Dense),
+            "sparse" => Ok(SamplingMode::Sparse),
+            other => Err(format!(
+                "unknown sampling mode '{other}' (expected auto|dense|sparse)"
+            )),
+        }
+    }
+}
+
 /// Everything that parameterizes a CuLDA training run.
 #[derive(Debug, Clone)]
 pub struct TrainerConfig {
@@ -160,6 +207,10 @@ pub struct TrainerConfig {
     /// Replica combination strategy (see [`SyncMode`]). The default,
     /// [`SyncMode::DenseTree`], reproduces the paper's timing exactly.
     pub sync_mode: SyncMode,
+    /// `p*` fill strategy in the sampling kernel (see [`SamplingMode`]).
+    /// The default, [`SamplingMode::Dense`], reproduces the paper's
+    /// timing exactly.
+    pub sampling_mode: SamplingMode,
     /// Host threads each simulated device uses to execute its thread
     /// blocks (the `--workers` knob). `None` = the simulator default.
     /// Results are bit-identical for any value; only wall-clock changes.
@@ -192,6 +243,7 @@ impl TrainerConfig {
             peer_link: None,
             ring_sync: false,
             sync_mode: SyncMode::DenseTree,
+            sampling_mode: SamplingMode::Dense,
             host_workers: None,
             retry: RetryPolicy::default(),
         };
@@ -268,6 +320,12 @@ impl TrainerConfig {
         self
     }
 
+    /// Builder-style override of the sampling `p*` fill strategy.
+    pub fn with_sampling_mode(mut self, mode: SamplingMode) -> Self {
+        self.sampling_mode = mode;
+        self
+    }
+
     /// The sync strategy after folding in the legacy `ring_sync` flag:
     /// `ring_sync = true` with the default mode still means the ring, so
     /// pre-existing configs keep their behaviour.
@@ -326,6 +384,7 @@ impl TrainerConfigBuilder {
                 peer_link: None,
                 ring_sync: false,
                 sync_mode: SyncMode::DenseTree,
+                sampling_mode: SamplingMode::Dense,
                 host_workers: None,
                 retry: RetryPolicy::default(),
             },
@@ -395,6 +454,12 @@ impl TrainerConfigBuilder {
     /// Replica combination strategy (see [`SyncMode`]).
     pub fn sync_mode(mut self, mode: SyncMode) -> Self {
         self.cfg.sync_mode = mode;
+        self
+    }
+
+    /// Sampling `p*` fill strategy (see [`SamplingMode`]).
+    pub fn sampling_mode(mut self, mode: SamplingMode) -> Self {
+        self.cfg.sampling_mode = mode;
         self
     }
 
@@ -556,6 +621,30 @@ mod tests {
             assert_eq!(mode.to_string().parse::<SyncMode>().unwrap(), mode);
         }
         assert!("nvlink".parse::<SyncMode>().is_err());
+    }
+
+    #[test]
+    fn sampling_mode_round_trips_through_strings() {
+        for mode in [
+            SamplingMode::Auto,
+            SamplingMode::Dense,
+            SamplingMode::Sparse,
+        ] {
+            assert_eq!(mode.to_string().parse::<SamplingMode>().unwrap(), mode);
+        }
+        assert!("csr".parse::<SamplingMode>().is_err());
+        // Paper-exact default, overridable through both builder styles.
+        let cfg = TrainerConfig::new(8, Platform::maxwell()).unwrap();
+        assert_eq!(cfg.sampling_mode, SamplingMode::Dense);
+        assert_eq!(
+            cfg.with_sampling_mode(SamplingMode::Auto).sampling_mode,
+            SamplingMode::Auto
+        );
+        let built = TrainerConfig::builder(8, Platform::maxwell())
+            .sampling_mode(SamplingMode::Sparse)
+            .build()
+            .unwrap();
+        assert_eq!(built.sampling_mode, SamplingMode::Sparse);
     }
 
     #[test]

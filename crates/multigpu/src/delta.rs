@@ -30,41 +30,11 @@
 
 use culda_sampler::{PhiDelta, PhiModel};
 
-/// The wire format chosen for one Δϕ row (see the module docs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum RowFormat {
-    /// `(word, topic, count)` triples.
-    Coo,
-    /// Row header + `(topic, count)` pairs.
-    Csr,
-    /// Row header + all `K` counts.
-    Dense,
-}
-
-/// Per-row nnz above which a dense row ships fewer bytes than CSR.
-pub fn dense_cutover(num_topics: usize, elem_bytes: u64) -> usize {
-    // Dense wins when 8 + nnz·(2+e) > 4 + K·e, i.e. strictly past the
-    // break-even point (CSR keeps ties — it preserves sparsity info).
-    let k = num_topics as u64;
-    let dense = 4 + k * elem_bytes;
-    (dense.saturating_sub(8) / (2 + elem_bytes) + 1) as usize
-}
-
-/// Bytes and format for one row holding `nnz` nonzero cells.
-pub fn row_encoding(nnz: usize, num_topics: usize, elem_bytes: u64) -> (RowFormat, u64) {
-    let n = nnz as u64;
-    let e = elem_bytes;
-    let coo = n * (6 + e);
-    let csr = 8 + n * (2 + e);
-    let dense = 4 + num_topics as u64 * e;
-    if coo <= csr && coo <= dense {
-        (RowFormat::Coo, coo)
-    } else if csr <= dense {
-        (RowFormat::Csr, csr)
-    } else {
-        (RowFormat::Dense, dense)
-    }
-}
+// The cutover cost model is shared with the hybrid count storage in
+// `culda_sampler::count` (one formula decides both what a row *ships as*
+// here and what it is *stored as* there), so the primitives live in the
+// sampler crate and are re-exported for this module's historical users.
+pub use culda_sampler::{dense_cutover, row_encoding, RowFormat};
 
 /// One GPU's (or a merged subtree's) Δϕ in sparse form.
 #[derive(Debug, Clone)]
@@ -86,13 +56,10 @@ impl DeltaPayload {
         let k = replica.num_topics;
         let mut rows = Vec::with_capacity(touched.count());
         for v in touched.touched_rows() {
-            let base = v * k;
-            let cells: Vec<(u16, u32)> = (0..k)
-                .filter_map(|t| {
-                    let c = replica.phi.load(base + t);
-                    (c > 0).then_some((t as u16, c))
-                })
-                .collect();
+            // The hybrid layout hands back exactly the nonzero cells in
+            // ascending topic order — a CSR tail row is already the
+            // payload, and a dense head row is filtered on the fly.
+            let cells = replica.phi.row_nonzeros(v);
             if !cells.is_empty() {
                 rows.push((v as u32, cells));
             }

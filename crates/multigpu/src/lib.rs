@@ -40,7 +40,9 @@ pub mod word_trainer;
 pub mod worker;
 
 pub use api::{build_trainer, try_build_trainer, LdaTrainer, PartitionPolicy};
-pub use config::{ConfigError, RetryPolicy, SyncMode, TrainerConfig, TrainerConfigBuilder};
+pub use config::{
+    ConfigError, RetryPolicy, SamplingMode, SyncMode, TrainerConfig, TrainerConfigBuilder,
+};
 pub use delta::{dense_cutover, row_encoding, DeltaPayload, RowFormat};
 pub use error::{CuldaError, RecoveryStats};
 pub use partition::PartitionedCorpus;

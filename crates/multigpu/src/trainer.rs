@@ -27,7 +27,7 @@
 //! the H2D → compute → D2H engines (WorkSchedule2), and the iteration time
 //! is the pipeline makespan instead of the kernel sum.
 
-use crate::config::{SyncMode, TrainerConfig};
+use crate::config::{SamplingMode, SyncMode, TrainerConfig};
 use crate::error::{CuldaError, RecoveryStats};
 use crate::partition::PartitionedCorpus;
 use crate::schedule::{chunk_owner, chunk_state_bytes, plan_partition, MemoryPlan};
@@ -43,8 +43,8 @@ use culda_metrics::{
     TraceSink, SIM_PID, SYNC_TID,
 };
 use culda_sampler::{
-    auto_tokens_per_block, build_block_map, BlockWork, ChunkState, IterationPlan, PhiDelta,
-    PhiModel, PlanReport, Priors,
+    auto_tokens_per_block, build_block_map, choose_sparse_sampling, BlockWork, ChunkState,
+    IterationPlan, PhiDelta, PhiModel, PlanReport, Priors,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -525,6 +525,18 @@ impl CuldaTrainer {
         for w in &self.workers {
             w.device.set_epoch(iteration);
         }
+        // Resolve this iteration's p* fill path before the fan-out: every
+        // worker must model the same choice, and auto reads the previous
+        // iteration's global snapshot (any alive read replica — they are
+        // identical), so the decision is deterministic across GPU counts
+        // and chunk layouts. Either path computes bit-identical samples.
+        let sparse = match self.cfg.sampling_mode {
+            SamplingMode::Dense => false,
+            SamplingMode::Sparse => true,
+            SamplingMode::Auto => {
+                choose_sparse_sampling(&self.global_phi().phi, self.cfg.phi_elem_bytes() as usize)
+            }
+        };
         let part = &self.part;
         let cfg = &self.cfg;
         let host_link = self.host_link;
@@ -542,7 +554,7 @@ impl CuldaTrainer {
             }
             if !faulty {
                 // Fault-free fast path: no snapshot, no recovery state.
-                let r = w.try_run_iteration(part, cfg, plan, iteration, &host_link)?;
+                let r = w.try_run_iteration(part, cfg, plan, iteration, &host_link, sparse)?;
                 return Ok((r, 0, 0.0));
             }
             let snap = w.snapshot_states();
@@ -550,7 +562,7 @@ impl CuldaTrainer {
             let mut recovery_seconds = 0.0;
             loop {
                 let before = w.device.now();
-                match w.try_run_iteration(part, cfg, plan, iteration, &host_link) {
+                match w.try_run_iteration(part, cfg, plan, iteration, &host_link, sparse) {
                     Ok(r) => return Ok((r, attempt - 1, recovery_seconds)),
                     Err(fault) => {
                         // Time burned by the failed attempt (zero for a
@@ -650,7 +662,7 @@ impl CuldaTrainer {
         // Permanent losses: migrate the dead workers' chunks to the
         // survivors and re-run their bodies before the sync.
         if !lost.is_empty() {
-            self.rebalance(&lost, iteration)?;
+            self.rebalance(&lost, iteration, sparse)?;
             // Rebalance kernels left launch records behind.
             for w in self.workers.iter_mut().filter(|w| w.alive) {
                 self.profile.merge(&w.device.take_profile());
@@ -674,10 +686,7 @@ impl CuldaTrainer {
             SyncMode::DenseTree => sync_phi_replicas(&write_refs, gpu, &self.peer_link, &self.cfg),
             SyncMode::DenseRing => sync_phi_ring(&write_refs, gpu, &self.peer_link, &self.cfg),
             SyncMode::Delta | SyncMode::Auto => {
-                let delta_refs: Vec<&PhiDelta> = alive
-                    .iter()
-                    .map(|w| w.delta.as_ref().expect("replicated workers track Δϕ"))
-                    .collect();
+                let delta_refs: Vec<&PhiDelta> = alive.iter().map(|w| w.delta()).collect();
                 if mode == SyncMode::Delta {
                     sync_phi_delta(&write_refs, &delta_refs, gpu, &self.peer_link, &self.cfg)
                 } else {
@@ -742,6 +751,22 @@ impl CuldaTrainer {
                 reg.gauge("sync.density").set(d);
             }
             reg.histogram("sync.seconds").record(sync.total_seconds());
+            // Sampling-path gauges: which p* fill ran, and the ϕ occupancy
+            // that drives the auto decision (census of the freshly-summed
+            // global model held by the write replicas at this point).
+            reg.gauge("sampling.sparse")
+                .set(if sparse { 1.0 } else { 0.0 });
+            let global = self
+                .workers
+                .iter()
+                .find(|w| w.alive)
+                .expect("at least one worker is alive")
+                .write_replica();
+            let (dense_rows, sparse_rows, nnz) = global.phi.format_census();
+            reg.gauge("phi.rows.dense").set(dense_rows as f64);
+            reg.gauge("phi.rows.sparse").set(sparse_rows as f64);
+            reg.gauge("phi.nnz_per_row")
+                .set(nnz as f64 / self.part.vocab_size as f64);
         }
 
         for w in self.workers.iter().filter(|w| w.alive) {
@@ -765,6 +790,7 @@ impl CuldaTrainer {
             wall_seconds: wall_start.elapsed().as_secs_f64(),
             loglik_per_token: scored.then(|| self.loglik_per_token()),
             delta_density,
+            sampling_sparse: Some(sparse),
         };
         self.history.push(stat);
         Ok(stat)
@@ -778,7 +804,12 @@ impl CuldaTrainer {
     /// are commutative atomic adds on top, so the post-sync global ϕ is
     /// bit-identical to the fault-free run. Recovery itself is not
     /// fault-tolerant: a fault firing during the re-run is fatal.
-    fn rebalance(&mut self, lost: &[usize], iteration: u32) -> Result<(), CuldaError> {
+    fn rebalance(
+        &mut self,
+        lost: &[usize],
+        iteration: u32,
+        sparse: bool,
+    ) -> Result<(), CuldaError> {
         let survivors: Vec<usize> = (0..self.workers.len())
             .filter(|&i| self.workers[i].alive)
             .collect();
@@ -813,8 +844,8 @@ impl CuldaTrainer {
                 continue;
             }
             let start = self.workers[wi].device.now();
-            let r =
-                self.workers[wi].try_run_chunks(&added[wi], &self.part, &self.cfg, iteration)?;
+            let r = self.workers[wi]
+                .try_run_chunks(&added[wi], &self.part, &self.cfg, iteration, sparse)?;
             let spent = r.sampling_seconds + r.phi_seconds + r.theta_seconds;
             self.workers[wi].breakdown.add(Phase::Recovery, spent);
             self.breakdown.add(Phase::Recovery, spent);
@@ -1077,7 +1108,7 @@ mod tests {
         let plan = IterationPlan::resident(cfgr.num_topics);
         let reports = run_workers(&mut t.workers, |_, w| {
             seen.lock().unwrap().push(std::thread::current().id());
-            w.run_iteration(part, cfgr, plan, 0, &host_link)
+            w.run_iteration(part, cfgr, plan, 0, &host_link, false)
         });
         assert_eq!(reports.len(), 4);
         let ids = seen.into_inner().unwrap();

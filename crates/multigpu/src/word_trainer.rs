@@ -14,7 +14,7 @@
 //! difference the figures show is the synchronization cost. (They are not
 //! bit-identical: token stream ids follow each policy's own layout.)
 
-use crate::config::TrainerConfig;
+use crate::config::{SamplingMode, TrainerConfig};
 use crate::error::{CuldaError, RecoveryStats};
 use crate::sync::SyncReport;
 use crate::worker::{run_workers_traced, GpuWorker};
@@ -29,7 +29,7 @@ use culda_metrics::{
 };
 use culda_sampler::ptree::{IndexTree, DEFAULT_FANOUT};
 use culda_sampler::spq::p1_weights;
-use culda_sampler::{PhiModel, Priors};
+use culda_sampler::{choose_sparse_sampling, pstar_block_cost, PhiModel, Priors};
 use std::sync::Arc;
 
 /// One GPU's word shard: the tokens of its word range, word-major.
@@ -301,6 +301,15 @@ impl WordPartitionedTrainer {
         let stream_seed =
             self.cfg.seed ^ (self.iteration as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let compressed = self.cfg.compressed;
+        // Same per-iteration p* fill choice as the doc-partitioned trainer:
+        // resolved once against the previous snapshot, bit-identical either
+        // way, only the modelled ϕ row traffic changes.
+        let elem = if compressed { 2usize } else { 4 };
+        let sparse = match self.cfg.sampling_mode {
+            SamplingMode::Dense => false,
+            SamplingMode::Sparse => true,
+            SamplingMode::Auto => choose_sparse_sampling(&self.phi.phi, elem),
+        };
         let theta = &self.theta;
         let phi = &self.phi;
         for w in &self.workers {
@@ -338,11 +347,13 @@ impl WordPartitionedTrainer {
                     } else {
                         vec![0.0f32; k]
                     };
-                    ctx.dram_read(k * if compressed { 2 } else { 4 } + k * 4);
+                    // Hybrid-layout fill: dense mode charges exactly the
+                    // old k·e + k·4 read; sparse mode clamps the row read
+                    // to its nnz encoding (never above dense).
+                    let fill = pstar_block_cost(k, phi.phi.row_nnz(w), elem, 0, 0, true, sparse);
+                    ctx.dram_read(fill.dram_read);
                     ctx.flop(2 * k);
-                    for (t, slot) in pstar.iter_mut().enumerate() {
-                        *slot = (phi.phi.load(w * k + t) as f32 + beta) * inv_denom[t];
-                    }
+                    phi.phi.fill_smoothed(w, beta, &inv_denom, &mut pstar);
                     let block_tree = IndexTree::build(&pstar, DEFAULT_FANOUT);
                     ctx.shared_access(2 * k * 4);
                     let mut p1_tree = IndexTree::build(&[1.0f32], DEFAULT_FANOUT);
@@ -500,6 +511,7 @@ impl WordPartitionedTrainer {
             wall_seconds: wall.elapsed().as_secs_f64(),
             loglik_per_token: None,
             delta_density: None,
+            sampling_sparse: Some(sparse),
         };
         self.history.push(stat);
         Ok(stat)

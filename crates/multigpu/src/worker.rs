@@ -50,10 +50,6 @@ pub struct GpuWorker {
     /// The ϕ write replica (this iteration's local counts). `None` when
     /// `read_phi` is.
     pub write_phi: Option<PhiModel>,
-    /// The rows this iteration's ϕ updates touched (feeds the sparse Δϕ
-    /// sync; cleared with the write replica at the top of every plan).
-    /// `None` exactly when the replicas are.
-    pub delta: Option<PhiDelta>,
     /// This GPU's own phase account (per-GPU Table 5 attribution).
     pub breakdown: Breakdown,
     /// False once the worker exhausted its retry budget on a permanent
@@ -65,7 +61,6 @@ pub struct GpuWorker {
 impl GpuWorker {
     /// A worker with its ϕ replica pair and no chunks yet.
     pub fn new(device: Device, read_phi: PhiModel, write_phi: PhiModel) -> Self {
-        let delta = PhiDelta::new(read_phi.vocab_size);
         Self {
             device,
             chunk_ids: Vec::new(),
@@ -73,7 +68,6 @@ impl GpuWorker {
             block_maps: Vec::new(),
             read_phi: Some(read_phi),
             write_phi: Some(write_phi),
-            delta: Some(delta),
             breakdown: Breakdown::new(),
             alive: true,
         }
@@ -90,7 +84,6 @@ impl GpuWorker {
             block_maps: Vec::new(),
             read_phi: None,
             write_phi: None,
-            delta: None,
             breakdown: Breakdown::new(),
             alive: true,
         }
@@ -110,6 +103,18 @@ impl GpuWorker {
     /// Panics on a replica-less worker (see [`Self::without_replicas`]).
     pub fn write_replica(&self) -> &PhiModel {
         self.write_phi.as_ref().expect("worker has no ϕ replicas")
+    }
+
+    /// The rows this iteration's ϕ updates touched — the write replica's
+    /// own dirty bitmap (feeds the sparse Δϕ sync). Because it lives
+    /// *inside* the replica's count storage and resets with the replica
+    /// clear at the top of every plan, it can never disagree with the
+    /// counts after a retried iteration.
+    ///
+    /// # Panics
+    /// Panics on a replica-less worker (see [`Self::without_replicas`]).
+    pub fn delta(&self) -> &PhiDelta {
+        self.write_replica().phi.dirty()
     }
 
     /// Assigns a chunk (by global id) to this worker.
@@ -189,8 +194,9 @@ impl GpuWorker {
         plan: IterationPlan,
         iteration: u32,
         host_link: &Link,
+        sparse: bool,
     ) -> PlanReport {
-        self.try_run_iteration(part, cfg, plan, iteration, host_link)
+        self.try_run_iteration(part, cfg, plan, iteration, host_link, sparse)
             .unwrap_or_else(|f| panic!("unrecoverable simulated fault: {f}"))
     }
 
@@ -205,6 +211,7 @@ impl GpuWorker {
         plan: IterationPlan,
         iteration: u32,
         host_link: &Link,
+        sparse: bool,
     ) -> Result<PlanReport, SimFault> {
         let out_of_core = plan.is_out_of_core();
         // Out-of-core iterations stage chunk state over the host link; an
@@ -218,6 +225,9 @@ impl GpuWorker {
         let read_phi = self.read_phi.as_ref().expect("worker has no ϕ replicas");
         let write_phi = self.write_phi.as_ref().expect("worker has no ϕ replicas");
         let kernels = KernelSet::new(&self.device);
+        // One per-iteration sparsity decision drives both the sampling
+        // kernel's p* fill and the replica clear's traffic model.
+        let plan = plan.with_sparse(sparse);
         let mut tasks: Vec<ChunkTask<'_>> = self
             .states
             .iter_mut()
@@ -245,19 +255,14 @@ impl GpuWorker {
                         compressed: cfg.compressed,
                         use_shared_memory: cfg.use_shared_memory,
                         use_l1_for_indices: cfg.use_l1_for_indices,
+                        sparse,
                     },
                     h2d_seconds,
                     d2h_seconds,
                 }
             })
             .collect();
-        let report = plan.try_execute(
-            &kernels,
-            read_phi,
-            write_phi,
-            &mut tasks,
-            self.delta.as_ref(),
-        )?;
+        let report = plan.try_execute(&kernels, read_phi, write_phi, &mut tasks)?;
         self.breakdown.add(Phase::Sampling, report.sampling_seconds);
         self.breakdown.add(Phase::UpdatePhi, report.phi_seconds);
         self.breakdown.add(Phase::UpdateTheta, report.theta_seconds);
@@ -282,6 +287,7 @@ impl GpuWorker {
         part: &PartitionedCorpus,
         cfg: &TrainerConfig,
         iteration: u32,
+        sparse: bool,
     ) -> Result<PlanReport, SimFault> {
         let read_phi = self.read_phi.as_ref().expect("worker has no ϕ replicas");
         let write_phi = self.write_phi.as_ref().expect("worker has no ϕ replicas");
@@ -300,6 +306,7 @@ impl GpuWorker {
                     compressed: cfg.compressed,
                     use_shared_memory: cfg.use_shared_memory,
                     use_l1_for_indices: cfg.use_l1_for_indices,
+                    sparse,
                 };
                 let r = kernels.try_sample(
                     &part.chunks[gi],
@@ -311,14 +318,8 @@ impl GpuWorker {
                 )?;
                 out.sampling_seconds += r.sim_seconds;
                 // Rebalanced chunks fold on top of the survivor's own
-                // counts — no clear; delta rows OR-accumulate the same way.
-                let r = kernels.try_update_phi(
-                    &part.chunks[gi],
-                    state,
-                    write_phi,
-                    block_map,
-                    self.delta.as_ref(),
-                )?;
+                // counts — no clear; dirty rows OR-accumulate the same way.
+                let r = kernels.try_update_phi(&part.chunks[gi], state, write_phi, block_map)?;
                 out.phi_seconds += r.sim_seconds;
             }
             let r = kernels.try_update_theta(&part.chunks[gi], state, cfg.num_topics)?;
@@ -531,19 +532,16 @@ mod tests {
                 compressed: cfg.compressed,
                 use_shared_memory: cfg.use_shared_memory,
                 use_l1_for_indices: cfg.use_l1_for_indices,
+                sparse: false,
             },
             h2d_seconds: 0.0,
             d2h_seconds: 0.0,
         }];
-        // The worker tracks a Δϕ; the reference must too, or the extra
-        // per-block atomicOr skews the modelled clocks apart.
-        let ref_delta = culda_sampler::PhiDelta::new(part.vocab_size);
         IterationPlan::resident(cfg.num_topics).execute(
             &KernelSet::new(&ref_dev),
             &read,
             &ref_write,
             &mut tasks,
-            Some(&ref_delta),
         );
 
         // The same iteration through a worker.
@@ -560,6 +558,7 @@ mod tests {
             IterationPlan::resident(cfg.num_topics),
             0,
             &Link::pcie3(),
+            false,
         );
         assert_eq!(w.states[0].z.snapshot(), ref_state.z.snapshot());
         assert_eq!(w.write_replica().phi.snapshot(), ref_write.phi.snapshot());

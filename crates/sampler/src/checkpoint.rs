@@ -62,19 +62,16 @@ pub fn save_phi<W: Write>(phi: &PhiModel, mut out: W) -> io::Result<()> {
     for k in 0..phi.num_topics {
         write_u32(&mut out, phi.phi_sum.load(k))?;
     }
-    // Non-zero entries.
-    let mut nnz = 0u64;
-    for i in 0..phi.phi.len() {
-        if phi.phi.load(i) != 0 {
-            nnz += 1;
-        }
-    }
+    // Non-zero entries, walked row-wise through the hybrid layout (nnz is
+    // tracked exactly per row; sparse tail rows hand their cells straight
+    // out). Ascending rows × ascending topics is ascending flat order, so
+    // the byte stream is identical to the historical dense scan.
+    let nnz: u64 = (0..phi.vocab_size).map(|v| phi.phi.row_nnz(v) as u64).sum();
     write_u64(&mut out, nnz)?;
-    for i in 0..phi.phi.len() {
-        let v = phi.phi.load(i);
-        if v != 0 {
-            write_u64(&mut out, i as u64)?;
-            write_u32(&mut out, v)?;
+    for v in 0..phi.vocab_size {
+        for (t, c) in phi.phi.row_nonzeros(v) {
+            write_u64(&mut out, (v * phi.num_topics + t as usize) as u64)?;
+            write_u32(&mut out, c)?;
         }
     }
     Ok(())
@@ -135,7 +132,9 @@ pub fn load_phi<R: Read>(mut input: R) -> io::Result<PhiModel> {
         if val == 0 {
             return Err(invalid("stored zero entry"));
         }
-        phi.phi.store(idx, val);
+        // Row/column insert: rows past the storage cutover densify as the
+        // entries stream in, exactly as they would during training.
+        phi.phi.set(idx / k, idx % k, val);
         actual_sums[idx % k] += val as u64;
     }
     if actual_sums != declared_sums {

@@ -143,11 +143,14 @@ fn fold_in_doc(
         for (i, &w) in doc.words.iter().enumerate() {
             let old = z[i] as usize;
             theta[old] -= 1;
-            let base = w as usize * k;
+            // Read the frozen ϕ row through the hybrid layout (dense head
+            // rows load directly; sparse tail rows binary-search their
+            // cells). The arithmetic is unchanged, so posteriors are
+            // bit-identical to the flat-indexed implementation.
+            let row = w as usize;
             for (t, slot) in weights.iter_mut().enumerate() {
-                *slot = (theta[t] as f32 + alpha)
-                    * (phi.phi.load(base + t) as f32 + beta)
-                    * inv_denom[t];
+                *slot =
+                    (theta[t] as f32 + alpha) * (phi.phi.get(row, t) as f32 + beta) * inv_denom[t];
             }
             tree.rebuild(&weights);
             let u = rng.next_f32();
@@ -213,10 +216,9 @@ fn log_predictive(phi: &PhiModel, inv_denom: &[f32], words: &[u32], acc: &[u64],
         .collect();
     let mut ll = 0.0;
     for &w in words {
-        let base = w as usize * k;
         let mut p = 0.0f64;
         for (t, &th) in theta_hat.iter().enumerate() {
-            p += th * (phi.phi.load(base + t) as f64 + beta) * inv_denom[t] as f64;
+            p += th * (phi.phi.get(w as usize, t) as f64 + beta) * inv_denom[t] as f64;
         }
         ll += p.max(f64::MIN_POSITIVE).ln();
     }

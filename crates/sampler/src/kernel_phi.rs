@@ -13,7 +13,6 @@
 //! summed by the Figure 4 reduce afterwards.
 
 use crate::blockmap::BlockWork;
-use crate::delta::PhiDelta;
 use crate::model::{ChunkState, PhiModel};
 use culda_corpus::SortedChunk;
 use culda_gpusim::{BlockCtx, Device, KernelSpec, LaunchPhase, LaunchReport, SimFault};
@@ -22,29 +21,55 @@ use culda_gpusim::{BlockCtx, Device, KernelSpec, LaunchPhase, LaunchReport, SimF
 ///
 /// Panics on a simulated fault; resilient callers use
 /// [`try_run_phi_clear_kernel`].
-pub fn run_phi_clear_kernel(device: &Device, phi: &PhiModel) -> LaunchReport {
-    try_run_phi_clear_kernel(device, phi)
+pub fn run_phi_clear_kernel(device: &Device, phi: &PhiModel, sparse: bool) -> LaunchReport {
+    try_run_phi_clear_kernel(device, phi, sparse)
         .unwrap_or_else(|f| panic!("unrecoverable simulated fault: {f}"))
 }
 
 /// Fallible ϕ clear launch. Idempotent (a memset), so retry is a re-run.
-pub fn try_run_phi_clear_kernel(device: &Device, phi: &PhiModel) -> Result<LaunchReport, SimFault> {
+///
+/// Block 0 performs the whole logical clear through [`PhiModel::clear`] —
+/// one operation that zeroes the counts, demotes every hybrid row back to
+/// its sparse layout, *and* resets the dirty-row marks, so the Δϕ
+/// touched-row set can never survive a retried iteration.
+///
+/// The modelled traffic follows the layout the clear actually touches.
+/// Dense mode (`sparse = false`, the paper's `cudaMemset`) writes all
+/// `V·K + K` cells. Sparse mode clears the hybrid layout in place: dense
+/// head rows are memset (`K` cells each), a CSR tail row only resets its
+/// length word (its cell arrays are dropped, not rewritten), and the `K`
+/// column sums are always memset. The sparse charge is clamped to never
+/// exceed the dense one, so under the roofline the sparse clear never
+/// models more time — the result of the clear is identical either way.
+pub fn try_run_phi_clear_kernel(
+    device: &Device,
+    phi: &PhiModel,
+    sparse: bool,
+) -> Result<LaunchReport, SimFault> {
     let cells = phi.phi.len() + phi.phi_sum.len();
+    let dense_bytes = cells as u64 * 4;
+    let bytes = if sparse {
+        let (dense_rows, sparse_rows, _) = phi.phi.format_census();
+        let hybrid = (dense_rows as u64 * phi.num_topics as u64
+            + sparse_rows as u64
+            + phi.phi_sum.len() as u64)
+            * 4;
+        hybrid.min(dense_bytes)
+    } else {
+        dense_bytes
+    };
     // 256 threads × 4 cells per thread per block is a typical memset grid;
-    // the traffic is what matters: one u32 store per cell.
-    let blocks = (cells as u32).div_ceil(1024).max(1);
-    let spec = KernelSpec::new("phi_clear", blocks).with_phase(LaunchPhase::PhiUpdate);
+    // the traffic is what matters: one u32 store per (touched) cell.
+    let blocks = (cells as u32).div_ceil(1024).max(1) as u64;
+    let spec = KernelSpec::new("phi_clear", blocks as u32).with_phase(LaunchPhase::PhiUpdate);
     device.try_launch_spec(spec, |ctx: &mut BlockCtx| {
-        let start = ctx.block_id as usize * 1024;
-        let end = (start + 1024).min(cells);
-        for i in start..end {
-            if i < phi.phi.len() {
-                phi.phi.store(i, 0);
-            } else {
-                phi.phi_sum.store(i - phi.phi.len(), 0);
-            }
+        if ctx.block_id == 0 {
+            phi.clear();
         }
-        ctx.dram_write((end - start) * 4);
+        // Each block charges its share of the write traffic; the shares
+        // telescope so the launch total is exactly `bytes`.
+        let b = ctx.block_id as u64;
+        ctx.dram_write((bytes * (b + 1) / blocks - bytes * b / blocks) as usize);
     })
 }
 
@@ -58,9 +83,8 @@ pub fn run_phi_update_kernel(
     state: &ChunkState,
     phi: &PhiModel,
     block_map: &[BlockWork],
-    delta: Option<&PhiDelta>,
 ) -> LaunchReport {
-    try_run_phi_update_kernel(device, chunk, state, phi, block_map, delta)
+    try_run_phi_update_kernel(device, chunk, state, phi, block_map)
         .unwrap_or_else(|f| panic!("unrecoverable simulated fault: {f}"))
 }
 
@@ -68,17 +92,20 @@ pub fn run_phi_update_kernel(
 /// adds double-count on a blind re-run) — recovery re-runs the whole
 /// iteration body starting from the clear.
 ///
-/// When `delta` is given, each block additionally marks the single ϕ row
-/// it writes in the touched-row bitmap (one extra `atomicOr` per block —
-/// negligible next to the per-token atomics). The marked rows are what
-/// the sparse Δϕ synchronization later encodes and ships.
+/// Each block marks the single ϕ row it writes in the [`CountMatrix`]
+/// dirty bitmap (one extra `atomicOr` per block — negligible next to the
+/// per-token atomics). The sparse Δϕ synchronization encodes its payload
+/// from those marks, and because the bitmap lives *inside* the count
+/// storage and resets with it, the two can never disagree after a retried
+/// iteration.
+///
+/// [`CountMatrix`]: crate::count::CountMatrix
 pub fn try_run_phi_update_kernel(
     device: &Device,
     chunk: &SortedChunk,
     state: &ChunkState,
     phi: &PhiModel,
     block_map: &[BlockWork],
-    delta: Option<&PhiDelta>,
 ) -> Result<LaunchReport, SimFault> {
     assert_eq!(state.z.len(), chunk.num_tokens(), "z/chunk mismatch");
     let k = phi.num_topics;
@@ -87,11 +114,10 @@ pub fn try_run_phi_update_kernel(
     device.try_launch_spec(spec, |ctx: &mut BlockCtx| {
         let work = &block_map[ctx.block_id as usize];
         let word = chunk.word_ids[work.word_idx] as usize;
-        let base = word * k;
         for t in work.tokens.clone() {
             let topic = state.z.load(t) as usize;
             debug_assert!(topic < k, "assignment out of range");
-            phi.phi.fetch_add(base + topic, 1);
+            phi.phi.add(word, topic, 1);
             phi.phi_sum.fetch_add(topic, 1);
         }
         // Per token: read z (2 B), two atomic read-modify-writes.
@@ -99,10 +125,8 @@ pub fn try_run_phi_update_kernel(
         ctx.dram_read(n * 2);
         ctx.atomic(2 * n);
         ctx.dram_write(n * 8); // atomics dirty one ϕ and one sum cell each
-        if let Some(d) = delta {
-            d.mark_row(word);
-            ctx.atomic(1); // one atomicOr into the row bitmap per block
-        }
+        phi.phi.mark_dirty(word);
+        ctx.atomic(1); // one atomicOr into the row bitmap per block
     })
 }
 
@@ -132,8 +156,8 @@ mod tests {
 
         let dev = Device::new(0, GpuSpec::titan_x_maxwell()).with_workers(4);
         let map = build_block_map(&chunk, 64);
-        run_phi_clear_kernel(&dev, &kernel_phi);
-        run_phi_update_kernel(&dev, &chunk, &state, &kernel_phi, &map, None);
+        run_phi_clear_kernel(&dev, &kernel_phi, false);
+        run_phi_update_kernel(&dev, &chunk, &state, &kernel_phi, &map);
 
         assert_eq!(kernel_phi.phi.snapshot(), oracle_phi.phi.snapshot());
         assert_eq!(kernel_phi.phi_sum.snapshot(), oracle_phi.phi_sum.snapshot());
@@ -141,23 +165,27 @@ mod tests {
     }
 
     #[test]
-    fn delta_marks_exactly_the_touched_rows() {
+    fn dirty_marks_exactly_the_touched_rows_and_reset_with_the_clear() {
         let (chunk, state) = setup();
         let phi = PhiModel::zeros(8, 500, Priors::paper(8));
-        let delta = PhiDelta::new(500);
         let dev = Device::new(0, GpuSpec::titan_x_maxwell()).with_workers(4);
         let map = build_block_map(&chunk, 64);
-        run_phi_clear_kernel(&dev, &phi);
-        run_phi_update_kernel(&dev, &chunk, &state, &phi, &map, Some(&delta));
+        run_phi_clear_kernel(&dev, &phi, false);
+        run_phi_update_kernel(&dev, &chunk, &state, &phi, &map);
 
         // Every nonzero ϕ row is marked, and every marked row is nonzero
         // (word-sorted chunks touch exactly the rows of their words).
-        let k = phi.num_topics;
         for v in 0..500 {
-            let row_nonzero = (0..k).any(|t| phi.phi.load(v * k + t) > 0);
-            assert_eq!(delta.is_marked(v), row_nonzero, "row {v}");
+            let row_nonzero = phi.phi.row_nnz(v) > 0;
+            assert_eq!(phi.phi.dirty().is_marked(v), row_nonzero, "row {v}");
         }
-        assert!(delta.count() > 0);
+        assert!(phi.phi.dirty().count() > 0);
+
+        // A retried iteration re-runs from the clear: counts and marks
+        // reset together because they are one object.
+        run_phi_clear_kernel(&dev, &phi, false);
+        assert_eq!(phi.phi.dirty().count(), 0);
+        assert_eq!(phi.phi.total_nnz(), 0);
     }
 
     #[test]
@@ -166,9 +194,38 @@ mod tests {
         phi.phi.store(13, 99);
         phi.phi_sum.store(2, 7);
         let dev = Device::new(0, GpuSpec::v100_volta());
-        run_phi_clear_kernel(&dev, &phi);
+        run_phi_clear_kernel(&dev, &phi, false);
         assert!(phi.phi.snapshot().iter().all(|&v| v == 0));
         assert!(phi.phi_sum.snapshot().iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn sparse_clear_charges_less_on_a_tail_heavy_replica() {
+        // 500 rows × 1024 topics, every row holding a handful of CSR
+        // cells: the hybrid clear resets row lengths instead of memsetting
+        // K cells per row, so its modelled writes collapse.
+        let k = 1024;
+        let phi = PhiModel::zeros(k, 500, Priors::paper(k));
+        for v in 0..500 {
+            phi.phi.add(v, v % k, 3);
+            phi.phi_sum.fetch_add(v % k, 3);
+        }
+        let dev_a = Device::new(0, GpuSpec::titan_x_maxwell());
+        let dense = run_phi_clear_kernel(&dev_a, &phi, false);
+        for v in 0..500 {
+            phi.phi.add(v, v % k, 3);
+        }
+        let dev_b = Device::new(0, GpuSpec::titan_x_maxwell());
+        let sparse = run_phi_clear_kernel(&dev_b, &phi, true);
+        assert!(phi.phi.snapshot().iter().all(|&c| c == 0), "must clear");
+        assert_eq!(phi.phi.dirty().count(), 0, "marks must reset");
+        assert!(
+            sparse.cost.dram_write_bytes * 10 < dense.cost.dram_write_bytes,
+            "sparse clear wrote {} bytes, dense {}",
+            sparse.cost.dram_write_bytes,
+            dense.cost.dram_write_bytes
+        );
+        assert!(sparse.sim_seconds <= dense.sim_seconds);
     }
 
     #[test]
@@ -181,7 +238,7 @@ mod tests {
             let phi = PhiModel::zeros(8, 500, Priors::paper(8));
             let dev = Device::new(0, GpuSpec::titan_xp_pascal()).with_workers(workers);
             let map = build_block_map(&chunk, tpb);
-            run_phi_update_kernel(&dev, &chunk, &state, &phi, &map, None);
+            run_phi_update_kernel(&dev, &chunk, &state, &phi, &map);
             totals.push(phi.phi.snapshot());
         }
         assert_eq!(totals[0], totals[1]);
@@ -193,7 +250,11 @@ mod tests {
         let phi = PhiModel::zeros(8, 500, Priors::paper(8));
         let dev = Device::new(0, GpuSpec::titan_x_maxwell());
         let map = build_block_map(&chunk, 64);
-        let r = run_phi_update_kernel(&dev, &chunk, &state, &phi, &map, None);
-        assert_eq!(r.cost.atomics, 2 * chunk.num_tokens() as u64);
+        let r = run_phi_update_kernel(&dev, &chunk, &state, &phi, &map);
+        // Two atomics per token plus one row-bitmap atomicOr per block.
+        assert_eq!(
+            r.cost.atomics,
+            2 * chunk.num_tokens() as u64 + map.len() as u64
+        );
     }
 }

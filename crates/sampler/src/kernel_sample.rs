@@ -46,6 +46,12 @@ pub struct SampleConfig {
     /// ("we let the sparse matrix index access instructions to use the L1
     /// cache"). When false they are plain coalesced DRAM loads (ablation).
     pub use_l1_for_indices: bool,
+    /// Whether the block-shared `p*(k)` phase uses the sparsity-aware
+    /// bucket decomposition: tail rows under the cutover stream only their
+    /// CSR cells and patch the iteration-constant β-baseline, so per-block
+    /// work scales with `nnz(row)` instead of `K`. Pure cost-model choice —
+    /// sampled topics are bit-identical either way (`--sampling-mode`).
+    pub sparse: bool,
 }
 
 impl SampleConfig {
@@ -58,6 +64,7 @@ impl SampleConfig {
             compressed: true,
             use_shared_memory: true,
             use_l1_for_indices: true,
+            sparse: false,
         }
     }
 
@@ -159,16 +166,27 @@ pub fn try_run_sampling_kernel(
         } else {
             vec![0.0f32; k]
         };
-        // ϕ column load + p* compute: read K ϕ entries + K inv_denoms.
-        ctx.dram_read(k * phi_elem_bytes + k * 4);
-        ctx.flop(2 * k);
-        let base = word * k;
-        for (t, slot) in pstar.iter_mut().enumerate() {
-            *slot = (phi.phi.load(base + t) as f32 + beta) * inv_denom[t];
-        }
+        // ϕ row load + p* compute + tree build. The numbers are identical
+        // on both paths (the hybrid layout's smoothed read is bit-exact);
+        // only the *modelled* traffic depends on `cfg.sparse`: the dense
+        // path streams all K ϕ entries, the sparse path streams only the
+        // row's CSR cells and patches the iteration-constant β-baseline.
+        let row_nnz = phi.phi.row_nnz(word);
+        phi.phi.fill_smoothed(word, beta, inv_denom, &mut pstar);
         // Build the shared p*(k) tree (prefix + upper levels).
         let block_tree = IndexTree::build(&pstar, DEFAULT_FANOUT);
-        ctx.flop(k); // prefix-sum adds
+        let tree_bytes = block_tree.leaf_bytes() + block_tree.shared_bytes();
+        let pstar_cost = crate::count::pstar_block_cost(
+            k,
+            row_nnz,
+            phi_elem_bytes,
+            tree_bytes,
+            block_tree.depth(),
+            shared_ok,
+            cfg.sparse,
+        );
+        ctx.dram_read(pstar_cost.dram_read);
+        ctx.flop(pstar_cost.flops);
 
         // Metric handles resolved once per block; `None` costs one branch
         // per token below. Recording never touches traffic counters, so
@@ -184,13 +202,12 @@ pub fn try_run_sampling_kernel(
         }
         if shared_ok {
             // Prefix leaves + upper nodes written to shared memory.
-            let tree_bytes = block_tree.leaf_bytes() + block_tree.shared_bytes();
             let _tree_shared = ctx
                 .shared
                 .alloc::<u8>(tree_bytes.min(ctx.shared.available()));
-            ctx.shared_access(k * 4 + tree_bytes);
+            ctx.shared_access(pstar_cost.shared);
         } else {
-            ctx.dram_write(k * 4);
+            ctx.dram_write(pstar_cost.dram_write);
         }
 
         // --- Per-sampler phase --------------------------------------------
@@ -304,10 +321,8 @@ pub fn sample_chunk_reference(
     let mut out = vec![0u16; chunk.num_tokens()];
     let mut pstar = vec![0.0f32; k];
     for (wi, &w) in chunk.word_ids.iter().enumerate() {
-        let base = w as usize * k;
-        for (t, slot) in pstar.iter_mut().enumerate() {
-            *slot = (phi.phi.load(base + t) as f32 + beta) * inv_denom[t];
-        }
+        phi.phi
+            .fill_smoothed(w as usize, beta, inv_denom, &mut pstar);
         let block_tree = IndexTree::build(&pstar, DEFAULT_FANOUT);
         let mut p1_tree = IndexTree::build(&[1.0f32], DEFAULT_FANOUT);
         let mut weights = Vec::new();
@@ -509,6 +524,80 @@ mod tests {
             reg.counter("sampler.p1_draws").value() + reg.counter("sampler.p2_draws").value();
         assert_eq!(draws as usize, chunk.num_tokens());
         assert!(reg.histogram("sampler.tree_depth").count() > 0);
+    }
+
+    #[test]
+    fn sparse_mode_is_bit_identical_and_never_models_more_time() {
+        let (chunk, state, phi) = setup();
+        let inv = phi.inv_denominators();
+        let map = build_block_map(&chunk, 256);
+        for (use_shared, use_l1) in [(true, true), (false, true), (true, false)] {
+            let mut cfg = SampleConfig::new(77);
+            cfg.use_shared_memory = use_shared;
+            cfg.use_l1_for_indices = use_l1;
+            let dense_z;
+            let dense_report;
+            {
+                let fresh = ChunkState {
+                    z: culda_gpusim::memory::AtomicU16Buf::from_vec(state.z.snapshot()),
+                    theta: state.theta.clone(),
+                };
+                let dev = Device::new(0, GpuSpec::titan_x_maxwell());
+                dense_report = run_sampling_kernel(&dev, &chunk, &fresh, &phi, &inv, &map, &cfg);
+                dense_z = fresh.z.snapshot();
+            }
+            cfg.sparse = true;
+            let fresh = ChunkState {
+                z: culda_gpusim::memory::AtomicU16Buf::from_vec(state.z.snapshot()),
+                theta: state.theta.clone(),
+            };
+            let dev = Device::new(0, GpuSpec::titan_x_maxwell());
+            let sparse_report = run_sampling_kernel(&dev, &chunk, &fresh, &phi, &inv, &map, &cfg);
+            assert_eq!(
+                fresh.z.snapshot(),
+                dense_z,
+                "sparse mode changed assignments (shared={use_shared}, l1={use_l1})"
+            );
+            assert!(
+                sparse_report.sim_seconds <= dense_report.sim_seconds,
+                "sparse modelled more time than dense (shared={use_shared}, l1={use_l1})"
+            );
+            assert!(sparse_report.cost.dram_read_bytes <= dense_report.cost.dram_read_bytes);
+        }
+    }
+
+    #[test]
+    fn sparse_mode_cuts_phi_traffic_on_a_tail_heavy_model() {
+        // A converged-looking ϕ: every word concentrated in 2 topics out
+        // of 1024. Sparse-mode blocks stream CSR cells instead of K-wide
+        // rows, so the modelled ϕ bytes collapse.
+        let corpus = {
+            let mut spec = SynthSpec::tiny();
+            spec.num_docs = 40;
+            spec.vocab_size = 80;
+            spec.avg_doc_len = 15.0;
+            spec.generate()
+        };
+        let chunks = partition_by_tokens(&corpus, 1);
+        let chunk = SortedChunk::build(&corpus, &chunks[0]);
+        let k = 1024;
+        let state = ChunkState::init_random(&chunk, 2, 11); // topics 0/1 only
+        let phi = PhiModel::zeros(k, corpus.vocab_size(), Priors::paper(k));
+        accumulate_phi_host(&chunk, &state.z, &phi);
+        let inv = phi.inv_denominators();
+        let map = build_block_map(&chunk, 256);
+        let mut cfg = SampleConfig::new(5);
+        let dev_a = Device::new(0, GpuSpec::titan_x_maxwell());
+        let dense = run_sampling_kernel(&dev_a, &chunk, &state, &phi, &inv, &map, &cfg);
+        cfg.sparse = true;
+        let dev_b = Device::new(0, GpuSpec::titan_x_maxwell());
+        let sparse = run_sampling_kernel(&dev_b, &chunk, &state, &phi, &inv, &map, &cfg);
+        assert!(
+            sparse.cost.dram_read_bytes * 2 < dense.cost.dram_read_bytes,
+            "sparse {} vs dense {} DRAM bytes — wanted ≥2× cut",
+            sparse.cost.dram_read_bytes,
+            dense.cost.dram_read_bytes
+        );
     }
 
     #[test]

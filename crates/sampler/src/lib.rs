@@ -4,8 +4,11 @@
 //! kernels (Sections 5–6), running on the `culda-gpusim` substrate.
 //!
 //! * [`hyper`] — priors (`α = 50/K`, `β = 0.01`).
-//! * [`model`] — ϕ (dense, word-major, atomic) and per-chunk θ (CSR, u16) +
-//!   assignments `z` (u16), with host-side oracles for both update kernels.
+//! * [`count`] — [`CountMatrix`], the hybrid dense/CSR count storage with
+//!   the per-row format argmin and the sparse-sampling cost model.
+//! * [`model`] — ϕ (hybrid sparse/dense, word-major) and per-chunk θ (CSR,
+//!   u16) + assignments `z` (u16), with host-side oracles for both update
+//!   kernels.
 //! * [`ptree`] — the Figure 5 N-ary prefix-sum index tree (fanout 32).
 //! * [`spq`] — the Eq. 6–8 sparsity-aware S/Q decomposition with `p*(k)`
 //!   sub-expression reuse, plus scalar reference samplers.
@@ -28,6 +31,7 @@
 
 pub mod blockmap;
 pub mod checkpoint;
+pub mod count;
 pub mod delta;
 pub mod dense;
 pub mod hyper;
@@ -45,6 +49,10 @@ pub mod validate;
 
 pub use blockmap::{auto_tokens_per_block, build_block_map, BlockWork, SAMPLERS_PER_BLOCK};
 pub use checkpoint::{load_phi, save_phi};
+pub use count::{
+    choose_sparse_sampling, dense_cutover, pstar_block_cost, row_encoding, sparse_sampling_cutover,
+    CountMatrix, PstarCost, RowFormat,
+};
 pub use delta::PhiDelta;
 pub use dense::DenseCgs;
 pub use hyper::Priors;

@@ -1,17 +1,20 @@
 //! LDA model state: the topic–word matrix ϕ, its column sums, and the
 //! per-chunk document–topic matrix θ plus topic assignments `z`.
 //!
-//! Layout decisions follow the paper:
+//! Layout decisions follow the paper, with one upgrade from the
+//! sparsity-aware lineage (SaberLDA, EZLDA):
 //!
-//! * **ϕ is dense**, `u32` counters mutated with device atomics
-//!   (Section 6.2). We store it *word-major* (`phi[v·K + k]`) because every
-//!   sampler access pattern is "all topics of one word" — the `p*(k)`
-//!   computation streams a contiguous column.
+//! * **ϕ is a hybrid sparse/dense [`CountMatrix`]**, word-major: hot
+//!   Zipf-head rows live in dense `u32` slabs (the paper's Section 6.2
+//!   layout), near-empty tail rows in sorted CSR cell lists. Every access
+//!   pattern is "all topics of one word", so a row is the unit of storage,
+//!   of dirty tracking, and of the sparse-sampling cost model.
 //! * **θ is CSR with u16 column indices** (Sections 3, 6.1.3): a chunk's θ
 //!   replica is rebuilt from scratch by the update kernel each iteration.
 //! * **`z` is u16 per token** (precision compression, `K < 2¹⁶`), stored in
 //!   the word-sorted chunk order.
 
+use crate::count::CountMatrix;
 use crate::hyper::Priors;
 use culda_corpus::{CsrMatrix, SortedChunk, Xoshiro256};
 use culda_gpusim::memory::{AtomicU16Buf, AtomicU32Buf};
@@ -76,7 +79,7 @@ impl LdaModel for PhiModel {
     }
 
     fn phi_count(&self, word: usize, topic: usize) -> u32 {
-        self.phi.load(self.phi_index(word, topic))
+        self.phi.get(word, topic)
     }
 
     fn topic_total(&self, topic: usize) -> u32 {
@@ -93,8 +96,9 @@ pub struct PhiModel {
     pub vocab_size: usize,
     /// Hyper-parameters.
     pub priors: Priors,
-    /// Word-major dense counts: `phi[v*K + k] = ϕ_{k,v}`.
-    pub phi: AtomicU32Buf,
+    /// Word-major hybrid counts: row `v` holds `ϕ_{·,v}`; flat index
+    /// `v*K + k` addresses `ϕ_{k,v}` through the compatibility shims.
+    pub phi: CountMatrix,
     /// `phi_sum[k] = n_k = Σ_v ϕ_{k,v}`.
     pub phi_sum: AtomicU32Buf,
 }
@@ -115,7 +119,7 @@ impl PhiModel {
             num_topics,
             vocab_size,
             priors,
-            phi: AtomicU32Buf::zeros(num_topics * vocab_size),
+            phi: CountMatrix::zeros(vocab_size, num_topics),
             phi_sum: AtomicU32Buf::zeros(num_topics),
         }
     }
@@ -126,17 +130,20 @@ impl PhiModel {
         v * self.num_topics + k
     }
 
-    /// Device memory footprint in bytes (ϕ as u32 + sums), used for the
-    /// capacity planning in the scheduler.
+    /// Device memory footprint in bytes, used for the capacity planning in
+    /// the scheduler. Charged at dense capacity (`V·K·4` + sums): the
+    /// hybrid layout must be able to hold a fully dense model, and keeping
+    /// the reservation layout-independent keeps the resident/out-of-core
+    /// decision deterministic.
     pub fn device_bytes(&self) -> u64 {
         (self.phi.len() * 4 + self.phi_sum.len() * 4) as u64
     }
 
-    /// Zeroes ϕ and its sums (start of a rebuild).
+    /// Zeroes ϕ and its sums (start of a rebuild). Also resets the
+    /// dirty-row marks — the touched-row set and the counts always reset
+    /// together, so a retried iteration cannot desynchronize them.
     pub fn clear(&self) {
-        for i in 0..self.phi.len() {
-            self.phi.store(i, 0);
-        }
+        self.phi.clear();
         for k in 0..self.phi_sum.len() {
             self.phi_sum.store(k, 0);
         }
@@ -154,9 +161,7 @@ impl PhiModel {
     /// Copies another replica's contents into this one (broadcast step).
     pub fn copy_from(&self, other: &PhiModel) {
         assert_eq!(self.phi.len(), other.phi.len(), "replica shape mismatch");
-        for i in 0..self.phi.len() {
-            self.phi.store(i, other.phi.load(i));
-        }
+        self.phi.copy_from(&other.phi);
         for k in 0..self.phi_sum.len() {
             self.phi_sum.store(k, other.phi_sum.load(k));
         }
@@ -165,12 +170,7 @@ impl PhiModel {
     /// Adds another replica into this one (reduce step: `ϕ += ϕ_other`).
     pub fn add_from(&self, other: &PhiModel) {
         assert_eq!(self.phi.len(), other.phi.len(), "replica shape mismatch");
-        for i in 0..self.phi.len() {
-            let v = other.phi.load(i);
-            if v != 0 {
-                self.phi.fetch_add(i, v);
-            }
-        }
+        self.phi.add_from(&other.phi);
         for k in 0..self.phi_sum.len() {
             let v = other.phi_sum.load(k);
             if v != 0 {
@@ -184,8 +184,8 @@ impl PhiModel {
         let k = self.num_topics;
         let mut totals = vec![0u64; k];
         for v in 0..self.vocab_size {
-            for (t, total) in totals.iter_mut().enumerate() {
-                *total += self.phi.load(self.phi_index(v, t)) as u64;
+            for (t, c) in self.phi.row_nonzeros(v) {
+                totals[t as usize] += c as u64;
             }
         }
         for (t, &sum) in totals.iter().enumerate() {
@@ -201,7 +201,7 @@ impl PhiModel {
     /// Top `n` words of topic `k` by count (for the example binaries).
     pub fn top_words(&self, k: usize, n: usize) -> Vec<(u32, u32)> {
         let mut counts: Vec<(u32, u32)> = (0..self.vocab_size)
-            .map(|v| (v as u32, self.phi.load(self.phi_index(v, k))))
+            .map(|v| (v as u32, self.phi.get(v, k)))
             .filter(|&(_, c)| c > 0)
             .collect();
         counts.sort_by_key(|&(v, c)| (std::cmp::Reverse(c), v));
@@ -262,7 +262,7 @@ pub fn accumulate_phi_host(chunk: &SortedChunk, z: &AtomicU16Buf, phi: &PhiModel
     for (i, &w) in chunk.word_ids.iter().enumerate() {
         for t in chunk.word_tokens(i) {
             let k = z.load(t) as usize;
-            phi.phi.fetch_add(phi.phi_index(w as usize, k), 1);
+            phi.phi.add(w as usize, k, 1);
             phi.phi_sum.fetch_add(k, 1);
         }
     }

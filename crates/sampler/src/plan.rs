@@ -15,7 +15,6 @@
 //! constructor choice, not a fork in its iteration loop.
 
 use crate::blockmap::BlockWork;
-use crate::delta::PhiDelta;
 use crate::kernel_phi::{
     run_phi_clear_kernel, run_phi_update_kernel, try_run_phi_clear_kernel,
     try_run_phi_update_kernel,
@@ -57,22 +56,24 @@ impl<'d> KernelSet<'d> {
         run_sampling_kernel(self.device, chunk, state, phi, inv_denom, block_map, cfg)
     }
 
-    /// The ϕ replica clear (memset) kernel.
-    pub fn clear_phi(&self, phi: &PhiModel) -> LaunchReport {
-        run_phi_clear_kernel(self.device, phi)
+    /// The ϕ replica clear (memset) kernel. `sparse` selects the hybrid-
+    /// layout traffic model (see [`try_run_phi_clear_kernel`]); the
+    /// cleared state is identical either way.
+    pub fn clear_phi(&self, phi: &PhiModel, sparse: bool) -> LaunchReport {
+        run_phi_clear_kernel(self.device, phi, sparse)
     }
 
-    /// The ϕ accumulation kernel for one chunk, optionally recording the
-    /// touched rows into `delta` for the sparse Δϕ synchronization.
+    /// The ϕ accumulation kernel for one chunk. Touched rows are recorded
+    /// in the replica's own [`CountMatrix`](crate::count::CountMatrix)
+    /// dirty bitmap for the sparse Δϕ synchronization.
     pub fn update_phi(
         &self,
         chunk: &SortedChunk,
         state: &ChunkState,
         phi: &PhiModel,
         block_map: &[BlockWork],
-        delta: Option<&PhiDelta>,
     ) -> LaunchReport {
-        run_phi_update_kernel(self.device, chunk, state, phi, block_map, delta)
+        run_phi_update_kernel(self.device, chunk, state, phi, block_map)
     }
 
     /// The θ rebuild kernel for one chunk.
@@ -99,8 +100,8 @@ impl<'d> KernelSet<'d> {
     }
 
     /// Fallible ϕ clear launch (see [`try_run_phi_clear_kernel`]).
-    pub fn try_clear_phi(&self, phi: &PhiModel) -> Result<LaunchReport, SimFault> {
-        try_run_phi_clear_kernel(self.device, phi)
+    pub fn try_clear_phi(&self, phi: &PhiModel, sparse: bool) -> Result<LaunchReport, SimFault> {
+        try_run_phi_clear_kernel(self.device, phi, sparse)
     }
 
     /// Fallible ϕ accumulation launch (see [`try_run_phi_update_kernel`]).
@@ -110,9 +111,8 @@ impl<'d> KernelSet<'d> {
         state: &ChunkState,
         phi: &PhiModel,
         block_map: &[BlockWork],
-        delta: Option<&PhiDelta>,
     ) -> Result<LaunchReport, SimFault> {
-        try_run_phi_update_kernel(self.device, chunk, state, phi, block_map, delta)
+        try_run_phi_update_kernel(self.device, chunk, state, phi, block_map)
     }
 
     /// Fallible θ rebuild launch (see [`try_run_theta_update_kernel`]).
@@ -178,6 +178,7 @@ enum WorkSchedule {
 pub struct IterationPlan {
     num_topics: usize,
     schedule: WorkSchedule,
+    sparse: bool,
 }
 
 impl IterationPlan {
@@ -186,6 +187,7 @@ impl IterationPlan {
         Self {
             num_topics,
             schedule: WorkSchedule::Resident,
+            sparse: false,
         }
     }
 
@@ -194,7 +196,17 @@ impl IterationPlan {
         Self {
             num_topics,
             schedule: WorkSchedule::OutOfCore,
+            sparse: false,
         }
+    }
+
+    /// Selects the sparsity-aware traffic model for the replica clear
+    /// (callers pair this with [`SampleConfig::sparse`] so one
+    /// per-iteration decision drives both kernels). Cost-model only: the
+    /// cleared replica and the sampled topics are identical either way.
+    pub fn with_sparse(mut self, sparse: bool) -> Self {
+        self.sparse = sparse;
+        self
     }
 
     /// Whether this is the out-of-core schedule.
@@ -209,18 +221,17 @@ impl IterationPlan {
     ///
     /// Panics on a simulated fault; resilient callers use
     /// [`try_execute`](IterationPlan::try_execute).
-    /// `delta`, when given, is cleared alongside the write replica and
-    /// then fed every ϕ-update launch, so after the plan it records
-    /// exactly the rows this iteration's counts landed in.
+    /// The write replica's dirty-row bitmap resets with the replica clear
+    /// and is marked by every ϕ-update launch, so after the plan it
+    /// records exactly the rows this iteration's counts landed in.
     pub fn execute(
         &self,
         kernels: &KernelSet<'_>,
         read_phi: &PhiModel,
         write_phi: &PhiModel,
         tasks: &mut [ChunkTask<'_>],
-        delta: Option<&PhiDelta>,
     ) -> PlanReport {
-        self.try_execute(kernels, read_phi, write_phi, tasks, delta)
+        self.try_execute(kernels, read_phi, write_phi, tasks)
             .unwrap_or_else(|f| panic!("unrecoverable simulated fault: {f}"))
     }
 
@@ -235,14 +246,11 @@ impl IterationPlan {
         read_phi: &PhiModel,
         write_phi: &PhiModel,
         tasks: &mut [ChunkTask<'_>],
-        delta: Option<&PhiDelta>,
     ) -> Result<PlanReport, SimFault> {
         match self.schedule {
-            WorkSchedule::Resident => {
-                self.execute_resident(kernels, read_phi, write_phi, tasks, delta)
-            }
+            WorkSchedule::Resident => self.execute_resident(kernels, read_phi, write_phi, tasks),
             WorkSchedule::OutOfCore => {
-                self.execute_out_of_core(kernels, read_phi, write_phi, tasks, delta)
+                self.execute_out_of_core(kernels, read_phi, write_phi, tasks)
             }
         }
     }
@@ -253,7 +261,6 @@ impl IterationPlan {
         read_phi: &PhiModel,
         write_phi: &PhiModel,
         tasks: &mut [ChunkTask<'_>],
-        delta: Option<&PhiDelta>,
     ) -> Result<PlanReport, SimFault> {
         let inv_denom = read_phi.inv_denominators();
         let mut out = PlanReport::default();
@@ -273,19 +280,15 @@ impl IterationPlan {
             out.sampling_seconds += r.sim_seconds;
         }
         // Rebuild the write replica: clear once, accumulate each chunk.
-        // The Δϕ tracker resets with the replica, which also makes a
+        // The dirty-row bitmap resets inside the clear, which also makes a
         // retried body safe: the re-run can never double-mark stale rows.
-        if let Some(d) = delta {
-            d.clear();
-        }
-        let rc = kernels.try_clear_phi(write_phi)?;
+        let rc = kernels.try_clear_phi(write_phi, self.sparse)?;
         out.phi_seconds += rc.sim_seconds;
         for task in tasks.iter() {
             if task.block_map.is_empty() {
                 continue;
             }
-            let r =
-                kernels.try_update_phi(task.chunk, task.state, write_phi, task.block_map, delta)?;
+            let r = kernels.try_update_phi(task.chunk, task.state, write_phi, task.block_map)?;
             out.phi_seconds += r.sim_seconds;
         }
         out.phi_done_at = kernels.device().now();
@@ -303,7 +306,6 @@ impl IterationPlan {
         read_phi: &PhiModel,
         write_phi: &PhiModel,
         tasks: &mut [ChunkTask<'_>],
-        delta: Option<&PhiDelta>,
     ) -> Result<PlanReport, SimFault> {
         let inv_denom = read_phi.inv_denominators();
         let device = kernels.device();
@@ -312,12 +314,9 @@ impl IterationPlan {
         let mut compute_total = 0.0;
         let mut out = PlanReport::default();
 
-        // The replica clear is not chunk-bound; run it up front. The Δϕ
-        // tracker resets with it (see `execute_resident`).
-        if let Some(d) = delta {
-            d.clear();
-        }
-        let rc = kernels.try_clear_phi(write_phi)?;
+        // The replica clear is not chunk-bound; run it up front. The
+        // dirty-row bitmap resets with it (see `execute_resident`).
+        let rc = kernels.try_clear_phi(write_phi, self.sparse)?;
         out.phi_seconds += rc.sim_seconds;
         compute_total += rc.sim_seconds;
         pipeline.submit(Stage {
@@ -340,8 +339,7 @@ impl IterationPlan {
                 &task.sample_cfg,
             )?;
             out.sampling_seconds += r.sim_seconds;
-            let r =
-                kernels.try_update_phi(task.chunk, task.state, write_phi, task.block_map, delta)?;
+            let r = kernels.try_update_phi(task.chunk, task.state, write_phi, task.block_map)?;
             out.phi_seconds += r.sim_seconds;
             let r = kernels.try_update_theta(task.chunk, task.state, self.num_topics)?;
             out.theta_seconds += r.sim_seconds;
@@ -403,8 +401,8 @@ mod tests {
             let w = PhiModel::zeros(K, read.phi.len() / K, Priors::paper(K));
             let inv = read.inv_denominators();
             run_sampling_kernel(&dev, &chunk, &st, &read, &inv, &map, &cfg);
-            run_phi_clear_kernel(&dev, &w);
-            run_phi_update_kernel(&dev, &chunk, &st, &w, &map, None);
+            run_phi_clear_kernel(&dev, &w, false);
+            run_phi_update_kernel(&dev, &chunk, &st, &w, &map);
             run_theta_update_kernel(&dev, &chunk, &mut st, K);
             (st.z.snapshot(), w.phi.snapshot(), dev.now())
         };
@@ -423,7 +421,7 @@ mod tests {
             h2d_seconds: 0.0,
             d2h_seconds: 0.0,
         }];
-        let report = IterationPlan::resident(K).execute(&kernels, &read, &write, &mut tasks, None);
+        let report = IterationPlan::resident(K).execute(&kernels, &read, &write, &mut tasks);
 
         assert_eq!(st.z.snapshot(), by_hand.0, "plan changed assignments");
         assert_eq!(write.phi.snapshot(), by_hand.1, "plan changed phi");
@@ -448,7 +446,7 @@ mod tests {
             h2d_seconds: 0.0,
             d2h_seconds: 0.0,
         }];
-        let report = IterationPlan::resident(K).execute(&kernels, &read, &write, &mut tasks, None);
+        let report = IterationPlan::resident(K).execute(&kernels, &read, &write, &mut tasks);
         assert!(report.phi_done_at > 0.0);
         assert!(
             report.phi_done_at < dev.now(),
@@ -475,13 +473,7 @@ mod tests {
             h2d_seconds: 0.0,
             d2h_seconds: 0.0,
         }];
-        IterationPlan::resident(K).execute(
-            &KernelSet::new(&dev_a),
-            &read,
-            &write_a,
-            &mut tasks,
-            None,
-        );
+        IterationPlan::resident(K).execute(&KernelSet::new(&dev_a), &read, &write_a, &mut tasks);
 
         let dev_b = Device::new(0, GpuSpec::titan_x_maxwell());
         let write_b = PhiModel::zeros(K, read.phi.len() / K, Priors::paper(K));
@@ -503,7 +495,6 @@ mod tests {
             &read,
             &write_b,
             &mut tasks,
-            None,
         );
 
         assert_eq!(st_a.z.snapshot(), st_b.z.snapshot());
@@ -526,7 +517,7 @@ mod tests {
             h2d_seconds: 0.0,
             d2h_seconds: 0.0,
         }];
-        IterationPlan::resident(K).execute(&kernels, &read, &write, &mut tasks, None);
+        IterationPlan::resident(K).execute(&kernels, &read, &write, &mut tasks);
         let log = dev.profile();
         assert_eq!(log.len(), 4); // sample, clear, phi, theta
         let phases: Vec<LaunchPhase> = log.records().iter().map(|r| r.phase).collect();
@@ -565,13 +556,8 @@ mod tests {
             h2d_seconds: 0.0,
             d2h_seconds: 0.0,
         }];
-        let r = IterationPlan::resident(4).execute(
-            &KernelSet::new(&dev),
-            &read,
-            &write,
-            &mut tasks,
-            None,
-        );
+        let r =
+            IterationPlan::resident(4).execute(&KernelSet::new(&dev), &read, &write, &mut tasks);
         assert_eq!(r.sampling_seconds, 0.0);
         // Only the clear runs (not chunk-bound) — and θ, which handles
         // empty documents itself.

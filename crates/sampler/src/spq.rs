@@ -25,11 +25,10 @@ pub fn compute_pstar(phi: &PhiModel, word: usize, inv_denom: &[f32], out: &mut [
     let k = phi.num_topics;
     assert_eq!(out.len(), k);
     assert_eq!(inv_denom.len(), k);
-    let beta = phi.priors.beta as f32;
-    let base = word * k;
-    for t in 0..k {
-        out[t] = (phi.phi.load(base + t) as f32 + beta) * inv_denom[t];
-    }
+    // Delegates to the hybrid layout's smoothed read, which is bit-
+    // identical whether the row is physically sparse or dense.
+    phi.phi
+        .fill_smoothed(word, phi.priors.beta as f32, inv_denom, out);
 }
 
 /// Builds the block-shared tree over `p*(k)` (serves `p2` and `Q`).
@@ -150,7 +149,7 @@ pub fn exact_conditional(
     (0..k)
         .map(|t| {
             (theta_dense[t] as f64 + alpha)
-                * (phi.phi.load(phi.phi_index(word, t)) as f64 + beta)
+                * (phi.phi.get(word, t) as f64 + beta)
                 * inv_denom[t] as f64
         })
         .collect()

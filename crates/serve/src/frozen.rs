@@ -32,7 +32,9 @@ impl FrozenModel {
             for t in 0..k {
                 let c = model.phi_count(w, t);
                 if c != 0 {
-                    phi.phi.store(phi.phi_index(w, t), c);
+                    // Row/column insert into the hybrid layout: Zipf-head
+                    // rows densify as they fill, tail rows stay CSR.
+                    phi.phi.set(w, t, c);
                 }
             }
         }
@@ -80,7 +82,7 @@ impl LdaModel for FrozenModel {
     }
 
     fn phi_count(&self, word: usize, topic: usize) -> u32 {
-        self.phi.phi.load(self.phi.phi_index(word, topic))
+        self.phi.phi.get(word, topic)
     }
 
     fn topic_total(&self, topic: usize) -> u32 {

@@ -53,6 +53,19 @@ for sync_mode in dense-ring delta auto; do
     cmp "$smoke/s-dense-tree.phi" "$smoke/s-$sync_mode.phi"
 done
 
+echo "==> sampling-mode matrix smoke test"
+# Every p* fill path must sample the bit-identical model; only the
+# modelled sampling time may differ.
+for sampling_mode in dense sparse auto; do
+    cargo run --release -q -p culda-cli -- train --docword "$smoke/c.dw" \
+        --vocab "$smoke/c.v" --model "$smoke/p-$sampling_mode.phi" --topics 8 \
+        --iters 3 --score-every 0 --platform pascal --gpus 2 \
+        --sampling-mode "$sampling_mode"
+done
+for sampling_mode in sparse auto; do
+    cmp "$smoke/p-dense.phi" "$smoke/p-$sampling_mode.phi"
+done
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

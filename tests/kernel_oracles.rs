@@ -72,8 +72,8 @@ fn update_kernels_equal_host_oracles_after_sampling() {
     // ϕ kernel vs oracle.
     let phi_kernel = PhiModel::zeros(32, 180, Priors::paper(32));
     let phi_oracle = PhiModel::zeros(32, 180, Priors::paper(32));
-    run_phi_clear_kernel(&dev, &phi_kernel);
-    run_phi_update_kernel(&dev, &chunk, &state, &phi_kernel, &map, None);
+    run_phi_clear_kernel(&dev, &phi_kernel, false);
+    run_phi_update_kernel(&dev, &chunk, &state, &phi_kernel, &map);
     accumulate_phi_host(&chunk, &state.z, &phi_oracle);
     assert_eq!(phi_kernel.phi.snapshot(), phi_oracle.phi.snapshot());
     assert_eq!(phi_kernel.phi_sum.snapshot(), phi_oracle.phi_sum.snapshot());

@@ -262,6 +262,42 @@ fn phi_sync_equals_serial_sum() {
 }
 
 #[test]
+fn count_matrix_dense_sparse_round_trip_preserves_totals() {
+    use culda::sampler::CountMatrix;
+    let mut g = cases(13);
+    for _ in 0..64 {
+        let k = 2 + g.next_below(62) as usize;
+        let v = 1 + g.next_below(39) as usize;
+        let m = CountMatrix::zeros(v, k);
+        let mut dense = vec![0u32; k * v];
+        let writes = g.next_below(400) as usize;
+        for _ in 0..writes {
+            let row = g.next_below(v as u32) as usize;
+            let col = g.next_below(k as u32) as usize;
+            let c = 1 + g.next_below(50);
+            m.add(row, col, c);
+            dense[row * k + col] += c;
+        }
+        let nnz_want = dense.iter().filter(|&&c| c != 0).count() as u64;
+        // Force every row through both layouts and back; counts, per-row
+        // nnz, and the global total must survive each conversion.
+        for row in 0..v {
+            m.force_dense_row(row);
+            assert_eq!(m.total_nnz(), nnz_want, "densify lost cells");
+            m.force_sparse_row(row);
+            assert_eq!(m.total_nnz(), nnz_want, "sparsify lost cells");
+            let row_want: Vec<(u16, u32)> = (0..k)
+                .filter(|&t| dense[row * k + t] != 0)
+                .map(|t| (t as u16, dense[row * k + t]))
+                .collect();
+            assert_eq!(m.row_nonzeros(row), row_want);
+            assert_eq!(m.row_nnz(row), row_want.len());
+        }
+        assert_eq!(m.snapshot(), dense, "flat view diverged from the oracle");
+    }
+}
+
+#[test]
 fn block_map_partitions_any_chunk() {
     use culda::sampler::build_block_map;
     let mut g = cases(12);

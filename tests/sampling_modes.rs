@@ -1,0 +1,162 @@
+//! The sampling-mode contract: every p* fill path inside the sampling
+//! kernel draws the exact same topics — only modelled time differs.
+//!
+//! The sparse path's correctness rests on one IEEE fact this suite pins
+//! end-to-end: with β > 0, `(0.0f32 + β) * inv` is bitwise `β * inv`, so
+//! building p* as a β-baseline plus patches at the nonzero ϕ cells is
+//! bit-identical to the paper's dense K-length scan. On top of
+//! bit-identity, the suite checks the point of the optimisation: once
+//! training has concentrated each word into few topics, the sparse fill
+//! models fewer sampling seconds, and `Auto` — which re-decides per
+//! iteration from the shared cutover cost model — never models more
+//! sampling time than the best fixed mode.
+
+use culda::corpus::{Corpus, SynthSpec};
+use culda::gpusim::Platform;
+use culda::metrics::Phase;
+use culda::multigpu::{CuldaTrainer, SamplingMode, SyncMode, TrainerConfig};
+
+const K: usize = 8;
+const ITERS: u32 = 4;
+
+fn corpus() -> Corpus {
+    let mut spec = SynthSpec::tiny();
+    spec.num_docs = 150;
+    spec.vocab_size = 300;
+    spec.avg_doc_len = 18.0;
+    spec.generate()
+}
+
+fn cfg(gpus: usize, sampling: SamplingMode, sync: SyncMode) -> TrainerConfig {
+    TrainerConfig::builder(K, Platform::pascal().with_gpus(gpus))
+        .iterations(ITERS)
+        .score_every(0)
+        .seed(33)
+        .chunks_per_gpu(Some(4 / gpus))
+        .sampling_mode(sampling)
+        .sync_mode(sync)
+        .build()
+        .expect("valid config")
+}
+
+fn train(c: &Corpus, gpus: usize, sampling: SamplingMode, sync: SyncMode) -> CuldaTrainer {
+    let mut t = CuldaTrainer::try_new(c, cfg(gpus, sampling, sync)).expect("trainer builds");
+    for _ in 0..ITERS {
+        t.try_step().expect("fault-free run");
+    }
+    t
+}
+
+fn phi_bits(t: &CuldaTrainer) -> (Vec<u32>, Vec<u32>) {
+    let phi = t.global_phi();
+    (phi.phi.snapshot(), phi.phi_sum.snapshot())
+}
+
+const SAMPLING_MODES: [SamplingMode; 3] = [
+    SamplingMode::Dense,
+    SamplingMode::Sparse,
+    SamplingMode::Auto,
+];
+
+const SYNC_MODES: [SyncMode; 4] = [
+    SyncMode::DenseTree,
+    SyncMode::DenseRing,
+    SyncMode::Delta,
+    SyncMode::Auto,
+];
+
+#[test]
+fn checkpoints_are_bit_identical_across_the_full_mode_matrix() {
+    let c = corpus();
+    // The paper-exact configuration — dense fill, dense tree sync, one
+    // GPU — is the oracle; every sampling mode × sync mode × GPU split
+    // must reproduce it bit for bit. 4 chunks total so 1/2/4 GPUs divide
+    // evenly into the same chunk boundaries (the bit-identity
+    // precondition).
+    let reference = phi_bits(&train(&c, 1, SamplingMode::Dense, SyncMode::DenseTree));
+    for gpus in [1usize, 2, 4] {
+        for sampling in SAMPLING_MODES {
+            for sync in SYNC_MODES {
+                let got = phi_bits(&train(&c, gpus, sampling, sync));
+                assert_eq!(
+                    got, reference,
+                    "sampling {sampling} × sync {sync} diverged on {gpus} GPU(s)"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sparse_fill_models_fewer_sampling_seconds_after_convergence() {
+    // A corpus whose rows concentrate: many iterations so nnz per row
+    // falls well under the cutover, making the sparse fill strictly
+    // cheaper in the cost model.
+    let c = corpus();
+    let iters = 10u32;
+    let run = |mode| -> f64 {
+        let mut t = CuldaTrainer::try_new(
+            &c,
+            TrainerConfig::builder(64, Platform::pascal().with_gpus(2))
+                .iterations(iters)
+                .score_every(0)
+                .seed(5)
+                .chunks_per_gpu(Some(1))
+                .sampling_mode(mode)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        for _ in 0..iters {
+            t.try_step().unwrap();
+        }
+        t.breakdown().seconds(Phase::Sampling)
+    };
+    let dense = run(SamplingMode::Dense);
+    let sparse = run(SamplingMode::Sparse);
+    assert!(
+        sparse < dense,
+        "sparse fill modelled {sparse}s of sampling, dense {dense}s"
+    );
+}
+
+#[test]
+fn auto_never_models_more_sampling_seconds_than_the_best_fixed_mode() {
+    let c = corpus();
+    let fixed: Vec<f64> = [SamplingMode::Dense, SamplingMode::Sparse]
+        .into_iter()
+        .map(|m| {
+            train(&c, 2, m, SyncMode::DenseTree)
+                .breakdown()
+                .seconds(Phase::Sampling)
+        })
+        .collect();
+    let best: f64 = fixed.iter().cloned().fold(f64::INFINITY, f64::min);
+    let auto = train(&c, 2, SamplingMode::Auto, SyncMode::DenseTree)
+        .breakdown()
+        .seconds(Phase::Sampling);
+    assert!(
+        auto <= best + 1e-15,
+        "auto modelled {auto}s of sampling, best fixed {best}s"
+    );
+}
+
+#[test]
+fn iteration_stats_report_the_resolved_sampling_path() {
+    let c = corpus();
+    // Fixed modes report their own path every iteration.
+    let mut dense =
+        CuldaTrainer::try_new(&c, cfg(2, SamplingMode::Dense, SyncMode::DenseTree)).unwrap();
+    let mut sparse =
+        CuldaTrainer::try_new(&c, cfg(2, SamplingMode::Sparse, SyncMode::DenseTree)).unwrap();
+    for _ in 0..ITERS {
+        assert_eq!(dense.try_step().unwrap().sampling_sparse, Some(false));
+        assert_eq!(sparse.try_step().unwrap().sampling_sparse, Some(true));
+    }
+    // Auto resolves per iteration; whatever it picks is recorded.
+    let mut auto =
+        CuldaTrainer::try_new(&c, cfg(2, SamplingMode::Auto, SyncMode::DenseTree)).unwrap();
+    for _ in 0..ITERS {
+        assert!(auto.try_step().unwrap().sampling_sparse.is_some());
+    }
+}
