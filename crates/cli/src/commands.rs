@@ -8,13 +8,18 @@
 use crate::args::{ArgError, Args};
 use culda_corpus::{read_uci, split_held_out, write_uci, Corpus, SynthSpec};
 use culda_gpusim::{FaultPlan, Platform};
-use culda_metrics::{format_tokens_per_sec, Json, MetricsRegistry, TraceSink};
+use culda_metrics::{
+    format_tokens_per_sec, render_openmetrics, HealthConfig, HealthMonitor, HealthSample, Json,
+    MetricsRegistry, MetricsSnapshot, Severity, SnapshotWriter, TraceSink,
+};
 use culda_multigpu::{
     resume_any, save_training, try_build_trainer, ConfigError, CuldaError, LdaTrainer,
     PartitionPolicy, SamplingMode, SyncMode, TrainerConfig,
 };
 use culda_sampler::{load_phi, LdaModel};
-use culda_serve::{FrozenModel, InferenceEngine, InferenceOutcome, ServeConfig, ServeError};
+use culda_serve::{
+    FrozenModel, HeldOutEvaluator, InferenceEngine, InferenceOutcome, ServeConfig, ServeError,
+};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::sync::Arc;
@@ -26,10 +31,28 @@ fn err(msg: impl Into<String>) -> Box<dyn std::error::Error> {
     Box::new(ArgError(msg.into()))
 }
 
+/// A run finished but the health detectors flagged it as untrustworthy
+/// (fatal event, or any event under `--strict-health`). The model and all
+/// telemetry are still written; the nonzero exit code is the signal.
+#[derive(Debug)]
+pub struct HealthError(pub String);
+
+impl std::fmt::Display for HealthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "run health check failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for HealthError {}
+
 /// Maps a command error to the process exit code: 2 for usage and
 /// configuration problems, 3 for simulated faults and worker loss, 4 for
-/// I/O and checkpoint data problems, 1 for anything else.
+/// I/O and checkpoint data problems, 5 for failed run-health checks, 1 for
+/// anything else.
 pub fn exit_code(e: &(dyn std::error::Error + 'static)) -> i32 {
+    if e.downcast_ref::<HealthError>().is_some() {
+        return 5;
+    }
     if let Some(e) = e.downcast_ref::<CuldaError>() {
         return match e {
             CuldaError::Config(_) | CuldaError::Invalid(_) => 2,
@@ -80,6 +103,9 @@ USAGE:
                  [--sync-mode auto|dense-tree|dense-ring|delta]
                  [--sampling-mode auto|dense|sparse]
                  [--resume STATE] [--save-state STATE] [--fault-plan SPEC]
+                 [--eval-every N] [--eval-fraction F] [--eval-seed N]
+                 [--snapshots OUT.jsonl] [--openmetrics OUT.txt]
+                 [--trace-out trace.json] [--strict-health]
   culda topics   --model M.phi --vocab PATH [--top N]
   culda infer    --model M.phi --docword PATH --vocab PATH
                  [--workers W] [--batch-size B] [--burnin N] [--samples N]
@@ -94,6 +120,8 @@ USAGE:
                  [--policy doc|word] [--topics K] [--iters N]
                  [--platform maxwell|pascal|volta] [--gpus G] [--workers N]
                  [--trace-out trace.json] [--metrics-out metrics.json]
+  culda report   --snapshots RUN.jsonl [--openmetrics METRICS.txt]
+                 [--out report.md]
 
 `--policy` picks the Section 4 partition policy (default doc, the paper's
 choice). `--workers N` on train/profile/trace sets the host threads each
@@ -124,6 +152,19 @@ training iteration (on `train`) or the batch ordinal (on `infer`).
 the worker retries with exponential backoff and the run stays
 bit-identical to a fault-free one. `:permanent` makes a dead GPU whose
 chunks migrate to the survivors. Recovery metrics print after the run.
+
+Run-health telemetry on `train`: `--eval-every N` scores a held-out split
+(fraction `--eval-fraction`, default 0.1, drawn with `--eval-seed`)
+against the frozen ϕ every N iterations through the serving path —
+training itself is untouched, so checkpoints stay bit-identical to a run
+without evaluation. `--snapshots` streams one JSON line per iteration
+(timing, scores, mode choices, evaluations) plus one line per health
+event; `culda report` renders that stream as markdown. `--openmetrics`
+writes the final metrics registry in OpenMetrics text exposition.
+Health detectors (non-finite log-likelihood, throughput collapse,
+convergence stall, sync-compression regression) always run; events print
+as they fire and count into the recovery line. A fatal event exits 5;
+`--strict-health` promotes warnings to the same failure.
 
 `culda profile` reports each kernel's achieved bandwidth as a percent of
 the platform's DRAM roofline, plus a metrics dashboard. `culda trace`
@@ -236,7 +277,15 @@ pub fn train(args: &Args) -> CmdResult {
         .map_err(err)?;
     let sampling_mode: SamplingMode = args.get_or("sampling-mode", "dense").parse().map_err(err)?;
     let model_path = args.require("model")?;
+    let eval_every: u32 = args.num_or("eval-every", 0)?;
+    let eval_fraction: f64 = args.num_or("eval-fraction", 0.1)?;
+    let eval_seed: u64 = args.num_or("eval-seed", 0xE7A1)?;
+    let strict_health = args.bool("strict-health");
+    let snapshots_path = args.require("snapshots").ok().map(str::to_string);
+    let openmetrics_path = args.require("openmetrics").ok().map(str::to_string);
+    let trace_path = args.require("trace-out").ok().map(str::to_string);
     let platform = platform(args)?;
+    let eval_gpu = platform.gpu.clone();
     println!(
         "training K = {topics} for {iters} iterations on {} ({} GPU(s))",
         platform.name, platform.num_gpus
@@ -270,8 +319,47 @@ pub fn train(args: &Args) -> CmdResult {
         trainer.attach_fault_plan(Arc::clone(plan));
         println!("fault plan armed: {} fault spec(s)", plan.armed_len());
     }
+
+    // The evaluation split is scored through a fresh serving fleet against
+    // a frozen copy of ϕ — training never sees the evaluator, so the
+    // checkpoint stays bit-identical to a run with evaluation off.
+    let mut evaluator = if eval_every > 0 {
+        if !(eval_fraction > 0.0 && eval_fraction < 1.0) {
+            return Err(err(format!(
+                "--eval-fraction {eval_fraction} must be in (0, 1)"
+            )));
+        }
+        let (_, held_out) = split_held_out(&corpus, eval_fraction, eval_seed);
+        let eval_cfg = ServeConfig::new(eval_seed).with_gpu(eval_gpu);
+        let ev = HeldOutEvaluator::new(&held_out, eval_cfg)?;
+        println!(
+            "held-out evaluation every {eval_every} iteration(s) over {} token(s)",
+            ev.tokens()
+        );
+        Some(ev)
+    } else {
+        None
+    };
+    let telemetry = evaluator.is_some() || snapshots_path.is_some() || openmetrics_path.is_some();
+    let registry = telemetry.then(|| Arc::new(MetricsRegistry::new()));
+    let sink = trace_path.is_some().then(|| Arc::new(TraceSink::new()));
+    if registry.is_some() || sink.is_some() {
+        trainer.attach_observability(sink.clone(), registry.clone());
+    }
+    let mut snap_writer = match &snapshots_path {
+        Some(p) => Some(SnapshotWriter::new(BufWriter::new(File::create(
+            p.as_str(),
+        )?))),
+        None => None,
+    };
+    let mut monitor = HealthMonitor::new(HealthConfig::default());
+    let mut cumulative_sim = 0.0;
+    let multi_gpu = trainer.num_gpus() > 1;
+    let sync_label = trainer.config().effective_sync_mode().to_string();
+
     for i in 0..iters {
         let stat = trainer.try_step()?;
+        cumulative_sim += stat.sim_seconds;
         if let Some(ll) = stat.loglik_per_token {
             println!(
                 "iter {:>4}  {:>10}/s  loglik/token {ll:.4}",
@@ -279,8 +367,51 @@ pub fn train(args: &Args) -> CmdResult {
                 format_tokens_per_sec(stat.tokens_per_sec())
             );
         }
+        let eval = match &mut evaluator {
+            Some(ev) if (i + 1) % eval_every == 0 => {
+                let reg = registry.as_ref().expect("telemetry registry is attached");
+                let record = ev.evaluate_into(trainer.phi(), reg)?;
+                let drift = record
+                    .topic_drift
+                    .map(|d| format!("  drift {d:.2}"))
+                    .unwrap_or_default();
+                println!(
+                    "eval {i:>4}  held-out perplexity {:.2}  coherence {:.3}{drift}",
+                    record.perplexity, record.coherence
+                );
+                Some(record)
+            }
+            _ => None,
+        };
+        let compression_ratio = match &registry {
+            Some(reg) if multi_gpu => Some(reg.gauge("sync.compression_ratio").value()),
+            _ => None,
+        };
+        for ev in monitor.observe(&HealthSample {
+            stat,
+            compression_ratio,
+        }) {
+            eprintln!("health: {ev}");
+            if let Some(s) = &sink {
+                s.instant_sim(0, &ev.kind.to_string(), "health", cumulative_sim);
+            }
+            if let Some(w) = &mut snap_writer {
+                w.write_health(&ev)?;
+            }
+        }
+        if let Some(w) = &mut snap_writer {
+            w.write_snapshot(&MetricsSnapshot {
+                stat,
+                cumulative_sim_seconds: cumulative_sim,
+                sync_mode: multi_gpu.then(|| sync_label.clone()),
+                compression_ratio,
+                eval,
+            })?;
+        }
     }
-    let rec = trainer.recovery();
+
+    let mut rec = trainer.recovery();
+    rec.health_events = monitor.events().len() as u64;
     if faults.is_some() || !rec.is_clean() {
         println!("recovery: {rec}");
     }
@@ -289,10 +420,33 @@ pub fn train(args: &Args) -> CmdResult {
         save_training(trainer.as_ref(), BufWriter::new(File::create(state_path)?))?;
         println!("training state saved to {state_path}");
     }
+    if let Some(p) = &snapshots_path {
+        drop(snap_writer);
+        println!("telemetry snapshots written to {p}");
+    }
+    if let Some(p) = &openmetrics_path {
+        let reg = registry.as_ref().expect("telemetry registry is attached");
+        std::fs::write(p, render_openmetrics(reg))?;
+        println!("metrics exposition written to {p}");
+    }
+    if let (Some(s), Some(p)) = (&sink, &trace_path) {
+        std::fs::write(p, s.export_chrome_json())?;
+        println!("trace written to {p}");
+    }
     println!(
         "final loglik/token {:.4}; model saved to {model_path}",
         trainer.loglik_per_token()
     );
+    let fatal_health = monitor.has_fatal() || (strict_health && !monitor.events().is_empty());
+    if fatal_health {
+        let worst = monitor
+            .events()
+            .iter()
+            .find(|e| e.severity == Severity::Fatal)
+            .or_else(|| monitor.events().first())
+            .expect("fatal health check implies at least one event");
+        return Err(Box::new(HealthError(worst.to_string())));
+    }
     Ok(())
 }
 
@@ -324,7 +478,13 @@ pub fn topics(args: &Args) -> CmdResult {
 /// Renders an inference outcome as the `culda infer` JSON report.
 fn outcome_json(engine: &InferenceEngine, out: &InferenceOutcome) -> Json {
     let row = |r: &Vec<f64>| Json::Arr(r.iter().map(|&x| Json::Num(x)).collect());
-    Json::obj()
+    let latency = engine.latency_quantiles().map(|(p50, p95, p99)| {
+        Json::obj()
+            .with("p50_seconds", Json::Num(p50))
+            .with("p95_seconds", Json::Num(p95))
+            .with("p99_seconds", Json::Num(p99))
+    });
+    let mut doc = Json::obj()
         .with("topics", Json::Num(engine.model().num_topics() as f64))
         .with("vocab", Json::Num(engine.model().vocab_size() as f64))
         .with("docs", Json::Num(out.docs as f64))
@@ -343,7 +503,11 @@ fn outcome_json(engine: &InferenceEngine, out: &InferenceOutcome) -> Json {
         )
         .with("sim_seconds", Json::Num(out.sim_seconds))
         .with("device_seconds", Json::Num(out.device_seconds))
-        .with("theta", Json::Arr(out.theta.iter().map(row).collect()))
+        .with("theta", Json::Arr(out.theta.iter().map(row).collect()));
+    if let Some(l) = latency {
+        doc = doc.with("micro_batch_latency", l);
+    }
+    doc
 }
 
 /// `culda infer` — fold a held-out corpus into a frozen checkpoint through
@@ -393,6 +557,14 @@ pub fn infer(args: &Args) -> CmdResult {
          on {}; held-out perplexity {:.2}",
         out.docs, out.tokens, out.micro_batches, platform.gpu.name, out.perplexity
     );
+    if let Some((p50, p95, p99)) = engine.latency_quantiles() {
+        eprintln!(
+            "micro-batch latency (simulated): p50 {:.1} ms, p95 {:.1} ms, p99 {:.1} ms",
+            p50 * 1e3,
+            p95 * 1e3,
+            p99 * 1e3
+        );
+    }
     let report = outcome_json(&engine, &out).render();
     match args.require("out") {
         Ok(path) => {
@@ -556,6 +728,7 @@ pub fn dispatch(args: &Args) -> CmdResult {
         Some("info") => info(args),
         Some("profile") => profile_cmd(args),
         Some("trace") => trace_cmd(args),
+        Some("report") => crate::report::report(args),
         Some(other) => Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
         None => Err(err(USAGE.to_string())),
     }
@@ -924,8 +1097,130 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_train_streams_snapshots_and_reports() {
+        let docword = tmp("tm.docword");
+        let vocab = tmp("tm.vocab");
+        let quiet_model = tmp("tm.quiet.phi");
+        let telemetry_model = tmp("tm.telemetry.phi");
+        let snapshots = tmp("tm.jsonl");
+        let openmetrics = tmp("tm.om.txt");
+        let report_md = tmp("tm.report.md");
+        generate(&args(&format!(
+            "generate --preset tiny --seed 4 --docword {} --vocab {}",
+            docword.display(),
+            vocab.display()
+        )))
+        .unwrap();
+        let base = format!(
+            "train --docword {} --vocab {} --topics 8 --iters 6 --score-every 1 \
+             --platform pascal --gpus 2 --seed 33 --sync-mode auto --sampling-mode auto",
+            docword.display(),
+            vocab.display()
+        );
+        train(&args(&format!("{base} --model {}", quiet_model.display()))).unwrap();
+        train(&args(&format!(
+            "{base} --model {} --eval-every 2 --eval-fraction 0.2 --snapshots {} \
+             --openmetrics {}",
+            telemetry_model.display(),
+            snapshots.display(),
+            openmetrics.display()
+        )))
+        .unwrap();
+        // Evaluation and telemetry never touch the training path.
+        assert_eq!(
+            std::fs::read(&quiet_model).unwrap(),
+            std::fs::read(&telemetry_model).unwrap(),
+            "telemetry changed the trained model"
+        );
+        // The snapshot stream has one line per iteration and the scheduled
+        // evaluations, and the exposition parses back.
+        let stream = std::fs::read_to_string(&snapshots).unwrap();
+        let records = culda_metrics::parse_snapshots(&stream).unwrap();
+        let iters: Vec<_> = records
+            .iter()
+            .filter_map(|r| match r {
+                culda_metrics::SnapshotRecord::Iteration(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(iters.len(), 6);
+        assert_eq!(iters.iter().filter(|s| s.eval.is_some()).count(), 3);
+        assert!(iters.iter().all(|s| s.sync_mode.is_some()));
+        culda_metrics::lint_openmetrics(&std::fs::read_to_string(&openmetrics).unwrap())
+            .expect("openmetrics exposition lints");
+        // The report renders every section from the stream.
+        crate::report::report(&args(&format!(
+            "report --snapshots {} --openmetrics {} --out {}",
+            snapshots.display(),
+            openmetrics.display(),
+            report_md.display()
+        )))
+        .unwrap();
+        let md = std::fs::read_to_string(&report_md).unwrap();
+        for needle in [
+            "# culda run report",
+            "## Convergence",
+            "## Held-out evaluation",
+            "## Metrics exposition",
+        ] {
+            assert!(md.contains(needle), "report missing {needle:?}");
+        }
+        // A missing stream is an I/O error; a garbage stream a usage error.
+        assert!(crate::report::report(&args("report --snapshots /nonexistent.jsonl")).is_err());
+        std::fs::write(tmp("tm.bad.jsonl"), "not json\n").unwrap();
+        let e = crate::report::report(&args(&format!(
+            "report --snapshots {}",
+            tmp("tm.bad.jsonl").display()
+        )))
+        .unwrap_err();
+        assert_eq!(exit_code(e.as_ref()), 2);
+    }
+
+    #[test]
+    fn strict_health_turns_a_faulted_run_into_exit_five() {
+        let docword = tmp("h.docword");
+        let vocab = tmp("h.vocab");
+        generate(&args(&format!(
+            "generate --preset tiny --seed 4 --docword {} --vocab {}",
+            docword.display(),
+            vocab.display()
+        )))
+        .unwrap();
+        let base = format!(
+            "train --docword {} --vocab {} --topics 8 --iters 8 --score-every 1 \
+             --platform pascal --gpus 2 --seed 33 --fault-plan launch:0:4",
+            docword.display(),
+            vocab.display()
+        );
+        // The retried fault collapses throughput → a warning event, which
+        // is tolerated by default…
+        train(&args(&format!(
+            "{base} --model {}",
+            tmp("h.lax.phi").display()
+        )))
+        .unwrap();
+        // …and fatal under --strict-health.
+        let e = train(&args(&format!(
+            "{base} --model {} --strict-health --snapshots {}",
+            tmp("h.strict.phi").display(),
+            tmp("h.jsonl").display()
+        )))
+        .unwrap_err();
+        assert_eq!(exit_code(e.as_ref()), 5);
+        assert!(e.to_string().contains("health"));
+        // The model and telemetry were still written before the failure.
+        assert!(tmp("h.strict.phi").exists());
+        let stream = std::fs::read_to_string(tmp("h.jsonl")).unwrap();
+        assert!(
+            stream.contains("throughput-collapse"),
+            "health event missing from stream"
+        );
+    }
+
+    #[test]
     fn exit_codes_separate_usage_fault_and_io_errors() {
         assert_eq!(exit_code(&ArgError("bad flag".into())), 2);
+        assert_eq!(exit_code(&HealthError("nan loglik".into())), 5);
         assert_eq!(
             exit_code(&CuldaError::Invalid("more GPUs than words".into())),
             2

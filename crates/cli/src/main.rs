@@ -4,6 +4,7 @@
 
 mod args;
 mod commands;
+mod report;
 
 fn main() {
     let parsed = match args::Args::parse(std::env::args().skip(1)) {

@@ -1,0 +1,285 @@
+//! `culda report` — render a training run's JSONL telemetry stream
+//! (written by `culda train --snapshots`) as a markdown run report.
+//!
+//! The report is built entirely from the snapshot stream: a run summary,
+//! an ASCII sparkline of the convergence curve and throughput, the
+//! per-iteration sync/sampling mode timeline (the trail the `auto` modes
+//! leave), the held-out evaluation table, and the health-event log. When
+//! `--openmetrics` names an exposition file the report also lints it
+//! (parse-back plus histogram-consistency checks) and summarizes the
+//! metric families — a failed lint fails the command, which is what
+//! `scripts/ci.sh` leans on.
+
+use crate::args::Args;
+use crate::commands::CmdResult;
+use culda_metrics::{
+    format_tokens_per_sec, lint_openmetrics, parse_snapshots, sparkline, HealthEvent,
+    MetricsSnapshot, Severity, SnapshotRecord,
+};
+use std::fmt::Write as _;
+
+fn err(msg: impl Into<String>) -> Box<dyn std::error::Error> {
+    Box::new(crate::args::ArgError(msg.into()))
+}
+
+/// One char per iteration: `·` when the mode question didn't arise,
+/// `d`/`s` for the dense/sparse answer.
+fn mode_lane(
+    iters: &[&MetricsSnapshot],
+    pick: impl Fn(&MetricsSnapshot) -> Option<bool>,
+) -> String {
+    iters
+        .iter()
+        .map(|s| match pick(s) {
+            Some(true) => 's',
+            Some(false) => 'd',
+            None => '·',
+        })
+        .collect()
+}
+
+/// Renders the markdown report for a parsed snapshot stream.
+pub fn render_report(records: &[SnapshotRecord], openmetrics_summary: Option<&str>) -> String {
+    let iters: Vec<&MetricsSnapshot> = records
+        .iter()
+        .filter_map(|r| match r {
+            SnapshotRecord::Iteration(s) => Some(s),
+            _ => None,
+        })
+        .collect();
+    let health: Vec<&HealthEvent> = records
+        .iter()
+        .filter_map(|r| match r {
+            SnapshotRecord::Health(e) => Some(e),
+            _ => None,
+        })
+        .collect();
+
+    let mut out = String::from("# culda run report\n\n");
+    if iters.is_empty() {
+        out.push_str("The snapshot stream holds no iteration records.\n");
+        return out;
+    }
+
+    let first = iters.first().unwrap();
+    let last = iters.last().unwrap();
+    let total_tokens: u64 = iters.iter().map(|s| s.stat.tokens).sum();
+    let total_sim = last.cumulative_sim_seconds;
+    let fatals = health
+        .iter()
+        .filter(|e| e.severity == Severity::Fatal)
+        .count();
+    out.push_str("## Summary\n\n");
+    let _ = writeln!(
+        out,
+        "- iterations: {} (iter {}..{})",
+        iters.len(),
+        first.stat.iteration,
+        last.stat.iteration
+    );
+    let _ = writeln!(
+        out,
+        "- tokens sampled: {total_tokens} over {total_sim:.4} simulated second(s)"
+    );
+    if total_sim > 0.0 {
+        let _ = writeln!(
+            out,
+            "- throughput: {}/s average",
+            format_tokens_per_sec(total_tokens as f64 / total_sim)
+        );
+    }
+    let scored: Vec<f64> = iters
+        .iter()
+        .filter_map(|s| s.stat.loglik_per_token)
+        .collect();
+    if let Some(ll) = scored.last() {
+        let _ = writeln!(out, "- final loglik/token: {ll:.4}");
+    }
+    if let Some(mode) = &last.sync_mode {
+        let _ = writeln!(out, "- sync mode: {mode}");
+    }
+    let _ = writeln!(
+        out,
+        "- health events: {} ({} warning(s), {fatals} fatal)",
+        health.len(),
+        health.len() - fatals
+    );
+
+    out.push_str("\n## Convergence\n\n");
+    if scored.len() >= 2 {
+        let _ = writeln!(
+            out,
+            "loglik/token, {:.4} → {:.4}:\n\n    {}",
+            scored.first().unwrap(),
+            scored.last().unwrap(),
+            sparkline(&scored, 60)
+        );
+    } else {
+        out.push_str("fewer than two scored iterations (see `--score-every`).\n");
+    }
+    let tps: Vec<f64> = iters.iter().map(|s| s.stat.tokens_per_sec()).collect();
+    let lo = tps.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = tps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let _ = writeln!(
+        out,
+        "\ntokens/sec, {}/s – {}/s:\n\n    {}",
+        format_tokens_per_sec(lo),
+        format_tokens_per_sec(hi),
+        sparkline(&tps, 60)
+    );
+
+    // A multi-GPU iteration with no delta density ran a dense payload.
+    let sync_lane = mode_lane(&iters, |s| {
+        s.stat
+            .delta_density
+            .map(|_| true)
+            .or(if s.sync_mode.is_some() {
+                Some(false)
+            } else {
+                None
+            })
+    });
+    let sampling_lane = mode_lane(&iters, |s| s.stat.sampling_sparse);
+    if sync_lane.chars().any(|c| c != '·') || sampling_lane.chars().any(|c| c != '·') {
+        out.push_str("\n## Mode timeline\n\n");
+        out.push_str("One column per iteration; `d` dense, `s` sparse, `·` not applicable.\n\n");
+        let _ = writeln!(out, "    sync:     {sync_lane}");
+        let _ = writeln!(out, "    sampling: {sampling_lane}");
+    }
+
+    let evals: Vec<(u32, culda_metrics::EvalRecord)> = iters
+        .iter()
+        .filter_map(|s| s.eval.map(|e| (s.stat.iteration, e)))
+        .collect();
+    if !evals.is_empty() {
+        out.push_str("\n## Held-out evaluation\n\n");
+        out.push_str("| iteration | perplexity | log-predictive | coherence | ϕ nnz/row | top-word drift |\n");
+        out.push_str("|---:|---:|---:|---:|---:|---:|\n");
+        for (i, e) in &evals {
+            let drift = e
+                .topic_drift
+                .map(|d| format!("{d:.3}"))
+                .unwrap_or_else(|| "—".into());
+            let _ = writeln!(
+                out,
+                "| {i} | {:.2} | {:.4} | {:.3} | {:.1} | {drift} |",
+                e.perplexity, e.log_predictive, e.coherence, e.phi_nnz_per_row
+            );
+        }
+    }
+
+    if !health.is_empty() {
+        out.push_str("\n## Health events\n\n");
+        for e in &health {
+            let _ = writeln!(out, "- {e}");
+        }
+    }
+
+    if let Some(summary) = openmetrics_summary {
+        out.push_str("\n## Metrics exposition\n\n");
+        let _ = writeln!(out, "{summary}");
+    }
+    out
+}
+
+/// `culda report` — read a `--snapshots` JSONL stream and print (or write
+/// with `--out`) the markdown run report.
+pub fn report(args: &Args) -> CmdResult {
+    let path = args.require("snapshots")?;
+    let text = std::fs::read_to_string(path)?;
+    let records =
+        parse_snapshots(&text).map_err(|e| err(format!("bad snapshot stream {path}: {e}")))?;
+    let om_summary = match args.require("openmetrics") {
+        Ok(om_path) => {
+            let om = std::fs::read_to_string(om_path)?;
+            let families = lint_openmetrics(&om)
+                .map_err(|e| err(format!("openmetrics lint failed for {om_path}: {e}")))?;
+            Some(format!(
+                "`{om_path}` parses back cleanly: {families} metric families."
+            ))
+        }
+        Err(_) => None,
+    };
+    let rendered = render_report(&records, om_summary.as_deref());
+    match args.require("out") {
+        Ok(out_path) => {
+            std::fs::write(out_path, rendered)?;
+            println!("run report written to {out_path}");
+        }
+        Err(_) => print!("{rendered}"),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culda_metrics::{EvalRecord, HealthKind, IterationStat};
+
+    fn snap(i: u32, ll: Option<f64>, eval: Option<EvalRecord>) -> SnapshotRecord {
+        SnapshotRecord::Iteration(MetricsSnapshot {
+            stat: IterationStat {
+                iteration: i,
+                tokens: 1000,
+                sim_seconds: 0.01,
+                wall_seconds: 0.02,
+                loglik_per_token: ll,
+                delta_density: i.is_multiple_of(2).then_some(0.25),
+                sampling_sparse: Some(i % 2 == 1),
+            },
+            cumulative_sim_seconds: 0.01 * (i + 1) as f64,
+            sync_mode: Some("auto".into()),
+            compression_ratio: Some(3.0),
+            eval,
+        })
+    }
+
+    #[test]
+    fn report_renders_every_section() {
+        let records = vec![
+            snap(0, Some(-9.0), None),
+            snap(1, Some(-8.5), None),
+            snap(
+                2,
+                Some(-8.2),
+                Some(EvalRecord {
+                    perplexity: 420.0,
+                    log_predictive: -6.04,
+                    coherence: -1.5,
+                    phi_nnz_per_row: 12.5,
+                    topic_drift: Some(0.2),
+                }),
+            ),
+            SnapshotRecord::Health(HealthEvent {
+                iteration: 2,
+                kind: HealthKind::ThroughputCollapse,
+                severity: Severity::Warning,
+                value: 10.0,
+                threshold: 50.0,
+                message: "tokens/sec fell".into(),
+            }),
+        ];
+        let md = render_report(&records, Some("3 metric families."));
+        for needle in [
+            "# culda run report",
+            "## Summary",
+            "## Convergence",
+            "## Mode timeline",
+            "sync:     sds",
+            "sampling: dsd",
+            "## Held-out evaluation",
+            "| 2 | 420.00 |",
+            "## Health events",
+            "throughput-collapse",
+            "## Metrics exposition",
+        ] {
+            assert!(md.contains(needle), "report missing {needle:?}:\n{md}");
+        }
+    }
+
+    #[test]
+    fn empty_stream_renders_a_stub() {
+        let md = render_report(&[], None);
+        assert!(md.contains("no iteration records"));
+    }
+}

@@ -17,7 +17,8 @@ use crate::link::Link;
 use crate::memory::{MemoryLedger, OomError, Reservation};
 use crate::platform::GpuSpec;
 use crate::profile::ProfileLog;
-use culda_metrics::{Json, MetricsRegistry, TraceSink};
+use culda_metrics::{Counter, Histogram, Json, MetricsRegistry, TraceSink};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -28,11 +29,32 @@ fn locked<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|p| p.into_inner())
 }
 
+/// Kernel-launch counter handles, resolved once when a registry is attached
+/// so the per-launch path records through cached `Arc`s instead of paying a
+/// name lookup (and a `String` key allocation) per launch.
+#[derive(Debug, Clone)]
+struct KernelInstruments {
+    launches: Arc<Counter>,
+    dram_bytes: Arc<Counter>,
+    atomic_adds: Arc<Counter>,
+}
+
+impl KernelInstruments {
+    fn resolve(reg: &MetricsRegistry) -> Self {
+        Self {
+            launches: reg.counter("kernel.launches"),
+            dram_bytes: reg.counter("kernel.dram_bytes"),
+            atomic_adds: reg.counter("kernel.atomic_adds"),
+        }
+    }
+}
+
 /// Observability sinks attached to a device (both optional).
 #[derive(Debug, Clone, Default)]
 struct Observability {
     trace: Option<Arc<TraceSink>>,
     metrics: Option<Arc<MetricsRegistry>>,
+    instruments: Option<KernelInstruments>,
 }
 
 /// One GPU in the system.
@@ -47,6 +69,10 @@ pub struct Device {
     ledger: Arc<MemoryLedger>,
     workers: usize,
     obs: Mutex<Observability>,
+    /// Per-kernel-name bandwidth histogram handles: resolving
+    /// `kernel.gbps.<name>` through the registry would build the dotted key
+    /// string on every launch, so each device memoizes the handles here.
+    gbps_cache: Mutex<BTreeMap<String, Arc<Histogram>>>,
     /// Current epoch (training iteration / serving batch): the coordinate
     /// an attached [`FaultPlan`] resolves against.
     epoch: AtomicU32,
@@ -65,6 +91,7 @@ impl Device {
             ledger,
             workers: default_workers(),
             obs: Mutex::new(Observability::default()),
+            gbps_cache: Mutex::new(BTreeMap::new()),
             epoch: AtomicU32::new(0),
             faults: Mutex::new(None),
         }
@@ -126,12 +153,17 @@ impl Device {
     /// bandwidth histograms, and kernel bodies can record through
     /// [`BlockCtx::metrics`].
     pub fn attach_metrics(&self, registry: Arc<MetricsRegistry>) {
-        locked(&self.obs).metrics = Some(registry);
+        let mut obs = locked(&self.obs);
+        obs.instruments = Some(KernelInstruments::resolve(&registry));
+        obs.metrics = Some(registry);
+        drop(obs);
+        locked(&self.gbps_cache).clear();
     }
 
     /// Detaches both observability sinks.
     pub fn detach_observability(&self) {
         *locked(&self.obs) = Observability::default();
+        locked(&self.gbps_cache).clear();
     }
 
     /// The attached trace sink, if any.
@@ -222,16 +254,31 @@ impl Device {
             );
         }
         if let Some(reg) = &obs.metrics {
-            reg.counter("kernel.launches").inc();
-            reg.counter("kernel.dram_bytes")
-                .add(report.cost.dram_bytes());
-            reg.counter("kernel.atomic_adds").add(report.cost.atomics);
+            // Cached at attach time: the steady-state launch path does zero
+            // name lookups and zero allocations.
+            if let Some(inst) = &obs.instruments {
+                inst.launches.inc();
+                inst.dram_bytes.add(report.cost.dram_bytes());
+                inst.atomic_adds.add(report.cost.atomics);
+            }
             if report.sim_seconds > 0.0 {
-                reg.histogram(&format!("kernel.gbps.{}", spec.name))
+                self.gbps_histogram(reg, &spec.name)
                     .record(report.cost.dram_bytes() as f64 / report.sim_seconds / 1e9);
             }
         }
         report
+    }
+
+    /// The `kernel.gbps.<name>` histogram handle, memoized per device so
+    /// only the first launch of each kernel builds the dotted key string.
+    fn gbps_histogram(&self, reg: &MetricsRegistry, name: &str) -> Arc<Histogram> {
+        let mut cache = locked(&self.gbps_cache);
+        if let Some(h) = cache.get(name) {
+            return Arc::clone(h);
+        }
+        let h = reg.histogram(&format!("kernel.gbps.{name}"));
+        cache.insert(name.to_string(), Arc::clone(&h));
+        h
     }
 
     /// The fallible launch path: like [`launch_spec`](Device::launch_spec)

@@ -15,27 +15,36 @@
 //! * [`json`] — a dependency-free JSON value (build / render / parse).
 //! * [`registry`] — hot-path counters, gauges, log-bucketed histograms.
 //! * [`trace`] — Chrome Trace Event Format timelines (Perfetto-loadable).
+//! * [`health`] — longitudinal anomaly detectors over the iteration stream.
+//! * [`snapshot`] — append-only JSONL per-iteration telemetry records.
+//! * [`openmetrics`] — OpenMetrics text exposition of the registry.
 
 #![warn(missing_docs)]
 
 pub mod breakdown;
 pub mod coherence;
+pub mod health;
 pub mod json;
 pub mod lgamma;
 pub mod loglik;
+pub mod openmetrics;
 pub mod registry;
 pub mod roofline;
 pub mod series;
+pub mod snapshot;
 pub mod throughput;
 pub mod trace;
 
 pub use breakdown::{Breakdown, GpuBreakdowns, Phase};
 pub use coherence::CoOccurrence;
+pub use health::{HealthConfig, HealthEvent, HealthKind, HealthMonitor, HealthSample, Severity};
 pub use json::Json;
 pub use lgamma::{digamma, ln_gamma, ln_gamma_ratio};
 pub use loglik::LdaLoglik;
+pub use openmetrics::{lint_openmetrics, parse_openmetrics, render_openmetrics};
 pub use registry::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use roofline::{Roofline, SamplingStep};
-pub use series::{Figure, Series};
+pub use series::{sparkline, Ewma, Figure, Series};
+pub use snapshot::{parse_snapshots, EvalRecord, MetricsSnapshot, SnapshotRecord, SnapshotWriter};
 pub use throughput::{format_tokens_per_sec, IterationStat, RunHistory};
 pub use trace::{EventKind, TraceEvent, TraceSink, HOST_PID, SIM_PID, SYNC_TID};

@@ -1,0 +1,336 @@
+//! OpenMetrics text-exposition rendering of a [`MetricsRegistry`], plus a
+//! strict parser used as a round-trip lint in CI.
+//!
+//! The renderer emits the subset of the OpenMetrics 1.0 text format that
+//! covers the registry's three instrument kinds: counters (`_total` samples),
+//! gauges, and histograms (cumulative `_bucket{le="…"}` series plus `_sum` /
+//! `_count`). Metric names are namespaced `culda_` and sanitized to the
+//! `[a-zA-Z_:][a-zA-Z0-9_:]*` charset (the registry's dotted names map dots
+//! to underscores). Exposition ends with the mandatory `# EOF` marker.
+
+use crate::registry::{Histogram, MetricsRegistry};
+use std::fmt::Write as _;
+
+/// Sanitizes a registry instrument name into an OpenMetrics metric name.
+pub fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 6);
+    out.push_str("culda_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".into()
+    } else if v == f64::INFINITY {
+        "+Inf".into()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".into()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn render_histogram(out: &mut String, name: &str, h: &Histogram) {
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    // Cumulative bucket series over the non-empty buckets. Underflow counts
+    // fold into the first emitted bucket; overflow only appears in +Inf.
+    let mut cumulative = h.underflow();
+    for (_, hi, n) in h.nonzero_buckets() {
+        cumulative += n;
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{le=\"{}\"}} {cumulative}",
+            fmt_value(hi)
+        );
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
+    let _ = writeln!(out, "{name}_sum {}", fmt_value(h.sum()));
+    let _ = writeln!(out, "{name}_count {}", h.count());
+}
+
+/// Renders the whole registry as OpenMetrics text exposition.
+pub fn render_openmetrics(reg: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for (name, value) in reg.counter_values() {
+        let m = metric_name(&name);
+        let _ = writeln!(out, "# TYPE {m} counter");
+        let _ = writeln!(out, "{m}_total {value}");
+    }
+    for (name, value) in reg.gauge_values() {
+        let m = metric_name(&name);
+        let _ = writeln!(out, "# TYPE {m} gauge");
+        let _ = writeln!(out, "{m} {}", fmt_value(value));
+    }
+    for (name, h) in reg.histogram_handles() {
+        render_histogram(&mut out, &metric_name(&name), &h);
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Sample name (metric name plus any `_total`/`_bucket`/… suffix).
+    pub name: String,
+    /// Label pairs, in exposition order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// One metric family: a `# TYPE` declaration and its samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricFamily {
+    /// Declared metric name.
+    pub name: String,
+    /// Declared type (`counter`, `gauge`, or `histogram`).
+    pub kind: String,
+    /// Samples attributed to this family.
+    pub samples: Vec<Sample>,
+}
+
+fn parse_value(s: &str) -> Result<f64, String> {
+    match s {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        other => other
+            .parse::<f64>()
+            .map_err(|_| format!("bad sample value {other:?}")),
+    }
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (name_part, value_part) = match line.find('{') {
+        Some(open) => {
+            let close = line
+                .rfind('}')
+                .ok_or_else(|| format!("unclosed label set: {line:?}"))?;
+            (
+                line[..open].to_string(),
+                (&line[open..=close], &line[close + 1..]),
+            )
+        }
+        None => {
+            let mut it = line.splitn(2, ' ');
+            let name = it.next().unwrap_or_default().to_string();
+            let rest = it
+                .next()
+                .ok_or_else(|| format!("sample missing value: {line:?}"))?;
+            return Ok(Sample {
+                name,
+                labels: Vec::new(),
+                value: parse_value(rest.trim())?,
+            });
+        }
+    };
+    let (label_text, rest) = value_part;
+    let inner = &label_text[1..label_text.len() - 1];
+    let mut labels = Vec::new();
+    for pair in inner.split(',').filter(|p| !p.is_empty()) {
+        let (k, v) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("bad label pair {pair:?}"))?;
+        let v = v
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| format!("label value not quoted: {pair:?}"))?;
+        labels.push((k.to_string(), v.to_string()));
+    }
+    Ok(Sample {
+        name: name_part,
+        labels,
+        value: parse_value(rest.trim())?,
+    })
+}
+
+/// Parses an OpenMetrics exposition. Requires a final `# EOF`, a `# TYPE`
+/// declaration before any family's samples, and that every sample belongs to
+/// the most recent declaration.
+pub fn parse_openmetrics(text: &str) -> Result<Vec<MetricFamily>, String> {
+    let mut families: Vec<MetricFamily> = Vec::new();
+    let mut saw_eof = false;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        let err = |msg: String| format!("line {}: {msg}", lineno + 1);
+        if saw_eof && !line.is_empty() {
+            return Err(err("content after # EOF".into()));
+        }
+        if line.is_empty() {
+            continue;
+        }
+        if line == "# EOF" {
+            saw_eof = true;
+            continue;
+        }
+        if let Some(decl) = line.strip_prefix("# TYPE ") {
+            let mut it = decl.split_whitespace();
+            let name = it.next().ok_or_else(|| err("TYPE missing name".into()))?;
+            let kind = it.next().ok_or_else(|| err("TYPE missing kind".into()))?;
+            if !matches!(kind, "counter" | "gauge" | "histogram") {
+                return Err(err(format!("unknown metric type {kind:?}")));
+            }
+            families.push(MetricFamily {
+                name: name.to_string(),
+                kind: kind.to_string(),
+                samples: Vec::new(),
+            });
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP/UNIT comments.
+        }
+        let sample = parse_sample(line).map_err(err)?;
+        let family = families
+            .last_mut()
+            .ok_or_else(|| err(format!("sample {:?} before any # TYPE", sample.name)))?;
+        if !sample.name.starts_with(family.name.as_str()) {
+            return Err(err(format!(
+                "sample {:?} does not belong to family {:?}",
+                sample.name, family.name
+            )));
+        }
+        family.samples.push(sample);
+    }
+    if !saw_eof {
+        return Err("missing # EOF terminator".into());
+    }
+    Ok(families)
+}
+
+/// Structural lint: parses the exposition and checks the histogram
+/// invariants (cumulative buckets monotone non-decreasing, `+Inf` bucket
+/// present and equal to `_count`). Returns the family count on success.
+pub fn lint_openmetrics(text: &str) -> Result<usize, String> {
+    let families = parse_openmetrics(text)?;
+    for fam in &families {
+        if fam.kind != "histogram" {
+            if fam.samples.is_empty() {
+                return Err(format!("family {:?} has no samples", fam.name));
+            }
+            continue;
+        }
+        let buckets: Vec<&Sample> = fam
+            .samples
+            .iter()
+            .filter(|s| s.name == format!("{}_bucket", fam.name))
+            .collect();
+        let mut prev = 0.0;
+        let mut inf_value = None;
+        for b in &buckets {
+            if b.value < prev {
+                return Err(format!(
+                    "family {:?}: cumulative bucket counts decreased",
+                    fam.name
+                ));
+            }
+            prev = b.value;
+            if b.labels.iter().any(|(k, v)| k == "le" && v == "+Inf") {
+                inf_value = Some(b.value);
+            }
+        }
+        let inf = inf_value.ok_or_else(|| format!("family {:?}: no +Inf bucket", fam.name))?;
+        let count = fam
+            .samples
+            .iter()
+            .find(|s| s.name == format!("{}_count", fam.name))
+            .ok_or_else(|| format!("family {:?}: no _count sample", fam.name))?;
+        if (count.value - inf).abs() > 0.0 {
+            return Err(format!(
+                "family {:?}: _count {} != +Inf bucket {}",
+                fam.name, count.value, inf
+            ));
+        }
+    }
+    Ok(families.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_and_parses_back() {
+        let reg = MetricsRegistry::new();
+        reg.counter("kernel.launches").add(42);
+        reg.gauge("sync.compression_ratio").set(3.5);
+        let h = reg.histogram("serve.batch_seconds");
+        for v in [0.5, 1.0, 2.0, 2.5, 100.0] {
+            h.record(v);
+        }
+        let text = render_openmetrics(&reg);
+        assert!(text.ends_with("# EOF\n"));
+        let families = parse_openmetrics(&text).unwrap();
+        assert_eq!(families.len(), 3);
+        let counter = &families[0];
+        assert_eq!(counter.name, "culda_kernel_launches");
+        assert_eq!(counter.kind, "counter");
+        assert_eq!(counter.samples[0].name, "culda_kernel_launches_total");
+        assert_eq!(counter.samples[0].value, 42.0);
+        let gauge = &families[1];
+        assert_eq!(gauge.kind, "gauge");
+        assert_eq!(gauge.samples[0].value, 3.5);
+        let hist = &families[2];
+        assert_eq!(hist.kind, "histogram");
+        let count = hist
+            .samples
+            .iter()
+            .find(|s| s.name == "culda_serve_batch_seconds_count")
+            .unwrap();
+        assert_eq!(count.value, 5.0);
+        assert_eq!(lint_openmetrics(&text).unwrap(), 3);
+    }
+
+    #[test]
+    fn bucket_series_is_cumulative() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("h");
+        h.record(0.0); // underflow
+        h.record(1.5);
+        h.record(3.0);
+        let text = render_openmetrics(&reg);
+        let families = parse_openmetrics(&text).unwrap();
+        let buckets: Vec<f64> = families[0]
+            .samples
+            .iter()
+            .filter(|s| s.name == "culda_h_bucket")
+            .map(|s| s.value)
+            .collect();
+        // underflow folds into the first bucket: [2, 3, 3].
+        assert_eq!(buckets, vec![2.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn lint_rejects_malformed() {
+        assert!(lint_openmetrics("no eof here").is_err());
+        assert!(lint_openmetrics("x_total 1\n# EOF\n")
+            .unwrap_err()
+            .contains("before any # TYPE"));
+        let decreasing = "# TYPE culda_h histogram\n\
+             culda_h_bucket{le=\"1\"} 5\n\
+             culda_h_bucket{le=\"+Inf\"} 3\n\
+             culda_h_sum 1\n\
+             culda_h_count 3\n\
+             # EOF\n";
+        assert!(lint_openmetrics(decreasing)
+            .unwrap_err()
+            .contains("decreased"));
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        assert_eq!(
+            metric_name("kernel.gbps.sample"),
+            "culda_kernel_gbps_sample"
+        );
+        assert_eq!(metric_name("a-b c"), "culda_a_b_c");
+    }
+}

@@ -255,21 +255,65 @@ impl MetricsRegistry {
     }
 
     /// Gets or creates the counter named `name`.
+    ///
+    /// Lookups of an existing name borrow `name` directly (no `String`
+    /// allocation); only the first resolution of a name interns it.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
         let mut map = self.counters.lock().unwrap();
+        if let Some(c) = map.get(name) {
+            return Arc::clone(c);
+        }
         map.entry(name.to_string()).or_default().clone()
     }
 
-    /// Gets or creates the gauge named `name`.
+    /// Gets or creates the gauge named `name`. Allocation-free on hit, like
+    /// [`MetricsRegistry::counter`].
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
         let mut map = self.gauges.lock().unwrap();
+        if let Some(g) = map.get(name) {
+            return Arc::clone(g);
+        }
         map.entry(name.to_string()).or_default().clone()
     }
 
-    /// Gets or creates the histogram named `name`.
+    /// Gets or creates the histogram named `name`. Allocation-free on hit,
+    /// like [`MetricsRegistry::counter`].
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
         let mut map = self.histograms.lock().unwrap();
+        if let Some(h) = map.get(name) {
+            return Arc::clone(h);
+        }
         map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Counter `(name, value)` pairs in name order.
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        self.counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, c)| (k.clone(), c.value()))
+            .collect()
+    }
+
+    /// Gauge `(name, value)` pairs in name order.
+    pub fn gauge_values(&self) -> Vec<(String, f64)> {
+        self.gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, g)| (k.clone(), g.value()))
+            .collect()
+    }
+
+    /// Histogram `(name, handle)` pairs in name order.
+    pub fn histogram_handles(&self) -> Vec<(String, Arc<Histogram>)> {
+        self.histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, h)| (k.clone(), Arc::clone(h)))
+            .collect()
     }
 
     /// Snapshots every instrument into a JSON document

@@ -131,6 +131,78 @@ impl Figure {
     }
 }
 
+/// A windowed exponentially weighted moving average.
+///
+/// `window` sets the smoothing constant the classic way,
+/// `alpha = 2 / (window + 1)`, so a window of 1 tracks the input exactly and
+/// larger windows smooth harder. The first observation seeds the average
+/// directly (no zero-bias warm-up), which gives the invariant the health
+/// detectors rely on: the smoothed value always lies within the closed
+/// min/max envelope of the inputs seen so far.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an EWMA smoothing over roughly `window` observations.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "EWMA window must be positive");
+        Self {
+            alpha: 2.0 / (window as f64 + 1.0),
+            value: None,
+        }
+    }
+
+    /// Feeds one observation and returns the updated average.
+    pub fn update(&mut self, x: f64) -> f64 {
+        let next = match self.value {
+            None => x,
+            Some(v) => v + self.alpha * (x - v),
+        };
+        self.value = Some(next);
+        next
+    }
+
+    /// Current average, or `None` before the first observation.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+}
+
+/// Renders `values` as a one-line Unicode sparkline, resampled to at most
+/// `width` columns by nearest point. Non-finite values render as a space.
+pub fn sparkline(values: &[f64], width: usize) -> String {
+    const TICKS: [char; 8] = [
+        '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+        '\u{2588}',
+    ];
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    let (lo, hi) = match Series::new("", finite.iter().map(|&y| (0.0, y)).collect()).y_range() {
+        Some(r) => r,
+        None => return String::new(),
+    };
+    let span = (hi - lo).max(f64::MIN_POSITIVE);
+    let n = values.len();
+    let cols = width.max(1).min(n);
+    (0..cols)
+        .map(|col| {
+            let idx = if cols == 1 {
+                0
+            } else {
+                col * (n - 1) / (cols - 1)
+            };
+            let y = values[idx];
+            if !y.is_finite() {
+                return ' ';
+            }
+            let level = (((y - lo) / span) * (TICKS.len() - 1) as f64).round() as usize;
+            TICKS[level.min(TICKS.len() - 1)]
+        })
+        .collect()
+}
+
 /// Quotes a CSV field if it contains a delimiter.
 fn csv_field(s: &str) -> String {
     if s.contains(',') || s.contains('"') || s.contains('\n') {
@@ -171,6 +243,29 @@ mod tests {
         let s = Series::new("s", vec![(0.0, 5.0), (1.0, -2.0), (2.0, 3.0)]);
         assert_eq!(s.y_range(), Some((-2.0, 5.0)));
         assert_eq!(Series::new("e", vec![]).y_range(), None);
+    }
+
+    #[test]
+    fn ewma_tracks_and_smooths() {
+        let mut e = Ewma::new(1);
+        assert_eq!(e.value(), None);
+        assert_eq!(e.update(5.0), 5.0);
+        assert_eq!(e.update(9.0), 9.0, "window 1 tracks exactly");
+        let mut s = Ewma::new(9); // alpha = 0.2
+        s.update(10.0);
+        let v = s.update(0.0);
+        assert!((v - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparkline_spans_ticks() {
+        let line = sparkline(&[0.0, 1.0, 2.0, 3.0], 4);
+        assert_eq!(line.chars().count(), 4);
+        assert!(line.contains('\u{2581}') && line.contains('\u{2588}'));
+        assert_eq!(sparkline(&[], 10), "");
+        // Fewer columns than points still renders.
+        let wide = sparkline(&(0..100).map(|i| i as f64).collect::<Vec<_>>(), 10);
+        assert_eq!(wide.chars().count(), 10);
     }
 
     #[test]

@@ -1,0 +1,298 @@
+//! Append-only JSONL snapshot stream: one machine-readable record per
+//! training iteration, plus interleaved health events.
+//!
+//! The stream is the longitudinal counterpart of [`crate::registry`]'s
+//! point-in-time instruments: `culda train --snapshots run.jsonl` appends one
+//! `{"type":"iteration", …}` line per iteration (and a `{"type":"health", …}`
+//! line per [`crate::health::HealthEvent`]), and `culda report` renders the
+//! file back into a human-readable run report. Lines are self-describing and
+//! independent, so a crashed run leaves a readable prefix and `tail -f`
+//! works as a poor man's live dashboard.
+
+use crate::health::{HealthEvent, HealthKind, Severity};
+use crate::json::Json;
+use crate::throughput::IterationStat;
+use std::io::{self, Write};
+
+/// Held-out evaluation results attached to an iteration snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalRecord {
+    /// Held-out perplexity (`exp(-log predictive per token)`).
+    pub perplexity: f64,
+    /// Held-out log predictive probability per token.
+    pub log_predictive: f64,
+    /// Mean UMass coherence over the topics' top words.
+    pub coherence: f64,
+    /// Mean nonzero topic count per ϕ row (vocabulary word).
+    pub phi_nnz_per_row: f64,
+    /// Fraction of top-words that changed since the previous evaluation
+    /// (`None` on the first evaluation of a run).
+    pub topic_drift: Option<f64>,
+}
+
+impl EvalRecord {
+    fn to_json(self) -> Json {
+        Json::obj()
+            .with("perplexity", self.perplexity)
+            .with("log_predictive", self.log_predictive)
+            .with("coherence", self.coherence)
+            .with("phi_nnz_per_row", self.phi_nnz_per_row)
+            .with(
+                "topic_drift",
+                self.topic_drift.map(Json::Num).unwrap_or(Json::Null),
+            )
+    }
+
+    fn from_json(doc: &Json) -> Option<Self> {
+        Some(Self {
+            perplexity: doc.get("perplexity")?.as_f64()?,
+            log_predictive: doc.get("log_predictive")?.as_f64()?,
+            coherence: doc.get("coherence")?.as_f64()?,
+            phi_nnz_per_row: doc.get("phi_nnz_per_row")?.as_f64()?,
+            topic_drift: doc.get("topic_drift").and_then(Json::as_f64),
+        })
+    }
+}
+
+/// One iteration's snapshot line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// The iteration's timing/score record.
+    pub stat: IterationStat,
+    /// Simulated seconds since the start of the run, inclusive of this
+    /// iteration (the x-axis of the convergence curve).
+    pub cumulative_sim_seconds: f64,
+    /// The sync strategy that ran (`None` for single-GPU runs).
+    pub sync_mode: Option<String>,
+    /// This iteration's sync compression ratio (dense bytes / moved bytes).
+    pub compression_ratio: Option<f64>,
+    /// Held-out evaluation, on `--eval-every` iterations only.
+    pub eval: Option<EvalRecord>,
+}
+
+impl MetricsSnapshot {
+    /// Serializes to one JSON object (`"type": "iteration"`).
+    pub fn to_json(&self) -> Json {
+        let s = &self.stat;
+        let opt = |v: Option<f64>| v.map(Json::Num).unwrap_or(Json::Null);
+        Json::obj()
+            .with("type", "iteration")
+            .with("iteration", s.iteration)
+            .with("tokens", s.tokens)
+            .with("sim_seconds", s.sim_seconds)
+            .with("wall_seconds", s.wall_seconds)
+            .with("cumulative_sim_seconds", self.cumulative_sim_seconds)
+            .with("tokens_per_sec", s.tokens_per_sec())
+            .with("loglik_per_token", opt(s.loglik_per_token))
+            .with("delta_density", opt(s.delta_density))
+            .with(
+                "sampling_sparse",
+                s.sampling_sparse.map(Json::Bool).unwrap_or(Json::Null),
+            )
+            .with(
+                "sync_mode",
+                self.sync_mode
+                    .as_deref()
+                    .map(Json::from)
+                    .unwrap_or(Json::Null),
+            )
+            .with("compression_ratio", opt(self.compression_ratio))
+            .with(
+                "eval",
+                self.eval.map(EvalRecord::to_json).unwrap_or(Json::Null),
+            )
+    }
+
+    /// Parses an iteration object back (inverse of [`Self::to_json`]).
+    pub fn from_json(doc: &Json) -> Option<Self> {
+        if doc.get("type")?.as_str()? != "iteration" {
+            return None;
+        }
+        let f = |k: &str| doc.get(k).and_then(Json::as_f64);
+        let stat = IterationStat {
+            iteration: f("iteration")? as u32,
+            tokens: f("tokens")? as u64,
+            sim_seconds: f("sim_seconds")?,
+            wall_seconds: f("wall_seconds")?,
+            loglik_per_token: f("loglik_per_token"),
+            delta_density: f("delta_density"),
+            sampling_sparse: match doc.get("sampling_sparse") {
+                Some(Json::Bool(b)) => Some(*b),
+                _ => None,
+            },
+        };
+        Some(Self {
+            stat,
+            cumulative_sim_seconds: f("cumulative_sim_seconds")?,
+            sync_mode: doc
+                .get("sync_mode")
+                .and_then(Json::as_str)
+                .map(str::to_string),
+            compression_ratio: f("compression_ratio"),
+            eval: doc.get("eval").and_then(EvalRecord::from_json),
+        })
+    }
+}
+
+/// One parsed line of a snapshot stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapshotRecord {
+    /// A per-iteration metrics line.
+    Iteration(MetricsSnapshot),
+    /// A health-detector event line.
+    Health(HealthEvent),
+}
+
+/// Parses a health line back into a [`HealthEvent`].
+fn health_from_json(doc: &Json) -> Option<HealthEvent> {
+    if doc.get("type")?.as_str()? != "health" {
+        return None;
+    }
+    let kind = match doc.get("kind")?.as_str()? {
+        "non-finite-loglik" => HealthKind::NonFiniteLoglik,
+        "throughput-collapse" => HealthKind::ThroughputCollapse,
+        "convergence-stall" => HealthKind::ConvergenceStall,
+        "sync-regression" => HealthKind::SyncRegression,
+        _ => return None,
+    };
+    let severity = match doc.get("severity")?.as_str()? {
+        "warning" => Severity::Warning,
+        "fatal" => Severity::Fatal,
+        _ => return None,
+    };
+    Some(HealthEvent {
+        iteration: doc.get("iteration")?.as_f64()? as u32,
+        kind,
+        severity,
+        value: doc.get("value")?.as_f64().unwrap_or(f64::NAN),
+        threshold: doc.get("threshold")?.as_f64().unwrap_or(f64::NAN),
+        message: doc.get("message")?.as_str()?.to_string(),
+    })
+}
+
+/// Parses a whole JSONL stream. Unknown `type`s are skipped (forward
+/// compatibility); a malformed line is an error naming its line number.
+pub fn parse_snapshots(text: &str) -> Result<Vec<SnapshotRecord>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let doc = Json::parse(line).map_err(|e| format!("line {}: bad JSON: {e}", lineno + 1))?;
+        if let Some(snap) = MetricsSnapshot::from_json(&doc) {
+            out.push(SnapshotRecord::Iteration(snap));
+        } else if let Some(ev) = health_from_json(&doc) {
+            out.push(SnapshotRecord::Health(ev));
+        } else if doc.get("type").is_none() {
+            return Err(format!("line {}: missing \"type\" field", lineno + 1));
+        }
+        // Lines with an unrecognized "type" are skipped.
+    }
+    Ok(out)
+}
+
+/// Appends snapshot/health lines to any [`Write`] sink, one JSON object per
+/// line, flushing after each so `tail -f` sees complete records.
+#[derive(Debug)]
+pub struct SnapshotWriter<W: Write> {
+    sink: W,
+}
+
+impl<W: Write> SnapshotWriter<W> {
+    /// Wraps a sink.
+    pub fn new(sink: W) -> Self {
+        Self { sink }
+    }
+
+    /// Writes one iteration snapshot line.
+    pub fn write_snapshot(&mut self, snap: &MetricsSnapshot) -> io::Result<()> {
+        self.write_line(&snap.to_json())
+    }
+
+    /// Writes one health event line.
+    pub fn write_health(&mut self, ev: &HealthEvent) -> io::Result<()> {
+        self.write_line(&ev.to_json())
+    }
+
+    fn write_line(&mut self, doc: &Json) -> io::Result<()> {
+        self.sink.write_all(doc.render().as_bytes())?;
+        self.sink.write_all(b"\n")?;
+        self.sink.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(i: u32, ll: Option<f64>) -> MetricsSnapshot {
+        MetricsSnapshot {
+            stat: IterationStat {
+                iteration: i,
+                tokens: 1000,
+                sim_seconds: 0.5,
+                wall_seconds: 0.1,
+                loglik_per_token: ll,
+                delta_density: Some(0.25),
+                sampling_sparse: Some(true),
+            },
+            cumulative_sim_seconds: 0.5 * (i + 1) as f64,
+            sync_mode: Some("delta".into()),
+            compression_ratio: Some(3.5),
+            eval: Some(EvalRecord {
+                perplexity: 120.0,
+                log_predictive: -4.787,
+                coherence: -2.5,
+                phi_nnz_per_row: 6.25,
+                topic_drift: None,
+            }),
+        }
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let s = snap(3, Some(-7.25));
+        let doc = Json::parse(&s.to_json().render()).unwrap();
+        let back = MetricsSnapshot::from_json(&doc).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn stream_writes_and_parses_back() {
+        let mut buf = Vec::new();
+        {
+            let mut w = SnapshotWriter::new(&mut buf);
+            w.write_snapshot(&snap(0, None)).unwrap();
+            w.write_health(&HealthEvent {
+                iteration: 1,
+                kind: HealthKind::ThroughputCollapse,
+                severity: Severity::Warning,
+                value: 10.0,
+                threshold: 100.0,
+                message: "slow".into(),
+            })
+            .unwrap();
+            w.write_snapshot(&snap(1, Some(-8.0))).unwrap();
+        }
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        let records = parse_snapshots(&text).unwrap();
+        assert_eq!(records.len(), 3);
+        assert!(matches!(&records[0], SnapshotRecord::Iteration(s) if s.stat.iteration == 0));
+        assert!(
+            matches!(&records[1], SnapshotRecord::Health(e) if e.kind == HealthKind::ThroughputCollapse)
+        );
+        assert!(matches!(&records[2], SnapshotRecord::Iteration(s) if s.eval.is_some()));
+    }
+
+    #[test]
+    fn unknown_types_skip_and_garbage_errors() {
+        let ok = "{\"type\":\"future-thing\",\"x\":1}\n";
+        assert!(parse_snapshots(ok).unwrap().is_empty());
+        let bad = "not json\n";
+        assert!(parse_snapshots(bad).unwrap_err().contains("line 1"));
+        let untyped = "{\"x\":1}\n";
+        assert!(parse_snapshots(untyped).unwrap_err().contains("type"));
+    }
+}

@@ -1,0 +1,80 @@
+//! Zero-allocation guarantees for the metrics hot path.
+//!
+//! The recording sites sit inside the per-iteration kernel-launch loop, so
+//! neither recording through a resolved handle nor re-resolving an existing
+//! instrument name may allocate. This test swaps in a counting global
+//! allocator and measures the allocation delta across a simulated iteration's
+//! worth of metric activity. It lives in its own integration-test binary so
+//! no other test thread can allocate concurrently.
+
+use culda_metrics::MetricsRegistry;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn iteration_hot_path_does_not_allocate() {
+    let reg = MetricsRegistry::new();
+    // First resolution interns the names (allocates; that is fine — it
+    // happens once per run, not once per iteration).
+    let launches = reg.counter("kernel.launches");
+    let bytes = reg.counter("kernel.dram_bytes");
+    let density = reg.gauge("sync.density");
+    let gbps = reg.histogram("kernel.gbps.sample_document");
+    gbps.record(100.0); // touch every code path once before measuring
+
+    let before = allocation_count();
+    for i in 0..10_000u64 {
+        // Recording through cached handles: the per-launch path.
+        launches.inc();
+        bytes.add(4096);
+        density.set(i as f64 / 10_000.0);
+        gbps.record(50.0 + (i % 512) as f64);
+        // Re-resolving an existing name (what a cold caller does once per
+        // launch at worst) must borrow the &str, not build a String.
+        let again = reg.counter("kernel.launches");
+        again.inc();
+        drop(again);
+        let h = reg.histogram("kernel.gbps.sample_document");
+        h.record(75.0);
+        drop(h);
+    }
+    let after = allocation_count();
+    assert_eq!(
+        after - before,
+        0,
+        "metrics hot path allocated {} time(s) over 10k iterations",
+        after - before
+    );
+}

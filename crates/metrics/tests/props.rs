@@ -220,6 +220,79 @@ fn histogram_single_value_quantiles_land_in_its_bucket() {
 }
 
 #[test]
+fn histogram_quantile_rank_is_at_least_q_of_count() {
+    // The returned bucket's upper bound must sit at or above the value of
+    // rank ⌈q·(n-1)⌉+1: at least that many observations fall at or below it.
+    let mut g = Cases::new(10);
+    for _ in 0..64 {
+        let h = Histogram::default();
+        let n = 1 + g.range(1, 200) as usize;
+        let mut values: Vec<f64> = (0..n).map(|_| g.f64_range(-8.0, 8.0).exp2()).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_by(f64::total_cmp);
+        for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            let x = h.quantile(q).unwrap();
+            let rank = (q * (n - 1) as f64).floor() as usize;
+            let exact = values[rank];
+            // Bucketed estimate is within one power-of-two of the exact
+            // order statistic.
+            assert!(
+                x >= exact / 2.0 && x <= exact * 2.0,
+                "q = {q}: estimate {x} vs exact {exact}"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Windowed EWMA properties (run-health layer).
+// ---------------------------------------------------------------------------
+
+use culda_metrics::Ewma;
+
+#[test]
+fn ewma_is_bounded_by_input_envelope() {
+    let mut g = Cases::new(11);
+    for _ in 0..128 {
+        let window = 1 + g.range(0, 20) as usize;
+        let mut e = Ewma::new(window);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for _ in 0..g.range(1, 100) {
+            let x = g.f64_range(-1e6, 1e6);
+            lo = lo.min(x);
+            hi = hi.max(x);
+            let v = e.update(x);
+            assert!(
+                v >= lo - 1e-9 && v <= hi + 1e-9,
+                "EWMA {v} escaped envelope [{lo}, {hi}] (window {window})"
+            );
+            assert_eq!(e.value(), Some(v));
+        }
+    }
+}
+
+#[test]
+fn ewma_converges_to_a_constant_input() {
+    let mut g = Cases::new(12);
+    for _ in 0..64 {
+        let window = 1 + g.range(0, 10) as usize;
+        let target = g.f64_range(-100.0, 100.0);
+        let mut e = Ewma::new(window);
+        e.update(g.f64_range(-100.0, 100.0));
+        let mut last_gap = f64::INFINITY;
+        for _ in 0..200 {
+            let gap = (e.update(target) - target).abs();
+            assert!(gap <= last_gap + 1e-12, "gap must shrink monotonically");
+            last_gap = gap;
+        }
+        assert!(last_gap < 1e-6, "window {window} failed to converge");
+    }
+}
+
+#[test]
 fn histogram_out_of_range_values_are_counted_not_lost() {
     let h = Histogram::default();
     h.record(0.0);

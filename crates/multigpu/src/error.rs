@@ -110,10 +110,15 @@ pub struct RecoveryStats {
     pub workers_lost: u64,
     /// Chunks migrated to survivors after permanent losses.
     pub chunks_migrated: u64,
+    /// Health-detector events observed by the run driver (NaN scores,
+    /// throughput collapse, convergence stall, sync regression). Zero when
+    /// no monitor was attached.
+    pub health_events: u64,
 }
 
 impl RecoveryStats {
-    /// True when no fault ever fired and no recovery ran.
+    /// True when no fault ever fired, no recovery ran, and no health
+    /// anomaly was detected.
     pub fn is_clean(&self) -> bool {
         *self == Self::default()
     }
@@ -125,7 +130,11 @@ impl fmt::Display for RecoveryStats {
             f,
             "{} fault(s) injected, {} retry(s), {} worker(s) lost, {} chunk(s) migrated",
             self.faults_injected, self.retries, self.workers_lost, self.chunks_migrated
-        )
+        )?;
+        if self.health_events > 0 {
+            write!(f, ", {} health event(s)", self.health_events)?;
+        }
+        Ok(())
     }
 }
 
@@ -165,9 +174,17 @@ mod tests {
             retries: 1,
             workers_lost: 1,
             chunks_migrated: 3,
+            health_events: 0,
         };
         assert!(!busy.is_clean());
         let s = busy.to_string();
         assert!(s.contains("2 fault(s)") && s.contains("3 chunk(s) migrated"));
+        assert!(!s.contains("health"), "quiet when no events fired");
+        let unhealthy = RecoveryStats {
+            health_events: 2,
+            ..RecoveryStats::default()
+        };
+        assert!(!unhealthy.is_clean());
+        assert!(unhealthy.to_string().contains("2 health event(s)"));
     }
 }

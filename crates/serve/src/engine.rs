@@ -17,7 +17,7 @@ use crate::error::ServeError;
 use crate::frozen::FrozenModel;
 use culda_corpus::Corpus;
 use culda_gpusim::{Device, FaultPlan, GpuSpec, ProfileLog};
-use culda_metrics::{Breakdown, Json, MetricsRegistry, Phase, TraceSink};
+use culda_metrics::{Breakdown, Histogram, Json, MetricsRegistry, Phase, TraceSink};
 use culda_multigpu::{run_workers_traced, GpuWorker, RecoveryStats, RetryPolicy};
 use culda_sampler::{try_run_infer_kernel, DocPosterior, InferDoc, InferKernelConfig, LdaModel};
 use std::ops::Range;
@@ -265,6 +265,10 @@ pub struct InferenceEngine {
     batches_served: u64,
     docs_served: u64,
     tokens_served: u64,
+    /// Per-micro-batch simulated latency (seconds), log₂-bucketed across
+    /// every batch served. Feeds the p50/p95/p99 figures `culda infer`
+    /// reports.
+    latency: Histogram,
 }
 
 impl InferenceEngine {
@@ -297,6 +301,7 @@ impl InferenceEngine {
             batches_served: 0,
             docs_served: 0,
             tokens_served: 0,
+            latency: Histogram::default(),
         })
     }
 
@@ -474,6 +479,9 @@ impl InferenceEngine {
                 self.recovery.workers_lost += 1;
             }
             per_worker_seconds[wi] += shard.done.iter().map(|(_, _, s)| s).sum::<f64>();
+            for &(_, _, s) in &shard.done {
+                self.latency.record(s);
+            }
             stranded.extend(shard.unfinished);
             done.extend(shard.done);
         }
@@ -520,6 +528,9 @@ impl InferenceEngine {
                     });
                 }
                 per_worker_seconds[wi] += shard.done.iter().map(|(_, _, s)| s).sum::<f64>();
+                for &(_, _, s) in &shard.done {
+                    self.latency.record(s);
+                }
                 done.extend(shard.done);
             }
         }
@@ -577,6 +588,21 @@ impl InferenceEngine {
             sim_seconds,
             device_seconds,
         })
+    }
+
+    /// Per-micro-batch simulated latency across every batch served so far.
+    pub fn latency_histogram(&self) -> &Histogram {
+        &self.latency
+    }
+
+    /// `(p50, p95, p99)` micro-batch latency in seconds, or `None` before
+    /// the first micro-batch completes.
+    pub fn latency_quantiles(&self) -> Option<(f64, f64, f64)> {
+        Some((
+            self.latency.quantile(0.5)?,
+            self.latency.quantile(0.95)?,
+            self.latency.quantile(0.99)?,
+        ))
     }
 
     /// Convenience: infers every document of a held-out corpus.

@@ -32,8 +32,10 @@
 
 pub mod engine;
 pub mod error;
+pub mod eval;
 pub mod frozen;
 
 pub use engine::{InferenceEngine, InferenceEngineBuilder, InferenceOutcome, ServeConfig};
 pub use error::ServeError;
+pub use eval::{HeldOutEvaluator, EVAL_TOP_WORDS};
 pub use frozen::FrozenModel;

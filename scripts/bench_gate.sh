@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Throughput regression gate.
+#
+# Regenerates BENCH_sampling.json with the current code and fails when any
+# sampling mode's modelled tokens/sec falls more than 10% below the
+# committed baseline. Throughput here is measured on the deterministic
+# simulated clock, so a drop is a real modelling/code regression, never
+# host noise; wall_seconds is deliberately not compared. The committed
+# baseline file is restored on exit so the gate leaves the tree clean.
+#
+# Override the floor with THRESHOLD (a fraction, default 0.90).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH=BENCH_sampling.json
+THRESHOLD="${THRESHOLD:-0.90}"
+
+if [ ! -s "$BENCH" ]; then
+    echo "bench gate: missing committed baseline $BENCH" >&2
+    exit 1
+fi
+
+baseline="$(mktemp)"
+cp "$BENCH" "$baseline"
+restore() { cp "$baseline" "$BENCH"; rm -f "$baseline"; }
+trap restore EXIT
+
+cargo run --release -q -p culda-bench --bin bench_sampling >/dev/null
+
+# "mode"/"tokens_per_sec" pairs, in file order.
+extract() {
+    awk -F': ' '
+        /"mode"/            { gsub(/[",]/, "", $2); mode = $2 }
+        /"tokens_per_sec":/ { gsub(/,/, "", $2); print mode, $2 }
+    ' "$1"
+}
+
+paste -d' ' <(extract "$baseline") <(extract "$BENCH") | awk -v thr="$THRESHOLD" '
+{
+    mode = $1; old = $2; newmode = $3; cur = $4;
+    ratio = cur / old;
+    printf "bench gate: %-8s baseline %.0f tok/s, current %.0f tok/s (%.1f%%)\n",
+        mode, old, cur, ratio * 100;
+    if (mode != newmode) { print "bench gate: mode order mismatch: " mode " vs " newmode; bad = 1 }
+    if (ratio < thr) {
+        printf "bench gate: FAIL — %s fell below %.0f%% of the baseline\n", mode, thr * 100;
+        bad = 1;
+    }
+}
+END { exit bad }
+'
+echo "bench gate: OK (every mode at >=${THRESHOLD}x baseline tokens/sec)"

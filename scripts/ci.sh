@@ -66,6 +66,27 @@ for sampling_mode in sparse auto; do
     cmp "$smoke/p-dense.phi" "$smoke/p-$sampling_mode.phi"
 done
 
+echo "==> telemetry smoke test (eval, snapshots, report, openmetrics)"
+# A telemetry-laden run must stream parseable snapshots, export a lintable
+# OpenMetrics exposition, render a report — and train the bit-identical
+# model to the plain run above.
+cargo run --release -q -p culda-cli -- train --docword "$smoke/c.dw" \
+    --vocab "$smoke/c.v" --model "$smoke/t.phi" --topics 8 --iters 3 \
+    --score-every 0 --platform maxwell --eval-every 2 --eval-fraction 0.2 \
+    --snapshots "$smoke/run.jsonl" --openmetrics "$smoke/metrics.om"
+cmp "$smoke/c.phi" "$smoke/t.phi"
+test -s "$smoke/run.jsonl"
+grep -q '# EOF' "$smoke/metrics.om"
+# `report` re-parses both artifacts (the OpenMetrics lint runs inside it).
+cargo run --release -q -p culda-cli -- report --snapshots "$smoke/run.jsonl" \
+    --openmetrics "$smoke/metrics.om" --out "$smoke/report.md"
+grep -q '# culda run report' "$smoke/report.md"
+grep -q '## Held-out evaluation' "$smoke/report.md"
+grep -q 'parses back cleanly' "$smoke/report.md"
+
+echo "==> bench regression gate"
+scripts/bench_gate.sh
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
