@@ -43,10 +43,12 @@ fn main() {
         .map(|d| d.words.clone())
         .collect();
     for workers in [1usize, 4] {
-        let serve_cfg = ServeConfig::new(7)
-            .with_workers(workers)
-            .with_batch_size(16);
-        let mut engine = InferenceEngine::new(FrozenModel::freeze(t.phi()), serve_cfg).unwrap();
+        let serve_cfg = ServeConfig::builder(7)
+            .workers(workers)
+            .batch_size(16)
+            .build()
+            .unwrap();
+        let engine = InferenceEngine::new(FrozenModel::freeze(t.phi()), serve_cfg);
         bench(&format!("64docs/pascal/{workers}"), || {
             black_box(engine.infer_batch(&docs).unwrap())
         });

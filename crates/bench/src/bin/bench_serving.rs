@@ -1,0 +1,135 @@
+//! Serving control-plane benchmark: sustained throughput and tail
+//! latency of the sharded multi-model tier under a deterministic
+//! open-loop load, with a blue/green hot-swap at the midpoint.
+//!
+//! Trains two checkpoint versions of the same synthetic corpus in
+//! process, publishes both into a [`ModelRegistry`], and drives the
+//! [`ServingPlane`] with Poisson arrivals. The headline numbers — and
+//! the zero-downtime invariant `dropped == 0` — land in
+//! `BENCH_serving.json` at the repository root, which
+//! `scripts/bench_serving.sh` regenerates and CI smoke-checks.
+//!
+//! Scale with `CULDA_SCALE` (multiplies the offered rate) and
+//! `CULDA_ITERS` (training sweeps for the green model).
+
+use culda_bench::{banner, user_iters, user_scale};
+use culda_corpus::SynthSpec;
+use culda_gpusim::Platform;
+use culda_multigpu::{build_trainer, PartitionPolicy, TrainerConfig};
+use culda_serve::{
+    AdmissionConfig, FrozenModel, LoadGenerator, LoadSpec, ModelRegistry, PlaneConfig, ServeConfig,
+    ServingPlane,
+};
+use std::io::Write;
+use std::sync::Arc;
+
+const BENCH_TOPICS: usize = 32;
+const POOLS: usize = 2;
+const CAPACITY: usize = 32;
+
+fn train(corpus: &culda_corpus::Corpus, sweeps: u32, seed: u64) -> FrozenModel {
+    let cfg = TrainerConfig::new(BENCH_TOPICS, Platform::pascal())
+        .unwrap()
+        .with_iterations(sweeps)
+        .with_score_every(0)
+        .with_seed(seed);
+    let mut t = build_trainer(PartitionPolicy::Document, corpus, cfg);
+    for _ in 0..sweeps {
+        t.step();
+    }
+    FrozenModel::freeze(t.phi())
+}
+
+fn main() {
+    let sweeps = user_iters(6);
+    let rate = 800.0 * user_scale();
+    banner(
+        "Serving control-plane benchmark — open-loop load with mid-run hot-swap",
+        &format!(
+            "{POOLS} pools × capacity {CAPACITY}, K = {BENCH_TOPICS}, \
+             {rate} req/s offered, swap at the midpoint"
+        ),
+    );
+
+    let mut spec = SynthSpec::tiny();
+    spec.num_docs = 400;
+    spec.vocab_size = 500;
+    spec.avg_doc_len = 40.0;
+    spec.seed = 7;
+    let corpus = spec.generate();
+    println!(
+        "corpus: {} docs, {} tokens, V = {}",
+        corpus.num_docs(),
+        corpus.num_tokens(),
+        corpus.vocab_size()
+    );
+
+    let registry = Arc::new(ModelRegistry::new());
+    let blue = registry.publish("default", train(&corpus, sweeps.div_ceil(2), 3));
+    let cfg = PlaneConfig {
+        model: "default".into(),
+        pools: POOLS,
+        capacity: CAPACITY,
+        engine: ServeConfig::builder(0x5E47)
+            .workers(2)
+            .batch_size(16)
+            .build()
+            .unwrap(),
+        admission: AdmissionConfig {
+            max_batch_docs: CAPACITY,
+            max_queue_docs: CAPACITY * 256,
+            slo_wait_seconds: 0.02,
+        },
+    };
+    let mut plane = ServingPlane::new(Arc::clone(&registry), cfg).expect("plane builds");
+    // Publish green after the plane is up, so the run starts blue on v1.
+    let green = registry.publish("default", train(&corpus, sweeps, 3));
+    println!("published {blue} (serving) and {green} (hot-swap target)");
+
+    let spec = LoadSpec {
+        seed: 42,
+        rate_rps: rate,
+        duration: 1.0,
+        tenants: 24,
+        docs_per_request: 2,
+        swap_at: Some(0.5),
+    };
+    let pool: Vec<Vec<u32>> = corpus
+        .docs
+        .iter()
+        .take(64)
+        .map(|d| d.words.clone())
+        .collect();
+    let gen = LoadGenerator::new(spec, pool).expect("valid load spec");
+    let report = gen.run(&mut plane).expect("load run serves");
+
+    println!(
+        "\noffered {} req — completed {}, rejected {}, dropped {}",
+        report.offered, report.completed, report.rejected, report.dropped
+    );
+    println!(
+        "sustained {:.1} req/s over {:.3} simulated s ({} docs, {} tokens)",
+        report.sustained_rps, report.makespan, report.docs, report.tokens
+    );
+    if let Some((p50, p95, p99)) = report.latency {
+        println!(
+            "latency: p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms",
+            p50 * 1e3,
+            p95 * 1e3,
+            p99 * 1e3
+        );
+    }
+    let swap = report.swap.as_ref().expect("midpoint swap fires");
+    println!(
+        "hot-swap {} -> {} at {:.3} s drained {} request(s)",
+        swap.from, swap.to, swap.swapped_at, swap.drained_requests
+    );
+    assert_eq!(report.dropped, 0, "a correct hot-swap drops zero requests");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
+    let mut f = std::fs::File::create(path).expect("create BENCH_serving.json");
+    f.write_all(report.to_json(gen.spec(), POOLS).render().as_bytes())
+        .expect("write BENCH_serving.json");
+    writeln!(f).ok();
+    println!("\nwrote {path}");
+}

@@ -13,13 +13,11 @@ use culda_metrics::{
     MetricsRegistry, MetricsSnapshot, Severity, SnapshotWriter, TraceSink,
 };
 use culda_multigpu::{
-    resume_any, save_training, try_build_trainer, ConfigError, CuldaError, LdaTrainer,
-    PartitionPolicy, SamplingMode, SyncMode, TrainerConfig,
+    resume_any, save_training, try_build_trainer, LdaTrainer, PartitionPolicy, SamplingMode,
+    SyncMode, TrainerConfig,
 };
 use culda_sampler::{load_phi, LdaModel};
-use culda_serve::{
-    FrozenModel, HeldOutEvaluator, InferenceEngine, InferenceOutcome, ServeConfig, ServeError,
-};
+use culda_serve::{FrozenModel, HeldOutEvaluator, InferenceEngine, InferenceOutcome, ServeConfig};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::sync::Arc;
@@ -27,8 +25,12 @@ use std::sync::Arc;
 /// Any command error: bad arguments, configuration, faults, or I/O.
 pub type CmdResult = Result<(), Box<dyn std::error::Error>>;
 
-fn err(msg: impl Into<String>) -> Box<dyn std::error::Error> {
+pub(crate) fn arg_err(msg: impl Into<String>) -> Box<dyn std::error::Error> {
     Box::new(ArgError(msg.into()))
+}
+
+fn err(msg: impl Into<String>) -> Box<dyn std::error::Error> {
+    arg_err(msg)
 }
 
 /// A run finished but the health detectors flagged it as untrustworthy
@@ -44,42 +46,6 @@ impl std::fmt::Display for HealthError {
 }
 
 impl std::error::Error for HealthError {}
-
-/// Maps a command error to the process exit code: 2 for usage and
-/// configuration problems, 3 for simulated faults and worker loss, 4 for
-/// I/O and checkpoint data problems, 5 for failed run-health checks, 1 for
-/// anything else.
-pub fn exit_code(e: &(dyn std::error::Error + 'static)) -> i32 {
-    if e.downcast_ref::<HealthError>().is_some() {
-        return 5;
-    }
-    if let Some(e) = e.downcast_ref::<CuldaError>() {
-        return match e {
-            CuldaError::Config(_) | CuldaError::Invalid(_) => 2,
-            CuldaError::Sim(_)
-            | CuldaError::WorkerLost { .. }
-            | CuldaError::AllWorkersLost
-            | CuldaError::WorkerPanicked { .. } => 3,
-            CuldaError::Checkpoint(_) | CuldaError::Io(_) => 4,
-        };
-    }
-    if let Some(e) = e.downcast_ref::<ServeError>() {
-        return match e {
-            ServeError::Config(_) | ServeError::Invalid(_) => 2,
-            ServeError::Sim(_)
-            | ServeError::WorkerLost { .. }
-            | ServeError::AllWorkersLost
-            | ServeError::WorkerPanicked { .. } => 3,
-        };
-    }
-    if e.downcast_ref::<ArgError>().is_some() || e.downcast_ref::<ConfigError>().is_some() {
-        return 2;
-    }
-    if e.downcast_ref::<std::io::Error>().is_some() {
-        return 4;
-    }
-    1
-}
 
 /// Parses the optional `--fault-plan` flag (see [`FaultPlan::parse`]).
 fn fault_plan(args: &Args) -> Result<Option<Arc<FaultPlan>>, Box<dyn std::error::Error>> {
@@ -112,6 +78,12 @@ USAGE:
                  [--seed N] [--platform maxwell|pascal|volta]
                  [--out theta.json] [--trace-out trace.json]
                  [--fault-plan SPEC]
+  culda serve    --docword PATH --vocab PATH --model A.phi [--model-b B.phi]
+                 [--pools N] [--pool-workers W] [--capacity DOCS]
+                 [--batch-size B] [--rate RPS] [--duration S] [--tenants T]
+                 [--docs-per-request D] [--swap-at S] [--slo-ms MS]
+                 [--seed N] [--platform maxwell|pascal|volta]
+                 [--out BENCH_serving.json]
   culda info     --model M.phi
   culda profile  --docword PATH --vocab PATH [--policy doc|word] [--topics K]
                  [--iters N] [--platform maxwell|pascal|volta] [--gpus G]
@@ -144,6 +116,18 @@ document's θ̂, the held-out perplexity, and its burn-in curve — to stdout,
 or to `--out`. `--trace-out` additionally records the inference batches
 as kernel spans with roofline attribution.
 
+`culda serve` stands up the sharded serving control plane — a versioned
+model registry, tenant-hash shard routing over `--pools` engine pools
+(each `--pool-workers` simulated GPUs, `--capacity` docs per dispatch),
+and SLO-aware micro-batch admission (`--slo-ms`) — then drives it with a
+deterministic open-loop Poisson load (`--rate` req/s for `--duration`
+simulated seconds across `--tenants` tenants). `--swap-at S` performs a
+zero-downtime blue/green hot-swap mid-run to `--model-b` (or a
+republished copy of the same checkpoint): the queue drains on the old
+version, fresh engines serve the new one, and the report proves no
+request was dropped. The JSON report (sustained req/s, p50/p95/p99
+latency) goes to `--out` or stdout.
+
 `--fault-plan` injects deterministic simulated faults for resilience
 testing: clauses `kind:device:epoch[:kernel][:permanent]` separated by
 `;` or `,`, with kind ∈ {launch, corrupt, drop}. The epoch is the
@@ -174,7 +158,7 @@ JSON (load it at https://ui.perfetto.dev) alongside a metrics snapshot.
 `trace` defaults to the pascal platform (4 GPUs).
 ";
 
-fn load_corpus(args: &Args) -> Result<Corpus, Box<dyn std::error::Error>> {
+pub(crate) fn load_corpus(args: &Args) -> Result<Corpus, Box<dyn std::error::Error>> {
     let docword = args.require("docword")?;
     let vocab = args.require("vocab")?;
     let corpus = read_uci(
@@ -188,7 +172,10 @@ fn platform(args: &Args) -> Result<Platform, Box<dyn std::error::Error>> {
     platform_or(args, "volta")
 }
 
-fn platform_or(args: &Args, default: &str) -> Result<Platform, Box<dyn std::error::Error>> {
+pub(crate) fn platform_or(
+    args: &Args,
+    default: &str,
+) -> Result<Platform, Box<dyn std::error::Error>> {
     let name = args.get_or("platform", default);
     let mut p = match name {
         "maxwell" | "titan" => Platform::maxwell(),
@@ -330,7 +317,7 @@ pub fn train(args: &Args) -> CmdResult {
             )));
         }
         let (_, held_out) = split_held_out(&corpus, eval_fraction, eval_seed);
-        let eval_cfg = ServeConfig::new(eval_seed).with_gpu(eval_gpu);
+        let eval_cfg = ServeConfig::builder(eval_seed).gpu(eval_gpu).build()?;
         let ev = HeldOutEvaluator::new(&held_out, eval_cfg)?;
         println!(
             "held-out evaluation every {eval_every} iteration(s) over {} token(s)",
@@ -528,13 +515,14 @@ pub fn infer(args: &Args) -> CmdResult {
     let samples: u32 = args.num_or("samples", 4)?;
     let seed: u64 = args.num_or("seed", 0xF01D)?;
     let platform = platform_or(args, "pascal")?;
-    let cfg = ServeConfig::new(seed)
-        .with_workers(workers)
-        .with_batch_size(batch_size)
-        .with_burnin(burnin)
-        .with_samples(samples)
-        .with_gpu(platform.gpu.clone());
-    let mut engine = InferenceEngine::new(model, cfg)?;
+    let cfg = ServeConfig::builder(seed)
+        .workers(workers)
+        .batch_size(batch_size)
+        .burnin(burnin)
+        .samples(samples)
+        .gpu(platform.gpu.clone())
+        .build()?;
+    let mut engine = InferenceEngine::new(model, cfg);
     let faults = fault_plan(args)?;
     if let Some(plan) = &faults {
         engine.attach_fault_plan(Arc::clone(plan));
@@ -690,10 +678,11 @@ pub fn trace_cmd(args: &Args) -> CmdResult {
     }
     // Serving leg: freeze ϕ and run the held-out split through the same
     // observability sinks, so the trace shows inference batches too.
-    let serve_cfg = ServeConfig::new(seed)
-        .with_workers(num_gpus)
-        .with_gpu(gpu_spec);
-    let mut engine = InferenceEngine::new(FrozenModel::freeze(trainer.phi()), serve_cfg)?;
+    let serve_cfg = ServeConfig::builder(seed)
+        .workers(num_gpus)
+        .gpu(gpu_spec)
+        .build()?;
+    let mut engine = InferenceEngine::new(FrozenModel::freeze(trainer.phi()), serve_cfg);
     engine.attach_observability(Some(sink.clone()), Some(registry.clone()));
     let served = engine.infer_corpus(&held_out)?;
     std::fs::write(&trace_path, sink.export_chrome_json())?;
@@ -728,6 +717,7 @@ pub fn dispatch(args: &Args) -> CmdResult {
         Some("info") => info(args),
         Some("profile") => profile_cmd(args),
         Some("trace") => trace_cmd(args),
+        Some("serve") => crate::serve::serve(args),
         Some("report") => crate::report::report(args),
         Some(other) => Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
         None => Err(err(USAGE.to_string())),
@@ -737,6 +727,13 @@ pub fn dispatch(args: &Args) -> CmdResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use culda_multigpu::CuldaError;
+    use culda_serve::ServeError;
+
+    /// The process exit integer for an error — via the one typed mapping.
+    fn exit_code(e: &(dyn std::error::Error + 'static)) -> i32 {
+        crate::exit::ExitCode::classify(e).code()
+    }
 
     fn args(s: &str) -> Args {
         Args::parse(s.split_whitespace().map(String::from)).unwrap()

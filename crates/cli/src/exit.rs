@@ -1,0 +1,122 @@
+//! The one process exit-code mapping.
+//!
+//! Every subcommand funnels its error through [`ExitCode::classify`], so
+//! the meaning of each integer is defined exactly once and new commands
+//! (`culda serve`) cannot drift from the established contract:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | success |
+//! | 1    | unclassified error |
+//! | 2    | usage / configuration problem |
+//! | 3    | simulated fault, worker or pool loss, overload |
+//! | 4    | I/O or checkpoint data problem |
+//! | 5    | run-health check failed |
+
+use crate::args::ArgError;
+use crate::commands::HealthError;
+use culda_multigpu::{ConfigError, CuldaError};
+use culda_serve::ServeError;
+
+/// Typed process exit status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitCode {
+    /// The command completed.
+    Success,
+    /// An error no other class covers.
+    Other,
+    /// Bad flags or an unservable configuration.
+    Usage,
+    /// A simulated fault the recovery machinery could not absorb — lost
+    /// workers, dead pools, or admission overload.
+    Fault,
+    /// File, checkpoint, or stream data problems.
+    Io,
+    /// The run finished but its health detectors flagged it.
+    Health,
+}
+
+impl ExitCode {
+    /// The process exit integer.
+    pub fn code(self) -> i32 {
+        match self {
+            ExitCode::Success => 0,
+            ExitCode::Other => 1,
+            ExitCode::Usage => 2,
+            ExitCode::Fault => 3,
+            ExitCode::Io => 4,
+            ExitCode::Health => 5,
+        }
+    }
+
+    /// Classifies any command error. This is the single mapping from the
+    /// workspace's error types to exit classes.
+    pub fn classify(e: &(dyn std::error::Error + 'static)) -> ExitCode {
+        if e.downcast_ref::<HealthError>().is_some() {
+            return ExitCode::Health;
+        }
+        if let Some(e) = e.downcast_ref::<CuldaError>() {
+            return match e {
+                CuldaError::Config(_) | CuldaError::Invalid(_) => ExitCode::Usage,
+                CuldaError::Sim(_)
+                | CuldaError::WorkerLost { .. }
+                | CuldaError::AllWorkersLost
+                | CuldaError::WorkerPanicked { .. } => ExitCode::Fault,
+                CuldaError::Checkpoint(_) | CuldaError::Io(_) => ExitCode::Io,
+            };
+        }
+        if let Some(e) = e.downcast_ref::<ServeError>() {
+            return match e {
+                ServeError::Config(_) | ServeError::Invalid(_) | ServeError::UnknownModel(_) => {
+                    ExitCode::Usage
+                }
+                ServeError::Sim(_)
+                | ServeError::WorkerLost { .. }
+                | ServeError::AllWorkersLost
+                | ServeError::WorkerPanicked { .. }
+                | ServeError::Overloaded { .. } => ExitCode::Fault,
+            };
+        }
+        if e.downcast_ref::<ArgError>().is_some() || e.downcast_ref::<ConfigError>().is_some() {
+            return ExitCode::Usage;
+        }
+        if e.downcast_ref::<std::io::Error>().is_some() {
+            return ExitCode::Io;
+        }
+        ExitCode::Other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_class_maps_to_its_documented_integer() {
+        assert_eq!(ExitCode::Success.code(), 0);
+        assert_eq!(ExitCode::Other.code(), 1);
+        assert_eq!(ExitCode::Usage.code(), 2);
+        assert_eq!(ExitCode::Fault.code(), 3);
+        assert_eq!(ExitCode::Io.code(), 4);
+        assert_eq!(ExitCode::Health.code(), 5);
+    }
+
+    #[test]
+    fn serving_control_plane_errors_classify_like_their_peers() {
+        assert_eq!(
+            ExitCode::classify(&ServeError::UnknownModel("news".into())),
+            ExitCode::Usage
+        );
+        assert_eq!(
+            ExitCode::classify(&ServeError::Overloaded {
+                queued_docs: 10,
+                limit: 8
+            }),
+            ExitCode::Fault
+        );
+        assert_eq!(
+            ExitCode::classify(&ServeError::AllWorkersLost),
+            ExitCode::Fault
+        );
+    }
+}

@@ -4,7 +4,9 @@
 
 mod args;
 mod commands;
+mod exit;
 mod report;
+mod serve;
 
 fn main() {
     let parsed = match args::Args::parse(std::env::args().skip(1)) {
@@ -18,8 +20,12 @@ fn main() {
         println!("{}", commands::USAGE);
         return;
     }
-    if let Err(e) = commands::dispatch(&parsed) {
-        eprintln!("error: {e}");
-        std::process::exit(commands::exit_code(e.as_ref()));
-    }
+    let code = match commands::dispatch(&parsed) {
+        Ok(()) => exit::ExitCode::Success,
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit::ExitCode::classify(e.as_ref())
+        }
+    };
+    std::process::exit(code.code());
 }

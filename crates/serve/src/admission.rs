@@ -1,0 +1,330 @@
+//! SLO-aware micro-batch admission ahead of the engine fan-out.
+//!
+//! Requests land in a FIFO queue; [`AdmissionQueue::admit`] releases a
+//! batch when either enough documents have pooled to fill a micro-batch
+//! round ([`AdmissionConfig::max_batch_docs`]) or the oldest request has
+//! waited its SLO budget ([`AdmissionConfig::slo_wait_seconds`]) — the
+//! classic batching/latency trade: pool work for GPU efficiency, but
+//! never hold a request past its deadline. A full queue rejects at
+//! submit ([`ServeError::Overloaded`]) instead of growing without bound,
+//! so overload shows up as backpressure, not latency collapse.
+//!
+//! Time is the simulation's: callers pass `now` explicitly, which keeps
+//! admission decisions deterministic and unit-testable.
+
+use crate::error::ServeError;
+use std::collections::VecDeque;
+
+/// Admission policy knobs.
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Documents that trigger (and cap) a batch release. A single request
+    /// larger than this still admits alone — requests are never split.
+    pub max_batch_docs: usize,
+    /// Queued-document limit; submits beyond it are rejected.
+    pub max_queue_docs: usize,
+    /// Longest the oldest queued request may wait before a batch is
+    /// released regardless of fill.
+    pub slo_wait_seconds: f64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self {
+            max_batch_docs: 64,
+            max_queue_docs: 4096,
+            slo_wait_seconds: 0.05,
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// Rejects unusable policies.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.max_batch_docs == 0 {
+            return Err(ServeError::Config(
+                "admission max_batch_docs must be >= 1".into(),
+            ));
+        }
+        if self.max_queue_docs < self.max_batch_docs {
+            return Err(ServeError::Config(
+                "admission max_queue_docs must be >= max_batch_docs".into(),
+            ));
+        }
+        if self.slo_wait_seconds.is_nan() || self.slo_wait_seconds < 0.0 {
+            return Err(ServeError::Config(
+                "admission slo_wait_seconds must be >= 0".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One tenant request: a batch of documents awaiting inference.
+#[derive(Debug, Clone)]
+pub struct ServeRequest {
+    /// Monotonic id assigned at submit (also the FIFO order).
+    pub id: u64,
+    /// Tenant key the router hashes for pool placement.
+    pub tenant: String,
+    /// The documents (token word-id lists) to infer.
+    pub docs: Vec<Vec<u32>>,
+    /// Simulated arrival time (seconds).
+    pub arrival: f64,
+}
+
+impl ServeRequest {
+    /// Documents in the request.
+    pub fn num_docs(&self) -> usize {
+        self.docs.len()
+    }
+}
+
+/// A batch the queue released for dispatch.
+#[derive(Debug, Clone)]
+pub struct AdmittedBatch {
+    /// The admitted requests, FIFO order.
+    pub requests: Vec<ServeRequest>,
+    /// Simulated release time (seconds).
+    pub admitted_at: f64,
+}
+
+impl AdmittedBatch {
+    /// Total documents across the batch's requests.
+    pub fn num_docs(&self) -> usize {
+        self.requests.iter().map(ServeRequest::num_docs).sum()
+    }
+}
+
+/// The FIFO admission queue.
+#[derive(Debug)]
+pub struct AdmissionQueue {
+    cfg: AdmissionConfig,
+    queue: VecDeque<ServeRequest>,
+    queued_docs: usize,
+    next_id: u64,
+    submitted: u64,
+    rejected: u64,
+}
+
+impl AdmissionQueue {
+    /// An empty queue under `cfg` (validated here — the queue has no
+    /// builder to defer to).
+    pub fn new(cfg: AdmissionConfig) -> Result<Self, ServeError> {
+        cfg.validate()?;
+        Ok(Self {
+            cfg,
+            queue: VecDeque::new(),
+            queued_docs: 0,
+            next_id: 0,
+            submitted: 0,
+            rejected: 0,
+        })
+    }
+
+    /// The queue's policy.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.cfg
+    }
+
+    /// Requests currently queued.
+    pub fn depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Documents currently queued.
+    pub fn queued_docs(&self) -> usize {
+        self.queued_docs
+    }
+
+    /// Requests accepted since construction.
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// Requests rejected for overload since construction.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Enqueues a request arriving at simulated time `arrival`, returning
+    /// its id — or [`ServeError::Overloaded`] if the document limit is
+    /// already reached (an empty queue always accepts, so one oversized
+    /// request cannot deadlock the tier).
+    pub fn submit(
+        &mut self,
+        tenant: impl Into<String>,
+        docs: Vec<Vec<u32>>,
+        arrival: f64,
+    ) -> Result<u64, ServeError> {
+        if !self.queue.is_empty() && self.queued_docs + docs.len() > self.cfg.max_queue_docs {
+            self.rejected += 1;
+            return Err(ServeError::Overloaded {
+                queued_docs: self.queued_docs,
+                limit: self.cfg.max_queue_docs,
+            });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.submitted += 1;
+        self.queued_docs += docs.len();
+        self.queue.push_back(ServeRequest {
+            id,
+            tenant: tenant.into(),
+            docs,
+            arrival,
+        });
+        Ok(id)
+    }
+
+    /// Whether a batch should be released at simulated time `now`: the
+    /// queue holds a full round of documents, or the oldest request has
+    /// exhausted its SLO wait budget.
+    pub fn should_admit(&self, now: f64) -> bool {
+        let Some(oldest) = self.queue.front() else {
+            return false;
+        };
+        self.queued_docs >= self.cfg.max_batch_docs
+            || now - oldest.arrival >= self.cfg.slo_wait_seconds
+    }
+
+    /// Releases the next batch if [`Self::should_admit`], taking requests
+    /// FIFO until the document cap (always at least one request).
+    pub fn admit(&mut self, now: f64) -> Option<AdmittedBatch> {
+        if !self.should_admit(now) {
+            return None;
+        }
+        self.take_batch(now)
+    }
+
+    /// Releases everything queued as batches, ignoring the SLO timer —
+    /// the drain step of a hot-swap or shutdown.
+    pub fn drain(&mut self, now: f64) -> Vec<AdmittedBatch> {
+        let mut batches = Vec::new();
+        while let Some(b) = self.take_batch(now) {
+            batches.push(b);
+        }
+        batches
+    }
+
+    fn take_batch(&mut self, now: f64) -> Option<AdmittedBatch> {
+        let mut requests = Vec::new();
+        let mut docs = 0usize;
+        while let Some(front) = self.queue.front() {
+            if !requests.is_empty() && docs + front.num_docs() > self.cfg.max_batch_docs {
+                break;
+            }
+            let req = self.queue.pop_front().expect("front was Some");
+            docs += req.num_docs();
+            self.queued_docs -= req.num_docs();
+            requests.push(req);
+        }
+        if requests.is_empty() {
+            return None;
+        }
+        Some(AdmittedBatch {
+            requests,
+            admitted_at: now,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AdmissionConfig {
+        AdmissionConfig {
+            max_batch_docs: 4,
+            max_queue_docs: 10,
+            slo_wait_seconds: 0.5,
+        }
+    }
+
+    fn doc_batch(n: usize) -> Vec<Vec<u32>> {
+        vec![vec![0, 1]; n]
+    }
+
+    #[test]
+    fn config_is_validated_at_construction() {
+        assert!(AdmissionQueue::new(AdmissionConfig {
+            max_batch_docs: 0,
+            ..cfg()
+        })
+        .is_err());
+        assert!(AdmissionQueue::new(AdmissionConfig {
+            max_queue_docs: 2,
+            ..cfg()
+        })
+        .is_err());
+        assert!(AdmissionQueue::new(AdmissionConfig {
+            slo_wait_seconds: f64::NAN,
+            ..cfg()
+        })
+        .is_err());
+        assert!(AdmissionConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn fill_triggers_admission_before_the_slo_timer() {
+        let mut q = AdmissionQueue::new(cfg()).unwrap();
+        q.submit("a", doc_batch(2), 0.0).unwrap();
+        assert!(q.admit(0.1).is_none(), "under fill, under SLO: hold");
+        q.submit("b", doc_batch(2), 0.1).unwrap();
+        let batch = q.admit(0.1).expect("fill reached");
+        assert_eq!(batch.num_docs(), 4);
+        assert_eq!(batch.requests.len(), 2);
+        assert_eq!(batch.requests[0].tenant, "a", "FIFO order");
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn slo_timer_releases_a_partial_batch() {
+        let mut q = AdmissionQueue::new(cfg()).unwrap();
+        q.submit("a", doc_batch(1), 0.0).unwrap();
+        assert!(q.admit(0.49).is_none());
+        let batch = q.admit(0.5).expect("SLO expired");
+        assert_eq!(batch.requests[0].id, 0);
+        assert_eq!(batch.admitted_at, 0.5);
+    }
+
+    #[test]
+    fn batches_are_capped_but_never_split_a_request() {
+        let mut q = AdmissionQueue::new(AdmissionConfig {
+            max_queue_docs: 20,
+            ..cfg()
+        })
+        .unwrap();
+        q.submit("a", doc_batch(3), 0.0).unwrap();
+        q.submit("b", doc_batch(3), 0.0).unwrap();
+        q.submit("c", doc_batch(6), 0.0).unwrap();
+        let b1 = q.admit(1.0).unwrap();
+        assert_eq!(b1.requests.len(), 1, "b would overflow the cap");
+        assert_eq!(b1.num_docs(), 3);
+        let b2 = q.admit(1.0).unwrap();
+        assert_eq!(b2.requests[0].tenant, "b");
+        // An oversized request still admits, alone.
+        let b3 = q.admit(1.0).unwrap();
+        assert_eq!(b3.num_docs(), 6);
+        assert!(q.admit(1.0).is_none());
+    }
+
+    #[test]
+    fn overload_rejects_at_submit_but_empty_queue_always_accepts() {
+        let mut q = AdmissionQueue::new(cfg()).unwrap();
+        q.submit("a", doc_batch(9), 0.0).unwrap();
+        let err = q.submit("b", doc_batch(2), 0.0).unwrap_err();
+        assert!(matches!(err, ServeError::Overloaded { .. }));
+        assert_eq!(q.rejected(), 1);
+        assert_eq!(q.submitted(), 1);
+        // Drain, then an over-limit single request is still admitted.
+        let drained = q.drain(2.0);
+        assert_eq!(
+            drained.iter().map(AdmittedBatch::num_docs).sum::<usize>(),
+            9
+        );
+        q.submit("c", doc_batch(11), 2.0).unwrap();
+        assert_eq!(q.queued_docs(), 11);
+        assert_eq!(q.drain(3.0).len(), 1);
+    }
+}

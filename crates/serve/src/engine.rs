@@ -12,7 +12,14 @@
 //! from an RNG stream keyed by its global arrival index, so θ and
 //! perplexity are identical regardless of `--batch-size`, `--workers`, or
 //! which simulated GPU a document lands on.
+//!
+//! Construction goes through [`ServeConfig::builder`] — the one validated
+//! entry point — and the engine's mutable fleet state lives behind a
+//! mutex so [`InferenceEngine::infer_batch`] takes `&self`: that is what
+//! makes the engine usable as a [`crate::Infer`] trait object inside the
+//! registry/router control plane.
 
+use crate::api::{Infer, ModelVersion};
 use crate::error::ServeError;
 use crate::frozen::FrozenModel;
 use culda_corpus::Corpus;
@@ -21,9 +28,15 @@ use culda_metrics::{Breakdown, Histogram, Json, MetricsRegistry, Phase, TraceSin
 use culda_multigpu::{run_workers_traced, GpuWorker, RecoveryStats, RetryPolicy};
 use culda_sampler::{try_run_infer_kernel, DocPosterior, InferDoc, InferKernelConfig, LdaModel};
 use std::ops::Range;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Configuration for an [`InferenceEngine`].
+///
+/// Assemble one with [`ServeConfig::builder`], which validates exactly
+/// once at [`build`](ServeConfigBuilder::build). [`ServeConfig::new`]
+/// gives the (always valid) serving defaults; the public fields exist so
+/// the control plane can introspect a pool's shape, not as a construction
+/// path.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// RNG seed for the serving session (per-document streams derive
@@ -67,46 +80,12 @@ impl ServeConfig {
         }
     }
 
-    /// Sets the simulated GPU count.
-    pub fn with_workers(mut self, workers: usize) -> Self {
-        self.workers = workers;
-        self
-    }
-
-    /// Sets the micro-batch size (documents per launch).
-    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
-        self.batch_size = batch_size;
-        self
-    }
-
-    /// Sets the burn-in sweep count.
-    pub fn with_burnin(mut self, burnin: u32) -> Self {
-        self.burnin = burnin;
-        self
-    }
-
-    /// Sets the post-burn-in sample sweep count.
-    pub fn with_samples(mut self, samples: u32) -> Self {
-        self.samples = samples;
-        self
-    }
-
-    /// Sets the simulated GPU model.
-    pub fn with_gpu(mut self, gpu: GpuSpec) -> Self {
-        self.gpu = gpu;
-        self
-    }
-
-    /// Sets the host threads per simulated device.
-    pub fn with_host_workers(mut self, host_workers: usize) -> Self {
-        self.host_workers = host_workers;
-        self
-    }
-
-    /// Sets the transient-fault retry policy.
-    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
-        self.retry = retry;
-        self
+    /// Starts builder-style construction from `seed`'s serving defaults.
+    /// This is the documented entry point for non-default configurations.
+    pub fn builder(seed: u64) -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            cfg: ServeConfig::new(seed),
+        }
     }
 
     /// Rejects configurations that cannot serve anything.
@@ -143,43 +122,14 @@ impl ServeConfig {
     }
 }
 
-/// Everything one [`InferenceEngine::infer_batch`] call produces.
+/// Builder for [`ServeConfig`]: set what differs from the defaults,
+/// then [`build`](Self::build) validates exactly once.
 #[derive(Debug, Clone)]
-pub struct InferenceOutcome {
-    /// Per-document normalized posterior topic mixture θ̂ (each row sums
-    /// to 1), in input order.
-    pub theta: Vec<Vec<f64>>,
-    /// Per-document log-predictive `Σ_w ln p(w | θ̂, ϕ)` under the final
-    /// θ̂ estimate, in input order (0 for empty documents).
-    pub doc_log_predictive: Vec<f64>,
-    /// Held-out perplexity `exp(−Σ_d ll_d / Σ_d |d|)` under the final θ̂.
-    pub perplexity: f64,
-    /// Perplexity after each Gibbs sweep, scored with the running-average
-    /// θ over the sweeps so far — the burn-in convergence curve.
-    pub perplexity_by_sweep: Vec<f64>,
-    /// Documents inferred.
-    pub docs: usize,
-    /// Tokens scored.
-    pub tokens: u64,
-    /// Kernel launches issued (micro-batches).
-    pub micro_batches: usize,
-    /// Critical-path simulated seconds (slowest worker this call).
-    pub sim_seconds: f64,
-    /// Total simulated device seconds summed over workers.
-    pub device_seconds: f64,
-}
-
-/// Builder-style construction for [`InferenceEngine`]: configure the
-/// fleet, arm an optional fault plan, validate once at
-/// [`build`](InferenceEngineBuilder::build).
-#[derive(Debug)]
-pub struct InferenceEngineBuilder {
-    model: FrozenModel,
+pub struct ServeConfigBuilder {
     cfg: ServeConfig,
-    faults: Option<Arc<FaultPlan>>,
 }
 
-impl InferenceEngineBuilder {
+impl ServeConfigBuilder {
     /// Sets the simulated GPU count.
     pub fn workers(mut self, workers: usize) -> Self {
         self.cfg.workers = workers;
@@ -234,51 +184,80 @@ impl InferenceEngineBuilder {
         self
     }
 
-    /// Arms a deterministic fault-injection plan on every worker device.
-    pub fn fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
-        self.faults = Some(plan);
-        self
+    /// Validates the assembled configuration — the single validation
+    /// point of the builder path — and returns it.
+    pub fn build(self) -> Result<ServeConfig, ServeError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
+}
 
-    /// Validates the configuration and builds the engine.
-    pub fn build(self) -> Result<InferenceEngine, ServeError> {
-        let mut engine = InferenceEngine::new(self.model, self.cfg)?;
-        if let Some(plan) = self.faults {
-            engine.attach_fault_plan(plan);
-        }
-        Ok(engine)
-    }
+/// Everything one [`InferenceEngine::infer_batch`] call produces.
+#[derive(Debug, Clone)]
+pub struct InferenceOutcome {
+    /// Per-document normalized posterior topic mixture θ̂ (each row sums
+    /// to 1), in input order.
+    pub theta: Vec<Vec<f64>>,
+    /// Per-document log-predictive `Σ_w ln p(w | θ̂, ϕ)` under the final
+    /// θ̂ estimate, in input order (0 for empty documents).
+    pub doc_log_predictive: Vec<f64>,
+    /// Held-out perplexity `exp(−Σ_d ll_d / Σ_d |d|)` under the final θ̂.
+    pub perplexity: f64,
+    /// Perplexity after each Gibbs sweep, scored with the running-average
+    /// θ over the sweeps so far — the burn-in convergence curve.
+    pub perplexity_by_sweep: Vec<f64>,
+    /// Documents inferred.
+    pub docs: usize,
+    /// Tokens scored.
+    pub tokens: u64,
+    /// Kernel launches issued (micro-batches).
+    pub micro_batches: usize,
+    /// Critical-path simulated seconds (slowest worker this call).
+    pub sim_seconds: f64,
+    /// Total simulated device seconds summed over workers.
+    pub device_seconds: f64,
+}
+
+/// The engine's mutable half: the worker fleet and the counters that
+/// advance as batches are served. Lives behind a mutex so the engine's
+/// serving entry point is `&self` (see [`Infer`]).
+#[derive(Debug)]
+struct EngineState {
+    workers: Vec<GpuWorker>,
+    alive: Vec<bool>,
+    recovery: RecoveryStats,
+    batches_served: u64,
+    docs_served: u64,
+    tokens_served: u64,
 }
 
 /// Micro-batched fold-in inference over a [`FrozenModel`].
 #[derive(Debug)]
 pub struct InferenceEngine {
-    model: FrozenModel,
+    model: Arc<FrozenModel>,
     inv_denom: Vec<f32>,
     cfg: ServeConfig,
-    workers: Vec<GpuWorker>,
-    alive: Vec<bool>,
+    version: ModelVersion,
     faults: Option<Arc<FaultPlan>>,
     trace: Option<Arc<TraceSink>>,
     metrics: Option<Arc<MetricsRegistry>>,
-    recovery: RecoveryStats,
-    batches_served: u64,
-    docs_served: u64,
-    tokens_served: u64,
     /// Per-micro-batch simulated latency (seconds), log₂-bucketed across
     /// every batch served. Feeds the p50/p95/p99 figures `culda infer`
-    /// reports.
+    /// reports. Atomic internally, so it lives outside the state mutex.
     latency: Histogram,
+    state: Mutex<EngineState>,
 }
 
 impl InferenceEngine {
     /// Builds an engine: `cfg.workers` replica-less [`GpuWorker`]s sharing
     /// the frozen ϕ read-only.
     ///
-    /// Thin constructor shim kept for existing callers; prefer
-    /// [`InferenceEngine::builder`], which also arms fault plans.
-    pub fn new(model: FrozenModel, cfg: ServeConfig) -> Result<Self, ServeError> {
-        cfg.validate()?;
+    /// Thin wrapper by design: `cfg` is trusted to have come through
+    /// [`ServeConfig::builder`] (or [`ServeConfig::new`]'s defaults), so
+    /// nothing is re-validated here. The model may arrive owned or as an
+    /// [`Arc`] — the registry shares one snapshot across a whole pool.
+    pub fn new(model: impl Into<Arc<FrozenModel>>, cfg: ServeConfig) -> Self {
+        let model = model.into();
         let workers: Vec<GpuWorker> = (0..cfg.workers)
             .map(|i| {
                 GpuWorker::without_replicas(
@@ -288,37 +267,45 @@ impl InferenceEngine {
             .collect();
         let alive = vec![true; workers.len()];
         let inv_denom = model.inv_denominators();
-        Ok(Self {
+        Self {
             model,
             inv_denom,
             cfg,
-            workers,
-            alive,
+            version: ModelVersion::unversioned(),
             faults: None,
             trace: None,
             metrics: None,
-            recovery: RecoveryStats::default(),
-            batches_served: 0,
-            docs_served: 0,
-            tokens_served: 0,
             latency: Histogram::default(),
-        })
+            state: Mutex::new(EngineState {
+                workers,
+                alive,
+                recovery: RecoveryStats::default(),
+                batches_served: 0,
+                docs_served: 0,
+                tokens_served: 0,
+            }),
+        }
     }
 
-    /// Starts builder-style construction with `seed`'s serving defaults.
-    pub fn builder(model: FrozenModel, seed: u64) -> InferenceEngineBuilder {
-        InferenceEngineBuilder {
-            model,
-            cfg: ServeConfig::new(seed),
-            faults: None,
-        }
+    /// Tags the engine with the registry identity it serves (shown in
+    /// routing stats, swap spans, and [`Infer::model_version`]).
+    pub fn with_version(mut self, version: ModelVersion) -> Self {
+        self.version = version;
+        self
+    }
+
+    fn state(&self) -> MutexGuard<'_, EngineState> {
+        // A worker panic mid-batch poisons the lock; the fleet state is
+        // still consistent (every mutation happens under the guard), so
+        // keep serving rather than propagating the panic forever.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Arms a deterministic fault-injection plan on every worker device.
     /// Subsequent [`infer_batch`](InferenceEngine::infer_batch) calls
     /// consult it at each kernel launch.
     pub fn attach_fault_plan(&mut self, plan: Arc<FaultPlan>) {
-        for w in &self.workers {
+        for w in &self.state().workers {
             w.device.attach_faults(Arc::clone(&plan));
         }
         self.faults = Some(plan);
@@ -328,7 +315,7 @@ impl InferenceEngine {
     /// injected faults, launch retries, lost workers, re-enqueued
     /// micro-batches (counted as migrated chunks).
     pub fn recovery(&self) -> RecoveryStats {
-        let mut r = self.recovery;
+        let mut r = self.state().recovery;
         if let Some(plan) = &self.faults {
             r.faults_injected = plan.injected();
         }
@@ -337,12 +324,17 @@ impl InferenceEngine {
 
     /// Workers still serving (not lost to permanent faults).
     pub fn num_alive(&self) -> usize {
-        self.alive.iter().filter(|&&a| a).count()
+        self.state().alive.iter().filter(|&&a| a).count()
     }
 
     /// The frozen model being served.
     pub fn model(&self) -> &FrozenModel {
         &self.model
+    }
+
+    /// A shared handle to the frozen model (what the registry published).
+    pub fn model_arc(&self) -> Arc<FrozenModel> {
+        Arc::clone(&self.model)
     }
 
     /// The engine's configuration.
@@ -352,17 +344,17 @@ impl InferenceEngine {
 
     /// Simulated GPUs in the fleet.
     pub fn num_workers(&self) -> usize {
-        self.workers.len()
+        self.cfg.workers
     }
 
     /// Documents served so far (also the next document's RNG stream id).
     pub fn docs_served(&self) -> u64 {
-        self.docs_served
+        self.state().docs_served
     }
 
     /// Tokens scored so far.
     pub fn tokens_served(&self) -> u64 {
-        self.tokens_served
+        self.state().tokens_served
     }
 
     /// Attaches PR-2 observability: every worker device reports kernel
@@ -372,7 +364,7 @@ impl InferenceEngine {
         trace: Option<Arc<TraceSink>>,
         metrics: Option<Arc<MetricsRegistry>>,
     ) {
-        for w in &self.workers {
+        for w in &self.state().workers {
             if let Some(t) = &trace {
                 w.device.attach_trace(Arc::clone(t));
             }
@@ -386,13 +378,17 @@ impl InferenceEngine {
 
     /// Per-GPU phase breakdowns accumulated across all batches served.
     pub fn per_gpu_breakdowns(&self) -> Vec<Breakdown> {
-        self.workers.iter().map(|w| w.breakdown.clone()).collect()
+        self.state()
+            .workers
+            .iter()
+            .map(|w| w.breakdown.clone())
+            .collect()
     }
 
     /// Merged kernel profiles from every worker device.
     pub fn profile(&self) -> ProfileLog {
         let mut log = ProfileLog::new();
-        for w in &self.workers {
+        for w in &self.state().workers {
             log.merge(&w.device.profile());
         }
         log
@@ -403,13 +399,17 @@ impl InferenceEngine {
     /// dealt round-robin across the live workers; results come back in
     /// input order and are independent of that packing.
     ///
+    /// Serialized internally: concurrent callers queue on the fleet lock,
+    /// which is what lets the control plane treat the engine as a shared
+    /// [`Infer`] backend.
+    ///
     /// Fault recovery: each worker retries a faulted launch with
     /// exponential backoff up to the configured budget. A worker that
     /// exhausts it is removed from the fleet and its stranded
     /// micro-batches are re-enqueued (ascending id, round-robin) on the
     /// survivors — per-document RNG streams are keyed by arrival index,
     /// so the re-served results are bit-identical to a fault-free run.
-    pub fn infer_batch(&mut self, docs: &[Vec<u32>]) -> Result<InferenceOutcome, ServeError> {
+    pub fn infer_batch(&self, docs: &[Vec<u32>]) -> Result<InferenceOutcome, ServeError> {
         if docs.is_empty() {
             return Err(ServeError::Invalid("no documents to infer".into()));
         }
@@ -421,16 +421,20 @@ impl InferenceEngine {
                 )));
             }
         }
+        // Hand-assembled configs bypass the builder's validation; a zero
+        // batch size would otherwise never finish packing.
+        let batch_size = self.cfg.batch_size.max(1);
 
-        let num_workers = self.workers.len();
-        let alive_ids: Vec<usize> = (0..num_workers).filter(|&i| self.alive[i]).collect();
+        let st = &mut *self.state();
+        let num_workers = st.workers.len();
+        let alive_ids: Vec<usize> = (0..num_workers).filter(|&i| st.alive[i]).collect();
         if alive_ids.is_empty() {
             return Err(ServeError::AllWorkersLost);
         }
 
         // Fault coordinates address (device, batch ordinal).
-        for w in &self.workers {
-            w.device.set_epoch(self.batches_served as u32);
+        for w in &st.workers {
+            w.device.set_epoch(st.batches_served as u32);
         }
 
         // Deal micro-batches round-robin over the LIVE fleet: micro-batch
@@ -438,7 +442,7 @@ impl InferenceEngine {
         let mut ranges: Vec<Range<usize>> = Vec::new();
         let mut start = 0usize;
         while start < docs.len() {
-            let end = (start + self.cfg.batch_size).min(docs.len());
+            let end = (start + batch_size).min(docs.len());
             ranges.push(start..end);
             start = end;
         }
@@ -449,13 +453,13 @@ impl InferenceEngine {
         }
 
         let kcfg = self.cfg.kernel_config();
-        let base_stream = self.docs_served;
+        let base_stream = st.docs_served;
         let phi = self.model.phi();
         let inv_denom = &self.inv_denom;
         let retry = self.cfg.retry;
-        let label = format!("infer batch {}", self.batches_served);
+        let label = format!("infer batch {}", st.batches_served);
         let shards = run_shards(
-            &mut self.workers,
+            &mut st.workers,
             self.trace.as_deref(),
             self.metrics.as_deref(),
             &label,
@@ -473,10 +477,10 @@ impl InferenceEngine {
         let mut per_worker_seconds = vec![0.0f64; num_workers];
         let mut stranded: Vec<usize> = Vec::new();
         for (wi, shard) in shards.into_iter().enumerate() {
-            self.recovery.retries += shard.retries;
+            st.recovery.retries += shard.retries;
             if shard.lost {
-                self.alive[wi] = false;
-                self.recovery.workers_lost += 1;
+                st.alive[wi] = false;
+                st.recovery.workers_lost += 1;
             }
             per_worker_seconds[wi] += shard.done.iter().map(|(_, _, s)| s).sum::<f64>();
             for &(_, _, s) in &shard.done {
@@ -488,7 +492,7 @@ impl InferenceEngine {
 
         if !stranded.is_empty() {
             stranded.sort_unstable();
-            let survivors: Vec<usize> = (0..num_workers).filter(|&i| self.alive[i]).collect();
+            let survivors: Vec<usize> = (0..num_workers).filter(|&i| st.alive[i]).collect();
             if survivors.is_empty() {
                 return Err(ServeError::AllWorkersLost);
             }
@@ -497,13 +501,13 @@ impl InferenceEngine {
                 .map(|&mb| (mb, ranges[mb].clone()))
                 .collect();
             let reassigned = redistribute_batches(&failed, &survivors, num_workers);
-            self.recovery.chunks_migrated += failed.len() as u64;
+            st.recovery.chunks_migrated += failed.len() as u64;
             if let Some(reg) = self.metrics.as_deref() {
                 reg.counter("rebalance").inc();
             }
-            let label = format!("infer batch {} · re-enqueue", self.batches_served);
+            let label = format!("infer batch {} · re-enqueue", st.batches_served);
             let shards = run_shards(
-                &mut self.workers,
+                &mut st.workers,
                 self.trace.as_deref(),
                 self.metrics.as_deref(),
                 &label,
@@ -516,12 +520,12 @@ impl InferenceEngine {
                 retry,
             );
             for (wi, shard) in shards.into_iter().enumerate() {
-                self.recovery.retries += shard.retries;
+                st.recovery.retries += shard.retries;
                 if shard.lost {
                     // Recovery is not itself fault-tolerant: losing a
                     // survivor while re-serving stranded batches is fatal.
-                    self.alive[wi] = false;
-                    self.recovery.workers_lost += 1;
+                    st.alive[wi] = false;
+                    st.recovery.workers_lost += 1;
                     return Err(ServeError::WorkerLost {
                         device: wi,
                         attempts: shard.attempts,
@@ -574,9 +578,9 @@ impl InferenceEngine {
             .map(|ll| perplexity_from(ll, tokens))
             .collect();
 
-        self.batches_served += 1;
-        self.docs_served += docs.len() as u64;
-        self.tokens_served += tokens;
+        st.batches_served += 1;
+        st.docs_served += docs.len() as u64;
+        st.tokens_served += tokens;
         Ok(InferenceOutcome {
             theta,
             doc_log_predictive,
@@ -606,7 +610,7 @@ impl InferenceEngine {
     }
 
     /// Convenience: infers every document of a held-out corpus.
-    pub fn infer_corpus(&mut self, corpus: &Corpus) -> Result<InferenceOutcome, ServeError> {
+    pub fn infer_corpus(&self, corpus: &Corpus) -> Result<InferenceOutcome, ServeError> {
         let docs: Vec<Vec<u32>> = corpus.docs.iter().map(|d| d.words.clone()).collect();
         self.infer_batch(&docs)
     }
@@ -625,6 +629,24 @@ impl InferenceEngine {
             ll += p.max(f64::MIN_POSITIVE).ln();
         }
         ll
+    }
+}
+
+impl Infer for InferenceEngine {
+    fn infer_batch(&self, docs: &[Vec<u32>]) -> Result<InferenceOutcome, ServeError> {
+        InferenceEngine::infer_batch(self, docs)
+    }
+
+    fn latency_quantiles(&self) -> Option<(f64, f64, f64)> {
+        InferenceEngine::latency_quantiles(self)
+    }
+
+    fn recovery(&self) -> RecoveryStats {
+        InferenceEngine::recovery(self)
+    }
+
+    fn model_version(&self) -> ModelVersion {
+        self.version.clone()
     }
 }
 
@@ -776,13 +798,17 @@ mod tests {
 
     fn engine(cfg: ServeConfig) -> (InferenceEngine, Vec<Vec<u32>>) {
         let (model, docs) = model_and_docs();
-        (InferenceEngine::new(model, cfg).unwrap(), docs)
+        (InferenceEngine::new(model, cfg), docs)
+    }
+
+    fn cfg(seed: u64) -> ServeConfigBuilder {
+        ServeConfig::builder(seed)
     }
 
     #[test]
     fn outcome_is_independent_of_workers_and_batch_size() {
-        let (mut a, docs) = engine(ServeConfig::new(11).with_workers(1).with_batch_size(64));
-        let (mut b, _) = engine(ServeConfig::new(11).with_workers(3).with_batch_size(4));
+        let (a, docs) = engine(cfg(11).workers(1).batch_size(64).build().unwrap());
+        let (b, _) = engine(cfg(11).workers(3).batch_size(4).build().unwrap());
         let out_a = a.infer_batch(&docs).unwrap();
         let out_b = b.infer_batch(&docs).unwrap();
         assert_eq!(out_a.theta, out_b.theta);
@@ -791,13 +817,13 @@ mod tests {
         assert_eq!(out_a.micro_batches, 1);
         assert_eq!(out_b.micro_batches, 5);
         // A different seed must change the draw.
-        let (mut c, _) = engine(ServeConfig::new(12));
+        let (c, _) = engine(ServeConfig::new(12));
         assert_ne!(c.infer_batch(&docs).unwrap().theta, out_a.theta);
     }
 
     #[test]
     fn theta_rows_are_normalized() {
-        let (mut eng, docs) = engine(ServeConfig::new(3).with_batch_size(5));
+        let (eng, docs) = engine(cfg(3).batch_size(5).build().unwrap());
         let out = eng.infer_batch(&docs).unwrap();
         assert_eq!(out.theta.len(), docs.len());
         for row in &out.theta {
@@ -811,7 +837,7 @@ mod tests {
 
     #[test]
     fn micro_batches_fan_out_across_workers() {
-        let (mut eng, docs) = engine(ServeConfig::new(9).with_workers(2).with_batch_size(3));
+        let (eng, docs) = engine(cfg(9).workers(2).batch_size(3).build().unwrap());
         let out = eng.infer_batch(&docs).unwrap();
         assert!(out.micro_batches >= 2);
         let breakdowns = eng.per_gpu_breakdowns();
@@ -831,7 +857,7 @@ mod tests {
 
     #[test]
     fn serving_counters_accumulate_across_batches() {
-        let (mut eng, docs) = engine(ServeConfig::new(2).with_batch_size(4));
+        let (eng, docs) = engine(cfg(2).batch_size(4).build().unwrap());
         eng.infer_batch(&docs[..5]).unwrap();
         eng.infer_batch(&docs[5..]).unwrap();
         assert_eq!(eng.docs_served(), docs.len() as u64);
@@ -841,7 +867,7 @@ mod tests {
 
     #[test]
     fn traced_batches_emit_host_and_kernel_spans() {
-        let (mut eng, docs) = engine(ServeConfig::new(4).with_workers(2).with_batch_size(3));
+        let (mut eng, docs) = engine(cfg(4).workers(2).batch_size(3).build().unwrap());
         let trace = Arc::new(TraceSink::new());
         eng.attach_observability(Some(Arc::clone(&trace)), None);
         eng.infer_batch(&docs).unwrap();
@@ -858,38 +884,52 @@ mod tests {
     }
 
     #[test]
-    fn rejects_bad_inputs() {
-        let (model, _) = model_and_docs();
-        assert!(InferenceEngine::new(model, ServeConfig::new(1).with_workers(0)).is_err());
-        let (model, _) = model_and_docs();
-        assert!(InferenceEngine::new(model, ServeConfig::new(1).with_batch_size(0)).is_err());
-        let (mut eng, _) = engine(ServeConfig::new(1));
+    fn builder_validates_once_and_rejects_bad_configs() {
+        assert!(cfg(1).workers(0).build().is_err());
+        assert!(cfg(1).batch_size(0).build().is_err());
+        assert!(cfg(1).host_workers(0).build().is_err());
+        assert!(cfg(1)
+            .retry(RetryPolicy {
+                max_attempts: 0,
+                ..RetryPolicy::default()
+            })
+            .build()
+            .is_err());
+        // The defaults are valid by construction.
+        assert!(ServeConfig::new(1).validate().is_ok());
+        let (eng, _) = engine(ServeConfig::new(1));
         assert!(eng.infer_batch(&[]).is_err());
         let vocab = eng.model().vocab_size() as u32;
         let err = eng.infer_batch(&[vec![0, vocab]]).unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("outside the model vocabulary"), "{msg}");
-        let bad_retry = ServeConfig::new(1).with_retry(RetryPolicy {
-            max_attempts: 0,
-            ..RetryPolicy::default()
-        });
-        let (model, _) = model_and_docs();
-        assert!(InferenceEngine::new(model, bad_retry).is_err());
     }
 
     #[test]
-    fn builder_matches_constructor() {
+    fn builder_config_matches_defaults_path() {
         let (model, docs) = model_and_docs();
-        let mut built = InferenceEngine::builder(model, 11)
-            .workers(2)
-            .batch_size(4)
-            .build()
-            .unwrap();
-        let (mut plain, _) = engine(ServeConfig::new(11).with_workers(2).with_batch_size(4));
+        let built = InferenceEngine::new(model, cfg(11).workers(2).batch_size(4).build().unwrap());
+        let (plain, _) = engine(cfg(11).workers(2).batch_size(4).build().unwrap());
         assert_eq!(
             built.infer_batch(&docs).unwrap().theta,
             plain.infer_batch(&docs).unwrap().theta
         );
+    }
+
+    #[test]
+    fn engine_serves_through_the_infer_trait_object() {
+        let (model, docs) = model_and_docs();
+        let boxed: Box<dyn Infer> = Box::new(
+            InferenceEngine::new(model, cfg(11).workers(2).batch_size(4).build().unwrap())
+                .with_version(ModelVersion::new("news", 7)),
+        );
+        let (plain, _) = engine(cfg(11).workers(2).batch_size(4).build().unwrap());
+        assert_eq!(boxed.model_version().to_string(), "news@v7");
+        assert!(boxed.latency_quantiles().is_none(), "nothing served yet");
+        let out = boxed.infer_batch(&docs).unwrap();
+        assert_eq!(out.theta, plain.infer_batch(&docs).unwrap().theta);
+        assert!(boxed.latency_quantiles().is_some());
+        assert!(boxed.recovery().is_clean());
     }
 
     #[test]
@@ -907,8 +947,8 @@ mod tests {
 
     #[test]
     fn transient_fault_retries_and_stays_bit_identical() {
-        let cfg = ServeConfig::new(11).with_workers(2).with_batch_size(3);
-        let (mut clean, docs) = engine(cfg.clone());
+        let config = cfg(11).workers(2).batch_size(3).build().unwrap();
+        let (clean, docs) = engine(config.clone());
         let want = clean.infer_batch(&docs).unwrap();
 
         let plan = Arc::new(FaultPlan::from_specs(vec![FaultSpec::new(
@@ -916,7 +956,7 @@ mod tests {
             1,
             0,
         )]));
-        let (mut faulty, _) = engine(cfg);
+        let (mut faulty, _) = engine(config);
         faulty.attach_fault_plan(Arc::clone(&plan));
         let got = faulty.infer_batch(&docs).unwrap();
         assert_eq!(got.theta, want.theta);
@@ -930,8 +970,8 @@ mod tests {
 
     #[test]
     fn dead_worker_batches_are_re_enqueued_on_survivors() {
-        let cfg = ServeConfig::new(11).with_workers(2).with_batch_size(3);
-        let (mut clean, docs) = engine(cfg.clone());
+        let config = cfg(11).workers(2).batch_size(3).build().unwrap();
+        let (clean, docs) = engine(config.clone());
         let want = clean.infer_batch(&docs).unwrap();
 
         // Device 1 never launches again: its share must migrate to 0.
@@ -941,7 +981,7 @@ mod tests {
             0,
         )
         .permanent()]));
-        let (mut faulty, _) = engine(cfg);
+        let (mut faulty, _) = engine(config);
         faulty.attach_fault_plan(Arc::clone(&plan));
         let got = faulty.infer_batch(&docs).unwrap();
         assert_eq!(got.theta, want.theta, "re-served batches diverged");
@@ -959,14 +999,14 @@ mod tests {
 
     #[test]
     fn losing_every_worker_is_an_error_not_a_panic() {
-        let cfg = ServeConfig::new(11).with_workers(1).with_batch_size(4);
+        let config = cfg(11).workers(1).batch_size(4).build().unwrap();
         let plan = Arc::new(FaultPlan::from_specs(vec![FaultSpec::new(
             FaultKind::KernelLaunch,
             0,
             0,
         )
         .permanent()]));
-        let (mut eng, docs) = engine(cfg);
+        let (mut eng, docs) = engine(config);
         eng.attach_fault_plan(plan);
         match eng.infer_batch(&docs) {
             Err(ServeError::AllWorkersLost) => {}
@@ -987,7 +1027,7 @@ mod tests {
         let (model, _) = model_and_docs();
         // Same synthetic vocabulary size, so ids line up.
         assert_eq!(model.vocab_size(), held.vocab_size());
-        let mut eng = InferenceEngine::new(model, ServeConfig::new(6)).unwrap();
+        let eng = InferenceEngine::new(model, ServeConfig::new(6));
         let out = eng.infer_corpus(&held).unwrap();
         assert_eq!(out.docs, held.num_docs());
         assert_eq!(out.tokens, held.num_tokens());

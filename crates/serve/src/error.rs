@@ -35,6 +35,16 @@ pub enum ServeError {
         /// Simulated GPU ordinal of the panicked worker.
         device: usize,
     },
+    /// The admission queue is full; the request was rejected at submit.
+    Overloaded {
+        /// Documents already queued when the request arrived.
+        queued_docs: usize,
+        /// The queue's configured document limit.
+        limit: usize,
+    },
+    /// A registry lookup named a model that was never published (or whose
+    /// every version has been retired).
+    UnknownModel(String),
     /// A simulated device fault that recovery does not cover.
     Sim(SimFault),
 }
@@ -50,6 +60,15 @@ impl fmt::Display for ServeError {
             ServeError::AllWorkersLost => write!(f, "all workers lost; cannot serve"),
             ServeError::WorkerPanicked { device } => {
                 write!(f, "worker on gpu {device} panicked")
+            }
+            ServeError::Overloaded { queued_docs, limit } => {
+                write!(
+                    f,
+                    "admission queue overloaded: {queued_docs} docs queued, limit {limit}"
+                )
+            }
+            ServeError::UnknownModel(name) => {
+                write!(f, "model '{name}' is not in the registry")
             }
             ServeError::Sim(e) => write!(f, "device fault: {e}"),
         }

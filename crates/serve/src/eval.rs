@@ -76,7 +76,7 @@ impl HeldOutEvaluator {
         let k = frozen.phi().num_topics;
         let vocab = frozen.phi().vocab_size;
 
-        let mut engine = InferenceEngine::new(frozen, self.cfg.clone())?;
+        let engine = InferenceEngine::new(frozen, self.cfg.clone());
         let outcome = engine.infer_batch(&self.docs)?;
         let log_predictive = -outcome.perplexity.ln();
 
@@ -188,10 +188,12 @@ mod tests {
     }
 
     fn eval_cfg() -> ServeConfig {
-        ServeConfig::new(99)
-            .with_workers(1)
-            .with_burnin(3)
-            .with_samples(2)
+        ServeConfig::builder(99)
+            .workers(1)
+            .burnin(3)
+            .samples(2)
+            .build()
+            .unwrap()
     }
 
     #[test]

@@ -7,6 +7,15 @@
 //! replica-less `GpuWorker`s as warp-per-document fold-in kernels — ϕ is
 //! never written, so there are no atomics and no sync phase — returning
 //! per-document θ̂ plus held-out perplexity and its burn-in curve.
+//!
+//! Above the engine sits the serving control plane: a versioned
+//! [`ModelRegistry`] of named snapshots, a [`ShardRouter`] assigning
+//! tenants to engine pools (capacity-limited, with dead pools draining
+//! to survivors), an [`AdmissionQueue`] doing SLO-aware micro-batch
+//! admission, and a [`ServingPlane`] composing all three with
+//! zero-downtime blue/green hot-swap. Every backend is a
+//! [`Box<dyn Infer>`], so the plane never depends on the concrete
+//! engine.
 
 //! ```
 //! use culda_sampler::{accumulate_phi_host, ChunkState, PhiModel, Priors};
@@ -20,8 +29,8 @@
 //! let phi = PhiModel::zeros(8, corpus.vocab_size(), Priors::paper(8));
 //! accumulate_phi_host(&chunk, &state.z, &phi);
 //!
-//! let cfg = ServeConfig::new(42).with_workers(2).with_batch_size(4);
-//! let mut engine = InferenceEngine::new(FrozenModel::from_phi(phi), cfg).unwrap();
+//! let cfg = ServeConfig::builder(42).workers(2).batch_size(4).build().unwrap();
+//! let engine = InferenceEngine::new(FrozenModel::from_phi(phi), cfg);
 //! let docs: Vec<Vec<u32>> = corpus.docs.iter().take(8).map(|d| d.words.clone()).collect();
 //! let out = engine.infer_batch(&docs).unwrap();
 //! assert_eq!(out.theta.len(), 8);
@@ -30,12 +39,24 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
+pub mod api;
 pub mod engine;
 pub mod error;
 pub mod eval;
 pub mod frozen;
+pub mod loadgen;
+pub mod plane;
+pub mod registry;
+pub mod router;
 
-pub use engine::{InferenceEngine, InferenceEngineBuilder, InferenceOutcome, ServeConfig};
+pub use admission::{AdmissionConfig, AdmissionQueue, AdmittedBatch, ServeRequest};
+pub use api::{Infer, ModelVersion};
+pub use engine::{InferenceEngine, InferenceOutcome, ServeConfig, ServeConfigBuilder};
 pub use error::ServeError;
 pub use eval::{HeldOutEvaluator, EVAL_TOP_WORDS};
 pub use frozen::FrozenModel;
+pub use loadgen::{LoadGenerator, LoadReport, LoadSpec};
+pub use plane::{PlaneConfig, ServingPlane, SwapReport};
+pub use registry::ModelRegistry;
+pub use router::{CompletedRequest, PoolStats, ShardRouter};

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Serving control-plane gate.
+#
+# Regenerates BENCH_serving.json with the current code and checks the
+# tier's two contractual invariants instead of a throughput baseline:
+#
+#   * dropped == 0 — the blue/green hot-swap loses no requests;
+#   * sustained_rps > 0 and a p99 latency is reported — the tier
+#     actually served the offered load on the simulated clock.
+#
+# The load is fully deterministic (open-loop Poisson from a fixed seed),
+# so the committed BENCH_serving.json is reproducible bit for bit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH=BENCH_serving.json
+
+cargo run --release -q -p culda-bench --bin bench_serving >/dev/null
+
+if [ ! -s "$BENCH" ]; then
+    echo "serving gate: $BENCH was not written" >&2
+    exit 1
+fi
+
+# The report is compact single-line JSON; pull a scalar field by key.
+field() {
+    grep -o "\"$1\":[^,}]*" "$BENCH" | head -n1 | cut -d: -f2
+}
+
+dropped="$(field dropped)"
+sustained="$(field sustained_rps)"
+p99="$(field p99_s)"
+
+if [ "${dropped:-missing}" != "0" ]; then
+    echo "serving gate: hot-swap dropped $dropped request(s)" >&2
+    exit 1
+fi
+if ! awk -v s="${sustained:-0}" 'BEGIN { exit !(s > 0) }'; then
+    echo "serving gate: sustained_rps is ${sustained:-missing}" >&2
+    exit 1
+fi
+if [ -z "${p99:-}" ]; then
+    echo "serving gate: no p99 latency in $BENCH" >&2
+    exit 1
+fi
+
+echo "serving gate: sustained ${sustained} req/s, p99 ${p99}s, dropped 0"

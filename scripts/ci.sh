@@ -84,8 +84,28 @@ grep -q '# culda run report' "$smoke/report.md"
 grep -q '## Held-out evaluation' "$smoke/report.md"
 grep -q 'parses back cleanly' "$smoke/report.md"
 
+echo "==> serving smoke test (registry, hot-swap, load report)"
+# Two checkpoint versions behind the control plane: the load run must
+# complete everything it offers, and the mid-run blue/green swap must
+# drain cleanly (dropped == 0) while moving v1 -> v2.
+cargo run --release -q -p culda-cli -- train --docword "$smoke/c.dw" \
+    --vocab "$smoke/c.v" --model "$smoke/green.phi" --topics 8 --iters 5 \
+    --score-every 0 --platform maxwell
+cargo run --release -q -p culda-cli -- serve --docword "$smoke/c.dw" \
+    --vocab "$smoke/c.v" --model "$smoke/c.phi" --model-b "$smoke/green.phi" \
+    --pools 2 --pool-workers 1 --rate 300 --duration 0.2 --swap-at 0.1 \
+    --out "$smoke/serving.json" | tee "$smoke/serve.log"
+grep -q 'zero downtime' "$smoke/serve.log"
+grep -q '"dropped":0' "$smoke/serving.json"
+grep -q '"from":"default@v1"' "$smoke/serving.json"
+grep -q '"to":"default@v2"' "$smoke/serving.json"
+grep -q '"p99_s"' "$smoke/serving.json"
+
 echo "==> bench regression gate"
 scripts/bench_gate.sh
+
+echo "==> serving gate"
+scripts/bench_serving.sh
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

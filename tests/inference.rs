@@ -40,33 +40,51 @@ fn trained() -> &'static (Vec<u8>, Corpus) {
 
 fn engine(cfg: ServeConfig) -> InferenceEngine {
     let (bytes, _) = trained();
-    InferenceEngine::new(FrozenModel::load(&bytes[..]).unwrap(), cfg).unwrap()
+    InferenceEngine::new(FrozenModel::load(&bytes[..]).unwrap(), cfg)
 }
 
 #[test]
 fn serving_is_deterministic_across_workers_and_batching() {
     let (_, held) = trained();
-    let wide = engine(ServeConfig::new(21).with_workers(1).with_batch_size(256))
-        .infer_corpus(held)
-        .unwrap();
-    let narrow = engine(ServeConfig::new(21).with_workers(3).with_batch_size(5))
-        .infer_corpus(held)
-        .unwrap();
+    let wide = engine(
+        ServeConfig::builder(21)
+            .workers(1)
+            .batch_size(256)
+            .build()
+            .unwrap(),
+    )
+    .infer_corpus(held)
+    .unwrap();
+    let narrow = engine(
+        ServeConfig::builder(21)
+            .workers(3)
+            .batch_size(5)
+            .build()
+            .unwrap(),
+    )
+    .infer_corpus(held)
+    .unwrap();
     assert_eq!(wide.theta, narrow.theta, "batching must be invisible");
     assert_eq!(wide.perplexity, narrow.perplexity);
     assert_eq!(wide.perplexity_by_sweep, narrow.perplexity_by_sweep);
     assert!(narrow.micro_batches > wide.micro_batches);
     // Seeds matter: a different chain gives a different θ.
-    let other = engine(ServeConfig::new(22).with_workers(1).with_batch_size(256))
-        .infer_corpus(held)
-        .unwrap();
+    let other = engine(
+        ServeConfig::builder(22)
+            .workers(1)
+            .batch_size(256)
+            .build()
+            .unwrap(),
+    )
+    .infer_corpus(held)
+    .unwrap();
     assert_ne!(wide.theta, other.theta);
 }
 
 #[test]
 fn theta_rows_are_normalized_probability_vectors() {
     let (_, held) = trained();
-    let out = engine(ServeConfig::new(4).with_batch_size(17))
+    let out = engine(ServeConfig::builder(4).batch_size(17).build().unwrap())
         .infer_corpus(held)
         .unwrap();
     assert_eq!(out.theta.len(), held.num_docs());
@@ -81,9 +99,15 @@ fn theta_rows_are_normalized_probability_vectors() {
 #[test]
 fn held_out_perplexity_is_nonincreasing_across_burnin() {
     let (_, held) = trained();
-    let out = engine(ServeConfig::new(33).with_burnin(6).with_samples(2))
-        .infer_corpus(held)
-        .unwrap();
+    let out = engine(
+        ServeConfig::builder(33)
+            .burnin(6)
+            .samples(2)
+            .build()
+            .unwrap(),
+    )
+    .infer_corpus(held)
+    .unwrap();
     let curve = &out.perplexity_by_sweep;
     assert_eq!(curve.len(), 8);
     for (s, pair) in curve.windows(2).enumerate() {
@@ -106,7 +130,13 @@ fn held_out_perplexity_is_nonincreasing_across_burnin() {
 #[test]
 fn inference_trace_obeys_ctef_discipline() {
     let (_, held) = trained();
-    let mut eng = engine(ServeConfig::new(8).with_workers(2).with_batch_size(6));
+    let mut eng = engine(
+        ServeConfig::builder(8)
+            .workers(2)
+            .batch_size(6)
+            .build()
+            .unwrap(),
+    );
     let sink = Arc::new(TraceSink::new());
     eng.attach_observability(Some(sink.clone()), None);
     let out = eng.infer_corpus(held).unwrap();

@@ -33,10 +33,12 @@ fn cfg(iters: u32, platform: Platform) -> TrainerConfig {
 }
 
 fn eval_cfg() -> ServeConfig {
-    ServeConfig::new(99)
-        .with_workers(1)
-        .with_burnin(4)
-        .with_samples(2)
+    ServeConfig::builder(99)
+        .workers(1)
+        .burnin(4)
+        .samples(2)
+        .build()
+        .unwrap()
 }
 
 fn phi_counts(phi: &PhiModel) -> Vec<u32> {
