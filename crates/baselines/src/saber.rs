@@ -34,10 +34,11 @@ pub fn saber_platform() -> Platform {
 /// A trainer configured as the SaberLDA approximation: GTX 1080, one GPU,
 /// no sub-expression sharing in shared memory.
 pub fn saber_like_trainer(corpus: &Corpus, num_topics: usize, iterations: u32) -> CuldaTrainer {
-    let mut cfg = TrainerConfig::new(num_topics, saber_platform())
-        .unwrap()
-        .with_iterations(iterations)
-        .with_score_every(1);
+    let mut cfg = TrainerConfig::builder(num_topics, saber_platform())
+        .iterations(iterations)
+        .score_every(1)
+        .build()
+        .unwrap();
     cfg.use_shared_memory = false;
     CuldaTrainer::new(corpus, cfg)
 }
@@ -66,10 +67,11 @@ mod tests {
         let saber = saber_like_trainer(&corpus, 32, 2).train();
         let culda = CuldaTrainer::new(
             &corpus,
-            TrainerConfig::new(32, Platform::maxwell())
-                .unwrap()
-                .with_iterations(2)
-                .with_score_every(0),
+            TrainerConfig::builder(32, Platform::maxwell())
+                .iterations(2)
+                .score_every(0)
+                .build()
+                .unwrap(),
         )
         .train();
         let saber_tps = saber.history.avg_tokens_per_sec(2);

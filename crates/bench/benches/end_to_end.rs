@@ -19,21 +19,23 @@ fn main() {
     group("trainer_step");
     for policy in [PartitionPolicy::Document, PartitionPolicy::Word] {
         for gpus in [1usize, 4] {
-            let cfg = TrainerConfig::new(64, Platform::pascal().with_gpus(gpus))
-                .unwrap()
-                .with_iterations(1)
-                .with_score_every(0);
-            let mut t = build_trainer(policy, &corpus, cfg);
+            let cfg = TrainerConfig::builder(64, Platform::pascal().with_gpus(gpus))
+                .iterations(1)
+                .score_every(0)
+                .build()
+                .unwrap();
+            let mut t = build_trainer(policy, &corpus, cfg).unwrap();
             bench(&format!("{policy}/pascal/{gpus}"), || black_box(t.step()));
         }
     }
 
     group("inference_batch");
-    let cfg = TrainerConfig::new(64, Platform::pascal())
-        .unwrap()
-        .with_iterations(2)
-        .with_score_every(0);
-    let mut t = build_trainer(PartitionPolicy::Document, &corpus, cfg);
+    let cfg = TrainerConfig::builder(64, Platform::pascal())
+        .iterations(2)
+        .score_every(0)
+        .build()
+        .unwrap();
+    let mut t = build_trainer(PartitionPolicy::Document, &corpus, cfg).unwrap();
     t.step();
     t.step();
     let docs: Vec<Vec<u32>> = corpus

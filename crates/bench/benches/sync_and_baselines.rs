@@ -13,7 +13,9 @@ fn main() {
     group("phi_sync");
     let (k, v) = (128usize, 2000usize);
     for gpus in [2usize, 4, 8] {
-        let cfg = TrainerConfig::new(k, Platform::pascal()).unwrap();
+        let cfg = TrainerConfig::builder(k, Platform::pascal())
+            .build()
+            .unwrap();
         bench_with_setup(
             &format!("reduce_broadcast/{gpus}"),
             || {

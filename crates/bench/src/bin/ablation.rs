@@ -28,10 +28,11 @@ fn main() {
     let mut csv = String::from("ablation,variant,tokens_per_sec,loglik\n");
 
     let run = |mutate: &dyn Fn(&mut TrainerConfig)| {
-        let mut cfg = TrainerConfig::new(k, Platform::maxwell())
-            .unwrap()
-            .with_iterations(iters)
-            .with_score_every(0);
+        let mut cfg = TrainerConfig::builder(k, Platform::maxwell())
+            .iterations(iters)
+            .score_every(0)
+            .build()
+            .unwrap();
         mutate(&mut cfg);
         let out = CuldaTrainer::new(&corpus, cfg).train();
         (
@@ -106,7 +107,9 @@ fn main() {
 
     // --- 4b: partition policy sync footprint (Section 4's argument) -----
     println!("\n[4b] partition-by-document vs partition-by-word sync footprint:");
-    let probe = TrainerConfig::new(k, Platform::pascal()).unwrap();
+    let probe = TrainerConfig::builder(k, Platform::pascal())
+        .build()
+        .unwrap();
     let cmp = culda_multigpu::compare_policies(&corpus, &probe);
     println!(
         "  sync phi (by-document): {:>12} B   sync theta (by-word): {:>12} B   ratio {:.1}x",
@@ -130,20 +133,22 @@ fn main() {
     // Executable comparison: both trainers, same corpus and iterations.
     let mut word_trainer = culda_multigpu::WordPartitionedTrainer::new(
         &corpus,
-        TrainerConfig::new(k, Platform::pascal())
-            .unwrap()
-            .with_iterations(iters)
-            .with_score_every(0),
+        TrainerConfig::builder(k, Platform::pascal())
+            .iterations(iters)
+            .score_every(0)
+            .build()
+            .unwrap(),
     );
     let mut word_secs = 0.0;
     for _ in 0..iters {
         word_secs += word_trainer.step().sim_seconds;
     }
     let word_tps = corpus.num_tokens() as f64 * iters as f64 / word_secs;
-    let mut doc_cfg = TrainerConfig::new(k, Platform::pascal())
-        .unwrap()
-        .with_iterations(iters)
-        .with_score_every(0);
+    let mut doc_cfg = TrainerConfig::builder(k, Platform::pascal())
+        .iterations(iters)
+        .score_every(0)
+        .build()
+        .unwrap();
     doc_cfg.chunks_per_gpu = Some(1);
     let doc_out = culda_multigpu::CuldaTrainer::new(&corpus, doc_cfg).train();
     let doc_tps = doc_out.history.avg_tokens_per_sec(iters as usize);
@@ -182,10 +187,11 @@ fn main() {
         ("PCIe 3.0 (16 GB/s)", None),
         ("NVLink (300 GB/s)", Some(Link::nvlink())),
     ] {
-        let mut cfg = TrainerConfig::new(128, Platform::pascal())
-            .unwrap()
-            .with_iterations(iters)
-            .with_score_every(0);
+        let mut cfg = TrainerConfig::builder(128, Platform::pascal())
+            .iterations(iters)
+            .score_every(0)
+            .build()
+            .unwrap();
         cfg.peer_link = link;
         let out = CuldaTrainer::new(&sync_corpus, cfg).train();
         let tps = out.history.avg_tokens_per_sec(iters as usize);

@@ -28,12 +28,13 @@ const POOLS: usize = 2;
 const CAPACITY: usize = 32;
 
 fn train(corpus: &culda_corpus::Corpus, sweeps: u32, seed: u64) -> FrozenModel {
-    let cfg = TrainerConfig::new(BENCH_TOPICS, Platform::pascal())
-        .unwrap()
-        .with_iterations(sweeps)
-        .with_score_every(0)
-        .with_seed(seed);
-    let mut t = build_trainer(PartitionPolicy::Document, corpus, cfg);
+    let cfg = TrainerConfig::builder(BENCH_TOPICS, Platform::pascal())
+        .iterations(sweeps)
+        .score_every(0)
+        .seed(seed)
+        .build()
+        .unwrap();
+    let mut t = build_trainer(PartitionPolicy::Document, corpus, cfg).unwrap();
     for _ in 0..sweeps {
         t.step();
     }

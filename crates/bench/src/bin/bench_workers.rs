@@ -32,10 +32,11 @@ fn run(
     concurrent: bool,
     metrics: Option<&Arc<MetricsRegistry>>,
 ) -> Run {
-    let cfg = TrainerConfig::new(BENCH_TOPICS, Platform::pascal().with_gpus(gpus))
-        .unwrap()
-        .with_iterations(iters)
-        .with_score_every(0);
+    let cfg = TrainerConfig::builder(BENCH_TOPICS, Platform::pascal().with_gpus(gpus))
+        .iterations(iters)
+        .score_every(0)
+        .build()
+        .unwrap();
     let mut t = CuldaTrainer::new(corpus, cfg);
     if let Some(reg) = metrics {
         t.attach_observability(None, Some(reg.clone()));

@@ -48,10 +48,11 @@ fn main() {
     );
 
     // CuLDA (Volta sim): snapshot perplexity during training.
-    let cfg = TrainerConfig::new(K, Platform::volta().with_gpus(1))
-        .unwrap()
-        .with_iterations(iters)
-        .with_score_every(0);
+    let cfg = TrainerConfig::builder(K, Platform::volta().with_gpus(1))
+        .iterations(iters)
+        .score_every(0)
+        .build()
+        .unwrap();
     let mut trainer = CuldaTrainer::new(&train, cfg);
     let mut culda_points = Vec::new();
     for i in 0..iters {

@@ -16,10 +16,11 @@ use culda_multigpu::{CuldaTrainer, TrainerConfig};
 use culda_sampler::Priors;
 
 fn culda_series(corpus: &Corpus, platform: Platform, iters: u32) -> Vec<(f64, f64)> {
-    let cfg = TrainerConfig::new(BENCH_TOPICS, platform.with_gpus(1))
-        .unwrap()
-        .with_iterations(iters)
-        .with_score_every(1);
+    let cfg = TrainerConfig::builder(BENCH_TOPICS, platform.with_gpus(1))
+        .iterations(iters)
+        .score_every(1)
+        .build()
+        .unwrap();
     CuldaTrainer::new(corpus, cfg)
         .train()
         .history

@@ -38,10 +38,11 @@ fn main() {
     let mut per_iter_fig = Figure::new("Fig 9a — PubMed", "iteration", "tokens_per_sec");
     let mut scaling = Vec::new();
     for gpus in [1usize, 2, 4] {
-        let cfg = TrainerConfig::new(BENCH_TOPICS, Platform::pascal().with_gpus(gpus))
-            .unwrap()
-            .with_iterations(iters)
-            .with_score_every(0);
+        let cfg = TrainerConfig::builder(BENCH_TOPICS, Platform::pascal().with_gpus(gpus))
+            .iterations(iters)
+            .score_every(0)
+            .build()
+            .unwrap();
         let out = CuldaTrainer::new(&corpus, cfg).train();
         let tps = out.history.avg_tokens_per_sec(iters as usize);
         per_iter_fig.push(Series::new(

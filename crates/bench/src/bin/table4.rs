@@ -15,10 +15,11 @@ use culda_multigpu::{CuldaTrainer, TrainerConfig};
 use culda_sampler::Priors;
 
 fn culda_tps(corpus: &Corpus, platform: Platform, iters: u32) -> f64 {
-    let cfg = TrainerConfig::new(BENCH_TOPICS, platform.with_gpus(1))
-        .unwrap()
-        .with_iterations(iters)
-        .with_score_every(0);
+    let cfg = TrainerConfig::builder(BENCH_TOPICS, platform.with_gpus(1))
+        .iterations(iters)
+        .score_every(0)
+        .build()
+        .unwrap();
     let out = CuldaTrainer::new(corpus, cfg).train();
     out.history.avg_tokens_per_sec(iters as usize)
 }

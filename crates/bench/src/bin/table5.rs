@@ -24,10 +24,11 @@ fn main() {
 
     let mut measured = Vec::new();
     for platform in Platform::all() {
-        let cfg = TrainerConfig::new(BENCH_TOPICS, platform.with_gpus(1))
-            .unwrap()
-            .with_iterations(iters)
-            .with_score_every(0);
+        let cfg = TrainerConfig::builder(BENCH_TOPICS, platform.with_gpus(1))
+            .iterations(iters)
+            .score_every(0)
+            .build()
+            .unwrap();
         let out = CuldaTrainer::new(&corpus, cfg).train();
         measured.push(out.breakdown);
     }

@@ -13,8 +13,8 @@ use culda_metrics::{
     MetricsRegistry, MetricsSnapshot, Severity, SnapshotWriter, TraceSink,
 };
 use culda_multigpu::{
-    resume_any, save_training, try_build_trainer, LdaTrainer, PartitionPolicy, SamplingMode,
-    SyncMode, TrainerConfig,
+    build_trainer, resume_any, save_training, LdaTrainer, PartitionPolicy, SamplingMode, SyncMode,
+    TrainerConfig, TrainerConfigBuilder,
 };
 use culda_sampler::{load_phi, LdaModel};
 use culda_serve::{FrozenModel, HeldOutEvaluator, InferenceEngine, InferenceOutcome, ServeConfig};
@@ -55,19 +55,28 @@ fn fault_plan(args: &Args) -> Result<Option<Arc<FaultPlan>>, Box<dyn std::error:
     }
 }
 
-/// Usage text.
-pub const USAGE: &str = "\
+/// Usage text. A function, not a constant: the mode lists (`--policy`,
+/// `--sync-mode`, `--sampling-mode`) are derived from the same canonical
+/// name tables the parsers and their errors use, so the help can never
+/// drift from what actually parses.
+pub fn usage() -> String {
+    let policy = PartitionPolicy::usage();
+    let sync = SyncMode::usage();
+    let sampling = SamplingMode::usage();
+    format!(
+        "\
 culda — CuLDA_CGS topic modeling (Rust reproduction)
 
 USAGE:
   culda generate --preset <tiny|nytimes|pubmed> [--scale F] [--seed N]
                  --docword PATH --vocab PATH
   culda train    --docword PATH --vocab PATH --model OUT.phi
-                 [--policy doc|word] [--topics K] [--iters N]
+                 [--policy {policy}] [--topics K] [--iters N]
                  [--platform maxwell|pascal|volta] [--gpus G] [--workers N]
+                 [--nodes N] [--no-prefetch]
                  [--seed N] [--score-every N]
-                 [--sync-mode auto|dense-tree|dense-ring|delta]
-                 [--sampling-mode auto|dense|sparse]
+                 [--sync-mode {sync}]
+                 [--sampling-mode {sampling}]
                  [--resume STATE] [--save-state STATE] [--fault-plan SPEC]
                  [--eval-every N] [--eval-fraction F] [--eval-seed N]
                  [--snapshots OUT.jsonl] [--openmetrics OUT.txt]
@@ -85,12 +94,13 @@ USAGE:
                  [--seed N] [--platform maxwell|pascal|volta]
                  [--out BENCH_serving.json]
   culda info     --model M.phi
-  culda profile  --docword PATH --vocab PATH [--policy doc|word] [--topics K]
+  culda profile  --docword PATH --vocab PATH [--policy {policy}] [--topics K]
                  [--iters N] [--platform maxwell|pascal|volta] [--gpus G]
                  [--workers N]
   culda trace    --preset <tiny|nytimes|pubmed> [--scale F] [--seed N]
-                 [--policy doc|word] [--topics K] [--iters N]
+                 [--policy {policy}] [--topics K] [--iters N]
                  [--platform maxwell|pascal|volta] [--gpus G] [--workers N]
+                 [--nodes N] [--no-prefetch]
                  [--trace-out trace.json] [--metrics-out metrics.json]
   culda report   --snapshots RUN.jsonl [--openmetrics METRICS.txt]
                  [--out report.md]
@@ -109,6 +119,18 @@ nonzero ϕ cells over the β baseline, `auto` re-decides each iteration
 from the same cost model the delta sync uses. Like sync modes, every
 sampling mode draws identical topics — checkpoints are byte-identical
 and only the modelled sampling time changes.
+
+`--nodes N` trains across N simulated nodes (doc policy only), each a
+full `--gpus G` box: documents shard over nodes, each node syncs its ϕ
+replicas locally, then ships a sparse Δϕ payload (the same COO/CSR/dense
+wire format as `--sync-mode delta`) to a parameter server over a modelled
+100 Gb/s inter-node link. The checkpoint is bit-identical to `--nodes 1`;
+only the modelled time and traffic change. `--resume` is not yet wired
+for multi-node runs. When the corpus exceeds device memory, chunk staging
+is double-buffered so the H2D upload of chunk i+1 overlaps sampling of
+chunk i (visible as `gpu*-h2d`/`gpu*-stage` tracks in `--trace-out` and
+the `oocore.overlap_fraction` gauge); `--no-prefetch` falls back to
+serial staging. Overlap changes modelled time only, never the model.
 
 `culda infer` folds held-out documents into a frozen checkpoint (ϕ is
 read-only: no atomics, no sync phase) and emits a JSON report with each
@@ -130,7 +152,7 @@ latency) goes to `--out` or stdout.
 
 `--fault-plan` injects deterministic simulated faults for resilience
 testing: clauses `kind:device:epoch[:kernel][:permanent]` separated by
-`;` or `,`, with kind ∈ {launch, corrupt, drop}. The epoch is the
+`;` or `,`, with kind ∈ {{launch, corrupt, drop}}. The epoch is the
 training iteration (on `train`) or the batch ordinal (on `infer`).
 `--fault-plan launch:0:1` fails one GPU-0 kernel launch at iteration 1;
 the worker retries with exponential backoff and the run stays
@@ -156,7 +178,9 @@ runs a traced training session on a synthetic corpus, then folds a 10%
 held-out split back through the serving path, and writes a Chrome-trace
 JSON (load it at https://ui.perfetto.dev) alongside a metrics snapshot.
 `trace` defaults to the pascal platform (4 GPUs).
-";
+"
+    )
+}
 
 pub(crate) fn load_corpus(args: &Args) -> Result<Corpus, Box<dyn std::error::Error>> {
     let docword = args.require("docword")?;
@@ -195,24 +219,40 @@ pub(crate) fn platform_or(
 }
 
 /// Parses `--policy doc|word` (default: the paper's partition-by-document).
+/// A bad value propagates as a typed [`ModeParseError`] so the exit code
+/// maps to usage (2), same as the other mode flags.
 fn policy(args: &Args) -> Result<PartitionPolicy, Box<dyn std::error::Error>> {
-    args.get_or("policy", "doc").parse().map_err(err)
+    Ok(args.get_or("policy", "doc").parse::<PartitionPolicy>()?)
+}
+
+/// Applies the `--nodes N` (simulated cluster width, default 1) and
+/// `--no-prefetch` (serial out-of-core staging) flags to a trainer config
+/// builder.
+fn apply_cluster_flags(
+    args: &Args,
+    builder: TrainerConfigBuilder,
+) -> Result<TrainerConfigBuilder, Box<dyn std::error::Error>> {
+    let nodes: usize = args.num_or("nodes", 1)?;
+    if nodes == 0 {
+        return Err(err("--nodes must be at least 1"));
+    }
+    Ok(builder.nodes(nodes).prefetch(!args.bool("no-prefetch")))
 }
 
 /// Applies the `--workers N` flag (host threads per simulated device) to a
-/// trainer config. Absent flag = simulator default.
+/// trainer config builder. Absent flag = simulator default.
 fn apply_workers(
     args: &Args,
-    cfg: TrainerConfig,
-) -> Result<TrainerConfig, Box<dyn std::error::Error>> {
+    builder: TrainerConfigBuilder,
+) -> Result<TrainerConfigBuilder, Box<dyn std::error::Error>> {
     let workers: usize = args.num_or("workers", 0)?;
     if args.require("workers").is_ok() && workers == 0 {
         return Err(err("--workers must be at least 1"));
     }
     Ok(if workers > 0 {
-        cfg.with_host_workers(workers)
+        builder.host_workers(workers)
     } else {
-        cfg
+        builder
     })
 }
 
@@ -258,11 +298,8 @@ pub fn train(args: &Args) -> CmdResult {
     let iters: u32 = args.num_or("iters", 100)?;
     let score_every: u32 = args.num_or("score-every", 10)?;
     let seed: u64 = args.num_or("seed", 0xC01DA)?;
-    let sync_mode: SyncMode = args
-        .get_or("sync-mode", "dense-tree")
-        .parse()
-        .map_err(err)?;
-    let sampling_mode: SamplingMode = args.get_or("sampling-mode", "dense").parse().map_err(err)?;
+    let sync_mode: SyncMode = args.get_or("sync-mode", "dense-tree").parse()?;
+    let sampling_mode: SamplingMode = args.get_or("sampling-mode", "dense").parse()?;
     let model_path = args.require("model")?;
     let eval_every: u32 = args.num_or("eval-every", 0)?;
     let eval_fraction: f64 = args.num_or("eval-fraction", 0.1)?;
@@ -277,18 +314,32 @@ pub fn train(args: &Args) -> CmdResult {
         "training K = {topics} for {iters} iterations on {} ({} GPU(s))",
         platform.name, platform.num_gpus
     );
-    let cfg = apply_workers(
+    let cfg = apply_cluster_flags(
         args,
-        TrainerConfig::new(topics, platform)
-            .map_err(|e| err(e.to_string()))?
-            .with_iterations(iters)
-            .with_score_every(score_every)
-            .with_seed(seed)
-            .with_sync_mode(sync_mode)
-            .with_sampling_mode(sampling_mode),
-    )?;
+        apply_workers(
+            args,
+            TrainerConfig::builder(topics, platform)
+                .iterations(iters)
+                .score_every(score_every)
+                .seed(seed)
+                .sync_mode(sync_mode)
+                .sampling_mode(sampling_mode),
+        )?,
+    )?
+    .build()?;
+    if cfg.nodes > 1 {
+        let link = cfg.effective_node_link();
+        println!(
+            "cluster: {} node(s) × {} GPU(s), Δϕ parameter server over a \
+             {} GB/s / {} µs node link",
+            cfg.nodes, cfg.platform.num_gpus, link.bandwidth_gbps, link.latency_us
+        );
+    }
     let mut trainer: Box<dyn LdaTrainer> = match args.require("resume") {
         Ok(state_path) => {
+            if cfg.nodes > 1 {
+                return Err(err("--resume is not supported with --nodes > 1"));
+            }
             // The checkpoint's policy tag decides which trainer comes back.
             let t = resume_any(&corpus, cfg, BufReader::new(File::open(state_path)?))?;
             println!(
@@ -298,7 +349,7 @@ pub fn train(args: &Args) -> CmdResult {
             );
             t
         }
-        Err(_) => try_build_trainer(policy(args)?, &corpus, cfg)?,
+        Err(_) => build_trainer(policy(args)?, &corpus, cfg)?,
     };
     println!("policy: partition-by-{}", trainer.policy());
     let faults = fault_plan(args)?;
@@ -603,12 +654,12 @@ pub fn profile_cmd(args: &Args) -> CmdResult {
     let platform_name = platform.name;
     let cfg = apply_workers(
         args,
-        TrainerConfig::new(topics, platform)
-            .map_err(|e| err(e.to_string()))?
-            .with_iterations(iters)
-            .with_score_every(0),
-    )?;
-    let mut trainer = try_build_trainer(policy(args)?, &corpus, cfg)?;
+        TrainerConfig::builder(topics, platform)
+            .iterations(iters)
+            .score_every(0),
+    )?
+    .build()?;
+    let mut trainer = build_trainer(policy(args)?, &corpus, cfg)?;
     let registry = Arc::new(MetricsRegistry::new());
     trainer.attach_observability(None, Some(registry.clone()));
     for _ in 0..iters {
@@ -661,15 +712,18 @@ pub fn trace_cmd(args: &Args) -> CmdResult {
     let trace_path = args.get_or("trace-out", "trace.json").to_string();
     let metrics_path = args.get_or("metrics-out", "metrics.json").to_string();
     let (train_corpus, held_out) = split_held_out(&corpus, 0.1, seed);
-    let cfg = apply_workers(
+    let cfg = apply_cluster_flags(
         args,
-        TrainerConfig::new(topics, platform)
-            .map_err(|e| err(e.to_string()))?
-            .with_iterations(iters)
-            .with_score_every(0)
-            .with_seed(seed),
-    )?;
-    let mut trainer = try_build_trainer(policy(args)?, &train_corpus, cfg)?;
+        apply_workers(
+            args,
+            TrainerConfig::builder(topics, platform)
+                .iterations(iters)
+                .score_every(0)
+                .seed(seed),
+        )?,
+    )?
+    .build()?;
+    let mut trainer = build_trainer(policy(args)?, &train_corpus, cfg)?;
     let sink = Arc::new(TraceSink::new());
     let registry = Arc::new(MetricsRegistry::new());
     trainer.attach_observability(Some(sink.clone()), Some(registry.clone()));
@@ -705,8 +759,9 @@ pub fn trace_cmd(args: &Args) -> CmdResult {
 pub fn dispatch(args: &Args) -> CmdResult {
     if !args.positionals().is_empty() {
         return Err(err(format!(
-            "unexpected positional arguments {:?} — all options are --flags\n\n{USAGE}",
-            args.positionals()
+            "unexpected positional arguments {:?} — all options are --flags\n\n{}",
+            args.positionals(),
+            usage()
         )));
     }
     match args.command.as_deref() {
@@ -719,8 +774,8 @@ pub fn dispatch(args: &Args) -> CmdResult {
         Some("trace") => trace_cmd(args),
         Some("serve") => crate::serve::serve(args),
         Some("report") => crate::report::report(args),
-        Some(other) => Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
-        None => Err(err(USAGE.to_string())),
+        Some(other) => Err(err(format!("unknown command {other:?}\n\n{}", usage()))),
+        None => Err(err(usage())),
     }
 }
 
@@ -990,19 +1045,23 @@ mod tests {
     fn workers_flag_is_validated_and_accepted() {
         assert!(apply_workers(
             &args("train --workers 0"),
-            TrainerConfig::new(8, Platform::maxwell()).unwrap()
+            TrainerConfig::builder(8, Platform::maxwell())
         )
         .is_err());
         let cfg = apply_workers(
             &args("train --workers 3"),
-            TrainerConfig::new(8, Platform::maxwell()).unwrap(),
+            TrainerConfig::builder(8, Platform::maxwell()),
         )
+        .unwrap()
+        .build()
         .unwrap();
         assert_eq!(cfg.host_workers, Some(3));
         let cfg = apply_workers(
             &args("train"),
-            TrainerConfig::new(8, Platform::maxwell()).unwrap(),
+            TrainerConfig::builder(8, Platform::maxwell()),
         )
+        .unwrap()
+        .build()
         .unwrap();
         assert_eq!(cfg.host_workers, None);
         // End to end through the train command.
@@ -1236,6 +1295,66 @@ mod tests {
         assert_eq!(exit_code(&ServeError::Config("no workers".into())), 2);
         assert_eq!(exit_code(&std::io::Error::other("disk")), 4);
         assert_eq!(exit_code(&std::fmt::Error), 1);
+    }
+
+    #[test]
+    fn multi_node_training_matches_single_node_checkpoint() {
+        let docword = tmp("n.docword");
+        let vocab = tmp("n.vocab");
+        generate(&args(&format!(
+            "generate --preset tiny --seed 13 --docword {} --vocab {}",
+            docword.display(),
+            vocab.display()
+        )))
+        .unwrap();
+        let base = format!(
+            "train --docword {} --vocab {} --topics 8 --iters 3 \
+             --score-every 0 --platform pascal --gpus 2 --seed 21",
+            docword.display(),
+            vocab.display()
+        );
+        let single = tmp("n.single.phi");
+        let cluster = tmp("n.cluster.phi");
+        train(&args(&format!("{base} --model {}", single.display()))).unwrap();
+        train(&args(&format!(
+            "{base} --model {} --nodes 3",
+            cluster.display()
+        )))
+        .unwrap();
+        assert_eq!(
+            std::fs::read(&single).unwrap(),
+            std::fs::read(&cluster).unwrap(),
+            "multi-node checkpoint diverged from single-node"
+        );
+        // Guard rails: zero nodes, word policy, and resume are rejected.
+        let e = train(&args(&format!(
+            "{base} --model {} --nodes 0",
+            cluster.display()
+        )))
+        .unwrap_err();
+        assert_eq!(exit_code(e.as_ref()), 2);
+        let e = train(&args(&format!(
+            "{base} --model {} --nodes 2 --policy word",
+            cluster.display()
+        )))
+        .unwrap_err();
+        assert_eq!(exit_code(e.as_ref()), 2);
+        let e = train(&args(&format!(
+            "{base} --model {} --nodes 2 --resume /nonexistent.state",
+            cluster.display()
+        )))
+        .unwrap_err();
+        assert_eq!(exit_code(e.as_ref()), 2);
+    }
+
+    #[test]
+    fn usage_derives_mode_lists_from_canonical_tables() {
+        let u = usage();
+        assert!(u.contains(&format!("--policy {}", PartitionPolicy::usage())));
+        assert!(u.contains(&format!("--sync-mode {}", SyncMode::usage())));
+        assert!(u.contains(&format!("--sampling-mode {}", SamplingMode::usage())));
+        assert!(u.contains("--nodes N"));
+        assert!(u.contains("--no-prefetch"));
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use crate::args::ArgError;
 use crate::commands::HealthError;
-use culda_multigpu::{ConfigError, CuldaError};
+use culda_multigpu::{ConfigError, CuldaError, ModeParseError};
 use culda_serve::ServeError;
 
 /// Typed process exit status.
@@ -77,7 +77,10 @@ impl ExitCode {
                 | ServeError::Overloaded { .. } => ExitCode::Fault,
             };
         }
-        if e.downcast_ref::<ArgError>().is_some() || e.downcast_ref::<ConfigError>().is_some() {
+        if e.downcast_ref::<ArgError>().is_some()
+            || e.downcast_ref::<ConfigError>().is_some()
+            || e.downcast_ref::<ModeParseError>().is_some()
+        {
             return ExitCode::Usage;
         }
         if e.downcast_ref::<std::io::Error>().is_some() {

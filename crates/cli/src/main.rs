@@ -17,7 +17,7 @@ fn main() {
         }
     };
     if parsed.bool("help") || parsed.bool("h") {
-        println!("{}", commands::USAGE);
+        println!("{}", commands::usage());
         return;
     }
     let code = match commands::dispatch(&parsed) {

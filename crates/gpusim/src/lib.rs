@@ -71,7 +71,7 @@ pub use multi::GpuCluster;
 pub use platform::{GpuSpec, Platform};
 pub use profile::{KernelSummary, LaunchRecord, ProfileLog};
 pub use shared::SharedMem;
-pub use stream::{pipelined_seconds, serial_seconds, EnginePipeline, Stage};
+pub use stream::{pipelined_seconds, serial_seconds, EnginePipeline, Stage, StageIntervals};
 
 // Observability sinks devices accept (re-exported from culda-metrics so
 // substrate users need not name that crate).

@@ -41,6 +41,17 @@ impl Link {
         }
     }
 
+    /// Datacenter node-class interconnect (100 Gb/s class RDMA fabric,
+    /// ~12.5 GB/s): the inter-node link the cluster layer's Δϕ supersteps
+    /// ride on. Slower than PCIe within a box, 10× the LDA* ethernet —
+    /// the regime the sparse Δϕ wire format was built for.
+    pub fn node_100gbit() -> Self {
+        Self {
+            bandwidth_gbps: 12.5,
+            latency_us: 25.0,
+        }
+    }
+
     /// Seconds to move `bytes` across the link.
     pub fn transfer_seconds(&self, bytes: u64) -> f64 {
         assert!(self.bandwidth_gbps > 0.0, "link has no bandwidth");
@@ -72,6 +83,16 @@ mod tests {
         let pcie = Link::pcie3().transfer_seconds(bytes);
         let eth = Link::ethernet_10gbit().transfer_seconds(bytes);
         assert!(eth / pcie > 10.0, "eth {eth} vs pcie {pcie}");
+    }
+
+    #[test]
+    fn node_link_sits_between_ethernet_and_pcie() {
+        let bytes = 1_000_000_000;
+        let eth = Link::ethernet_10gbit().transfer_seconds(bytes);
+        let node = Link::node_100gbit().transfer_seconds(bytes);
+        let pcie = Link::pcie3().transfer_seconds(bytes);
+        assert!(node < eth, "node {node} vs eth {eth}");
+        assert!(node > pcie, "node {node} vs pcie {pcie}");
     }
 
     #[test]

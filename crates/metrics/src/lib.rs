@@ -47,4 +47,7 @@ pub use roofline::{Roofline, SamplingStep};
 pub use series::{sparkline, Ewma, Figure, Series};
 pub use snapshot::{parse_snapshots, EvalRecord, MetricsSnapshot, SnapshotRecord, SnapshotWriter};
 pub use throughput::{format_tokens_per_sec, IterationStat, RunHistory};
-pub use trace::{EventKind, TraceEvent, TraceSink, HOST_PID, SIM_PID, SYNC_TID};
+pub use trace::{
+    EventKind, TraceEvent, TraceSink, H2D_TID_BASE, HOST_PID, NODE_TID_BASE, SIM_PID,
+    STAGE_TID_BASE, SYNC_TID,
+};

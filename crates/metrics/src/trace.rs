@@ -30,6 +30,24 @@ pub const SIM_PID: u32 = 0;
 pub const HOST_PID: u32 = 1;
 /// Thread id (within [`SIM_PID`]) of the dedicated ϕ-sync track.
 pub const SYNC_TID: u32 = 1000;
+/// Base thread id (within [`SIM_PID`]) of the per-device host→device copy
+/// tracks: device `d`'s H2D engine traces on `H2D_TID_BASE + d`. The copy
+/// engine runs one transfer at a time, so its spans nest cleanly; they
+/// overlap the *compute* spans on the staging track — that overlap is the
+/// point of the prefetch pipeline, and flow arrows tie each chunk's copy
+/// to its kernel.
+pub const H2D_TID_BASE: u32 = 2000;
+/// Base thread id (within [`SIM_PID`]) of the per-device staging-compute
+/// tracks: device `d`'s pipelined chunk kernels trace on
+/// `STAGE_TID_BASE + d`, at their scheduled pipeline times (the raw
+/// kernel spans on the `gpu{d}` track carry pre-pipelining clocks).
+pub const STAGE_TID_BASE: u32 = 3000;
+/// Base thread id (within [`SIM_PID`]) of the per-node tracks used by the
+/// cluster layer: node `n`'s intra-node ϕ sync spans trace on
+/// `NODE_TID_BASE + n` (they overlap across nodes, so they cannot share
+/// the single [`SYNC_TID`] track), with flow arrows into the
+/// parameter-server superstep span on [`SYNC_TID`].
+pub const NODE_TID_BASE: u32 = 4000;
 
 /// Chrome Trace Event phases used by the sink.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -329,6 +347,9 @@ fn process_name(pid: u32) -> &'static str {
 fn track_name(pid: u32, tid: u32) -> String {
     match (pid, tid) {
         (SIM_PID, SYNC_TID) => "phi-sync".to_string(),
+        (SIM_PID, t) if t >= NODE_TID_BASE => format!("node{}", t - NODE_TID_BASE),
+        (SIM_PID, t) if t >= STAGE_TID_BASE => format!("gpu{}-stage", t - STAGE_TID_BASE),
+        (SIM_PID, t) if t >= H2D_TID_BASE => format!("gpu{}-h2d", t - H2D_TID_BASE),
         (SIM_PID, t) => format!("gpu{t}"),
         (_, t) => format!("worker{t}"),
     }
@@ -389,6 +410,14 @@ mod tests {
             .iter()
             .any(|e| e.get("ph").unwrap().as_str() == Some("f")
                 && e.get("bp").unwrap().as_str() == Some("e")));
+    }
+
+    #[test]
+    fn staging_tracks_get_engine_names() {
+        assert_eq!(track_name(SIM_PID, H2D_TID_BASE + 2), "gpu2-h2d");
+        assert_eq!(track_name(SIM_PID, STAGE_TID_BASE), "gpu0-stage");
+        assert_eq!(track_name(SIM_PID, NODE_TID_BASE + 1), "node1");
+        assert_eq!(track_name(SIM_PID, 3), "gpu3");
     }
 
     #[test]

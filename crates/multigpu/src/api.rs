@@ -11,7 +11,7 @@
 //! are built from. Consumers hold a `Box<dyn LdaTrainer>` and stop caring
 //! which partition policy is underneath.
 
-use crate::config::TrainerConfig;
+use crate::config::{parse_mode, ModeParseError, TrainerConfig};
 use crate::error::{CuldaError, RecoveryStats};
 use crate::trainer::CuldaTrainer;
 use crate::word_trainer::WordPartitionedTrainer;
@@ -34,12 +34,28 @@ pub enum PartitionPolicy {
 }
 
 impl PartitionPolicy {
+    /// Canonical flag names, in CLI order — the single source the usage
+    /// text, the `FromStr` impl, and the parse error all derive from
+    /// (same contract as [`crate::SyncMode::NAMES`]).
+    pub const NAMES: &'static [&'static str] = &["doc", "word"];
+
+    const SPELLINGS: &'static [(&'static str, PartitionPolicy)] = &[
+        ("doc", PartitionPolicy::Document),
+        ("document", PartitionPolicy::Document),
+        ("word", PartitionPolicy::Word),
+    ];
+
     /// Short lower-case label (CLI flag value, checkpoint tag).
     pub fn label(self) -> &'static str {
         match self {
             PartitionPolicy::Document => "doc",
             PartitionPolicy::Word => "word",
         }
+    }
+
+    /// `"doc|word"` — for usage text.
+    pub fn usage() -> String {
+        Self::NAMES.join("|")
     }
 }
 
@@ -50,14 +66,10 @@ impl fmt::Display for PartitionPolicy {
 }
 
 impl FromStr for PartitionPolicy {
-    type Err = String;
+    type Err = ModeParseError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s {
-            "doc" | "document" => Ok(PartitionPolicy::Document),
-            "word" => Ok(PartitionPolicy::Word),
-            other => Err(format!("unknown policy {other:?} (expected doc|word)")),
-        }
+        parse_mode("partition policy", Self::SPELLINGS, Self::NAMES, s)
     }
 }
 
@@ -304,32 +316,26 @@ impl LdaTrainer for WordPartitionedTrainer {
     }
 }
 
-/// Constructs the chosen policy's trainer behind the unified surface.
-///
-/// Panicking shim over [`try_build_trainer`], kept for callers that
-/// validated the configuration up front.
+/// Constructs the chosen policy's trainer behind the unified surface —
+/// the single entry point every consumer (CLI, benches, serving, tests)
+/// uses. Configuration and corpus-shape problems surface as
+/// [`CuldaError`]; callers that validated up front just `.unwrap()`.
 pub fn build_trainer(
     policy: PartitionPolicy,
     corpus: &culda_corpus::Corpus,
     cfg: TrainerConfig,
-) -> Box<dyn LdaTrainer> {
-    match try_build_trainer(policy, corpus, cfg) {
-        Ok(t) => t,
-        Err(e) => panic!("invalid trainer configuration: {e}"),
-    }
-}
-
-/// Fallible constructor for the chosen policy's trainer: configuration
-/// and corpus-shape problems surface as [`CuldaError`] instead of a
-/// panic. This is the entry point the CLI and serving layers use.
-pub fn try_build_trainer(
-    policy: PartitionPolicy,
-    corpus: &culda_corpus::Corpus,
-    cfg: TrainerConfig,
 ) -> Result<Box<dyn LdaTrainer>, CuldaError> {
-    Ok(match policy {
-        PartitionPolicy::Document => Box::new(CuldaTrainer::try_new(corpus, cfg)?),
-        PartitionPolicy::Word => Box::new(WordPartitionedTrainer::try_new(corpus, cfg)?),
+    Ok(match (policy, cfg.nodes) {
+        (PartitionPolicy::Document, n) if n > 1 => {
+            Box::new(crate::cluster::ClusterTrainer::try_new(corpus, cfg)?)
+        }
+        (PartitionPolicy::Word, n) if n > 1 => {
+            return Err(CuldaError::Invalid(format!(
+                "multi-node training requires --policy doc (got {n} nodes with --policy word)"
+            )));
+        }
+        (PartitionPolicy::Document, _) => Box::new(CuldaTrainer::try_new(corpus, cfg)?),
+        (PartitionPolicy::Word, _) => Box::new(WordPartitionedTrainer::try_new(corpus, cfg)?),
     })
 }
 
@@ -349,11 +355,12 @@ mod tests {
     }
 
     fn cfg() -> TrainerConfig {
-        TrainerConfig::new(8, Platform::pascal().with_gpus(2))
+        TrainerConfig::builder(8, Platform::pascal().with_gpus(2))
+            .iterations(2)
+            .score_every(0)
+            .seed(5)
+            .build()
             .unwrap()
-            .with_iterations(2)
-            .with_score_every(0)
-            .with_seed(5)
     }
 
     #[test]
@@ -361,14 +368,22 @@ mod tests {
         for p in [PartitionPolicy::Document, PartitionPolicy::Word] {
             assert_eq!(p.label().parse::<PartitionPolicy>().unwrap(), p);
         }
-        assert!("gpu".parse::<PartitionPolicy>().is_err());
+        let e = "gpu".parse::<PartitionPolicy>().unwrap_err();
+        assert_eq!(e.kind, "partition policy");
+        assert_eq!(e.expected, PartitionPolicy::NAMES);
+        // The long-form alias still parses but is not advertised.
+        assert_eq!(
+            "document".parse::<PartitionPolicy>().unwrap(),
+            PartitionPolicy::Document
+        );
+        assert_eq!(PartitionPolicy::usage(), "doc|word");
     }
 
     #[test]
     fn both_policies_drive_through_the_trait() {
         let c = corpus();
         for policy in [PartitionPolicy::Document, PartitionPolicy::Word] {
-            let mut t = build_trainer(policy, &c, cfg());
+            let mut t = build_trainer(policy, &c, cfg()).unwrap();
             assert_eq!(t.policy(), policy);
             assert_eq!(t.num_gpus(), 2);
             assert_eq!(t.iterations_done(), 0);
@@ -392,8 +407,8 @@ mod tests {
     fn snapshot_restore_continues_bit_identically_for_both_policies() {
         let c = corpus();
         for policy in [PartitionPolicy::Document, PartitionPolicy::Word] {
-            let mut reference = build_trainer(policy, &c, cfg());
-            let mut resumed = build_trainer(policy, &c, cfg());
+            let mut reference = build_trainer(policy, &c, cfg()).unwrap();
+            let mut resumed = build_trainer(policy, &c, cfg()).unwrap();
             reference.step();
             reference.step();
             let snap = reference.assignments();
@@ -418,11 +433,11 @@ mod tests {
     #[test]
     fn restore_rejects_shape_mismatch() {
         let c = corpus();
-        let mut t = build_trainer(PartitionPolicy::Word, &c, cfg());
+        let mut t = build_trainer(PartitionPolicy::Word, &c, cfg()).unwrap();
         let mut snap = t.assignments();
         snap.pop();
         assert!(t.restore_assignments(1, &snap).is_err());
-        let mut t2 = build_trainer(PartitionPolicy::Document, &c, cfg());
+        let mut t2 = build_trainer(PartitionPolicy::Document, &c, cfg()).unwrap();
         let mut snap2 = t2.assignments();
         snap2[0].pop();
         assert!(t2.restore_assignments(1, &snap2).is_err());

@@ -22,6 +22,8 @@ pub enum ConfigError {
     /// `retry.max_attempts == 0` — every fault would be instantly fatal,
     /// which is never what a resilience policy means.
     NoAttempts,
+    /// `nodes == 0` — a cluster run needs at least one node.
+    NoNodes,
 }
 
 impl fmt::Display for ConfigError {
@@ -35,11 +37,63 @@ impl fmt::Display for ConfigError {
             ConfigError::NoHostWorkers => write!(f, "host_workers must be >= 1"),
             ConfigError::NoChunks => write!(f, "chunks_per_gpu must be >= 1"),
             ConfigError::NoAttempts => write!(f, "retry.max_attempts must be >= 1"),
+            ConfigError::NoNodes => write!(f, "nodes must be >= 1"),
         }
     }
 }
 
 impl std::error::Error for ConfigError {}
+
+/// A mode-style flag (`--sync-mode`, `--sampling-mode`, `--policy`) did not
+/// match any canonical name.
+///
+/// All three mode enums share this one error type, and its `expected` list
+/// is the same canonical table the CLI usage text renders — so the help
+/// screen, the parse error, and the accepted spellings can never drift
+/// apart.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModeParseError {
+    /// Which flag family failed (`"sync mode"`, `"sampling mode"`,
+    /// `"partition policy"`).
+    pub kind: &'static str,
+    /// The rejected token.
+    pub given: String,
+    /// The canonical names that would have been accepted.
+    pub expected: &'static [&'static str],
+}
+
+impl fmt::Display for ModeParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown {} {:?} (expected {})",
+            self.kind,
+            self.given,
+            self.expected.join("|")
+        )
+    }
+}
+
+impl std::error::Error for ModeParseError {}
+
+/// Looks `s` up in a spelling table; the shared body behind every mode
+/// enum's `FromStr`.
+pub(crate) fn parse_mode<T: Copy>(
+    kind: &'static str,
+    spellings: &[(&'static str, T)],
+    expected: &'static [&'static str],
+    s: &str,
+) -> Result<T, ModeParseError> {
+    spellings
+        .iter()
+        .find(|(name, _)| *name == s)
+        .map(|&(_, v)| v)
+        .ok_or_else(|| ModeParseError {
+            kind,
+            given: s.to_string(),
+            expected,
+        })
+}
 
 /// How a trainer reacts to a worker's iteration body failing with a
 /// simulated fault: bounded retries with exponential backoff, charged to
@@ -96,30 +150,45 @@ pub enum SyncMode {
     Delta,
 }
 
-impl std::fmt::Display for SyncMode {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
+impl SyncMode {
+    /// Canonical flag names, in CLI order — the single source the usage
+    /// text, the `FromStr` impl, and the parse error all derive from.
+    pub const NAMES: &'static [&'static str] = &["auto", "dense-tree", "dense-ring", "delta"];
+
+    const SPELLINGS: &'static [(&'static str, SyncMode)] = &[
+        ("auto", SyncMode::Auto),
+        ("dense-tree", SyncMode::DenseTree),
+        ("dense-ring", SyncMode::DenseRing),
+        ("delta", SyncMode::Delta),
+    ];
+
+    /// The canonical flag name of this mode.
+    pub fn name(self) -> &'static str {
+        match self {
             SyncMode::Auto => "auto",
             SyncMode::DenseTree => "dense-tree",
             SyncMode::DenseRing => "dense-ring",
             SyncMode::Delta => "delta",
-        })
+        }
+    }
+
+    /// `"auto|dense-tree|dense-ring|delta"` — for usage text.
+    pub fn usage() -> String {
+        Self::NAMES.join("|")
+    }
+}
+
+impl fmt::Display for SyncMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 
 impl std::str::FromStr for SyncMode {
-    type Err = String;
+    type Err = ModeParseError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s {
-            "auto" => Ok(SyncMode::Auto),
-            "dense-tree" => Ok(SyncMode::DenseTree),
-            "dense-ring" => Ok(SyncMode::DenseRing),
-            "delta" => Ok(SyncMode::Delta),
-            other => Err(format!(
-                "unknown sync mode '{other}' (expected auto|dense-tree|dense-ring|delta)"
-            )),
-        }
+        parse_mode("sync mode", Self::SPELLINGS, Self::NAMES, s)
     }
 }
 
@@ -145,32 +214,53 @@ pub enum SamplingMode {
     Sparse,
 }
 
-impl std::fmt::Display for SamplingMode {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
+impl SamplingMode {
+    /// Canonical flag names, in CLI order (see [`SyncMode::NAMES`]).
+    pub const NAMES: &'static [&'static str] = &["auto", "dense", "sparse"];
+
+    const SPELLINGS: &'static [(&'static str, SamplingMode)] = &[
+        ("auto", SamplingMode::Auto),
+        ("dense", SamplingMode::Dense),
+        ("sparse", SamplingMode::Sparse),
+    ];
+
+    /// The canonical flag name of this mode.
+    pub fn name(self) -> &'static str {
+        match self {
             SamplingMode::Auto => "auto",
             SamplingMode::Dense => "dense",
             SamplingMode::Sparse => "sparse",
-        })
+        }
+    }
+
+    /// `"auto|dense|sparse"` — for usage text.
+    pub fn usage() -> String {
+        Self::NAMES.join("|")
+    }
+}
+
+impl fmt::Display for SamplingMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 
 impl std::str::FromStr for SamplingMode {
-    type Err = String;
+    type Err = ModeParseError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s {
-            "auto" => Ok(SamplingMode::Auto),
-            "dense" => Ok(SamplingMode::Dense),
-            "sparse" => Ok(SamplingMode::Sparse),
-            other => Err(format!(
-                "unknown sampling mode '{other}' (expected auto|dense|sparse)"
-            )),
-        }
+        parse_mode("sampling mode", Self::SPELLINGS, Self::NAMES, s)
     }
 }
 
 /// Everything that parameterizes a CuLDA training run.
+///
+/// The only way to obtain one is [`TrainerConfig::builder`] — the builder
+/// collects overrides and validates once in
+/// [`build`](TrainerConfigBuilder::build), so a degenerate combination
+/// never exists as a `TrainerConfig` value. The fields stay public for
+/// reading (and for tests that deliberately corrupt a config to exercise
+/// [`validate`](Self::validate), which the trainers re-run on entry).
 #[derive(Debug, Clone)]
 pub struct TrainerConfig {
     /// Number of topics `K` (must fit the u16 compression, `K ≤ 65536`).
@@ -211,6 +301,24 @@ pub struct TrainerConfig {
     /// The default, [`SamplingMode::Dense`], reproduces the paper's
     /// timing exactly.
     pub sampling_mode: SamplingMode,
+    /// Double-buffered H2D prefetch under the out-of-core (`M > 1`)
+    /// schedule: chunk `i+1`'s host→device staging overlaps chunk `i`'s
+    /// kernels (WorkSchedule2, Section 5.1). `false` stages every chunk
+    /// serially — transfer, compute, transfer back. Cost-model only: the
+    /// trained model is bit-identical either way.
+    pub prefetch: bool,
+    /// Number of cluster nodes, each running `platform` as its own
+    /// multi-GPU box (the `--nodes` knob). `1` = the paper's single-node
+    /// machine; `> 1` engages the AD-LDA cluster layer: per-node document
+    /// shards, per-superstep Δϕ synchronization over [`Self::node_link`].
+    /// Training is bit-identical for any node count because the chunk
+    /// layout is planned once from `platform` and the sampler RNG streams
+    /// are keyed by global token index.
+    pub nodes: usize,
+    /// Override for the inter-node link the cluster layer's Δϕ supersteps
+    /// ride on; `None` = [`Link::node_100gbit`]. Only consulted when
+    /// [`Self::nodes`] `> 1`.
+    pub node_link: Option<Link>,
     /// Host threads each simulated device uses to execute its thread
     /// blocks (the `--workers` knob). `None` = the simulator default.
     /// Results are bit-identical for any value; only wall-clock changes.
@@ -222,46 +330,17 @@ pub struct TrainerConfig {
 }
 
 impl TrainerConfig {
-    /// A sensible default: `K` topics on `platform`, 100 iterations (the
-    /// paper's Table 4 horizon), full optimizations, scoring every 10.
-    ///
-    /// Rejects degenerate configurations (`K == 0`, `K` beyond the u16
-    /// compression limit, a platform with zero GPUs) instead of letting
-    /// them surface later as empty plans or division panics.
-    pub fn new(num_topics: usize, platform: Platform) -> Result<Self, ConfigError> {
-        let cfg = Self {
-            num_topics,
-            iterations: 100,
-            seed: 0xC0_1DA,
-            platform,
-            chunks_per_gpu: None,
-            score_every: 10,
-            compressed: true,
-            use_shared_memory: true,
-            use_l1_for_indices: true,
-            tokens_per_block: None,
-            peer_link: None,
-            ring_sync: false,
-            sync_mode: SyncMode::DenseTree,
-            sampling_mode: SamplingMode::Dense,
-            host_workers: None,
-            retry: RetryPolicy::default(),
-        };
-        cfg.validate()?;
-        Ok(cfg)
-    }
-
-    /// Start a [`TrainerConfigBuilder`]. Prefer this over [`Self::new`] +
-    /// `with_*` chains for new code: the builder defers validation to one
-    /// [`build`](TrainerConfigBuilder::build) call, so partial configs
-    /// never exist as `TrainerConfig` values.
+    /// Start a [`TrainerConfigBuilder`] with the paper defaults: `K`
+    /// topics on `platform`, 100 iterations (the Table 4 horizon), full
+    /// optimizations, scoring every 10. Nothing is validated until
+    /// [`build`](TrainerConfigBuilder::build).
     pub fn builder(num_topics: usize, platform: Platform) -> TrainerConfigBuilder {
         TrainerConfigBuilder::new(num_topics, platform)
     }
 
-    /// Full validity check; constructors call this, and the trainers
-    /// re-check on entry so configs assembled by hand (the fields are
-    /// public) cannot smuggle in a degenerate run.
+    /// Full validity check; [`TrainerConfigBuilder::build`] calls this, and
+    /// the trainers re-check on entry so configs mutated by hand (the
+    /// fields are public) cannot smuggle in a degenerate run.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.num_topics == 0 || self.num_topics > MAX_TOPICS {
             return Err(ConfigError::BadTopicCount(self.num_topics));
@@ -281,49 +360,16 @@ impl TrainerConfig {
         if self.retry.max_attempts == 0 {
             return Err(ConfigError::NoAttempts);
         }
+        if self.nodes == 0 {
+            return Err(ConfigError::NoNodes);
+        }
         Ok(())
     }
 
-    /// Builder-style override of the iteration count.
-    pub fn with_iterations(mut self, n: u32) -> Self {
-        self.iterations = n;
-        self
-    }
-
-    /// Builder-style override of the seed.
-    pub fn with_seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
-        self
-    }
-
-    /// Builder-style override of the scoring cadence.
-    pub fn with_score_every(mut self, n: u32) -> Self {
-        self.score_every = n;
-        self
-    }
-
-    /// Builder-style override of the per-device host thread count.
-    pub fn with_host_workers(mut self, n: usize) -> Self {
-        self.host_workers = Some(n);
-        self
-    }
-
-    /// Builder-style override of the fault-recovery policy.
-    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
-        self.retry = retry;
-        self
-    }
-
-    /// Builder-style override of the sync strategy.
-    pub fn with_sync_mode(mut self, mode: SyncMode) -> Self {
-        self.sync_mode = mode;
-        self
-    }
-
-    /// Builder-style override of the sampling `p*` fill strategy.
-    pub fn with_sampling_mode(mut self, mode: SamplingMode) -> Self {
-        self.sampling_mode = mode;
-        self
+    /// The inter-node link after defaulting: [`Self::node_link`] if set,
+    /// else the 100 Gb/s datacenter fabric.
+    pub fn effective_node_link(&self) -> Link {
+        self.node_link.unwrap_or_else(Link::node_100gbit)
     }
 
     /// The sync strategy after folding in the legacy `ring_sync` flag:
@@ -353,13 +399,10 @@ impl TrainerConfig {
     }
 }
 
-/// Deferred-validation builder for [`TrainerConfig`].
-///
-/// Unlike the `with_*` methods on `TrainerConfig` (which require an
-/// already-valid config from [`TrainerConfig::new`]), the builder collects
-/// every override first and validates once in [`build`](Self::build) —
-/// the only way degenerate combinations can be reported as one
-/// [`ConfigError`] without a half-built config escaping.
+/// Deferred-validation builder for [`TrainerConfig`] — the single
+/// construction path. Overrides accumulate freely; [`build`](Self::build)
+/// validates the whole assembly once and is the only way a
+/// `TrainerConfig` value comes into existence.
 #[derive(Debug, Clone)]
 pub struct TrainerConfigBuilder {
     cfg: TrainerConfig,
@@ -385,6 +428,9 @@ impl TrainerConfigBuilder {
                 ring_sync: false,
                 sync_mode: SyncMode::DenseTree,
                 sampling_mode: SamplingMode::Dense,
+                prefetch: true,
+                nodes: 1,
+                node_link: None,
                 host_workers: None,
                 retry: RetryPolicy::default(),
             },
@@ -463,6 +509,25 @@ impl TrainerConfigBuilder {
         self
     }
 
+    /// Toggle double-buffered H2D prefetch in the out-of-core schedule
+    /// (see [`TrainerConfig::prefetch`]).
+    pub fn prefetch(mut self, on: bool) -> Self {
+        self.cfg.prefetch = on;
+        self
+    }
+
+    /// Set the cluster node count (see [`TrainerConfig::nodes`]).
+    pub fn nodes(mut self, n: usize) -> Self {
+        self.cfg.nodes = n;
+        self
+    }
+
+    /// Override the inter-node link (see [`TrainerConfig::node_link`]).
+    pub fn node_link(mut self, link: Link) -> Self {
+        self.cfg.node_link = Some(link);
+        self
+    }
+
     /// Set the per-device host thread count.
     pub fn host_workers(mut self, n: usize) -> Self {
         self.cfg.host_workers = Some(n);
@@ -488,68 +553,63 @@ mod tests {
 
     #[test]
     fn defaults_match_paper() {
-        let cfg = TrainerConfig::new(1024, Platform::volta()).unwrap();
+        let cfg = TrainerConfig::builder(1024, Platform::volta())
+            .build()
+            .unwrap();
         assert_eq!(cfg.iterations, 100);
         assert!(cfg.compressed);
         assert!(cfg.use_shared_memory);
+        assert!(cfg.prefetch, "WorkSchedule2 overlap is the paper default");
         assert!(cfg.chunks_per_gpu.is_none());
     }
 
     #[test]
     fn phi_bytes_respect_compression() {
-        let mut cfg = TrainerConfig::new(1000, Platform::maxwell()).unwrap();
+        let mut cfg = TrainerConfig::builder(1000, Platform::maxwell())
+            .build()
+            .unwrap();
         assert_eq!(cfg.phi_device_bytes(100), (100_000 + 1000) * 2);
         cfg.compressed = false;
         assert_eq!(cfg.phi_device_bytes(100), (100_000 + 1000) * 4);
     }
 
     #[test]
-    fn builders_chain() {
-        let cfg = TrainerConfig::new(8, Platform::maxwell())
-            .unwrap()
-            .with_iterations(5)
-            .with_seed(9)
-            .with_score_every(1)
-            .with_host_workers(3);
-        assert_eq!(cfg.iterations, 5);
-        assert_eq!(cfg.seed, 9);
-        assert_eq!(cfg.score_every, 1);
-        assert_eq!(cfg.host_workers, Some(3));
-    }
-
-    #[test]
     fn rejects_degenerate_configs() {
         assert_eq!(
-            TrainerConfig::new(0, Platform::maxwell()).unwrap_err(),
+            TrainerConfig::builder(0, Platform::maxwell())
+                .build()
+                .unwrap_err(),
             ConfigError::BadTopicCount(0)
         );
         assert_eq!(
-            TrainerConfig::new(MAX_TOPICS + 1, Platform::maxwell()).unwrap_err(),
+            TrainerConfig::builder(MAX_TOPICS + 1, Platform::maxwell())
+                .build()
+                .unwrap_err(),
             ConfigError::BadTopicCount(MAX_TOPICS + 1)
         );
         let mut headless = Platform::maxwell();
         headless.num_gpus = 0;
         assert_eq!(
-            TrainerConfig::new(8, headless).unwrap_err(),
+            TrainerConfig::builder(8, headless).build().unwrap_err(),
             ConfigError::NoGpus
         );
     }
 
     #[test]
-    fn validate_catches_builder_and_field_degeneracy() {
-        let ok = TrainerConfig::new(8, Platform::maxwell()).unwrap();
+    fn validate_catches_field_degeneracy() {
+        let ok = TrainerConfig::builder(8, Platform::maxwell())
+            .build()
+            .unwrap();
         assert!(ok.validate().is_ok());
-        assert_eq!(
-            ok.clone().with_iterations(0).validate().unwrap_err(),
-            ConfigError::NoIterations
-        );
-        assert_eq!(
-            ok.clone().with_host_workers(0).validate().unwrap_err(),
-            ConfigError::NoHostWorkers
-        );
-        let mut chunks = ok.clone();
-        chunks.chunks_per_gpu = Some(0);
-        assert_eq!(chunks.validate().unwrap_err(), ConfigError::NoChunks);
+        let mut broken = ok.clone();
+        broken.iterations = 0;
+        assert_eq!(broken.validate().unwrap_err(), ConfigError::NoIterations);
+        let mut broken = ok.clone();
+        broken.host_workers = Some(0);
+        assert_eq!(broken.validate().unwrap_err(), ConfigError::NoHostWorkers);
+        let mut broken = ok.clone();
+        broken.chunks_per_gpu = Some(0);
+        assert_eq!(broken.validate().unwrap_err(), ConfigError::NoChunks);
     }
 
     #[test]
@@ -560,6 +620,7 @@ mod tests {
             .score_every(2)
             .ring_sync(true)
             .host_workers(2)
+            .prefetch(false)
             .retry(RetryPolicy {
                 max_attempts: 5,
                 backoff_base_seconds: 1e-4,
@@ -568,6 +629,7 @@ mod tests {
             .unwrap();
         assert_eq!(cfg.iterations, 7);
         assert!(cfg.ring_sync);
+        assert!(!cfg.prefetch);
         assert_eq!(cfg.retry.max_attempts, 5);
         // Degenerate values survive until build(), then fail with the
         // right error.
@@ -604,7 +666,8 @@ mod tests {
 
     #[test]
     fn errors_render_actionable_messages() {
-        let msg = TrainerConfig::new(0, Platform::maxwell())
+        let msg = TrainerConfig::builder(0, Platform::maxwell())
+            .build()
             .unwrap_err()
             .to_string();
         assert!(msg.contains("num_topics"), "{msg}");
@@ -620,7 +683,10 @@ mod tests {
         ] {
             assert_eq!(mode.to_string().parse::<SyncMode>().unwrap(), mode);
         }
-        assert!("nvlink".parse::<SyncMode>().is_err());
+        let e = "nvlink".parse::<SyncMode>().unwrap_err();
+        assert_eq!(e.kind, "sync mode");
+        assert_eq!(e.expected, SyncMode::NAMES);
+        assert!(e.to_string().contains("dense-tree"), "{e}");
     }
 
     #[test]
@@ -632,14 +698,13 @@ mod tests {
         ] {
             assert_eq!(mode.to_string().parse::<SamplingMode>().unwrap(), mode);
         }
-        assert!("csr".parse::<SamplingMode>().is_err());
-        // Paper-exact default, overridable through both builder styles.
-        let cfg = TrainerConfig::new(8, Platform::maxwell()).unwrap();
+        let e = "csr".parse::<SamplingMode>().unwrap_err();
+        assert!(e.to_string().contains("sampling mode"), "{e}");
+        // Paper-exact default, overridable through the builder.
+        let cfg = TrainerConfig::builder(8, Platform::maxwell())
+            .build()
+            .unwrap();
         assert_eq!(cfg.sampling_mode, SamplingMode::Dense);
-        assert_eq!(
-            cfg.with_sampling_mode(SamplingMode::Auto).sampling_mode,
-            SamplingMode::Auto
-        );
         let built = TrainerConfig::builder(8, Platform::maxwell())
             .sampling_mode(SamplingMode::Sparse)
             .build()
@@ -648,8 +713,24 @@ mod tests {
     }
 
     #[test]
+    fn canonical_name_tables_agree_with_display() {
+        // Every canonical name parses back to a mode whose Display is
+        // that name — the property the CLI usage text relies on.
+        for &name in SyncMode::NAMES {
+            assert_eq!(name.parse::<SyncMode>().unwrap().to_string(), name);
+        }
+        for &name in SamplingMode::NAMES {
+            assert_eq!(name.parse::<SamplingMode>().unwrap().to_string(), name);
+        }
+        assert_eq!(SyncMode::usage(), "auto|dense-tree|dense-ring|delta");
+        assert_eq!(SamplingMode::usage(), "auto|dense|sparse");
+    }
+
+    #[test]
     fn legacy_ring_flag_maps_onto_sync_mode() {
-        let cfg = TrainerConfig::new(8, Platform::maxwell()).unwrap();
+        let cfg = TrainerConfig::builder(8, Platform::maxwell())
+            .build()
+            .unwrap();
         assert_eq!(cfg.effective_sync_mode(), SyncMode::DenseTree);
 
         let ring = TrainerConfig::builder(8, Platform::maxwell())

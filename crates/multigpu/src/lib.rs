@@ -16,9 +16,11 @@
 //! use culda_multigpu::{CuldaTrainer, TrainerConfig};
 //!
 //! let corpus = SynthSpec::tiny().generate();
-//! let cfg = TrainerConfig::new(8, Platform::volta()).unwrap()
-//!     .with_iterations(3)
-//!     .with_score_every(0);
+//! let cfg = TrainerConfig::builder(8, Platform::volta())
+//!     .iterations(3)
+//!     .score_every(0)
+//!     .build()
+//!     .unwrap();
 //! let outcome = CuldaTrainer::new(&corpus, cfg).train();
 //! assert_eq!(outcome.history.len(), 3);
 //! assert!(outcome.final_loglik_per_token.is_finite());
@@ -27,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod cluster;
 pub mod config;
 pub mod delta;
 pub mod error;
@@ -39,9 +42,11 @@ pub mod trainer;
 pub mod word_trainer;
 pub mod worker;
 
-pub use api::{build_trainer, try_build_trainer, LdaTrainer, PartitionPolicy};
+pub use api::{build_trainer, LdaTrainer, PartitionPolicy};
+pub use cluster::{ClusterTrainer, NodeTrainer, ParameterServer};
 pub use config::{
-    ConfigError, RetryPolicy, SamplingMode, SyncMode, TrainerConfig, TrainerConfigBuilder,
+    ConfigError, ModeParseError, RetryPolicy, SamplingMode, SyncMode, TrainerConfig,
+    TrainerConfigBuilder,
 };
 pub use delta::{dense_cutover, row_encoding, DeltaPayload, RowFormat};
 pub use error::{CuldaError, RecoveryStats};

@@ -110,7 +110,9 @@ mod tests {
     #[test]
     fn corpus_and_analytic_agree_roughly() {
         let corpus = SynthSpec::tiny().generate();
-        let cfg = TrainerConfig::new(16, Platform::maxwell()).unwrap();
+        let cfg = TrainerConfig::builder(16, Platform::maxwell())
+            .build()
+            .unwrap();
         let exact = compare_policies(&corpus, &cfg);
         let approx = compare_policies_analytic(
             corpus.num_docs() as u64,

@@ -265,19 +265,21 @@ mod tests {
     }
 
     fn cfg() -> TrainerConfig {
-        TrainerConfig::new(8, Platform::maxwell())
+        TrainerConfig::builder(8, Platform::maxwell())
+            .iterations(10)
+            .score_every(0)
+            .seed(31)
+            .build()
             .unwrap()
-            .with_iterations(10)
-            .with_score_every(0)
-            .with_seed(31)
     }
 
     fn multi_gpu_cfg() -> TrainerConfig {
-        TrainerConfig::new(8, Platform::pascal().with_gpus(2))
+        TrainerConfig::builder(8, Platform::pascal().with_gpus(2))
+            .iterations(10)
+            .score_every(0)
+            .seed(31)
+            .build()
             .unwrap()
-            .with_iterations(10)
-            .with_score_every(0)
-            .with_seed(31)
     }
 
     #[test]
@@ -332,7 +334,7 @@ mod tests {
     fn resume_any_dispatches_on_the_policy_tag() {
         let c = corpus();
         for policy in [PartitionPolicy::Document, PartitionPolicy::Word] {
-            let mut t = crate::api::build_trainer(policy, &c, multi_gpu_cfg());
+            let mut t = crate::api::build_trainer(policy, &c, multi_gpu_cfg()).unwrap();
             t.step();
             let mut buf = Vec::new();
             save_training(t.as_ref(), &mut buf).unwrap();
@@ -361,12 +363,14 @@ mod tests {
         let mut buf = Vec::new();
         save_training(&t, &mut buf).unwrap();
         // Wrong seed.
-        let bad = cfg().with_seed(32);
+        let mut bad = cfg();
+        bad.seed = 32;
         assert!(resume_training(&c, bad, buf.as_slice()).is_err());
         // Wrong K.
-        let bad = TrainerConfig::new(16, Platform::maxwell())
-            .unwrap()
-            .with_seed(31);
+        let bad = TrainerConfig::builder(16, Platform::maxwell())
+            .seed(31)
+            .build()
+            .unwrap();
         assert!(resume_training(&c, bad, buf.as_slice()).is_err());
         // Wrong corpus (different shape).
         let mut spec = SynthSpec::tiny();

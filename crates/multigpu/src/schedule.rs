@@ -120,7 +120,9 @@ mod tests {
     #[test]
     fn plentiful_memory_gives_m_equals_1() {
         let corpus = tiny_corpus();
-        let cfg = TrainerConfig::new(16, Platform::pascal()).unwrap();
+        let cfg = TrainerConfig::builder(16, Platform::pascal())
+            .build()
+            .unwrap();
         let (part, plan) = plan_partition(&corpus, &cfg);
         assert_eq!(plan.m, 1);
         assert_eq!(plan.c, 4);
@@ -133,14 +135,16 @@ mod tests {
         let corpus = tiny_corpus();
         let mut platform = Platform::maxwell();
         // Device barely larger than ϕ: chunks must shrink until two fit.
-        let cfg_probe = TrainerConfig::new(16, platform.clone()).unwrap();
+        let cfg_probe = TrainerConfig::builder(16, platform.clone())
+            .build()
+            .unwrap();
         let phi = 2 * cfg_probe.phi_device_bytes(corpus.vocab_size());
         let all_tokens = corpus.num_tokens();
         platform.gpu = GpuSpec {
             memory_bytes: phi + all_tokens * 10 / 2, // ~half of the corpus state
             ..platform.gpu
         };
-        let cfg = TrainerConfig::new(16, platform).unwrap();
+        let cfg = TrainerConfig::builder(16, platform).build().unwrap();
         let (part, plan) = plan_partition(&corpus, &cfg);
         assert!(plan.m > 1, "expected out-of-core plan, got M = {}", plan.m);
         assert_eq!(part.num_chunks(), plan.c);
@@ -150,7 +154,9 @@ mod tests {
     #[test]
     fn forced_m_is_respected() {
         let corpus = tiny_corpus();
-        let mut cfg = TrainerConfig::new(16, Platform::volta()).unwrap();
+        let mut cfg = TrainerConfig::builder(16, Platform::volta())
+            .build()
+            .unwrap();
         cfg.chunks_per_gpu = Some(4);
         let (part, plan) = plan_partition(&corpus, &cfg);
         assert_eq!(plan.m, 4);
@@ -166,7 +172,7 @@ mod tests {
             memory_bytes: 1024, // smaller than ϕ itself
             ..platform.gpu
         };
-        let cfg = TrainerConfig::new(16, platform).unwrap();
+        let cfg = TrainerConfig::builder(16, platform).build().unwrap();
         let _ = plan_partition(&corpus, &cfg);
     }
 

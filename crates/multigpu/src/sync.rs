@@ -123,8 +123,9 @@ impl SyncTotals {
     }
 }
 
-/// Simulated seconds of the element-wise ϕ-add kernel on one GPU.
-fn add_kernel_seconds(gpu: &GpuSpec, elements: u64, elem_bytes: u64) -> f64 {
+/// Simulated seconds of the element-wise ϕ-add kernel on one GPU. Shared
+/// with the cluster layer's inter-node payload merges.
+pub(crate) fn add_kernel_seconds(gpu: &GpuSpec, elements: u64, elem_bytes: u64) -> f64 {
     let cost = KernelCost {
         dram_read_bytes: 2 * elements * elem_bytes,
         dram_write_bytes: elements * elem_bytes,
@@ -140,8 +141,9 @@ fn replica_elements(r: &PhiModel) -> u64 {
     r.phi.len() as u64 + r.phi_sum.len() as u64
 }
 
-/// Tree depth: reduce rounds (= broadcast rounds) for `g` GPUs.
-fn tree_rounds(g: usize) -> u32 {
+/// Tree depth: reduce rounds (= broadcast rounds) for `g` participants
+/// (GPUs here; nodes in the cluster layer).
+pub(crate) fn tree_rounds(g: usize) -> u32 {
     if g < 2 {
         0
     } else {
@@ -494,7 +496,9 @@ mod tests {
     }
 
     fn cfg() -> TrainerConfig {
-        TrainerConfig::new(4, Platform::pascal()).unwrap()
+        TrainerConfig::builder(4, Platform::pascal())
+            .build()
+            .unwrap()
     }
 
     fn refs(reps: &[PhiModel]) -> Vec<&PhiModel> {
@@ -615,7 +619,9 @@ mod tests {
     fn delta_moves_an_order_of_magnitude_fewer_bytes_when_sparse() {
         let g = 4;
         let (topics, vocab) = (256, 2000);
-        let c = TrainerConfig::new(topics, Platform::pascal()).unwrap();
+        let c = TrainerConfig::builder(topics, Platform::pascal())
+            .build()
+            .unwrap();
         let gpu = Platform::pascal().gpu;
         let link = Link::pcie3();
 
@@ -648,7 +654,9 @@ mod tests {
             (8, 64, 500, replicas_sized),
         ];
         for (g, topics, vocab, make) in cases {
-            let c = TrainerConfig::new(topics, Platform::pascal()).unwrap();
+            let c = TrainerConfig::builder(topics, Platform::pascal())
+                .build()
+                .unwrap();
             let fixed: Vec<f64> = vec![
                 {
                     let reps = make(g, topics, vocab);

@@ -34,7 +34,7 @@ use crate::schedule::{chunk_owner, chunk_state_bytes, plan_partition, MemoryPlan
 use crate::sync::{
     sync_phi_auto, sync_phi_delta, sync_phi_replicas, sync_phi_ring, SyncReport, SyncTotals,
 };
-use crate::worker::{run_workers_traced, GpuWorker};
+use crate::worker::{run_workers_traced, trace_staging, GpuWorker};
 use culda_corpus::Corpus;
 use culda_gpusim::memory::Reservation;
 use culda_gpusim::{FaultPlan, GpuCluster, Link, ProfileLog};
@@ -517,7 +517,7 @@ impl CuldaTrainer {
         let plan = if self.plan.m == 1 {
             IterationPlan::resident(self.cfg.num_topics)
         } else {
-            IterationPlan::out_of_core(self.cfg.num_topics)
+            IterationPlan::out_of_core(self.cfg.num_topics).with_prefetch(self.cfg.prefetch)
         };
         let iteration = self.iteration;
         // Fault coordinates are (device, epoch); the trainer's epoch is
@@ -657,6 +657,35 @@ impl CuldaTrainer {
                     .add(Phase::Transfer, r.exposed_transfer_seconds);
             }
             self.profile.merge(&w.device.take_profile());
+        }
+
+        // Surface the staging pipeline: per-chunk copy/kernel spans with
+        // flow arrows (the visible prefetch overlap) and the fraction of
+        // copy time this iteration's pipelines hid under compute.
+        if plan.is_out_of_core() {
+            if let Some(sink) = &self.trace {
+                for (w, r) in self.workers.iter().zip(&reports).filter(|(w, _)| w.alive) {
+                    trace_staging(
+                        sink,
+                        w.device.id as u32,
+                        iteration,
+                        &w.staged_chunk_ids(),
+                        r,
+                    );
+                }
+            }
+            if let Some(reg) = &self.metrics {
+                let total: f64 = reports.iter().map(|r| r.transfer_seconds_total).sum();
+                let hidden: f64 = reports
+                    .iter()
+                    .map(|r| r.transfer_seconds_total * r.overlap_fraction)
+                    .sum();
+                reg.gauge("oocore.overlap_fraction").set(if total > 0.0 {
+                    hidden / total
+                } else {
+                    0.0
+                });
+            }
         }
 
         // Permanent losses: migrate the dead workers' chunks to the
@@ -978,6 +1007,7 @@ impl CuldaTrainer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::TrainerConfigBuilder;
     use crate::worker::run_workers;
     use culda_corpus::SynthSpec;
     use culda_gpusim::{GpuSpec, Platform};
@@ -1003,12 +1033,11 @@ mod tests {
         spec.generate()
     }
 
-    fn cfg(platform: Platform) -> TrainerConfig {
-        TrainerConfig::new(16, platform)
-            .unwrap()
-            .with_iterations(3)
-            .with_score_every(1)
-            .with_seed(42)
+    fn cfg(platform: Platform) -> TrainerConfigBuilder {
+        TrainerConfig::builder(16, platform)
+            .iterations(3)
+            .score_every(1)
+            .seed(42)
     }
 
     #[test]
@@ -1018,7 +1047,10 @@ mod tests {
         // per-device simulated clocks stay bitwise equal.
         let c = corpus();
         let run = |concurrent: bool| {
-            let mut config = cfg(Platform::pascal().with_gpus(4)).with_score_every(0);
+            let mut config = cfg(Platform::pascal().with_gpus(4))
+                .score_every(0)
+                .build()
+                .unwrap();
             config.chunks_per_gpu = Some(1);
             let mut t = CuldaTrainer::new(&c, config);
             for _ in 0..2 {
@@ -1042,7 +1074,7 @@ mod tests {
     #[test]
     fn single_gpu_trains_and_conserves_counts() {
         let c = corpus();
-        let mut t = CuldaTrainer::new(&c, cfg(Platform::maxwell()));
+        let mut t = CuldaTrainer::new(&c, cfg(Platform::maxwell()).build().unwrap());
         assert_eq!(t.plan().m, 1);
         for _ in 0..3 {
             let stat = t.step();
@@ -1058,8 +1090,10 @@ mod tests {
         let mut t = CuldaTrainer::new(
             &c,
             cfg(Platform::maxwell())
-                .with_iterations(12)
-                .with_score_every(0),
+                .iterations(12)
+                .score_every(0)
+                .build()
+                .unwrap(),
         );
         let before = t.loglik_per_token();
         for _ in 0..12 {
@@ -1073,7 +1107,10 @@ mod tests {
     fn bit_identical_across_gpu_counts_for_fixed_chunks() {
         let c = corpus();
         let run = |gpus: usize, m: usize| {
-            let mut config = cfg(Platform::pascal().with_gpus(gpus)).with_score_every(0);
+            let mut config = cfg(Platform::pascal().with_gpus(gpus))
+                .score_every(0)
+                .build()
+                .unwrap();
             config.chunks_per_gpu = Some(m);
             let mut t = CuldaTrainer::new(&c, config);
             for _ in 0..2 {
@@ -1098,7 +1135,10 @@ mod tests {
         use std::collections::HashSet;
         use std::sync::Mutex;
         let c = corpus();
-        let mut config = cfg(Platform::pascal().with_gpus(4)).with_score_every(0);
+        let mut config = cfg(Platform::pascal().with_gpus(4))
+            .score_every(0)
+            .build()
+            .unwrap();
         config.chunks_per_gpu = Some(1);
         let mut t = CuldaTrainer::new(&c, config);
         let seen: Mutex<Vec<std::thread::ThreadId>> = Mutex::new(Vec::new());
@@ -1120,7 +1160,10 @@ mod tests {
     #[test]
     fn per_gpu_breakdowns_attribute_work_to_owners() {
         let c = corpus();
-        let mut config = cfg(Platform::pascal().with_gpus(4)).with_score_every(0);
+        let mut config = cfg(Platform::pascal().with_gpus(4))
+            .score_every(0)
+            .build()
+            .unwrap();
         config.chunks_per_gpu = Some(1);
         let mut t = CuldaTrainer::new(&c, config);
         for _ in 0..2 {
@@ -1155,11 +1198,12 @@ mod tests {
         spec.topic_support = 300;
         let c = spec.generate();
         let run = |gpus: usize| {
-            let config = TrainerConfig::new(32, Platform::pascal().with_gpus(gpus))
-                .unwrap()
-                .with_iterations(2)
-                .with_score_every(0)
-                .with_seed(42);
+            let config = TrainerConfig::builder(32, Platform::pascal().with_gpus(gpus))
+                .iterations(2)
+                .score_every(0)
+                .seed(42)
+                .build()
+                .unwrap();
             let t = CuldaTrainer::new(&c, config);
             let out = t.train();
             out.history.avg_tokens_per_sec(2)
@@ -1182,11 +1226,14 @@ mod tests {
         // chunks resident (M = 1 semantics on 4 GPUs is covered by the
         // bit-identical test): the pipeline changes *time*, never results.
         let c = corpus();
-        let mut forced = cfg(Platform::maxwell()).with_score_every(0);
+        let mut forced = cfg(Platform::maxwell()).score_every(0).build().unwrap();
         forced.chunks_per_gpu = Some(4);
         let mut out_of_core = CuldaTrainer::new(&c, forced);
         assert_eq!(out_of_core.plan().m, 4, "forced M must hold");
-        let mut resident_cfg = cfg(Platform::pascal().with_gpus(4)).with_score_every(0);
+        let mut resident_cfg = cfg(Platform::pascal().with_gpus(4))
+            .score_every(0)
+            .build()
+            .unwrap();
         resident_cfg.chunks_per_gpu = Some(1);
         let mut resident = CuldaTrainer::new(&c, resident_cfg);
         for _ in 0..2 {
@@ -1212,12 +1259,14 @@ mod tests {
         small_mem.gpu = GpuSpec {
             // Two ϕ buffers plus about half the corpus state: forces M > 1.
             memory_bytes: {
-                let probe = TrainerConfig::new(16, Platform::maxwell()).unwrap();
+                let probe = TrainerConfig::builder(16, Platform::maxwell())
+                    .build()
+                    .unwrap();
                 2 * probe.phi_device_bytes(c.vocab_size()) + c.num_tokens() * 10 / 2
             },
             ..small_mem.gpu
         };
-        let mut t = CuldaTrainer::new(&c, cfg(small_mem).with_score_every(0));
+        let mut t = CuldaTrainer::new(&c, cfg(small_mem).score_every(0).build().unwrap());
         assert!(
             t.plan().m > 1,
             "expected out-of-core plan, got {}",
@@ -1230,10 +1279,11 @@ mod tests {
     #[test]
     fn breakdown_is_dominated_by_sampling() {
         let c = perf_corpus();
-        let config = TrainerConfig::new(32, Platform::maxwell())
-            .unwrap()
-            .with_iterations(2)
-            .with_score_every(0);
+        let config = TrainerConfig::builder(32, Platform::maxwell())
+            .iterations(2)
+            .score_every(0)
+            .build()
+            .unwrap();
         let t = CuldaTrainer::new(&c, config);
         let out = t.train();
         let frac = out.breakdown.fraction(Phase::Sampling);
@@ -1255,7 +1305,10 @@ mod tests {
             .collect();
         docs.extend((0..6).map(|_| Document::new(vec![])));
         let c = Corpus::new(docs, Vocab::synthetic(5));
-        let mut config = cfg(Platform::pascal().with_gpus(2)).with_score_every(0);
+        let mut config = cfg(Platform::pascal().with_gpus(2))
+            .score_every(0)
+            .build()
+            .unwrap();
         config.chunks_per_gpu = Some(1);
         let mut t = CuldaTrainer::new(&c, config);
         for _ in 0..2 {
@@ -1269,8 +1322,10 @@ mod tests {
     fn convergence_driven_training_stops_early() {
         let c = corpus();
         let config = cfg(Platform::maxwell())
-            .with_iterations(60)
-            .with_score_every(1);
+            .iterations(60)
+            .score_every(1)
+            .build()
+            .unwrap();
         let (out, ran) = CuldaTrainer::new(&c, config).train_until_converged(3, 0.02);
         assert!(ran < 60, "should converge before the cap, ran {ran}");
         assert!(ran >= 4, "needs at least window+1 scores, ran {ran}");
@@ -1280,7 +1335,7 @@ mod tests {
     #[test]
     fn profile_log_records_every_kernel() {
         let c = corpus();
-        let mut t = CuldaTrainer::new(&c, cfg(Platform::maxwell()).with_score_every(0));
+        let mut t = CuldaTrainer::new(&c, cfg(Platform::maxwell()).score_every(0).build().unwrap());
         for _ in 0..2 {
             t.step();
         }
@@ -1303,7 +1358,10 @@ mod tests {
     fn observability_attached_is_bit_identical_to_unobserved() {
         let c = corpus();
         let run = |observe: bool| {
-            let mut config = cfg(Platform::pascal().with_gpus(4)).with_score_every(0);
+            let mut config = cfg(Platform::pascal().with_gpus(4))
+                .score_every(0)
+                .build()
+                .unwrap();
             config.chunks_per_gpu = Some(1);
             let mut t = CuldaTrainer::new(&c, config);
             if observe {
@@ -1330,7 +1388,10 @@ mod tests {
     fn trace_covers_devices_workers_and_sync() {
         use culda_metrics::{EventKind, HOST_PID};
         let c = corpus();
-        let mut config = cfg(Platform::pascal().with_gpus(4)).with_score_every(0);
+        let mut config = cfg(Platform::pascal().with_gpus(4))
+            .score_every(0)
+            .build()
+            .unwrap();
         config.chunks_per_gpu = Some(1);
         let mut t = CuldaTrainer::new(&c, config);
         let sink = Arc::new(TraceSink::new());
@@ -1377,8 +1438,10 @@ mod tests {
         let c = corpus();
         let run = |ring: bool| {
             let mut config = cfg(Platform::pascal())
-                .with_score_every(0)
-                .with_iterations(3);
+                .score_every(0)
+                .iterations(3)
+                .build()
+                .unwrap();
             config.ring_sync = ring;
             let mut t = CuldaTrainer::new(&c, config);
             for _ in 0..3 {
@@ -1398,7 +1461,7 @@ mod tests {
     #[test]
     fn history_records_every_iteration() {
         let c = corpus();
-        let t = CuldaTrainer::new(&c, cfg(Platform::volta()).with_iterations(4));
+        let t = CuldaTrainer::new(&c, cfg(Platform::volta()).iterations(4).build().unwrap());
         let out = t.train();
         assert_eq!(out.history.len(), 4);
         assert!(out.final_loglik_per_token.is_finite());

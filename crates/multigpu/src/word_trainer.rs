@@ -713,11 +713,12 @@ mod tests {
     }
 
     fn cfg(gpus: usize) -> TrainerConfig {
-        TrainerConfig::new(16, Platform::pascal().with_gpus(gpus))
+        TrainerConfig::builder(16, Platform::pascal().with_gpus(gpus))
+            .iterations(5)
+            .score_every(0)
+            .seed(77)
+            .build()
             .unwrap()
-            .with_iterations(5)
-            .with_score_every(0)
-            .with_seed(77)
     }
 
     #[test]
@@ -760,11 +761,12 @@ mod tests {
             word.step();
         }
         assert!(word.theta_sync_seconds > 0.0);
-        let mut doc_cfg = crate::TrainerConfig::new(16, Platform::pascal().with_gpus(4))
-            .unwrap()
-            .with_iterations(3)
-            .with_score_every(0)
-            .with_seed(77);
+        let mut doc_cfg = crate::TrainerConfig::builder(16, Platform::pascal().with_gpus(4))
+            .iterations(3)
+            .score_every(0)
+            .seed(77)
+            .build()
+            .unwrap();
         doc_cfg.chunks_per_gpu = Some(1);
         let mut doc = crate::CuldaTrainer::new(&c, doc_cfg);
         for _ in 0..3 {

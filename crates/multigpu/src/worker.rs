@@ -21,7 +21,7 @@ use crate::partition::PartitionedCorpus;
 use crate::schedule::chunk_state_bytes;
 use culda_corpus::CsrMatrix;
 use culda_gpusim::{Device, FaultKind, Link, SimFault};
-use culda_metrics::{Breakdown, Phase};
+use culda_metrics::{Breakdown, Json, Phase, TraceSink, H2D_TID_BASE, SIM_PID, STAGE_TID_BASE};
 use culda_sampler::{
     BlockWork, ChunkState, ChunkTask, IterationPlan, KernelSet, PhiDelta, PhiModel, PlanReport,
     SampleConfig,
@@ -328,6 +328,77 @@ impl GpuWorker {
         out.phi_done_at = self.device.now();
         Ok(out)
     }
+
+    /// Global ids of the chunks this worker actually streams (non-empty
+    /// block maps), in the order the out-of-core pipeline submits them —
+    /// index-aligned with
+    /// [`PlanReport::stage_intervals`](culda_sampler::PlanReport).
+    pub fn staged_chunk_ids(&self) -> Vec<usize> {
+        self.chunk_ids
+            .iter()
+            .zip(&self.block_maps)
+            .filter(|(_, bm)| !bm.is_empty())
+            .map(|(&gi, _)| gi)
+            .collect()
+    }
+}
+
+/// Draws one worker's out-of-core staging pipeline into the trace: per
+/// chunk, an H2D copy span on the device's `gpu{d}-h2d` track, the
+/// pipelined kernel span on `gpu{d}-stage`, and a flow arrow from the
+/// copy's completion into the kernel — the arrow that makes prefetch
+/// overlap (chunk `i+1` copying while chunk `i` computes) visible in
+/// `culda trace`. `chunk_ids` must be the worker's
+/// [`GpuWorker::staged_chunk_ids`], index-aligned with
+/// `report.stage_intervals`.
+pub fn trace_staging(
+    sink: &TraceSink,
+    device_id: u32,
+    iteration: u32,
+    chunk_ids: &[usize],
+    report: &PlanReport,
+) {
+    let t0 = report.pipeline_start;
+    for (si, &gi) in report.stage_intervals.iter().zip(chunk_ids) {
+        if si.h2d.1 > si.h2d.0 {
+            sink.span_sim(
+                H2D_TID_BASE + device_id,
+                &format!("h2d chunk {gi}"),
+                "transfer",
+                t0 + si.h2d.0,
+                t0 + si.h2d.1,
+                vec![("iteration".into(), Json::from(iteration as usize))],
+            );
+        }
+        sink.span_sim(
+            STAGE_TID_BASE + device_id,
+            &format!("chunk {gi}"),
+            "staging",
+            t0 + si.compute.0,
+            t0 + si.compute.1,
+            vec![
+                ("iteration".into(), Json::from(iteration as usize)),
+                ("d2h_s".into(), Json::Num(si.d2h.1 - si.d2h.0)),
+            ],
+        );
+        if si.h2d.1 > si.h2d.0 {
+            let id = sink.new_flow_id();
+            sink.flow_start(
+                SIM_PID,
+                H2D_TID_BASE + device_id,
+                "chunk_staged",
+                t0 + si.h2d.1,
+                id,
+            );
+            sink.flow_finish(
+                SIM_PID,
+                STAGE_TID_BASE + device_id,
+                "chunk_staged",
+                t0 + si.compute.0,
+                id,
+            );
+        }
+    }
 }
 
 /// Runs `f(worker_index, worker)` for every worker, each on its own host
@@ -503,9 +574,10 @@ mod tests {
         use culda_sampler::{accumulate_phi_host, build_block_map, Priors};
 
         let corpus = SynthSpec::tiny().generate();
-        let cfg = TrainerConfig::new(8, Platform::maxwell())
-            .unwrap()
-            .with_seed(11);
+        let cfg = TrainerConfig::builder(8, Platform::maxwell())
+            .seed(11)
+            .build()
+            .unwrap();
         let (part, _plan) = crate::schedule::plan_partition(&corpus, &cfg);
         let priors = Priors::paper(cfg.num_topics);
         let chunk = &part.chunks[0];

@@ -23,7 +23,7 @@ use crate::kernel_sample::{run_sampling_kernel, try_run_sampling_kernel, SampleC
 use crate::kernel_theta::{run_theta_update_kernel, try_run_theta_update_kernel};
 use crate::model::{ChunkState, PhiModel};
 use culda_corpus::SortedChunk;
-use culda_gpusim::{Device, EnginePipeline, LaunchReport, SimFault, Stage};
+use culda_gpusim::{Device, EnginePipeline, LaunchReport, SimFault, Stage, StageIntervals};
 
 /// The paper's three kernels bound to one device — the only launch surface
 /// trainers use.
@@ -158,6 +158,17 @@ pub struct PlanReport {
     pub theta_seconds: f64,
     /// Transfer seconds the pipeline could not hide (out-of-core only).
     pub exposed_transfer_seconds: f64,
+    /// Total copy-engine seconds, hidden or not (out-of-core only).
+    pub transfer_seconds_total: f64,
+    /// Fraction of transfer time hidden under compute, in `[0, 1]`
+    /// (0 for resident plans and serial staging).
+    pub overlap_fraction: f64,
+    /// Device clock when the streaming pipeline started (out-of-core
+    /// only); add it to a [`StageIntervals`] offset for absolute times.
+    pub pipeline_start: f64,
+    /// Per-chunk stage intervals relative to `pipeline_start`, in the
+    /// order non-empty tasks were submitted (out-of-core only).
+    pub stage_intervals: Vec<StageIntervals>,
     /// Device clock when the ϕ replica was complete — the earliest moment
     /// the inter-GPU sync may start (θ still runs past this point).
     pub phi_done_at: f64,
@@ -179,6 +190,7 @@ pub struct IterationPlan {
     num_topics: usize,
     schedule: WorkSchedule,
     sparse: bool,
+    prefetch: bool,
 }
 
 impl IterationPlan {
@@ -188,6 +200,7 @@ impl IterationPlan {
             num_topics,
             schedule: WorkSchedule::Resident,
             sparse: false,
+            prefetch: true,
         }
     }
 
@@ -197,6 +210,7 @@ impl IterationPlan {
             num_topics,
             schedule: WorkSchedule::OutOfCore,
             sparse: false,
+            prefetch: true,
         }
     }
 
@@ -206,6 +220,15 @@ impl IterationPlan {
     /// cleared replica and the sampled topics are identical either way.
     pub fn with_sparse(mut self, sparse: bool) -> Self {
         self.sparse = sparse;
+        self
+    }
+
+    /// Selects the out-of-core staging discipline: `true` (default)
+    /// double-buffers H2D so chunk `i+1` streams in while chunk `i`
+    /// computes; `false` stages each chunk serially with no overlap.
+    /// Cost-model only — sampled topics are identical either way.
+    pub fn with_prefetch(mut self, prefetch: bool) -> Self {
+        self.prefetch = prefetch;
         self
     }
 
@@ -314,16 +337,29 @@ impl IterationPlan {
         let mut compute_total = 0.0;
         let mut out = PlanReport::default();
 
+        // Double-buffered prefetch vs serial single-buffer staging: the
+        // same stages, a different H2D start rule.
+        let submit = |p: &mut EnginePipeline, s: Stage| {
+            if self.prefetch {
+                p.submit_prefetched(s)
+            } else {
+                p.submit_serial(s)
+            }
+        };
+
         // The replica clear is not chunk-bound; run it up front. The
         // dirty-row bitmap resets with it (see `execute_resident`).
         let rc = kernels.try_clear_phi(write_phi, self.sparse)?;
         out.phi_seconds += rc.sim_seconds;
         compute_total += rc.sim_seconds;
-        pipeline.submit(Stage {
-            h2d_seconds: 0.0,
-            compute_seconds: rc.sim_seconds,
-            d2h_seconds: 0.0,
-        });
+        submit(
+            &mut pipeline,
+            Stage {
+                h2d_seconds: 0.0,
+                compute_seconds: rc.sim_seconds,
+                d2h_seconds: 0.0,
+            },
+        );
 
         for task in tasks.iter_mut() {
             if task.block_map.is_empty() {
@@ -345,16 +381,25 @@ impl IterationPlan {
             out.theta_seconds += r.sim_seconds;
             let compute = device.now() - before;
             compute_total += compute;
-            pipeline.submit(Stage {
-                h2d_seconds: task.h2d_seconds,
-                compute_seconds: compute,
-                d2h_seconds: task.d2h_seconds,
-            });
+            submit(
+                &mut pipeline,
+                Stage {
+                    h2d_seconds: task.h2d_seconds,
+                    compute_seconds: compute,
+                    d2h_seconds: task.d2h_seconds,
+                },
+            );
         }
         let makespan = pipeline.makespan();
         // Exposed (non-overlapped) transfer time is what the pipeline
         // could not hide.
         out.exposed_transfer_seconds = (makespan - compute_total).max(0.0);
+        out.transfer_seconds_total = pipeline.transfer_seconds_total();
+        out.overlap_fraction = pipeline.overlap_fraction();
+        out.pipeline_start = start;
+        // Stage 0 is the clear; the rest line up with the non-empty tasks
+        // in submission order.
+        out.stage_intervals = pipeline.spans[1..].to_vec();
         device.advance_to(start + makespan);
         // ϕ of the *last* chunk completes with the compute engine; the
         // sync can start then (θ of the last chunk still overlaps).
@@ -501,6 +546,41 @@ mod tests {
         assert_eq!(write_a.phi.snapshot(), write_b.phi.snapshot());
         assert!(oc.exposed_transfer_seconds > 0.0);
         assert!(dev_b.now() > dev_a.now(), "streaming must cost time");
+    }
+
+    #[test]
+    fn prefetch_toggle_changes_time_but_not_results() {
+        let (chunk, state, read, _) = setup();
+        let map = build_block_map(&chunk, 128);
+        let cfg = SampleConfig::new(9);
+        let run = |prefetch: bool| {
+            let dev = Device::new(0, GpuSpec::titan_x_maxwell());
+            let write = PhiModel::zeros(K, read.phi.len() / K, Priors::paper(K));
+            let mut st = ChunkState {
+                z: culda_gpusim::memory::AtomicU16Buf::from_vec(state.z.snapshot()),
+                theta: state.theta.clone(),
+            };
+            let mut tasks = [ChunkTask {
+                chunk: &chunk,
+                state: &mut st,
+                block_map: &map,
+                sample_cfg: cfg,
+                h2d_seconds: 0.01,
+                d2h_seconds: 0.01,
+            }];
+            let r = IterationPlan::out_of_core(K)
+                .with_prefetch(prefetch)
+                .execute(&KernelSet::new(&dev), &read, &write, &mut tasks);
+            (st.z.snapshot(), write.phi.snapshot(), dev.now(), r)
+        };
+        let (z_on, phi_on, t_on, r_on) = run(true);
+        let (z_off, phi_off, t_off, r_off) = run(false);
+        assert_eq!(z_on, z_off, "prefetch changed sampled topics");
+        assert_eq!(phi_on, phi_off, "prefetch changed phi counts");
+        assert!(t_off >= t_on, "serial staging must not be faster");
+        assert_eq!(r_off.overlap_fraction, 0.0);
+        assert!((r_on.transfer_seconds_total - 0.02).abs() < 1e-12);
+        assert_eq!(r_on.stage_intervals.len(), 1);
     }
 
     #[test]

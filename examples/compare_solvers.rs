@@ -30,10 +30,11 @@ fn main() {
     );
 
     // CuLDA on a single simulated V100.
-    let cfg = TrainerConfig::new(k, Platform::volta().with_gpus(1))
-        .unwrap()
-        .with_iterations(iters)
-        .with_score_every(0);
+    let cfg = TrainerConfig::builder(k, Platform::volta().with_gpus(1))
+        .iterations(iters)
+        .score_every(0)
+        .build()
+        .unwrap();
     let out = CuldaTrainer::new(&corpus, cfg).train();
     let t = out.history.total_sim_seconds();
     println!(

@@ -45,10 +45,11 @@ fn main() {
 
     // 3. Train and checkpoint.
     let k = 16;
-    let cfg = TrainerConfig::new(k, Platform::volta())
-        .unwrap()
-        .with_iterations(40)
-        .with_score_every(0);
+    let cfg = TrainerConfig::builder(k, Platform::volta())
+        .iterations(40)
+        .score_every(0)
+        .build()
+        .unwrap();
     let trainer_corpus = pruned.corpus;
     let mut trainer = CuldaTrainer::new(&trainer_corpus, cfg);
     for _ in 0..40 {

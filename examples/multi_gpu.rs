@@ -29,10 +29,11 @@ fn main() {
     let paper = [1.0, 1.93, 2.99];
     let mut base = None;
     for (i, gpus) in [1usize, 2, 4].into_iter().enumerate() {
-        let cfg = TrainerConfig::new(k, Platform::pascal().with_gpus(gpus))
-            .unwrap()
-            .with_iterations(iters)
-            .with_score_every(0);
+        let cfg = TrainerConfig::builder(k, Platform::pascal().with_gpus(gpus))
+            .iterations(iters)
+            .score_every(0)
+            .build()
+            .unwrap();
         let out = CuldaTrainer::new(&corpus, cfg).train();
         let tps = out.history.avg_tokens_per_sec(iters as usize);
         let b = *base.get_or_insert(tps);

@@ -30,10 +30,11 @@ fn main() {
     for platform in Platform::all() {
         let name = platform.name;
         let gpu_bw = platform.gpu.mem_bandwidth_gbps;
-        let cfg = TrainerConfig::new(k, platform.with_gpus(1))
-            .unwrap()
-            .with_iterations(iters)
-            .with_score_every(0);
+        let cfg = TrainerConfig::builder(k, platform.with_gpus(1))
+            .iterations(iters)
+            .score_every(0)
+            .build()
+            .unwrap();
         let out = CuldaTrainer::new(&corpus, cfg).train();
         let tps = out.history.avg_tokens_per_sec(iters as usize);
         let base = *titan_tps.get_or_insert(tps);

@@ -21,7 +21,9 @@ fn main() {
 
     // A Titan X whose memory has been shrunk until only a fraction of the
     // corpus state fits alongside the model.
-    let probe = TrainerConfig::new(k, Platform::maxwell()).unwrap();
+    let probe = TrainerConfig::builder(k, Platform::maxwell())
+        .build()
+        .unwrap();
     let model_bytes = 2 * probe.phi_device_bytes(corpus.vocab_size());
     let mut tiny = Platform::maxwell();
     tiny.gpu = GpuSpec {
@@ -39,10 +41,11 @@ fn main() {
         ("clamped (out-of-core)", tiny),
         ("full 12 GiB (resident)", Platform::maxwell()),
     ] {
-        let cfg = TrainerConfig::new(k, platform)
-            .unwrap()
-            .with_iterations(iters)
-            .with_score_every(0);
+        let cfg = TrainerConfig::builder(k, platform)
+            .iterations(iters)
+            .score_every(0)
+            .build()
+            .unwrap();
         let trainer = CuldaTrainer::new(&corpus, cfg);
         let m = trainer.plan().m;
         let c = trainer.plan().c;

@@ -24,11 +24,12 @@ fn main() {
 
     // 2. A trainer: K topics on a (simulated) single-GPU Maxwell platform.
     let k = 8;
-    let cfg = TrainerConfig::new(k, Platform::maxwell())
-        .unwrap()
-        .with_iterations(40)
-        .with_score_every(10)
-        .with_seed(2024);
+    let cfg = TrainerConfig::builder(k, Platform::maxwell())
+        .iterations(40)
+        .score_every(10)
+        .seed(2024)
+        .build()
+        .unwrap();
     let mut trainer = CuldaTrainer::new(&corpus, cfg);
     println!(
         "plan: M = {} chunk(s) per GPU, C = {} chunk(s) total\n",

@@ -61,11 +61,12 @@ fn main() {
     );
 
     let k = 3;
-    let cfg = TrainerConfig::new(k, Platform::maxwell())
-        .unwrap()
-        .with_iterations(80)
-        .with_score_every(0)
-        .with_seed(11);
+    let cfg = TrainerConfig::builder(k, Platform::maxwell())
+        .iterations(80)
+        .score_every(0)
+        .seed(11)
+        .build()
+        .unwrap();
     let mut trainer = CuldaTrainer::new(&corpus, cfg);
     for _ in 0..80 {
         trainer.step();

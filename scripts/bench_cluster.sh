@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Multi-node cluster gate.
+#
+# Regenerates BENCH_cluster.json with the current code and checks the
+# layer's contractual invariants instead of a throughput baseline:
+#
+#   * results_bit_identical_across_node_counts — every --nodes N trains
+#     the same model as --nodes 1 (the bench asserts this internally and
+#     records the verdict);
+#   * overlap_fraction > 0 — the out-of-core runs actually hid H2D time
+#     behind sampling via the double-buffered prefetch;
+#   * speedup_4_nodes > 1 — four nodes model faster than one on the
+#     PubMed-like workload.
+#
+# The workload is fully deterministic (seeded synthetic corpus, seeded
+# training), so the committed BENCH_cluster.json is reproducible bit for
+# bit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH=BENCH_cluster.json
+
+cargo run --release -q -p culda-bench --bin bench_cluster >/dev/null
+
+if [ ! -s "$BENCH" ]; then
+    echo "cluster gate: $BENCH was not written" >&2
+    exit 1
+fi
+
+# Pull a scalar field by key (first occurrence).
+field() {
+    grep -o "\"$1\":[^,}]*" "$BENCH" | head -n1 | cut -d: -f2 | tr -d ' '
+}
+
+identical="$(field results_bit_identical_across_node_counts)"
+overlap="$(field overlap_fraction)"
+speedup="$(field speedup_4_nodes)"
+
+if [ "${identical:-missing}" != "true" ]; then
+    echo "cluster gate: node counts trained different models" >&2
+    exit 1
+fi
+if ! awk -v o="${overlap:-0}" 'BEGIN { exit !(o > 0) }'; then
+    echo "cluster gate: overlap_fraction is ${overlap:-missing}" >&2
+    exit 1
+fi
+if ! awk -v s="${speedup:-0}" 'BEGIN { exit !(s > 1) }'; then
+    echo "cluster gate: 4-node speedup is ${speedup:-missing}" >&2
+    exit 1
+fi
+
+echo "cluster gate: bit-identical across node counts, overlap ${overlap}, 4-node speedup ${speedup}x"

@@ -66,6 +66,16 @@ for sampling_mode in sparse auto; do
     cmp "$smoke/p-dense.phi" "$smoke/p-$sampling_mode.phi"
 done
 
+echo "==> multi-node smoke test"
+# A 2-node cluster run must train the bit-identical model to the 1-node
+# run of the same configuration (the dense-tree model from above).
+cargo run --release -q -p culda-cli -- train --docword "$smoke/c.dw" \
+    --vocab "$smoke/c.v" --model "$smoke/n.phi" --topics 8 --iters 3 \
+    --score-every 0 --platform pascal --gpus 2 --nodes 2 \
+    | tee "$smoke/nodes.log"
+grep -q 'cluster: 2 node(s)' "$smoke/nodes.log"
+cmp "$smoke/s-dense-tree.phi" "$smoke/n.phi"
+
 echo "==> telemetry smoke test (eval, snapshots, report, openmetrics)"
 # A telemetry-laden run must stream parseable snapshots, export a lintable
 # OpenMetrics exposition, render a report — and train the bit-identical
@@ -106,6 +116,9 @@ scripts/bench_gate.sh
 
 echo "==> serving gate"
 scripts/bench_serving.sh
+
+echo "==> cluster gate"
+scripts/bench_cluster.sh
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

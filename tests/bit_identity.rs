@@ -43,10 +43,11 @@ fn run(cfg: TrainerConfig, iters: u32) -> (Vec<Vec<u16>>, Vec<f64>) {
 }
 
 fn cfg(gpus: usize, chunks_per_gpu: usize) -> TrainerConfig {
-    let mut c = TrainerConfig::new(8, Platform::pascal().with_gpus(gpus))
-        .unwrap()
-        .with_seed(4242)
-        .with_score_every(1);
+    let mut c = TrainerConfig::builder(8, Platform::pascal().with_gpus(gpus))
+        .seed(4242)
+        .score_every(1)
+        .build()
+        .unwrap();
     c.chunks_per_gpu = Some(chunks_per_gpu);
     c
 }
@@ -78,8 +79,13 @@ fn z_and_loglik_series_identical_on_1_2_4_gpus() {
 #[test]
 fn z_and_loglik_series_identical_for_1_and_4_host_workers() {
     // Host-thread count is a pure wall-clock knob on the simulator.
-    let (zs, lls) = run(cfg(4, 1).with_host_workers(1), 3);
-    let (zp, llp) = run(cfg(4, 1).with_host_workers(4), 3);
+    let with_workers = |n: usize| {
+        let mut c = cfg(4, 1);
+        c.host_workers = Some(n);
+        c
+    };
+    let (zs, lls) = run(with_workers(1), 3);
+    let (zp, llp) = run(with_workers(4), 3);
     assert_eq!(zs, zp, "1 vs 4 host workers changed topic assignments");
     let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
     assert_eq!(bits(&lls), bits(&llp), "1 vs 4 host workers changed loglik");
@@ -91,7 +97,9 @@ fn simulated_seconds_per_device_unchanged_by_host_workers() {
     // on more host threads must not move any device's `sim_seconds`.
     let corpus = small_corpus();
     let clock = |workers: usize| {
-        let mut t = CuldaTrainer::new(&corpus, cfg(4, 1).with_host_workers(workers));
+        let mut c = cfg(4, 1);
+        c.host_workers = Some(workers);
+        let mut t = CuldaTrainer::new(&corpus, c);
         for _ in 0..2 {
             t.step();
         }

@@ -15,11 +15,12 @@ fn small_corpus() -> culda::corpus::Corpus {
 #[test]
 fn full_training_run_converges_and_conserves() {
     let corpus = small_corpus();
-    let cfg = TrainerConfig::new(12, Platform::maxwell())
-        .unwrap()
-        .with_iterations(20)
-        .with_score_every(5)
-        .with_seed(99);
+    let cfg = TrainerConfig::builder(12, Platform::maxwell())
+        .iterations(20)
+        .score_every(5)
+        .seed(99)
+        .build()
+        .unwrap();
     let mut trainer = CuldaTrainer::new(&corpus, cfg);
     let initial = trainer.loglik_per_token();
     for _ in 0..20 {
@@ -42,11 +43,12 @@ fn full_training_run_converges_and_conserves() {
 fn training_is_deterministic_per_seed() {
     let corpus = small_corpus();
     let run = |seed: u64| {
-        let cfg = TrainerConfig::new(8, Platform::volta())
-            .unwrap()
-            .with_iterations(5)
-            .with_score_every(0)
-            .with_seed(seed);
+        let cfg = TrainerConfig::builder(8, Platform::volta())
+            .iterations(5)
+            .score_every(0)
+            .seed(seed)
+            .build()
+            .unwrap();
         let mut t = CuldaTrainer::new(&corpus, cfg);
         for _ in 0..5 {
             t.step();
@@ -73,11 +75,12 @@ fn gpu_count_is_a_pure_performance_knob() {
     // simulated time with more GPUs.
     let corpus = small_corpus();
     let run = |gpus: usize, m: usize| {
-        let mut cfg = TrainerConfig::new(8, Platform::pascal().with_gpus(gpus))
-            .unwrap()
-            .with_iterations(4)
-            .with_score_every(0)
-            .with_seed(3);
+        let mut cfg = TrainerConfig::builder(8, Platform::pascal().with_gpus(gpus))
+            .iterations(4)
+            .score_every(0)
+            .seed(3)
+            .build()
+            .unwrap();
         cfg.chunks_per_gpu = Some(m);
         let mut t = CuldaTrainer::new(&corpus, cfg);
         for _ in 0..4 {
@@ -95,19 +98,21 @@ fn gpu_count_is_a_pure_performance_knob() {
 #[test]
 fn out_of_core_training_matches_resident_statistics() {
     let corpus = small_corpus();
-    let mut forced = TrainerConfig::new(8, Platform::maxwell())
-        .unwrap()
-        .with_iterations(3)
-        .with_score_every(0)
-        .with_seed(11);
+    let mut forced = TrainerConfig::builder(8, Platform::maxwell())
+        .iterations(3)
+        .score_every(0)
+        .seed(11)
+        .build()
+        .unwrap();
     forced.chunks_per_gpu = Some(3);
     let mut ooc = CuldaTrainer::new(&corpus, forced);
     assert_eq!(ooc.plan().m, 3);
-    let mut resident = TrainerConfig::new(8, Platform::pascal().with_gpus(3))
-        .unwrap()
-        .with_iterations(3)
-        .with_score_every(0)
-        .with_seed(11);
+    let mut resident = TrainerConfig::builder(8, Platform::pascal().with_gpus(3))
+        .iterations(3)
+        .score_every(0)
+        .seed(11)
+        .build()
+        .unwrap();
     resident.chunks_per_gpu = Some(1);
     let mut res = CuldaTrainer::new(&corpus, resident);
     for _ in 0..3 {
@@ -122,16 +127,19 @@ fn out_of_core_training_matches_resident_statistics() {
 fn oom_forces_out_of_core_automatically() {
     let corpus = small_corpus();
     let mut platform = Platform::maxwell();
-    let probe = TrainerConfig::new(8, Platform::maxwell()).unwrap();
+    let probe = TrainerConfig::builder(8, Platform::maxwell())
+        .build()
+        .unwrap();
     platform.gpu = GpuSpec {
         memory_bytes: 2 * probe.phi_device_bytes(corpus.vocab_size())
             + corpus.num_tokens() * 10 / 2,
         ..platform.gpu
     };
-    let cfg = TrainerConfig::new(8, platform)
-        .unwrap()
-        .with_iterations(2)
-        .with_score_every(0);
+    let cfg = TrainerConfig::builder(8, platform)
+        .iterations(2)
+        .score_every(0)
+        .build()
+        .unwrap();
     let mut t = CuldaTrainer::new(&corpus, cfg);
     assert!(t.plan().m > 1);
     t.step();
@@ -142,11 +150,12 @@ fn oom_forces_out_of_core_automatically() {
 fn ablations_only_change_time_never_statistics() {
     let corpus = small_corpus();
     let run = |compressed: bool, shared: bool| {
-        let mut cfg = TrainerConfig::new(8, Platform::maxwell())
-            .unwrap()
-            .with_iterations(3)
-            .with_score_every(0)
-            .with_seed(21);
+        let mut cfg = TrainerConfig::builder(8, Platform::maxwell())
+            .iterations(3)
+            .score_every(0)
+            .seed(21)
+            .build()
+            .unwrap();
         cfg.compressed = compressed;
         cfg.use_shared_memory = shared;
         let mut t = CuldaTrainer::new(&corpus, cfg);

@@ -14,7 +14,7 @@ use culda::corpus::{Corpus, SynthSpec};
 use culda::gpusim::{FaultKind, FaultPlan, FaultSpec, Platform};
 use culda::metrics::{MetricsRegistry, TraceSink};
 use culda::multigpu::{
-    try_build_trainer, CuldaError, CuldaTrainer, PartitionPolicy, SyncMode, TrainerConfig,
+    build_trainer, CuldaError, CuldaTrainer, PartitionPolicy, SyncMode, TrainerConfig,
     WordPartitionedTrainer,
 };
 use culda::sampler::PhiModel;
@@ -262,11 +262,11 @@ fn word_policy_retries_transients_and_fails_cleanly_on_permanent_loss() {
 fn fault_plan_works_through_the_unified_trainer_surface() {
     let c = corpus();
     for policy in [PartitionPolicy::Document, PartitionPolicy::Word] {
-        let mut reference = try_build_trainer(policy, &c, cfg()).unwrap();
+        let mut reference = build_trainer(policy, &c, cfg()).unwrap();
         for _ in 0..ITERS {
             reference.try_step().unwrap();
         }
-        let mut faulty = try_build_trainer(policy, &c, cfg()).unwrap();
+        let mut faulty = build_trainer(policy, &c, cfg()).unwrap();
         faulty.attach_fault_plan(Arc::new(FaultPlan::random_transient(99, 2, ITERS)));
         for _ in 0..ITERS {
             faulty.try_step().unwrap();

@@ -30,11 +30,12 @@ fn run() -> (u64, f64) {
     spec.avg_doc_len = 20.0;
     spec.seed = 0xBEEF;
     let corpus = spec.generate();
-    let cfg = TrainerConfig::new(8, Platform::maxwell())
-        .unwrap()
-        .with_iterations(3)
-        .with_score_every(0)
-        .with_seed(0x601DE4);
+    let cfg = TrainerConfig::builder(8, Platform::maxwell())
+        .iterations(3)
+        .score_every(0)
+        .seed(0x601DE4)
+        .build()
+        .unwrap();
     let mut t = CuldaTrainer::new(&corpus, cfg);
     for _ in 0..3 {
         t.step();

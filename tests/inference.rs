@@ -23,12 +23,13 @@ fn trained() -> &'static (Vec<u8>, Corpus) {
         spec.seed = 13;
         let corpus = spec.generate();
         let (train, held) = split_held_out(&corpus, 0.15, 13);
-        let cfg = TrainerConfig::new(12, Platform::pascal().with_gpus(2))
-            .unwrap()
-            .with_iterations(12)
-            .with_score_every(0)
-            .with_seed(5);
-        let mut trainer = build_trainer(PartitionPolicy::Document, &train, cfg);
+        let cfg = TrainerConfig::builder(12, Platform::pascal().with_gpus(2))
+            .iterations(12)
+            .score_every(0)
+            .seed(5)
+            .build()
+            .unwrap();
+        let mut trainer = build_trainer(PartitionPolicy::Document, &train, cfg).unwrap();
         for _ in 0..12 {
             trainer.step();
         }

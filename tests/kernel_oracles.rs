@@ -119,10 +119,11 @@ fn dense_cgs_oracle_and_gpu_pipeline_reach_similar_quality() {
     let corpus = spec.generate();
     let iters = 40;
 
-    let cfg = TrainerConfig::new(8, Platform::maxwell())
-        .unwrap()
-        .with_iterations(iters)
-        .with_score_every(0);
+    let cfg = TrainerConfig::builder(8, Platform::maxwell())
+        .iterations(iters)
+        .score_every(0)
+        .build()
+        .unwrap();
     let gpu_ll = CuldaTrainer::new(&corpus, cfg)
         .train()
         .final_loglik_per_token;

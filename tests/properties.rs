@@ -250,7 +250,9 @@ fn phi_sync_equals_serial_sum() {
                 *w += cells[slot] as u64;
             }
         }
-        let cfg = TrainerConfig::new(3, Platform::pascal()).unwrap();
+        let cfg = TrainerConfig::builder(3, Platform::pascal())
+            .build()
+            .unwrap();
         let refs: Vec<&_> = replicas.iter().collect();
         sync_phi_replicas(&refs, &Platform::pascal().gpu, &Link::pcie3(), &cfg);
         for r in &replicas {

@@ -13,10 +13,11 @@ use culda::multigpu::{CuldaTrainer, TrainerConfig};
 fn nytimes_scale_end_to_end() {
     let corpus = SynthSpec::nytimes_like(0.01).generate();
     assert!(corpus.num_tokens() > 500_000);
-    let cfg = TrainerConfig::new(1024, Platform::volta())
-        .unwrap()
-        .with_iterations(10)
-        .with_score_every(5);
+    let cfg = TrainerConfig::builder(1024, Platform::volta())
+        .iterations(10)
+        .score_every(5)
+        .build()
+        .unwrap();
     let mut trainer = CuldaTrainer::new(&corpus, cfg);
     let initial = trainer.loglik_per_token();
     for _ in 0..10 {
@@ -39,10 +40,11 @@ fn nytimes_scale_end_to_end() {
 fn multi_gpu_scale_end_to_end() {
     let corpus = SynthSpec::pubmed_like(0.003).generate();
     let run = |gpus: usize| {
-        let cfg = TrainerConfig::new(128, Platform::pascal().with_gpus(gpus))
-            .unwrap()
-            .with_iterations(5)
-            .with_score_every(0);
+        let cfg = TrainerConfig::builder(128, Platform::pascal().with_gpus(gpus))
+            .iterations(5)
+            .score_every(0)
+            .build()
+            .unwrap();
         let mut t = CuldaTrainer::new(&corpus, cfg);
         for _ in 0..5 {
             t.step();

@@ -30,12 +30,13 @@ fn checkpoints() -> &'static Checkpoints {
         let corpus: Corpus = spec.generate();
         let mut frozen = Vec::new();
         for sweeps in [4usize, 8] {
-            let cfg = TrainerConfig::new(8, Platform::pascal())
-                .unwrap()
-                .with_iterations(sweeps as u32)
-                .with_score_every(0)
-                .with_seed(9);
-            let mut t = build_trainer(PartitionPolicy::Document, &corpus, cfg);
+            let cfg = TrainerConfig::builder(8, Platform::pascal())
+                .iterations(sweeps as u32)
+                .score_every(0)
+                .seed(9)
+                .build()
+                .unwrap();
+            let mut t = build_trainer(PartitionPolicy::Document, &corpus, cfg).unwrap();
             for _ in 0..sweeps {
                 t.step();
             }

@@ -13,7 +13,7 @@ use culda::metrics::{
     lint_openmetrics, parse_snapshots, render_openmetrics, HealthConfig, HealthKind, HealthMonitor,
     HealthSample, MetricsRegistry, MetricsSnapshot, SnapshotRecord, SnapshotWriter, TraceSink,
 };
-use culda::multigpu::{try_build_trainer, PartitionPolicy, TrainerConfig};
+use culda::multigpu::{build_trainer, PartitionPolicy, TrainerConfig};
 use culda::sampler::PhiModel;
 use culda::serve::{HeldOutEvaluator, ServeConfig};
 use std::sync::Arc;
@@ -25,11 +25,12 @@ fn corpus() -> Corpus {
 }
 
 fn cfg(iters: u32, platform: Platform) -> TrainerConfig {
-    TrainerConfig::new(K, platform)
+    TrainerConfig::builder(K, platform)
+        .iterations(iters)
+        .score_every(1)
+        .seed(3)
+        .build()
         .expect("valid config")
-        .with_iterations(iters)
-        .with_score_every(1)
-        .with_seed(3)
 }
 
 fn eval_cfg() -> ServeConfig {
@@ -49,7 +50,7 @@ fn phi_counts(phi: &PhiModel) -> Vec<u32> {
 fn held_out_perplexity_descends_across_burn_in() {
     let corpus = corpus();
     let (_, held_out) = split_held_out(&corpus, 0.15, 7);
-    let mut trainer = try_build_trainer(
+    let mut trainer = build_trainer(
         PartitionPolicy::Document,
         &corpus,
         cfg(12, Platform::maxwell()),
@@ -76,7 +77,7 @@ fn evaluation_never_perturbs_training() {
     let corpus = corpus();
     let (_, held_out) = split_held_out(&corpus, 0.2, 11);
 
-    let mut plain = try_build_trainer(
+    let mut plain = build_trainer(
         PartitionPolicy::Document,
         &corpus,
         cfg(6, Platform::pascal()),
@@ -86,7 +87,7 @@ fn evaluation_never_perturbs_training() {
         plain.try_step().expect("clean run");
     }
 
-    let mut observed = try_build_trainer(
+    let mut observed = build_trainer(
         PartitionPolicy::Document,
         &corpus,
         cfg(6, Platform::pascal()),
@@ -110,7 +111,7 @@ fn injected_fault_trips_a_health_event_that_round_trips() {
     let corpus = corpus();
     let platform = Platform::pascal().with_gpus(2);
     let mut trainer =
-        try_build_trainer(PartitionPolicy::Document, &corpus, cfg(8, platform)).expect("builds");
+        build_trainer(PartitionPolicy::Document, &corpus, cfg(8, platform)).expect("builds");
     // A transient launch fault: the retry backoff dwarfs a tiny corpus's
     // simulated iteration time, so tokens/sec collapses at iteration 4.
     trainer.attach_fault_plan(Arc::new(
@@ -174,7 +175,7 @@ fn training_registry_exposition_parses_back() {
     let corpus = corpus();
     let platform = Platform::pascal().with_gpus(2);
     let mut trainer =
-        try_build_trainer(PartitionPolicy::Document, &corpus, cfg(3, platform)).expect("builds");
+        build_trainer(PartitionPolicy::Document, &corpus, cfg(3, platform)).expect("builds");
     let registry = Arc::new(MetricsRegistry::new());
     trainer.attach_observability(None, Some(registry.clone()));
     for _ in 0..3 {

@@ -26,11 +26,12 @@ fn traced_run() -> (String, String) {
     spec.avg_doc_len = 22.0;
     spec.seed = 11;
     let corpus = spec.generate();
-    let cfg = TrainerConfig::new(8, Platform::pascal().with_gpus(GPUS))
-        .unwrap()
-        .with_iterations(ITERS)
-        .with_score_every(0)
-        .with_seed(3);
+    let cfg = TrainerConfig::builder(8, Platform::pascal().with_gpus(GPUS))
+        .iterations(ITERS)
+        .score_every(0)
+        .seed(3)
+        .build()
+        .unwrap();
     let mut trainer = CuldaTrainer::new(&corpus, cfg);
     let sink = Arc::new(TraceSink::new());
     let registry = Arc::new(MetricsRegistry::new());
