@@ -1,0 +1,194 @@
+//! Draw-path benchmark: modelled tokens/sec and `lda_sample` DRAM bytes
+//! for every `DrawMode` on the same seeded run.
+//!
+//! The p1 branch of each token draw turns a serial prefix sum over the
+//! document's topic support into a sampled topic. The `tree` engine walks
+//! the Steele–Tristan partial-sum tree; when the per-block scratch for 32
+//! samplers' prefixes no longer fits in shared memory (large K, long
+//! docs) its spilled layout touches one 32-byte DRAM sector per strided
+//! element. The `butterfly` engine interleaves the 32 samplers' prefixes
+//! so every search step lands in one coalesced 128-byte segment, and
+//! `auto` picks per block from the same occupancy predicate the cost
+//! model charges from. Every mode must produce bit-identical
+//! assignments; only the modelled memory traffic and time may differ.
+//!
+//! Runs the grid K ∈ {1024, 4096} × {tree, butterfly, auto} on Pascal ×4
+//! and writes `BENCH_draw.json` at the repository root.
+
+use culda_bench::{banner, user_iters, user_scale};
+use culda_corpus::SynthSpec;
+use culda_gpusim::Platform;
+use culda_metrics::{format_tokens_per_sec, IterationStat};
+use culda_multigpu::{CuldaTrainer, DrawMode, SyncMode, TrainerConfig};
+use std::io::Write;
+use std::time::Instant;
+
+const GPUS: usize = 4;
+/// K = 1024 keeps the p1 scratch on chip (both engines run out of shared
+/// memory); K = 4096 spills it, which is the regime the butterfly layout
+/// exists for.
+const TOPIC_GRID: [usize; 2] = [1024, 4096];
+/// Auto may not beat the best fixed mode by more than noise on-chip
+/// (tree and butterfly charge slightly different shared traffic), so the
+/// never-slower gate allows this slack.
+const AUTO_SLACK: f64 = 0.02;
+
+struct Run {
+    tokens_per_sec: f64,
+    sample_dram_bytes: u64,
+    sample_seconds: f64,
+    wall_seconds: f64,
+    final_z_hash: u64,
+}
+
+fn tps(stats: &[IterationStat]) -> f64 {
+    let tokens: u64 = stats.iter().map(|s| s.tokens).sum();
+    let secs: f64 = stats.iter().map(|s| s.sim_seconds).sum();
+    tokens as f64 / secs
+}
+
+fn run(corpus: &culda_corpus::Corpus, topics: usize, iters: u32, mode: DrawMode) -> Run {
+    let cfg = TrainerConfig::builder(topics, Platform::pascal().with_gpus(GPUS))
+        .iterations(iters)
+        .score_every(0)
+        // Delta sync for every run: the benchmark isolates the draw-path
+        // choice, so the (orthogonal) sync phase uses its best mode.
+        .sync_mode(SyncMode::Auto)
+        .draw_mode(mode)
+        .build()
+        .unwrap();
+    let mut t = CuldaTrainer::new(corpus, cfg);
+    let start = Instant::now();
+    for _ in 0..iters {
+        t.step();
+    }
+    let wall_seconds = start.elapsed().as_secs_f64();
+    let sample = t
+        .profile()
+        .summaries()
+        .into_iter()
+        .find(|s| s.name == "lda_sample")
+        .expect("profile has an lda_sample kernel");
+    // FNV-1a over the final assignments: cheap cross-mode equality witness.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for s in t.states() {
+        for z in s.z.snapshot() {
+            h = (h ^ z as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    Run {
+        tokens_per_sec: tps(t.history().iterations()),
+        sample_dram_bytes: sample.dram_bytes,
+        sample_seconds: sample.total_seconds,
+        wall_seconds,
+        final_z_hash: h,
+    }
+}
+
+fn main() {
+    let iters = user_iters(6);
+    let scale = 0.0005 * user_scale();
+    banner(
+        "Draw-path benchmark — modelled tokens/sec and lda_sample DRAM per DrawMode",
+        &format!(
+            "NYTimes-like at scale {scale}, K ∈ {TOPIC_GRID:?}, {iters} iterations, Pascal ×{GPUS}"
+        ),
+    );
+    let corpus = SynthSpec::nytimes_like(scale).generate();
+    println!(
+        "corpus: {} docs, {} tokens, V = {}\n",
+        corpus.num_docs(),
+        corpus.num_tokens(),
+        corpus.vocab_size(),
+    );
+
+    let modes = [DrawMode::Tree, DrawMode::Butterfly, DrawMode::Auto];
+    let mut blocks: Vec<String> = Vec::new();
+    for &topics in &TOPIC_GRID {
+        let runs: Vec<(DrawMode, Run)> = modes
+            .iter()
+            .map(|&m| (m, run(&corpus, topics, iters, m)))
+            .collect();
+
+        for (m, r) in &runs[1..] {
+            assert_eq!(
+                r.final_z_hash, runs[0].1.final_z_hash,
+                "draw mode {m} changed the sampled assignments at K = {topics}"
+            );
+        }
+
+        println!(
+            "K = {topics}\n{:<10} {:>14} {:>16} {:>14} {:>10}",
+            "mode", "tokens/s", "lda_sample DRAM", "sample s", "wall s"
+        );
+        for (m, r) in &runs {
+            println!(
+                "{:<10} {:>14} {:>13.1} MB {:>14.4} {:>10.2}",
+                m.to_string(),
+                format_tokens_per_sec(r.tokens_per_sec),
+                r.sample_dram_bytes as f64 / 1e6,
+                r.sample_seconds,
+                r.wall_seconds,
+            );
+        }
+
+        let tree = &runs[0].1;
+        let fly = &runs[1].1;
+        let auto = &runs[2].1;
+        if topics >= 4096 {
+            // The spilled regime is the point of the butterfly layout:
+            // coalesced 128-byte search segments must beat one strided
+            // sector per touched element, in bytes and in modelled time.
+            assert!(
+                fly.sample_dram_bytes < tree.sample_dram_bytes,
+                "butterfly did not cut lda_sample DRAM at K = {topics} \
+                 ({} vs {} bytes)",
+                fly.sample_dram_bytes,
+                tree.sample_dram_bytes
+            );
+            assert!(
+                fly.tokens_per_sec > tree.tokens_per_sec,
+                "butterfly modelled no tokens/sec win at K = {topics}"
+            );
+        }
+        let best_fixed = tree.tokens_per_sec.max(fly.tokens_per_sec);
+        assert!(
+            auto.tokens_per_sec >= best_fixed * (1.0 - AUTO_SLACK),
+            "auto modelled {} tokens/sec, best fixed {} at K = {topics}",
+            auto.tokens_per_sec,
+            best_fixed
+        );
+        let dram_cut = 1.0 - fly.sample_dram_bytes as f64 / tree.sample_dram_bytes.max(1) as f64;
+        let speedup = fly.tokens_per_sec / tree.tokens_per_sec;
+        println!(
+            "butterfly vs tree at K = {topics}: {:.1}% less lda_sample DRAM, {speedup:.2}x tokens/sec\n",
+            100.0 * dram_cut
+        );
+
+        let per_mode: Vec<String> = runs
+            .iter()
+            .map(|(m, r)| {
+                format!(
+                    "        {{\n          \"mode\": \"{m}\",\n          \"tokens_per_sec\": {:.3},\n          \"lda_sample_dram_bytes\": {},\n          \"lda_sample_seconds\": {:.6},\n          \"wall_seconds\": {:.4}\n        }}",
+                    r.tokens_per_sec, r.sample_dram_bytes, r.sample_seconds, r.wall_seconds,
+                )
+            })
+            .collect();
+        blocks.push(format!(
+            "    {{\n      \"topics\": {topics},\n      \"modes\": [\n{}\n      ],\n      \"butterfly_dram_cut_vs_tree\": {dram_cut:.4},\n      \"butterfly_speedup_vs_tree\": {speedup:.4}\n    }}",
+            per_mode.join(",\n"),
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"p1 draw engines: modelled tokens/sec and lda_sample DRAM per --draw-mode\",\n  \"workload\": {{\n    \"preset\": \"nytimes_like\",\n    \"scale\": {scale},\n    \"num_docs\": {},\n    \"num_tokens\": {},\n    \"vocab_size\": {},\n    \"iterations\": {iters},\n    \"platform\": \"pascal\",\n    \"gpus\": {GPUS}\n  }},\n  \"grid\": [\n{}\n  ],\n  \"butterfly_cuts_dram_at_k4096\": true,\n  \"auto_never_slower_than_best_fixed\": true,\n  \"results_bit_identical_across_modes\": true\n}}\n",
+        corpus.num_docs(),
+        corpus.num_tokens(),
+        corpus.vocab_size(),
+        blocks.join(",\n"),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_draw.json");
+    let mut f = std::fs::File::create(path).expect("create BENCH_draw.json");
+    f.write_all(json.as_bytes()).expect("write BENCH_draw.json");
+    println!("wrote {path}");
+}

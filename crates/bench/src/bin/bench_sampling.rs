@@ -18,7 +18,7 @@ use culda_bench::{banner, user_iters, user_scale};
 use culda_corpus::SynthSpec;
 use culda_gpusim::Platform;
 use culda_metrics::{format_tokens_per_sec, IterationStat};
-use culda_multigpu::{CuldaTrainer, SamplingMode, SyncMode, TrainerConfig};
+use culda_multigpu::{CuldaTrainer, DrawMode, SamplingMode, SyncMode, TrainerConfig};
 use std::io::Write;
 use std::time::Instant;
 
@@ -49,10 +49,12 @@ fn run(corpus: &culda_corpus::Corpus, iters: u32, mode: SamplingMode) -> Run {
     let cfg = TrainerConfig::builder(BENCH_TOPICS, Platform::pascal().with_gpus(GPUS))
         .iterations(iters)
         .score_every(0)
-        // Auto delta sync for every run: the benchmark isolates the
-        // sampling-path choice, so the (orthogonal) sync phase should use
-        // its best mode rather than drown the signal in dense-tree bytes.
+        // Auto sync and draw for every run: the benchmark isolates the
+        // sampling-path choice, so the (orthogonal) sync and p1-draw
+        // phases should use their best modes rather than drown the
+        // signal in dense-tree or spilled-scratch bytes.
         .sync_mode(SyncMode::Auto)
+        .draw_mode(DrawMode::Auto)
         .sampling_mode(mode)
         .build()
         .unwrap();

@@ -13,8 +13,8 @@ use culda_metrics::{
     MetricsRegistry, MetricsSnapshot, Severity, SnapshotWriter, TraceSink,
 };
 use culda_multigpu::{
-    build_trainer, resume_any, save_training, LdaTrainer, PartitionPolicy, SamplingMode, SyncMode,
-    TrainerConfig, TrainerConfigBuilder,
+    build_trainer, resume_any, save_training, DrawMode, LdaTrainer, PartitionPolicy, SamplingMode,
+    SyncMode, TrainerConfig, TrainerConfigBuilder,
 };
 use culda_sampler::{load_phi, LdaModel};
 use culda_serve::{FrozenModel, HeldOutEvaluator, InferenceEngine, InferenceOutcome, ServeConfig};
@@ -56,13 +56,14 @@ fn fault_plan(args: &Args) -> Result<Option<Arc<FaultPlan>>, Box<dyn std::error:
 }
 
 /// Usage text. A function, not a constant: the mode lists (`--policy`,
-/// `--sync-mode`, `--sampling-mode`) are derived from the same canonical
-/// name tables the parsers and their errors use, so the help can never
-/// drift from what actually parses.
+/// `--sync-mode`, `--sampling-mode`, `--draw-mode`) are derived from the
+/// same canonical name tables the parsers and their errors use, so the
+/// help can never drift from what actually parses.
 pub fn usage() -> String {
     let policy = PartitionPolicy::usage();
     let sync = SyncMode::usage();
     let sampling = SamplingMode::usage();
+    let draw = DrawMode::usage();
     format!(
         "\
 culda — CuLDA_CGS topic modeling (Rust reproduction)
@@ -77,6 +78,7 @@ USAGE:
                  [--seed N] [--score-every N]
                  [--sync-mode {sync}]
                  [--sampling-mode {sampling}]
+                 [--draw-mode {draw}]
                  [--resume STATE] [--save-state STATE] [--fault-plan SPEC]
                  [--eval-every N] [--eval-fraction F] [--eval-seed N]
                  [--snapshots OUT.jsonl] [--openmetrics OUT.txt]
@@ -96,7 +98,8 @@ USAGE:
   culda info     --model M.phi
   culda profile  --docword PATH --vocab PATH [--policy {policy}] [--topics K]
                  [--iters N] [--platform maxwell|pascal|volta] [--gpus G]
-                 [--workers N]
+                 [--workers N] [--draw-mode {draw}]
+                 [--out PROFILE.json] [--compare BASELINE.json]
   culda trace    --preset <tiny|nytimes|pubmed> [--scale F] [--seed N]
                  [--policy {policy}] [--topics K] [--iters N]
                  [--platform maxwell|pascal|volta] [--gpus G] [--workers N]
@@ -119,6 +122,14 @@ nonzero ϕ cells over the β baseline, `auto` re-decides each iteration
 from the same cost model the delta sync uses. Like sync modes, every
 sampling mode draws identical topics — checkpoints are byte-identical
 and only the modelled sampling time changes.
+`--draw-mode` picks how each sampler turns its per-token p1 prefix into
+a topic (default tree, the paper's private index-tree walk): `butterfly`
+interleaves the warp's 32 distributions Steele–Tristan style so every
+scan step is one coalesced 128-byte segment instead of 32 strided
+sectors, and `auto` chooses per block — the tree while the per-sampler
+scratch fits in shared memory, the butterfly once it would spill to
+DRAM. Same contract again: every draw mode samples bit-identical topics
+and only the modelled memory traffic changes.
 
 `--nodes N` trains across N simulated nodes (doc policy only), each a
 full `--gpus G` box: documents shard over nodes, each node syncs its ϕ
@@ -173,7 +184,12 @@ as they fire and count into the recovery line. A fatal event exits 5;
 `--strict-health` promotes warnings to the same failure.
 
 `culda profile` reports each kernel's achieved bandwidth as a percent of
-the platform's DRAM roofline, plus a metrics dashboard. `culda trace`
+the platform's DRAM roofline, plus a metrics dashboard. `--out` dumps
+the per-kernel roofline rows as JSON; `--compare BASELINE.json` reloads
+such a dump and renders before/after delta columns per kernel — the
+intended loop for measuring an optimization (e.g. profile with
+`--draw-mode tree --out base.json`, then `--draw-mode butterfly
+--compare base.json`). `culda trace`
 runs a traced training session on a synthetic corpus, then folds a 10%
 held-out split back through the serving path, and writes a Chrome-trace
 JSON (load it at https://ui.perfetto.dev) alongside a metrics snapshot.
@@ -300,6 +316,7 @@ pub fn train(args: &Args) -> CmdResult {
     let seed: u64 = args.num_or("seed", 0xC01DA)?;
     let sync_mode: SyncMode = args.get_or("sync-mode", "dense-tree").parse()?;
     let sampling_mode: SamplingMode = args.get_or("sampling-mode", "dense").parse()?;
+    let draw_mode: DrawMode = args.get_or("draw-mode", "tree").parse()?;
     let model_path = args.require("model")?;
     let eval_every: u32 = args.num_or("eval-every", 0)?;
     let eval_fraction: f64 = args.num_or("eval-fraction", 0.1)?;
@@ -323,7 +340,8 @@ pub fn train(args: &Args) -> CmdResult {
                 .score_every(score_every)
                 .seed(seed)
                 .sync_mode(sync_mode)
-                .sampling_mode(sampling_mode),
+                .sampling_mode(sampling_mode)
+                .draw_mode(draw_mode),
         )?,
     )?
     .build()?;
@@ -642,21 +660,144 @@ pub fn info(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// Serializes per-kernel roofline rows for `culda profile --out`, in the
+/// shape [`render_profile_compare`] reloads.
+fn profile_rows_json(
+    platform_name: &str,
+    roof_gbps: f64,
+    draw_mode: DrawMode,
+    iters: u32,
+    summaries: &[culda_gpusim::KernelSummary],
+) -> Json {
+    Json::obj()
+        .with("platform", platform_name)
+        .with("roof_gbps", Json::Num(roof_gbps))
+        .with("draw_mode", draw_mode.name())
+        .with("iterations", Json::Num(f64::from(iters)))
+        .with(
+            "kernels",
+            Json::Arr(
+                summaries
+                    .iter()
+                    .map(|s| {
+                        Json::obj()
+                            .with("name", s.name.as_str())
+                            .with("launches", Json::Num(f64::from(s.launches)))
+                            .with("time_ms", Json::Num(s.total_seconds * 1e3))
+                            .with("dram_mb", Json::Num(s.dram_bytes as f64 / 1e6))
+                            .with("gbps", Json::Num(s.effective_gbps))
+                            .with("flops", Json::Num(s.flops as f64))
+                    })
+                    .collect(),
+            ),
+        )
+}
+
+/// Renders the `--compare` table: current per-kernel time/DRAM next to a
+/// `--out` baseline's, with signed delta columns (negative = the current
+/// run is cheaper). Kernels present on only one side are still listed.
+fn render_profile_compare(
+    summaries: &[culda_gpusim::KernelSummary],
+    baseline: &Json,
+) -> Result<String, Box<dyn std::error::Error>> {
+    use std::fmt::Write as _;
+    let base_mode = baseline.get("draw_mode").and_then(|m| m.as_str());
+    let rows = baseline
+        .get("kernels")
+        .and_then(|k| k.as_arr())
+        .ok_or_else(|| err("baseline profile has no \"kernels\" array"))?;
+    let mut base: Vec<(String, f64, f64)> = Vec::new();
+    for row in rows {
+        let name = row
+            .get("name")
+            .and_then(|n| n.as_str())
+            .ok_or_else(|| err("baseline kernel row has no \"name\""))?;
+        let time_ms = row.get("time_ms").and_then(|v| v.as_f64()).unwrap_or(0.0);
+        let dram_mb = row.get("dram_mb").and_then(|v| v.as_f64()).unwrap_or(0.0);
+        base.push((name.to_string(), time_ms, dram_mb));
+    }
+    let mut out = String::new();
+    if let Some(mode) = base_mode {
+        let _ = writeln!(out, "baseline draw mode: {mode}");
+    }
+    let _ = writeln!(
+        out,
+        "{:<22} {:>12} {:>12} {:>8} {:>12} {:>12} {:>8}",
+        "kernel", "time (ms)", "base (ms)", "Δtime", "DRAM (MB)", "base (MB)", "ΔDRAM"
+    );
+    let pct = |now: f64, then: f64| {
+        if then > 0.0 {
+            format!("{:>+7.1}%", 100.0 * (now - then) / then)
+        } else {
+            format!("{:>8}", "—")
+        }
+    };
+    let mut seen: Vec<&str> = Vec::new();
+    for s in summaries {
+        seen.push(&s.name);
+        let time_ms = s.total_seconds * 1e3;
+        let dram_mb = s.dram_bytes as f64 / 1e6;
+        match base.iter().find(|(n, _, _)| *n == s.name) {
+            Some(&(_, bt, bd)) => {
+                let _ = writeln!(
+                    out,
+                    "{:<22} {:>12.3} {:>12.3} {} {:>12.2} {:>12.2} {}",
+                    s.name,
+                    time_ms,
+                    bt,
+                    pct(time_ms, bt),
+                    dram_mb,
+                    bd,
+                    pct(dram_mb, bd)
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "{:<22} {:>12.3} {:>12} {:>8} {:>12.2} {:>12} {:>8}",
+                    s.name, time_ms, "—", "new", dram_mb, "—", "new"
+                );
+            }
+        }
+    }
+    for (name, bt, bd) in &base {
+        if !seen.iter().any(|n| n == name) {
+            let _ = writeln!(
+                out,
+                "{:<22} {:>12} {:>12.3} {:>8} {:>12} {:>12.2} {:>8}",
+                name, "—", bt, "gone", "—", bd, "gone"
+            );
+        }
+    }
+    Ok(out)
+}
+
 /// `culda profile` — run a few iterations and print the per-kernel launch
 /// profile (with roofline attainment), the Table 5-style phase breakdown,
-/// and a metrics dashboard.
+/// and a metrics dashboard. `--out` dumps the roofline rows as JSON;
+/// `--compare` diffs the run against such a dump.
 pub fn profile_cmd(args: &Args) -> CmdResult {
     let corpus = load_corpus(args)?;
     let topics: usize = args.num_or("topics", 64)?;
     let iters: u32 = args.num_or("iters", 5)?;
+    let draw_mode: DrawMode = args.get_or("draw-mode", "tree").parse()?;
     let platform = platform(args)?;
     let roof_gbps = platform.gpu.mem_bandwidth_gbps;
     let platform_name = platform.name;
+    // Load (and validate) the baseline before spending simulated time.
+    let baseline = match args.require("compare") {
+        Ok(path) => Some(
+            Json::parse(&std::fs::read_to_string(path)?)
+                .map_err(|e| err(format!("baseline profile {path}: {e}")))?,
+        ),
+        Err(_) => None,
+    };
     let cfg = apply_workers(
         args,
         TrainerConfig::builder(topics, platform)
             .iterations(iters)
-            .score_every(0),
+            .score_every(0)
+            .draw_mode(draw_mode),
     )?
     .build()?;
     let mut trainer = build_trainer(policy(args)?, &corpus, cfg)?;
@@ -667,10 +808,20 @@ pub fn profile_cmd(args: &Args) -> CmdResult {
     }
     println!(
         "kernel profile over {iters} iterations of partition-by-{} \
-         (roof% = share of {platform_name} {roof_gbps} GB/s DRAM peak):\n",
+         (draw mode {draw_mode}; roof% = share of {platform_name} {roof_gbps} GB/s DRAM peak):\n",
         trainer.policy()
     );
     print!("{}", trainer.profile().render_with_roof(roof_gbps));
+    let summaries = trainer.profile().summaries();
+    if let Ok(path) = args.require("out") {
+        let doc = profile_rows_json(platform_name, roof_gbps, draw_mode, iters, &summaries);
+        std::fs::write(path, doc.render())?;
+        println!("\nprofile rows written to {path}");
+    }
+    if let Some(base) = &baseline {
+        println!("\ncomparison against baseline (negative Δ = this run is cheaper):\n");
+        print!("{}", render_profile_compare(&summaries, base)?);
+    }
     let phi = trainer.phi();
     let (dense_rows, sparse_rows, nnz) = phi.phi.format_census();
     println!(
@@ -931,6 +1082,88 @@ mod tests {
             tmp("m-bad.phi").display()
         )));
         assert!(bad.is_err(), "unknown sampling mode must be rejected");
+    }
+
+    #[test]
+    fn draw_mode_flag_changes_timing_not_checkpoints() {
+        let docword = tmp("d.docword");
+        let vocab = tmp("d.vocab");
+        generate(&args(&format!(
+            "generate --preset tiny --seed 12 --docword {} --vocab {}",
+            docword.display(),
+            vocab.display()
+        )))
+        .unwrap();
+        let mut models = Vec::new();
+        for mode in ["tree", "butterfly", "auto"] {
+            let model = tmp(&format!("d-{mode}.phi"));
+            train(&args(&format!(
+                "train --docword {} --vocab {} --model {} --topics 8 --iters 3 \
+                 --score-every 0 --platform pascal --gpus 2 --seed 21 \
+                 --draw-mode {mode}",
+                docword.display(),
+                vocab.display(),
+                model.display()
+            )))
+            .unwrap();
+            models.push(std::fs::read(&model).unwrap());
+        }
+        for m in &models[1..] {
+            assert_eq!(&models[0], m, "checkpoints diverged across draw modes");
+        }
+
+        let bad = train(&args(&format!(
+            "train --docword {} --vocab {} --model {} --draw-mode warp",
+            docword.display(),
+            vocab.display(),
+            tmp("d-bad.phi").display()
+        )));
+        assert!(bad.is_err(), "unknown draw mode must be rejected");
+    }
+
+    #[test]
+    fn profile_dumps_rows_and_compares_against_baseline() {
+        let docword = tmp("pc.docword");
+        let vocab = tmp("pc.vocab");
+        let dump = tmp("pc-baseline.json");
+        generate(&args(&format!(
+            "generate --preset tiny --seed 13 --docword {} --vocab {}",
+            docword.display(),
+            vocab.display()
+        )))
+        .unwrap();
+        profile_cmd(&args(&format!(
+            "profile --docword {} --vocab {} --topics 8 --iters 2 \
+             --platform pascal --draw-mode tree --out {}",
+            docword.display(),
+            vocab.display(),
+            dump.display()
+        )))
+        .unwrap();
+        let doc = Json::parse(&std::fs::read_to_string(&dump).unwrap()).unwrap();
+        assert_eq!(doc.get("draw_mode").and_then(|m| m.as_str()), Some("tree"));
+        let kernels = doc.get("kernels").and_then(|k| k.as_arr()).unwrap();
+        assert!(
+            kernels
+                .iter()
+                .any(|k| k.get("name").and_then(|n| n.as_str()) == Some("lda_sample")),
+            "dump must include the lda_sample kernel"
+        );
+        profile_cmd(&args(&format!(
+            "profile --docword {} --vocab {} --topics 8 --iters 2 \
+             --platform pascal --draw-mode butterfly --compare {}",
+            docword.display(),
+            vocab.display(),
+            dump.display()
+        )))
+        .unwrap();
+        let bad = profile_cmd(&args(&format!(
+            "profile --docword {} --vocab {} --compare {}",
+            docword.display(),
+            vocab.display(),
+            tmp("pc-missing.json").display()
+        )));
+        assert!(bad.is_err(), "missing baseline must be reported");
     }
 
     #[test]
@@ -1353,6 +1586,7 @@ mod tests {
         assert!(u.contains(&format!("--policy {}", PartitionPolicy::usage())));
         assert!(u.contains(&format!("--sync-mode {}", SyncMode::usage())));
         assert!(u.contains(&format!("--sampling-mode {}", SamplingMode::usage())));
+        assert!(u.contains(&format!("--draw-mode {}", DrawMode::usage())));
         assert!(u.contains("--nodes N"));
         assert!(u.contains("--no-prefetch"));
     }

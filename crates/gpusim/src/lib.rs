@@ -59,14 +59,18 @@ pub mod warp;
 
 pub use cache::{CacheConfig, CacheSim};
 pub use clock::SimClock;
-pub use cost::KernelCost;
+pub use cost::{
+    coalesced_bytes, strided_bytes, KernelCost, COALESCE_SEGMENT_BYTES, DRAM_SECTOR_BYTES,
+};
 pub use device::Device;
 pub use error::SimFault;
 pub use fault::{FaultKind, FaultPlan, FaultSpec};
 pub use kernel::{BlockCtx, LaunchReport};
 pub use launcher::{KernelSpec, LaunchPhase, Launcher};
 pub use link::Link;
-pub use memory::{AtomicF32Buf, AtomicU16Buf, AtomicU32Buf, MemoryLedger, OomError};
+pub use memory::{
+    distinct_segments, AtomicF32Buf, AtomicU16Buf, AtomicU32Buf, MemoryLedger, OomError,
+};
 pub use multi::GpuCluster;
 pub use platform::{GpuSpec, Platform};
 pub use profile::{KernelSummary, LaunchRecord, ProfileLog};

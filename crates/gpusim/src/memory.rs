@@ -41,6 +41,21 @@ impl std::fmt::Display for OomError {
 
 impl std::error::Error for OomError {}
 
+/// Number of distinct aligned memory segments a set of byte addresses
+/// touches — the transaction count a warp-wide access issues. A perfectly
+/// coalesced warp access (32 consecutive 4-byte elements on a 128-byte
+/// boundary) touches exactly one segment; a strided walk touches one per
+/// lane. The butterfly draw path's tests use this to *prove* each scan
+/// step of the interleaved layout is a single
+/// [`COALESCE_SEGMENT_BYTES`](crate::cost::COALESCE_SEGMENT_BYTES) segment.
+pub fn distinct_segments(addrs: &[u64], segment_bytes: usize) -> usize {
+    assert!(segment_bytes > 0, "segment size must be positive");
+    let mut segs: Vec<u64> = addrs.iter().map(|&a| a / segment_bytes as u64).collect();
+    segs.sort_unstable();
+    segs.dedup();
+    segs.len()
+}
+
 /// Tracks allocated bytes against a device's capacity.
 #[derive(Debug)]
 pub struct MemoryLedger {
@@ -356,6 +371,23 @@ impl<T> HostStaging<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn distinct_segments_counts_transactions() {
+        // 32 consecutive f32 addresses on a 128-byte boundary: coalesced,
+        // one transaction.
+        let coalesced: Vec<u64> = (0..32).map(|i| 4096 + i * 4).collect();
+        assert_eq!(distinct_segments(&coalesced, 128), 1);
+        // The same 32 elements strided by 128 bytes: one per lane.
+        let strided: Vec<u64> = (0..32).map(|i| 4096 + i * 128).collect();
+        assert_eq!(distinct_segments(&strided, 128), 32);
+        // Misaligned consecutive run straddles a boundary: two segments.
+        let straddle: Vec<u64> = (0..32).map(|i| 4096 + 64 + i * 4).collect();
+        assert_eq!(distinct_segments(&straddle, 128), 2);
+        // Duplicates collapse.
+        assert_eq!(distinct_segments(&[0, 0, 4, 120], 128), 1);
+        assert_eq!(distinct_segments(&[], 128), 0);
+    }
 
     #[test]
     fn ledger_reserve_and_release() {

@@ -44,56 +44,12 @@ impl fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
-/// A mode-style flag (`--sync-mode`, `--sampling-mode`, `--policy`) did not
-/// match any canonical name.
-///
-/// All three mode enums share this one error type, and its `expected` list
-/// is the same canonical table the CLI usage text renders — so the help
-/// screen, the parse error, and the accepted spellings can never drift
-/// apart.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ModeParseError {
-    /// Which flag family failed (`"sync mode"`, `"sampling mode"`,
-    /// `"partition policy"`).
-    pub kind: &'static str,
-    /// The rejected token.
-    pub given: String,
-    /// The canonical names that would have been accepted.
-    pub expected: &'static [&'static str],
-}
-
-impl fmt::Display for ModeParseError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "unknown {} {:?} (expected {})",
-            self.kind,
-            self.given,
-            self.expected.join("|")
-        )
-    }
-}
-
-impl std::error::Error for ModeParseError {}
-
-/// Looks `s` up in a spelling table; the shared body behind every mode
-/// enum's `FromStr`.
-pub(crate) fn parse_mode<T: Copy>(
-    kind: &'static str,
-    spellings: &[(&'static str, T)],
-    expected: &'static [&'static str],
-    s: &str,
-) -> Result<T, ModeParseError> {
-    spellings
-        .iter()
-        .find(|(name, _)| *name == s)
-        .map(|&(_, v)| v)
-        .ok_or_else(|| ModeParseError {
-            kind,
-            given: s.to_string(),
-            expected,
-        })
-}
+// The canonical mode-flag machinery (shared error type + spelling-table
+// lookup) lives in the sampler crate next to `DrawMode`, the lowest mode
+// enum in the stack; this crate's enums ([`SyncMode`], [`SamplingMode`],
+// `PartitionPolicy`) reuse it via these re-exports, so the old
+// `culda_multigpu::ModeParseError` path keeps working.
+pub use culda_sampler::mode::{parse_mode, DrawMode, ModeParseError};
 
 /// How a trainer reacts to a worker's iteration body failing with a
 /// simulated fault: bounded retries with exponential backoff, charged to
@@ -301,6 +257,12 @@ pub struct TrainerConfig {
     /// The default, [`SamplingMode::Dense`], reproduces the paper's
     /// timing exactly.
     pub sampling_mode: SamplingMode,
+    /// `p1` draw path in the sampling kernel (see [`DrawMode`]): the
+    /// classic private tree walk, the Steele–Tristan butterfly coalesced
+    /// scan, or a per-block auto choice. The default, [`DrawMode::Tree`],
+    /// reproduces the paper's timing exactly; every mode samples
+    /// bit-identical topics — the same contract as [`SyncMode`].
+    pub draw_mode: DrawMode,
     /// Double-buffered H2D prefetch under the out-of-core (`M > 1`)
     /// schedule: chunk `i+1`'s host→device staging overlaps chunk `i`'s
     /// kernels (WorkSchedule2, Section 5.1). `false` stages every chunk
@@ -428,6 +390,7 @@ impl TrainerConfigBuilder {
                 ring_sync: false,
                 sync_mode: SyncMode::DenseTree,
                 sampling_mode: SamplingMode::Dense,
+                draw_mode: DrawMode::Tree,
                 prefetch: true,
                 nodes: 1,
                 node_link: None,
@@ -506,6 +469,12 @@ impl TrainerConfigBuilder {
     /// Sampling `p*` fill strategy (see [`SamplingMode`]).
     pub fn sampling_mode(mut self, mode: SamplingMode) -> Self {
         self.cfg.sampling_mode = mode;
+        self
+    }
+
+    /// Sampling `p1` draw path (see [`DrawMode`]).
+    pub fn draw_mode(mut self, mode: DrawMode) -> Self {
+        self.cfg.draw_mode = mode;
         self
     }
 
@@ -722,8 +691,28 @@ mod tests {
         for &name in SamplingMode::NAMES {
             assert_eq!(name.parse::<SamplingMode>().unwrap().to_string(), name);
         }
+        for &name in DrawMode::NAMES {
+            assert_eq!(name.parse::<DrawMode>().unwrap().to_string(), name);
+        }
         assert_eq!(SyncMode::usage(), "auto|dense-tree|dense-ring|delta");
         assert_eq!(SamplingMode::usage(), "auto|dense|sparse");
+        assert_eq!(DrawMode::usage(), "auto|tree|butterfly");
+    }
+
+    #[test]
+    fn draw_mode_defaults_to_tree_and_round_trips_through_builder() {
+        let cfg = TrainerConfig::builder(8, Platform::maxwell())
+            .build()
+            .unwrap();
+        assert_eq!(cfg.draw_mode, DrawMode::Tree);
+        let built = TrainerConfig::builder(8, Platform::maxwell())
+            .draw_mode(DrawMode::Butterfly)
+            .build()
+            .unwrap();
+        assert_eq!(built.draw_mode, DrawMode::Butterfly);
+        let e = "warp".parse::<DrawMode>().unwrap_err();
+        assert_eq!(e.kind, "draw mode");
+        assert_eq!(e.expected, DrawMode::NAMES);
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub mod worker;
 pub use api::{build_trainer, LdaTrainer, PartitionPolicy};
 pub use cluster::{ClusterTrainer, NodeTrainer, ParameterServer};
 pub use config::{
-    ConfigError, ModeParseError, RetryPolicy, SamplingMode, SyncMode, TrainerConfig,
+    ConfigError, DrawMode, ModeParseError, RetryPolicy, SamplingMode, SyncMode, TrainerConfig,
     TrainerConfigBuilder,
 };
 pub use delta::{dense_cutover, row_encoding, DeltaPayload, RowFormat};

@@ -256,6 +256,7 @@ impl GpuWorker {
                         use_shared_memory: cfg.use_shared_memory,
                         use_l1_for_indices: cfg.use_l1_for_indices,
                         sparse,
+                        draw: cfg.draw_mode,
                     },
                     h2d_seconds,
                     d2h_seconds,
@@ -307,6 +308,7 @@ impl GpuWorker {
                     use_shared_memory: cfg.use_shared_memory,
                     use_l1_for_indices: cfg.use_l1_for_indices,
                     sparse,
+                    draw: cfg.draw_mode,
                 };
                 let r = kernels.try_sample(
                     &part.chunks[gi],
@@ -605,6 +607,7 @@ mod tests {
                 use_shared_memory: cfg.use_shared_memory,
                 use_l1_for_indices: cfg.use_l1_for_indices,
                 sparse: false,
+                draw: cfg.draw_mode,
             },
             h2d_seconds: 0.0,
             d2h_seconds: 0.0,

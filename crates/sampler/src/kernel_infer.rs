@@ -18,6 +18,8 @@
 //! regardless of micro-batch boundaries, worker count, or which simulated
 //! GPU the document lands on.
 
+use crate::butterfly::butterfly_p1_cost;
+use crate::mode::DrawMode;
 use crate::model::PhiModel;
 use crate::ptree::{IndexTree, DEFAULT_FANOUT};
 use culda_corpus::Xoshiro256;
@@ -39,6 +41,12 @@ pub struct InferKernelConfig {
     /// Cache θ, the weight vector, and the tree in shared memory when
     /// they fit (traffic accounting only; never changes the draw).
     pub use_shared_memory: bool,
+    /// How the per-token draw over the dense K-length weight vector is
+    /// charged: the tree walk, the butterfly coalesced scan
+    /// ([`crate::butterfly`]), or per-document auto (tree while the
+    /// vector is on-chip, butterfly once it spills). Traffic accounting
+    /// only; never changes the draw.
+    pub draw: DrawMode,
 }
 
 impl InferKernelConfig {
@@ -50,6 +58,7 @@ impl InferKernelConfig {
             samples: 4,
             compressed: true,
             use_shared_memory: true,
+            draw: DrawMode::Tree,
         }
     }
 
@@ -114,6 +123,14 @@ fn fold_in_doc(
         && ctx
             .as_deref()
             .is_some_and(|c| c.shared.fits::<f32>(2 * k + k / 16 + 64));
+    // Serving auto rule mirrors the training kernel's: the tree walk while
+    // the dense weight vector lives on-chip, the butterfly coalesced scan
+    // once it spills. Charging only — the draw below never branches on it.
+    let draw = match cfg.draw {
+        DrawMode::Auto if shared_ok => DrawMode::Tree,
+        DrawMode::Auto => DrawMode::Butterfly,
+        fixed => fixed,
+    };
 
     let mut theta = vec![0u32; k];
     let mut z: Vec<u16> = Vec::with_capacity(doc.words.len());
@@ -159,14 +176,29 @@ fn fold_in_doc(
             theta[knew] += 1;
             if let Some(c) = ctx.as_deref_mut() {
                 // ϕ column + inv_denom loads, weight compute, tree
-                // rebuild prefix adds, walk traffic, new-z write.
+                // rebuild prefix adds, draw traffic, new-z write.
                 c.dram_read(k * phi_elem_bytes + k * 4);
                 c.flop(3 * k);
-                let onchip = k * 4 + (sh_touch + leaf_touch) * 4;
-                if shared_ok {
-                    c.shared_access(onchip);
-                } else {
-                    c.dram_read(onchip);
+                match draw {
+                    DrawMode::Butterfly => {
+                        // Coalesced interleaved scan + one segment read for
+                        // the final search window (the warp's 32 lanes
+                        // cooperate on this one distribution, so every scan
+                        // step is a full 128-byte segment).
+                        let dc = butterfly_p1_cost(k, shared_ok);
+                        c.dram_read(dc.dram_read);
+                        c.dram_write(dc.dram_write);
+                        c.shared_access(dc.shared);
+                        c.flop(dc.flops);
+                    }
+                    _ => {
+                        let onchip = k * 4 + (sh_touch + leaf_touch) * 4;
+                        if shared_ok {
+                            c.shared_access(onchip);
+                        } else {
+                            c.dram_read(onchip);
+                        }
+                    }
                 }
                 c.dram_write(2);
             }
@@ -326,6 +358,26 @@ mod tests {
         let (got, report) = run_infer_kernel(&dev, &phi, &inv, &batch, &cfg);
         assert_eq!(got, expected);
         assert!(report.sim_seconds > 0.0);
+    }
+
+    #[test]
+    fn draw_modes_change_traffic_but_not_posteriors() {
+        let (phi, docs) = trained_phi();
+        let inv = phi.inv_denominators();
+        let batch = as_infer_docs(&docs);
+        let base = InferKernelConfig::new(42);
+        let expected = infer_reference(&phi, &inv, &batch, &base);
+        let mut traffic = Vec::new();
+        for draw in [DrawMode::Tree, DrawMode::Butterfly, DrawMode::Auto] {
+            let mut cfg = base;
+            cfg.draw = draw;
+            let dev = Device::new(0, GpuSpec::titan_x_maxwell()).with_workers(2);
+            let (got, report) = run_infer_kernel(&dev, &phi, &inv, &batch, &cfg);
+            assert_eq!(got, expected, "draw={draw} changed posteriors");
+            traffic.push(report.cost.shared_bytes + report.cost.dram_bytes());
+        }
+        // The butterfly charges a different traffic mix than the walk.
+        assert_ne!(traffic[0], traffic[1]);
     }
 
     #[test]

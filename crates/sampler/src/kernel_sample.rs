@@ -18,10 +18,14 @@
 //! the corpus is spread over.
 
 use crate::blockmap::{BlockWork, SAMPLERS_PER_BLOCK};
+use crate::butterfly::ButterflyBatch;
+use crate::butterfly::{butterfly_p1_cost, p1_scratch_floats, search_steps, tree_p1_cost};
+use crate::mode::DrawMode;
 use crate::model::{ChunkState, PhiModel};
 use crate::ptree::{IndexTree, DEFAULT_FANOUT};
 use crate::spq::p1_weights;
 use culda_corpus::{SortedChunk, Xoshiro256};
+use culda_gpusim::warp::WARP_SIZE;
 use culda_gpusim::{BlockCtx, Device, KernelSpec, LaunchPhase, LaunchReport, SimFault};
 
 /// Tuning and bookkeeping for one sampling launch.
@@ -52,6 +56,13 @@ pub struct SampleConfig {
     /// work scales with `nnz(row)` instead of `K`. Pure cost-model choice —
     /// sampled topics are bit-identical either way (`--sampling-mode`).
     pub sparse: bool,
+    /// How samplers turn their per-token `p1` prefix into a topic: the
+    /// classic private tree walk, the Steele–Tristan butterfly partial-sum
+    /// path ([`crate::butterfly`]), or a per-block choice driven by the
+    /// shared-memory spill predicate. Like `sparse`, this is cost-model
+    /// only — sampled topics are bit-identical in every mode
+    /// (`--draw-mode`).
+    pub draw: DrawMode,
 }
 
 impl SampleConfig {
@@ -65,6 +76,7 @@ impl SampleConfig {
             use_shared_memory: true,
             use_l1_for_indices: true,
             sparse: false,
+            draw: DrawMode::Tree,
         }
     }
 
@@ -82,7 +94,26 @@ struct SamplerInstruments {
     tree_depth: std::sync::Arc<culda_metrics::Histogram>,
 }
 
-/// Draws one token's topic through the trees; returns the topic plus the
+/// The machinery a sampler resolves its sparse `p1` draw with. Both
+/// engines compute the same serially-accumulated f32 prefix and the same
+/// lower-bound rule over it, so the drawn topic is bit-identical; they
+/// differ only in the modelled memory layout the caller charges for
+/// ([`tree_p1_cost`] vs [`butterfly_p1_cost`]).
+enum P1Engine<'a> {
+    /// The classic private Figure-5 index tree (also the host oracle's
+    /// engine). Reports its walk's (shared, leaf) touch counts.
+    Tree(&'a mut IndexTree),
+    /// The block's butterfly-interleaved partial-sum batch; `lane` is this
+    /// sampler's slot in the warp. Touch counts are zero — the search runs
+    /// over register-resident partials and the caller charges the
+    /// coalesced-segment cost model instead.
+    Butterfly {
+        batch: &'a mut ButterflyBatch,
+        lane: usize,
+    },
+}
+
+/// Draws one token's topic; returns the topic plus the
 /// (shared_touches, leaf_touches) of the walk for traffic accounting and
 /// whether the sparse `p1` branch was taken (the warp-divergent decision).
 #[inline]
@@ -94,7 +125,7 @@ fn draw_token(
     block_tree: &IndexTree,
     alpha: f32,
     rng: &mut Xoshiro256,
-    p1_tree: &mut IndexTree,
+    engine: P1Engine<'_>,
     weights: &mut Vec<f32>,
 ) -> (u16, usize, usize, bool) {
     let s = p1_weights(theta_cols, theta_vals, pstar, weights);
@@ -102,9 +133,20 @@ fn draw_token(
     let u_branch = rng.next_f32();
     let u_inner = rng.next_f32();
     if s > 0.0 && u_branch < s / (s + q) {
-        p1_tree.rebuild(weights);
-        let (idx, sh, lf) = p1_tree.sample_scaled(u_inner * s);
-        (theta_cols[idx], sh, lf, true)
+        match engine {
+            P1Engine::Tree(p1_tree) => {
+                p1_tree.rebuild(weights);
+                let (idx, sh, lf) = p1_tree.sample_scaled(u_inner * s);
+                (theta_cols[idx], sh, lf, true)
+            }
+            P1Engine::Butterfly { batch, lane } => {
+                let total = batch.set_lane(lane, weights);
+                // Same serial accumulation order → same total, bit for bit.
+                debug_assert_eq!(total.to_bits(), s.to_bits());
+                let idx = batch.select(lane, u_inner * s);
+                (theta_cols[idx], 0, 0, true)
+            }
+        }
     } else {
         let (k, sh, lf) = block_tree.sample_scaled(u_inner * block_tree.total());
         (k as u16, sh, lf, false)
@@ -161,6 +203,25 @@ pub fn try_run_sampling_kernel(
         // Decide whether p* + prefix + upper levels fit the 48 KiB budget;
         // 2·K f32 plus ~K/31 of upper nodes, plus per-sampler scratch.
         let shared_ok = cfg.use_shared_memory && ctx.shared.fits::<f32>(2 * k + k / 16 + 64);
+        // Worst-case θ-row support across the block's tokens: the block-map
+        // metadata a real launch would carry (or one warp max-reduce).
+        // Drives the p1 spill predicate the executor charges from and
+        // `DrawMode::Auto` chooses from — one predicate, so the chooser can
+        // never disagree with the charger.
+        let max_kd = (0..SAMPLERS_PER_BLOCK)
+            .flat_map(|s| work.sampler_tokens(s))
+            .map(|t| state.theta.row(chunk.token_doc[t] as usize).0.len())
+            .max()
+            .unwrap_or(0);
+        let p1_on_chip = shared_ok
+            && ctx
+                .shared
+                .fits::<f32>(2 * k + k / 16 + 64 + p1_scratch_floats(max_kd));
+        let draw = match cfg.draw {
+            DrawMode::Auto if p1_on_chip => DrawMode::Tree,
+            DrawMode::Auto => DrawMode::Butterfly,
+            fixed => fixed,
+        };
         let mut pstar = if shared_ok {
             ctx.shared.alloc::<f32>(k)
         } else {
@@ -224,6 +285,9 @@ pub fn try_run_sampling_kernel(
                 ways: 4,
             })
         });
+        // One butterfly batch serves the whole block (allocation-reused
+        // across tokens, like the private trees it replaces).
+        let mut butter = (draw == DrawMode::Butterfly).then(ButterflyBatch::new);
         for s in 0..SAMPLERS_PER_BLOCK {
             let tokens = work.sampler_tokens(s);
             if tokens.is_empty() {
@@ -264,6 +328,13 @@ pub fn try_run_sampling_kernel(
                 }
                 let mut rng =
                     Xoshiro256::from_seed_stream(stream_seed, cfg.chunk_token_offset + t as u64);
+                let engine = match &mut butter {
+                    Some(batch) => P1Engine::Butterfly {
+                        batch,
+                        lane: s % WARP_SIZE,
+                    },
+                    None => P1Engine::Tree(&mut p1_tree),
+                };
                 let (topic, sh_touch, leaf_touch, took_p1) = draw_token(
                     cols,
                     vals,
@@ -271,13 +342,19 @@ pub fn try_run_sampling_kernel(
                     &block_tree,
                     alpha,
                     &mut rng,
-                    &mut p1_tree,
+                    engine,
                     &mut weights,
                 );
                 if let Some(ins) = &instruments {
                     if took_p1 {
                         ins.p1_draws.inc();
-                        ins.tree_depth.record(p1_tree.depth() as f64);
+                        // The butterfly's "depth" is its probe count: the
+                        // shuffle-compare steps of the lower-bound search.
+                        let depth = match draw {
+                            DrawMode::Butterfly => search_steps(kd),
+                            _ => p1_tree.depth(),
+                        };
+                        ins.tree_depth.record(depth as f64);
                     } else {
                         ins.p2_draws.inc();
                     }
@@ -288,15 +365,30 @@ pub fn try_run_sampling_kernel(
                     }
                     prev_branch = Some(took_p1);
                 }
-                // Tree-walk traffic: node scans in shared (or DRAM when the
-                // shared path is disabled), plus the new-topic write.
-                let walk_bytes = (sh_touch + leaf_touch) * 4;
-                if shared_ok {
-                    ctx.shared_access(walk_bytes);
+                if took_p1 {
+                    // `p1` draw traffic by engine: the tree walk served
+                    // on-chip (or strided sector-per-touch DRAM when the
+                    // per-sampler scratch spills), vs the butterfly's
+                    // coalesced interleaved scan.
+                    let dc = match draw {
+                        DrawMode::Butterfly => butterfly_p1_cost(kd, p1_on_chip),
+                        _ => tree_p1_cost(kd, sh_touch, leaf_touch, p1_on_chip),
+                    };
+                    ctx.dram_read(dc.dram_read);
+                    ctx.dram_write(dc.dram_write);
+                    ctx.shared_access(dc.shared);
+                    ctx.flop(dc.flops);
                 } else {
-                    ctx.dram_read(walk_bytes);
+                    // `p2` walk over the block-shared tree: node scans in
+                    // shared (or DRAM when the shared path is disabled).
+                    let walk_bytes = (sh_touch + leaf_touch) * 4;
+                    if shared_ok {
+                        ctx.shared_access(walk_bytes);
+                    } else {
+                        ctx.dram_read(walk_bytes);
+                    }
                 }
-                ctx.flop(kd); // p1 prefix-sum adds
+                ctx.flop(kd); // p1 prefix-sum adds (identical in every mode)
                 state.z.store(t, topic);
                 ctx.dram_write(2);
             }
@@ -338,7 +430,7 @@ pub fn sample_chunk_reference(
                 &block_tree,
                 alpha,
                 &mut rng,
-                &mut p1_tree,
+                P1Engine::Tree(&mut p1_tree),
                 &mut weights,
             );
             out[t] = topic;
@@ -598,6 +690,112 @@ mod tests {
             sparse.cost.dram_read_bytes,
             dense.cost.dram_read_bytes
         );
+    }
+
+    /// The spill-regime setup behind the draw-mode tests: K = 4096 keeps
+    /// `p*` + tree on-chip (~34 KiB of 48) but the docs are long enough
+    /// (avg ~150 distinct topics) that the per-sampler `p1` scratch cannot
+    /// also fit — the regime where the tree path pays strided DRAM.
+    fn spill_setup() -> (SortedChunk, ChunkState, PhiModel) {
+        let corpus = {
+            let mut spec = SynthSpec::tiny();
+            spec.num_docs = 24;
+            spec.vocab_size = 60;
+            spec.avg_doc_len = 150.0;
+            spec.generate()
+        };
+        let chunks = partition_by_tokens(&corpus, 1);
+        let chunk = SortedChunk::build(&corpus, &chunks[0]);
+        let k = 4096;
+        let state = ChunkState::init_random(&chunk, k, 3);
+        let phi = PhiModel::zeros(k, corpus.vocab_size(), Priors::paper(k));
+        accumulate_phi_host(&chunk, &state.z, &phi);
+        (chunk, state, phi)
+    }
+
+    fn run_with_draw(
+        chunk: &SortedChunk,
+        state: &ChunkState,
+        phi: &PhiModel,
+        cfg: &SampleConfig,
+    ) -> (Vec<u16>, culda_gpusim::LaunchReport) {
+        let inv = phi.inv_denominators();
+        let map = build_block_map(chunk, 256);
+        let fresh = ChunkState {
+            z: culda_gpusim::memory::AtomicU16Buf::from_vec(state.z.snapshot()),
+            theta: state.theta.clone(),
+        };
+        let dev = Device::new(0, GpuSpec::titan_xp_pascal());
+        let report = run_sampling_kernel(&dev, chunk, &fresh, phi, &inv, &map, cfg);
+        (fresh.z.snapshot(), report)
+    }
+
+    #[test]
+    fn draw_modes_are_bit_identical_across_memory_configs() {
+        let (chunk, state, phi) = setup();
+        let inv = phi.inv_denominators();
+        let cfg0 = SampleConfig::new(77);
+        let expected = sample_chunk_reference(&chunk, &state, &phi, &inv, &cfg0);
+        for draw in [DrawMode::Tree, DrawMode::Butterfly, DrawMode::Auto] {
+            for (use_shared, use_l1) in [(true, true), (false, true), (true, false)] {
+                let mut cfg = cfg0;
+                cfg.draw = draw;
+                cfg.use_shared_memory = use_shared;
+                cfg.use_l1_for_indices = use_l1;
+                let (z, _) = run_with_draw(&chunk, &state, &phi, &cfg);
+                assert_eq!(
+                    z, expected,
+                    "draw={draw} changed assignments (shared={use_shared}, l1={use_l1})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn butterfly_cuts_dram_when_scratch_spills_at_k4096() {
+        let (chunk, state, phi) = spill_setup();
+        let mut cfg = SampleConfig::new(77);
+        cfg.draw = DrawMode::Tree;
+        let (z_tree, tree) = run_with_draw(&chunk, &state, &phi, &cfg);
+        cfg.draw = DrawMode::Butterfly;
+        let (z_fly, fly) = run_with_draw(&chunk, &state, &phi, &cfg);
+        assert_eq!(z_fly, z_tree, "draw mode changed assignments");
+        assert!(
+            fly.cost.dram_bytes() < tree.cost.dram_bytes(),
+            "butterfly {} vs tree {} DRAM bytes — wanted a cut",
+            fly.cost.dram_bytes(),
+            tree.cost.dram_bytes()
+        );
+        assert!(fly.sim_seconds <= tree.sim_seconds);
+    }
+
+    #[test]
+    fn auto_resolves_to_the_cheaper_engine_per_regime() {
+        // Spill regime: every block's scratch overflows, so auto must
+        // charge exactly what the fixed butterfly mode charges and never
+        // model more time than the tree.
+        let (chunk, state, phi) = spill_setup();
+        let mut cfg = SampleConfig::new(5);
+        cfg.draw = DrawMode::Tree;
+        let (z_tree, tree) = run_with_draw(&chunk, &state, &phi, &cfg);
+        cfg.draw = DrawMode::Butterfly;
+        let (_, fly) = run_with_draw(&chunk, &state, &phi, &cfg);
+        cfg.draw = DrawMode::Auto;
+        let (z_auto, auto) = run_with_draw(&chunk, &state, &phi, &cfg);
+        assert_eq!(z_auto, z_tree);
+        assert_eq!(auto.cost.dram_bytes(), fly.cost.dram_bytes());
+        assert!(auto.sim_seconds <= tree.sim_seconds);
+
+        // On-chip regime: scratch fits, auto resolves to the tree walk and
+        // charges exactly its numbers.
+        let (chunk, state, phi) = setup();
+        let mut cfg = SampleConfig::new(5);
+        cfg.draw = DrawMode::Tree;
+        let (_, tree) = run_with_draw(&chunk, &state, &phi, &cfg);
+        cfg.draw = DrawMode::Auto;
+        let (_, auto) = run_with_draw(&chunk, &state, &phi, &cfg);
+        assert_eq!(auto.cost.dram_bytes(), tree.cost.dram_bytes());
+        assert_eq!(auto.cost.shared_bytes, tree.cost.shared_bytes);
     }
 
     #[test]

@@ -10,6 +10,11 @@
 //!   u16) + assignments `z` (u16), with host-side oracles for both update
 //!   kernels.
 //! * [`ptree`] — the Figure 5 N-ary prefix-sum index tree (fanout 32).
+//! * [`butterfly`] — the Steele–Tristan butterfly-patterned partial-sum
+//!   draw: coalesced interleaved prefixes + register-resident lower-bound
+//!   search, bit-identical to the tree walk.
+//! * [`mode`] — [`DrawMode`] and the shared canonical mode-flag machinery
+//!   (`ModeParseError`/`parse_mode`) every mode enum derives from.
 //! * [`spq`] — the Eq. 6–8 sparsity-aware S/Q decomposition with `p*(k)`
 //!   sub-expression reuse, plus scalar reference samplers.
 //! * [`blockmap`] — Figure 6 word-first block assignment with heavy-word
@@ -30,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod blockmap;
+pub mod butterfly;
 pub mod checkpoint;
 pub mod count;
 pub mod delta;
@@ -41,6 +47,7 @@ pub mod kernel_infer;
 pub mod kernel_phi;
 pub mod kernel_sample;
 pub mod kernel_theta;
+pub mod mode;
 pub mod model;
 pub mod plan;
 pub mod ptree;
@@ -48,6 +55,10 @@ pub mod spq;
 pub mod validate;
 
 pub use blockmap::{auto_tokens_per_block, build_block_map, BlockWork, SAMPLERS_PER_BLOCK};
+pub use butterfly::{
+    butterfly_p1_cost, p1_scratch_floats, search_steps, tree_p1_cost, tree_p1_cost_bound,
+    ButterflyBatch, DrawCost, BUTTERFLY_TILE,
+};
 pub use checkpoint::{load_phi, save_phi};
 pub use count::{
     choose_sparse_sampling, dense_cutover, pstar_block_cost, row_encoding, sparse_sampling_cutover,
@@ -70,8 +81,9 @@ pub use kernel_sample::{
     run_sampling_kernel, sample_chunk_reference, try_run_sampling_kernel, SampleConfig,
 };
 pub use kernel_theta::{run_theta_update_kernel, try_run_theta_update_kernel};
+pub use mode::{parse_mode, DrawMode, ModeParseError};
 pub use model::{
     accumulate_phi_host, build_theta_host, ChunkState, LdaModel, PhiModel, MAX_TOPICS,
 };
 pub use plan::{ChunkTask, IterationPlan, KernelSet, PlanReport};
-pub use ptree::{IndexTree, DEFAULT_FANOUT};
+pub use ptree::{depth_for, linear_search, IndexTree, DEFAULT_FANOUT};

@@ -161,6 +161,14 @@ impl IndexTree {
         self.upper.len() + 1
     }
 
+    /// The leaf-level inclusive prefix sums. Both draw paths search this
+    /// exact array — the tree by walking its upper index levels, the
+    /// butterfly by a lower-bound binary search — which is why they agree
+    /// bit-for-bit.
+    pub fn prefix(&self) -> &[f32] {
+        &self.prefix
+    }
+
     /// Bytes of the upper levels — what the device keeps in shared memory.
     pub fn shared_bytes(&self) -> usize {
         self.upper
@@ -223,6 +231,21 @@ pub fn linear_search(prefix: &[f32], x: f32) -> usize {
         .iter()
         .position(|&p| x < p)
         .unwrap_or(prefix.len() - 1)
+}
+
+/// Depth an [`IndexTree`] over `len` leaves would have, without building
+/// one — the cost model uses this to price a tree walk that spilled to
+/// DRAM (one level of node scans per depth step).
+pub fn depth_for(len: usize, fanout: usize) -> usize {
+    assert!(len > 0, "no leaves");
+    assert!(fanout >= 2, "fanout must be at least 2");
+    let mut depth = 1;
+    let mut n = len;
+    while n > fanout {
+        n = n.div_ceil(fanout);
+        depth += 1;
+    }
+    depth
 }
 
 #[cfg(test)]
@@ -336,6 +359,47 @@ mod tests {
         assert_eq!(tree.len(), 2);
         assert_eq!(tree.depth(), 1);
         assert_eq!(tree.sample_scaled(2.5).0, 1);
+    }
+
+    #[test]
+    fn depth_for_matches_built_trees() {
+        for n in [1usize, 5, 31, 32, 33, 1000, 1024, 1025, 4096, 32 * 32 + 1] {
+            let tree = IndexTree::build(&vec![1.0f32; n], 32);
+            assert_eq!(depth_for(n, 32), tree.depth(), "n = {n}");
+        }
+        for n in [1usize, 2, 3, 4, 5, 8, 9, 100] {
+            let tree = IndexTree::build(&vec![1.0f32; n], 2);
+            assert_eq!(depth_for(n, 2), tree.depth(), "n = {n}, fanout 2");
+        }
+    }
+
+    #[test]
+    fn warp_select_child_pins_linear_search_on_ties_and_zeros() {
+        // Regression pin: the gpusim warp ballot (`warp_select_child`) and
+        // this crate's `linear_search` are the same lower-bound rule —
+        // first index with `x < prefix[i]`. Ties from zero-weight entries
+        // (repeated prefix values) must resolve identically: neither may
+        // ever land on a zero-weight child.
+        use culda_gpusim::warp::warp_select_child;
+        let weights = [0.0f32, 1.5, 0.0, 0.0, 2.5, 0.0, 0.0, 1.0];
+        let mut prefix = Vec::new();
+        let mut acc = 0.0f32;
+        for &w in &weights {
+            acc += w;
+            prefix.push(acc);
+        }
+        let total = acc;
+        for i in 0..200 {
+            // Strictly below the total: warp_select_child's contract.
+            let x = total * (i as f32 / 200.0);
+            let want = linear_search(&prefix, x);
+            assert_eq!(warp_select_child(&prefix, x), want, "x = {x}");
+            assert!(weights[want] > 0.0, "x = {x} drew a zero-weight entry");
+        }
+        // Exact tie points: x equal to a repeated prefix value must select
+        // the next positive-weight entry under both rules.
+        assert_eq!(linear_search(&prefix, 1.5), 4);
+        assert_eq!(warp_select_child(&prefix, 1.5), 4);
     }
 
     #[test]

@@ -25,7 +25,7 @@ use crate::frozen::FrozenModel;
 use culda_corpus::Corpus;
 use culda_gpusim::{Device, FaultPlan, GpuSpec, ProfileLog};
 use culda_metrics::{Breakdown, Histogram, Json, MetricsRegistry, Phase, TraceSink};
-use culda_multigpu::{run_workers_traced, GpuWorker, RecoveryStats, RetryPolicy};
+use culda_multigpu::{run_workers_traced, DrawMode, GpuWorker, RecoveryStats, RetryPolicy};
 use culda_sampler::{try_run_infer_kernel, DocPosterior, InferDoc, InferKernelConfig, LdaModel};
 use std::ops::Range;
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -60,6 +60,9 @@ pub struct ServeConfig {
     pub gpu: GpuSpec,
     /// Retry budget and backoff for transient launch faults.
     pub retry: RetryPolicy,
+    /// How the per-token draw is charged in the fold-in kernel (see
+    /// [`DrawMode`]); cost-model only, posteriors are bit-identical.
+    pub draw_mode: DrawMode,
 }
 
 impl ServeConfig {
@@ -77,6 +80,7 @@ impl ServeConfig {
             host_workers: 1,
             gpu: GpuSpec::titan_xp_pascal(),
             retry: RetryPolicy::default(),
+            draw_mode: DrawMode::Tree,
         }
     }
 
@@ -118,6 +122,7 @@ impl ServeConfig {
             samples: self.samples,
             compressed: self.compressed,
             use_shared_memory: self.use_shared_memory,
+            draw: self.draw_mode,
         }
     }
 }
@@ -181,6 +186,12 @@ impl ServeConfigBuilder {
     /// Sets the transient-fault retry policy.
     pub fn retry(mut self, retry: RetryPolicy) -> Self {
         self.cfg.retry = retry;
+        self
+    }
+
+    /// Sets the draw-path charging mode of the fold-in kernel.
+    pub fn draw_mode(mut self, mode: DrawMode) -> Self {
+        self.cfg.draw_mode = mode;
         self
     }
 

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Draw-path regression gate.
+#
+# Regenerates BENCH_draw.json with the current code and fails when any
+# (K, draw mode) cell's modelled tokens/sec falls more than 10% below the
+# committed baseline. Throughput is measured on the deterministic
+# simulated clock, so a drop is a real modelling/code regression, never
+# host noise; wall_seconds is deliberately not compared. The committed
+# baseline file is restored on exit so the gate leaves the tree clean.
+#
+# Override the floor with THRESHOLD (a fraction, default 0.90).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH=BENCH_draw.json
+THRESHOLD="${THRESHOLD:-0.90}"
+
+if [ ! -s "$BENCH" ]; then
+    echo "draw gate: missing committed baseline $BENCH" >&2
+    exit 1
+fi
+
+baseline="$(mktemp)"
+cp "$BENCH" "$baseline"
+restore() { cp "$baseline" "$BENCH"; rm -f "$baseline"; }
+trap restore EXIT
+
+cargo run --release -q -p culda-bench --bin bench_draw >/dev/null
+
+# "K<topics>/<mode> <tokens_per_sec>" rows, in file order.
+extract() {
+    awk -F': ' '
+        /"topics"/          { gsub(/,/, "", $2); topics = $2 }
+        /"mode"/            { gsub(/[",]/, "", $2); mode = $2 }
+        /"tokens_per_sec":/ { gsub(/,/, "", $2); print "K" topics "/" mode, $2 }
+    ' "$1"
+}
+
+paste -d' ' <(extract "$baseline") <(extract "$BENCH") | awk -v thr="$THRESHOLD" '
+{
+    cell = $1; old = $2; newcell = $3; cur = $4;
+    ratio = cur / old;
+    printf "draw gate: %-16s baseline %.0f tok/s, current %.0f tok/s (%.1f%%)\n",
+        cell, old, cur, ratio * 100;
+    if (cell != newcell) { print "draw gate: cell order mismatch: " cell " vs " newcell; bad = 1 }
+    if (ratio < thr) {
+        printf "draw gate: FAIL — %s fell below %.0f%% of the baseline\n", cell, thr * 100;
+        bad = 1;
+    }
+}
+END { exit bad }
+'
+echo "draw gate: OK (every draw-mode cell at >=${THRESHOLD}x baseline tokens/sec)"

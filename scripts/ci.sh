@@ -66,6 +66,19 @@ for sampling_mode in sparse auto; do
     cmp "$smoke/p-dense.phi" "$smoke/p-$sampling_mode.phi"
 done
 
+echo "==> draw-mode matrix smoke test"
+# Every p1 draw engine must sample the bit-identical model; only the
+# modelled memory traffic may differ.
+for draw_mode in tree butterfly auto; do
+    cargo run --release -q -p culda-cli -- train --docword "$smoke/c.dw" \
+        --vocab "$smoke/c.v" --model "$smoke/d-$draw_mode.phi" --topics 8 \
+        --iters 3 --score-every 0 --platform pascal --gpus 2 \
+        --draw-mode "$draw_mode"
+done
+for draw_mode in butterfly auto; do
+    cmp "$smoke/d-tree.phi" "$smoke/d-$draw_mode.phi"
+done
+
 echo "==> multi-node smoke test"
 # A 2-node cluster run must train the bit-identical model to the 1-node
 # run of the same configuration (the dense-tree model from above).
@@ -113,6 +126,9 @@ grep -q '"p99_s"' "$smoke/serving.json"
 
 echo "==> bench regression gate"
 scripts/bench_gate.sh
+
+echo "==> draw-path gate"
+scripts/bench_draw.sh
 
 echo "==> serving gate"
 scripts/bench_serving.sh

@@ -14,7 +14,7 @@
 use culda::corpus::{Corpus, SynthSpec};
 use culda::gpusim::Platform;
 use culda::metrics::Phase;
-use culda::multigpu::{CuldaTrainer, SamplingMode, SyncMode, TrainerConfig};
+use culda::multigpu::{CuldaTrainer, DrawMode, SamplingMode, SyncMode, TrainerConfig};
 
 const K: usize = 8;
 const ITERS: u32 = 4;
@@ -28,6 +28,10 @@ fn corpus() -> Corpus {
 }
 
 fn cfg(gpus: usize, sampling: SamplingMode, sync: SyncMode) -> TrainerConfig {
+    cfg_draw(gpus, sampling, sync, DrawMode::Tree)
+}
+
+fn cfg_draw(gpus: usize, sampling: SamplingMode, sync: SyncMode, draw: DrawMode) -> TrainerConfig {
     TrainerConfig::builder(K, Platform::pascal().with_gpus(gpus))
         .iterations(ITERS)
         .score_every(0)
@@ -35,12 +39,24 @@ fn cfg(gpus: usize, sampling: SamplingMode, sync: SyncMode) -> TrainerConfig {
         .chunks_per_gpu(Some(4 / gpus))
         .sampling_mode(sampling)
         .sync_mode(sync)
+        .draw_mode(draw)
         .build()
         .expect("valid config")
 }
 
 fn train(c: &Corpus, gpus: usize, sampling: SamplingMode, sync: SyncMode) -> CuldaTrainer {
-    let mut t = CuldaTrainer::try_new(c, cfg(gpus, sampling, sync)).expect("trainer builds");
+    train_draw(c, gpus, sampling, sync, DrawMode::Tree)
+}
+
+fn train_draw(
+    c: &Corpus,
+    gpus: usize,
+    sampling: SamplingMode,
+    sync: SyncMode,
+    draw: DrawMode,
+) -> CuldaTrainer {
+    let mut t =
+        CuldaTrainer::try_new(c, cfg_draw(gpus, sampling, sync, draw)).expect("trainer builds");
     for _ in 0..ITERS {
         t.try_step().expect("fault-free run");
     }
@@ -65,26 +81,51 @@ const SYNC_MODES: [SyncMode; 4] = [
     SyncMode::Auto,
 ];
 
+const DRAW_MODES: [DrawMode; 3] = [DrawMode::Tree, DrawMode::Butterfly, DrawMode::Auto];
+
 #[test]
 fn checkpoints_are_bit_identical_across_the_full_mode_matrix() {
     let c = corpus();
-    // The paper-exact configuration — dense fill, dense tree sync, one
-    // GPU — is the oracle; every sampling mode × sync mode × GPU split
-    // must reproduce it bit for bit. 4 chunks total so 1/2/4 GPUs divide
-    // evenly into the same chunk boundaries (the bit-identity
-    // precondition).
+    // The paper-exact configuration — dense fill, dense tree sync, tree
+    // draw, one GPU — is the oracle; every draw mode × sampling mode ×
+    // sync mode × GPU split must reproduce it bit for bit. 4 chunks
+    // total so 1/2/4 GPUs divide evenly into the same chunk boundaries
+    // (the bit-identity precondition).
     let reference = phi_bits(&train(&c, 1, SamplingMode::Dense, SyncMode::DenseTree));
     for gpus in [1usize, 2, 4] {
-        for sampling in SAMPLING_MODES {
-            for sync in SYNC_MODES {
-                let got = phi_bits(&train(&c, gpus, sampling, sync));
-                assert_eq!(
-                    got, reference,
-                    "sampling {sampling} × sync {sync} diverged on {gpus} GPU(s)"
-                );
+        for draw in DRAW_MODES {
+            for sampling in SAMPLING_MODES {
+                for sync in SYNC_MODES {
+                    let got = phi_bits(&train_draw(&c, gpus, sampling, sync, draw));
+                    assert_eq!(
+                        got, reference,
+                        "draw {draw} × sampling {sampling} × sync {sync} diverged on {gpus} GPU(s)"
+                    );
+                }
             }
         }
     }
+}
+
+#[test]
+fn draw_auto_never_models_more_sampling_seconds_than_the_tree_default() {
+    // Auto resolves per block from the same occupancy predicate the cost
+    // model charges from: tree where the p1 scratch stays on chip (where
+    // it is exactly the tree walk), butterfly where it spills (where the
+    // coalesced scan is strictly cheaper). Either way it can never model
+    // more sampling time than always-tree.
+    let c = corpus();
+    let seconds = |draw| {
+        train_draw(&c, 2, SamplingMode::Dense, SyncMode::DenseTree, draw)
+            .breakdown()
+            .seconds(Phase::Sampling)
+    };
+    let tree = seconds(DrawMode::Tree);
+    let auto = seconds(DrawMode::Auto);
+    assert!(
+        auto <= tree + 1e-15,
+        "draw auto modelled {auto}s of sampling, tree {tree}s"
+    );
 }
 
 #[test]
